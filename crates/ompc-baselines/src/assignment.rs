@@ -1,0 +1,98 @@
+//! Owner-computes task-to-node assignment shared by the baseline runtimes.
+
+/// Block assignment of a `width × steps` Task Bench grid over `nodes`
+/// nodes: point `p` (and every timestep of that point) is owned by node
+/// `p / ceil(width / nodes)`. This is how the data-parallel Task Bench
+/// implementations (MPI, StarPU-MPI, Charm++) distribute their columns, and
+/// it keeps most stencil neighbours local.
+///
+/// Tasks are indexed `step * width + point`, the same layout the Task Bench
+/// generator uses.
+pub fn block_assignment(width: usize, steps: usize, nodes: usize) -> Vec<usize> {
+    assert!(nodes > 0, "assignment needs at least one node");
+    assert!(width > 0, "assignment needs at least one point");
+    let block = width.div_ceil(nodes);
+    let mut assignment = Vec::with_capacity(width * steps);
+    for _step in 0..steps {
+        for point in 0..width {
+            assignment.push((point / block).min(nodes - 1));
+        }
+    }
+    assignment
+}
+
+/// Cyclic (round-robin) assignment of a `width × steps` Task Bench grid
+/// over `nodes` nodes: point `p` is owned by node `p % nodes`.
+///
+/// This is how an over-decomposed Charm++ program ends up placing its
+/// chares by default: each point is an independent chare and the runtime
+/// balances them without regard for neighbour locality, so on patterns with
+/// spatial locality (stencil) most dependences cross node boundaries — one
+/// of the behaviours the paper's related-work discussion criticizes.
+pub fn cyclic_assignment(width: usize, steps: usize, nodes: usize) -> Vec<usize> {
+    assert!(nodes > 0, "assignment needs at least one node");
+    assert!(width > 0, "assignment needs at least one point");
+    let mut assignment = Vec::with_capacity(width * steps);
+    for _step in 0..steps {
+        for point in 0..width {
+            assignment.push(point % nodes);
+        }
+    }
+    assignment
+}
+
+/// Number of distinct nodes actually used by an assignment.
+pub fn nodes_used(assignment: &[usize]) -> usize {
+    let mut nodes: Vec<usize> = assignment.to_vec();
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_assignment_covers_all_nodes_evenly() {
+        let a = block_assignment(8, 2, 4);
+        assert_eq!(a.len(), 16);
+        // Points 0-1 -> node 0, 2-3 -> node 1, etc., repeated per step.
+        assert_eq!(&a[..8], &[0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(&a[8..], &[0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(nodes_used(&a), 4);
+    }
+
+    #[test]
+    fn more_nodes_than_points_leaves_some_idle() {
+        let a = block_assignment(2, 1, 8);
+        assert_eq!(a, vec![0, 1]);
+        assert_eq!(nodes_used(&a), 2);
+    }
+
+    #[test]
+    fn uneven_widths_clamp_to_last_node() {
+        let a = block_assignment(5, 1, 2);
+        // ceil(5/2) = 3: points 0-2 on node 0, 3-4 on node 1.
+        assert_eq!(a, vec![0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        block_assignment(4, 1, 0);
+    }
+
+    #[test]
+    fn cyclic_assignment_scatters_neighbours() {
+        let a = cyclic_assignment(8, 2, 4);
+        assert_eq!(&a[..8], &[0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(a.len(), 16);
+        assert_eq!(nodes_used(&a), 4);
+        // Unlike the block mapping, adjacent points never share a node
+        // (when width > nodes every neighbour pair crosses nodes).
+        for p in 0..7 {
+            assert_ne!(a[p], a[p + 1]);
+        }
+    }
+}

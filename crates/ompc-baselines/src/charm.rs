@@ -1,0 +1,115 @@
+//! The Charm++-like runtime model: message-driven, over-decomposed actors
+//! with parameter marshalling.
+
+use crate::dataflow::{DataflowParams, DataflowRuntime};
+use crate::{BaselineResult, BaselineRuntime};
+use ompc_core::model::WorkloadGraph;
+use ompc_sim::{ClusterConfig, SimTime};
+
+/// Charm++-like execution.
+///
+/// Computation is bound to chares (the paper's §5 discussion): every
+/// dependence crossing nodes becomes a marshalled entry-method invocation,
+/// which costs
+///
+/// * an entry-method scheduling slot on the receiving node,
+/// * a pack/unpack pass over the message payload (Charm++ copies marshalled
+///   parameters; OMPC, StarPU, and raw MPI hand user buffers to the NIC in
+///   place), and
+/// * envelope overhead on the wire.
+///
+/// With compute-dominated workloads these costs are invisible; when
+/// communication grows (low CCR, or weak scaling with heavier dependence
+/// patterns) the per-byte copy occupies the cores that should be computing,
+/// which is the collapse the paper observes for Charm++ in Fig. 6.
+#[derive(Debug, Clone)]
+pub struct CharmRuntime {
+    inner: DataflowRuntime,
+}
+
+impl CharmRuntime {
+    /// The default cost model used in the figure reproductions.
+    pub fn new() -> Self {
+        // ~5 GB/s effective pack/unpack bandwidth and a 25 µs entry-method
+        // scheduling cost per remote message.
+        Self::with_params(SimTime::from_micros(25), 1.0 / 5.0e9, 1.12)
+    }
+
+    /// Customize the marshalling model (used by the ablation bench).
+    pub fn with_params(
+        per_message_handler: SimTime,
+        pack_seconds_per_byte: f64,
+        byte_inflation: f64,
+    ) -> Self {
+        Self {
+            inner: DataflowRuntime::new(DataflowParams {
+                name: "Charm++",
+                startup: SimTime::from_millis(10),
+                shutdown: SimTime::from_millis(6),
+                per_task_overhead: SimTime::from_micros(60),
+                per_message_handler,
+                pack_seconds_per_byte,
+                byte_inflation,
+            }),
+        }
+    }
+}
+
+impl Default for CharmRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BaselineRuntime for CharmRuntime {
+    fn name(&self) -> &'static str {
+        "Charm++"
+    }
+
+    fn run(
+        &self,
+        workload: &WorkloadGraph,
+        cluster: &ClusterConfig,
+        assignment: &[usize],
+    ) -> BaselineResult {
+        self.inner.run(workload, cluster, assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::block_assignment;
+    use crate::starpu::StarPuRuntime;
+    use ompc_sim::NetworkConfig;
+    use ompc_taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
+
+    #[test]
+    fn charm_matches_starpu_when_communication_is_negligible() {
+        let cfg = TaskBenchConfig::new(DependencePattern::Stencil1D, 16, 8, 10_000_000, 1024);
+        let w = generate_workload(&cfg);
+        let cluster = ClusterConfig::santos_dumont(8);
+        let assignment = block_assignment(16, 8, 8);
+        let charm = CharmRuntime::new().run(&w, &cluster, &assignment).makespan;
+        let starpu = StarPuRuntime::new().run(&w, &cluster, &assignment).makespan;
+        let ratio = charm.as_secs_f64() / starpu.as_secs_f64();
+        assert!(ratio < 1.1, "with tiny messages Charm should be within 10% (ratio {ratio})");
+    }
+
+    #[test]
+    fn charm_collapses_when_communication_dominates() {
+        // CCR 0.5: communication time is twice the compute time per task.
+        let mut cfg = TaskBenchConfig::new(DependencePattern::Stencil1D, 16, 8, 10_000_000, 0);
+        cfg.output_bytes = cfg.bytes_for_ccr(0.5, &NetworkConfig::infiniband());
+        let w = generate_workload(&cfg);
+        let cluster = ClusterConfig::santos_dumont(8);
+        let assignment = block_assignment(16, 8, 8);
+        let charm = CharmRuntime::new().run(&w, &cluster, &assignment).makespan;
+        let starpu = StarPuRuntime::new().run(&w, &cluster, &assignment).makespan;
+        let ratio = charm.as_secs_f64() / starpu.as_secs_f64();
+        assert!(
+            ratio > 1.2,
+            "with communication-heavy workloads Charm must fall well behind StarPU (ratio {ratio})"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! # ompc-baselines — the runtimes OMPC is compared against
+//!
+//! The OMPC paper evaluates against three other Task Bench implementations:
+//! a hand-written synchronous MPI version, Charm++, and StarPU. None of
+//! those systems exist in the Rust ecosystem, and the comparison in the
+//! paper is *relative* (who wins, by what factor, where the crossover
+//! points are), so this crate models each runtime's execution discipline on
+//! top of the same deterministic cluster simulator (`ompc-sim`) and the
+//! same abstract workloads (`WorkloadGraph`) the simulated OMPC runtime
+//! executes:
+//!
+//! * [`MpiSyncRuntime`] — a bulk-synchronous, owner-computes execution: the
+//!   graph is processed level by level, each level exchanging its remote
+//!   inputs and then computing. No central coordinator, no per-task runtime
+//!   overhead; this is the "best possible baseline" the paper describes.
+//! * [`StarPuRuntime`] — a distributed dynamic task runtime: owner-computes
+//!   data distribution, dataflow (task starts as soon as its inputs
+//!   arrive), a small per-task scheduling overhead on the executing node.
+//! * [`CharmRuntime`] — a message-driven, over-decomposed actor runtime:
+//!   dataflow execution like StarPU but every remote message pays an
+//!   entry-method scheduling cost *and* a marshalling (pack/unpack) cost
+//!   proportional to its size, which occupies the receiving node's cores.
+//!   This is what makes Charm++ collapse when communication dominates
+//!   (paper Fig. 6).
+//!
+//! All three share the owner-computes block assignment of
+//! [`assignment::block_assignment`], mirroring how the corresponding Task
+//! Bench implementations distribute their points.
+
+pub mod assignment;
+pub mod charm;
+pub mod dataflow;
+pub mod mpi_sync;
+pub mod starpu;
+
+pub use assignment::{block_assignment, cyclic_assignment};
+pub use charm::CharmRuntime;
+pub use dataflow::{DataflowParams, DataflowRuntime};
+pub use mpi_sync::MpiSyncRuntime;
+pub use starpu::StarPuRuntime;
+
+use ompc_core::model::WorkloadGraph;
+use ompc_sim::{ClusterConfig, SimStats, SimTime};
+
+/// Result of one simulated baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// Name of the runtime model.
+    pub runtime: &'static str,
+    /// Total virtual execution time.
+    pub makespan: SimTime,
+    /// Aggregate engine statistics.
+    pub stats: SimStats,
+}
+
+/// A baseline runtime model that can execute a workload on a simulated
+/// cluster.
+pub trait BaselineRuntime {
+    /// Name used in benchmark reports (matches the paper's legends).
+    fn name(&self) -> &'static str;
+
+    /// Execute `workload` on `cluster`, with tasks assigned to nodes by
+    /// `assignment` (task index → node index), and return the result.
+    fn run(
+        &self,
+        workload: &WorkloadGraph,
+        cluster: &ClusterConfig,
+        assignment: &[usize],
+    ) -> BaselineResult;
+}

@@ -1,0 +1,102 @@
+//! The StarPU-like runtime model: distributed dynamic tasking over
+//! owner-computes data, with a small per-task scheduling cost.
+
+use crate::dataflow::{DataflowParams, DataflowRuntime};
+use crate::{BaselineResult, BaselineRuntime};
+use ompc_core::model::WorkloadGraph;
+use ompc_sim::{ClusterConfig, SimTime};
+
+/// StarPU-MPI-like execution: every node runs its own scheduler, data
+/// handles move between nodes point-to-point without a central coordinator,
+/// and each task pays a modest submission/scheduling cost on its executing
+/// node. No marshalling: StarPU sends user buffers in place.
+#[derive(Debug, Clone)]
+pub struct StarPuRuntime {
+    inner: DataflowRuntime,
+}
+
+impl StarPuRuntime {
+    /// The default cost model used in the figure reproductions.
+    pub fn new() -> Self {
+        Self::with_params(
+            SimTime::from_micros(40),
+            SimTime::from_micros(8),
+        )
+    }
+
+    /// Customize the per-task and per-message costs (used by sensitivity
+    /// studies in the benchmark harness).
+    pub fn with_params(per_task_overhead: SimTime, per_message_handler: SimTime) -> Self {
+        Self {
+            inner: DataflowRuntime::new(DataflowParams {
+                name: "StarPU",
+                startup: SimTime::from_millis(6),
+                shutdown: SimTime::from_millis(4),
+                per_task_overhead,
+                per_message_handler,
+                pack_seconds_per_byte: 0.0,
+                byte_inflation: 1.0,
+            }),
+        }
+    }
+}
+
+impl Default for StarPuRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BaselineRuntime for StarPuRuntime {
+    fn name(&self) -> &'static str {
+        "StarPU"
+    }
+
+    fn run(
+        &self,
+        workload: &WorkloadGraph,
+        cluster: &ClusterConfig,
+        assignment: &[usize],
+    ) -> BaselineResult {
+        self.inner.run(workload, cluster, assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::block_assignment;
+    use ompc_taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
+
+    #[test]
+    fn starpu_runs_a_stencil_workload() {
+        let cfg = TaskBenchConfig::new(DependencePattern::Stencil1D, 8, 4, 1_000_000, 1 << 20);
+        let w = generate_workload(&cfg);
+        let cluster = ClusterConfig::santos_dumont(4);
+        let assignment = block_assignment(8, 4, 4);
+        let r = StarPuRuntime::new().run(&w, &cluster, &assignment);
+        assert_eq!(r.runtime, "StarPU");
+        assert_eq!(r.stats.total_tasks(), 32);
+        // Lower bound: the four timesteps of compute.
+        assert!(r.makespan >= SimTime::from_secs_f64(4.0 * 0.005));
+    }
+
+    #[test]
+    fn more_nodes_reduce_makespan_for_wide_graphs() {
+        // Width larger than a node's core count, so node count matters.
+        let cfg = TaskBenchConfig::new(DependencePattern::Stencil1D, 64, 8, 2_000_000, 1 << 16);
+        let w = generate_workload(&cfg);
+        let rt = StarPuRuntime::new();
+        let small = rt.run(
+            &w,
+            &ClusterConfig::small(2, 4),
+            &block_assignment(64, 8, 2),
+        );
+        let large = rt.run(
+            &w,
+            &ClusterConfig::small(8, 4),
+            &block_assignment(64, 8, 8),
+        );
+        assert!(large.makespan < small.makespan);
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion bench for the ablation studies: scheduler cost and the impact
+//! of the OMPC design choices on a communication-heavy workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompc_core::prelude::{simulate_ompc, OmpcConfig, OverheadModel, SchedulerKind};
+use ompc_sched::{HeftScheduler, Platform, RoundRobinScheduler, Scheduler};
+use ompc_sim::ClusterConfig;
+use ompc_taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
+
+fn bench_scheduler_cost(c: &mut Criterion) {
+    // How long the static scheduling pass itself takes (the "Schedule"
+    // component of Fig. 7a) as the graph grows.
+    let mut group = c.benchmark_group("scheduler_cost");
+    group.sample_size(10);
+    for &width in &[16usize, 64] {
+        let cfg = TaskBenchConfig::new(DependencePattern::Stencil1D, width, 16, 1_000_000, 1 << 20);
+        let workload = generate_workload(&cfg);
+        let platform = Platform::cluster(16);
+        group.bench_with_input(BenchmarkId::new("heft", width * 16), &width, |b, _| {
+            b.iter(|| HeftScheduler::new().schedule(&workload.graph, &platform))
+        });
+        group.bench_with_input(BenchmarkId::new("round_robin", width * 16), &width, |b, _| {
+            b.iter(|| RoundRobinScheduler::new().schedule(&workload.graph, &platform))
+        });
+    }
+    group.finish();
+}
+
+fn bench_design_choices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_design_choices");
+    group.sample_size(10);
+    let cluster = ClusterConfig::santos_dumont(16);
+    let mut cfg = TaskBenchConfig::new(DependencePattern::Stencil1D, 16, 8, 10_000_000, 0);
+    cfg.output_bytes = cfg.bytes_for_ccr(1.0, &ompc_sim::NetworkConfig::infiniband());
+    let workload = generate_workload(&cfg);
+    let overheads = OverheadModel::default();
+
+    for scheduler in [SchedulerKind::Heft, SchedulerKind::Eager] {
+        let mut config = OmpcConfig::default();
+        config.scheduler = scheduler;
+        group.bench_function(format!("scheduler/{}", scheduler.name()), |b| {
+            b.iter(|| simulate_ompc(&workload, &cluster, &config, &overheads).makespan)
+        });
+    }
+    for forwarding in [true, false] {
+        let mut config = OmpcConfig::default();
+        config.worker_to_worker_forwarding = forwarding;
+        let label = if forwarding { "forwarding" } else { "staged" };
+        group.bench_function(format!("data-path/{label}"), |b| {
+            b.iter(|| simulate_ompc(&workload, &cluster, &config, &overheads).makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler_cost, bench_design_choices);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for the Figure 7(b) experiment (Awave weak scaling) plus
+//! micro-benchmarks of the real RTM kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompc_awave::{
+    awave_workload, propagate, rtm_shot, AwaveWorkloadConfig, ModelKind, PropagationParams,
+    RtmParams, Shot, VelocityModel,
+};
+use ompc_core::prelude::{simulate_ompc, OmpcConfig, OverheadModel};
+use ompc_sim::ClusterConfig;
+
+fn bench_simulated_survey(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7b_awave");
+    group.sample_size(10);
+    for &workers in &[1usize, 4, 16] {
+        let survey = AwaveWorkloadConfig::survey(workers, 800, 400, 2000);
+        let workload = awave_workload(&survey);
+        let cluster = ClusterConfig::santos_dumont(workers + 1);
+        group.bench_with_input(BenchmarkId::new("survey", workers), &workers, |b, _| {
+            b.iter(|| {
+                simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default())
+                    .makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wave_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("awave_kernels");
+    group.sample_size(10);
+    for kind in [ModelKind::SigsbeeLike, ModelKind::MarmousiLike] {
+        let model = VelocityModel::generate(kind, 64, 64, 15.0);
+        let params = PropagationParams::for_model(&model, 120);
+        group.bench_function(format!("propagate/{}", kind.name()), |b| {
+            b.iter(|| propagate(&model, &params, |_, _| {}))
+        });
+    }
+    let model = VelocityModel::generate(ModelKind::SigsbeeLike, 48, 48, 20.0);
+    let rtm = RtmParams { nt: 120, snapshot_every: 6, smoothing_passes: 2 };
+    group.bench_function("rtm_shot/sigsbee48", |b| {
+        b.iter(|| rtm_shot(&model, Shot { source_x: 24, source_z: 2 }, &rtm))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_survey, bench_wave_propagation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for the Figure 6 experiment (CCR sweep at 16 nodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompc_baselines::{block_assignment, BaselineRuntime, CharmRuntime, MpiSyncRuntime, StarPuRuntime};
+use ompc_core::prelude::{simulate_ompc, OmpcConfig, OverheadModel};
+use ompc_sim::{ClusterConfig, NetworkConfig};
+use ompc_taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
+
+fn bench_ccr(c: &mut Criterion) {
+    const NODES: usize = 16;
+    let mut group = c.benchmark_group("fig6_ccr");
+    group.sample_size(10);
+    for &ccr in &[0.5f64, 1.0, 2.0] {
+        // Reduced Figure 6: 16 x 8 graph with 50 ms tasks.
+        let mut cfg = TaskBenchConfig::new(DependencePattern::Stencil1D, 16, 8, 10_000_000, 0);
+        cfg.output_bytes = cfg.bytes_for_ccr(ccr, &NetworkConfig::infiniband());
+        let workload = generate_workload(&cfg);
+        let cluster = ClusterConfig::santos_dumont(NODES);
+        let assignment = block_assignment(cfg.width, cfg.steps, NODES);
+
+        group.bench_with_input(BenchmarkId::new("ompc", format!("ccr{ccr}")), &ccr, |b, _| {
+            b.iter(|| {
+                simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default())
+                    .makespan
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("charm", format!("ccr{ccr}")), &ccr, |b, _| {
+            b.iter(|| CharmRuntime::new().run(&workload, &cluster, &assignment).makespan)
+        });
+        group.bench_with_input(BenchmarkId::new("starpu", format!("ccr{ccr}")), &ccr, |b, _| {
+            b.iter(|| StarPuRuntime::new().run(&workload, &cluster, &assignment).makespan)
+        });
+        group.bench_with_input(BenchmarkId::new("mpi", format!("ccr{ccr}")), &ccr, |b, _| {
+            b.iter(|| MpiSyncRuntime::new().run(&workload, &cluster, &assignment).makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ccr);
+criterion_main!(benches);

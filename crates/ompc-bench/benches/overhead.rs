@@ -1,0 +1,44 @@
+//! Criterion bench for the Figure 7(a) experiment (runtime overhead) plus a
+//! micro-benchmark of the real threaded runtime's per-region overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompc_bench::run_overhead;
+use ompc_core::prelude::{ClusterDevice, Dependence};
+
+fn bench_simulated_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_overhead");
+    group.sample_size(10);
+    for &iterations in &[1_000u64, 1_000_000, 100_000_000] {
+        group.bench_with_input(
+            BenchmarkId::new("overhead_breakdown", iterations),
+            &iterations,
+            |b, &iters| b.iter(|| run_overhead(&[iters])),
+        );
+    }
+    group.finish();
+}
+
+fn bench_real_runtime_region(c: &mut Criterion) {
+    // The real (threaded) cluster device: measures the actual wall-clock
+    // cost of scheduling and running a tiny region, i.e. the runtime
+    // overhead the paper's Fig. 7(a) isolates.
+    let device = ClusterDevice::spawn(2);
+    let noop = device.register_kernel_fn("noop", 1e-6, |_| {});
+    let mut group = c.benchmark_group("real_runtime");
+    group.sample_size(10);
+    group.bench_function("empty_16_task_region", |b| {
+        b.iter(|| {
+            let mut region = device.target_region();
+            let buf = region.map_to_f64s(&[0.0; 8]);
+            for _ in 0..16 {
+                region.target(noop, vec![Dependence::inout(buf)]);
+            }
+            region.map_from(buf);
+            region.run().unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_overhead, bench_real_runtime_region);
+criterion_main!(benches);

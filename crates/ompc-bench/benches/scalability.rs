@@ -1,0 +1,70 @@
+//! Criterion bench for the Figure 5 experiment (Task Bench weak scaling).
+//!
+//! Each benchmark measures one (runtime, pattern, node-count) cell of the
+//! figure on a reduced graph so `cargo bench` stays fast; the full sweep
+//! with the paper's parameters is produced by the `fig5` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompc_baselines::{block_assignment, BaselineRuntime, CharmRuntime, MpiSyncRuntime, StarPuRuntime};
+use ompc_core::prelude::{simulate_ompc, OmpcConfig, OverheadModel};
+use ompc_sim::ClusterConfig;
+use ompc_taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
+
+fn reduced_config(pattern: DependencePattern, nodes: usize) -> TaskBenchConfig {
+    // Same structure as Figure 5, but 5 ms tasks and 8 timesteps.
+    let mut cfg = TaskBenchConfig::new(pattern, 2 * nodes, 8, 1_000_000, 0);
+    cfg.output_bytes = cfg.bytes_for_ccr(1.0, &ompc_sim::NetworkConfig::infiniband());
+    cfg
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_scalability");
+    group.sample_size(10);
+    for &nodes in &[4usize, 16] {
+        for pattern in [DependencePattern::Stencil1D, DependencePattern::Fft] {
+            let cfg = reduced_config(pattern, nodes);
+            let workload = generate_workload(&cfg);
+            let cluster = ClusterConfig::santos_dumont(nodes);
+            let assignment = block_assignment(cfg.width, cfg.steps, nodes);
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("ompc/{pattern}"), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| {
+                        simulate_ompc(
+                            &workload,
+                            &cluster,
+                            &OmpcConfig::default(),
+                            &OverheadModel::default(),
+                        )
+                        .makespan
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("charm/{pattern}"), nodes),
+                &nodes,
+                |b, _| b.iter(|| CharmRuntime::new().run(&workload, &cluster, &assignment).makespan),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("starpu/{pattern}"), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| StarPuRuntime::new().run(&workload, &cluster, &assignment).makespan)
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("mpi/{pattern}"), nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| MpiSyncRuntime::new().run(&workload, &cluster, &assignment).makespan)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

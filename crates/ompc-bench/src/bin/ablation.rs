@@ -1,0 +1,36 @@
+//! Ablation studies of the OMPC design choices: scheduler, head-node
+//! in-flight limit, worker-to-worker forwarding, and NIC channel count.
+//!
+//! Usage: `cargo run --release -p ompc-bench --bin ablation`
+
+use ompc_bench::{render_table, run_ablation};
+
+fn main() {
+    eprintln!("# Ablation: OMPC design choices on a communication-heavy 16-node stencil");
+    let rows = run_ablation();
+
+    let mut studies: Vec<String> = rows.iter().map(|r| r.study.clone()).collect();
+    studies.dedup();
+    for study in &studies {
+        println!("\n## {study}");
+        let header = vec!["variant".to_string(), "time (s)".to_string(), "vs best".to_string()];
+        let study_rows: Vec<_> = rows.iter().filter(|r| &r.study == study).collect();
+        let best = study_rows.iter().map(|r| r.seconds).fold(f64::INFINITY, f64::min);
+        let table_rows: Vec<Vec<String>> = study_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone(),
+                    format!("{:.3}", r.seconds),
+                    format!("{:.2}x", r.seconds / best),
+                ]
+            })
+            .collect();
+        print!("{}", render_table(&header, &table_rows));
+    }
+
+    let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/ablation.json", json).ok();
+    eprintln!("\nwrote results/ablation.json ({} measurements)", rows.len());
+}

@@ -1,0 +1,86 @@
+//! Reproduce Figure 5 of the OMPC paper: weak-scaling execution time of the
+//! Task Bench patterns (Trivial, Tree, Stencil-1D, FFT) on 2–64 nodes under
+//! OMPC, Charm++-like, StarPU-like, and synchronous-MPI execution.
+//!
+//! Usage: `cargo run --release -p ompc-bench --bin fig5 [--quick]`
+//! The `--quick` flag restricts the sweep to 2–16 nodes for fast runs.
+
+use ompc_bench::{render_table, run_scalability, RuntimeKind, ScalabilityRow};
+use std::collections::BTreeMap;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let nodes: &[usize] = if quick { &[2, 4, 8, 16] } else { &[2, 4, 8, 16, 32, 64] };
+    eprintln!("# Figure 5: Task Bench weak scaling (nodes = {nodes:?})");
+    let rows = run_scalability(nodes);
+
+    // One table per pattern, columns = runtimes, rows = node counts.
+    let mut patterns: Vec<String> = rows.iter().map(|r| r.pattern.clone()).collect();
+    patterns.dedup();
+    for pattern in &patterns {
+        println!("\n## Figure 5 — {pattern} (execution time, seconds)");
+        let header: Vec<String> = std::iter::once("nodes".to_string())
+            .chain(RuntimeKind::all().iter().map(|r| r.name().to_string()))
+            .collect();
+        let mut table_rows = Vec::new();
+        for &n in nodes {
+            let mut cells = vec![n.to_string()];
+            for runtime in RuntimeKind::all() {
+                let seconds = rows
+                    .iter()
+                    .find(|r| &r.pattern == pattern && r.nodes == n && r.runtime == runtime)
+                    .map(|r| r.seconds)
+                    .unwrap_or(f64::NAN);
+                cells.push(format!("{seconds:.3}"));
+            }
+            table_rows.push(cells);
+        }
+        print!("{}", render_table(&header, &table_rows));
+    }
+
+    // Headline ratios: mean OMPC speedup vs Charm++ and slowdown vs MPI per
+    // pattern (the paper reports 1.61x / 1.64x / 2.43x vs Charm++ for FFT /
+    // Stencil-1D / Tree and 1.4–2.9x behind MPI).
+    println!("\n## Headline ratios (averaged over node counts)");
+    let mut by_pattern: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    let find = |rows: &[ScalabilityRow], pattern: &str, nodes: usize, runtime: RuntimeKind| {
+        rows.iter()
+            .find(|r| r.pattern == pattern && r.nodes == nodes && r.runtime == runtime)
+            .map(|r| r.seconds)
+    };
+    for pattern in &patterns {
+        for &n in nodes {
+            let (Some(ompc), Some(charm), Some(mpi)) = (
+                find(&rows, pattern, n, RuntimeKind::Ompc),
+                find(&rows, pattern, n, RuntimeKind::Charm),
+                find(&rows, pattern, n, RuntimeKind::Mpi),
+            ) else {
+                continue;
+            };
+            let entry = by_pattern.entry(pattern.clone()).or_default();
+            entry.0.push(charm / ompc);
+            entry.1.push(ompc / mpi);
+        }
+    }
+    let header = vec![
+        "pattern".to_string(),
+        "OMPC vs Charm++".to_string(),
+        "MPI vs OMPC".to_string(),
+    ];
+    let table_rows: Vec<Vec<String>> = by_pattern
+        .iter()
+        .map(|(pattern, (vs_charm, vs_mpi))| {
+            vec![
+                pattern.clone(),
+                format!("{:.2}x", vs_charm.iter().sum::<f64>() / vs_charm.len() as f64),
+                format!("{:.2}x", vs_mpi.iter().sum::<f64>() / vs_mpi.len() as f64),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&header, &table_rows));
+
+    let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/fig5.json", json).ok();
+    eprintln!("\nwrote results/fig5.json ({} measurements)", rows.len());
+}

@@ -1,0 +1,67 @@
+//! Reproduce Figure 6 of the OMPC paper: execution time at 16 nodes while
+//! the computation-to-communication ratio (CCR) sweeps over 0.5, 1.0, 2.0.
+//!
+//! Usage: `cargo run --release -p ompc-bench --bin fig6`
+
+use ompc_bench::{render_table, run_ccr, RuntimeKind};
+
+fn main() {
+    let ccrs = [0.5, 1.0, 2.0];
+    eprintln!("# Figure 6: Task Bench CCR sweep at 16 nodes (16x16 graph, 500 ms tasks)");
+    let rows = run_ccr(&ccrs);
+
+    let mut patterns: Vec<String> = rows.iter().map(|r| r.pattern.clone()).collect();
+    patterns.dedup();
+    for pattern in &patterns {
+        println!("\n## Figure 6 — {pattern} (execution time, seconds)");
+        let header: Vec<String> = std::iter::once("CCR".to_string())
+            .chain(RuntimeKind::all().iter().map(|r| r.name().to_string()))
+            .collect();
+        let mut table_rows = Vec::new();
+        for &ccr in &ccrs {
+            let mut cells = vec![format!("{ccr:.1}")];
+            for runtime in RuntimeKind::all() {
+                let seconds = rows
+                    .iter()
+                    .find(|r| &r.pattern == pattern && r.ccr == ccr && r.runtime == runtime)
+                    .map(|r| r.seconds)
+                    .unwrap_or(f64::NAN);
+                cells.push(format!("{seconds:.3}"));
+            }
+            table_rows.push(cells);
+        }
+        print!("{}", render_table(&header, &table_rows));
+    }
+
+    println!("\n## Headline ratios (averaged over CCR values)");
+    let header = vec!["pattern".to_string(), "OMPC vs Charm++".to_string(), "MPI vs OMPC".to_string()];
+    let mut table_rows = Vec::new();
+    for pattern in &patterns {
+        let mut vs_charm = Vec::new();
+        let mut vs_mpi = Vec::new();
+        for &ccr in &ccrs {
+            let time = |runtime: RuntimeKind| {
+                rows.iter()
+                    .find(|r| &r.pattern == pattern && r.ccr == ccr && r.runtime == runtime)
+                    .map(|r| r.seconds)
+            };
+            if let (Some(ompc), Some(charm), Some(mpi)) =
+                (time(RuntimeKind::Ompc), time(RuntimeKind::Charm), time(RuntimeKind::Mpi))
+            {
+                vs_charm.push(charm / ompc);
+                vs_mpi.push(ompc / mpi);
+            }
+        }
+        table_rows.push(vec![
+            pattern.clone(),
+            format!("{:.2}x", vs_charm.iter().sum::<f64>() / vs_charm.len().max(1) as f64),
+            format!("{:.2}x", vs_mpi.iter().sum::<f64>() / vs_mpi.len().max(1) as f64),
+        ]);
+    }
+    print!("{}", render_table(&header, &table_rows));
+
+    let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/fig6.json", json).ok();
+    eprintln!("\nwrote results/fig6.json ({} measurements)", rows.len());
+}

@@ -1,0 +1,55 @@
+//! Reproduce Figure 7(a) of the OMPC paper: runtime overhead (start-up,
+//! scheduling, shutdown) as a percentage of wall time while the per-task
+//! workload grows from 1K to 100M iterations, on 1 head node + 1 worker
+//! node running a 1 × 16 dependence-free graph with a single worker thread.
+//!
+//! Usage: `cargo run --release -p ompc-bench --bin fig7a`
+
+use ompc_bench::{render_table, run_overhead};
+
+fn main() {
+    let workloads: [u64; 6] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+    eprintln!("# Figure 7(a): OMPC runtime overhead analysis");
+    let rows = run_overhead(&workloads);
+
+    let header = vec![
+        "workload".to_string(),
+        "wall time (s)".to_string(),
+        "startup %".to_string(),
+        "schedule %".to_string(),
+        "shutdown %".to_string(),
+        "total overhead %".to_string(),
+    ];
+    let label = |iters: u64| -> String {
+        match iters {
+            i if i >= 1_000_000 => format!("{}M", i / 1_000_000),
+            i if i >= 1_000 => format!("{}K", i / 1_000),
+            i => i.to_string(),
+        }
+    };
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                label(r.iterations),
+                format!("{:.4}", r.wall_time),
+                format!("{:.2}", r.startup_pct),
+                format!("{:.2}", r.schedule_pct),
+                format!("{:.2}", r.shutdown_pct),
+                format!("{:.2}", r.total_overhead_pct()),
+            ]
+        })
+        .collect();
+    println!();
+    print!("{}", render_table(&header, &table_rows));
+    println!(
+        "\nPaper's observations to compare against: overhead is dominant below ~1M iterations, \
+         drops below 25% around 10 ms tasks, and is negligible (>50 ms tasks) at 10M+ iterations; \
+         the constant runtime overhead is a few tens of milliseconds."
+    );
+
+    let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/fig7a.json", json).ok();
+    eprintln!("\nwrote results/fig7a.json ({} measurements)", rows.len());
+}

@@ -1,0 +1,263 @@
+//! The per-figure experiment drivers.
+
+use crate::runtimes::{run_all_runtimes, RuntimeKind, RuntimeMeasurement};
+use ompc_awave::{awave_workload, AwaveWorkloadConfig};
+use ompc_core::prelude::{simulate_ompc, OmpcConfig, OverheadModel};
+use ompc_sim::{ClusterConfig, NodeConfig};
+use ompc_taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
+use serde::{Deserialize, Serialize};
+
+/// One point of Fig. 5: a (pattern, node count, runtime) execution time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalabilityRow {
+    /// Dependence pattern name.
+    pub pattern: String,
+    /// Number of cluster nodes.
+    pub nodes: usize,
+    /// Runtime measured.
+    pub runtime: RuntimeKind,
+    /// Execution time in seconds.
+    pub seconds: f64,
+}
+
+/// Reproduce Fig. 5: weak-scaling execution time for every pattern,
+/// runtime, and node count. The paper uses 50 ms tasks (10M iterations),
+/// CCR 1.0, and a `(2·nodes) × 32` task graph.
+pub fn run_scalability(node_counts: &[usize]) -> Vec<ScalabilityRow> {
+    let mut rows = Vec::new();
+    for pattern in DependencePattern::paper_patterns() {
+        for &nodes in node_counts {
+            let config = TaskBenchConfig::figure5(pattern, nodes);
+            let workload = generate_workload(&config);
+            for m in run_all_runtimes(&config, &workload, nodes) {
+                rows.push(ScalabilityRow {
+                    pattern: pattern.name().to_string(),
+                    nodes,
+                    runtime: m.runtime,
+                    seconds: m.seconds,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One point of Fig. 6: a (pattern, CCR, runtime) execution time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CcrRow {
+    /// Dependence pattern name.
+    pub pattern: String,
+    /// Computation-to-communication ratio.
+    pub ccr: f64,
+    /// Runtime measured.
+    pub runtime: RuntimeKind,
+    /// Execution time in seconds.
+    pub seconds: f64,
+}
+
+/// Reproduce Fig. 6: execution time at 16 nodes with a 16 × 16 graph and
+/// 500 ms tasks while the CCR sweeps over the given values (the paper uses
+/// 0.5, 1.0, 2.0).
+pub fn run_ccr(ccrs: &[f64]) -> Vec<CcrRow> {
+    const NODES: usize = 16;
+    let mut rows = Vec::new();
+    for pattern in DependencePattern::paper_patterns() {
+        for &ccr in ccrs {
+            let config = TaskBenchConfig::figure6(pattern, ccr);
+            let workload = generate_workload(&config);
+            for m in run_all_runtimes(&config, &workload, NODES) {
+                rows.push(CcrRow {
+                    pattern: pattern.name().to_string(),
+                    ccr,
+                    runtime: m.runtime,
+                    seconds: m.seconds,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One point of Fig. 7(a): the overhead breakdown at a given per-task
+/// workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadRow {
+    /// Iterations of the Task Bench loop per task.
+    pub iterations: u64,
+    /// Total wall (virtual) time in seconds.
+    pub wall_time: f64,
+    /// Start-up overhead as a percentage of wall time.
+    pub startup_pct: f64,
+    /// Scheduling overhead as a percentage of wall time.
+    pub schedule_pct: f64,
+    /// Shutdown overhead as a percentage of wall time.
+    pub shutdown_pct: f64,
+}
+
+impl OverheadRow {
+    /// Total runtime overhead percentage.
+    pub fn total_overhead_pct(&self) -> f64 {
+        self.startup_pct + self.schedule_pct + self.shutdown_pct
+    }
+}
+
+/// Reproduce Fig. 7(a): 1 head node + 1 worker node with a single worker
+/// thread, a 1 × 16 dependence-free graph, and per-task workloads from 1K
+/// to 100M iterations.
+pub fn run_overhead(iteration_counts: &[u64]) -> Vec<OverheadRow> {
+    let mut cluster = ClusterConfig::santos_dumont(2);
+    // The paper pins the experiment to a single thread so the 16 tasks
+    // serialize on the worker.
+    cluster.node = NodeConfig { cores: 1 };
+    let config = OmpcConfig::default();
+    let overheads = OverheadModel::default();
+    iteration_counts
+        .iter()
+        .map(|&iterations| {
+            let tb = TaskBenchConfig::figure7a(iterations);
+            let workload = generate_workload(&tb);
+            let result = simulate_ompc(&workload, &cluster, &config, &overheads);
+            let (startup, schedule, shutdown) = result.overhead_fractions();
+            OverheadRow {
+                iterations,
+                wall_time: result.makespan.as_secs_f64(),
+                startup_pct: startup * 100.0,
+                schedule_pct: schedule * 100.0,
+                shutdown_pct: shutdown * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// One point of Fig. 7(b): Awave weak-scaling speedup at a worker count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AwaveRow {
+    /// Velocity model name (Sigsbee / Marmousi).
+    pub model: String,
+    /// Number of worker nodes (and shots).
+    pub workers: usize,
+    /// Weak-scaling speedup relative to one worker
+    /// (`workers × T(1) / T(workers)` is the ideal `workers`).
+    pub speedup: f64,
+    /// Execution time in seconds.
+    pub seconds: f64,
+}
+
+/// Reproduce Fig. 7(b): one shot per worker node, Sigsbee-like and
+/// Marmousi-like surveys, workers from 1 to 16. The Sigsbee grid is larger
+/// than the Marmousi grid (as the original datasets are), so its shots are
+/// individually more expensive.
+pub fn run_awave(worker_counts: &[usize]) -> Vec<AwaveRow> {
+    let config = OmpcConfig::default();
+    let overheads = OverheadModel::default();
+    // (name, nx, nz, nt) for the two survey geometries.
+    let surveys = [("Sigsbee", 3200usize, 1200usize, 6000usize), ("Marmousi", 2300, 750, 5000)];
+    let mut rows = Vec::new();
+    for (name, nx, nz, nt) in surveys {
+        let single = {
+            let survey = AwaveWorkloadConfig::survey(1, nx, nz, nt);
+            let w = awave_workload(&survey);
+            simulate_ompc(&w, &ClusterConfig::santos_dumont(2), &config, &overheads)
+                .makespan
+                .as_secs_f64()
+        };
+        for &workers in worker_counts {
+            let survey = AwaveWorkloadConfig::survey(workers, nx, nz, nt);
+            let w = awave_workload(&survey);
+            let seconds = simulate_ompc(
+                &w,
+                &ClusterConfig::santos_dumont(workers + 1),
+                &config,
+                &overheads,
+            )
+            .makespan
+            .as_secs_f64();
+            rows.push(AwaveRow {
+                model: name.to_string(),
+                workers,
+                speedup: workers as f64 * single / seconds,
+                seconds,
+            });
+        }
+    }
+    rows
+}
+
+/// The average OMPC-vs-Charm++ speedup per pattern (the headline numbers of
+/// the paper's abstract), computed from a set of measurement rows.
+pub fn ompc_vs_charm_speedups(rows: &[(String, Vec<RuntimeMeasurement>)]) -> Vec<(String, f64)> {
+    use std::collections::BTreeMap;
+    let mut per_pattern: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (pattern, measurements) in rows {
+        let time = |kind: RuntimeKind| {
+            measurements.iter().find(|m| m.runtime == kind).map(|m| m.seconds)
+        };
+        if let (Some(ompc), Some(charm)) = (time(RuntimeKind::Ompc), time(RuntimeKind::Charm)) {
+            if ompc > 0.0 {
+                per_pattern.entry(pattern.clone()).or_default().push(charm / ompc);
+            }
+        }
+    }
+    per_pattern
+        .into_iter()
+        .map(|(pattern, speedups)| {
+            let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+            (pattern, mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_fraction_decreases_with_workload() {
+        let rows = run_overhead(&[1_000, 1_000_000, 100_000_000]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].total_overhead_pct() > rows[1].total_overhead_pct());
+        assert!(rows[1].total_overhead_pct() > rows[2].total_overhead_pct());
+        // The paper: overhead is dominant for tiny tasks, negligible (<25%)
+        // for 10M-iteration tasks and beyond.
+        assert!(rows[0].total_overhead_pct() > 50.0);
+        assert!(rows[2].total_overhead_pct() < 5.0);
+    }
+
+    #[test]
+    fn awave_speedup_is_near_linear() {
+        let rows = run_awave(&[1, 4, 16]);
+        for row in &rows {
+            let efficiency = row.speedup / row.workers as f64;
+            assert!(
+                efficiency > 0.8,
+                "{} at {} workers: efficiency {efficiency}",
+                row.model,
+                row.workers
+            );
+        }
+    }
+
+    #[test]
+    fn scalability_smoke_test_small_nodes() {
+        let rows = run_scalability(&[2, 4]);
+        // 4 patterns × 2 node counts × 4 runtimes.
+        assert_eq!(rows.len(), 32);
+        assert!(rows.iter().all(|r| r.seconds > 0.0));
+    }
+
+    #[test]
+    fn ccr_smoke_test_single_value() {
+        let rows = run_ccr(&[1.0]);
+        assert_eq!(rows.len(), 16);
+        // Charm++ must not beat MPI anywhere (paper Fig. 6).
+        for pattern in ["stencil_1d", "fft", "tree"] {
+            let t = |kind: RuntimeKind| {
+                rows.iter()
+                    .find(|r| r.pattern == pattern && r.runtime == kind)
+                    .unwrap()
+                    .seconds
+            };
+            assert!(t(RuntimeKind::Mpi) <= t(RuntimeKind::Charm));
+        }
+    }
+}

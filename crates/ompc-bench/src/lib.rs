@@ -1,0 +1,34 @@
+//! # ompc-bench — the experiment harness
+//!
+//! One function per figure of the paper's evaluation (§6):
+//!
+//! * [`run_scalability`] — Fig. 5: execution time vs. node count (2–64) for
+//!   Trivial / Tree / Stencil-1D / FFT Task Bench graphs under OMPC,
+//!   Charm++-like, StarPU-like, and synchronous-MPI execution.
+//! * [`run_ccr`] — Fig. 6: execution time at 16 nodes while the
+//!   computation-to-communication ratio sweeps over 0.5 / 1.0 / 2.0.
+//! * [`run_overhead`] — Fig. 7(a): start-up / scheduling / shutdown
+//!   overhead as a fraction of wall time while the per-task workload grows
+//!   from 1K to 100M iterations.
+//! * [`run_awave`] — Fig. 7(b): Awave weak-scaling speedup on Sigsbee-like
+//!   and Marmousi-like surveys, one shot per worker node.
+//! * [`run_ablation`] — the design-choice studies DESIGN.md calls out:
+//!   scheduler choice, head-node in-flight limit, worker-to-worker
+//!   forwarding, and NIC channel count.
+//!
+//! Each function returns plain records (serializable with serde) so the
+//! `fig5` … `ablation` binaries can print the same rows the paper plots and
+//! EXPERIMENTS.md can record paper-vs-measured comparisons.
+
+pub mod ablation;
+pub mod figures;
+pub mod report;
+pub mod runtimes;
+
+pub use ablation::{run_ablation, AblationRow};
+pub use figures::{
+    run_awave, run_ccr, run_overhead, run_scalability, AwaveRow, CcrRow, OverheadRow,
+    ScalabilityRow,
+};
+pub use report::{geometric_mean, render_table, speedup_summary};
+pub use runtimes::{run_all_runtimes, RuntimeKind, RuntimeMeasurement};

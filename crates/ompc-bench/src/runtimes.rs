@@ -1,0 +1,118 @@
+//! Uniform driver for the four runtimes compared in the paper.
+
+use ompc_baselines::{
+    block_assignment, cyclic_assignment, BaselineRuntime, CharmRuntime, MpiSyncRuntime,
+    StarPuRuntime,
+};
+use ompc_core::model::WorkloadGraph;
+use ompc_core::prelude::{simulate_ompc, OmpcConfig, OverheadModel};
+use ompc_sim::ClusterConfig;
+use ompc_taskbench::TaskBenchConfig;
+use serde::{Deserialize, Serialize};
+
+/// The runtimes of the paper's comparison, in legend order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuntimeKind {
+    /// OMPC (this repository's runtime, simulated mode).
+    Ompc,
+    /// Charm++-like message-driven actors.
+    Charm,
+    /// StarPU-like distributed dynamic tasking.
+    StarPu,
+    /// Hand-written synchronous MPI.
+    Mpi,
+}
+
+impl RuntimeKind {
+    /// All four runtimes in the paper's legend order.
+    pub fn all() -> [RuntimeKind; 4] {
+        [RuntimeKind::Ompc, RuntimeKind::Charm, RuntimeKind::StarPu, RuntimeKind::Mpi]
+    }
+
+    /// Legend label.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::Ompc => "OMPC",
+            RuntimeKind::Charm => "Charm++",
+            RuntimeKind::StarPu => "StarPU",
+            RuntimeKind::Mpi => "MPI",
+        }
+    }
+}
+
+/// One measured execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeMeasurement {
+    /// Which runtime executed the workload.
+    pub runtime: RuntimeKind,
+    /// Execution time in seconds of virtual time.
+    pub seconds: f64,
+}
+
+/// Execute a Task Bench workload on every runtime over a cluster of
+/// `nodes` nodes and return the measured execution times.
+///
+/// OMPC reserves node 0 as the head node (so it computes on `nodes - 1`
+/// workers); the data-parallel baselines use every node, exactly as their
+/// Task Bench implementations do. The MPI and StarPU implementations place
+/// points in contiguous blocks (owner computes with locality); the
+/// Charm++-like runtime places its chares cyclically, reflecting the
+/// locality-oblivious over-decomposition the paper's §5 criticizes.
+pub fn run_all_runtimes(
+    config: &TaskBenchConfig,
+    workload: &WorkloadGraph,
+    nodes: usize,
+) -> Vec<RuntimeMeasurement> {
+    let cluster = ClusterConfig::santos_dumont(nodes);
+    let block = block_assignment(config.width, config.steps, nodes);
+    let cyclic = cyclic_assignment(config.width, config.steps, nodes);
+
+    let ompc_seconds = simulate_ompc(
+        workload,
+        &cluster,
+        &OmpcConfig::default(),
+        &OverheadModel::default(),
+    )
+    .makespan
+    .as_secs_f64();
+
+    let mut results = vec![RuntimeMeasurement { runtime: RuntimeKind::Ompc, seconds: ompc_seconds }];
+    let baselines: Vec<(RuntimeKind, Box<dyn BaselineRuntime>, &[usize])> = vec![
+        (RuntimeKind::Charm, Box::new(CharmRuntime::new()), &cyclic),
+        (RuntimeKind::StarPu, Box::new(StarPuRuntime::new()), &block),
+        (RuntimeKind::Mpi, Box::new(MpiSyncRuntime::new()), &block),
+    ];
+    for (kind, runtime, assignment) in baselines {
+        let r = runtime.run(workload, &cluster, assignment);
+        results.push(RuntimeMeasurement { runtime: kind, seconds: r.makespan.as_secs_f64() });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompc_taskbench::{generate_workload, DependencePattern};
+
+    #[test]
+    fn all_runtimes_produce_positive_times() {
+        let config = TaskBenchConfig::new(DependencePattern::Stencil1D, 8, 4, 1_000_000, 1 << 16);
+        let workload = generate_workload(&config);
+        let results = run_all_runtimes(&config, &workload, 4);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(r.seconds > 0.0, "{} reported no time", r.runtime.name());
+        }
+        // The paper's headline ordering at moderate scale: MPI is fastest.
+        let time = |kind: RuntimeKind| {
+            results.iter().find(|r| r.runtime == kind).unwrap().seconds
+        };
+        assert!(time(RuntimeKind::Mpi) <= time(RuntimeKind::Ompc));
+    }
+
+    #[test]
+    fn runtime_names_are_stable() {
+        assert_eq!(RuntimeKind::Ompc.name(), "OMPC");
+        assert_eq!(RuntimeKind::all().len(), 4);
+    }
+}

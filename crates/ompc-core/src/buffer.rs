@@ -1,0 +1,131 @@
+//! Host-side buffer registry: the head node's view of every mapped buffer.
+
+use crate::types::{BufferId, OmpcError, OmpcResult};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// The head node's storage for mapped buffers.
+///
+/// In OpenMP terms this is the host memory that `map` clauses copy from and
+/// to; the worker nodes keep their own device copies (see
+/// `crate::worker::DeviceMemory`), coordinated by the data manager.
+#[derive(Debug, Default)]
+pub struct BufferRegistry {
+    buffers: RwLock<HashMap<u64, Vec<u8>>>,
+    next: RwLock<u64>,
+}
+
+impl BufferRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register host data and obtain its buffer id.
+    pub fn register(&self, data: Vec<u8>) -> BufferId {
+        let mut next = self.next.write();
+        let id = *next;
+        *next += 1;
+        self.buffers.write().insert(id, data);
+        BufferId(id)
+    }
+
+    /// Register a zero-filled buffer of `size` bytes (the `map(alloc:)`
+    /// analogue).
+    pub fn register_uninit(&self, size: usize) -> BufferId {
+        self.register(vec![0u8; size])
+    }
+
+    /// Size in bytes of a buffer.
+    pub fn size_of(&self, id: BufferId) -> OmpcResult<usize> {
+        self.buffers
+            .read()
+            .get(&id.0)
+            .map(Vec::len)
+            .ok_or(OmpcError::UnknownBuffer(id))
+    }
+
+    /// Clone the current host contents of a buffer.
+    pub fn get(&self, id: BufferId) -> OmpcResult<Vec<u8>> {
+        self.buffers
+            .read()
+            .get(&id.0)
+            .cloned()
+            .ok_or(OmpcError::UnknownBuffer(id))
+    }
+
+    /// Replace the host contents of a buffer (used when `map(from:)` /
+    /// `map(tofrom:)` data returns from the cluster).
+    pub fn set(&self, id: BufferId, data: Vec<u8>) -> OmpcResult<()> {
+        let mut buffers = self.buffers.write();
+        match buffers.get_mut(&id.0) {
+            Some(slot) => {
+                *slot = data;
+                Ok(())
+            }
+            None => Err(OmpcError::UnknownBuffer(id)),
+        }
+    }
+
+    /// Remove a buffer entirely (after `map(release:)` / exit data).
+    pub fn remove(&self, id: BufferId) -> OmpcResult<Vec<u8>> {
+        self.buffers.write().remove(&id.0).ok_or(OmpcError::UnknownBuffer(id))
+    }
+
+    /// Whether the buffer exists.
+    pub fn contains(&self, id: BufferId) -> bool {
+        self.buffers.read().contains_key(&id.0)
+    }
+
+    /// Number of registered buffers.
+    pub fn len(&self) -> usize {
+        self.buffers.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_get_set_remove() {
+        let reg = BufferRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.register(vec![1, 2, 3]);
+        let b = reg.register_uninit(4);
+        assert_eq!(reg.len(), 2);
+        assert_ne!(a, b);
+        assert_eq!(reg.get(a).unwrap(), vec![1, 2, 3]);
+        assert_eq!(reg.get(b).unwrap(), vec![0; 4]);
+        assert_eq!(reg.size_of(a).unwrap(), 3);
+        reg.set(a, vec![9]).unwrap();
+        assert_eq!(reg.get(a).unwrap(), vec![9]);
+        assert_eq!(reg.remove(a).unwrap(), vec![9]);
+        assert!(!reg.contains(a));
+        assert!(reg.contains(b));
+    }
+
+    #[test]
+    fn unknown_buffer_errors() {
+        let reg = BufferRegistry::new();
+        let ghost = BufferId(42);
+        assert_eq!(reg.get(ghost).unwrap_err(), OmpcError::UnknownBuffer(ghost));
+        assert_eq!(reg.set(ghost, vec![]).unwrap_err(), OmpcError::UnknownBuffer(ghost));
+        assert_eq!(reg.remove(ghost).unwrap_err(), OmpcError::UnknownBuffer(ghost));
+        assert_eq!(reg.size_of(ghost).unwrap_err(), OmpcError::UnknownBuffer(ghost));
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let reg = BufferRegistry::new();
+        let ids: Vec<BufferId> = (0..10).map(|i| reg.register(vec![i as u8])).collect();
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

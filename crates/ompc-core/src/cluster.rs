@@ -1,0 +1,550 @@
+//! The cluster device: the head-node runtime that owns the worker threads,
+//! schedules target regions, and drives the event system.
+//!
+//! This is the real (threaded) execution mode: every worker node is an OS
+//! thread running [`crate::worker::worker_main`], messages travel through
+//! the `ompc-mpi` substrate, and kernels execute real Rust code. The
+//! simulated mode used for the large-scale benchmark figures lives in
+//! [`crate::sim_runtime`] and reuses the same scheduler and data-manager
+//! logic.
+
+use crate::buffer::BufferRegistry;
+use crate::config::OmpcConfig;
+use crate::data_manager::{DataManager, HEAD_NODE};
+use crate::event::EventSystem;
+use crate::kernel::{Kernel, KernelArgs, KernelRegistry};
+use crate::model;
+use crate::region::TargetRegion;
+use crate::stats::{DeviceReport, RegionReport};
+use crate::task::{RegionGraph, TaskKind};
+use crate::types::{BufferId, KernelId, MapType, NodeId, OmpcError, OmpcResult, TaskId};
+use crate::worker::worker_main;
+use ompc_mpi::World;
+use ompc_sched::Platform;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A host-task body: runs on the head node with access to the host buffers.
+pub type HostFn = Arc<dyn Fn(&BufferRegistry) + Send + Sync>;
+
+/// The OMPC cluster device.
+///
+/// ```
+/// use ompc_core::cluster::ClusterDevice;
+/// use ompc_core::types::Dependence;
+///
+/// let mut device = ClusterDevice::spawn(2);
+/// let scale = device.register_kernel_fn("scale", 1e-6, |args| {
+///     let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x * 2.0).collect();
+///     args.set_f64s(0, &v);
+/// });
+/// let mut region = device.target_region();
+/// let a = region.map_to_f64s(&[1.0, 2.0, 3.0]);
+/// region.target(scale, vec![Dependence::inout(a)]);
+/// region.map_from(a);
+/// region.run().unwrap();
+/// assert_eq!(device.buffer_f64s(a).unwrap(), vec![2.0, 4.0, 6.0]);
+/// device.shutdown();
+/// ```
+pub struct ClusterDevice {
+    #[allow(dead_code)]
+    world: World,
+    kernels: Arc<KernelRegistry>,
+    buffers: Arc<BufferRegistry>,
+    events: Arc<EventSystem>,
+    dm: Arc<Mutex<DataManager>>,
+    config: OmpcConfig,
+    num_workers: usize,
+    worker_handles: Vec<JoinHandle<()>>,
+    report: Mutex<DeviceReport>,
+    shut_down: bool,
+}
+
+impl ClusterDevice {
+    /// Spawn a cluster with `num_workers` worker nodes (plus the implicit
+    /// head node) using the default configuration.
+    pub fn spawn(num_workers: usize) -> Self {
+        Self::with_config(num_workers, OmpcConfig::small())
+    }
+
+    /// Spawn a cluster with an explicit configuration.
+    pub fn with_config(num_workers: usize, config: OmpcConfig) -> Self {
+        assert!(num_workers > 0, "the cluster needs at least one worker node");
+        let start = Instant::now();
+        let world = World::with_communicators(num_workers + 1, config.num_communicators);
+        let kernels = Arc::new(KernelRegistry::new());
+        let mut worker_handles = Vec::with_capacity(num_workers);
+        for node in 1..=num_workers {
+            let comm = world.communicator(node);
+            let kernels = Arc::clone(&kernels);
+            let handler_threads = config.event_handler_threads;
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ompc-worker-{node}"))
+                    .spawn(move || worker_main(comm, kernels, handler_threads))
+                    .expect("failed to spawn worker node thread"),
+            );
+        }
+        let events = Arc::new(EventSystem::new(world.communicator(HEAD_NODE)));
+        let startup_time = start.elapsed();
+        Self {
+            world,
+            kernels,
+            buffers: Arc::new(BufferRegistry::new()),
+            events,
+            dm: Arc::new(Mutex::new(DataManager::new())),
+            config,
+            num_workers,
+            worker_handles,
+            report: Mutex::new(DeviceReport { startup_time, ..DeviceReport::default() }),
+            shut_down: false,
+        }
+    }
+
+    /// Number of worker nodes.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &OmpcConfig {
+        &self.config
+    }
+
+    /// Register a kernel object.
+    pub fn register_kernel(&self, kernel: Arc<dyn Kernel>) -> KernelId {
+        self.kernels.register(kernel)
+    }
+
+    /// Register a closure as a kernel with a cost hint in seconds.
+    pub fn register_kernel_fn<F>(&self, name: &str, cost: f64, f: F) -> KernelId
+    where
+        F: Fn(&mut KernelArgs<'_>) + Send + Sync + 'static,
+    {
+        self.kernels.register_fn(name, cost, f)
+    }
+
+    /// Register host data as a mapped buffer without scheduling any data
+    /// movement (movement happens through a region's enter/exit data).
+    pub fn map_buffer(&self, data: Vec<u8>) -> BufferId {
+        self.buffers.register(data)
+    }
+
+    /// Registered cost hint of a kernel (seconds), used by regions to feed
+    /// the static scheduler.
+    pub fn kernel_cost(&self, id: KernelId) -> f64 {
+        self.kernels.get(id).map(|k| k.cost_hint()).unwrap_or(1e-4)
+    }
+
+    /// Current host contents of a buffer.
+    pub fn buffer_data(&self, id: BufferId) -> OmpcResult<Vec<u8>> {
+        self.buffers.get(id)
+    }
+
+    /// Current host contents of a buffer interpreted as `f64`s.
+    pub fn buffer_f64s(&self, id: BufferId) -> OmpcResult<Vec<f64>> {
+        let data = self.buffers.get(id)?;
+        ompc_mpi::typed::bytes_to_f64s(&data)
+            .map_err(|e| OmpcError::Internal(e.to_string()))
+    }
+
+    /// The host buffer registry (used by host tasks and examples).
+    pub fn buffers(&self) -> &Arc<BufferRegistry> {
+        &self.buffers
+    }
+
+    /// Open a new target region on this device.
+    pub fn target_region(&self) -> TargetRegion<'_> {
+        TargetRegion::new(self)
+    }
+
+    /// Timing report accumulated over the device lifetime.
+    pub fn report(&self) -> DeviceReport {
+        self.report.lock().clone()
+    }
+
+    /// Shut the cluster down: workers receive shutdown events and their
+    /// threads are joined. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        let start = Instant::now();
+        for node in 1..=self.num_workers {
+            let _ = self.events.shutdown(node);
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.report.lock().shutdown_time = start.elapsed();
+    }
+
+    /// Execute a region graph. Called by [`TargetRegion::run`].
+    pub(crate) fn execute_region(
+        &self,
+        graph: RegionGraph,
+        host_fns: HashMap<usize, HostFn>,
+    ) -> OmpcResult<RegionReport> {
+        if self.shut_down {
+            return Err(OmpcError::ShutDown);
+        }
+        if graph.is_empty() {
+            return Ok(RegionReport::default());
+        }
+        let sched_start = Instant::now();
+        let assignment = self.assign_nodes(&graph);
+        // Register every referenced buffer with the data manager (host copy
+        // lives on the head node until data movement says otherwise).
+        {
+            let mut dm = self.dm.lock();
+            for task in graph.tasks() {
+                for dep in &task.dependences {
+                    if !dm.is_registered(dep.buffer) {
+                        dm.register_host_buffer(dep.buffer);
+                    }
+                }
+            }
+        }
+        let schedule_time = sched_start.elapsed();
+
+        let events_before = self.events.counters().events.load(Ordering::Relaxed);
+        let data_before = self.events.counters().data_events.load(Ordering::Relaxed);
+        let bytes_before = self.events.counters().bytes_moved.load(Ordering::Relaxed);
+
+        let exec_start = Instant::now();
+        self.dispatch(&graph, &host_fns, &assignment)?;
+        let execution_time = exec_start.elapsed();
+
+        let report = RegionReport {
+            schedule_time,
+            execution_time,
+            tasks_executed: graph.len(),
+            target_tasks: graph.tasks().iter().filter(|t| t.kind.is_target()).count(),
+            data_events: (self.events.counters().data_events.load(Ordering::Relaxed)
+                - data_before) as usize,
+            bytes_moved: self.events.counters().bytes_moved.load(Ordering::Relaxed)
+                - bytes_before,
+        };
+        let _ = events_before;
+        self.report.lock().regions.push(report.clone());
+        Ok(report)
+    }
+
+    /// Run the static scheduler and derive the node assignment of every
+    /// task: target tasks go where HEFT put them, data tasks follow their
+    /// consumer/producer (paper §4.4), and host tasks stay on the head.
+    fn assign_nodes(&self, graph: &RegionGraph) -> Vec<NodeId> {
+        let sched_graph = model::region_to_sched(graph, &self.buffers);
+        let platform = Platform::cluster(self.num_workers);
+        let schedule = self.config.scheduler.build().schedule(&sched_graph, &platform);
+        let mut assignment: Vec<NodeId> =
+            (0..graph.len()).map(|t| schedule.proc_of(t) + 1).collect();
+        for task in graph.tasks() {
+            match task.kind {
+                TaskKind::EnterData { .. } => {
+                    if let Some(&succ) = graph
+                        .successors(task.id)
+                        .iter()
+                        .find(|&&s| graph.task(s).kind.is_target())
+                    {
+                        assignment[task.id.0] = assignment[succ.0];
+                    }
+                }
+                TaskKind::ExitData { .. } => {
+                    if let Some(&pred) = graph
+                        .predecessors(task.id)
+                        .iter()
+                        .find(|&&p| graph.task(p).kind.is_target())
+                    {
+                        assignment[task.id.0] = assignment[pred.0];
+                    }
+                }
+                TaskKind::Host { .. } => assignment[task.id.0] = HEAD_NODE,
+                TaskKind::Target { .. } => {}
+            }
+        }
+        assignment
+    }
+
+    /// Dynamic dispatch of the scheduled graph: ready tasks are handed to a
+    /// pool of head worker threads (one blocked thread per in-flight target
+    /// region, as in LLVM's libomptarget), and retire as their events
+    /// complete.
+    fn dispatch(
+        &self,
+        graph: &RegionGraph,
+        host_fns: &HashMap<usize, HostFn>,
+        assignment: &[NodeId],
+    ) -> OmpcResult<()> {
+        let total = graph.len();
+        let limit = if self.config.enforce_in_flight_limit {
+            self.config.head_worker_threads.max(1)
+        } else {
+            usize::MAX
+        };
+        let mut remaining_preds: Vec<usize> =
+            (0..total).map(|t| graph.predecessors(TaskId(t)).len()).collect();
+        let mut ready: VecDeque<TaskId> = graph.roots().into();
+        let mut in_flight = 0usize;
+        let mut completed = 0usize;
+
+        let (task_tx, task_rx) = crossbeam::channel::unbounded::<TaskId>();
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<(TaskId, OmpcResult<()>)>();
+
+        let result: OmpcResult<()> = std::thread::scope(|scope| {
+            for i in 0..self.config.head_worker_threads.max(1) {
+                let task_rx = task_rx.clone();
+                let done_tx = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("ompc-head-{i}"))
+                    .spawn_scoped(scope, move || {
+                        while let Ok(tid) = task_rx.recv() {
+                            let res = self.run_task(graph, host_fns, assignment, tid);
+                            if done_tx.send((tid, res)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("failed to spawn head worker thread");
+            }
+            drop(task_rx);
+            drop(done_tx);
+
+            let mut outcome: OmpcResult<()> = Ok(());
+            while completed < total {
+                while in_flight < limit {
+                    let Some(t) = ready.pop_front() else { break };
+                    task_tx.send(t).map_err(|_| {
+                        OmpcError::Internal("head worker pool terminated early".to_string())
+                    })?;
+                    in_flight += 1;
+                }
+                match done_rx.recv() {
+                    Ok((tid, res)) => {
+                        in_flight -= 1;
+                        completed += 1;
+                        if let Err(e) = res {
+                            outcome = Err(e);
+                            break;
+                        }
+                        for &succ in graph.successors(tid) {
+                            remaining_preds[succ.0] -= 1;
+                            if remaining_preds[succ.0] == 0 {
+                                ready.push_back(succ);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        outcome =
+                            Err(OmpcError::Internal("head worker pool disappeared".to_string()));
+                        break;
+                    }
+                }
+            }
+            drop(task_tx);
+            outcome
+        });
+        result
+    }
+
+    /// Execute one task: plan and perform its data movement through the
+    /// data manager, then run the kernel (or the host body, or the data
+    /// movement itself for enter/exit data tasks).
+    fn run_task(
+        &self,
+        graph: &RegionGraph,
+        host_fns: &HashMap<usize, HostFn>,
+        assignment: &[NodeId],
+        tid: TaskId,
+    ) -> OmpcResult<()> {
+        let task = graph.task(tid);
+        let node = assignment[tid.0];
+        match &task.kind {
+            TaskKind::EnterData { buffer, map } => {
+                if node == HEAD_NODE {
+                    return Ok(());
+                }
+                match map {
+                    MapType::To | MapType::ToFrom => {
+                        let data = self.buffers.get(*buffer)?;
+                        self.events.submit(node, *buffer, data)?;
+                        self.dm.lock().record_replica(*buffer, node);
+                    }
+                    MapType::Alloc => {
+                        let size = self.buffers.size_of(*buffer)?;
+                        self.events.alloc(node, *buffer, size)?;
+                        self.dm.lock().record_replica(*buffer, node);
+                    }
+                    MapType::From | MapType::Release => {}
+                }
+                Ok(())
+            }
+            TaskKind::Target { kernel, .. } => {
+                let buffer_list: Vec<BufferId> =
+                    task.dependences.iter().map(|d| d.buffer).collect();
+                for dep in &task.dependences {
+                    if dep.dep_type.reads() {
+                        let plan = self.dm.lock().plan_input(dep.buffer, node);
+                        if let Some(plan) = plan {
+                            if plan.from == HEAD_NODE {
+                                let data = self.buffers.get(dep.buffer)?;
+                                self.events.submit(node, dep.buffer, data)?;
+                            } else {
+                                self.events.exchange(plan.from, node, dep.buffer)?;
+                            }
+                        }
+                    } else {
+                        // Write-only output: make sure storage exists on the
+                        // executing node.
+                        let present = self.dm.lock().is_present(dep.buffer, node);
+                        if !present {
+                            let size = self.buffers.size_of(dep.buffer)?;
+                            self.events.alloc(node, dep.buffer, size)?;
+                            self.dm.lock().record_replica(dep.buffer, node);
+                        }
+                    }
+                }
+                self.events.execute(node, *kernel, buffer_list)?;
+                for dep in &task.dependences {
+                    if dep.dep_type.writes() {
+                        let stale = self.dm.lock().record_write(dep.buffer, node);
+                        for stale_node in stale {
+                            if stale_node != HEAD_NODE {
+                                self.events.delete(stale_node, dep.buffer)?;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            TaskKind::ExitData { buffer, map } => {
+                if map.copies_from_device() {
+                    let from = self.dm.lock().plan_retrieve(*buffer);
+                    if let Some(from) = from {
+                        let data = self.events.retrieve(from, *buffer)?;
+                        self.buffers.set(*buffer, data)?;
+                    }
+                }
+                // Exit data always releases the device copies.
+                let holders = self.dm.lock().remove(*buffer);
+                for holder in holders {
+                    if holder != HEAD_NODE {
+                        self.events.delete(holder, *buffer)?;
+                    }
+                }
+                Ok(())
+            }
+            TaskKind::Host { .. } => {
+                if let Some(f) = host_fns.get(&tid.0) {
+                    f(&self.buffers);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for ClusterDevice {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Dependence;
+
+    #[test]
+    fn listing1_chain_runs_end_to_end() {
+        // The paper's Listing 1: foo then bar on vector A, with foo and bar
+        // potentially on different worker nodes and A forwarded between
+        // them worker-to-worker.
+        let mut device = ClusterDevice::spawn(2);
+        let foo = device.register_kernel_fn("foo", 1e-5, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+            args.set_f64s(0, &v);
+        });
+        let bar = device.register_kernel_fn("bar", 1e-5, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x * 10.0).collect();
+            args.set_f64s(0, &v);
+        });
+
+        let mut region = device.target_region();
+        let a = region.map_to_f64s(&[1.0, 2.0, 3.0, 4.0]);
+        region.target(foo, vec![Dependence::inout(a)]);
+        region.target(bar, vec![Dependence::inout(a)]);
+        region.map_from(a);
+        let report = region.run().unwrap();
+        assert_eq!(report.target_tasks, 2);
+        assert!(report.tasks_executed >= 4);
+        assert!(report.bytes_moved > 0);
+
+        assert_eq!(device.buffer_f64s(a).unwrap(), vec![20.0, 30.0, 40.0, 50.0]);
+        device.shutdown();
+        let dev_report = device.report();
+        assert_eq!(dev_report.regions.len(), 1);
+    }
+
+    #[test]
+    fn independent_tasks_spread_across_workers() {
+        let mut device = ClusterDevice::spawn(3);
+        let bump = device.register_kernel_fn("bump", 1e-4, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+            args.set_f64s(0, &v);
+        });
+        let mut region = device.target_region();
+        let buffers: Vec<BufferId> =
+            (0..6).map(|i| region.map_to_f64s(&[i as f64])).collect();
+        for &b in &buffers {
+            region.target(bump, vec![Dependence::inout(b)]);
+        }
+        for &b in &buffers {
+            region.map_from(b);
+        }
+        region.run().unwrap();
+        for (i, &b) in buffers.iter().enumerate() {
+            assert_eq!(device.buffer_f64s(b).unwrap(), vec![i as f64 + 1.0]);
+        }
+        device.shutdown();
+    }
+
+    #[test]
+    fn host_tasks_run_on_the_head_node() {
+        let device = ClusterDevice::spawn(1);
+        let mut region = device.target_region();
+        let a = region.map_to_f64s(&[5.0]);
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag2 = Arc::clone(&flag);
+        region.host_task(vec![Dependence::input(a)], move |_| {
+            flag2.store(true, Ordering::SeqCst);
+        });
+        region.run().unwrap();
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn empty_region_is_a_noop() {
+        let device = ClusterDevice::spawn(1);
+        let region = device.target_region();
+        let report = region.run().unwrap();
+        assert_eq!(report.tasks_executed, 0);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_regions_fail_afterwards() {
+        let mut device = ClusterDevice::spawn(1);
+        device.shutdown();
+        device.shutdown();
+        let mut region = device.target_region();
+        let a = region.map_to_f64s(&[1.0]);
+        let k = device.register_kernel_fn("noop", 1e-6, |_| {});
+        region.target(k, vec![Dependence::inout(a)]);
+        assert_eq!(region.run().unwrap_err(), OmpcError::ShutDown);
+    }
+}

@@ -1,0 +1,188 @@
+//! Runtime configuration: threading, scheduling policy, and the overhead
+//! model used by the simulated runtime.
+
+use ompc_sched::{EagerScheduler, HeftScheduler, MinMinScheduler, RoundRobinScheduler, Scheduler};
+use ompc_sim::SimTime;
+
+/// Which static scheduler the runtime uses at the implicit barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// HEFT — the paper's choice (§4.4).
+    Heft,
+    /// Round-robin placement (ablation baseline).
+    RoundRobin,
+    /// Min-min list scheduling (ablation baseline).
+    MinMin,
+    /// Work-stealing-like eager placement (ablation baseline).
+    Eager,
+}
+
+impl SchedulerKind {
+    /// Instantiate the corresponding scheduler.
+    pub fn build(self) -> Box<dyn Scheduler + Send + Sync> {
+        match self {
+            SchedulerKind::Heft => Box::new(HeftScheduler::new()),
+            SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
+            SchedulerKind::MinMin => Box::new(MinMinScheduler::new()),
+            SchedulerKind::Eager => Box::new(EagerScheduler::new()),
+        }
+    }
+
+    /// Name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Heft => "heft",
+            SchedulerKind::RoundRobin => "round-robin",
+            SchedulerKind::MinMin => "min-min",
+            SchedulerKind::Eager => "eager",
+        }
+    }
+}
+
+/// Configuration of a [`crate::cluster::ClusterDevice`] (real threaded mode)
+/// and of the simulated OMPC runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmpcConfig {
+    /// Number of event-handler threads per worker node (paper §4.2).
+    pub event_handler_threads: usize,
+    /// Number of head-node worker threads. LLVM's libomptarget blocks one
+    /// OpenMP thread per in-flight `target nowait` region, so this is also
+    /// the maximum number of concurrently in-flight target tasks — the
+    /// limitation the paper identifies as the main scalability bottleneck
+    /// (§7).
+    pub head_worker_threads: usize,
+    /// Whether the in-flight limit is enforced (disabling it models the
+    /// "fully asynchronous libomptarget" fix the paper proposes as future
+    /// work; used in the ablation bench).
+    pub enforce_in_flight_limit: bool,
+    /// Number of MPI communicators created at start-up and used round-robin
+    /// by the event system.
+    pub num_communicators: u32,
+    /// Static scheduler used at the implicit barrier.
+    pub scheduler: SchedulerKind,
+    /// Whether the data manager forwards buffers directly between worker
+    /// nodes (paper §4.3). Disabling it stages every transfer through the
+    /// head node, the behaviour the DM was built to avoid; used by the
+    /// ablation benchmark.
+    pub worker_to_worker_forwarding: bool,
+}
+
+impl Default for OmpcConfig {
+    fn default() -> Self {
+        Self {
+            // The paper's nodes have 24 cores / 48 hardware threads; the
+            // OpenMP hidden-helper/worker pool on the head node is what
+            // bounds in-flight target regions.
+            event_handler_threads: 2,
+            head_worker_threads: 48,
+            enforce_in_flight_limit: true,
+            num_communicators: 8,
+            scheduler: SchedulerKind::Heft,
+            worker_to_worker_forwarding: true,
+        }
+    }
+}
+
+impl OmpcConfig {
+    /// A configuration sized for small in-process tests: few threads, few
+    /// communicators.
+    pub fn small() -> Self {
+        Self {
+            event_handler_threads: 1,
+            head_worker_threads: 4,
+            enforce_in_flight_limit: true,
+            num_communicators: 2,
+            scheduler: SchedulerKind::Heft,
+            worker_to_worker_forwarding: true,
+        }
+    }
+}
+
+/// Overhead constants of the simulated OMPC runtime, calibrated against the
+/// runtime-overhead characterization of Fig. 7(a): start-up and shutdown are
+/// constant, there is a fixed cost per scheduled task and per dispatched
+/// event, and the whole runtime adds roughly 25 ms of constant overhead with
+/// a ~4.7 ms gap after the first event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadModel {
+    /// Time from process start to the creation of the gate threads.
+    pub startup: SimTime,
+    /// Time from gate-thread destruction to process exit.
+    pub shutdown: SimTime,
+    /// Fixed scheduling cost per task in the graph (HEFT is O(e × p); the
+    /// per-task constant folds the per-edge work of the patterns used).
+    pub schedule_per_task: SimTime,
+    /// Fixed scheduling cost per edge in the graph.
+    pub schedule_per_edge: SimTime,
+    /// Head-node bookkeeping to create and dispatch one event (origin side
+    /// of the event system).
+    pub event_dispatch: SimTime,
+    /// Head-node bookkeeping to retire a completed event.
+    pub event_completion: SimTime,
+    /// Worker-node bookkeeping to handle one event (gate thread + handler).
+    pub worker_event_handling: SimTime,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        Self {
+            startup: SimTime::from_millis(12),
+            shutdown: SimTime::from_millis(8),
+            schedule_per_task: SimTime::from_micros(25),
+            schedule_per_edge: SimTime::from_micros(5),
+            event_dispatch: SimTime::from_micros(120),
+            event_completion: SimTime::from_micros(60),
+            worker_event_handling: SimTime::from_micros(80),
+        }
+    }
+}
+
+impl OverheadModel {
+    /// Total scheduling overhead for a graph of `tasks` tasks and `edges`
+    /// edges.
+    pub fn schedule_time(&self, tasks: usize, edges: usize) -> SimTime {
+        SimTime(
+            self.schedule_per_task.0 * tasks as u64 + self.schedule_per_edge.0 * edges as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_kinds_build_their_scheduler() {
+        for kind in [
+            SchedulerKind::Heft,
+            SchedulerKind::RoundRobin,
+            SchedulerKind::MinMin,
+            SchedulerKind::Eager,
+        ] {
+            let s = kind.build();
+            assert_eq!(s.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn default_config_enforces_in_flight_limit() {
+        let c = OmpcConfig::default();
+        assert!(c.enforce_in_flight_limit);
+        assert_eq!(c.head_worker_threads, 48);
+        assert!(c.num_communicators >= 1);
+        let s = OmpcConfig::small();
+        assert!(s.head_worker_threads < c.head_worker_threads);
+    }
+
+    #[test]
+    fn schedule_time_scales_with_graph_size() {
+        let m = OverheadModel::default();
+        let small = m.schedule_time(10, 20);
+        let large = m.schedule_time(1000, 3000);
+        assert!(large > small);
+        assert_eq!(
+            m.schedule_time(2, 3),
+            SimTime(m.schedule_per_task.0 * 2 + m.schedule_per_edge.0 * 3)
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! The Data Management module (paper §4.3).
+//!
+//! The DM tracks, for every mapped buffer, the set of nodes that currently
+//! hold a valid copy and which of them holds the most recent version. When
+//! a target task is about to execute it decides how the task's input data
+//! must be forwarded:
+//!
+//! * if the buffer is already present on the executing node, nothing moves;
+//! * otherwise it is copied from its most recent location — a worker node
+//!   if one has it, which yields the worker-to-worker forwarding that keeps
+//!   the head node off the data path;
+//! * after a task that writes the buffer (`inout`/`out` dependence), the
+//!   copy on the executing node becomes the only valid one and stale copies
+//!   are invalidated;
+//! * read-only uses replicate the buffer, so later readers can fetch it
+//!   from any holder.
+//!
+//! The same logic drives both the real threaded runtime and the simulated
+//! runtime, so the transfer patterns measured in the benchmarks are produced
+//! by exactly this code.
+
+use crate::types::{BufferId, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The head node's id; the host copy of a buffer lives there.
+pub const HEAD_NODE: NodeId = 0;
+
+/// A planned data movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferPlan {
+    /// Node currently holding the bytes to copy.
+    pub from: NodeId,
+    /// Node that needs the bytes.
+    pub to: NodeId,
+    /// The buffer to move.
+    pub buffer: BufferId,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BufferLocations {
+    /// Nodes holding a valid copy.
+    holders: BTreeSet<NodeId>,
+    /// Node holding the most recent version.
+    latest: NodeId,
+}
+
+/// Location tracking and forwarding decisions for every mapped buffer.
+#[derive(Debug, Clone, Default)]
+pub struct DataManager {
+    buffers: BTreeMap<BufferId, BufferLocations>,
+}
+
+impl DataManager {
+    /// Create an empty data manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a buffer whose initial (host) copy lives on the head node.
+    pub fn register_host_buffer(&mut self, buffer: BufferId) {
+        let mut holders = BTreeSet::new();
+        holders.insert(HEAD_NODE);
+        self.buffers.insert(buffer, BufferLocations { holders, latest: HEAD_NODE });
+    }
+
+    /// Register a buffer that is allocated directly on `node` without a
+    /// host copy (the `map(alloc:)` case).
+    pub fn register_device_buffer(&mut self, buffer: BufferId, node: NodeId) {
+        let mut holders = BTreeSet::new();
+        holders.insert(node);
+        self.buffers.insert(buffer, BufferLocations { holders, latest: node });
+    }
+
+    /// Whether the buffer is known to the data manager.
+    pub fn is_registered(&self, buffer: BufferId) -> bool {
+        self.buffers.contains_key(&buffer)
+    }
+
+    /// Nodes currently holding a valid copy of the buffer.
+    pub fn holders(&self, buffer: BufferId) -> Vec<NodeId> {
+        self.buffers
+            .get(&buffer)
+            .map(|l| l.holders.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The node holding the most recent version of the buffer, if known.
+    pub fn latest(&self, buffer: BufferId) -> Option<NodeId> {
+        self.buffers.get(&buffer).map(|l| l.latest)
+    }
+
+    /// Whether `node` holds a valid copy of `buffer`.
+    pub fn is_present(&self, buffer: BufferId, node: NodeId) -> bool {
+        self.buffers.get(&buffer).is_some_and(|l| l.holders.contains(&node))
+    }
+
+    /// Decide how to make `buffer` available on `node` before a task that
+    /// *reads* it executes there. Returns `None` when the buffer is already
+    /// present; otherwise returns a transfer from the most recent holder and
+    /// records the new replica.
+    pub fn plan_input(&mut self, buffer: BufferId, node: NodeId) -> Option<TransferPlan> {
+        let loc = self
+            .buffers
+            .get_mut(&buffer)
+            .unwrap_or_else(|| panic!("plan_input on unregistered buffer {buffer}"));
+        if loc.holders.contains(&node) {
+            return None;
+        }
+        let from = loc.latest;
+        loc.holders.insert(node);
+        Some(TransferPlan { from, to: node, buffer })
+    }
+
+    /// Record that a task executing on `node` wrote `buffer`: the copy on
+    /// `node` becomes the only valid one. Returns the nodes whose copies
+    /// became stale (and should be deleted), excluding `node` itself.
+    pub fn record_write(&mut self, buffer: BufferId, node: NodeId) -> Vec<NodeId> {
+        let loc = self
+            .buffers
+            .get_mut(&buffer)
+            .unwrap_or_else(|| panic!("record_write on unregistered buffer {buffer}"));
+        let stale: Vec<NodeId> = loc.holders.iter().copied().filter(|&n| n != node).collect();
+        loc.holders.clear();
+        loc.holders.insert(node);
+        loc.latest = node;
+        stale
+    }
+
+    /// Record that `node` received a read-only replica of `buffer` (e.g.
+    /// after an explicit submit that bypassed [`DataManager::plan_input`]).
+    pub fn record_replica(&mut self, buffer: BufferId, node: NodeId) {
+        let loc = self
+            .buffers
+            .get_mut(&buffer)
+            .unwrap_or_else(|| panic!("record_replica on unregistered buffer {buffer}"));
+        loc.holders.insert(node);
+    }
+
+    /// Plan the retrieval of the buffer back to the head node (exit data
+    /// with `map(from:)`). Returns the node to fetch from, or `None` when
+    /// the head already holds the latest version.
+    pub fn plan_retrieve(&mut self, buffer: BufferId) -> Option<NodeId> {
+        let loc = self
+            .buffers
+            .get_mut(&buffer)
+            .unwrap_or_else(|| panic!("plan_retrieve on unregistered buffer {buffer}"));
+        if loc.latest == HEAD_NODE {
+            None
+        } else {
+            let from = loc.latest;
+            loc.holders.insert(HEAD_NODE);
+            loc.latest = HEAD_NODE;
+            Some(from)
+        }
+    }
+
+    /// Remove the buffer from the data manager entirely (exit data with
+    /// `map(release:)`), returning the worker nodes that still held copies
+    /// and must free them.
+    pub fn remove(&mut self, buffer: BufferId) -> Vec<NodeId> {
+        self.buffers
+            .remove(&buffer)
+            .map(|l| l.holders.into_iter().filter(|&n| n != HEAD_NODE).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of tracked buffers.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Whether no buffers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing1_forwarding_pattern() {
+        // Paper §4.3 walk-through: A starts on the head node, foo runs on
+        // worker 1, bar on worker 2. The forward for bar must come from
+        // worker 1, not the head, and worker 1's copy is invalidated after
+        // bar writes.
+        let mut dm = DataManager::new();
+        let a = BufferId(0);
+        dm.register_host_buffer(a);
+
+        // foo (inout A) on node 1: input comes from the head.
+        let plan = dm.plan_input(a, 1).unwrap();
+        assert_eq!(plan, TransferPlan { from: HEAD_NODE, to: 1, buffer: a });
+        let stale = dm.record_write(a, 1);
+        assert_eq!(stale, vec![HEAD_NODE]);
+        assert_eq!(dm.latest(a), Some(1));
+
+        // bar (inout A) on node 2: input forwarded worker-to-worker.
+        let plan = dm.plan_input(a, 2).unwrap();
+        assert_eq!(plan, TransferPlan { from: 1, to: 2, buffer: a });
+        let stale = dm.record_write(a, 2);
+        assert_eq!(stale, vec![1]);
+        assert_eq!(dm.holders(a), vec![2]);
+
+        // exit data: retrieve from node 2, then release everywhere.
+        assert_eq!(dm.plan_retrieve(a), Some(2));
+        assert_eq!(dm.latest(a), Some(HEAD_NODE));
+        let free = dm.remove(a);
+        assert_eq!(free, vec![2]);
+        assert!(dm.is_empty());
+    }
+
+    #[test]
+    fn read_only_data_is_replicated_not_invalidated() {
+        let mut dm = DataManager::new();
+        let b = BufferId(1);
+        dm.register_host_buffer(b);
+        assert!(dm.plan_input(b, 1).is_some());
+        assert!(dm.plan_input(b, 2).is_some());
+        // Both workers plus the head hold copies now.
+        assert_eq!(dm.holders(b), vec![HEAD_NODE, 1, 2]);
+        // A third reader on node 1 needs no transfer.
+        assert!(dm.plan_input(b, 1).is_none());
+    }
+
+    #[test]
+    fn second_input_plan_for_same_node_is_free() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b);
+        assert!(dm.plan_input(b, 3).is_some());
+        assert!(dm.plan_input(b, 3).is_none());
+    }
+
+    #[test]
+    fn retrieve_is_noop_when_head_is_latest() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b);
+        assert_eq!(dm.plan_retrieve(b), None);
+    }
+
+    #[test]
+    fn device_only_buffer_starts_on_its_node() {
+        let mut dm = DataManager::new();
+        let b = BufferId(7);
+        dm.register_device_buffer(b, 3);
+        assert_eq!(dm.latest(b), Some(3));
+        assert!(dm.is_present(b, 3));
+        assert!(!dm.is_present(b, HEAD_NODE));
+        assert_eq!(dm.plan_retrieve(b), Some(3));
+    }
+
+    #[test]
+    fn record_replica_marks_presence() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b);
+        dm.record_replica(b, 5);
+        assert!(dm.is_present(b, 5));
+        // Latest is unchanged by a replica.
+        assert_eq!(dm.latest(b), Some(HEAD_NODE));
+    }
+
+    #[test]
+    fn remove_unknown_buffer_is_empty() {
+        let mut dm = DataManager::new();
+        assert!(dm.remove(BufferId(9)).is_empty());
+        assert!(dm.holders(BufferId(9)).is_empty());
+        assert!(!dm.is_registered(BufferId(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn plan_input_on_unregistered_buffer_panics() {
+        let mut dm = DataManager::new();
+        dm.plan_input(BufferId(0), 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! The origin (head-node) side of the MPI-based event system (paper §4.2).
+//!
+//! Every operation on a worker node is an *event*: the head allocates a
+//! fresh tag, picks a communicator round-robin, sends a new-event
+//! notification to the destination's gate thread, exchanges any payload
+//! messages on the `(tag, communicator)` channel, and finally waits for the
+//! completion notification on that same channel. Because the tag is unique
+//! per event and shared only with the destination, concurrent events cannot
+//! cross-talk even though many head worker threads issue them at the same
+//! time.
+
+use crate::protocol::{EventNotification, EventRequest, CONTROL_TAG, FIRST_EVENT_TAG};
+use crate::types::{BufferId, KernelId, NodeId, OmpcResult};
+use ompc_mpi::{CommId, Communicator, Tag};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing the event traffic of a device lifetime.
+#[derive(Debug, Default)]
+pub struct EventCounters {
+    /// Number of events issued.
+    pub events: AtomicU64,
+    /// Number of data-carrying events (submit / retrieve / exchange).
+    pub data_events: AtomicU64,
+    /// Bytes moved by data-carrying events.
+    pub bytes_moved: AtomicU64,
+}
+
+impl EventCounters {
+    fn record(&self, data_bytes: Option<u64>) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+        if let Some(bytes) = data_bytes {
+            self.data_events.fetch_add(1, Ordering::Relaxed);
+            self.bytes_moved.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Head-node handle used to drive worker nodes through events.
+#[derive(Debug)]
+pub struct EventSystem {
+    comm: Communicator,
+    next_tag: AtomicU64,
+    counters: EventCounters,
+}
+
+impl EventSystem {
+    /// Create an event system over the head node's world communicator.
+    pub fn new(comm: Communicator) -> Self {
+        Self {
+            comm,
+            next_tag: AtomicU64::new(FIRST_EVENT_TAG),
+            counters: EventCounters::default(),
+        }
+    }
+
+    /// Traffic counters (events issued, data events, bytes).
+    pub fn counters(&self) -> &EventCounters {
+        &self.counters
+    }
+
+    /// Allocate an exclusive `(tag, communicator)` channel for a new event.
+    /// Communicators are chosen round-robin by tag, mirroring the paper's
+    /// mapping of events onto MPICH virtual communication interfaces.
+    fn open_channel(&self) -> (Tag, CommId) {
+        let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
+        let comm = CommId((tag % u64::from(self.comm.num_communicators())) as u32);
+        (Tag(tag), comm)
+    }
+
+    fn notify(&self, node: NodeId, notification: &EventNotification) -> OmpcResult<()> {
+        self.comm.send(node, CONTROL_TAG, notification.encode())?;
+        Ok(())
+    }
+
+    /// Allocate `size` bytes for `buffer` on `node` and wait for completion.
+    pub fn alloc(&self, node: NodeId, buffer: BufferId, size: usize) -> OmpcResult<()> {
+        let (tag, comm) = self.open_channel();
+        self.notify(
+            node,
+            &EventNotification {
+                request: EventRequest::Alloc { buffer, size: size as u64 },
+                tag,
+                comm,
+            },
+        )?;
+        self.comm.on(comm)?.recv(Some(node), Some(tag))?;
+        self.counters.record(None);
+        Ok(())
+    }
+
+    /// Free `buffer` on `node` and wait for completion.
+    pub fn delete(&self, node: NodeId, buffer: BufferId) -> OmpcResult<()> {
+        let (tag, comm) = self.open_channel();
+        self.notify(
+            node,
+            &EventNotification { request: EventRequest::Delete { buffer }, tag, comm },
+        )?;
+        self.comm.on(comm)?.recv(Some(node), Some(tag))?;
+        self.counters.record(None);
+        Ok(())
+    }
+
+    /// Copy `data` into `buffer` on `node` (host → worker) and wait for
+    /// completion.
+    pub fn submit(&self, node: NodeId, buffer: BufferId, data: Vec<u8>) -> OmpcResult<()> {
+        let (tag, comm) = self.open_channel();
+        let bytes = data.len() as u64;
+        self.notify(
+            node,
+            &EventNotification { request: EventRequest::Submit { buffer }, tag, comm },
+        )?;
+        let channel = self.comm.on(comm)?;
+        channel.send(node, tag, data)?;
+        channel.recv(Some(node), Some(tag))?;
+        self.counters.record(Some(bytes));
+        Ok(())
+    }
+
+    /// Fetch the contents of `buffer` from `node` (worker → host).
+    pub fn retrieve(&self, node: NodeId, buffer: BufferId) -> OmpcResult<Vec<u8>> {
+        let (tag, comm) = self.open_channel();
+        self.notify(
+            node,
+            &EventNotification { request: EventRequest::Retrieve { buffer }, tag, comm },
+        )?;
+        let msg = self.comm.on(comm)?.recv(Some(node), Some(tag))?;
+        self.counters.record(Some(msg.data.len() as u64));
+        Ok(msg.data)
+    }
+
+    /// Forward `buffer` directly from worker `from` to worker `to` without
+    /// staging it on the head node, and wait for the receiver's completion.
+    /// Returns the number of bytes the receiver acknowledged.
+    pub fn exchange(&self, from: NodeId, to: NodeId, buffer: BufferId) -> OmpcResult<u64> {
+        let (tag, comm) = self.open_channel();
+        self.notify(
+            to,
+            &EventNotification { request: EventRequest::ExchangeRecv { buffer, from }, tag, comm },
+        )?;
+        self.notify(
+            from,
+            &EventNotification { request: EventRequest::ExchangeSend { buffer, to }, tag, comm },
+        )?;
+        let ack = self.comm.on(comm)?.recv(Some(to), Some(tag))?;
+        let bytes = u64::from_le_bytes(
+            ack.data
+                .get(..8)
+                .unwrap_or(&[0u8; 8])
+                .try_into()
+                .unwrap_or([0u8; 8]),
+        );
+        self.counters.record(Some(bytes));
+        Ok(bytes)
+    }
+
+    /// Run `kernel` on `node` against its device copies of `buffers` and
+    /// wait for completion.
+    pub fn execute(
+        &self,
+        node: NodeId,
+        kernel: KernelId,
+        buffers: Vec<BufferId>,
+    ) -> OmpcResult<()> {
+        let (tag, comm) = self.open_channel();
+        self.notify(
+            node,
+            &EventNotification { request: EventRequest::Execute { kernel, buffers }, tag, comm },
+        )?;
+        self.comm.on(comm)?.recv(Some(node), Some(tag))?;
+        self.counters.record(None);
+        Ok(())
+    }
+
+    /// Tell `node` to leave its gate loop and terminate.
+    pub fn shutdown(&self, node: NodeId) -> OmpcResult<()> {
+        let (tag, comm) = self.open_channel();
+        self.notify(node, &EventNotification { request: EventRequest::Shutdown, tag, comm })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_are_unique_and_round_robin_over_communicators() {
+        let world = ompc_mpi::World::with_communicators(2, 4);
+        let es = EventSystem::new(world.communicator(0));
+        let mut tags = Vec::new();
+        let mut comms = Vec::new();
+        for _ in 0..8 {
+            let (tag, comm) = es.open_channel();
+            tags.push(tag);
+            comms.push(comm.0);
+        }
+        let mut unique = tags.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), tags.len(), "event tags must be unique");
+        // All four communicators get used.
+        let mut cs = comms.clone();
+        cs.sort_unstable();
+        cs.dedup();
+        assert_eq!(cs.len(), 4);
+    }
+
+    #[test]
+    fn counters_record_events_and_bytes() {
+        let c = EventCounters::default();
+        c.record(None);
+        c.record(Some(100));
+        c.record(Some(50));
+        assert_eq!(c.events.load(Ordering::Relaxed), 3);
+        assert_eq!(c.data_events.load(Ordering::Relaxed), 2);
+        assert_eq!(c.bytes_moved.load(Ordering::Relaxed), 150);
+    }
+}

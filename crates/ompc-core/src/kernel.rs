@@ -1,0 +1,225 @@
+//! Kernels: the code a target task runs on a worker node.
+//!
+//! In the paper, the body of a `#pragma omp target` region is outlined by
+//! Clang into an entry point present in the fat binary of every MPI process,
+//! so the head node only needs to ship an entry-point identifier. Here the
+//! analogue is a [`KernelRegistry`] shared by every rank of the in-process
+//! cluster: kernels are registered once on the head node and referenced by
+//! [`KernelId`] in execute events.
+
+use crate::types::{BufferId, KernelId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The buffers a kernel invocation operates on, in the order they were
+/// declared by the task's `depend` clauses.
+#[derive(Debug)]
+pub struct KernelArgs<'a> {
+    buffers: Vec<(BufferId, &'a mut Vec<u8>)>,
+}
+
+impl<'a> KernelArgs<'a> {
+    /// Build the argument pack from (id, storage) pairs.
+    pub fn new(buffers: Vec<(BufferId, &'a mut Vec<u8>)>) -> Self {
+        Self { buffers }
+    }
+
+    /// Number of buffers passed to the kernel.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Whether the kernel received no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Id of the `idx`-th buffer.
+    pub fn buffer_id(&self, idx: usize) -> BufferId {
+        self.buffers[idx].0
+    }
+
+    /// Read-only view of the `idx`-th buffer.
+    pub fn bytes(&self, idx: usize) -> &[u8] {
+        self.buffers[idx].1
+    }
+
+    /// Mutable view of the `idx`-th buffer.
+    pub fn bytes_mut(&mut self, idx: usize) -> &mut Vec<u8> {
+        self.buffers[idx].1
+    }
+
+    /// Interpret the `idx`-th buffer as little-endian `f64`s.
+    pub fn as_f64s(&self, idx: usize) -> Vec<f64> {
+        ompc_mpi::typed::bytes_to_f64s(self.bytes(idx)).expect("buffer is not a whole number of f64")
+    }
+
+    /// Overwrite the `idx`-th buffer with little-endian `f64`s.
+    pub fn set_f64s(&mut self, idx: usize, values: &[f64]) {
+        *self.bytes_mut(idx) = ompc_mpi::typed::f64s_to_bytes(values);
+    }
+
+    /// Interpret the `idx`-th buffer as little-endian `u64`s.
+    pub fn as_u64s(&self, idx: usize) -> Vec<u64> {
+        ompc_mpi::typed::bytes_to_u64s(self.bytes(idx)).expect("buffer is not a whole number of u64")
+    }
+
+    /// Overwrite the `idx`-th buffer with little-endian `u64`s.
+    pub fn set_u64s(&mut self, idx: usize, values: &[u64]) {
+        *self.bytes_mut(idx) = ompc_mpi::typed::u64s_to_bytes(values);
+    }
+}
+
+/// A target-region body.
+pub trait Kernel: Send + Sync {
+    /// Execute the kernel on the worker node against its local copies of
+    /// the task's buffers.
+    fn execute(&self, args: &mut KernelArgs<'_>);
+
+    /// Estimated execution cost in seconds, used by the HEFT scheduler.
+    /// Defaults to a small constant when unknown.
+    fn cost_hint(&self) -> f64 {
+        1e-3
+    }
+
+    /// Human-readable name for traces.
+    fn name(&self) -> &str {
+        "kernel"
+    }
+}
+
+/// A kernel backed by a closure.
+pub struct FnKernel<F: Fn(&mut KernelArgs<'_>) + Send + Sync> {
+    f: F,
+    cost: f64,
+    name: String,
+}
+
+impl<F: Fn(&mut KernelArgs<'_>) + Send + Sync> FnKernel<F> {
+    /// Wrap a closure with a cost hint (seconds) and a name.
+    pub fn new(name: impl Into<String>, cost: f64, f: F) -> Self {
+        Self { f, cost, name: name.into() }
+    }
+}
+
+impl<F: Fn(&mut KernelArgs<'_>) + Send + Sync> Kernel for FnKernel<F> {
+    fn execute(&self, args: &mut KernelArgs<'_>) {
+        (self.f)(args)
+    }
+    fn cost_hint(&self) -> f64 {
+        self.cost
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The cluster-wide kernel table (one per [`crate::cluster::ClusterDevice`]),
+/// shared by the head node and every worker thread, mirroring the fat binary
+/// replicated on every MPI process.
+#[derive(Default)]
+pub struct KernelRegistry {
+    kernels: RwLock<HashMap<usize, Arc<dyn Kernel>>>,
+    next: RwLock<usize>,
+}
+
+impl KernelRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a kernel and return its id.
+    pub fn register(&self, kernel: Arc<dyn Kernel>) -> KernelId {
+        let mut next = self.next.write();
+        let id = *next;
+        *next += 1;
+        self.kernels.write().insert(id, kernel);
+        KernelId(id)
+    }
+
+    /// Register a closure as a kernel.
+    pub fn register_fn<F>(&self, name: impl Into<String>, cost: f64, f: F) -> KernelId
+    where
+        F: Fn(&mut KernelArgs<'_>) + Send + Sync + 'static,
+    {
+        self.register(Arc::new(FnKernel::new(name, cost, f)))
+    }
+
+    /// Look up a kernel by id.
+    pub fn get(&self, id: KernelId) -> Option<Arc<dyn Kernel>> {
+        self.kernels.read().get(&id.0).cloned()
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trip() {
+        let reg = KernelRegistry::new();
+        assert!(reg.is_empty());
+        let id = reg.register_fn("double", 0.5, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x * 2.0).collect();
+            args.set_f64s(0, &v);
+        });
+        assert_eq!(reg.len(), 1);
+        let k = reg.get(id).unwrap();
+        assert_eq!(k.name(), "double");
+        assert!((k.cost_hint() - 0.5).abs() < 1e-12);
+        assert!(reg.get(KernelId(99)).is_none());
+    }
+
+    #[test]
+    fn kernel_args_typed_access() {
+        let mut a = ompc_mpi::typed::f64s_to_bytes(&[1.0, 2.0]);
+        let mut b = ompc_mpi::typed::u64s_to_bytes(&[7]);
+        let mut args = KernelArgs::new(vec![(BufferId(0), &mut a), (BufferId(1), &mut b)]);
+        assert_eq!(args.len(), 2);
+        assert!(!args.is_empty());
+        assert_eq!(args.buffer_id(1), BufferId(1));
+        assert_eq!(args.as_f64s(0), vec![1.0, 2.0]);
+        assert_eq!(args.as_u64s(1), vec![7]);
+        args.set_f64s(0, &[3.0]);
+        args.set_u64s(1, &[8, 9]);
+        assert_eq!(args.as_f64s(0), vec![3.0]);
+        assert_eq!(args.as_u64s(1), vec![8, 9]);
+    }
+
+    #[test]
+    fn fn_kernel_executes_closure() {
+        let reg = KernelRegistry::new();
+        let id = reg.register_fn("sum", 1e-6, |args| {
+            let total: f64 = args.as_f64s(0).iter().sum();
+            args.set_f64s(1, &[total]);
+        });
+        let mut input = ompc_mpi::typed::f64s_to_bytes(&[1.0, 2.0, 3.0]);
+        let mut output = ompc_mpi::typed::f64s_to_bytes(&[0.0]);
+        let mut args =
+            KernelArgs::new(vec![(BufferId(0), &mut input), (BufferId(1), &mut output)]);
+        reg.get(id).unwrap().execute(&mut args);
+        assert_eq!(args.as_f64s(1), vec![6.0]);
+    }
+
+    #[test]
+    fn default_cost_hint_is_small() {
+        struct Noop;
+        impl Kernel for Noop {
+            fn execute(&self, _args: &mut KernelArgs<'_>) {}
+        }
+        assert!(Noop.cost_hint() > 0.0);
+        assert_eq!(Noop.name(), "kernel");
+    }
+}

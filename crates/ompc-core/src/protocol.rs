@@ -1,0 +1,288 @@
+//! Wire format of the event system.
+//!
+//! Every event starts with a *new-event notification* sent to the
+//! destination node on the reserved control tag. The notification carries
+//! the event kind, its operands, and the `(tag, communicator)` pair that all
+//! subsequent messages of this event will use — this is how the paper's
+//! event system guarantees an exclusive channel per event (§4.2).
+
+use crate::types::{BufferId, KernelId, NodeId, OmpcError, OmpcResult};
+use ompc_mpi::{CommId, Tag};
+
+/// Tag reserved for new-event notifications received by the gate thread.
+pub const CONTROL_TAG: Tag = Tag(0);
+
+/// First tag usable by events (event tags are allocated upwards from here
+/// and stay below the collective-reserved range).
+pub const FIRST_EVENT_TAG: u64 = 1;
+
+/// The action a new event asks the destination node to perform. These map
+/// one-to-one to the operations a libomptarget device plugin must implement
+/// (alloc, delete, submit, retrieve, exchange, execute) plus shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventRequest {
+    /// Allocate `size` bytes of device memory for `buffer`.
+    Alloc { buffer: BufferId, size: u64 },
+    /// Free the device memory of `buffer`.
+    Delete { buffer: BufferId },
+    /// Receive the contents of `buffer` from the origin (data follows on
+    /// the event channel).
+    Submit { buffer: BufferId },
+    /// Send the contents of `buffer` back to the origin on the event
+    /// channel.
+    Retrieve { buffer: BufferId },
+    /// Send the contents of `buffer` to worker `to` on the event channel
+    /// (the sending half of a worker-to-worker forward).
+    ExchangeSend { buffer: BufferId, to: NodeId },
+    /// Receive the contents of `buffer` from worker `from` on the event
+    /// channel and acknowledge to the origin (the receiving half of a
+    /// worker-to-worker forward).
+    ExchangeRecv { buffer: BufferId, from: NodeId },
+    /// Execute kernel `kernel` against the listed device buffers.
+    Execute { kernel: KernelId, buffers: Vec<BufferId> },
+    /// Leave the gate loop and terminate the worker.
+    Shutdown,
+}
+
+impl EventRequest {
+    /// Short name used in traces and error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventRequest::Alloc { .. } => "alloc",
+            EventRequest::Delete { .. } => "delete",
+            EventRequest::Submit { .. } => "submit",
+            EventRequest::Retrieve { .. } => "retrieve",
+            EventRequest::ExchangeSend { .. } => "exchange-send",
+            EventRequest::ExchangeRecv { .. } => "exchange-recv",
+            EventRequest::Execute { .. } => "execute",
+            EventRequest::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A complete new-event notification: the request plus the exclusive
+/// channel (tag and communicator) the event will use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventNotification {
+    /// What the destination must do.
+    pub request: EventRequest,
+    /// Tag all messages of this event are matched on.
+    pub tag: Tag,
+    /// Communicator all messages of this event travel on.
+    pub comm: CommId,
+}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn new() -> Self {
+        Self(Vec::with_capacity(64))
+    }
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+    fn u8(&mut self) -> OmpcResult<u8> {
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| OmpcError::Internal("truncated notification".to_string()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn u32(&mut self) -> OmpcResult<u32> {
+        let end = self.pos + 4;
+        let slice = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| OmpcError::Internal("truncated notification".to_string()))?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(slice.try_into().expect("4-byte slice")))
+    }
+    fn u64(&mut self) -> OmpcResult<u64> {
+        let end = self.pos + 8;
+        let slice = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| OmpcError::Internal("truncated notification".to_string()))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(slice.try_into().expect("8-byte slice")))
+    }
+}
+
+const KIND_ALLOC: u8 = 1;
+const KIND_DELETE: u8 = 2;
+const KIND_SUBMIT: u8 = 3;
+const KIND_RETRIEVE: u8 = 4;
+const KIND_EXCHANGE_SEND: u8 = 5;
+const KIND_EXCHANGE_RECV: u8 = 6;
+const KIND_EXECUTE: u8 = 7;
+const KIND_SHUTDOWN: u8 = 8;
+
+impl EventNotification {
+    /// Serialize the notification for transmission on the control tag.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.tag.0);
+        w.u32(self.comm.0);
+        match &self.request {
+            EventRequest::Alloc { buffer, size } => {
+                w.u8(KIND_ALLOC);
+                w.u64(buffer.0);
+                w.u64(*size);
+            }
+            EventRequest::Delete { buffer } => {
+                w.u8(KIND_DELETE);
+                w.u64(buffer.0);
+            }
+            EventRequest::Submit { buffer } => {
+                w.u8(KIND_SUBMIT);
+                w.u64(buffer.0);
+            }
+            EventRequest::Retrieve { buffer } => {
+                w.u8(KIND_RETRIEVE);
+                w.u64(buffer.0);
+            }
+            EventRequest::ExchangeSend { buffer, to } => {
+                w.u8(KIND_EXCHANGE_SEND);
+                w.u64(buffer.0);
+                w.u64(*to as u64);
+            }
+            EventRequest::ExchangeRecv { buffer, from } => {
+                w.u8(KIND_EXCHANGE_RECV);
+                w.u64(buffer.0);
+                w.u64(*from as u64);
+            }
+            EventRequest::Execute { kernel, buffers } => {
+                w.u8(KIND_EXECUTE);
+                w.u64(kernel.0 as u64);
+                w.u32(buffers.len() as u32);
+                for b in buffers {
+                    w.u64(b.0);
+                }
+            }
+            EventRequest::Shutdown => {
+                w.u8(KIND_SHUTDOWN);
+            }
+        }
+        w.0
+    }
+
+    /// Parse a notification received on the control tag.
+    pub fn decode(data: &[u8]) -> OmpcResult<Self> {
+        let mut r = Reader::new(data);
+        let tag = Tag(r.u64()?);
+        let comm = CommId(r.u32()?);
+        let kind = r.u8()?;
+        let request = match kind {
+            KIND_ALLOC => EventRequest::Alloc { buffer: BufferId(r.u64()?), size: r.u64()? },
+            KIND_DELETE => EventRequest::Delete { buffer: BufferId(r.u64()?) },
+            KIND_SUBMIT => EventRequest::Submit { buffer: BufferId(r.u64()?) },
+            KIND_RETRIEVE => EventRequest::Retrieve { buffer: BufferId(r.u64()?) },
+            KIND_EXCHANGE_SEND => EventRequest::ExchangeSend {
+                buffer: BufferId(r.u64()?),
+                to: r.u64()? as NodeId,
+            },
+            KIND_EXCHANGE_RECV => EventRequest::ExchangeRecv {
+                buffer: BufferId(r.u64()?),
+                from: r.u64()? as NodeId,
+            },
+            KIND_EXECUTE => {
+                let kernel = KernelId(r.u64()? as usize);
+                let n = r.u32()?;
+                let mut buffers = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    buffers.push(BufferId(r.u64()?));
+                }
+                EventRequest::Execute { kernel, buffers }
+            }
+            KIND_SHUTDOWN => EventRequest::Shutdown,
+            other => {
+                return Err(OmpcError::Internal(format!("unknown event kind {other}")));
+            }
+        };
+        Ok(Self { request, tag, comm })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(request: EventRequest) {
+        let n = EventNotification { request, tag: Tag(42), comm: CommId(3) };
+        let decoded = EventNotification::decode(&n.encode()).unwrap();
+        assert_eq!(decoded, n);
+    }
+
+    #[test]
+    fn all_event_kinds_round_trip() {
+        round_trip(EventRequest::Alloc { buffer: BufferId(7), size: 1024 });
+        round_trip(EventRequest::Delete { buffer: BufferId(7) });
+        round_trip(EventRequest::Submit { buffer: BufferId(1) });
+        round_trip(EventRequest::Retrieve { buffer: BufferId(2) });
+        round_trip(EventRequest::ExchangeSend { buffer: BufferId(3), to: 5 });
+        round_trip(EventRequest::ExchangeRecv { buffer: BufferId(3), from: 2 });
+        round_trip(EventRequest::Execute {
+            kernel: KernelId(9),
+            buffers: vec![BufferId(1), BufferId(2), BufferId(3)],
+        });
+        round_trip(EventRequest::Shutdown);
+    }
+
+    #[test]
+    fn execute_with_no_buffers_round_trips() {
+        round_trip(EventRequest::Execute { kernel: KernelId(0), buffers: vec![] });
+    }
+
+    #[test]
+    fn truncated_notification_is_an_error() {
+        let n = EventNotification {
+            request: EventRequest::Alloc { buffer: BufferId(7), size: 1024 },
+            tag: Tag(1),
+            comm: CommId(0),
+        };
+        let bytes = n.encode();
+        assert!(EventNotification::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(EventNotification::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let mut bytes = EventNotification {
+            request: EventRequest::Shutdown,
+            tag: Tag(1),
+            comm: CommId(0),
+        }
+        .encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 99;
+        assert!(EventNotification::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EventRequest::Shutdown.name(), "shutdown");
+        assert_eq!(EventRequest::Retrieve { buffer: BufferId(0) }.name(), "retrieve");
+        assert_eq!(
+            EventRequest::Execute { kernel: KernelId(0), buffers: vec![] }.name(),
+            "execute"
+        );
+    }
+}

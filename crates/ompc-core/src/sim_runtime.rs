@@ -1,0 +1,521 @@
+//! The simulated OMPC runtime: the same scheduling and data-movement logic
+//! as the threaded runtime, driven over the `ompc-sim` virtual cluster.
+//!
+//! This is what regenerates the paper's figures at 2–64 nodes on a small
+//! host. The model captures the behaviours the paper identifies as decisive
+//! for OMPC's performance:
+//!
+//! * the whole graph is scheduled statically with HEFT before execution
+//!   (scheduling overhead grows with graph size, Fig. 7a);
+//! * every task dispatch and completion passes through the head node's
+//!   event system and pays a per-event cost;
+//! * input data is forwarded worker-to-worker (never staged through the
+//!   head) when the producer ran on another worker;
+//! * root tasks receive their initial data from the head node and sink
+//!   results are retrieved back to it (enter / exit data);
+//! * the head node can only keep a bounded number of target tasks in
+//!   flight — one per head worker thread, the libomptarget limitation the
+//!   paper blames for the scalability drop at 32–64 nodes (§7).
+
+use crate::config::{OmpcConfig, OverheadModel};
+use crate::model::WorkloadGraph;
+use crate::types::NodeId;
+use ompc_sim::{ClusterConfig, Completion, Engine, SimContext, SimProcess, SimStats, SimTime, Token, Trace};
+use ompc_sched::Platform;
+use std::collections::VecDeque;
+
+const TOK_STARTUP: u64 = 1 << 48;
+const TOK_SCHEDULE: u64 = 2 << 48;
+const TOK_DISPATCH: u64 = 3 << 48;
+const TOK_TRANSFER: u64 = 4 << 48;
+const TOK_COMPUTE: u64 = 5 << 48;
+const TOK_COMPLETE: u64 = 6 << 48;
+const TOK_RETRIEVE: u64 = 7 << 48;
+const TOK_SHUTDOWN: u64 = 8 << 48;
+const TOK_STAGE: u64 = 9 << 48;
+const TOK_MASK: u64 = (1 << 48) - 1;
+
+/// Result of one simulated OMPC run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmpcSimResult {
+    /// Total virtual execution time (the quantity plotted in Figs. 5 and 6).
+    pub makespan: SimTime,
+    /// Start-up overhead (process start to gate-thread creation).
+    pub startup: SimTime,
+    /// Whole-graph scheduling overhead.
+    pub schedule: SimTime,
+    /// Shutdown overhead.
+    pub shutdown: SimTime,
+    /// Aggregate engine statistics (per-node compute, messages, bytes).
+    pub stats: SimStats,
+}
+
+impl OmpcSimResult {
+    /// Time not attributable to start-up, scheduling, or shutdown.
+    pub fn execution(&self) -> SimTime {
+        self.makespan
+            .saturating_sub(self.startup)
+            .saturating_sub(self.schedule)
+            .saturating_sub(self.shutdown)
+    }
+
+    /// Overhead fractions of the total wall time, as plotted in Fig. 7(a):
+    /// `(startup, schedule, shutdown)` each divided by the makespan.
+    pub fn overhead_fractions(&self) -> (f64, f64, f64) {
+        let total = self.makespan.as_secs_f64();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.startup.as_secs_f64() / total,
+            self.schedule.as_secs_f64() / total,
+            self.shutdown.as_secs_f64() / total,
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Startup,
+    Schedule,
+    Running,
+    Draining,
+    ShuttingDown,
+    Done,
+}
+
+/// The [`SimProcess`] implementing the OMPC execution protocol over a
+/// [`WorkloadGraph`].
+pub struct OmpcSimProcess<'w> {
+    workload: &'w WorkloadGraph,
+    overheads: OverheadModel,
+    assignment: Vec<NodeId>,
+    limit: usize,
+    forwarding: bool,
+    phase: Phase,
+    remaining_preds: Vec<usize>,
+    pending_inputs: Vec<usize>,
+    /// Remaining input transfers of a dispatched task, issued one at a time
+    /// because the blocked head worker thread that owns the task performs
+    /// its data movements sequentially (submit/exchange then wait), exactly
+    /// as libomptarget processes a target region's map items in order.
+    input_queue: Vec<VecDeque<(NodeId, u64)>>,
+    staged_inputs: Vec<Vec<u64>>,
+    ready: VecDeque<usize>,
+    in_flight: usize,
+    completed: usize,
+    retrievals_pending: usize,
+    schedule_time: SimTime,
+}
+
+impl<'w> OmpcSimProcess<'w> {
+    /// Build the process: runs the configured static scheduler immediately
+    /// (the real HEFT code) to obtain the task-to-node assignment.
+    pub fn new(
+        workload: &'w WorkloadGraph,
+        cluster: &ClusterConfig,
+        config: &OmpcConfig,
+        overheads: OverheadModel,
+    ) -> Self {
+        let workers = cluster.worker_nodes().max(1);
+        let platform = Platform::homogeneous(
+            workers,
+            (cluster.network.latency + cluster.network.per_message_overhead).as_secs_f64(),
+            cluster.network.bandwidth_bytes_per_sec,
+        );
+        let schedule = config.scheduler.build().schedule(&workload.graph, &platform);
+        let assignment: Vec<NodeId> =
+            (0..workload.len()).map(|t| schedule.proc_of(t) + 1).collect();
+        let limit = if config.enforce_in_flight_limit {
+            config.head_worker_threads.max(1)
+        } else {
+            usize::MAX
+        };
+        let remaining_preds =
+            (0..workload.len()).map(|t| workload.graph.predecessors(t).len()).collect();
+        let schedule_time =
+            overheads.schedule_time(workload.len(), workload.graph.edges().len());
+        Self {
+            workload,
+            overheads,
+            assignment,
+            limit,
+            forwarding: config.worker_to_worker_forwarding,
+            phase: Phase::Startup,
+            remaining_preds,
+            pending_inputs: vec![0; workload.len()],
+            input_queue: vec![VecDeque::new(); workload.len()],
+            staged_inputs: vec![Vec::new(); workload.len()],
+            ready: VecDeque::new(),
+            in_flight: 0,
+            completed: 0,
+            retrievals_pending: 0,
+            schedule_time,
+        }
+    }
+
+    /// The node each task was assigned to (worker nodes are 1-based).
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.assignment
+    }
+
+    /// Scheduling overhead charged for this graph.
+    pub fn schedule_time(&self) -> SimTime {
+        self.schedule_time
+    }
+
+    fn try_dispatch(&mut self, ctx: &mut SimContext) {
+        while self.in_flight < self.limit {
+            let Some(task) = self.ready.pop_front() else { break };
+            self.in_flight += 1;
+            ctx.runtime(
+                0,
+                self.overheads.event_dispatch,
+                TOK_DISPATCH | task as u64,
+                format!("dispatch t{task}"),
+            );
+        }
+    }
+
+    fn issue_inputs(&mut self, task: usize, ctx: &mut SimContext) {
+        let node = self.assignment[task];
+        let mut queue: VecDeque<(NodeId, u64)> = VecDeque::new();
+        for &pred in self.workload.graph.predecessors(task) {
+            let bytes = self.workload.graph.edge_bytes(pred, task);
+            if bytes == 0 {
+                continue;
+            }
+            let src = self.assignment[pred];
+            if src != node {
+                queue.push_back((src, bytes));
+            }
+        }
+        if self.workload.graph.predecessors(task).is_empty() {
+            let bytes = self.workload.output_bytes[task];
+            if bytes > 0 {
+                // Initial data distributed from the head node (enter data).
+                queue.push_back((0, bytes));
+            }
+        }
+        self.pending_inputs[task] = queue.len();
+        self.input_queue[task] = queue;
+        if self.pending_inputs[task] == 0 {
+            self.start_compute(task, ctx);
+        } else {
+            self.issue_next_input(task, ctx);
+        }
+    }
+
+    /// Issue the next queued input transfer of `task`. Transfers of one
+    /// task are sequential (the head worker thread owning the task blocks
+    /// on each data-movement event in turn); transfers of different tasks
+    /// still overlap freely.
+    fn issue_next_input(&mut self, task: usize, ctx: &mut SimContext) {
+        let Some((src, bytes)) = self.input_queue[task].pop_front() else { return };
+        let node = self.assignment[task];
+        if self.forwarding || src == 0 {
+            ctx.send_labeled(src, node, bytes, TOK_TRANSFER | task as u64, format!("in t{task}"));
+        } else {
+            // Forwarding disabled (ablation): stage the buffer through the
+            // head node, then on to the consumer.
+            self.staged_inputs[task].push(bytes);
+            ctx.send_labeled(src, 0, bytes, TOK_STAGE | task as u64, format!("stage t{task}"));
+        }
+    }
+
+    fn start_compute(&mut self, task: usize, ctx: &mut SimContext) {
+        let node = self.assignment[task];
+        let cost = SimTime::from_secs_f64(self.workload.graph.tasks()[task].cost)
+            + self.overheads.worker_event_handling;
+        ctx.compute_labeled(node, cost, TOK_COMPUTE | task as u64, format!("t{task}"));
+    }
+
+    fn finish_task(&mut self, task: usize, ctx: &mut SimContext) {
+        self.completed += 1;
+        self.in_flight -= 1;
+        for &succ in self.workload.graph.successors(task) {
+            self.remaining_preds[succ] -= 1;
+            if self.remaining_preds[succ] == 0 {
+                self.ready.push_back(succ);
+            }
+        }
+        if self.completed == self.workload.len() {
+            self.phase = Phase::Draining;
+            // Retrieve the results of every sink task back to the head node
+            // (exit data).
+            for sink in self.workload.graph.sinks() {
+                let node = self.assignment[sink];
+                let bytes = self.workload.output_bytes[sink];
+                if node != 0 && bytes > 0 {
+                    ctx.send_labeled(node, 0, bytes, TOK_RETRIEVE | sink as u64, format!("out t{sink}"));
+                    self.retrievals_pending += 1;
+                }
+            }
+            if self.retrievals_pending == 0 {
+                self.begin_shutdown(ctx);
+            }
+        } else {
+            self.try_dispatch(ctx);
+        }
+    }
+
+    fn begin_shutdown(&mut self, ctx: &mut SimContext) {
+        self.phase = Phase::ShuttingDown;
+        ctx.runtime(0, self.overheads.shutdown, TOK_SHUTDOWN, "shutdown".to_string());
+    }
+}
+
+impl SimProcess for OmpcSimProcess<'_> {
+    fn init(&mut self, ctx: &mut SimContext) {
+        if self.workload.is_empty() {
+            ctx.stop();
+            return;
+        }
+        ctx.runtime(0, self.overheads.startup, TOK_STARTUP, "startup".to_string());
+    }
+
+    fn on_completion(&mut self, completion: Completion, ctx: &mut SimContext) {
+        let token: Token = completion.token();
+        let kind = token & !TOK_MASK;
+        let task = (token & TOK_MASK) as usize;
+        match kind {
+            TOK_STARTUP => {
+                self.phase = Phase::Schedule;
+                ctx.runtime(0, self.schedule_time, TOK_SCHEDULE, "schedule".to_string());
+            }
+            TOK_SCHEDULE => {
+                self.phase = Phase::Running;
+                self.ready = self.workload.graph.roots().into();
+                self.try_dispatch(ctx);
+            }
+            TOK_DISPATCH => self.issue_inputs(task, ctx),
+            TOK_STAGE => {
+                let bytes = self.staged_inputs[task].pop().expect("staged transfer bookkeeping");
+                let node = self.assignment[task];
+                ctx.send_labeled(0, node, bytes, TOK_TRANSFER | task as u64, format!("in t{task}"));
+            }
+            TOK_TRANSFER => {
+                self.pending_inputs[task] -= 1;
+                if self.pending_inputs[task] == 0 {
+                    self.start_compute(task, ctx);
+                } else {
+                    self.issue_next_input(task, ctx);
+                }
+            }
+            TOK_COMPUTE => {
+                ctx.runtime(
+                    0,
+                    self.overheads.event_completion,
+                    TOK_COMPLETE | task as u64,
+                    format!("complete t{task}"),
+                );
+            }
+            TOK_COMPLETE => self.finish_task(task, ctx),
+            TOK_RETRIEVE => {
+                self.retrievals_pending -= 1;
+                if self.retrievals_pending == 0 {
+                    self.begin_shutdown(ctx);
+                }
+            }
+            TOK_SHUTDOWN => {
+                self.phase = Phase::Done;
+                ctx.stop();
+            }
+            _ => unreachable!("unknown token kind {kind:#x}"),
+        }
+    }
+}
+
+/// Run the simulated OMPC runtime on `workload` over `cluster` and return
+/// the timing result. Tracing is disabled for speed; use
+/// [`simulate_ompc_traced`] when the trace is needed.
+pub fn simulate_ompc(
+    workload: &WorkloadGraph,
+    cluster: &ClusterConfig,
+    config: &OmpcConfig,
+    overheads: &OverheadModel,
+) -> OmpcSimResult {
+    simulate_ompc_inner(workload, cluster, config, overheads, false).0
+}
+
+/// Like [`simulate_ompc`] but also returns the full execution trace.
+pub fn simulate_ompc_traced(
+    workload: &WorkloadGraph,
+    cluster: &ClusterConfig,
+    config: &OmpcConfig,
+    overheads: &OverheadModel,
+) -> (OmpcSimResult, Trace) {
+    simulate_ompc_inner(workload, cluster, config, overheads, true)
+}
+
+fn simulate_ompc_inner(
+    workload: &WorkloadGraph,
+    cluster: &ClusterConfig,
+    config: &OmpcConfig,
+    overheads: &OverheadModel,
+    traced: bool,
+) -> (OmpcSimResult, Trace) {
+    let trace = if traced { Trace::new() } else { Trace::disabled() };
+    let mut engine = Engine::with_trace(cluster.clone(), trace);
+    let mut process = OmpcSimProcess::new(workload, cluster, config, overheads.clone());
+    let schedule = process.schedule_time();
+    let makespan = engine.run(&mut process);
+    let (stats, trace) = engine.finish();
+    (
+        OmpcSimResult {
+            makespan,
+            startup: overheads.startup,
+            schedule,
+            shutdown: overheads.shutdown,
+            stats,
+        },
+        trace,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use ompc_sched::TaskGraph;
+
+    fn chain_workload(n: usize, cost: f64, bytes: u64) -> WorkloadGraph {
+        let mut g = TaskGraph::new();
+        for _ in 0..n {
+            g.add_task(cost);
+        }
+        for i in 1..n {
+            g.add_edge(i - 1, i, bytes);
+        }
+        WorkloadGraph::new(g, vec![bytes; n])
+    }
+
+    fn wide_workload(width: usize, cost: f64, bytes: u64) -> WorkloadGraph {
+        let mut g = TaskGraph::new();
+        for _ in 0..width {
+            g.add_task(cost);
+        }
+        WorkloadGraph::new(g, vec![bytes; width])
+    }
+
+    fn default_setup(nodes: usize) -> (ClusterConfig, OmpcConfig, OverheadModel) {
+        (
+            ClusterConfig::santos_dumont(nodes),
+            OmpcConfig::default(),
+            OverheadModel::default(),
+        )
+    }
+
+    #[test]
+    fn empty_workload_finishes_immediately() {
+        let (cluster, config, overheads) = default_setup(2);
+        let w = WorkloadGraph::default();
+        let r = simulate_ompc(&w, &cluster, &config, &overheads);
+        assert_eq!(r.makespan, SimTime::ZERO);
+    }
+
+    #[test]
+    fn chain_makespan_is_at_least_serial_compute_plus_overheads() {
+        let (cluster, config, overheads) = default_setup(3);
+        let w = chain_workload(8, 0.05, 1 << 20);
+        let r = simulate_ompc(&w, &cluster, &config, &overheads);
+        let serial = SimTime::from_secs_f64(8.0 * 0.05);
+        assert!(r.makespan > serial + overheads.startup + overheads.shutdown);
+        // Every task ran exactly once.
+        assert_eq!(r.stats.total_tasks(), 8);
+        // Only worker nodes compute.
+        assert_eq!(r.stats.nodes[0].tasks_executed, 0);
+    }
+
+    #[test]
+    fn independent_tasks_scale_with_more_nodes() {
+        let overheads = OverheadModel::default();
+        // Lift the in-flight limit so node count (not head threads) is the
+        // binding constraint in this test.
+        let mut config = OmpcConfig::default();
+        config.enforce_in_flight_limit = false;
+        let w = wide_workload(256, 0.05, 1 << 16);
+        let small = simulate_ompc(&w, &ClusterConfig::santos_dumont(3), &config, &overheads);
+        let large = simulate_ompc(&w, &ClusterConfig::santos_dumont(17), &config, &overheads);
+        assert!(
+            large.makespan < small.makespan,
+            "64 independent tasks must finish faster on 16 workers ({}) than on 2 ({})",
+            large.makespan,
+            small.makespan
+        );
+    }
+
+    #[test]
+    fn in_flight_limit_throttles_wide_graphs() {
+        let overheads = OverheadModel::default();
+        let cluster = ClusterConfig::santos_dumont(9);
+        let w = wide_workload(256, 0.02, 1 << 10);
+        let mut limited = OmpcConfig::default();
+        limited.head_worker_threads = 4;
+        let mut unlimited = OmpcConfig::default();
+        unlimited.enforce_in_flight_limit = false;
+        let r_lim = simulate_ompc(&w, &cluster, &limited, &overheads);
+        let r_unl = simulate_ompc(&w, &cluster, &unlimited, &overheads);
+        assert!(
+            r_lim.makespan > r_unl.makespan,
+            "a 4-task in-flight limit must hurt a 256-wide graph"
+        );
+    }
+
+    #[test]
+    fn overhead_fraction_shrinks_with_larger_tasks() {
+        let (cluster, config, overheads) = default_setup(2);
+        let tiny = chain_workload(16, 2e-5, 1024);
+        let big = chain_workload(16, 0.5, 1024);
+        let r_tiny = simulate_ompc(&tiny, &cluster, &config, &overheads);
+        let r_big = simulate_ompc(&big, &cluster, &config, &overheads);
+        let frac = |r: &OmpcSimResult| {
+            let (s, c, d) = r.overhead_fractions();
+            s + c + d
+        };
+        assert!(frac(&r_tiny) > frac(&r_big));
+        assert!(frac(&r_big) < 0.25, "large tasks must have small overhead");
+    }
+
+    #[test]
+    fn scheduler_choice_changes_assignment() {
+        let cluster = ClusterConfig::santos_dumont(5);
+        let overheads = OverheadModel::default();
+        let w = chain_workload(12, 0.01, 64 << 20);
+        let mut heft_cfg = OmpcConfig::default();
+        heft_cfg.scheduler = SchedulerKind::Heft;
+        let mut rr_cfg = OmpcConfig::default();
+        rr_cfg.scheduler = SchedulerKind::RoundRobin;
+        let heft = OmpcSimProcess::new(&w, &cluster, &heft_cfg, overheads.clone());
+        let rr = OmpcSimProcess::new(&w, &cluster, &rr_cfg, overheads.clone());
+        // HEFT keeps the communication-heavy chain on one node; round robin
+        // scatters it.
+        let heft_nodes: std::collections::BTreeSet<_> = heft.assignment().iter().collect();
+        let rr_nodes: std::collections::BTreeSet<_> = rr.assignment().iter().collect();
+        assert_eq!(heft_nodes.len(), 1);
+        assert!(rr_nodes.len() > 1);
+        // And the simulated makespan agrees that HEFT is at least as good.
+        let r_heft = simulate_ompc(&w, &cluster, &heft_cfg, &overheads);
+        let r_rr = simulate_ompc(&w, &cluster, &rr_cfg, &overheads);
+        assert!(r_heft.makespan <= r_rr.makespan);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_makespan() {
+        let (cluster, config, overheads) = default_setup(4);
+        let w = chain_workload(6, 0.01, 1 << 18);
+        let plain = simulate_ompc(&w, &cluster, &config, &overheads);
+        let (traced, trace) = simulate_ompc_traced(&w, &cluster, &config, &overheads);
+        assert_eq!(plain.makespan, traced.makespan);
+        assert!(trace.len() > 0);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let (cluster, config, overheads) = default_setup(6);
+        let w = chain_workload(20, 0.02, 1 << 19);
+        let a = simulate_ompc(&w, &cluster, &config, &overheads);
+        let b = simulate_ompc(&w, &cluster, &config, &overheads);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,374 @@
+//! The worker-node runtime: device memory, the gate thread, and the event
+//! handler pool (the destination side of the event system, paper §4.2).
+
+use crate::kernel::{KernelArgs, KernelRegistry};
+use crate::protocol::{EventNotification, EventRequest, CONTROL_TAG};
+use crate::types::{BufferId, OmpcError, OmpcResult};
+use ompc_mpi::Communicator;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The head node's rank in the world communicator.
+const HEAD_RANK: usize = 0;
+
+/// A worker node's local buffer storage (its "device memory").
+#[derive(Debug, Default)]
+pub struct DeviceMemory {
+    buffers: Mutex<HashMap<u64, Vec<u8>>>,
+}
+
+impl DeviceMemory {
+    /// Create empty device memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store (or overwrite) the contents of a buffer.
+    pub fn store(&self, id: BufferId, data: Vec<u8>) {
+        self.buffers.lock().insert(id.0, data);
+    }
+
+    /// Clone the contents of a buffer.
+    pub fn get(&self, id: BufferId) -> Option<Vec<u8>> {
+        self.buffers.lock().get(&id.0).cloned()
+    }
+
+    /// Remove a buffer, returning whether it was present.
+    pub fn remove(&self, id: BufferId) -> bool {
+        self.buffers.lock().remove(&id.0).is_some()
+    }
+
+    /// Whether the buffer is present.
+    pub fn contains(&self, id: BufferId) -> bool {
+        self.buffers.lock().contains_key(&id.0)
+    }
+
+    /// Number of resident buffers.
+    pub fn len(&self) -> usize {
+        self.buffers.lock().len()
+    }
+
+    /// Whether no buffers are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Handle one event on the worker side. Exposed for unit testing; normal
+/// use is through [`worker_main`].
+pub fn handle_event(
+    comm: &Communicator,
+    memory: &DeviceMemory,
+    kernels: &KernelRegistry,
+    notification: EventNotification,
+) -> OmpcResult<()> {
+    let channel = comm.on(notification.comm)?;
+    let tag = notification.tag;
+    match notification.request {
+        EventRequest::Alloc { buffer, size } => {
+            memory.store(buffer, vec![0u8; size as usize]);
+            channel.send(HEAD_RANK, tag, Vec::new())?;
+        }
+        EventRequest::Delete { buffer } => {
+            memory.remove(buffer);
+            channel.send(HEAD_RANK, tag, Vec::new())?;
+        }
+        EventRequest::Submit { buffer } => {
+            let msg = channel.recv(Some(HEAD_RANK), Some(tag))?;
+            memory.store(buffer, msg.data);
+            channel.send(HEAD_RANK, tag, Vec::new())?;
+        }
+        EventRequest::Retrieve { buffer } => {
+            let data = memory
+                .get(buffer)
+                .ok_or(OmpcError::UnknownBuffer(buffer))?;
+            channel.send(HEAD_RANK, tag, data)?;
+        }
+        EventRequest::ExchangeSend { buffer, to } => {
+            let data = memory
+                .get(buffer)
+                .ok_or(OmpcError::UnknownBuffer(buffer))?;
+            channel.send(to, tag, data)?;
+        }
+        EventRequest::ExchangeRecv { buffer, from } => {
+            let msg = channel.recv(Some(from), Some(tag))?;
+            let bytes = (msg.data.len() as u64).to_le_bytes().to_vec();
+            memory.store(buffer, msg.data);
+            channel.send(HEAD_RANK, tag, bytes)?;
+        }
+        EventRequest::Execute { kernel, buffers } => {
+            let k = kernels.get(kernel).ok_or(OmpcError::UnknownKernel(kernel))?;
+            // Work on private copies so concurrent read-only forwards of the
+            // same buffers keep seeing a consistent resident version; the
+            // dependence graph already serializes writers.
+            let mut copies: Vec<(BufferId, Vec<u8>)> = buffers
+                .iter()
+                .map(|&b| (b, memory.get(b).unwrap_or_default()))
+                .collect();
+            {
+                let mut args = KernelArgs::new(
+                    copies.iter_mut().map(|(id, data)| (*id, data)).collect(),
+                );
+                k.execute(&mut args);
+            }
+            for (id, data) in copies {
+                memory.store(id, data);
+            }
+            channel.send(HEAD_RANK, tag, Vec::new())?;
+        }
+        EventRequest::Shutdown => {
+            // Handled by the gate loop; nothing to do here.
+        }
+    }
+    Ok(())
+}
+
+/// The worker-node main loop: a gate thread receiving new-event
+/// notifications and a pool of event-handler threads executing them.
+///
+/// Returns when a shutdown event is received (normal termination) or when
+/// the communication substrate reports that the peers are gone.
+pub fn worker_main(
+    comm: Communicator,
+    kernels: Arc<KernelRegistry>,
+    handler_threads: usize,
+) {
+    let memory = Arc::new(DeviceMemory::new());
+    let (tx, rx) = crossbeam::channel::unbounded::<EventNotification>();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..handler_threads.max(1) {
+            let rx = rx.clone();
+            let comm = comm.clone();
+            let memory = Arc::clone(&memory);
+            let kernels = Arc::clone(&kernels);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ompc-handler-{}-{}", comm.rank(), i))
+                    .spawn_scoped(scope, move || {
+                        while let Ok(notification) = rx.recv() {
+                            // Errors on individual events must not kill the
+                            // handler pool; the head node will observe the
+                            // missing completion and surface the failure.
+                            let _ = handle_event(&comm, &memory, &kernels, notification);
+                        }
+                    })
+                    .expect("failed to spawn event handler thread"),
+            );
+        }
+        drop(rx);
+
+        // Gate loop: receive notifications and enqueue their destination
+        // part into the local event queue. Events that can never block
+        // (alloc, delete, retrieve, the sending half of an exchange) are
+        // executed inline by the gate thread — the analogue of the paper's
+        // handlers re-enqueueing events that still have pending I/O — so a
+        // small handler pool cannot deadlock on two opposing exchanges.
+        loop {
+            match comm.recv(None, Some(CONTROL_TAG)) {
+                Ok(msg) => match EventNotification::decode(&msg.data) {
+                    Ok(notification) => {
+                        if matches!(notification.request, EventRequest::Shutdown) {
+                            break;
+                        }
+                        let inline = matches!(
+                            notification.request,
+                            EventRequest::Alloc { .. }
+                                | EventRequest::Delete { .. }
+                                | EventRequest::Retrieve { .. }
+                                | EventRequest::ExchangeSend { .. }
+                        );
+                        if inline {
+                            let _ = handle_event(&comm, &memory, &kernels, notification);
+                        } else if tx.send(notification).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                },
+                // The world shut down or every peer terminated: exit.
+                Err(_) => break,
+            }
+        }
+        drop(tx);
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::KernelId;
+    use ompc_mpi::{CommId, Tag, World};
+
+    #[test]
+    fn device_memory_basics() {
+        let mem = DeviceMemory::new();
+        assert!(mem.is_empty());
+        mem.store(BufferId(1), vec![1, 2, 3]);
+        assert!(mem.contains(BufferId(1)));
+        assert_eq!(mem.get(BufferId(1)), Some(vec![1, 2, 3]));
+        assert_eq!(mem.len(), 1);
+        assert!(mem.remove(BufferId(1)));
+        assert!(!mem.remove(BufferId(1)));
+        assert!(mem.get(BufferId(9)).is_none());
+    }
+
+    #[test]
+    fn handle_alloc_submit_execute_retrieve_cycle() {
+        // Drive a single worker's event handler directly from the test
+        // acting as the head node.
+        let world = World::with_communicators(2, 2);
+        let head = world.communicator(0);
+        let worker = world.communicator(1);
+        let memory = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        let kid = kernels.register_fn("scale", 1e-6, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x * 3.0).collect();
+            args.set_f64s(0, &v);
+        });
+
+        // Submit data.
+        let buffer = BufferId(0);
+        let tag = Tag(10);
+        let comm = CommId(1);
+        head.on(comm)
+            .unwrap()
+            .send(1, tag, ompc_mpi::typed::f64s_to_bytes(&[1.0, 2.0]))
+            .unwrap();
+        handle_event(
+            &worker,
+            &memory,
+            &kernels,
+            EventNotification { request: EventRequest::Submit { buffer }, tag, comm },
+        )
+        .unwrap();
+        // Completion arrived at head.
+        assert!(head.on(comm).unwrap().recv(Some(1), Some(tag)).unwrap().is_empty());
+
+        // Execute the kernel.
+        let tag2 = Tag(11);
+        handle_event(
+            &worker,
+            &memory,
+            &kernels,
+            EventNotification {
+                request: EventRequest::Execute { kernel: kid, buffers: vec![buffer] },
+                tag: tag2,
+                comm,
+            },
+        )
+        .unwrap();
+        head.on(comm).unwrap().recv(Some(1), Some(tag2)).unwrap();
+
+        // Retrieve the result.
+        let tag3 = Tag(12);
+        handle_event(
+            &worker,
+            &memory,
+            &kernels,
+            EventNotification { request: EventRequest::Retrieve { buffer }, tag: tag3, comm },
+        )
+        .unwrap();
+        let msg = head.on(comm).unwrap().recv(Some(1), Some(tag3)).unwrap();
+        assert_eq!(ompc_mpi::typed::bytes_to_f64s(&msg.data).unwrap(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn retrieve_of_missing_buffer_is_an_error() {
+        let world = World::new(2);
+        let worker = world.communicator(1);
+        let memory = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        let err = handle_event(
+            &worker,
+            &memory,
+            &kernels,
+            EventNotification {
+                request: EventRequest::Retrieve { buffer: BufferId(5) },
+                tag: Tag(1),
+                comm: CommId(0),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, OmpcError::UnknownBuffer(BufferId(5)));
+    }
+
+    #[test]
+    fn execute_of_unknown_kernel_is_an_error() {
+        let world = World::new(2);
+        let worker = world.communicator(1);
+        let memory = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        let err = handle_event(
+            &worker,
+            &memory,
+            &kernels,
+            EventNotification {
+                request: EventRequest::Execute { kernel: KernelId(3), buffers: vec![] },
+                tag: Tag(1),
+                comm: CommId(0),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, OmpcError::UnknownKernel(KernelId(3)));
+    }
+
+    #[test]
+    fn worker_to_worker_exchange_moves_data_directly() {
+        let world = World::with_communicators(3, 2);
+        let head = world.communicator(0);
+        let w1 = world.communicator(1);
+        let w2 = world.communicator(2);
+        let mem1 = DeviceMemory::new();
+        let mem2 = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        let buffer = BufferId(0);
+        mem1.store(buffer, vec![7, 8, 9]);
+
+        let tag = Tag(20);
+        let comm = CommId(0);
+        // Receiving half first (it blocks waiting for the data), then the
+        // sending half, run from two threads like real event handlers.
+        let recv_thread = std::thread::spawn({
+            let w2 = w2.clone();
+            let kernels = KernelRegistry::new();
+            move || {
+                let mem2 = DeviceMemory::new();
+                handle_event(
+                    &w2,
+                    &mem2,
+                    &kernels,
+                    EventNotification {
+                        request: EventRequest::ExchangeRecv { buffer, from: 1 },
+                        tag,
+                        comm,
+                    },
+                )
+                .unwrap();
+                mem2.get(buffer)
+            }
+        });
+        handle_event(
+            &w1,
+            &mem1,
+            &kernels,
+            EventNotification {
+                request: EventRequest::ExchangeSend { buffer, to: 2 },
+                tag,
+                comm,
+            },
+        )
+        .unwrap();
+        let received = recv_thread.join().unwrap();
+        assert_eq!(received, Some(vec![7, 8, 9]));
+        // The head got an acknowledgement carrying the byte count.
+        let ack = head.recv(Some(2), Some(tag)).unwrap();
+        assert_eq!(u64::from_le_bytes(ack.data[..8].try_into().unwrap()), 3);
+        let _ = mem2;
+    }
+}

@@ -1,0 +1,285 @@
+//! Collective operations built from point-to-point messages.
+//!
+//! Tags above [`COLLECTIVE_TAG_BASE`] are reserved for collectives; user and
+//! event-system tags must stay below it (the OMPC event system allocates
+//! tags from 0 upward, so the two ranges never collide). Each collective
+//! invocation consumes one collective sequence number per rank, which keeps
+//! concurrent user traffic and successive collectives isolated from each
+//! other as long as every rank invokes collectives in the same order — the
+//! same requirement MPI imposes.
+
+use crate::comm::Communicator;
+use crate::error::{MpiError, MpiResult};
+use crate::typed::{bytes_to_f64s, f64s_to_bytes};
+use crate::types::Tag;
+
+/// First tag value reserved for collective operations.
+pub const COLLECTIVE_TAG_BASE: u64 = 1 << 62;
+
+/// Reduction operators supported by [`Communicator::reduce_f64`] and
+/// [`Communicator::allreduce_f64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(self, acc: &mut [f64], incoming: &[f64]) {
+        for (a, b) in acc.iter_mut().zip(incoming.iter()) {
+            match self {
+                ReduceOp::Sum => *a += b,
+                ReduceOp::Min => *a = a.min(*b),
+                ReduceOp::Max => *a = a.max(*b),
+            }
+        }
+    }
+}
+
+impl Communicator {
+    fn collective_tag(&self, op_code: u64) -> Tag {
+        let seq = self.next_collective_seq();
+        Tag(COLLECTIVE_TAG_BASE + seq * 8 + op_code)
+    }
+
+    /// Synchronize every rank of the world: no rank leaves the barrier until
+    /// every rank has entered it. Linear fan-in to rank 0 then fan-out.
+    pub fn barrier(&self) -> MpiResult<()> {
+        let tag = self.collective_tag(0);
+        let size = self.size();
+        if size == 1 {
+            return Ok(());
+        }
+        if self.rank() == 0 {
+            for _ in 1..size {
+                self.recv(None, Some(tag))?;
+            }
+            for r in 1..size {
+                self.send(r, tag, Vec::new())?;
+            }
+        } else {
+            self.send(0, tag, Vec::new())?;
+            self.recv(Some(0), Some(tag))?;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `data` from `root` to every rank; every rank returns the
+    /// broadcast payload (the root returns its own copy).
+    pub fn bcast(&self, root: usize, data: Vec<u8>) -> MpiResult<Vec<u8>> {
+        if root >= self.size() {
+            return Err(MpiError::InvalidRank { rank: root, world_size: self.size() });
+        }
+        let tag = self.collective_tag(1);
+        if self.size() == 1 {
+            return Ok(data);
+        }
+        if self.rank() == root {
+            for r in 0..self.size() {
+                if r != root {
+                    self.send(r, tag, data.clone())?;
+                }
+            }
+            Ok(data)
+        } else {
+            Ok(self.recv(Some(root), Some(tag))?.data)
+        }
+    }
+
+    /// Gather each rank's payload at `root`. The root receives the payloads
+    /// indexed by rank; other ranks receive `None`.
+    pub fn gather(&self, root: usize, data: Vec<u8>) -> MpiResult<Option<Vec<Vec<u8>>>> {
+        if root >= self.size() {
+            return Err(MpiError::InvalidRank { rank: root, world_size: self.size() });
+        }
+        let tag = self.collective_tag(2);
+        if self.rank() == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
+            out[root] = data;
+            for _ in 0..self.size() - 1 {
+                let msg = self.recv(None, Some(tag))?;
+                let src = msg.source();
+                out[src] = msg.data;
+            }
+            Ok(Some(out))
+        } else {
+            self.send(root, tag, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Scatter one chunk per rank from `root`. Only the root supplies
+    /// `chunks`; every rank (including the root) returns its own chunk.
+    pub fn scatter(&self, root: usize, chunks: Option<Vec<Vec<u8>>>) -> MpiResult<Vec<u8>> {
+        if root >= self.size() {
+            return Err(MpiError::InvalidRank { rank: root, world_size: self.size() });
+        }
+        let tag = self.collective_tag(3);
+        if self.rank() == root {
+            let chunks = chunks.ok_or_else(|| {
+                MpiError::CollectiveMismatch("scatter root must supply chunks".to_string())
+            })?;
+            if chunks.len() != self.size() {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "scatter needs {} chunks, got {}",
+                    self.size(),
+                    chunks.len()
+                )));
+            }
+            let mut own = Vec::new();
+            for (r, chunk) in chunks.into_iter().enumerate() {
+                if r == root {
+                    own = chunk;
+                } else {
+                    self.send(r, tag, chunk)?;
+                }
+            }
+            Ok(own)
+        } else {
+            Ok(self.recv(Some(root), Some(tag))?.data)
+        }
+    }
+
+    /// Element-wise reduction of `f64` vectors at `root`; other ranks return
+    /// `None`. All ranks must pass vectors of the same length.
+    pub fn reduce_f64(
+        &self,
+        root: usize,
+        values: &[f64],
+        op: ReduceOp,
+    ) -> MpiResult<Option<Vec<f64>>> {
+        if root >= self.size() {
+            return Err(MpiError::InvalidRank { rank: root, world_size: self.size() });
+        }
+        let tag = self.collective_tag(4);
+        if self.rank() == root {
+            let mut acc = values.to_vec();
+            for _ in 0..self.size() - 1 {
+                let msg = self.recv(None, Some(tag))?;
+                let incoming = bytes_to_f64s(&msg.data)?;
+                if incoming.len() != acc.len() {
+                    return Err(MpiError::CollectiveMismatch(format!(
+                        "reduce length mismatch: {} vs {}",
+                        incoming.len(),
+                        acc.len()
+                    )));
+                }
+                op.apply(&mut acc, &incoming);
+            }
+            Ok(Some(acc))
+        } else {
+            self.send(root, tag, f64s_to_bytes(values))?;
+            Ok(None)
+        }
+    }
+
+    /// Reduction whose result is broadcast back to every rank.
+    pub fn allreduce_f64(&self, values: &[f64], op: ReduceOp) -> MpiResult<Vec<f64>> {
+        let reduced = self.reduce_f64(0, values, op)?;
+        let payload = match reduced {
+            Some(v) => f64s_to_bytes(&v),
+            None => Vec::new(),
+        };
+        let bytes = self.bcast(0, payload)?;
+        bytes_to_f64s(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    fn run_all<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Communicator) -> T + Send + Sync + 'static,
+    {
+        let w = World::new(size);
+        w.launch(f).map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn barrier_completes_on_all_ranks() {
+        let results = run_all(4, |c| c.barrier().is_ok());
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn barrier_on_single_rank_world() {
+        let results = run_all(1, |c| c.barrier().is_ok());
+        assert_eq!(results, vec![true]);
+    }
+
+    #[test]
+    fn bcast_delivers_root_payload_everywhere() {
+        let results = run_all(4, |c| {
+            let data = if c.rank() == 2 { vec![1, 2, 3] } else { Vec::new() };
+            c.bcast(2, data).unwrap()
+        });
+        assert!(results.iter().all(|d| d == &vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn gather_collects_rank_payloads_in_order() {
+        let results = run_all(3, |c| c.gather(0, vec![c.rank() as u8]).unwrap());
+        let root = results[0].as_ref().unwrap();
+        assert_eq!(root, &vec![vec![0u8], vec![1u8], vec![2u8]]);
+        assert!(results[1].is_none());
+        assert!(results[2].is_none());
+    }
+
+    #[test]
+    fn scatter_hands_each_rank_its_chunk() {
+        let results = run_all(3, |c| {
+            let chunks = if c.rank() == 0 {
+                Some(vec![vec![10], vec![11], vec![12]])
+            } else {
+                None
+            };
+            c.scatter(0, chunks).unwrap()
+        });
+        assert_eq!(results, vec![vec![10], vec![11], vec![12]]);
+    }
+
+    #[test]
+    fn reduce_sums_across_ranks() {
+        let results = run_all(4, |c| {
+            c.reduce_f64(0, &[c.rank() as f64, 1.0], ReduceOp::Sum).unwrap()
+        });
+        assert_eq!(results[0].as_ref().unwrap(), &vec![6.0, 4.0]);
+        assert!(results[1..].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn allreduce_max_visible_on_every_rank() {
+        let results = run_all(4, |c| {
+            c.allreduce_f64(&[c.rank() as f64], ReduceOp::Max).unwrap()
+        });
+        assert!(results.iter().all(|v| v == &vec![3.0]));
+    }
+
+    #[test]
+    fn successive_collectives_do_not_interfere() {
+        let results = run_all(3, |c| {
+            c.barrier().unwrap();
+            let s = c.allreduce_f64(&[1.0], ReduceOp::Sum).unwrap();
+            c.barrier().unwrap();
+            let m = c.allreduce_f64(&[c.rank() as f64], ReduceOp::Min).unwrap();
+            (s[0], m[0])
+        });
+        assert!(results.iter().all(|&(s, m)| s == 3.0 && m == 0.0));
+    }
+
+    #[test]
+    fn scatter_validates_chunk_count() {
+        let w = World::new(2);
+        let c = w.communicator(0);
+        let err = c.scatter(0, Some(vec![vec![1]])).unwrap_err();
+        assert!(matches!(err, MpiError::CollectiveMismatch(_)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Message envelope and the matching rules used by the mailboxes.
+
+use crate::types::{CommId, Rank, Status, Tag};
+
+/// A received message: payload plus the status describing where it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Completion information (source, tag, length, communicator).
+    pub status: Status,
+    /// The payload bytes.
+    pub data: Vec<u8>,
+}
+
+impl Message {
+    /// Source rank of the message.
+    pub fn source(&self) -> Rank {
+        self.status.source
+    }
+
+    /// Tag the message was sent with.
+    pub fn tag(&self) -> Tag {
+        self.status.tag
+    }
+
+    /// Length of the payload in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the payload is empty (e.g. a pure notification message).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// An in-flight message as stored in the destination mailbox before it has
+/// been matched by a receive.
+#[derive(Debug, Clone)]
+pub struct MessageEnvelope {
+    /// Sending rank.
+    pub source: Rank,
+    /// Destination rank.
+    pub dest: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Communicator the message travels on. Messages on different
+    /// communicators never match the same receive.
+    pub comm: CommId,
+    /// Monotonic per-(source, dest, comm) sequence number used to preserve
+    /// the MPI non-overtaking guarantee when wildcard receives are posted.
+    pub seq: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl MessageEnvelope {
+    /// Whether this envelope satisfies a receive posted for `(source, tag)`
+    /// on communicator `comm`. `None` components are wildcards.
+    pub fn matches(&self, comm: CommId, source: Option<Rank>, tag: Option<Tag>) -> bool {
+        if self.comm != comm {
+            return false;
+        }
+        if let Some(s) = source {
+            if self.source != s {
+                return false;
+            }
+        }
+        if let Some(t) = tag {
+            if self.tag != t {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Convert the envelope into a delivered [`Message`].
+    pub fn into_message(self) -> Message {
+        Message {
+            status: Status {
+                source: self.source,
+                tag: self.tag,
+                len: self.payload.len(),
+                comm: self.comm,
+            },
+            data: self.payload,
+        }
+    }
+
+    /// Status that a probe of this envelope would report (payload stays put).
+    pub fn probe_status(&self) -> Status {
+        Status {
+            source: self.source,
+            tag: self.tag,
+            len: self.payload.len(),
+            comm: self.comm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(source: Rank, tag: u64, comm: u32) -> MessageEnvelope {
+        MessageEnvelope {
+            source,
+            dest: 0,
+            tag: Tag(tag),
+            comm: CommId(comm),
+            seq: 0,
+            payload: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn exact_match() {
+        let e = env(2, 5, 0);
+        assert!(e.matches(CommId(0), Some(2), Some(Tag(5))));
+        assert!(!e.matches(CommId(0), Some(1), Some(Tag(5))));
+        assert!(!e.matches(CommId(0), Some(2), Some(Tag(6))));
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        let e = env(2, 5, 0);
+        assert!(e.matches(CommId(0), None, Some(Tag(5))));
+        assert!(e.matches(CommId(0), Some(2), None));
+        assert!(e.matches(CommId(0), None, None));
+    }
+
+    #[test]
+    fn communicator_isolation() {
+        let e = env(2, 5, 1);
+        assert!(!e.matches(CommId(0), None, None));
+        assert!(e.matches(CommId(1), None, None));
+    }
+
+    #[test]
+    fn envelope_to_message_preserves_metadata() {
+        let m = env(3, 9, 2).into_message();
+        assert_eq!(m.source(), 3);
+        assert_eq!(m.tag(), Tag(9));
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.status.comm, CommId(2));
+    }
+
+    #[test]
+    fn probe_status_reports_length_without_consuming() {
+        let e = env(1, 4, 0);
+        let st = e.probe_status();
+        assert_eq!(st.len, 3);
+        assert_eq!(e.payload.len(), 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! Non-blocking operation handles, mirroring `MPI_Request`.
+
+use crate::error::{MpiError, MpiResult};
+use crate::mailbox::Mailbox;
+use crate::message::Message;
+use crate::types::{CommId, Rank, Tag};
+use std::sync::Arc;
+
+/// Handle for a non-blocking send.
+///
+/// Sends in this substrate are buffered, so the request is born complete;
+/// the type exists so code ported from MPI shapes (post a batch of isends,
+/// wait on all) reads naturally and so the API can later grow a rendezvous
+/// path without changing callers.
+#[derive(Debug)]
+pub struct SendRequest {
+    dest: Rank,
+    tag: Tag,
+    waited: bool,
+}
+
+impl SendRequest {
+    pub(crate) fn completed(dest: Rank, tag: Tag) -> Self {
+        Self { dest, tag, waited: false }
+    }
+
+    /// Destination rank of the send.
+    pub fn dest(&self) -> Rank {
+        self.dest
+    }
+
+    /// Tag of the send.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    /// Whether the operation has completed (always true for buffered sends).
+    pub fn test(&mut self) -> bool {
+        true
+    }
+
+    /// Wait for completion. Returns an error if the request was already
+    /// waited on.
+    pub fn wait(&mut self) -> MpiResult<()> {
+        if self.waited {
+            return Err(MpiError::RequestConsumed);
+        }
+        self.waited = true;
+        Ok(())
+    }
+}
+
+/// Handle for a non-blocking receive posted with
+/// [`crate::Communicator::irecv`].
+#[derive(Debug)]
+pub struct RecvRequest {
+    mailbox: Arc<Mailbox>,
+    comm: CommId,
+    source: Option<Rank>,
+    tag: Option<Tag>,
+    cached: Option<Message>,
+    consumed: bool,
+}
+
+impl RecvRequest {
+    pub(crate) fn new(
+        mailbox: Arc<Mailbox>,
+        comm: CommId,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+    ) -> Self {
+        Self {
+            mailbox,
+            comm,
+            source,
+            tag,
+            cached: None,
+            consumed: false,
+        }
+    }
+
+    /// Poll for completion. When this returns `true` the message is held by
+    /// the request and [`RecvRequest::wait`] returns it without blocking.
+    pub fn test(&mut self) -> bool {
+        if self.cached.is_some() {
+            return true;
+        }
+        if self.consumed {
+            return false;
+        }
+        if let Some(msg) = self.mailbox.try_recv(self.comm, self.source, self.tag) {
+            self.cached = Some(msg);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Block until the matching message arrives and return it.
+    pub fn wait(mut self) -> MpiResult<Message> {
+        if self.consumed {
+            return Err(MpiError::RequestConsumed);
+        }
+        self.consumed = true;
+        if let Some(msg) = self.cached.take() {
+            return Ok(msg);
+        }
+        self.mailbox.recv(self.comm, self.source, self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageEnvelope;
+
+    #[test]
+    fn send_request_reports_metadata_and_single_wait() {
+        let mut r = SendRequest::completed(3, Tag(8));
+        assert_eq!(r.dest(), 3);
+        assert_eq!(r.tag(), Tag(8));
+        assert!(r.test());
+        r.wait().unwrap();
+        assert_eq!(r.wait().unwrap_err(), MpiError::RequestConsumed);
+    }
+
+    #[test]
+    fn recv_request_test_caches_message() {
+        let mb = Mailbox::new(0, 2);
+        let mut req = RecvRequest::new(Arc::clone(&mb), CommId(0), Some(1), Some(Tag(1)));
+        assert!(!req.test());
+        mb.deliver(MessageEnvelope {
+            source: 1,
+            dest: 0,
+            tag: Tag(1),
+            comm: CommId(0),
+            seq: 0,
+            payload: vec![7],
+        });
+        assert!(req.test());
+        // The message was pulled out of the mailbox by test().
+        assert_eq!(mb.queued(), 0);
+        assert_eq!(req.wait().unwrap().data, vec![7]);
+    }
+
+    #[test]
+    fn recv_request_wait_blocks_until_delivery() {
+        let mb = Mailbox::new(0, 2);
+        let req = RecvRequest::new(Arc::clone(&mb), CommId(0), None, None);
+        let t = std::thread::spawn(move || req.wait().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        mb.deliver(MessageEnvelope {
+            source: 1,
+            dest: 0,
+            tag: Tag(2),
+            comm: CommId(0),
+            seq: 0,
+            payload: vec![1, 2],
+        });
+        assert_eq!(t.join().unwrap().data, vec![1, 2]);
+    }
+}

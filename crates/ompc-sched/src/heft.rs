@@ -1,0 +1,227 @@
+//! Heterogeneous Earliest Finish Time (HEFT) with the insertion-based
+//! policy, as adopted by the OMPC runtime (paper §4.4, Topcuoglu et al.).
+
+use crate::graph::TaskGraph;
+use crate::platform::Platform;
+use crate::schedule::{Placement, Schedule};
+use crate::Scheduler;
+
+/// The HEFT scheduler.
+///
+/// * Phase 1 computes the *upward rank* of every task: its mean compute time
+///   plus the maximum over its successors of mean edge communication time
+///   plus the successor's rank.
+/// * Phase 2 walks tasks in decreasing rank order and places each one on the
+///   processor that minimizes its earliest finish time, allowed to slot into
+///   idle gaps left by earlier placements (the insertion policy).
+///
+/// Complexity is `O(e × p)` for `e` edges and `p` processors, the figure the
+/// paper quotes when arguing the scheduling overhead is small.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeftScheduler;
+
+impl HeftScheduler {
+    /// Create a HEFT scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Compute the upward rank of every task.
+    pub fn upward_ranks(graph: &TaskGraph, platform: &Platform) -> Vec<f64> {
+        let order = graph
+            .topological_order()
+            .expect("HEFT requires an acyclic task graph");
+        let mut rank = vec![0.0f64; graph.len()];
+        for &t in order.iter().rev() {
+            let mut succ_term: f64 = 0.0;
+            for &s in graph.successors(t) {
+                let comm = platform.mean_comm_time(graph.edge_bytes(t, s));
+                succ_term = succ_term.max(comm + rank[s]);
+            }
+            rank[t] = platform.mean_compute_time(graph.tasks()[t].cost) + succ_term;
+        }
+        rank
+    }
+
+    /// Earliest start on `proc` at or after `ready`, given the busy
+    /// intervals already scheduled on that processor (insertion policy).
+    fn earliest_slot(busy: &[(f64, f64)], ready: f64, duration: f64) -> f64 {
+        // `busy` is kept sorted by start time.
+        let mut candidate = ready;
+        for &(start, finish) in busy {
+            if candidate + duration <= start + 1e-15 {
+                return candidate;
+            }
+            candidate = candidate.max(finish);
+        }
+        candidate
+    }
+}
+
+impl Scheduler for HeftScheduler {
+    fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Schedule {
+        if graph.is_empty() {
+            return Schedule::new(Vec::new());
+        }
+        let ranks = Self::upward_ranks(graph, platform);
+        let mut order: Vec<usize> = (0..graph.len()).collect();
+        order.sort_by(|&a, &b| {
+            ranks[b].partial_cmp(&ranks[a]).expect("ranks are finite").then(a.cmp(&b))
+        });
+
+        let mut placements = vec![Placement { proc: 0, start: 0.0, finish: 0.0 }; graph.len()];
+        let mut scheduled = vec![false; graph.len()];
+        let mut busy: Vec<Vec<(f64, f64)>> = vec![Vec::new(); platform.num_procs()];
+
+        for &t in &order {
+            let task = &graph.tasks()[t];
+            let candidates: Vec<usize> = match task.pinned {
+                Some(p) => vec![p],
+                None => (0..platform.num_procs()).collect(),
+            };
+            let mut best: Option<(f64, f64, usize)> = None; // (finish, start, proc)
+            for &p in &candidates {
+                let mut ready = 0.0f64;
+                for &pred in graph.predecessors(t) {
+                    debug_assert!(scheduled[pred], "HEFT order must schedule predecessors first");
+                    let pp = placements[pred];
+                    let comm = platform.comm_time(graph.edge_bytes(pred, t), pp.proc, p);
+                    ready = ready.max(pp.finish + comm);
+                }
+                let duration = platform.compute_time(task.cost, p);
+                let start = Self::earliest_slot(&busy[p], ready, duration);
+                let finish = start + duration;
+                let better = match best {
+                    None => true,
+                    Some((bf, _, _)) => finish < bf - 1e-15,
+                };
+                if better {
+                    best = Some((finish, start, p));
+                }
+            }
+            let (finish, start, proc) = best.expect("at least one candidate processor");
+            placements[t] = Placement { proc, start, finish };
+            scheduled[t] = true;
+            let pos = busy[proc]
+                .iter()
+                .position(|&(s, _)| s > start)
+                .unwrap_or(busy[proc].len());
+            busy[proc].insert(pos, (start, finish));
+        }
+        Schedule::new(placements)
+    }
+
+    fn name(&self) -> &'static str {
+        "heft"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 10-task graph from the original HEFT paper, with uniform
+    /// (homogeneous) compute costs equal to the mean costs of the paper's
+    /// table, to sanity-check rank ordering.
+    fn fork_join(width: usize, cost: f64, bytes: u64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let src = g.add_task(cost);
+        let sink_cost = cost;
+        let mut mids = Vec::new();
+        for _ in 0..width {
+            let m = g.add_task(cost);
+            g.add_edge(src, m, bytes);
+            mids.push(m);
+        }
+        let sink = g.add_task(sink_cost);
+        for m in mids {
+            g.add_edge(m, sink, bytes);
+        }
+        g
+    }
+
+    #[test]
+    fn ranks_decrease_along_edges() {
+        let g = fork_join(4, 1.0, 1_000_000);
+        let p = Platform::homogeneous(4, 1e-5, 1e9);
+        let ranks = HeftScheduler::upward_ranks(&g, &p);
+        for e in g.edges() {
+            assert!(ranks[e.from] > ranks[e.to]);
+        }
+    }
+
+    #[test]
+    fn schedule_is_valid_and_uses_parallelism() {
+        let g = fork_join(8, 1.0, 1_000);
+        let p = Platform::homogeneous(4, 1e-5, 1e9);
+        let s = HeftScheduler::new().schedule(&g, &p);
+        s.validate(&g, &p).expect("HEFT schedule must be valid");
+        // With negligible communication the 8 middle tasks should spread
+        // over all 4 processors.
+        assert_eq!(s.procs_used(), 4);
+        // Makespan must beat the sequential execution.
+        assert!(s.makespan() < g.total_cost());
+    }
+
+    #[test]
+    fn heavy_communication_collapses_to_one_processor() {
+        // Communication so expensive that spreading is never worth it.
+        let g = fork_join(4, 0.01, 10_000_000_000);
+        let p = Platform::homogeneous(4, 0.01, 1e9);
+        let s = HeftScheduler::new().schedule(&g, &p);
+        s.validate(&g, &p).unwrap();
+        assert_eq!(s.procs_used(), 1);
+        assert!((s.makespan() - g.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pinned_tasks_stay_pinned() {
+        let mut g = fork_join(3, 1.0, 0);
+        let pinned = g.add_task_full(0.5, Some(2), "host-task".to_string());
+        g.add_edge(0, pinned, 0);
+        let p = Platform::homogeneous(4, 1e-6, 1e9);
+        let s = HeftScheduler::new().schedule(&g, &p);
+        s.validate(&g, &p).unwrap();
+        assert_eq!(s.proc_of(pinned), 2);
+    }
+
+    #[test]
+    fn insertion_policy_uses_gaps() {
+        // Processor timeline: long task then a dependent; a short
+        // independent task should slot into the idle gap on another
+        // processor or before the dependent, never delay the makespan.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(5.0);
+        let b = g.add_task(5.0);
+        g.add_edge(a, b, 0);
+        let small = g.add_task(1.0);
+        let _ = small;
+        let p = Platform::homogeneous(1, 1e-6, 1e9);
+        let s = HeftScheduler::new().schedule(&g, &p);
+        s.validate(&g, &p).unwrap();
+        assert!((s.makespan() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_schedule() {
+        let g = TaskGraph::new();
+        let p = Platform::homogeneous(2, 1e-6, 1e9);
+        let s = HeftScheduler::new().schedule(&g, &p);
+        assert!(s.is_empty());
+        assert_eq!(s.makespan(), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_platform_prefers_fast_processor_for_critical_path() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(4.0);
+        let b = g.add_task(4.0);
+        g.add_edge(a, b, 0);
+        let p = Platform { speeds: vec![1.0, 4.0], latency: 0.0, bandwidth: 1e12 };
+        let s = HeftScheduler::new().schedule(&g, &p);
+        s.validate(&g, &p).unwrap();
+        assert_eq!(s.proc_of(a), 1);
+        assert_eq!(s.proc_of(b), 1);
+        assert!((s.makespan() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! # ompc-sched — task-graph schedulers for the OMPC runtime
+//!
+//! The OMPC runtime schedules the whole task graph *statically* once the
+//! control thread reaches the implicit barrier of the enclosing parallel
+//! region, using the HEFT algorithm (paper §4.4). This crate implements
+//! HEFT together with the alternatives used for comparison and ablation:
+//!
+//! * [`HeftScheduler`] — Heterogeneous Earliest Finish Time with the
+//!   insertion-based policy of Topcuoglu et al., the scheduler OMPC adopts.
+//! * [`RoundRobinScheduler`] — placement by task index, communication
+//!   oblivious; a lower bound on scheduling intelligence.
+//! * [`MinMinScheduler`] — classic list scheduling by minimum completion
+//!   time.
+//! * [`EagerScheduler`] — a static approximation of LLVM OpenMP's
+//!   work-stealing behaviour: every ready task goes to the processor that
+//!   becomes idle first, ignoring where its input data lives. Used in the
+//!   ablation study to show why work stealing is a poor fit for multi-node
+//!   execution (paper §4.4's motivation).
+//!
+//! The scheduler operates on a [`TaskGraph`] of abstract tasks (costs in
+//! seconds, edges weighted in bytes) and a [`Platform`] describing processor
+//! speeds and the interconnect. It returns a [`Schedule`] — a processor
+//! assignment plus estimated start/finish times — which the runtime then
+//! executes dynamically as dependences are satisfied.
+
+pub mod graph;
+pub mod heft;
+pub mod list;
+pub mod platform;
+pub mod schedule;
+
+pub use graph::{SchedEdge, SchedTask, TaskGraph};
+pub use heft::HeftScheduler;
+pub use list::{EagerScheduler, MinMinScheduler, RoundRobinScheduler};
+pub use platform::Platform;
+pub use schedule::{Placement, Schedule};
+
+/// A static task-graph scheduler.
+pub trait Scheduler {
+    /// Compute a placement and time estimate for every task of `graph` on
+    /// `platform`. Implementations must honour [`SchedTask::pinned`].
+    fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Schedule;
+
+    /// Human-readable name used in benchmark reports.
+    fn name(&self) -> &'static str;
+}

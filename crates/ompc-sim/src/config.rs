@@ -1,0 +1,169 @@
+//! Cluster, node, and network configuration.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Interconnect model: fixed latency plus bandwidth-limited serialization on
+/// a configurable number of NIC channels per node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// One-way message latency (time on the wire after serialization).
+    pub latency: SimTime,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Number of concurrently usable channels per NIC. The paper compiles
+    /// MPICH with 64 Virtual Communication Interfaces; modelling them as NIC
+    /// channels lets concurrent events overlap their transfers.
+    pub nic_channels: usize,
+    /// Fixed per-message software overhead paid on the sending side
+    /// (matching cost, protocol headers, runtime bookkeeping).
+    pub per_message_overhead: SimTime,
+}
+
+impl NetworkConfig {
+    /// An InfiniBand-EDR-like network: ~1.5 us latency, 100 Gb/s (12.5 GB/s)
+    /// bandwidth, 64 channels, 1 us per-message software overhead. These are
+    /// the figures the paper's cluster advertises.
+    pub fn infiniband() -> Self {
+        Self {
+            latency: SimTime::from_micros(2),
+            bandwidth_bytes_per_sec: 12.5e9,
+            nic_channels: 64,
+            per_message_overhead: SimTime::from_micros(1),
+        }
+    }
+
+    /// A slower Ethernet-like network, useful for sensitivity studies.
+    pub fn gigabit_ethernet() -> Self {
+        Self {
+            latency: SimTime::from_micros(50),
+            bandwidth_bytes_per_sec: 0.125e9,
+            nic_channels: 4,
+            per_message_overhead: SimTime::from_micros(10),
+        }
+    }
+
+    /// Serialization time of a message of `bytes` on one NIC channel
+    /// (excluding wire latency).
+    pub fn serialization_time(&self, bytes: u64) -> SimTime {
+        let secs = bytes as f64 / self.bandwidth_bytes_per_sec;
+        self.per_message_overhead + SimTime::from_secs_f64(secs)
+    }
+
+    /// Total unloaded transfer time for a message of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        self.serialization_time(bytes) + self.latency
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::infiniband()
+    }
+}
+
+/// Per-node hardware description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// Number of cores usable for task execution on the node.
+    pub cores: usize,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        // Two Intel Cascade Lake Gold 6252 CPUs = 48 hardware threads, of
+        // which the paper uses the 24 physical cores per socket pair for
+        // compute; 24 is the per-node worker count used in the experiments.
+        Self { cores: 24 }
+    }
+}
+
+/// Full cluster description handed to the simulation [`crate::Engine`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes, including the head node (node 0).
+    pub nodes: usize,
+    /// Hardware description shared by every node.
+    pub node: NodeConfig,
+    /// Interconnect model.
+    pub network: NetworkConfig,
+}
+
+impl ClusterConfig {
+    /// A Santos-Dumont-like cluster of `nodes` nodes: 24 cores per node and
+    /// an InfiniBand-class interconnect.
+    pub fn santos_dumont(nodes: usize) -> Self {
+        Self {
+            nodes,
+            node: NodeConfig::default(),
+            network: NetworkConfig::infiniband(),
+        }
+    }
+
+    /// A small cluster for unit tests: `nodes` nodes with `cores` cores each
+    /// and the default network.
+    pub fn small(nodes: usize, cores: usize) -> Self {
+        Self {
+            nodes,
+            node: NodeConfig { cores },
+            network: NetworkConfig::default(),
+        }
+    }
+
+    /// Number of worker nodes when node 0 is used as a head node.
+    pub fn worker_nodes(&self) -> usize {
+        self.nodes.saturating_sub(1)
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::santos_dumont(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let net = NetworkConfig::infiniband();
+        let small = net.transfer_time(1_000);
+        let large = net.transfer_time(1_000_000_000);
+        assert!(large > small);
+        // 1 GB at 12.5 GB/s = 80 ms of serialization.
+        assert!((large.as_secs_f64() - 0.08).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_byte_message_still_pays_latency_and_overhead() {
+        let net = NetworkConfig::infiniband();
+        let t = net.transfer_time(0);
+        assert_eq!(t, net.latency + net.per_message_overhead);
+    }
+
+    #[test]
+    fn santos_dumont_defaults() {
+        let c = ClusterConfig::santos_dumont(16);
+        assert_eq!(c.nodes, 16);
+        assert_eq!(c.worker_nodes(), 15);
+        assert_eq!(c.node.cores, 24);
+        assert_eq!(c.network.nic_channels, 64);
+    }
+
+    #[test]
+    fn ethernet_is_slower_than_infiniband() {
+        let ib = NetworkConfig::infiniband().transfer_time(1 << 20);
+        let eth = NetworkConfig::gigabit_ethernet().transfer_time(1 << 20);
+        assert!(eth > ib);
+    }
+
+    #[test]
+    fn config_serializes_to_json() {
+        let c = ClusterConfig::small(4, 8);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

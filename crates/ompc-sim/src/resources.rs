@@ -1,0 +1,139 @@
+//! FIFO multi-server resources: core pools and NIC channels.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// A capacity-limited resource whose waiters are served in FIFO order.
+///
+/// Both the per-node core pool and the per-node NIC channel set are
+/// instances of this: a request either starts immediately (a free server
+/// exists) or queues until a running request finishes.
+#[derive(Debug, Clone)]
+pub struct FifoServer<P> {
+    capacity: usize,
+    busy: usize,
+    pending: VecDeque<(SimTime, P)>,
+    busy_time: SimTime,
+    served: u64,
+}
+
+impl<P> FifoServer<P> {
+    /// Create a resource with `capacity` parallel servers.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a resource needs at least one server");
+        Self {
+            capacity,
+            busy: 0,
+            pending: VecDeque::new(),
+            busy_time: SimTime::ZERO,
+            served: 0,
+        }
+    }
+
+    /// Number of parallel servers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of requests currently being served.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Number of requests waiting for a server.
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total service time accumulated over the run (for utilization stats).
+    pub fn busy_time(&self) -> SimTime {
+        self.busy_time
+    }
+
+    /// Number of requests that have started service.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Ask for a server for `duration`. Returns `true` when the request
+    /// starts service immediately; otherwise it is queued and will be
+    /// returned by a later [`FifoServer::release`].
+    pub fn acquire(&mut self, duration: SimTime, payload: P) -> bool {
+        if self.busy < self.capacity {
+            self.busy += 1;
+            self.busy_time += duration;
+            self.served += 1;
+            true
+        } else {
+            self.pending.push_back((duration, payload));
+            false
+        }
+    }
+
+    /// Signal that one running request finished. If a request was queued, it
+    /// starts service now and is returned together with its duration.
+    pub fn release(&mut self) -> Option<(SimTime, P)> {
+        debug_assert!(self.busy > 0, "release without matching acquire");
+        self.busy = self.busy.saturating_sub(1);
+        if let Some((duration, payload)) = self.pending.pop_front() {
+            self.busy += 1;
+            self.busy_time += duration;
+            self.served += 1;
+            Some((duration, payload))
+        } else {
+            None
+        }
+    }
+}
+
+/// Core pool of a node; payloads are engine activity identifiers.
+pub type CorePool = FifoServer<u64>;
+
+/// NIC channel set of a node; payloads are engine activity identifiers.
+pub type NicChannels = FifoServer<u64>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_start_until_capacity_is_reached() {
+        let mut pool: CorePool = FifoServer::new(2);
+        assert!(pool.acquire(SimTime::from_secs(1), 1));
+        assert!(pool.acquire(SimTime::from_secs(1), 2));
+        assert!(!pool.acquire(SimTime::from_secs(1), 3));
+        assert_eq!(pool.busy(), 2);
+        assert_eq!(pool.queued(), 1);
+    }
+
+    #[test]
+    fn release_promotes_the_oldest_waiter() {
+        let mut pool: CorePool = FifoServer::new(1);
+        assert!(pool.acquire(SimTime::from_secs(1), 10));
+        assert!(!pool.acquire(SimTime::from_secs(2), 20));
+        assert!(!pool.acquire(SimTime::from_secs(3), 30));
+        let (d, p) = pool.release().unwrap();
+        assert_eq!((d, p), (SimTime::from_secs(2), 20));
+        let (d, p) = pool.release().unwrap();
+        assert_eq!((d, p), (SimTime::from_secs(3), 30));
+        assert!(pool.release().is_none());
+        assert_eq!(pool.busy(), 0);
+    }
+
+    #[test]
+    fn busy_time_accumulates_only_for_started_requests() {
+        let mut pool: CorePool = FifoServer::new(1);
+        pool.acquire(SimTime::from_secs(5), 1);
+        pool.acquire(SimTime::from_secs(7), 2);
+        assert_eq!(pool.busy_time(), SimTime::from_secs(5));
+        pool.release();
+        assert_eq!(pool.busy_time(), SimTime::from_secs(12));
+        assert_eq!(pool.served(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_capacity_is_rejected() {
+        let _: CorePool = FifoServer::new(0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Aggregate statistics of a finished simulation.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Per-node resource usage accumulated by the engine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Total core-time spent computing on this node.
+    pub compute_time: SimTime,
+    /// Number of compute activities that ran on this node.
+    pub tasks_executed: u64,
+    /// Total NIC-channel time spent serializing outgoing messages.
+    pub send_time: SimTime,
+    /// Number of messages sent from this node.
+    pub messages_sent: u64,
+    /// Bytes sent from this node.
+    pub bytes_sent: u64,
+}
+
+/// Whole-run summary returned by [`crate::Engine::finish`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Virtual time at which the last event completed (the makespan).
+    pub makespan: SimTime,
+    /// Per-node usage, indexed by node id.
+    pub nodes: Vec<NodeStats>,
+    /// Total number of events processed by the engine.
+    pub events_processed: u64,
+}
+
+impl SimStats {
+    /// Average core utilization across the cluster given `cores` cores per
+    /// node: total compute time divided by (makespan × nodes × cores).
+    pub fn mean_core_utilization(&self, cores: usize) -> f64 {
+        if self.makespan == SimTime::ZERO || self.nodes.is_empty() || cores == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.nodes.iter().map(|n| n.compute_time.as_secs_f64()).sum();
+        busy / (self.makespan.as_secs_f64() * self.nodes.len() as f64 * cores as f64)
+    }
+
+    /// Total bytes moved across the network during the run.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Total number of tasks executed across the cluster.
+    pub fn total_tasks(&self) -> u64 {
+        self.nodes.iter().map(|n| n.tasks_executed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_of_fully_busy_cluster_is_one() {
+        let stats = SimStats {
+            makespan: SimTime::from_secs(10),
+            nodes: vec![
+                NodeStats { compute_time: SimTime::from_secs(20), tasks_executed: 4, ..Default::default() },
+                NodeStats { compute_time: SimTime::from_secs(20), tasks_executed: 4, ..Default::default() },
+            ],
+            events_processed: 8,
+        };
+        let u = stats.mean_core_utilization(2);
+        assert!((u - 1.0).abs() < 1e-9);
+        assert_eq!(stats.total_tasks(), 8);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_utilization() {
+        let stats = SimStats::default();
+        assert_eq!(stats.mean_core_utilization(4), 0.0);
+        assert_eq!(stats.total_bytes(), 0);
+    }
+
+    #[test]
+    fn bytes_are_summed_over_nodes() {
+        let stats = SimStats {
+            makespan: SimTime::from_secs(1),
+            nodes: vec![
+                NodeStats { bytes_sent: 100, messages_sent: 1, ..Default::default() },
+                NodeStats { bytes_sent: 250, messages_sent: 2, ..Default::default() },
+            ],
+            events_processed: 3,
+        };
+        assert_eq!(stats.total_bytes(), 350);
+    }
+}

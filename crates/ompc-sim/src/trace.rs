@@ -1,0 +1,158 @@
+//! Execution traces: a record of every simulated activity, usable for
+//! Gantt-style inspection, overhead attribution (Fig. 7a) and debugging.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The kind of activity a trace event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A task (or task fragment) computing on a node core.
+    Compute,
+    /// A byte transfer between two nodes.
+    Transfer,
+    /// Runtime bookkeeping (scheduling, event handling, startup, shutdown).
+    Runtime,
+}
+
+/// One recorded activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Activity kind.
+    pub kind: TraceKind,
+    /// Node the activity ran on (for transfers, the source node).
+    pub node: usize,
+    /// Destination node for transfers, `None` otherwise.
+    pub dest: Option<usize>,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual end time.
+    pub end: SimTime,
+    /// Free-form label (task name, event type, …).
+    pub label: String,
+    /// Bytes moved for transfers, 0 otherwise.
+    pub bytes: u64,
+}
+
+impl TraceEvent {
+    /// Duration of the activity.
+    pub fn duration(&self) -> SimTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A collection of trace events in completion order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Create an empty, enabled trace.
+    pub fn new() -> Self {
+        Self { events: Vec::new(), enabled: true }
+    }
+
+    /// Create a disabled trace that drops every record (for large sweeps
+    /// where only aggregate statistics matter).
+    pub fn disabled() -> Self {
+        Self { events: Vec::new(), enabled: false }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append an event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of a given kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Total time spent in activities of a given kind (summed across nodes,
+    /// so overlapping activities count multiply).
+    pub fn total_time(&self, kind: TraceKind) -> SimTime {
+        self.of_kind(kind).map(TraceEvent::duration).sum()
+    }
+
+    /// Total bytes transferred.
+    pub fn total_bytes(&self) -> u64 {
+        self.of_kind(TraceKind::Transfer).map(|e| e.bytes).sum()
+    }
+
+    /// Serialize the trace to a JSON string (one object with an `events`
+    /// array), consumed by the experiment harness.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceKind, start_ms: u64, end_ms: u64, bytes: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            node: 0,
+            dest: if kind == TraceKind::Transfer { Some(1) } else { None },
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(end_ms),
+            label: "t".to_string(),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut tr = Trace::new();
+        tr.record(ev(TraceKind::Compute, 0, 10, 0));
+        tr.record(ev(TraceKind::Compute, 10, 30, 0));
+        tr.record(ev(TraceKind::Transfer, 5, 6, 4096));
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.total_time(TraceKind::Compute), SimTime::from_millis(30));
+        assert_eq!(tr.total_time(TraceKind::Transfer), SimTime::from_millis(1));
+        assert_eq!(tr.total_bytes(), 4096);
+        assert_eq!(tr.of_kind(TraceKind::Compute).count(), 2);
+    }
+
+    #[test]
+    fn disabled_trace_drops_events() {
+        let mut tr = Trace::disabled();
+        tr.record(ev(TraceKind::Compute, 0, 10, 0));
+        assert!(tr.is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut tr = Trace::new();
+        tr.record(ev(TraceKind::Runtime, 1, 2, 0));
+        let json = tr.to_json();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.events(), tr.events());
+    }
+}

@@ -1,0 +1,189 @@
+//! Task Bench configuration: graph shape, task duration, and CCR control.
+
+use crate::pattern::DependencePattern;
+use ompc_sim::NetworkConfig;
+
+/// Seconds per iteration of the Task Bench compute loop.
+///
+/// The paper reports 10M iterations ≈ 50 ms and 100M iterations ≈ 500 ms per
+/// task, i.e. 5 ns per iteration on the Cascade Lake nodes; the same
+/// calibration is used here so iteration counts from the paper translate
+/// directly.
+pub const SECONDS_PER_ITERATION: f64 = 5e-9;
+
+/// A complete Task Bench problem instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskBenchConfig {
+    /// Dependence pattern (paper Fig. 4).
+    pub pattern: DependencePattern,
+    /// Number of points per timestep.
+    pub width: usize,
+    /// Number of timesteps.
+    pub steps: usize,
+    /// Iterations of the compute loop per task (duration = iterations ×
+    /// [`SECONDS_PER_ITERATION`]).
+    pub iterations: u64,
+    /// Bytes produced by each task and carried on each outgoing dependence
+    /// edge.
+    pub output_bytes: u64,
+}
+
+impl TaskBenchConfig {
+    /// A new configuration with explicit output bytes.
+    pub fn new(
+        pattern: DependencePattern,
+        width: usize,
+        steps: usize,
+        iterations: u64,
+        output_bytes: u64,
+    ) -> Self {
+        Self { pattern, width, steps, iterations, output_bytes }
+    }
+
+    /// The scalability experiment of Fig. 5: 10M-iteration (50 ms) tasks, a
+    /// graph of width `2 × nodes` and 32 timesteps (weak scaling — the graph
+    /// doubles with the node count), and output bytes tuned for a CCR of
+    /// 1.0 on an InfiniBand-class network.
+    pub fn figure5(pattern: DependencePattern, nodes: usize) -> Self {
+        let mut cfg = Self::new(pattern, 2 * nodes, 32, 10_000_000, 0);
+        cfg.output_bytes = cfg.bytes_for_ccr(1.0, &NetworkConfig::infiniband());
+        cfg
+    }
+
+    /// The CCR experiment of Fig. 6: 16 nodes, a 16 × 16 graph, 100M
+    /// iteration (500 ms) tasks, and output bytes chosen for the given CCR.
+    pub fn figure6(pattern: DependencePattern, ccr: f64) -> Self {
+        let mut cfg = Self::new(pattern, 16, 16, 100_000_000, 0);
+        cfg.output_bytes = cfg.bytes_for_ccr(ccr, &NetworkConfig::infiniband());
+        cfg
+    }
+
+    /// The overhead experiment of Fig. 7(a): one worker node, a 1 × 16
+    /// graph with the Trivial (dependence-free) pattern, and a variable
+    /// workload; the paper runs it with a single worker thread so tasks
+    /// serialize on the node.
+    pub fn figure7a(iterations: u64) -> Self {
+        Self::new(DependencePattern::Trivial, 1, 16, iterations, 8)
+    }
+
+    /// Duration of one task in seconds.
+    pub fn task_duration_secs(&self) -> f64 {
+        self.iterations as f64 * SECONDS_PER_ITERATION
+    }
+
+    /// Total number of tasks in the graph.
+    pub fn num_tasks(&self) -> usize {
+        self.width * self.steps
+    }
+
+    /// Communication time per task implied by the current output size on
+    /// `network`: incoming edges × unloaded transfer time.
+    pub fn comm_time_per_task(&self, network: &NetworkConfig) -> f64 {
+        let deps = self.pattern.mean_in_degree(self.width);
+        deps * network.transfer_time(self.output_bytes).as_secs_f64()
+    }
+
+    /// The computation-to-communication ratio implied by the current
+    /// configuration on `network` (infinite when no data is exchanged).
+    pub fn ccr(&self, network: &NetworkConfig) -> f64 {
+        let comm = self.comm_time_per_task(network);
+        if comm == 0.0 {
+            f64::INFINITY
+        } else {
+            self.task_duration_secs() / comm
+        }
+    }
+
+    /// Output bytes needed to reach `target_ccr` on `network` given the
+    /// current pattern, width, and iteration count. Returns 0 for patterns
+    /// with no dependences (Trivial), where CCR is not defined.
+    pub fn bytes_for_ccr(&self, target_ccr: f64, network: &NetworkConfig) -> u64 {
+        assert!(target_ccr > 0.0, "CCR must be positive");
+        let deps = self.pattern.mean_in_degree(self.width);
+        if deps == 0.0 {
+            return 0;
+        }
+        // comm_per_task = deps * (overheads + bytes / bandwidth)
+        // target: compute / comm = ccr  =>  comm = compute / ccr
+        let compute = self.task_duration_secs();
+        let per_edge_target = compute / target_ccr / deps;
+        let fixed = (network.latency + network.per_message_overhead).as_secs_f64();
+        let variable = (per_edge_target - fixed).max(0.0);
+        (variable * network.bandwidth_bytes_per_sec).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_calibration_matches_paper() {
+        let cfg = TaskBenchConfig::new(DependencePattern::Stencil1D, 8, 8, 10_000_000, 0);
+        assert!((cfg.task_duration_secs() - 0.05).abs() < 1e-12);
+        let cfg = TaskBenchConfig::new(DependencePattern::Stencil1D, 8, 8, 100_000_000, 0);
+        assert!((cfg.task_duration_secs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccr_round_trips_through_bytes_for_ccr() {
+        let net = NetworkConfig::infiniband();
+        for &target in &[0.5, 1.0, 2.0] {
+            let mut cfg =
+                TaskBenchConfig::new(DependencePattern::Stencil1D, 16, 16, 100_000_000, 0);
+            cfg.output_bytes = cfg.bytes_for_ccr(target, &net);
+            assert!(cfg.output_bytes > 0);
+            let achieved = cfg.ccr(&net);
+            assert!(
+                (achieved - target).abs() / target < 0.05,
+                "target CCR {target}, achieved {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_pattern_has_no_communication() {
+        let net = NetworkConfig::infiniband();
+        let cfg = TaskBenchConfig::figure5(DependencePattern::Trivial, 8);
+        assert_eq!(cfg.output_bytes, 0);
+        assert!(cfg.ccr(&net).is_infinite());
+    }
+
+    #[test]
+    fn figure5_configuration_shape() {
+        let cfg = TaskBenchConfig::figure5(DependencePattern::Fft, 16);
+        assert_eq!(cfg.width, 32);
+        assert_eq!(cfg.steps, 32);
+        assert_eq!(cfg.num_tasks(), 1024);
+        assert_eq!(cfg.iterations, 10_000_000);
+        // Weak scaling: doubling nodes doubles the graph.
+        let cfg2 = TaskBenchConfig::figure5(DependencePattern::Fft, 32);
+        assert_eq!(cfg2.num_tasks(), 2 * cfg.num_tasks());
+    }
+
+    #[test]
+    fn figure6_configuration_shape() {
+        let cfg = TaskBenchConfig::figure6(DependencePattern::Tree, 2.0);
+        assert_eq!((cfg.width, cfg.steps), (16, 16));
+        assert_eq!(cfg.iterations, 100_000_000);
+        let low = TaskBenchConfig::figure6(DependencePattern::Tree, 0.5);
+        // Lower CCR (more communication) needs more bytes per edge.
+        assert!(low.output_bytes > cfg.output_bytes);
+    }
+
+    #[test]
+    fn figure7a_is_a_single_column() {
+        let cfg = TaskBenchConfig::figure7a(1_000);
+        assert_eq!(cfg.width, 1);
+        assert_eq!(cfg.steps, 16);
+        assert_eq!(cfg.pattern, DependencePattern::Trivial);
+        assert!((cfg.task_duration_secs() - 5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "CCR must be positive")]
+    fn non_positive_ccr_is_rejected() {
+        let cfg = TaskBenchConfig::figure6(DependencePattern::Fft, 1.0);
+        cfg.bytes_for_ccr(0.0, &NetworkConfig::infiniband());
+    }
+}

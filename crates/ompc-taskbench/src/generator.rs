@@ -1,0 +1,169 @@
+//! Generation of the abstract workload graph from a Task Bench
+//! configuration.
+
+use crate::config::TaskBenchConfig;
+use ompc_core::model::WorkloadGraph;
+use ompc_sched::TaskGraph;
+
+/// Summary statistics of a generated graph, printed by the benchmark
+/// harness alongside each figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of dependence edges.
+    pub edges: usize,
+    /// Total compute seconds across all tasks.
+    pub total_compute: f64,
+    /// Total bytes on all edges.
+    pub total_bytes: u64,
+    /// Critical-path compute seconds (a lower bound on any makespan).
+    pub critical_path: f64,
+}
+
+/// Build the [`WorkloadGraph`] for a Task Bench configuration.
+///
+/// Task `(step, point)` is assigned the dense index `step * width + point`;
+/// each task costs `iterations × 5 ns` and produces `output_bytes`, carried
+/// on every outgoing dependence edge.
+///
+/// In addition to the pattern's own dependences, every task is serialized
+/// with the previous timestep of its own point through a zero-byte edge:
+/// Task Bench reuses one output buffer per point, so timestep `t` of point
+/// `i` cannot start before timestep `t - 1` of the same point has finished,
+/// even for the Trivial pattern. (The edge carries no data because the
+/// buffer already lives wherever that point executes.)
+pub fn generate_workload(config: &TaskBenchConfig) -> WorkloadGraph {
+    let mut graph = TaskGraph::new();
+    let cost = config.task_duration_secs();
+    for step in 0..config.steps {
+        for point in 0..config.width {
+            graph.add_task_full(cost, None, format!("{}[{step},{point}]", config.pattern));
+        }
+    }
+    for step in 1..config.steps {
+        for point in 0..config.width {
+            let to = step * config.width + point;
+            let deps = config.pattern.dependencies(point, step, config.width);
+            for &dep in &deps {
+                let from = (step - 1) * config.width + dep;
+                graph.add_edge(from, to, config.output_bytes);
+            }
+            if !deps.contains(&point) {
+                // Same-point buffer reuse: pure ordering, no data movement.
+                graph.add_edge((step - 1) * config.width + point, to, 0);
+            }
+        }
+    }
+    let output_bytes = vec![config.output_bytes; config.num_tasks()];
+    WorkloadGraph::new(graph, output_bytes)
+}
+
+/// Compute summary statistics for a workload.
+pub fn graph_stats(workload: &WorkloadGraph) -> GraphStats {
+    GraphStats {
+        tasks: workload.len(),
+        edges: workload.graph.edges().len(),
+        total_compute: workload.total_compute(),
+        total_bytes: workload.total_edge_bytes(),
+        critical_path: workload.graph.critical_path_cost(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::DependencePattern;
+    use proptest::prelude::*;
+
+    fn cfg(pattern: DependencePattern, width: usize, steps: usize) -> TaskBenchConfig {
+        TaskBenchConfig::new(pattern, width, steps, 1_000_000, 4096)
+    }
+
+    #[test]
+    fn trivial_graph_has_only_serialization_edges() {
+        let w = generate_workload(&cfg(DependencePattern::Trivial, 8, 4));
+        assert_eq!(w.len(), 32);
+        // One zero-byte buffer-reuse edge per task of steps 1..4.
+        assert_eq!(w.graph.edges().len(), 8 * 3);
+        assert!(w.graph.edges().iter().all(|e| e.bytes == 0));
+        let stats = graph_stats(&w);
+        assert_eq!(stats.tasks, 32);
+        assert_eq!(stats.total_bytes, 0);
+        // The per-point chains make the critical path span all timesteps.
+        assert!((stats.critical_path - 4.0 * 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stencil_graph_edge_count() {
+        // Periodic stencil of width 8: every non-first-step task has 3
+        // incoming edges.
+        let w = generate_workload(&cfg(DependencePattern::Stencil1D, 8, 4));
+        assert_eq!(w.graph.edges().len(), 8 * 3 * 3);
+        let stats = graph_stats(&w);
+        assert_eq!(stats.total_bytes, (8 * 3 * 3) as u64 * 4096);
+        // Critical path spans all timesteps.
+        assert!((stats.critical_path - 4.0 * 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_graph_edge_count() {
+        let w = generate_workload(&cfg(DependencePattern::Fft, 8, 4));
+        // Width 8 (power of two): every non-first-step task has exactly 2
+        // incoming edges.
+        assert_eq!(w.graph.edges().len(), 8 * 2 * 3);
+    }
+
+    #[test]
+    fn graphs_are_acyclic_and_layered() {
+        for pattern in DependencePattern::paper_patterns() {
+            let w = generate_workload(&cfg(pattern, 16, 8));
+            assert!(w.graph.is_acyclic(), "{pattern} generated a cycle");
+            // Edges only go from one timestep to the next.
+            for e in w.graph.edges() {
+                assert_eq!(e.to / 16, e.from / 16 + 1, "{pattern} edge skips a timestep");
+            }
+        }
+    }
+
+    #[test]
+    fn first_row_are_the_only_roots_for_connected_patterns() {
+        let w = generate_workload(&cfg(DependencePattern::Stencil1D, 8, 4));
+        assert_eq!(w.graph.roots().len(), 8);
+        let w = generate_workload(&cfg(DependencePattern::NoComm, 4, 4));
+        assert_eq!(w.graph.roots().len(), 4);
+        assert_eq!(w.graph.sinks().len(), 4);
+    }
+
+    proptest! {
+        /// The generated graph always has width × steps tasks, is acyclic,
+        /// and every edge carries the configured byte count.
+        #[test]
+        fn prop_generated_graphs_are_well_formed(
+            pattern_idx in 0usize..4,
+            width in 1usize..32,
+            steps in 1usize..16,
+            bytes in 0u64..1_000_000,
+        ) {
+            let pattern = DependencePattern::paper_patterns()[pattern_idx];
+            let config = TaskBenchConfig::new(pattern, width, steps, 1000, bytes);
+            let w = generate_workload(&config);
+            prop_assert_eq!(w.len(), width * steps);
+            prop_assert!(w.graph.is_acyclic());
+            for e in w.graph.edges() {
+                // Pattern edges carry the configured payload; implicit
+                // buffer-reuse edges carry nothing.
+                prop_assert!(e.bytes == bytes || e.bytes == 0);
+                prop_assert!(e.from < e.to);
+            }
+            // Every non-first-step task is serialized with its own point.
+            for step in 1..steps {
+                for point in 0..width {
+                    let to = step * width + point;
+                    let from = (step - 1) * width + point;
+                    prop_assert!(w.graph.predecessors(to).contains(&from));
+                }
+            }
+        }
+    }
+}

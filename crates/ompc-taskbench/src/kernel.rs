@@ -1,0 +1,84 @@
+//! The real compute kernel used when Task Bench runs on the threaded
+//! cluster device (examples and integration tests).
+
+pub use crate::config::SECONDS_PER_ITERATION;
+use ompc_core::cluster::ClusterDevice;
+use ompc_core::types::KernelId;
+
+/// Run `iterations` of the Task Bench compute loop over a small state,
+/// returning the final state so the optimizer cannot remove the loop. The
+/// loop body matches Task Bench's spirit: a handful of integer operations
+/// per iteration, dependent on the previous one.
+pub fn execute_iterations(iterations: u64, seed: u64) -> u64 {
+    let mut state = if seed == 0 { 1 } else { seed };
+    for _ in 0..iterations {
+        // xorshift* step: cheap, dependent, impossible to vectorize away.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    }
+    state
+}
+
+/// Register the Task Bench kernel with a cluster device.
+///
+/// The kernel expects its first buffer to contain at least one `u64`: the
+/// iteration count. It runs the compute loop and appends its result to the
+/// buffer, so dependent tasks observe (and depend on) real produced data.
+pub fn register_taskbench_kernel(device: &ClusterDevice, iterations: u64) -> KernelId {
+    let cost = iterations as f64 * SECONDS_PER_ITERATION;
+    device.register_kernel_fn("taskbench", cost, move |args| {
+        let mut values = args.as_u64s(0);
+        let seed = values.first().copied().unwrap_or(1);
+        let result = execute_iterations(iterations, seed);
+        values.push(result);
+        args.set_u64s(0, &values);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompc_core::types::Dependence;
+
+    #[test]
+    fn iteration_loop_is_deterministic_and_seed_dependent() {
+        let a = execute_iterations(1000, 42);
+        let b = execute_iterations(1000, 42);
+        let c = execute_iterations(1000, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(execute_iterations(1000, 42), execute_iterations(1001, 42));
+    }
+
+    #[test]
+    fn zero_iterations_returns_seed_like_state() {
+        assert_eq!(execute_iterations(0, 8), 8);
+        assert_eq!(execute_iterations(0, 0), 1);
+    }
+
+    #[test]
+    fn kernel_appends_results_through_the_cluster() {
+        let mut device = ClusterDevice::spawn(2);
+        let kernel = register_taskbench_kernel(&device, 100);
+        let mut region = device.target_region();
+        let buf = region.map_to(ompc_mpi_bytes(&[7u64]));
+        region.target(kernel, vec![Dependence::inout(buf)]);
+        region.target(kernel, vec![Dependence::inout(buf)]);
+        region.map_from(buf);
+        region.run().unwrap();
+        let data = device.buffer_data(buf).unwrap();
+        let values = ompc_mpi::typed::bytes_to_u64s(&data).unwrap();
+        // Two chained tasks appended two results.
+        assert_eq!(values.len(), 3);
+        assert_eq!(values[0], 7);
+        assert_eq!(values[1], execute_iterations(100, 7));
+        assert_eq!(values[2], execute_iterations(100, 7));
+        device.shutdown();
+    }
+
+    fn ompc_mpi_bytes(values: &[u64]) -> Vec<u8> {
+        ompc_mpi::typed::u64s_to_bytes(values)
+    }
+}

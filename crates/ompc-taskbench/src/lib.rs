@@ -1,0 +1,35 @@
+//! # ompc-taskbench — a Task Bench reimplementation
+//!
+//! Task Bench (Slaughter et al., SC'20) is a parameterized benchmark for
+//! distributed task runtimes: a grid of tasks, `width` points wide and
+//! `steps` timesteps deep, whose dependence structure, per-task duration,
+//! and per-edge data volume are all configurable. The OMPC paper evaluates
+//! against the Trivial, Stencil-1D (periodic), FFT, and Tree dependence
+//! patterns (its Fig. 4), with task durations expressed in iterations of an
+//! internal compute loop (10M iterations ≈ 50 ms) and the communication
+//! volume chosen to hit a target computation-to-communication ratio (CCR).
+//!
+//! This crate rebuilds that benchmark for the Rust runtime:
+//!
+//! * [`DependencePattern`] — the four dependence patterns of the paper's
+//!   Fig. 4 (plus no-comm, used in the overhead study of Fig. 7a);
+//! * [`TaskBenchConfig`] — width, steps, iterations, and output bytes, with
+//!   helpers matching the paper's parameterization (iterations → seconds,
+//!   CCR → bytes);
+//! * [`generate_workload`] — produces the abstract [`WorkloadGraph`]
+//!   consumed by the simulated OMPC runtime and the baseline runtime
+//!   models;
+//! * [`kernel`] — the real compute kernel (an iteration-calibrated
+//!   arithmetic loop) used when Task Bench runs on the threaded
+//!   [`ompc_core::cluster::ClusterDevice`].
+
+pub mod config;
+pub mod generator;
+pub mod kernel;
+pub mod pattern;
+
+pub use config::TaskBenchConfig;
+pub use generator::{generate_workload, graph_stats, GraphStats};
+pub use kernel::{execute_iterations, register_taskbench_kernel, SECONDS_PER_ITERATION};
+pub use ompc_core::model::WorkloadGraph;
+pub use pattern::DependencePattern;

@@ -1,0 +1,236 @@
+//! The dependence patterns of Task Bench used in the OMPC evaluation
+//! (paper Fig. 4): Trivial, Stencil-1D periodic, FFT, and Tree, plus the
+//! no-communication column pattern used by the overhead study.
+
+use std::fmt;
+
+/// A Task Bench dependence pattern: given a point `i` at timestep `t > 0`,
+/// which points of timestep `t - 1` does it depend on?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependencePattern {
+    /// No dependencies at all: every task is independent.
+    Trivial,
+    /// Each point depends on the same point of the previous step (a set of
+    /// independent columns); used by the Fig. 7a overhead experiment, where
+    /// a 1 × 16 graph must serialize on a single node.
+    NoComm,
+    /// Periodic one-dimensional stencil: point `i` depends on `i-1`, `i`,
+    /// and `i+1` of the previous step, wrapping around at the edges.
+    Stencil1D,
+    /// FFT butterfly: point `i` depends on `i` and `i XOR 2^((t-1) mod
+    /// log2(width))` of the previous step.
+    Fft,
+    /// Binary tree: alternating reduce phases (point `i` depends on `2i`
+    /// and `2i+1`) and broadcast phases (point `i` depends on `i / 2`).
+    Tree,
+}
+
+impl DependencePattern {
+    /// All patterns used in the paper's figures, in presentation order.
+    pub fn paper_patterns() -> [DependencePattern; 4] {
+        [
+            DependencePattern::Trivial,
+            DependencePattern::Tree,
+            DependencePattern::Stencil1D,
+            DependencePattern::Fft,
+        ]
+    }
+
+    /// Dependencies of point `point` at timestep `step` on points of the
+    /// previous timestep. Timestep 0 never has dependencies.
+    pub fn dependencies(self, point: usize, step: usize, width: usize) -> Vec<usize> {
+        if step == 0 || width == 0 {
+            return Vec::new();
+        }
+        match self {
+            DependencePattern::Trivial => Vec::new(),
+            DependencePattern::NoComm => vec![point],
+            DependencePattern::Stencil1D => {
+                if width == 1 {
+                    return vec![0];
+                }
+                let left = (point + width - 1) % width;
+                let right = (point + 1) % width;
+                let mut deps = vec![left, point, right];
+                deps.sort_unstable();
+                deps.dedup();
+                deps
+            }
+            DependencePattern::Fft => {
+                let stages = usize::BITS - 1 - width.next_power_of_two().leading_zeros();
+                if stages == 0 {
+                    return vec![point];
+                }
+                let stage = ((step - 1) as u32) % stages;
+                let partner = point ^ (1usize << stage);
+                let mut deps = vec![point];
+                if partner < width {
+                    deps.push(partner);
+                }
+                deps.sort_unstable();
+                deps
+            }
+            DependencePattern::Tree => {
+                if step % 2 == 1 {
+                    // Reduce phase: gather children 2i and 2i + 1.
+                    let mut deps = vec![point];
+                    let left = 2 * point;
+                    let right = 2 * point + 1;
+                    if left < width && left != point {
+                        deps.push(left);
+                    }
+                    if right < width {
+                        deps.push(right);
+                    }
+                    deps.sort_unstable();
+                    deps.dedup();
+                    deps
+                } else {
+                    // Broadcast phase: read from the parent i / 2.
+                    let mut deps = vec![point, point / 2];
+                    deps.sort_unstable();
+                    deps.dedup();
+                    deps
+                }
+            }
+        }
+    }
+
+    /// Average number of incoming dependence edges per task for a graph of
+    /// the given width (excluding the first timestep, which has none).
+    pub fn mean_in_degree(self, width: usize) -> f64 {
+        if width == 0 {
+            return 0.0;
+        }
+        let total: usize = (0..width).map(|p| self.dependencies(p, 1, width).len()).sum();
+        let total2: usize = (0..width).map(|p| self.dependencies(p, 2, width).len()).sum();
+        (total + total2) as f64 / (2 * width) as f64
+    }
+
+    /// Short name used in reports and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DependencePattern::Trivial => "trivial",
+            DependencePattern::NoComm => "no_comm",
+            DependencePattern::Stencil1D => "stencil_1d",
+            DependencePattern::Fft => "fft",
+            DependencePattern::Tree => "tree",
+        }
+    }
+}
+
+impl fmt::Display for DependencePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_timestep_has_no_dependencies() {
+        for pattern in [
+            DependencePattern::Trivial,
+            DependencePattern::NoComm,
+            DependencePattern::Stencil1D,
+            DependencePattern::Fft,
+            DependencePattern::Tree,
+        ] {
+            assert!(pattern.dependencies(3, 0, 16).is_empty());
+        }
+    }
+
+    #[test]
+    fn trivial_never_depends() {
+        for step in 1..5 {
+            for p in 0..8 {
+                assert!(DependencePattern::Trivial.dependencies(p, step, 8).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn no_comm_depends_only_on_itself() {
+        assert_eq!(DependencePattern::NoComm.dependencies(5, 3, 16), vec![5]);
+    }
+
+    #[test]
+    fn stencil_wraps_around() {
+        let deps = DependencePattern::Stencil1D.dependencies(0, 1, 8);
+        assert_eq!(deps, vec![0, 1, 7]);
+        let deps = DependencePattern::Stencil1D.dependencies(7, 1, 8);
+        assert_eq!(deps, vec![0, 6, 7]);
+        let deps = DependencePattern::Stencil1D.dependencies(3, 2, 8);
+        assert_eq!(deps, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn stencil_of_width_one_collapses() {
+        assert_eq!(DependencePattern::Stencil1D.dependencies(0, 1, 1), vec![0]);
+    }
+
+    #[test]
+    fn fft_partners_change_with_step() {
+        let w = 8;
+        assert_eq!(DependencePattern::Fft.dependencies(0, 1, w), vec![0, 1]);
+        assert_eq!(DependencePattern::Fft.dependencies(0, 2, w), vec![0, 2]);
+        assert_eq!(DependencePattern::Fft.dependencies(0, 3, w), vec![0, 4]);
+        // Stage wraps around after log2(width) steps.
+        assert_eq!(DependencePattern::Fft.dependencies(0, 4, w), vec![0, 1]);
+    }
+
+    #[test]
+    fn tree_alternates_reduce_and_broadcast() {
+        let w = 8;
+        // Reduce step: node 1 gathers 2 and 3.
+        assert_eq!(DependencePattern::Tree.dependencies(1, 1, w), vec![1, 2, 3]);
+        // Broadcast step: node 5 reads from its parent 2.
+        assert_eq!(DependencePattern::Tree.dependencies(5, 2, w), vec![2, 5]);
+        // Root in broadcast phase reads itself only.
+        assert_eq!(DependencePattern::Tree.dependencies(0, 2, w), vec![0]);
+    }
+
+    #[test]
+    fn mean_in_degree_orders_patterns_sensibly() {
+        let stencil = DependencePattern::Stencil1D.mean_in_degree(64);
+        let fft = DependencePattern::Fft.mean_in_degree(64);
+        let trivial = DependencePattern::Trivial.mean_in_degree(64);
+        assert_eq!(trivial, 0.0);
+        assert!(stencil > fft);
+        assert!((stencil - 3.0).abs() < 1e-9);
+        assert!((fft - 2.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Every dependence refers to a valid point of the previous step and
+        /// contains no duplicates, for all patterns and sizes.
+        #[test]
+        fn prop_dependencies_are_valid(
+            pattern_idx in 0usize..5,
+            point in 0usize..256,
+            step in 0usize..64,
+            width in 1usize..256,
+        ) {
+            let patterns = [
+                DependencePattern::Trivial,
+                DependencePattern::NoComm,
+                DependencePattern::Stencil1D,
+                DependencePattern::Fft,
+                DependencePattern::Tree,
+            ];
+            let pattern = patterns[pattern_idx];
+            let point = point % width;
+            let deps = pattern.dependencies(point, step, width);
+            let mut sorted = deps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), deps.len(), "duplicate dependencies");
+            for d in deps {
+                prop_assert!(d < width, "dependence {} out of range {}", d, width);
+            }
+        }
+    }
+}

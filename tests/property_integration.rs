@@ -1,0 +1,85 @@
+//! Cross-crate property-based tests: invariants that must hold for any
+//! workload the Task Bench generator can produce.
+
+use ompc::baselines::{block_assignment, BaselineRuntime, MpiSyncRuntime, StarPuRuntime};
+use ompc::prelude::*;
+use ompc::sched::{HeftScheduler, Platform, Scheduler};
+use ompc::sim::ClusterConfig;
+use ompc::taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
+use proptest::prelude::*;
+
+fn arbitrary_config() -> impl Strategy<Value = TaskBenchConfig> {
+    (0usize..4, 1usize..12, 1usize..8, 1u64..5_000_000, 0u64..4_000_000).prop_map(
+        |(pattern_idx, width, steps, iterations, bytes)| {
+            TaskBenchConfig::new(
+                DependencePattern::paper_patterns()[pattern_idx],
+                width,
+                steps,
+                iterations,
+                bytes,
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// HEFT always produces a dependence- and capacity-respecting schedule
+    /// for any Task Bench graph.
+    #[test]
+    fn heft_schedules_any_taskbench_graph(config in arbitrary_config()) {
+        let workload = generate_workload(&config);
+        let platform = Platform::cluster(7);
+        let schedule = HeftScheduler::new().schedule(&workload.graph, &platform);
+        prop_assert!(schedule.validate(&workload.graph, &platform).is_ok());
+        prop_assert_eq!(schedule.len(), workload.len());
+    }
+
+    /// The simulated OMPC runtime executes every task exactly once and its
+    /// makespan is never below the critical-path compute time.
+    #[test]
+    fn simulated_ompc_respects_critical_path(config in arbitrary_config()) {
+        let workload = generate_workload(&config);
+        let cluster = ClusterConfig::santos_dumont(5);
+        let result = simulate_ompc(
+            &workload,
+            &cluster,
+            &OmpcConfig::default(),
+            &OverheadModel::default(),
+        );
+        prop_assert_eq!(result.stats.total_tasks(), workload.len() as u64);
+        let critical = workload.graph.critical_path_cost();
+        prop_assert!(result.makespan.as_secs_f64() + 1e-9 >= critical);
+        // The head node never executes target tasks.
+        prop_assert_eq!(result.stats.nodes[0].tasks_executed, 0);
+    }
+
+    /// Every baseline runtime also executes every task exactly once, and no
+    /// runtime beats the critical-path lower bound.
+    #[test]
+    fn baselines_respect_critical_path(config in arbitrary_config()) {
+        let workload = generate_workload(&config);
+        let cluster = ClusterConfig::santos_dumont(5);
+        let assignment = block_assignment(config.width, config.steps, 5);
+        let critical = workload.graph.critical_path_cost();
+        for runtime in [
+            Box::new(MpiSyncRuntime::new()) as Box<dyn BaselineRuntime>,
+            Box::new(StarPuRuntime::new()),
+        ] {
+            let r = runtime.run(&workload, &cluster, &assignment);
+            prop_assert_eq!(r.stats.total_tasks(), workload.len() as u64);
+            prop_assert!(r.makespan.as_secs_f64() + 1e-9 >= critical);
+        }
+    }
+
+    /// Simulation determinism across repeated runs, for any workload.
+    #[test]
+    fn simulation_is_deterministic(config in arbitrary_config()) {
+        let workload = generate_workload(&config);
+        let cluster = ClusterConfig::santos_dumont(4);
+        let a = simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+        let b = simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+        prop_assert_eq!(a, b);
+    }
+}
