@@ -70,9 +70,7 @@ impl RtmImage {
     /// rows with elevated amplitude.
     pub fn depth_profile(&self) -> Vec<f64> {
         (0..self.nz)
-            .map(|iz| {
-                (0..self.nx).map(|ix| self.at(ix, iz).abs()).sum::<f64>() / self.nx as f64
-            })
+            .map(|iz| (0..self.nx).map(|ix| self.at(ix, iz).abs()).sum::<f64>() / self.nx as f64)
             .collect()
     }
 }
@@ -174,10 +172,7 @@ mod tests {
     fn stacking_two_shots_increases_amplitude() {
         let model = VelocityModel::generate(ModelKind::SigsbeeLike, 48, 48, 20.0);
         let params = quick_params();
-        let shots = [
-            Shot { source_x: 16, source_z: 2 },
-            Shot { source_x: 32, source_z: 2 },
-        ];
+        let shots = [Shot { source_x: 16, source_z: 2 }, Shot { source_x: 32, source_z: 2 }];
         let single = rtm_shot(&model, shots[0], &params);
         let stacked = migrate(&model, &shots, &params);
         assert!(stacked.rms() >= single.rms() * 0.5);

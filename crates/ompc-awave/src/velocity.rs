@@ -55,11 +55,8 @@ impl VelocityModel {
                         // Water layer, then sediments whose velocity grows
                         // with depth, plus a lens-shaped salt body at
                         // mid-depth with a strong velocity contrast.
-                        let background = if z < 0.08 {
-                            1500.0
-                        } else {
-                            1700.0 + 2300.0 * (z - 0.08)
-                        };
+                        let background =
+                            if z < 0.08 { 1500.0 } else { 1700.0 + 2300.0 * (z - 0.08) };
                         let dx = (x - 0.55) / 0.28;
                         let dz = (z - 0.45) / 0.18;
                         if dx * dx + dz * dz < 1.0 {
@@ -75,7 +72,7 @@ impl VelocityModel {
                         // variation like Marmousi.
                         let tilt = z + 0.25 * x;
                         let layer = (tilt * 24.0).sin();
-                        let lateral = 1.0 + 0.3 * (x * 6.28).sin();
+                        let lateral = 1.0 + 0.3 * (x * std::f64::consts::TAU).sin();
                         1500.0 + 2200.0 * z + 350.0 * layer * lateral
                     }
                 };
@@ -121,7 +118,10 @@ impl VelocityModel {
                         for dx in -1i64..=1 {
                             let jx = ix as i64 + dx;
                             let jz = iz as i64 + dz;
-                            if jx >= 0 && jz >= 0 && (jx as usize) < self.nx && (jz as usize) < self.nz
+                            if jx >= 0
+                                && jz >= 0
+                                && (jx as usize) < self.nx
+                                && (jz as usize) < self.nz
                             {
                                 sum += current[jz as usize * self.nx + jx as usize];
                                 count += 1.0;
@@ -174,10 +174,7 @@ mod tests {
         let mid = 32;
         let left: f64 = (0..10).map(|ix| m.at(ix, mid)).sum::<f64>() / 10.0;
         let right: f64 = (54..64).map(|ix| m.at(ix, mid)).sum::<f64>() / 10.0;
-        assert!(
-            (left - right).abs() > 50.0,
-            "expected lateral variation, got {left} vs {right}"
-        );
+        assert!((left - right).abs() > 50.0, "expected lateral variation, got {left} vs {right}");
         assert!(m.min_velocity() > 500.0);
     }
 

@@ -4,13 +4,7 @@
 use crate::velocity::VelocityModel;
 
 /// 8th-order central second-derivative coefficients (offsets 0..=4).
-const FD_COEFFS: [f64; 5] = [
-    -205.0 / 72.0,
-    8.0 / 5.0,
-    -1.0 / 5.0,
-    8.0 / 315.0,
-    -1.0 / 560.0,
-];
+const FD_COEFFS: [f64; 5] = [-205.0 / 72.0, 8.0 / 5.0, -1.0 / 5.0, 8.0 / 315.0, -1.0 / 560.0];
 
 /// Width of the absorbing sponge layer in grid points.
 const SPONGE_WIDTH: usize = 12;
@@ -127,9 +121,7 @@ fn laplacian(field: &[f64], nx: usize, nz: usize, ix: usize, iz: usize, inv_h2: 
 }
 
 fn sponge_factor(ix: usize, iz: usize, nx: usize, nz: usize) -> f64 {
-    let dist = ix
-        .min(nx - 1 - ix)
-        .min(iz.min(nz - 1 - iz));
+    let dist = ix.min(nx - 1 - ix).min(iz.min(nz - 1 - iz));
     if dist >= SPONGE_WIDTH {
         1.0
     } else {
@@ -212,12 +204,7 @@ mod tests {
     fn ricker_wavelet_peaks_near_its_delay_and_decays() {
         let dt = 1e-3;
         let w = ricker_wavelet(15.0, dt, 400);
-        let peak_idx = w
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak_idx = w.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         let expected = (1.0 / 15.0 / dt).round() as usize;
         assert!((peak_idx as i64 - expected as i64).abs() <= 1);
         assert!((w[0]).abs() < 0.01);
@@ -273,10 +260,7 @@ mod tests {
         // wavelet delay; detect its onset as the first sample exceeding 10%
         // of the trace's maximum (robust against later boundary events).
         let expected_t = distance / 2000.0 + 1.0 / 15.0;
-        let trace_max = result
-            .traces
-            .iter()
-            .fold(0.0f64, |m, row| m.max(row[30].abs()));
+        let trace_max = result.traces.iter().fold(0.0f64, |m, row| m.max(row[30].abs()));
         let onset = result
             .traces
             .iter()

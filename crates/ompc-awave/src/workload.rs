@@ -95,10 +95,8 @@ pub fn run_shots_on_cluster(
     let mut region = device.target_region();
     let mut image_buffers = Vec::with_capacity(shots.len());
     for shot in shots {
-        let desc = region.map_to(ompc_mpi::typed::u64s_to_bytes(&[
-            shot.source_x as u64,
-            shot.source_z as u64,
-        ]));
+        let desc = region
+            .map_to(ompc_mpi::typed::u64s_to_bytes(&[shot.source_x as u64, shot.source_z as u64]));
         let image = region.map_alloc(model.nx * model.nz * 8);
         region.target_with_cost(
             kernel,
@@ -155,14 +153,9 @@ mod tests {
         let run = |workers: usize| {
             let survey = AwaveWorkloadConfig::survey(workers, 800, 400, 2000);
             let w = awave_workload(&survey);
-            simulate_ompc(
-                &w,
-                &ClusterConfig::santos_dumont(workers + 1),
-                &config,
-                &overheads,
-            )
-            .makespan
-            .as_secs_f64()
+            simulate_ompc(&w, &ClusterConfig::santos_dumont(workers + 1), &config, &overheads)
+                .makespan
+                .as_secs_f64()
         };
         let t1 = run(1);
         let t8 = run(8);

@@ -45,8 +45,7 @@ pub struct DataflowParams {
 
 impl DataflowParams {
     fn message_cost(&self, bytes: u64) -> SimTime {
-        self.per_message_handler
-            + SimTime::from_secs_f64(bytes as f64 * self.pack_seconds_per_byte)
+        self.per_message_handler + SimTime::from_secs_f64(bytes as f64 * self.pack_seconds_per_byte)
     }
 
     fn wire_bytes(&self, bytes: u64) -> u64 {
@@ -195,11 +194,7 @@ impl BaselineRuntime for DataflowRuntime {
         cluster: &ClusterConfig,
         assignment: &[usize],
     ) -> BaselineResult {
-        assert_eq!(
-            assignment.len(),
-            workload.len(),
-            "assignment must cover every task"
-        );
+        assert_eq!(assignment.len(), workload.len(), "assignment must cover every task");
         let mut engine = Engine::with_trace(cluster.clone(), Trace::disabled());
         let mut process = DataflowProcess::new(workload, assignment, self.params.clone());
         let makespan = engine.run(&mut process);

@@ -18,10 +18,7 @@ pub struct StarPuRuntime {
 impl StarPuRuntime {
     /// The default cost model used in the figure reproductions.
     pub fn new() -> Self {
-        Self::with_params(
-            SimTime::from_micros(40),
-            SimTime::from_micros(8),
-        )
+        Self::with_params(SimTime::from_micros(40), SimTime::from_micros(8))
     }
 
     /// Customize the per-task and per-message costs (used by sensitivity
@@ -87,16 +84,8 @@ mod tests {
         let cfg = TaskBenchConfig::new(DependencePattern::Stencil1D, 64, 8, 2_000_000, 1 << 16);
         let w = generate_workload(&cfg);
         let rt = StarPuRuntime::new();
-        let small = rt.run(
-            &w,
-            &ClusterConfig::small(2, 4),
-            &block_assignment(64, 8, 2),
-        );
-        let large = rt.run(
-            &w,
-            &ClusterConfig::small(8, 4),
-            &block_assignment(64, 8, 8),
-        );
+        let small = rt.run(&w, &ClusterConfig::small(2, 4), &block_assignment(64, 8, 2));
+        let large = rt.run(&w, &ClusterConfig::small(8, 4), &block_assignment(64, 8, 8));
         assert!(large.makespan < small.makespan);
     }
 }

@@ -36,15 +36,14 @@ fn bench_design_choices(c: &mut Criterion) {
     let overheads = OverheadModel::default();
 
     for scheduler in [SchedulerKind::Heft, SchedulerKind::Eager] {
-        let mut config = OmpcConfig::default();
-        config.scheduler = scheduler;
+        let config = OmpcConfig { scheduler, ..OmpcConfig::default() };
         group.bench_function(format!("scheduler/{}", scheduler.name()), |b| {
             b.iter(|| simulate_ompc(&workload, &cluster, &config, &overheads).makespan)
         });
     }
     for forwarding in [true, false] {
-        let mut config = OmpcConfig::default();
-        config.worker_to_worker_forwarding = forwarding;
+        let config =
+            OmpcConfig { worker_to_worker_forwarding: forwarding, ..OmpcConfig::default() };
         let label = if forwarding { "forwarding" } else { "staged" };
         group.bench_function(format!("data-path/{label}"), |b| {
             b.iter(|| simulate_ompc(&workload, &cluster, &config, &overheads).makespan)

@@ -18,8 +18,13 @@ fn bench_simulated_survey(c: &mut Criterion) {
         let cluster = ClusterConfig::santos_dumont(workers + 1);
         group.bench_with_input(BenchmarkId::new("survey", workers), &workers, |b, _| {
             b.iter(|| {
-                simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default())
-                    .makespan
+                simulate_ompc(
+                    &workload,
+                    &cluster,
+                    &OmpcConfig::default(),
+                    &OverheadModel::default(),
+                )
+                .makespan
             })
         });
     }

@@ -1,7 +1,9 @@
 //! Criterion bench for the Figure 6 experiment (CCR sweep at 16 nodes).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ompc_baselines::{block_assignment, BaselineRuntime, CharmRuntime, MpiSyncRuntime, StarPuRuntime};
+use ompc_baselines::{
+    block_assignment, BaselineRuntime, CharmRuntime, MpiSyncRuntime, StarPuRuntime,
+};
 use ompc_core::prelude::{simulate_ompc, OmpcConfig, OverheadModel};
 use ompc_sim::{ClusterConfig, NetworkConfig};
 use ompc_taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
@@ -20,8 +22,13 @@ fn bench_ccr(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("ompc", format!("ccr{ccr}")), &ccr, |b, _| {
             b.iter(|| {
-                simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default())
-                    .makespan
+                simulate_ompc(
+                    &workload,
+                    &cluster,
+                    &OmpcConfig::default(),
+                    &OverheadModel::default(),
+                )
+                .makespan
             })
         });
         group.bench_with_input(BenchmarkId::new("charm", format!("ccr{ccr}")), &ccr, |b, _| {

@@ -5,7 +5,9 @@
 //! with the paper's parameters is produced by the `fig5` binary.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ompc_baselines::{block_assignment, BaselineRuntime, CharmRuntime, MpiSyncRuntime, StarPuRuntime};
+use ompc_baselines::{
+    block_assignment, BaselineRuntime, CharmRuntime, MpiSyncRuntime, StarPuRuntime,
+};
 use ompc_core::prelude::{simulate_ompc, OmpcConfig, OverheadModel};
 use ompc_sim::ClusterConfig;
 use ompc_taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
@@ -45,7 +47,9 @@ fn bench_scalability(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("charm/{pattern}"), nodes),
                 &nodes,
-                |b, _| b.iter(|| CharmRuntime::new().run(&workload, &cluster, &assignment).makespan),
+                |b, _| {
+                    b.iter(|| CharmRuntime::new().run(&workload, &cluster, &assignment).makespan)
+                },
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("starpu/{pattern}"), nodes),

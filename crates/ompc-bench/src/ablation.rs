@@ -6,10 +6,9 @@
 use ompc_core::prelude::{simulate_ompc, OmpcConfig, OverheadModel, SchedulerKind};
 use ompc_sim::ClusterConfig;
 use ompc_taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
-use serde::{Deserialize, Serialize};
 
 /// One ablation measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationRow {
     /// Which study the row belongs to.
     pub study: String,
@@ -21,9 +20,7 @@ pub struct AblationRow {
 
 fn measure(config: &OmpcConfig, cluster: &ClusterConfig, tb: &TaskBenchConfig) -> f64 {
     let workload = generate_workload(tb);
-    simulate_ompc(&workload, cluster, config, &OverheadModel::default())
-        .makespan
-        .as_secs_f64()
+    simulate_ompc(&workload, cluster, config, &OverheadModel::default()).makespan.as_secs_f64()
 }
 
 /// Run every ablation on a communication-heavy 16-node stencil workload
@@ -41,8 +38,7 @@ pub fn run_ablation() -> Vec<AblationRow> {
         SchedulerKind::RoundRobin,
         SchedulerKind::Eager,
     ] {
-        let mut config = OmpcConfig::default();
-        config.scheduler = scheduler;
+        let config = OmpcConfig { scheduler, ..OmpcConfig::default() };
         rows.push(AblationRow {
             study: "scheduler".to_string(),
             variant: scheduler.name().to_string(),
@@ -50,19 +46,23 @@ pub fn run_ablation() -> Vec<AblationRow> {
         });
     }
 
-    // 2. Head-node in-flight limit (the libomptarget blocked-thread bound).
+    // 2. Head-node in-flight window (the libomptarget blocked-thread bound,
+    // now an explicit knob of the unified execution core).
     for limit in [4usize, 16, 48, 96] {
-        let mut config = OmpcConfig::default();
-        config.head_worker_threads = limit;
+        let config = OmpcConfig { max_inflight_tasks: Some(limit), ..OmpcConfig::default() };
         rows.push(AblationRow {
             study: "in-flight-limit".to_string(),
             variant: format!("limit={limit}"),
             seconds: measure(&config, &cluster, &tb),
         });
     }
+    rows.push(AblationRow {
+        study: "in-flight-limit".to_string(),
+        variant: "legacy-serial-transfers".to_string(),
+        seconds: measure(&OmpcConfig::legacy_libomptarget(), &cluster, &tb),
+    });
     {
-        let mut config = OmpcConfig::default();
-        config.enforce_in_flight_limit = false;
+        let config = OmpcConfig { enforce_in_flight_limit: false, ..OmpcConfig::default() };
         rows.push(AblationRow {
             study: "in-flight-limit".to_string(),
             variant: "unlimited".to_string(),
@@ -72,8 +72,8 @@ pub fn run_ablation() -> Vec<AblationRow> {
 
     // 3. Worker-to-worker forwarding vs. staging through the head node.
     for forwarding in [true, false] {
-        let mut config = OmpcConfig::default();
-        config.worker_to_worker_forwarding = forwarding;
+        let config =
+            OmpcConfig { worker_to_worker_forwarding: forwarding, ..OmpcConfig::default() };
         rows.push(AblationRow {
             study: "data-forwarding".to_string(),
             variant: if forwarding { "worker-to-worker" } else { "staged-via-head" }.to_string(),
@@ -94,11 +94,22 @@ pub fn run_ablation() -> Vec<AblationRow> {
     rows
 }
 
+impl crate::report::JsonRow for AblationRow {
+    fn to_json_value(&self) -> ompc_json::Json {
+        use ompc_json::Json;
+        Json::obj([
+            ("study", Json::str(self.study.clone())),
+            ("variant", Json::str(self.variant.clone())),
+            ("seconds", Json::num(self.seconds)),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn time_of<'a>(rows: &'a [AblationRow], study: &str, variant: &str) -> f64 {
+    fn time_of(rows: &[AblationRow], study: &str, variant: &str) -> f64 {
         rows.iter()
             .find(|r| r.study == study && r.variant == variant)
             .unwrap_or_else(|| panic!("missing row {study}/{variant}"))
@@ -111,9 +122,7 @@ mod tests {
         assert!(rows.iter().all(|r| r.seconds > 0.0));
 
         // HEFT beats communication-oblivious round robin (paper §4.4).
-        assert!(
-            time_of(&rows, "scheduler", "heft") <= time_of(&rows, "scheduler", "round-robin")
-        );
+        assert!(time_of(&rows, "scheduler", "heft") <= time_of(&rows, "scheduler", "round-robin"));
         // Worker-to-worker forwarding beats staging through the head node
         // (paper §4.3: "dramatically improving performance").
         assert!(

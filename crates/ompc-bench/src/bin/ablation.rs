@@ -29,7 +29,7 @@ fn main() {
         print!("{}", render_table(&header, &table_rows));
     }
 
-    let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    let json = ompc_bench::rows_to_json_pretty(&rows);
     std::fs::create_dir_all("results").ok();
     std::fs::write("results/ablation.json", json).ok();
     eprintln!("\nwrote results/ablation.json ({} measurements)", rows.len());

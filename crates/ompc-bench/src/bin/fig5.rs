@@ -62,11 +62,8 @@ fn main() {
             entry.1.push(ompc / mpi);
         }
     }
-    let header = vec![
-        "pattern".to_string(),
-        "OMPC vs Charm++".to_string(),
-        "MPI vs OMPC".to_string(),
-    ];
+    let header =
+        vec!["pattern".to_string(), "OMPC vs Charm++".to_string(), "MPI vs OMPC".to_string()];
     let table_rows: Vec<Vec<String>> = by_pattern
         .iter()
         .map(|(pattern, (vs_charm, vs_mpi))| {
@@ -79,7 +76,7 @@ fn main() {
         .collect();
     print!("{}", render_table(&header, &table_rows));
 
-    let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    let json = ompc_bench::rows_to_json_pretty(&rows);
     std::fs::create_dir_all("results").ok();
     std::fs::write("results/fig5.json", json).ok();
     eprintln!("\nwrote results/fig5.json ({} measurements)", rows.len());

@@ -34,7 +34,8 @@ fn main() {
     }
 
     println!("\n## Headline ratios (averaged over CCR values)");
-    let header = vec!["pattern".to_string(), "OMPC vs Charm++".to_string(), "MPI vs OMPC".to_string()];
+    let header =
+        vec!["pattern".to_string(), "OMPC vs Charm++".to_string(), "MPI vs OMPC".to_string()];
     let mut table_rows = Vec::new();
     for pattern in &patterns {
         let mut vs_charm = Vec::new();
@@ -60,7 +61,7 @@ fn main() {
     }
     print!("{}", render_table(&header, &table_rows));
 
-    let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    let json = ompc_bench::rows_to_json_pretty(&rows);
     std::fs::create_dir_all("results").ok();
     std::fs::write("results/fig6.json", json).ok();
     eprintln!("\nwrote results/fig6.json ({} measurements)", rows.len());

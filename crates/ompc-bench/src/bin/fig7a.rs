@@ -48,7 +48,7 @@ fn main() {
          the constant runtime overhead is a few tens of milliseconds."
     );
 
-    let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    let json = ompc_bench::rows_to_json_pretty(&rows);
     std::fs::create_dir_all("results").ok();
     std::fs::write("results/fig7a.json", json).ok();
     eprintln!("\nwrote results/fig7a.json ({} measurements)", rows.len());

@@ -14,9 +14,7 @@ fn main() {
     let mut models: Vec<String> = rows.iter().map(|r| r.model.clone()).collect();
     models.dedup();
     let header: Vec<String> = std::iter::once("workers".to_string())
-        .chain(models.iter().flat_map(|m| {
-            [format!("{m} speedup"), format!("{m} time (s)")]
-        }))
+        .chain(models.iter().flat_map(|m| [format!("{m} speedup"), format!("{m} time (s)")]))
         .collect();
     let mut table_rows = Vec::new();
     for &w in &workers {
@@ -36,7 +34,7 @@ fn main() {
          than Task Bench tasks."
     );
 
-    let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+    let json = ompc_bench::rows_to_json_pretty(&rows);
     std::fs::create_dir_all("results").ok();
     std::fs::write("results/fig7b.json", json).ok();
     eprintln!("\nwrote results/fig7b.json ({} measurements)", rows.len());

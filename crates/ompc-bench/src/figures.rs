@@ -1,14 +1,15 @@
 //! The per-figure experiment drivers.
 
+use crate::report::JsonRow;
 use crate::runtimes::{run_all_runtimes, RuntimeKind, RuntimeMeasurement};
 use ompc_awave::{awave_workload, AwaveWorkloadConfig};
 use ompc_core::prelude::{simulate_ompc, OmpcConfig, OverheadModel};
+use ompc_json::Json;
 use ompc_sim::{ClusterConfig, NodeConfig};
 use ompc_taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
-use serde::{Deserialize, Serialize};
 
 /// One point of Fig. 5: a (pattern, node count, runtime) execution time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalabilityRow {
     /// Dependence pattern name.
     pub pattern: String,
@@ -43,7 +44,7 @@ pub fn run_scalability(node_counts: &[usize]) -> Vec<ScalabilityRow> {
 }
 
 /// One point of Fig. 6: a (pattern, CCR, runtime) execution time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CcrRow {
     /// Dependence pattern name.
     pub pattern: String,
@@ -80,7 +81,7 @@ pub fn run_ccr(ccrs: &[f64]) -> Vec<CcrRow> {
 
 /// One point of Fig. 7(a): the overhead breakdown at a given per-task
 /// workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OverheadRow {
     /// Iterations of the Task Bench loop per task.
     pub iterations: u64,
@@ -130,7 +131,7 @@ pub fn run_overhead(iteration_counts: &[u64]) -> Vec<OverheadRow> {
 }
 
 /// One point of Fig. 7(b): Awave weak-scaling speedup at a worker count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AwaveRow {
     /// Velocity model name (Sigsbee / Marmousi).
     pub model: String,
@@ -164,14 +165,10 @@ pub fn run_awave(worker_counts: &[usize]) -> Vec<AwaveRow> {
         for &workers in worker_counts {
             let survey = AwaveWorkloadConfig::survey(workers, nx, nz, nt);
             let w = awave_workload(&survey);
-            let seconds = simulate_ompc(
-                &w,
-                &ClusterConfig::santos_dumont(workers + 1),
-                &config,
-                &overheads,
-            )
-            .makespan
-            .as_secs_f64();
+            let seconds =
+                simulate_ompc(&w, &ClusterConfig::santos_dumont(workers + 1), &config, &overheads)
+                    .makespan
+                    .as_secs_f64();
             rows.push(AwaveRow {
                 model: name.to_string(),
                 workers,
@@ -189,9 +186,8 @@ pub fn ompc_vs_charm_speedups(rows: &[(String, Vec<RuntimeMeasurement>)]) -> Vec
     use std::collections::BTreeMap;
     let mut per_pattern: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for (pattern, measurements) in rows {
-        let time = |kind: RuntimeKind| {
-            measurements.iter().find(|m| m.runtime == kind).map(|m| m.seconds)
-        };
+        let time =
+            |kind: RuntimeKind| measurements.iter().find(|m| m.runtime == kind).map(|m| m.seconds);
         if let (Some(ompc), Some(charm)) = (time(RuntimeKind::Ompc), time(RuntimeKind::Charm)) {
             if ompc > 0.0 {
                 per_pattern.entry(pattern.clone()).or_default().push(charm / ompc);
@@ -205,6 +201,51 @@ pub fn ompc_vs_charm_speedups(rows: &[(String, Vec<RuntimeMeasurement>)]) -> Vec
             (pattern, mean)
         })
         .collect()
+}
+
+impl JsonRow for ScalabilityRow {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("pattern", Json::str(self.pattern.clone())),
+            ("nodes", Json::usize(self.nodes)),
+            ("runtime", Json::str(self.runtime.name())),
+            ("seconds", Json::num(self.seconds)),
+        ])
+    }
+}
+
+impl JsonRow for CcrRow {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("pattern", Json::str(self.pattern.clone())),
+            ("ccr", Json::num(self.ccr)),
+            ("runtime", Json::str(self.runtime.name())),
+            ("seconds", Json::num(self.seconds)),
+        ])
+    }
+}
+
+impl JsonRow for OverheadRow {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("iterations", Json::u64(self.iterations)),
+            ("wall_time", Json::num(self.wall_time)),
+            ("startup_pct", Json::num(self.startup_pct)),
+            ("schedule_pct", Json::num(self.schedule_pct)),
+            ("shutdown_pct", Json::num(self.shutdown_pct)),
+        ])
+    }
+}
+
+impl JsonRow for AwaveRow {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("model", Json::str(self.model.clone())),
+            ("workers", Json::usize(self.workers)),
+            ("speedup", Json::num(self.speedup)),
+            ("seconds", Json::num(self.seconds)),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -252,10 +293,7 @@ mod tests {
         // Charm++ must not beat MPI anywhere (paper Fig. 6).
         for pattern in ["stencil_1d", "fft", "tree"] {
             let t = |kind: RuntimeKind| {
-                rows.iter()
-                    .find(|r| r.pattern == pattern && r.runtime == kind)
-                    .unwrap()
-                    .seconds
+                rows.iter().find(|r| r.pattern == pattern && r.runtime == kind).unwrap().seconds
             };
             assert!(t(RuntimeKind::Mpi) <= t(RuntimeKind::Charm));
         }

@@ -30,5 +30,5 @@ pub use figures::{
     run_awave, run_ccr, run_overhead, run_scalability, AwaveRow, CcrRow, OverheadRow,
     ScalabilityRow,
 };
-pub use report::{geometric_mean, render_table, speedup_summary};
+pub use report::{geometric_mean, render_table, rows_to_json_pretty, speedup_summary, JsonRow};
 pub use runtimes::{run_all_runtimes, RuntimeKind, RuntimeMeasurement};

@@ -1,6 +1,19 @@
 //! Small reporting helpers shared by the figure binaries.
 
 use crate::runtimes::RuntimeKind;
+use ompc_json::Json;
+
+/// A result row that can render itself as a JSON object, so the figure
+/// binaries can persist machine-readable copies of their tables.
+pub trait JsonRow {
+    /// The row as a JSON value.
+    fn to_json_value(&self) -> Json;
+}
+
+/// Render a slice of rows as a pretty-printed JSON array.
+pub fn rows_to_json_pretty<R: JsonRow>(rows: &[R]) -> String {
+    Json::Arr(rows.iter().map(JsonRow::to_json_value).collect()).to_string_pretty()
+}
 
 /// Geometric mean of a slice of positive values (0.0 for an empty slice).
 pub fn geometric_mean(values: &[f64]) -> f64 {
@@ -49,11 +62,8 @@ pub fn speedup_summary(pairs: &[(f64, f64)], versus: RuntimeKind) -> String {
     if pairs.is_empty() {
         return format!("no data versus {}", versus.name());
     }
-    let ratios: Vec<f64> = pairs
-        .iter()
-        .filter(|(ompc, _)| *ompc > 0.0)
-        .map(|(ompc, other)| other / ompc)
-        .collect();
+    let ratios: Vec<f64> =
+        pairs.iter().filter(|(ompc, _)| *ompc > 0.0).map(|(ompc, other)| other / ompc).collect();
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     format!("mean OMPC speedup vs {}: {:.2}x", versus.name(), mean)
 }

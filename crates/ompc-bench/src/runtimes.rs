@@ -8,10 +8,9 @@ use ompc_core::model::WorkloadGraph;
 use ompc_core::prelude::{simulate_ompc, OmpcConfig, OverheadModel};
 use ompc_sim::ClusterConfig;
 use ompc_taskbench::TaskBenchConfig;
-use serde::{Deserialize, Serialize};
 
 /// The runtimes of the paper's comparison, in legend order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RuntimeKind {
     /// OMPC (this repository's runtime, simulated mode).
     Ompc,
@@ -41,7 +40,7 @@ impl RuntimeKind {
 }
 
 /// One measured execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeMeasurement {
     /// Which runtime executed the workload.
     pub runtime: RuntimeKind,
@@ -67,16 +66,13 @@ pub fn run_all_runtimes(
     let block = block_assignment(config.width, config.steps, nodes);
     let cyclic = cyclic_assignment(config.width, config.steps, nodes);
 
-    let ompc_seconds = simulate_ompc(
-        workload,
-        &cluster,
-        &OmpcConfig::default(),
-        &OverheadModel::default(),
-    )
-    .makespan
-    .as_secs_f64();
+    let ompc_seconds =
+        simulate_ompc(workload, &cluster, &OmpcConfig::default(), &OverheadModel::default())
+            .makespan
+            .as_secs_f64();
 
-    let mut results = vec![RuntimeMeasurement { runtime: RuntimeKind::Ompc, seconds: ompc_seconds }];
+    let mut results =
+        vec![RuntimeMeasurement { runtime: RuntimeKind::Ompc, seconds: ompc_seconds }];
     let baselines: Vec<(RuntimeKind, Box<dyn BaselineRuntime>, &[usize])> = vec![
         (RuntimeKind::Charm, Box::new(CharmRuntime::new()), &cyclic),
         (RuntimeKind::StarPu, Box::new(StarPuRuntime::new()), &block),
@@ -104,9 +100,7 @@ mod tests {
             assert!(r.seconds > 0.0, "{} reported no time", r.runtime.name());
         }
         // The paper's headline ordering at moderate scale: MPI is fastest.
-        let time = |kind: RuntimeKind| {
-            results.iter().find(|r| r.runtime == kind).unwrap().seconds
-        };
+        let time = |kind: RuntimeKind| results.iter().find(|r| r.runtime == kind).unwrap().seconds;
         assert!(time(RuntimeKind::Mpi) <= time(RuntimeKind::Ompc));
     }
 

@@ -38,20 +38,12 @@ impl BufferRegistry {
 
     /// Size in bytes of a buffer.
     pub fn size_of(&self, id: BufferId) -> OmpcResult<usize> {
-        self.buffers
-            .read()
-            .get(&id.0)
-            .map(Vec::len)
-            .ok_or(OmpcError::UnknownBuffer(id))
+        self.buffers.read().get(&id.0).map(Vec::len).ok_or(OmpcError::UnknownBuffer(id))
     }
 
     /// Clone the current host contents of a buffer.
     pub fn get(&self, id: BufferId) -> OmpcResult<Vec<u8>> {
-        self.buffers
-            .read()
-            .get(&id.0)
-            .cloned()
-            .ok_or(OmpcError::UnknownBuffer(id))
+        self.buffers.read().get(&id.0).cloned().ok_or(OmpcError::UnknownBuffer(id))
     }
 
     /// Replace the host contents of a buffer (used when `map(from:)` /

@@ -13,16 +13,16 @@ use crate::config::OmpcConfig;
 use crate::data_manager::{DataManager, HEAD_NODE};
 use crate::event::EventSystem;
 use crate::kernel::{Kernel, KernelArgs, KernelRegistry};
-use crate::model;
+use crate::model::WorkloadGraph;
 use crate::region::TargetRegion;
+use crate::runtime::{RunRecord, RuntimeCore, RuntimePlan, ThreadedBackend};
 use crate::stats::{DeviceReport, RegionReport};
 use crate::task::{RegionGraph, TaskKind};
-use crate::types::{BufferId, KernelId, MapType, NodeId, OmpcError, OmpcResult, TaskId};
+use crate::types::{BufferId, Dependence, KernelId, OmpcError, OmpcResult};
 use crate::worker::worker_main;
 use ompc_mpi::World;
-use ompc_sched::Platform;
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -61,6 +61,8 @@ pub struct ClusterDevice {
     num_workers: usize,
     worker_handles: Vec<JoinHandle<()>>,
     report: Mutex<DeviceReport>,
+    /// Lazily registered no-op kernel shared by every `run_workload` call.
+    workload_kernel: std::sync::OnceLock<KernelId>,
     shut_down: bool,
 }
 
@@ -101,6 +103,7 @@ impl ClusterDevice {
             num_workers,
             worker_handles,
             report: Mutex::new(DeviceReport { startup_time, ..DeviceReport::default() }),
+            workload_kernel: std::sync::OnceLock::new(),
             shut_down: false,
         }
     }
@@ -148,8 +151,7 @@ impl ClusterDevice {
     /// Current host contents of a buffer interpreted as `f64`s.
     pub fn buffer_f64s(&self, id: BufferId) -> OmpcResult<Vec<f64>> {
         let data = self.buffers.get(id)?;
-        ompc_mpi::typed::bytes_to_f64s(&data)
-            .map_err(|e| OmpcError::Internal(e.to_string()))
+        ompc_mpi::typed::bytes_to_f64s(&data).map_err(|e| OmpcError::Internal(e.to_string()))
     }
 
     /// The host buffer registry (used by host tasks and examples).
@@ -184,7 +186,8 @@ impl ClusterDevice {
         self.report.lock().shutdown_time = start.elapsed();
     }
 
-    /// Execute a region graph. Called by [`TargetRegion::run`].
+    /// Execute a region graph through the unified execution core. Called by
+    /// [`TargetRegion::run`].
     pub(crate) fn execute_region(
         &self,
         graph: RegionGraph,
@@ -197,7 +200,7 @@ impl ClusterDevice {
             return Ok(RegionReport::default());
         }
         let sched_start = Instant::now();
-        let assignment = self.assign_nodes(&graph);
+        let plan = RuntimePlan::for_region(&graph, &self.buffers, self.num_workers, &self.config);
         // Register every referenced buffer with the data manager (host copy
         // lives on the head node until data movement says otherwise).
         {
@@ -212,12 +215,11 @@ impl ClusterDevice {
         }
         let schedule_time = sched_start.elapsed();
 
-        let events_before = self.events.counters().events.load(Ordering::Relaxed);
         let data_before = self.events.counters().data_events.load(Ordering::Relaxed);
         let bytes_before = self.events.counters().bytes_moved.load(Ordering::Relaxed);
 
         let exec_start = Instant::now();
-        self.dispatch(&graph, &host_fns, &assignment)?;
+        let record = self.execute_planned(&graph, &host_fns, &plan)?;
         let execution_time = exec_start.elapsed();
 
         let report = RegionReport {
@@ -225,227 +227,101 @@ impl ClusterDevice {
             execution_time,
             tasks_executed: graph.len(),
             target_tasks: graph.tasks().iter().filter(|t| t.kind.is_target()).count(),
-            data_events: (self.events.counters().data_events.load(Ordering::Relaxed)
-                - data_before) as usize,
-            bytes_moved: self.events.counters().bytes_moved.load(Ordering::Relaxed)
-                - bytes_before,
+            peak_in_flight: record.peak_in_flight,
+            data_events: (self.events.counters().data_events.load(Ordering::Relaxed) - data_before)
+                as usize,
+            bytes_moved: self.events.counters().bytes_moved.load(Ordering::Relaxed) - bytes_before,
         };
-        let _ = events_before;
         self.report.lock().regions.push(report.clone());
         Ok(report)
     }
 
-    /// Run the static scheduler and derive the node assignment of every
-    /// task: target tasks go where HEFT put them, data tasks follow their
-    /// consumer/producer (paper §4.4), and host tasks stay on the head.
-    fn assign_nodes(&self, graph: &RegionGraph) -> Vec<NodeId> {
-        let sched_graph = model::region_to_sched(graph, &self.buffers);
-        let platform = Platform::cluster(self.num_workers);
-        let schedule = self.config.scheduler.build().schedule(&sched_graph, &platform);
-        let mut assignment: Vec<NodeId> =
-            (0..graph.len()).map(|t| schedule.proc_of(t) + 1).collect();
-        for task in graph.tasks() {
-            match task.kind {
-                TaskKind::EnterData { .. } => {
-                    if let Some(&succ) = graph
-                        .successors(task.id)
-                        .iter()
-                        .find(|&&s| graph.task(s).kind.is_target())
-                    {
-                        assignment[task.id.0] = assignment[succ.0];
-                    }
-                }
-                TaskKind::ExitData { .. } => {
-                    if let Some(&pred) = graph
-                        .predecessors(task.id)
-                        .iter()
-                        .find(|&&p| graph.task(p).kind.is_target())
-                    {
-                        assignment[task.id.0] = assignment[pred.0];
-                    }
-                }
-                TaskKind::Host { .. } => assignment[task.id.0] = HEAD_NODE,
-                TaskKind::Target { .. } => {}
-            }
-        }
-        assignment
-    }
-
-    /// Dynamic dispatch of the scheduled graph: ready tasks are handed to a
-    /// pool of head worker threads (one blocked thread per in-flight target
-    /// region, as in LLVM's libomptarget), and retire as their events
-    /// complete.
-    fn dispatch(
+    /// Execute an already-planned region graph and return the core's
+    /// decision record.
+    fn execute_planned(
         &self,
         graph: &RegionGraph,
         host_fns: &HashMap<usize, HostFn>,
-        assignment: &[NodeId],
-    ) -> OmpcResult<()> {
-        let total = graph.len();
-        let limit = if self.config.enforce_in_flight_limit {
-            self.config.head_worker_threads.max(1)
-        } else {
-            usize::MAX
-        };
-        let mut remaining_preds: Vec<usize> =
-            (0..total).map(|t| graph.predecessors(TaskId(t)).len()).collect();
-        let mut ready: VecDeque<TaskId> = graph.roots().into();
-        let mut in_flight = 0usize;
-        let mut completed = 0usize;
-
-        let (task_tx, task_rx) = crossbeam::channel::unbounded::<TaskId>();
-        let (done_tx, done_rx) = crossbeam::channel::unbounded::<(TaskId, OmpcResult<()>)>();
-
-        let result: OmpcResult<()> = std::thread::scope(|scope| {
-            for i in 0..self.config.head_worker_threads.max(1) {
-                let task_rx = task_rx.clone();
-                let done_tx = done_tx.clone();
-                std::thread::Builder::new()
-                    .name(format!("ompc-head-{i}"))
-                    .spawn_scoped(scope, move || {
-                        while let Ok(tid) = task_rx.recv() {
-                            let res = self.run_task(graph, host_fns, assignment, tid);
-                            if done_tx.send((tid, res)).is_err() {
-                                break;
-                            }
-                        }
-                    })
-                    .expect("failed to spawn head worker thread");
-            }
-            drop(task_rx);
-            drop(done_tx);
-
-            let mut outcome: OmpcResult<()> = Ok(());
-            while completed < total {
-                while in_flight < limit {
-                    let Some(t) = ready.pop_front() else { break };
-                    task_tx.send(t).map_err(|_| {
-                        OmpcError::Internal("head worker pool terminated early".to_string())
-                    })?;
-                    in_flight += 1;
-                }
-                match done_rx.recv() {
-                    Ok((tid, res)) => {
-                        in_flight -= 1;
-                        completed += 1;
-                        if let Err(e) = res {
-                            outcome = Err(e);
-                            break;
-                        }
-                        for &succ in graph.successors(tid) {
-                            remaining_preds[succ.0] -= 1;
-                            if remaining_preds[succ.0] == 0 {
-                                ready.push_back(succ);
-                            }
-                        }
-                    }
-                    Err(_) => {
-                        outcome =
-                            Err(OmpcError::Internal("head worker pool disappeared".to_string()));
-                        break;
-                    }
-                }
-            }
-            drop(task_tx);
-            outcome
-        });
-        result
+        plan: &RuntimePlan,
+    ) -> OmpcResult<RunRecord> {
+        let mut core = RuntimeCore::new(graph, plan);
+        let backend = ThreadedBackend::new(
+            &self.events,
+            &self.buffers,
+            &self.dm,
+            graph,
+            host_fns,
+            &self.config,
+        );
+        backend.execute(&mut core)?;
+        Ok(core.record())
     }
 
-    /// Execute one task: plan and perform its data movement through the
-    /// data manager, then run the kernel (or the host body, or the data
-    /// movement itself for enter/exit data tasks).
-    fn run_task(
+    /// Execute an abstract [`WorkloadGraph`] on the real cluster under an
+    /// explicit [`RuntimePlan`], returning the execution core's decision
+    /// record.
+    ///
+    /// The workload is materialized as a region of no-op target tasks, one
+    /// per workload task, connected through per-task output buffers of the
+    /// workload's output sizes — the threaded mirror of what
+    /// [`crate::sim_runtime::simulate_ompc_with_plan`] executes on the
+    /// virtual cluster. This is the entry point of the backend-equivalence
+    /// tests: both backends must make identical scheduling and dispatch
+    /// decisions for the same workload and plan.
+    pub fn run_workload(
         &self,
-        graph: &RegionGraph,
-        host_fns: &HashMap<usize, HostFn>,
-        assignment: &[NodeId],
-        tid: TaskId,
-    ) -> OmpcResult<()> {
-        let task = graph.task(tid);
-        let node = assignment[tid.0];
-        match &task.kind {
-            TaskKind::EnterData { buffer, map } => {
-                if node == HEAD_NODE {
-                    return Ok(());
-                }
-                match map {
-                    MapType::To | MapType::ToFrom => {
-                        let data = self.buffers.get(*buffer)?;
-                        self.events.submit(node, *buffer, data)?;
-                        self.dm.lock().record_replica(*buffer, node);
-                    }
-                    MapType::Alloc => {
-                        let size = self.buffers.size_of(*buffer)?;
-                        self.events.alloc(node, *buffer, size)?;
-                        self.dm.lock().record_replica(*buffer, node);
-                    }
-                    MapType::From | MapType::Release => {}
-                }
-                Ok(())
+        workload: &WorkloadGraph,
+        plan: &RuntimePlan,
+    ) -> OmpcResult<RunRecord> {
+        if self.shut_down {
+            return Err(OmpcError::ShutDown);
+        }
+        if workload.is_empty() {
+            return Ok(RunRecord::default());
+        }
+        let noop = *self
+            .workload_kernel
+            .get_or_init(|| self.kernels.register_fn("workload-task", 1e-6, |_| {}));
+        let buffers: Vec<BufferId> = workload
+            .output_bytes
+            .iter()
+            .map(|&bytes| self.buffers.register(vec![0u8; bytes as usize]))
+            .collect();
+        let mut region = RegionGraph::new();
+        for t in 0..workload.len() {
+            let mut deps = vec![Dependence::output(buffers[t])];
+            for &pred in workload.graph.predecessors(t) {
+                deps.push(Dependence::input(buffers[pred]));
             }
-            TaskKind::Target { kernel, .. } => {
-                let buffer_list: Vec<BufferId> =
-                    task.dependences.iter().map(|d| d.buffer).collect();
-                for dep in &task.dependences {
-                    if dep.dep_type.reads() {
-                        let plan = self.dm.lock().plan_input(dep.buffer, node);
-                        if let Some(plan) = plan {
-                            if plan.from == HEAD_NODE {
-                                let data = self.buffers.get(dep.buffer)?;
-                                self.events.submit(node, dep.buffer, data)?;
-                            } else {
-                                self.events.exchange(plan.from, node, dep.buffer)?;
-                            }
-                        }
-                    } else {
-                        // Write-only output: make sure storage exists on the
-                        // executing node.
-                        let present = self.dm.lock().is_present(dep.buffer, node);
-                        if !present {
-                            let size = self.buffers.size_of(dep.buffer)?;
-                            self.events.alloc(node, dep.buffer, size)?;
-                            self.dm.lock().record_replica(dep.buffer, node);
-                        }
-                    }
+            region.add_task(
+                TaskKind::Target { kernel: noop, cost_hint: workload.graph.tasks()[t].cost },
+                deps,
+                format!("w{t}"),
+            );
+        }
+        {
+            let mut dm = self.dm.lock();
+            for &buffer in &buffers {
+                if !dm.is_registered(buffer) {
+                    dm.register_host_buffer(buffer);
                 }
-                self.events.execute(node, *kernel, buffer_list)?;
-                for dep in &task.dependences {
-                    if dep.dep_type.writes() {
-                        let stale = self.dm.lock().record_write(dep.buffer, node);
-                        for stale_node in stale {
-                            if stale_node != HEAD_NODE {
-                                self.events.delete(stale_node, dep.buffer)?;
-                            }
-                        }
-                    }
-                }
-                Ok(())
-            }
-            TaskKind::ExitData { buffer, map } => {
-                if map.copies_from_device() {
-                    let from = self.dm.lock().plan_retrieve(*buffer);
-                    if let Some(from) = from {
-                        let data = self.events.retrieve(from, *buffer)?;
-                        self.buffers.set(*buffer, data)?;
-                    }
-                }
-                // Exit data always releases the device copies.
-                let holders = self.dm.lock().remove(*buffer);
-                for holder in holders {
-                    if holder != HEAD_NODE {
-                        self.events.delete(holder, *buffer)?;
-                    }
-                }
-                Ok(())
-            }
-            TaskKind::Host { .. } => {
-                if let Some(f) = host_fns.get(&tid.0) {
-                    f(&self.buffers);
-                }
-                Ok(())
             }
         }
+        let host_fns = HashMap::new();
+        let record = self.execute_planned(&region, &host_fns, plan);
+        // The materialized buffers are private to this run: release their
+        // device copies, data-manager entries, and host copies so repeated
+        // `run_workload` calls on one device do not accumulate state.
+        for &buffer in &buffers {
+            let holders = self.dm.lock().remove(buffer);
+            for holder in holders {
+                if holder != HEAD_NODE {
+                    let _ = self.events.delete(holder, buffer);
+                }
+            }
+            let _ = self.buffers.remove(buffer);
+        }
+        record
     }
 }
 
@@ -499,8 +375,7 @@ mod tests {
             args.set_f64s(0, &v);
         });
         let mut region = device.target_region();
-        let buffers: Vec<BufferId> =
-            (0..6).map(|i| region.map_to_f64s(&[i as f64])).collect();
+        let buffers: Vec<BufferId> = (0..6).map(|i| region.map_to_f64s(&[i as f64])).collect();
         for &b in &buffers {
             region.target(bump, vec![Dependence::inout(b)]);
         }

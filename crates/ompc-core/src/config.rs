@@ -45,16 +45,29 @@ impl SchedulerKind {
 pub struct OmpcConfig {
     /// Number of event-handler threads per worker node (paper §4.2).
     pub event_handler_threads: usize,
-    /// Number of head-node worker threads. LLVM's libomptarget blocks one
-    /// OpenMP thread per in-flight `target nowait` region, so this is also
-    /// the maximum number of concurrently in-flight target tasks — the
-    /// limitation the paper identifies as the main scalability bottleneck
-    /// (§7).
+    /// Number of head-node worker threads. In LLVM's libomptarget one
+    /// OpenMP thread blocks per in-flight `target nowait` region, so the
+    /// paper's runtime can keep at most this many target tasks in flight —
+    /// the limitation it identifies as the main scalability bottleneck (§7).
+    /// In this runtime the thread-pool size and the dispatch window are
+    /// decoupled: see [`OmpcConfig::max_inflight_tasks`].
     pub head_worker_threads: usize,
+    /// Size of the pipelined dispatch window: how many target regions the
+    /// unified execution core keeps in flight at once, overlapping their
+    /// input forwarding with other regions' compute. `None` reproduces the
+    /// libomptarget-style per-thread limit (`head_worker_threads`, the §7
+    /// bottleneck); `Some(n)` sets the window explicitly, independent of
+    /// the thread pool.
+    pub max_inflight_tasks: Option<usize>,
     /// Whether the in-flight limit is enforced (disabling it models the
     /// "fully asynchronous libomptarget" fix the paper proposes as future
     /// work; used in the ablation bench).
     pub enforce_in_flight_limit: bool,
+    /// Issue a task's input transfers strictly one at a time, the way a
+    /// blocked libomptarget head thread processes a target region's map
+    /// items in order. Disabled by default: the pipelined dispatch loop
+    /// issues all of a task's input forwards concurrently.
+    pub serial_input_transfers: bool,
     /// Number of MPI communicators created at start-up and used round-robin
     /// by the event system.
     pub num_communicators: u32,
@@ -75,7 +88,9 @@ impl Default for OmpcConfig {
             // bounds in-flight target regions.
             event_handler_threads: 2,
             head_worker_threads: 48,
+            max_inflight_tasks: None,
             enforce_in_flight_limit: true,
+            serial_input_transfers: false,
             num_communicators: 8,
             scheduler: SchedulerKind::Heft,
             worker_to_worker_forwarding: true,
@@ -90,10 +105,31 @@ impl OmpcConfig {
         Self {
             event_handler_threads: 1,
             head_worker_threads: 4,
+            max_inflight_tasks: None,
             enforce_in_flight_limit: true,
+            serial_input_transfers: false,
             num_communicators: 2,
             scheduler: SchedulerKind::Heft,
             worker_to_worker_forwarding: true,
+        }
+    }
+
+    /// The configuration that reproduces the paper's libomptarget behaviour
+    /// exactly: a dispatch window of one task per head worker thread and
+    /// per-task input transfers issued one at a time (the §7 bottleneck).
+    pub fn legacy_libomptarget() -> Self {
+        Self { max_inflight_tasks: None, serial_input_transfers: true, ..Self::default() }
+    }
+
+    /// The effective dispatch-window size honoured by every execution
+    /// backend: `usize::MAX` when the limit is lifted, the explicit
+    /// [`OmpcConfig::max_inflight_tasks`] when set, and the libomptarget
+    /// per-thread limit otherwise.
+    pub fn inflight_window(&self) -> usize {
+        if !self.enforce_in_flight_limit {
+            usize::MAX
+        } else {
+            self.max_inflight_tasks.unwrap_or(self.head_worker_threads).max(1)
         }
     }
 }
@@ -141,9 +177,7 @@ impl OverheadModel {
     /// Total scheduling overhead for a graph of `tasks` tasks and `edges`
     /// edges.
     pub fn schedule_time(&self, tasks: usize, edges: usize) -> SimTime {
-        SimTime(
-            self.schedule_per_task.0 * tasks as u64 + self.schedule_per_edge.0 * edges as u64,
-        )
+        SimTime(self.schedule_per_task.0 * tasks as u64 + self.schedule_per_edge.0 * edges as u64)
     }
 }
 
@@ -172,6 +206,22 @@ mod tests {
         assert!(c.num_communicators >= 1);
         let s = OmpcConfig::small();
         assert!(s.head_worker_threads < c.head_worker_threads);
+    }
+
+    #[test]
+    fn inflight_window_resolution() {
+        let mut c = OmpcConfig::default();
+        // Legacy default: one in-flight task per head worker thread.
+        assert_eq!(c.inflight_window(), c.head_worker_threads);
+        c.max_inflight_tasks = Some(7);
+        assert_eq!(c.inflight_window(), 7);
+        c.max_inflight_tasks = Some(0);
+        assert_eq!(c.inflight_window(), 1, "window is clamped to at least one task");
+        c.enforce_in_flight_limit = false;
+        assert_eq!(c.inflight_window(), usize::MAX);
+        let legacy = OmpcConfig::legacy_libomptarget();
+        assert!(legacy.serial_input_transfers);
+        assert_eq!(legacy.inflight_window(), legacy.head_worker_threads);
     }
 
     #[test]

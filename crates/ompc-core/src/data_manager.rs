@@ -78,10 +78,7 @@ impl DataManager {
 
     /// Nodes currently holding a valid copy of the buffer.
     pub fn holders(&self, buffer: BufferId) -> Vec<NodeId> {
-        self.buffers
-            .get(&buffer)
-            .map(|l| l.holders.iter().copied().collect())
-            .unwrap_or_default()
+        self.buffers.get(&buffer).map(|l| l.holders.iter().copied().collect()).unwrap_or_default()
     }
 
     /// The node holding the most recent version of the buffer, if known.
@@ -124,6 +121,18 @@ impl DataManager {
         loc.holders.insert(node);
         loc.latest = node;
         stale
+    }
+
+    /// Roll back a replica recorded optimistically by
+    /// [`DataManager::plan_input`] whose transfer failed: `node` never
+    /// received the bytes, so it must not be remembered as a holder. The
+    /// most recent copy (`latest`) is never forgotten.
+    pub fn forget_replica(&mut self, buffer: BufferId, node: NodeId) {
+        if let Some(loc) = self.buffers.get_mut(&buffer) {
+            if loc.latest != node {
+                loc.holders.remove(&node);
+            }
+        }
     }
 
     /// Record that `node` received a read-only replica of `buffer` (e.g.
@@ -250,6 +259,22 @@ mod tests {
         assert!(dm.is_present(b, 3));
         assert!(!dm.is_present(b, HEAD_NODE));
         assert_eq!(dm.plan_retrieve(b), Some(3));
+    }
+
+    #[test]
+    fn forget_replica_rolls_back_a_failed_transfer() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b);
+        assert!(dm.plan_input(b, 2).is_some());
+        // The transfer failed: node 2 must be forgotten so a later reader
+        // plans the transfer again.
+        dm.forget_replica(b, 2);
+        assert!(!dm.is_present(b, 2));
+        assert!(dm.plan_input(b, 2).is_some());
+        // The latest copy is never forgotten.
+        dm.forget_replica(b, HEAD_NODE);
+        assert!(dm.is_present(b, HEAD_NODE));
     }
 
     #[test]

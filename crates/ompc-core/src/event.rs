@@ -46,11 +46,7 @@ pub struct EventSystem {
 impl EventSystem {
     /// Create an event system over the head node's world communicator.
     pub fn new(comm: Communicator) -> Self {
-        Self {
-            comm,
-            next_tag: AtomicU64::new(FIRST_EVENT_TAG),
-            counters: EventCounters::default(),
-        }
+        Self { comm, next_tag: AtomicU64::new(FIRST_EVENT_TAG), counters: EventCounters::default() }
     }
 
     /// Traffic counters (events issued, data events, bytes).
@@ -143,11 +139,7 @@ impl EventSystem {
         )?;
         let ack = self.comm.on(comm)?.recv(Some(to), Some(tag))?;
         let bytes = u64::from_le_bytes(
-            ack.data
-                .get(..8)
-                .unwrap_or(&[0u8; 8])
-                .try_into()
-                .unwrap_or([0u8; 8]),
+            ack.data.get(..8).unwrap_or(&[0u8; 8]).try_into().unwrap_or([0u8; 8]),
         );
         self.counters.record(Some(bytes));
         Ok(bytes)

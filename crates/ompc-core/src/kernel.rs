@@ -52,7 +52,8 @@ impl<'a> KernelArgs<'a> {
 
     /// Interpret the `idx`-th buffer as little-endian `f64`s.
     pub fn as_f64s(&self, idx: usize) -> Vec<f64> {
-        ompc_mpi::typed::bytes_to_f64s(self.bytes(idx)).expect("buffer is not a whole number of f64")
+        ompc_mpi::typed::bytes_to_f64s(self.bytes(idx))
+            .expect("buffer is not a whole number of f64")
     }
 
     /// Overwrite the `idx`-th buffer with little-endian `f64`s.
@@ -62,7 +63,8 @@ impl<'a> KernelArgs<'a> {
 
     /// Interpret the `idx`-th buffer as little-endian `u64`s.
     pub fn as_u64s(&self, idx: usize) -> Vec<u64> {
-        ompc_mpi::typed::bytes_to_u64s(self.bytes(idx)).expect("buffer is not a whole number of u64")
+        ompc_mpi::typed::bytes_to_u64s(self.bytes(idx))
+            .expect("buffer is not a whole number of u64")
     }
 
     /// Overwrite the `idx`-th buffer with little-endian `u64`s.
@@ -207,8 +209,7 @@ mod tests {
         });
         let mut input = ompc_mpi::typed::f64s_to_bytes(&[1.0, 2.0, 3.0]);
         let mut output = ompc_mpi::typed::f64s_to_bytes(&[0.0]);
-        let mut args =
-            KernelArgs::new(vec![(BufferId(0), &mut input), (BufferId(1), &mut output)]);
+        let mut args = KernelArgs::new(vec![(BufferId(0), &mut input), (BufferId(1), &mut output)]);
         reg.get(id).unwrap().execute(&mut args);
         assert_eq!(args.as_f64s(1), vec![6.0]);
     }

@@ -7,16 +7,21 @@
 //! management, and HEFT static scheduling hidden behind OpenMP-style task
 //! dependences.
 //!
-//! The crate provides two execution modes over the same scheduling and
-//! data-management logic:
+//! The crate provides two execution modes over **one** execution core. The
+//! [`runtime`] module owns the shared OMPC protocol — static scheduling
+//! consumed through a single interface ([`runtime::RuntimePlan`]), the
+//! pipelined bounded-window dispatch loop ([`runtime::RuntimeCore`]), and
+//! data-manager-driven forwarding — parameterized over an
+//! [`runtime::ExecutionBackend`]:
 //!
 //! * **Real (threaded) mode** — [`cluster::ClusterDevice`] spawns one OS
 //!   thread per worker node, communicates through the in-process MPI
-//!   substrate (`ompc-mpi`), and executes real Rust kernels. This is the
-//!   mode the examples and integration tests use.
+//!   substrate (`ompc-mpi`), and executes real Rust kernels via
+//!   [`runtime::ThreadedBackend`]. This is the mode the examples and
+//!   integration tests use.
 //! * **Simulated mode** — [`sim_runtime::simulate_ompc`] drives the same
-//!   HEFT scheduler and data-forwarding decisions over the deterministic
-//!   virtual cluster of `ompc-sim`, which is how the paper's 2–64-node
+//!   core over the deterministic virtual cluster of `ompc-sim` via
+//!   [`runtime::SimBackend`], which is how the paper's 2–64-node
 //!   experiments are regenerated on a small host.
 //!
 //! ## Module map (mirrors Fig. 2 and §4 of the paper)
@@ -27,9 +32,10 @@
 //! | libomptarget agnostic layer + data maps | [`buffer`], [`data_manager`] |
 //! | OMPC device plugin & event system (§4.2) | [`event`], [`protocol`], [`worker`] |
 //! | HEFT task scheduler (§4.4) | `ompc-sched`, glued in [`model`], [`config`] |
-//! | Head-node orchestration (§3.1) | [`cluster`] |
+//! | Unified execution core (§3.1 + §7 dispatch window) | [`runtime`] |
+//! | Head-node orchestration (§3.1) | [`cluster`] (façade over [`runtime`]) |
 //! | Fault tolerance heartbeat (§3.1) | [`heartbeat`] |
-//! | Virtual-cluster execution (§6 experiments) | [`sim_runtime`] |
+//! | Virtual-cluster execution (§6 experiments) | [`sim_runtime`] (façade over [`runtime`]) |
 //!
 //! ## Quickstart
 //!
@@ -66,6 +72,7 @@ pub mod kernel;
 pub mod model;
 pub mod protocol;
 pub mod region;
+pub mod runtime;
 pub mod sim_runtime;
 pub mod stats;
 pub mod task;
@@ -81,7 +88,13 @@ pub mod prelude {
     pub use crate::kernel::{FnKernel, Kernel, KernelArgs, KernelRegistry};
     pub use crate::model::WorkloadGraph;
     pub use crate::region::TargetRegion;
-    pub use crate::sim_runtime::{simulate_ompc, simulate_ompc_traced, OmpcSimResult};
+    pub use crate::runtime::{
+        ExecutionBackend, RunRecord, RuntimeCore, RuntimePlan, SimBackend, ThreadedBackend,
+    };
+    pub use crate::sim_runtime::{
+        sim_plan, simulate_ompc, simulate_ompc_recorded, simulate_ompc_traced,
+        simulate_ompc_with_plan, OmpcSimResult,
+    };
     pub use crate::stats::{DeviceReport, RegionReport};
     pub use crate::task::{RegionGraph, TaskKind};
     pub use crate::types::{

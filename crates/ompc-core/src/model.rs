@@ -22,11 +22,7 @@ pub struct WorkloadGraph {
 impl WorkloadGraph {
     /// Create a workload from a graph and per-task output sizes.
     pub fn new(graph: TaskGraph, output_bytes: Vec<u64>) -> Self {
-        assert_eq!(
-            graph.len(),
-            output_bytes.len(),
-            "output_bytes must have one entry per task"
-        );
+        assert_eq!(graph.len(), output_bytes.len(), "output_bytes must have one entry per task");
         Self { graph, output_bytes }
     }
 

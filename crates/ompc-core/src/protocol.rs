@@ -195,14 +195,12 @@ impl EventNotification {
             KIND_DELETE => EventRequest::Delete { buffer: BufferId(r.u64()?) },
             KIND_SUBMIT => EventRequest::Submit { buffer: BufferId(r.u64()?) },
             KIND_RETRIEVE => EventRequest::Retrieve { buffer: BufferId(r.u64()?) },
-            KIND_EXCHANGE_SEND => EventRequest::ExchangeSend {
-                buffer: BufferId(r.u64()?),
-                to: r.u64()? as NodeId,
-            },
-            KIND_EXCHANGE_RECV => EventRequest::ExchangeRecv {
-                buffer: BufferId(r.u64()?),
-                from: r.u64()? as NodeId,
-            },
+            KIND_EXCHANGE_SEND => {
+                EventRequest::ExchangeSend { buffer: BufferId(r.u64()?), to: r.u64()? as NodeId }
+            }
+            KIND_EXCHANGE_RECV => {
+                EventRequest::ExchangeRecv { buffer: BufferId(r.u64()?), from: r.u64()? as NodeId }
+            }
             KIND_EXECUTE => {
                 let kernel = KernelId(r.u64()? as usize);
                 let n = r.u32()?;
@@ -265,12 +263,9 @@ mod tests {
 
     #[test]
     fn unknown_kind_is_an_error() {
-        let mut bytes = EventNotification {
-            request: EventRequest::Shutdown,
-            tag: Tag(1),
-            comm: CommId(0),
-        }
-        .encode();
+        let mut bytes =
+            EventNotification { request: EventRequest::Shutdown, tag: Tag(1), comm: CommId(0) }
+                .encode();
         let last = bytes.len() - 1;
         bytes[last] = 99;
         assert!(EventNotification::decode(&bytes).is_err());

@@ -176,10 +176,7 @@ mod tests {
         assert_eq!(g.predecessors(t1).len(), 2);
         assert_eq!(g.predecessors(t2), &[t1]);
         // The flow edge t1 -> t2 exists because t1 writes b and t2 reads it.
-        assert!(g
-            .edges()
-            .iter()
-            .any(|e| e.from == t1 && e.to == t2 && e.kind == EdgeKind::Flow));
+        assert!(g.edges().iter().any(|e| e.from == t1 && e.to == t2 && e.kind == EdgeKind::Flow));
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! The unified OMPC execution core.
+//!
+//! Historically the repository carried **two divergent copies** of the OMPC
+//! execution protocol: `ClusterDevice` drove real worker threads and
+//! `OmpcSimProcess` drove the virtual cluster, each with its own dispatch
+//! loop, in-flight accounting, and forwarding decisions. This module
+//! extracts the protocol into one place:
+//!
+//! * [`RuntimePlan`] — the static side: the HEFT (or ablation) schedule is
+//!   computed through a single interface and turned into a task-to-node
+//!   assignment, including the paper's §4.4 pinning rules for data and host
+//!   tasks.
+//! * [`RuntimeCore`] — the dynamic side: a backend-agnostic, pipelined
+//!   dispatch loop. It owns the ready queue, the per-task dependence
+//!   counters, the bounded in-flight window
+//!   ([`crate::config::OmpcConfig::max_inflight_tasks`]), and the per-phase
+//!   accounting (dispatch order, completion order, peak concurrency).
+//! * [`ExecutionBackend`] — the five-method trait a backend implements to
+//!   execute what the core decides: [`ThreadedBackend`] wraps the
+//!   `ompc-mpi` world and the real worker threads, [`SimBackend`] wraps the
+//!   `ompc-sim` discrete-event engine.
+//!
+//! Both execution modes therefore share every scheduling, windowing, and
+//! forwarding decision — an optimization or fix lands once and is measured
+//! in both — and the §7 head-node bottleneck can be reproduced (or lifted)
+//! in either mode purely through configuration.
+
+pub mod sim;
+pub mod threaded;
+
+pub use sim::SimBackend;
+pub use threaded::ThreadedBackend;
+
+use crate::buffer::BufferRegistry;
+use crate::config::OmpcConfig;
+use crate::data_manager::HEAD_NODE;
+use crate::model::{self, WorkloadGraph};
+use crate::task::{RegionGraph, TaskKind};
+use crate::types::{NodeId, OmpcError, OmpcResult, TaskId};
+use ompc_sched::Platform;
+use std::collections::VecDeque;
+
+/// A dependence DAG as seen by the execution core: dense task ids, counted
+/// predecessors, listed successors. Implemented by the scheduler's
+/// `TaskGraph` (simulated workloads) and the runtime's [`RegionGraph`]
+/// (threaded target regions), so one dispatch loop drives both.
+pub trait TaskDag {
+    /// Number of tasks.
+    fn task_count(&self) -> usize;
+    /// Number of direct predecessors of `task`.
+    fn predecessor_count(&self, task: usize) -> usize;
+    /// Direct successors of `task`, in deterministic order.
+    fn successor_ids(&self, task: usize) -> Vec<usize>;
+}
+
+impl TaskDag for ompc_sched::TaskGraph {
+    fn task_count(&self) -> usize {
+        self.len()
+    }
+    fn predecessor_count(&self, task: usize) -> usize {
+        self.predecessors(task).len()
+    }
+    fn successor_ids(&self, task: usize) -> Vec<usize> {
+        self.successors(task).to_vec()
+    }
+}
+
+impl TaskDag for RegionGraph {
+    fn task_count(&self) -> usize {
+        self.len()
+    }
+    fn predecessor_count(&self, task: usize) -> usize {
+        self.predecessors(TaskId(task)).len()
+    }
+    fn successor_ids(&self, task: usize) -> Vec<usize> {
+        self.successors(TaskId(task)).iter().map(|t| t.0).collect()
+    }
+}
+
+impl TaskDag for WorkloadGraph {
+    fn task_count(&self) -> usize {
+        self.graph.task_count()
+    }
+    fn predecessor_count(&self, task: usize) -> usize {
+        self.graph.predecessor_count(task)
+    }
+    fn successor_ids(&self, task: usize) -> Vec<usize> {
+        self.graph.successor_ids(task)
+    }
+}
+
+/// The static execution plan shared by every backend: one schedule, one
+/// assignment, one window — the "schedule consumed through one interface"
+/// half of the unified core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimePlan {
+    /// Node each task executes on (worker nodes are 1-based; the head node
+    /// is [`HEAD_NODE`]).
+    pub assignment: Vec<NodeId>,
+    /// Maximum number of concurrently in-flight tasks.
+    pub window: usize,
+}
+
+impl RuntimePlan {
+    /// Plan an abstract workload: run the configured static scheduler over
+    /// `platform` and map processor `p` to worker node `p + 1`.
+    pub fn for_workload(
+        workload: &WorkloadGraph,
+        platform: &Platform,
+        config: &OmpcConfig,
+    ) -> Self {
+        let schedule = config.scheduler.build().schedule(&workload.graph, platform);
+        let assignment = (0..workload.len()).map(|t| schedule.proc_of(t) + 1).collect();
+        Self { assignment, window: config.inflight_window() }
+    }
+
+    /// Plan a target region: schedule the region's task graph, then apply
+    /// the paper's §4.4 pinning rules — enter-data tasks follow their first
+    /// target consumer, exit-data tasks follow their last target producer,
+    /// and host tasks stay on the head node.
+    pub fn for_region(
+        region: &RegionGraph,
+        buffers: &BufferRegistry,
+        num_workers: usize,
+        config: &OmpcConfig,
+    ) -> Self {
+        Self::for_region_on(region, buffers, &Platform::cluster(num_workers), config)
+    }
+
+    /// [`RuntimePlan::for_region`] with an explicit platform model.
+    pub fn for_region_on(
+        region: &RegionGraph,
+        buffers: &BufferRegistry,
+        platform: &Platform,
+        config: &OmpcConfig,
+    ) -> Self {
+        let sched_graph = model::region_to_sched(region, buffers);
+        let schedule = config.scheduler.build().schedule(&sched_graph, platform);
+        let mut assignment: Vec<NodeId> =
+            (0..region.len()).map(|t| schedule.proc_of(t) + 1).collect();
+        for task in region.tasks() {
+            match task.kind {
+                TaskKind::EnterData { .. } => {
+                    if let Some(&succ) = region
+                        .successors(task.id)
+                        .iter()
+                        .find(|&&s| region.task(s).kind.is_target())
+                    {
+                        assignment[task.id.0] = assignment[succ.0];
+                    }
+                }
+                TaskKind::ExitData { .. } => {
+                    if let Some(&pred) = region
+                        .predecessors(task.id)
+                        .iter()
+                        .find(|&&p| region.task(p).kind.is_target())
+                    {
+                        assignment[task.id.0] = assignment[pred.0];
+                    }
+                }
+                TaskKind::Host { .. } => assignment[task.id.0] = HEAD_NODE,
+                TaskKind::Target { .. } => {}
+            }
+        }
+        Self { assignment, window: config.inflight_window() }
+    }
+}
+
+/// What a backend does with the work the core hands it.
+///
+/// The core calls the methods in a fixed protocol: `prologue` once, then an
+/// alternation of `launch` (as the window opens) and `await_completions`
+/// (when the window is full or no task is ready), then `epilogue` once after
+/// the last task retired. A backend reports *which* tasks finished; the core
+/// decides *what* becomes ready and *when* it is dispatched.
+pub trait ExecutionBackend {
+    /// Pay the per-run start-up and whole-graph scheduling costs. Called
+    /// once, before any task is launched.
+    fn prologue(&mut self) -> OmpcResult<()> {
+        Ok(())
+    }
+
+    /// Begin executing `task` on `node`: perform (or model) its input
+    /// forwarding and computation. Must not block until completion —
+    /// completions are reported through
+    /// [`ExecutionBackend::await_completions`] so the core can keep the
+    /// window full.
+    fn launch(&mut self, task: usize, node: NodeId) -> OmpcResult<()>;
+
+    /// Wait until at least one launched task has finished and return the
+    /// finished ids in completion order.
+    fn await_completions(&mut self) -> OmpcResult<Vec<usize>>;
+
+    /// Drain results and shut down. Called once, after every task retired.
+    fn epilogue(&mut self) -> OmpcResult<()> {
+        Ok(())
+    }
+}
+
+/// Record of one execution through the core: the decisions every backend
+/// must agree on. Used by the backend-equivalence tests and exposed through
+/// the public reporting APIs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunRecord {
+    /// Node each task executed on.
+    pub assignment: Vec<NodeId>,
+    /// Order in which the core dispatched tasks into the window.
+    pub dispatch_order: Vec<usize>,
+    /// Order in which the backend reported task completions.
+    pub completion_order: Vec<usize>,
+    /// Highest number of simultaneously in-flight tasks observed.
+    pub peak_in_flight: usize,
+}
+
+/// The backend-agnostic OMPC dispatch engine.
+///
+/// One instance executes one task graph: it tracks readiness, keeps up to
+/// `window` tasks in flight (the pipelined replacement for the paper's
+/// one-blocked-thread-per-region dispatch), and retires tasks as the backend
+/// reports their completion.
+#[derive(Debug)]
+pub struct RuntimeCore {
+    assignment: Vec<NodeId>,
+    window: usize,
+    successors: Vec<Vec<usize>>,
+    preds_remaining: Vec<usize>,
+    ready: VecDeque<usize>,
+    in_flight: usize,
+    completed: usize,
+    total: usize,
+    dispatch_order: Vec<usize>,
+    completion_order: Vec<usize>,
+    peak_in_flight: usize,
+}
+
+impl RuntimeCore {
+    /// Build the dispatch engine for `dag` under `plan`.
+    pub fn new(dag: &impl TaskDag, plan: &RuntimePlan) -> Self {
+        let total = dag.task_count();
+        assert_eq!(plan.assignment.len(), total, "plan must assign every task of the graph");
+        let preds_remaining: Vec<usize> = (0..total).map(|t| dag.predecessor_count(t)).collect();
+        let ready: VecDeque<usize> = (0..total).filter(|&t| preds_remaining[t] == 0).collect();
+        Self {
+            assignment: plan.assignment.clone(),
+            window: plan.window.max(1),
+            successors: (0..total).map(|t| dag.successor_ids(t)).collect(),
+            preds_remaining,
+            ready,
+            in_flight: 0,
+            completed: 0,
+            total,
+            dispatch_order: Vec::with_capacity(total),
+            completion_order: Vec::with_capacity(total),
+            peak_in_flight: 0,
+        }
+    }
+
+    /// Drive `backend` until every task has completed.
+    pub fn execute<B: ExecutionBackend>(&mut self, backend: &mut B) -> OmpcResult<()> {
+        if self.total == 0 {
+            return Ok(());
+        }
+        backend.prologue()?;
+        self.fill_window(backend)?;
+        while self.completed < self.total {
+            let finished = backend.await_completions()?;
+            if finished.is_empty() {
+                return Err(OmpcError::Internal(
+                    "execution backend reported no progress".to_string(),
+                ));
+            }
+            for task in finished {
+                self.retire(task);
+            }
+            self.fill_window(backend)?;
+        }
+        backend.epilogue()
+    }
+
+    fn fill_window<B: ExecutionBackend>(&mut self, backend: &mut B) -> OmpcResult<()> {
+        while self.in_flight < self.window {
+            let Some(task) = self.ready.pop_front() else { break };
+            self.in_flight += 1;
+            self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
+            self.dispatch_order.push(task);
+            backend.launch(task, self.assignment[task])?;
+        }
+        Ok(())
+    }
+
+    fn retire(&mut self, task: usize) {
+        debug_assert!(self.in_flight > 0, "retired task {task} that was not in flight");
+        self.in_flight -= 1;
+        self.completed += 1;
+        self.completion_order.push(task);
+        for i in 0..self.successors[task].len() {
+            let succ = self.successors[task][i];
+            self.preds_remaining[succ] -= 1;
+            if self.preds_remaining[succ] == 0 {
+                self.ready.push_back(succ);
+            }
+        }
+    }
+
+    /// Node each task executes on.
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.assignment
+    }
+
+    /// The effective window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of retired tasks so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// The run's decision record (dispatch order, completion order, peak
+    /// concurrency).
+    pub fn record(&self) -> RunRecord {
+        RunRecord {
+            assignment: self.assignment.clone(),
+            dispatch_order: self.dispatch_order.clone(),
+            completion_order: self.completion_order.clone(),
+            peak_in_flight: self.peak_in_flight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompc_sched::TaskGraph;
+
+    /// A backend that completes tasks in LIFO order to exercise the core's
+    /// windowing independent of any real execution machinery.
+    #[derive(Default)]
+    struct StackBackend {
+        running: Vec<usize>,
+        prologues: usize,
+        epilogues: usize,
+    }
+
+    impl ExecutionBackend for StackBackend {
+        fn prologue(&mut self) -> OmpcResult<()> {
+            self.prologues += 1;
+            Ok(())
+        }
+        fn launch(&mut self, task: usize, _node: NodeId) -> OmpcResult<()> {
+            self.running.push(task);
+            Ok(())
+        }
+        fn await_completions(&mut self) -> OmpcResult<Vec<usize>> {
+            Ok(self.running.pop().into_iter().collect())
+        }
+        fn epilogue(&mut self) -> OmpcResult<()> {
+            self.epilogues += 1;
+            Ok(())
+        }
+    }
+
+    fn diamond() -> WorkloadGraph {
+        let mut g = TaskGraph::new();
+        for _ in 0..4 {
+            g.add_task(1.0);
+        }
+        g.add_edge(0, 1, 8);
+        g.add_edge(0, 2, 8);
+        g.add_edge(1, 3, 8);
+        g.add_edge(2, 3, 8);
+        WorkloadGraph::new(g, vec![8; 4])
+    }
+
+    fn plan_with_window(w: &WorkloadGraph, window: usize) -> RuntimePlan {
+        RuntimePlan { assignment: vec![1; w.len()], window }
+    }
+
+    #[test]
+    fn executes_every_task_once_in_dependence_order() {
+        let w = diamond();
+        let mut core = RuntimeCore::new(&w, &plan_with_window(&w, 8));
+        let mut backend = StackBackend::default();
+        core.execute(&mut backend).unwrap();
+        let record = core.record();
+        assert_eq!(record.dispatch_order.len(), 4);
+        assert_eq!(record.completion_order.len(), 4);
+        assert_eq!(backend.prologues, 1);
+        assert_eq!(backend.epilogues, 1);
+        // Dependences hold in completion order.
+        let pos = |t: usize| record.completion_order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn window_bounds_in_flight_tasks() {
+        let mut g = TaskGraph::new();
+        for _ in 0..16 {
+            g.add_task(1.0);
+        }
+        let w = WorkloadGraph::new(g, vec![0; 16]);
+        for window in [1usize, 3, 16, 64] {
+            let mut core = RuntimeCore::new(&w, &plan_with_window(&w, window));
+            core.execute(&mut StackBackend::default()).unwrap();
+            assert_eq!(core.record().peak_in_flight, window.min(16));
+        }
+    }
+
+    #[test]
+    fn empty_graph_skips_backend_entirely() {
+        let w = WorkloadGraph::default();
+        let mut core = RuntimeCore::new(&w, &RuntimePlan { assignment: vec![], window: 4 });
+        let mut backend = StackBackend::default();
+        core.execute(&mut backend).unwrap();
+        assert_eq!(backend.prologues, 0);
+        assert_eq!(backend.epilogues, 0);
+    }
+
+    #[test]
+    fn stalled_backend_is_an_error_not_a_hang() {
+        struct Stalled;
+        impl ExecutionBackend for Stalled {
+            fn launch(&mut self, _: usize, _: NodeId) -> OmpcResult<()> {
+                Ok(())
+            }
+            fn await_completions(&mut self) -> OmpcResult<Vec<usize>> {
+                Ok(Vec::new())
+            }
+        }
+        let w = diamond();
+        let mut core = RuntimeCore::new(&w, &plan_with_window(&w, 2));
+        let err = core.execute(&mut Stalled).unwrap_err();
+        assert!(matches!(err, OmpcError::Internal(_)));
+    }
+
+    #[test]
+    fn region_graph_and_task_graph_views_agree() {
+        use crate::types::{BufferId, Dependence, KernelId};
+        let mut region = RegionGraph::new();
+        let a = BufferId(0);
+        region.add_task(
+            TaskKind::Target { kernel: KernelId(0), cost_hint: 1.0 },
+            vec![Dependence::output(a)],
+            "p",
+        );
+        region.add_task(
+            TaskKind::Target { kernel: KernelId(1), cost_hint: 1.0 },
+            vec![Dependence::input(a)],
+            "c",
+        );
+        assert_eq!(region.task_count(), 2);
+        assert_eq!(region.predecessor_count(1), 1);
+        assert_eq!(region.successor_ids(0), vec![1]);
+    }
+
+    #[test]
+    fn plan_for_region_pins_data_and_host_tasks() {
+        use crate::types::Dependence;
+        let buffers = BufferRegistry::new();
+        let a = buffers.register(vec![0u8; 64]);
+        let mut region = RegionGraph::new();
+        let enter = region.add_task(
+            TaskKind::EnterData { buffer: a, map: crate::types::MapType::To },
+            vec![Dependence::output(a)],
+            "enter",
+        );
+        let target = region.add_task(
+            TaskKind::Target { kernel: crate::types::KernelId(0), cost_hint: 0.5 },
+            vec![Dependence::inout(a)],
+            "k",
+        );
+        let host =
+            region.add_task(TaskKind::Host { cost_hint: 0.1 }, vec![Dependence::input(a)], "h");
+        let exit = region.add_task(
+            TaskKind::ExitData { buffer: a, map: crate::types::MapType::From },
+            vec![Dependence::inout(a)],
+            "exit",
+        );
+        let plan = RuntimePlan::for_region(&region, &buffers, 3, &OmpcConfig::small());
+        assert_eq!(plan.assignment[enter.0], plan.assignment[target.0]);
+        assert_eq!(plan.assignment[exit.0], plan.assignment[target.0]);
+        assert_eq!(plan.assignment[host.0], HEAD_NODE);
+        assert!(plan.assignment[target.0] >= 1);
+    }
+}

@@ -1,0 +1,391 @@
+//! The simulated execution backend: the OMPC protocol modelled over the
+//! `ompc-sim` discrete-event engine.
+//!
+//! The backend models exactly what the threaded backend does for real —
+//! dispatch bookkeeping on the head node, input forwarding planned by the
+//! same [`DataManager`] logic, per-event completion costs, sink retrieval
+//! and shutdown — with compute durations and byte-transfer times supplied
+//! by the virtual cluster. [`RuntimeCore`] makes every dispatch and window
+//! decision, so the simulation reproduces the §7 head-node bottleneck when
+//! (and only when) the configuration selects the legacy libomptarget-style
+//! window.
+//!
+//! Unlike the pre-unification model, input transfers of one task are issued
+//! **concurrently** by default (pipelined forwarding); the historical
+//! one-at-a-time behaviour of a blocked head worker thread is preserved
+//! behind [`crate::config::OmpcConfig::serial_input_transfers`].
+
+use super::ExecutionBackend;
+use crate::config::{OmpcConfig, OverheadModel};
+use crate::data_manager::{DataManager, HEAD_NODE};
+use crate::model::WorkloadGraph;
+use crate::types::{BufferId, NodeId, OmpcError, OmpcResult};
+use ompc_sched::Platform;
+use ompc_sim::{ClusterConfig, Completion, Engine, SimStats, SimTime, Token, Trace};
+use std::collections::{HashMap, VecDeque};
+
+const TOK_STARTUP: u64 = 1 << 48;
+const TOK_SCHEDULE: u64 = 2 << 48;
+const TOK_DISPATCH: u64 = 3 << 48;
+const TOK_TRANSFER: u64 = 4 << 48;
+const TOK_COMPUTE: u64 = 5 << 48;
+const TOK_COMPLETE: u64 = 6 << 48;
+const TOK_RETRIEVE: u64 = 7 << 48;
+const TOK_SHUTDOWN: u64 = 8 << 48;
+const TOK_STAGE: u64 = 9 << 48;
+const TOK_MASK: u64 = (1 << 48) - 1;
+/// Transfer-class tokens (`TOK_TRANSFER` / `TOK_STAGE`) carry both the
+/// consumer task and the buffer that is moving, so an arrival can release
+/// co-located waiters of that specific buffer.
+const TOK_TASK_SHIFT: u64 = 24;
+const TOK_SUB_MASK: u64 = (1 << TOK_TASK_SHIFT) - 1;
+
+fn transfer_token(kind: u64, task: usize, buffer: u64) -> Token {
+    kind | ((task as u64) << TOK_TASK_SHIFT) | buffer
+}
+
+/// The communication model the static scheduler should assume for a
+/// simulated cluster: per-message cost = latency + software overhead,
+/// bandwidth as configured.
+pub fn sim_platform(cluster: &ClusterConfig) -> Platform {
+    Platform::homogeneous(
+        cluster.worker_nodes().max(1),
+        (cluster.network.latency + cluster.network.per_message_overhead).as_secs_f64(),
+        cluster.network.bandwidth_bytes_per_sec,
+    )
+}
+
+/// Executes a workload graph on the virtual cluster.
+pub struct SimBackend<'w> {
+    engine: Engine,
+    workload: &'w WorkloadGraph,
+    overheads: OverheadModel,
+    /// Node each task executes on, as told by the core at `launch` time —
+    /// the core's assignment is the single source of truth.
+    node_of: Vec<NodeId>,
+    forwarding: bool,
+    serial_inputs: bool,
+    /// Forwarding decisions, driven by the same data-manager logic as the
+    /// threaded backend; buffer `t` is task `t`'s output.
+    dm: DataManager,
+    pending_inputs: Vec<usize>,
+    queued_inputs: Vec<VecDeque<(NodeId, u64, u64)>>,
+    /// In-flight input transfers keyed by `(buffer, destination)`, each with
+    /// the co-located tasks waiting for that same copy — the simulated
+    /// analogue of the threaded backend's transfer gate: a consumer whose
+    /// shared input is already on the wire must not start computing until
+    /// the bytes arrive.
+    arrivals: HashMap<(u64, NodeId), Vec<usize>>,
+    phase_done: bool,
+    retrievals_pending: usize,
+    schedule_time: SimTime,
+}
+
+impl<'w> SimBackend<'w> {
+    /// Build a backend for one simulated run of `workload` over `cluster`.
+    pub fn new(
+        workload: &'w WorkloadGraph,
+        cluster: &ClusterConfig,
+        config: &OmpcConfig,
+        overheads: OverheadModel,
+        trace: Trace,
+    ) -> Self {
+        let total = workload.len();
+        assert!((total as u64) < TOK_SUB_MASK, "simulated workloads are limited to 2^24 tasks");
+        let mut dm = DataManager::new();
+        for t in 0..total {
+            // Roots consume an input of their output size distributed from
+            // the head node (enter data), so their buffer starts there.
+            if workload.graph.predecessors(t).is_empty() && workload.output_bytes[t] > 0 {
+                dm.register_host_buffer(BufferId(t as u64));
+            }
+        }
+        let schedule_time = overheads.schedule_time(total, workload.graph.edges().len());
+        Self {
+            engine: Engine::with_trace(cluster.clone(), trace),
+            workload,
+            overheads,
+            node_of: vec![HEAD_NODE; total],
+            forwarding: config.worker_to_worker_forwarding,
+            serial_inputs: config.serial_input_transfers,
+            dm,
+            pending_inputs: vec![0; total],
+            queued_inputs: vec![VecDeque::new(); total],
+            arrivals: HashMap::new(),
+            phase_done: false,
+            retrievals_pending: 0,
+            schedule_time,
+        }
+    }
+
+    /// Scheduling overhead charged for this graph.
+    pub fn schedule_time(&self) -> SimTime {
+        self.schedule_time
+    }
+
+    /// Consume the backend and return the engine's statistics and trace.
+    pub fn finish(self) -> (SimStats, Trace) {
+        self.engine.finish()
+    }
+
+    /// Advance the engine until a phase token (startup, schedule, shutdown,
+    /// last retrieval) completes.
+    fn pump_phase(&mut self, label: &str) -> OmpcResult<()> {
+        self.phase_done = false;
+        while !self.phase_done {
+            let Some(completion) = self.engine.next_completion() else {
+                return Err(OmpcError::Internal(format!("simulation stalled during {label}")));
+            };
+            if let Some(task) = self.step(completion) {
+                return Err(OmpcError::Internal(format!("task {task} completed during {label}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// React to one engine completion; returns a task id when a target task
+    /// retired.
+    fn step(&mut self, completion: Completion) -> Option<usize> {
+        let token: Token = completion.token();
+        let kind = token & !TOK_MASK;
+        let task = if kind == TOK_TRANSFER || kind == TOK_STAGE {
+            ((token & TOK_MASK) >> TOK_TASK_SHIFT) as usize
+        } else {
+            (token & TOK_MASK) as usize
+        };
+        let buffer = token & TOK_SUB_MASK;
+        match kind {
+            TOK_STARTUP | TOK_SCHEDULE | TOK_SHUTDOWN => {
+                self.phase_done = true;
+                None
+            }
+            TOK_DISPATCH => {
+                self.issue_inputs(task);
+                None
+            }
+            TOK_STAGE => {
+                // The head forwards exactly the bytes that just arrived on
+                // this first leg (the completion carries them), so several
+                // staged inputs of one task can be in flight at once.
+                let Completion::Transfer { bytes, .. } = completion else {
+                    unreachable!("stage token on a non-transfer completion")
+                };
+                let node = self.node_of[task];
+                self.engine.issue(|ctx| {
+                    ctx.send_labeled(
+                        HEAD_NODE,
+                        node,
+                        bytes,
+                        transfer_token(TOK_TRANSFER, task, buffer),
+                        format!("in t{task}"),
+                    )
+                });
+                None
+            }
+            TOK_TRANSFER => {
+                self.pending_inputs[task] -= 1;
+                if let Some((src, bytes, buf)) = self.queued_inputs[task].pop_front() {
+                    self.issue_transfer(task, src, bytes, buf);
+                }
+                // The copy has landed: release every co-located task that
+                // was waiting for this buffer on this node.
+                let node = self.node_of[task];
+                for waiter in self.arrivals.remove(&(buffer, node)).unwrap_or_default() {
+                    self.pending_inputs[waiter] -= 1;
+                    if self.pending_inputs[waiter] == 0 {
+                        self.start_compute(waiter);
+                    }
+                }
+                if self.pending_inputs[task] == 0 {
+                    self.start_compute(task);
+                }
+                None
+            }
+            TOK_COMPUTE => {
+                let cost = self.overheads.event_completion;
+                self.engine.issue(|ctx| {
+                    ctx.runtime(
+                        HEAD_NODE,
+                        cost,
+                        TOK_COMPLETE | task as u64,
+                        format!("complete t{task}"),
+                    )
+                });
+                None
+            }
+            TOK_COMPLETE => {
+                // The task's output now lives (only) on the node that ran it.
+                let node = self.node_of[task];
+                if self.dm.is_registered(BufferId(task as u64)) {
+                    self.dm.record_write(BufferId(task as u64), node);
+                } else {
+                    self.dm.register_device_buffer(BufferId(task as u64), node);
+                }
+                Some(task)
+            }
+            TOK_RETRIEVE => {
+                self.retrievals_pending -= 1;
+                if self.retrievals_pending == 0 {
+                    self.phase_done = true;
+                }
+                None
+            }
+            _ => unreachable!("unknown token kind {kind:#x}"),
+        }
+    }
+
+    /// Plan the input forwarding of a freshly dispatched task through the
+    /// data manager and issue the transfers — concurrently in the pipelined
+    /// default, one at a time in the legacy serial mode.
+    fn issue_inputs(&mut self, task: usize) {
+        let node = self.node_of[task];
+        let mut transfers: Vec<(NodeId, u64, u64)> = Vec::new();
+        let mut awaited = 0usize;
+        let mut need = |dm: &mut DataManager,
+                        arrivals: &mut HashMap<(u64, NodeId), Vec<usize>>,
+                        buf: u64,
+                        bytes: u64| {
+            if let Some(plan) = dm.plan_input(BufferId(buf), node) {
+                // We own this transfer; announce it so later co-located
+                // consumers wait for the arrival instead of racing past it.
+                arrivals.insert((buf, node), Vec::new());
+                transfers.push((plan.from, bytes, buf));
+            } else if let Some(waiters) = arrivals.get_mut(&(buf, node)) {
+                // Already on the wire for a sibling task on this node.
+                waiters.push(task);
+                awaited += 1;
+            }
+        };
+        for &pred in self.workload.graph.predecessors(task) {
+            let bytes = self.workload.graph.edge_bytes(pred, task);
+            if bytes == 0 {
+                continue;
+            }
+            need(&mut self.dm, &mut self.arrivals, pred as u64, bytes);
+        }
+        if self.workload.graph.predecessors(task).is_empty() {
+            let bytes = self.workload.output_bytes[task];
+            if bytes > 0 {
+                // Initial data distributed from the head node (enter data).
+                need(&mut self.dm, &mut self.arrivals, task as u64, bytes);
+            }
+        }
+        self.pending_inputs[task] = transfers.len() + awaited;
+        if self.pending_inputs[task] == 0 {
+            self.start_compute(task);
+            return;
+        }
+        if self.serial_inputs {
+            let mut queue: VecDeque<(NodeId, u64, u64)> = transfers.into();
+            if let Some((src, bytes, buf)) = queue.pop_front() {
+                self.queued_inputs[task] = queue;
+                self.issue_transfer(task, src, bytes, buf);
+            }
+        } else {
+            for (src, bytes, buf) in transfers {
+                self.issue_transfer(task, src, bytes, buf);
+            }
+        }
+    }
+
+    fn issue_transfer(&mut self, task: usize, src: NodeId, bytes: u64, buffer: u64) {
+        let node = self.node_of[task];
+        if self.forwarding || src == HEAD_NODE {
+            self.engine.issue(|ctx| {
+                ctx.send_labeled(
+                    src,
+                    node,
+                    bytes,
+                    transfer_token(TOK_TRANSFER, task, buffer),
+                    format!("in t{task}"),
+                )
+            });
+        } else {
+            // Forwarding disabled (ablation): stage the buffer through the
+            // head node, then on to the consumer.
+            self.engine.issue(|ctx| {
+                ctx.send_labeled(
+                    src,
+                    HEAD_NODE,
+                    bytes,
+                    transfer_token(TOK_STAGE, task, buffer),
+                    format!("stage t{task}"),
+                )
+            });
+        }
+    }
+
+    fn start_compute(&mut self, task: usize) {
+        let node = self.node_of[task];
+        let cost = SimTime::from_secs_f64(self.workload.graph.tasks()[task].cost)
+            + self.overheads.worker_event_handling;
+        self.engine.issue(|ctx| {
+            ctx.compute_labeled(node, cost, TOK_COMPUTE | task as u64, format!("t{task}"))
+        });
+    }
+}
+
+impl ExecutionBackend for SimBackend<'_> {
+    fn prologue(&mut self) -> OmpcResult<()> {
+        let startup = self.overheads.startup;
+        self.engine
+            .issue(|ctx| ctx.runtime(HEAD_NODE, startup, TOK_STARTUP, "startup".to_string()));
+        self.pump_phase("startup")?;
+        let schedule = self.schedule_time;
+        self.engine
+            .issue(|ctx| ctx.runtime(HEAD_NODE, schedule, TOK_SCHEDULE, "schedule".to_string()));
+        self.pump_phase("schedule")
+    }
+
+    fn launch(&mut self, task: usize, node: NodeId) -> OmpcResult<()> {
+        self.node_of[task] = node;
+        let cost = self.overheads.event_dispatch;
+        self.engine.issue(|ctx| {
+            ctx.runtime(HEAD_NODE, cost, TOK_DISPATCH | task as u64, format!("dispatch t{task}"))
+        });
+        Ok(())
+    }
+
+    fn await_completions(&mut self) -> OmpcResult<Vec<usize>> {
+        loop {
+            let Some(completion) = self.engine.next_completion() else {
+                return Err(OmpcError::Internal(
+                    "simulation event queue drained with tasks outstanding".to_string(),
+                ));
+            };
+            if let Some(task) = self.step(completion) {
+                return Ok(vec![task]);
+            }
+        }
+    }
+
+    fn epilogue(&mut self) -> OmpcResult<()> {
+        // Retrieve the results of every sink task back to the head node
+        // (exit data), as planned by the data manager.
+        for sink in self.workload.graph.sinks() {
+            let bytes = self.workload.output_bytes[sink];
+            if bytes == 0 || !self.dm.is_registered(BufferId(sink as u64)) {
+                continue;
+            }
+            if let Some(from) = self.dm.plan_retrieve(BufferId(sink as u64)) {
+                self.engine.issue(|ctx| {
+                    ctx.send_labeled(
+                        from,
+                        HEAD_NODE,
+                        bytes,
+                        TOK_RETRIEVE | sink as u64,
+                        format!("out t{sink}"),
+                    )
+                });
+                self.retrievals_pending += 1;
+            }
+        }
+        if self.retrievals_pending > 0 {
+            self.pump_phase("result retrieval")?;
+        }
+        let shutdown = self.overheads.shutdown;
+        self.engine
+            .issue(|ctx| ctx.runtime(HEAD_NODE, shutdown, TOK_SHUTDOWN, "shutdown".to_string()));
+        self.pump_phase("shutdown")
+    }
+}

@@ -1,0 +1,340 @@
+//! The threaded execution backend: real worker-node threads driven through
+//! the `ompc-mpi` event system.
+//!
+//! The backend owns a pool of head worker threads (the analogue of
+//! libomptarget's hidden helper threads). [`RuntimeCore`] decides *which*
+//! task is dispatched *when* — bounded by the configured in-flight window —
+//! and the pool performs each task's data movement and kernel execution:
+//! input forwarding planned by the [`DataManager`], worker-to-worker
+//! exchanges, kernel execution events, and write-invalidation. Because the
+//! window is a property of the core rather than of the pool, more tasks can
+//! be in flight than there are blocked threads, which is exactly the
+//! pipelined dispatch the paper proposes as the fix for its §7 bottleneck.
+
+use super::{ExecutionBackend, RuntimeCore};
+use crate::buffer::BufferRegistry;
+use crate::cluster::HostFn;
+use crate::config::OmpcConfig;
+use crate::data_manager::{DataManager, TransferPlan, HEAD_NODE};
+use crate::event::EventSystem;
+use crate::task::{RegionGraph, TaskKind};
+use crate::types::{BufferId, MapType, NodeId, OmpcError, OmpcResult, TaskId};
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransferState {
+    InFlight,
+    Failed,
+}
+
+/// Tracks `(buffer, node)` input transfers that have been *planned* (the
+/// data manager optimistically records the destination as a holder) but have
+/// not yet completed on the wire. A concurrent reader of the same buffer on
+/// the same node gets `plan_input == None` and must wait here instead of
+/// executing against memory that has not arrived yet; if the transfer fails,
+/// waiters get an error instead of silently computing on missing data.
+#[derive(Default)]
+struct TransferGate {
+    transfers: Mutex<HashMap<(u64, NodeId), TransferState>>,
+    done: parking_lot::Condvar,
+}
+
+impl TransferGate {
+    fn finish(&self, buffer: BufferId, node: NodeId, ok: bool) {
+        {
+            let mut transfers = self.transfers.lock();
+            if ok {
+                transfers.remove(&(buffer.0, node));
+            } else {
+                transfers.insert((buffer.0, node), TransferState::Failed);
+            }
+        }
+        self.done.notify_all();
+    }
+
+    /// Block until the transfer of `buffer` to `node` has landed; error out
+    /// if it failed.
+    fn wait_until_present(&self, buffer: BufferId, node: NodeId) -> OmpcResult<()> {
+        let mut transfers = self.transfers.lock();
+        loop {
+            match transfers.get(&(buffer.0, node)) {
+                None => return Ok(()),
+                Some(TransferState::Failed) => {
+                    return Err(OmpcError::Internal(format!(
+                        "input forwarding of {buffer} to node {node} failed"
+                    )));
+                }
+                Some(TransferState::InFlight) => self.done.wait(&mut transfers),
+            }
+        }
+    }
+}
+
+/// Executes a region graph on the real (threaded) cluster.
+pub struct ThreadedBackend<'a> {
+    events: &'a EventSystem,
+    buffers: &'a BufferRegistry,
+    dm: &'a Mutex<DataManager>,
+    graph: &'a RegionGraph,
+    host_fns: &'a HashMap<usize, HostFn>,
+    pool_threads: usize,
+    serial_inputs: bool,
+    transfers: TransferGate,
+}
+
+impl<'a> ThreadedBackend<'a> {
+    /// Build a backend over the device's communication machinery for one
+    /// region execution.
+    pub fn new(
+        events: &'a EventSystem,
+        buffers: &'a BufferRegistry,
+        dm: &'a Mutex<DataManager>,
+        graph: &'a RegionGraph,
+        host_fns: &'a HashMap<usize, HostFn>,
+        config: &OmpcConfig,
+    ) -> Self {
+        Self {
+            events,
+            buffers,
+            dm,
+            graph,
+            host_fns,
+            pool_threads: config.head_worker_threads.max(1),
+            serial_inputs: config.serial_input_transfers,
+            transfers: TransferGate::default(),
+        }
+    }
+
+    /// Drive `core` to completion: spawn the head worker pool, feed it the
+    /// tasks the core dispatches, and report completions back.
+    pub fn execute(&self, core: &mut RuntimeCore) -> OmpcResult<()> {
+        std::thread::scope(|scope| {
+            let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, NodeId)>();
+            let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, OmpcResult<()>)>();
+            for i in 0..self.pool_threads {
+                let task_rx = task_rx.clone();
+                let done_tx = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("ompc-head-{i}"))
+                    .spawn_scoped(scope, move || {
+                        while let Ok((tid, node)) = task_rx.recv() {
+                            let res = self.run_task(tid, node);
+                            if done_tx.send((tid, res)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("failed to spawn head worker thread");
+            }
+            drop(task_rx);
+            drop(done_tx);
+            let mut driver = HeadPool { task_tx, done_rx };
+            core.execute(&mut driver)
+            // The pool drains and joins when `driver` (and with it the task
+            // sender) drops at the end of this scope.
+        })
+    }
+
+    /// Carry out one planned input forward and resolve its gate entry.
+    fn perform_transfer(&self, plan: TransferPlan, node: NodeId) -> OmpcResult<()> {
+        let moved = if plan.from == HEAD_NODE {
+            self.buffers
+                .get(plan.buffer)
+                .and_then(|data| self.events.submit(node, plan.buffer, data))
+        } else {
+            self.events.exchange(plan.from, node, plan.buffer).map(|_| ())
+        };
+        if moved.is_err() {
+            // The bytes never arrived: roll back the holder `plan_input`
+            // recorded optimistically so no later reader skips the transfer.
+            self.dm.lock().forget_replica(plan.buffer, node);
+        }
+        self.transfers.finish(plan.buffer, node, moved.is_ok());
+        moved
+    }
+
+    /// Execute one task: plan and perform its data movement through the
+    /// data manager, then run the kernel (or the host body, or the data
+    /// movement itself for enter/exit data tasks).
+    fn run_task(&self, tid: usize, node: NodeId) -> OmpcResult<()> {
+        let task = self.graph.task(TaskId(tid));
+        match &task.kind {
+            TaskKind::EnterData { buffer, map } => {
+                if node == HEAD_NODE {
+                    return Ok(());
+                }
+                match map {
+                    MapType::To | MapType::ToFrom => {
+                        let data = self.buffers.get(*buffer)?;
+                        self.events.submit(node, *buffer, data)?;
+                        self.dm.lock().record_replica(*buffer, node);
+                    }
+                    MapType::Alloc => {
+                        let size = self.buffers.size_of(*buffer)?;
+                        self.events.alloc(node, *buffer, size)?;
+                        self.dm.lock().record_replica(*buffer, node);
+                    }
+                    MapType::From | MapType::Release => {}
+                }
+                Ok(())
+            }
+            TaskKind::Target { kernel, .. } => {
+                let buffer_list: Vec<BufferId> =
+                    task.dependences.iter().map(|d| d.buffer).collect();
+                // Plan every input forward first, under one gate acquisition
+                // per dependence, so a concurrent same-node reader that sees
+                // `plan_input == None` (we are already recorded as a holder)
+                // is guaranteed to find our in-flight entry to wait on.
+                let mut own: Vec<TransferPlan> = Vec::new();
+                let mut awaited: Vec<BufferId> = Vec::new();
+                for dep in &task.dependences {
+                    if dep.dep_type.reads() {
+                        let mut gate = self.transfers.transfers.lock();
+                        match self.dm.lock().plan_input(dep.buffer, node) {
+                            Some(plan) => {
+                                gate.insert((dep.buffer.0, node), TransferState::InFlight);
+                                own.push(plan);
+                            }
+                            None => {
+                                if gate.contains_key(&(dep.buffer.0, node)) {
+                                    awaited.push(dep.buffer);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Write-only outputs: make sure storage exists on the
+                // executing node. Any failure here must resolve the forwards
+                // announced above, or co-located waiters would block forever.
+                let allocated: OmpcResult<()> =
+                    task.dependences.iter().filter(|dep| !dep.dep_type.reads()).try_for_each(
+                        |dep| {
+                            let present = self.dm.lock().is_present(dep.buffer, node);
+                            if !present {
+                                let size = self.buffers.size_of(dep.buffer)?;
+                                self.events.alloc(node, dep.buffer, size)?;
+                                self.dm.lock().record_replica(dep.buffer, node);
+                            }
+                            Ok(())
+                        },
+                    );
+                if let Err(e) = allocated {
+                    for plan in own {
+                        self.dm.lock().forget_replica(plan.buffer, node);
+                        self.transfers.finish(plan.buffer, node, false);
+                    }
+                    return Err(e);
+                }
+                // Perform our own forwards: overlapped by default (the
+                // pipelined dispatch loop), strictly in dependence order
+                // when `serial_input_transfers` restores the libomptarget
+                // behaviour.
+                let moved: OmpcResult<()> = if self.serial_inputs || own.len() <= 1 {
+                    let mut result = Ok(());
+                    let mut own = own.into_iter();
+                    for plan in own.by_ref() {
+                        result = self.perform_transfer(plan, node);
+                        if result.is_err() {
+                            break;
+                        }
+                    }
+                    // Mark any unperformed forwards failed so co-located
+                    // waiters error out instead of blocking forever.
+                    for plan in own {
+                        self.dm.lock().forget_replica(plan.buffer, node);
+                        self.transfers.finish(plan.buffer, node, false);
+                    }
+                    result
+                } else {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = own
+                            .into_iter()
+                            .map(|plan| scope.spawn(move || self.perform_transfer(plan, node)))
+                            .collect();
+                        let mut result = Ok(());
+                        for handle in handles {
+                            let moved = handle.join().expect("input transfer thread panicked");
+                            if result.is_ok() {
+                                result = moved;
+                            }
+                        }
+                        result
+                    })
+                };
+                moved?;
+                // Inputs forwarded by co-located siblings: execute only once
+                // their copies have fully arrived.
+                for buffer in awaited {
+                    self.transfers.wait_until_present(buffer, node)?;
+                }
+                self.events.execute(node, *kernel, buffer_list)?;
+                for dep in &task.dependences {
+                    if dep.dep_type.writes() {
+                        let stale = self.dm.lock().record_write(dep.buffer, node);
+                        for stale_node in stale {
+                            if stale_node != HEAD_NODE {
+                                self.events.delete(stale_node, dep.buffer)?;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            TaskKind::ExitData { buffer, map } => {
+                if map.copies_from_device() {
+                    let from = self.dm.lock().plan_retrieve(*buffer);
+                    if let Some(from) = from {
+                        let data = self.events.retrieve(from, *buffer)?;
+                        self.buffers.set(*buffer, data)?;
+                    }
+                }
+                // Exit data always releases the device copies.
+                let holders = self.dm.lock().remove(*buffer);
+                for holder in holders {
+                    if holder != HEAD_NODE {
+                        self.events.delete(holder, *buffer)?;
+                    }
+                }
+                Ok(())
+            }
+            TaskKind::Host { .. } => {
+                if let Some(f) = self.host_fns.get(&tid) {
+                    f(self.buffers);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The [`ExecutionBackend`] face of the head worker pool: `launch` enqueues
+/// a task for the pool, `await_completions` blocks on the next completion
+/// and drains any others that finished in the meantime.
+struct HeadPool {
+    task_tx: Sender<(usize, NodeId)>,
+    done_rx: Receiver<(usize, OmpcResult<()>)>,
+}
+
+impl ExecutionBackend for HeadPool {
+    fn launch(&mut self, task: usize, node: NodeId) -> OmpcResult<()> {
+        self.task_tx
+            .send((task, node))
+            .map_err(|_| OmpcError::Internal("head worker pool terminated early".to_string()))
+    }
+
+    fn await_completions(&mut self) -> OmpcResult<Vec<usize>> {
+        let (tid, result) = self
+            .done_rx
+            .recv()
+            .map_err(|_| OmpcError::Internal("head worker pool disappeared".to_string()))?;
+        result?;
+        let mut finished = vec![tid];
+        while let Ok((tid, result)) = self.done_rx.try_recv() {
+            result?;
+            finished.push(tid);
+        }
+        Ok(finished)
+    }
+}

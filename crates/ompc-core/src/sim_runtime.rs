@@ -1,5 +1,7 @@
-//! The simulated OMPC runtime: the same scheduling and data-movement logic
-//! as the threaded runtime, driven over the `ompc-sim` virtual cluster.
+//! The simulated OMPC runtime, as a thin façade over the unified execution
+//! core: [`crate::runtime::RuntimeCore`] makes every scheduling, windowing,
+//! and forwarding decision, and [`crate::runtime::SimBackend`] models their
+//! cost on the deterministic virtual cluster of `ompc-sim`.
 //!
 //! This is what regenerates the paper's figures at 2–64 nodes on a small
 //! host. The model captures the behaviours the paper identifies as decisive
@@ -13,27 +15,17 @@
 //!   head) when the producer ran on another worker;
 //! * root tasks receive their initial data from the head node and sink
 //!   results are retrieved back to it (enter / exit data);
-//! * the head node can only keep a bounded number of target tasks in
-//!   flight — one per head worker thread, the libomptarget limitation the
-//!   paper blames for the scalability drop at 32–64 nodes (§7).
+//! * the head node keeps a bounded number of target tasks in flight —
+//!   [`crate::config::OmpcConfig::max_inflight_tasks`]. With the default
+//!   (one task per head worker thread, the libomptarget limitation) the
+//!   §7 scalability drop at 32–64 nodes reproduces; widening the window
+//!   pipelines dispatch and lifts it.
 
 use crate::config::{OmpcConfig, OverheadModel};
 use crate::model::WorkloadGraph;
-use crate::types::NodeId;
-use ompc_sim::{ClusterConfig, Completion, Engine, SimContext, SimProcess, SimStats, SimTime, Token, Trace};
-use ompc_sched::Platform;
-use std::collections::VecDeque;
-
-const TOK_STARTUP: u64 = 1 << 48;
-const TOK_SCHEDULE: u64 = 2 << 48;
-const TOK_DISPATCH: u64 = 3 << 48;
-const TOK_TRANSFER: u64 = 4 << 48;
-const TOK_COMPUTE: u64 = 5 << 48;
-const TOK_COMPLETE: u64 = 6 << 48;
-const TOK_RETRIEVE: u64 = 7 << 48;
-const TOK_SHUTDOWN: u64 = 8 << 48;
-const TOK_STAGE: u64 = 9 << 48;
-const TOK_MASK: u64 = (1 << 48) - 1;
+use crate::runtime::sim::sim_platform;
+use crate::runtime::{RunRecord, RuntimeCore, RuntimePlan, SimBackend};
+use ompc_sim::{ClusterConfig, SimStats, SimTime, Trace};
 
 /// Result of one simulated OMPC run.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,258 +66,6 @@ impl OmpcSimResult {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    Startup,
-    Schedule,
-    Running,
-    Draining,
-    ShuttingDown,
-    Done,
-}
-
-/// The [`SimProcess`] implementing the OMPC execution protocol over a
-/// [`WorkloadGraph`].
-pub struct OmpcSimProcess<'w> {
-    workload: &'w WorkloadGraph,
-    overheads: OverheadModel,
-    assignment: Vec<NodeId>,
-    limit: usize,
-    forwarding: bool,
-    phase: Phase,
-    remaining_preds: Vec<usize>,
-    pending_inputs: Vec<usize>,
-    /// Remaining input transfers of a dispatched task, issued one at a time
-    /// because the blocked head worker thread that owns the task performs
-    /// its data movements sequentially (submit/exchange then wait), exactly
-    /// as libomptarget processes a target region's map items in order.
-    input_queue: Vec<VecDeque<(NodeId, u64)>>,
-    staged_inputs: Vec<Vec<u64>>,
-    ready: VecDeque<usize>,
-    in_flight: usize,
-    completed: usize,
-    retrievals_pending: usize,
-    schedule_time: SimTime,
-}
-
-impl<'w> OmpcSimProcess<'w> {
-    /// Build the process: runs the configured static scheduler immediately
-    /// (the real HEFT code) to obtain the task-to-node assignment.
-    pub fn new(
-        workload: &'w WorkloadGraph,
-        cluster: &ClusterConfig,
-        config: &OmpcConfig,
-        overheads: OverheadModel,
-    ) -> Self {
-        let workers = cluster.worker_nodes().max(1);
-        let platform = Platform::homogeneous(
-            workers,
-            (cluster.network.latency + cluster.network.per_message_overhead).as_secs_f64(),
-            cluster.network.bandwidth_bytes_per_sec,
-        );
-        let schedule = config.scheduler.build().schedule(&workload.graph, &platform);
-        let assignment: Vec<NodeId> =
-            (0..workload.len()).map(|t| schedule.proc_of(t) + 1).collect();
-        let limit = if config.enforce_in_flight_limit {
-            config.head_worker_threads.max(1)
-        } else {
-            usize::MAX
-        };
-        let remaining_preds =
-            (0..workload.len()).map(|t| workload.graph.predecessors(t).len()).collect();
-        let schedule_time =
-            overheads.schedule_time(workload.len(), workload.graph.edges().len());
-        Self {
-            workload,
-            overheads,
-            assignment,
-            limit,
-            forwarding: config.worker_to_worker_forwarding,
-            phase: Phase::Startup,
-            remaining_preds,
-            pending_inputs: vec![0; workload.len()],
-            input_queue: vec![VecDeque::new(); workload.len()],
-            staged_inputs: vec![Vec::new(); workload.len()],
-            ready: VecDeque::new(),
-            in_flight: 0,
-            completed: 0,
-            retrievals_pending: 0,
-            schedule_time,
-        }
-    }
-
-    /// The node each task was assigned to (worker nodes are 1-based).
-    pub fn assignment(&self) -> &[NodeId] {
-        &self.assignment
-    }
-
-    /// Scheduling overhead charged for this graph.
-    pub fn schedule_time(&self) -> SimTime {
-        self.schedule_time
-    }
-
-    fn try_dispatch(&mut self, ctx: &mut SimContext) {
-        while self.in_flight < self.limit {
-            let Some(task) = self.ready.pop_front() else { break };
-            self.in_flight += 1;
-            ctx.runtime(
-                0,
-                self.overheads.event_dispatch,
-                TOK_DISPATCH | task as u64,
-                format!("dispatch t{task}"),
-            );
-        }
-    }
-
-    fn issue_inputs(&mut self, task: usize, ctx: &mut SimContext) {
-        let node = self.assignment[task];
-        let mut queue: VecDeque<(NodeId, u64)> = VecDeque::new();
-        for &pred in self.workload.graph.predecessors(task) {
-            let bytes = self.workload.graph.edge_bytes(pred, task);
-            if bytes == 0 {
-                continue;
-            }
-            let src = self.assignment[pred];
-            if src != node {
-                queue.push_back((src, bytes));
-            }
-        }
-        if self.workload.graph.predecessors(task).is_empty() {
-            let bytes = self.workload.output_bytes[task];
-            if bytes > 0 {
-                // Initial data distributed from the head node (enter data).
-                queue.push_back((0, bytes));
-            }
-        }
-        self.pending_inputs[task] = queue.len();
-        self.input_queue[task] = queue;
-        if self.pending_inputs[task] == 0 {
-            self.start_compute(task, ctx);
-        } else {
-            self.issue_next_input(task, ctx);
-        }
-    }
-
-    /// Issue the next queued input transfer of `task`. Transfers of one
-    /// task are sequential (the head worker thread owning the task blocks
-    /// on each data-movement event in turn); transfers of different tasks
-    /// still overlap freely.
-    fn issue_next_input(&mut self, task: usize, ctx: &mut SimContext) {
-        let Some((src, bytes)) = self.input_queue[task].pop_front() else { return };
-        let node = self.assignment[task];
-        if self.forwarding || src == 0 {
-            ctx.send_labeled(src, node, bytes, TOK_TRANSFER | task as u64, format!("in t{task}"));
-        } else {
-            // Forwarding disabled (ablation): stage the buffer through the
-            // head node, then on to the consumer.
-            self.staged_inputs[task].push(bytes);
-            ctx.send_labeled(src, 0, bytes, TOK_STAGE | task as u64, format!("stage t{task}"));
-        }
-    }
-
-    fn start_compute(&mut self, task: usize, ctx: &mut SimContext) {
-        let node = self.assignment[task];
-        let cost = SimTime::from_secs_f64(self.workload.graph.tasks()[task].cost)
-            + self.overheads.worker_event_handling;
-        ctx.compute_labeled(node, cost, TOK_COMPUTE | task as u64, format!("t{task}"));
-    }
-
-    fn finish_task(&mut self, task: usize, ctx: &mut SimContext) {
-        self.completed += 1;
-        self.in_flight -= 1;
-        for &succ in self.workload.graph.successors(task) {
-            self.remaining_preds[succ] -= 1;
-            if self.remaining_preds[succ] == 0 {
-                self.ready.push_back(succ);
-            }
-        }
-        if self.completed == self.workload.len() {
-            self.phase = Phase::Draining;
-            // Retrieve the results of every sink task back to the head node
-            // (exit data).
-            for sink in self.workload.graph.sinks() {
-                let node = self.assignment[sink];
-                let bytes = self.workload.output_bytes[sink];
-                if node != 0 && bytes > 0 {
-                    ctx.send_labeled(node, 0, bytes, TOK_RETRIEVE | sink as u64, format!("out t{sink}"));
-                    self.retrievals_pending += 1;
-                }
-            }
-            if self.retrievals_pending == 0 {
-                self.begin_shutdown(ctx);
-            }
-        } else {
-            self.try_dispatch(ctx);
-        }
-    }
-
-    fn begin_shutdown(&mut self, ctx: &mut SimContext) {
-        self.phase = Phase::ShuttingDown;
-        ctx.runtime(0, self.overheads.shutdown, TOK_SHUTDOWN, "shutdown".to_string());
-    }
-}
-
-impl SimProcess for OmpcSimProcess<'_> {
-    fn init(&mut self, ctx: &mut SimContext) {
-        if self.workload.is_empty() {
-            ctx.stop();
-            return;
-        }
-        ctx.runtime(0, self.overheads.startup, TOK_STARTUP, "startup".to_string());
-    }
-
-    fn on_completion(&mut self, completion: Completion, ctx: &mut SimContext) {
-        let token: Token = completion.token();
-        let kind = token & !TOK_MASK;
-        let task = (token & TOK_MASK) as usize;
-        match kind {
-            TOK_STARTUP => {
-                self.phase = Phase::Schedule;
-                ctx.runtime(0, self.schedule_time, TOK_SCHEDULE, "schedule".to_string());
-            }
-            TOK_SCHEDULE => {
-                self.phase = Phase::Running;
-                self.ready = self.workload.graph.roots().into();
-                self.try_dispatch(ctx);
-            }
-            TOK_DISPATCH => self.issue_inputs(task, ctx),
-            TOK_STAGE => {
-                let bytes = self.staged_inputs[task].pop().expect("staged transfer bookkeeping");
-                let node = self.assignment[task];
-                ctx.send_labeled(0, node, bytes, TOK_TRANSFER | task as u64, format!("in t{task}"));
-            }
-            TOK_TRANSFER => {
-                self.pending_inputs[task] -= 1;
-                if self.pending_inputs[task] == 0 {
-                    self.start_compute(task, ctx);
-                } else {
-                    self.issue_next_input(task, ctx);
-                }
-            }
-            TOK_COMPUTE => {
-                ctx.runtime(
-                    0,
-                    self.overheads.event_completion,
-                    TOK_COMPLETE | task as u64,
-                    format!("complete t{task}"),
-                );
-            }
-            TOK_COMPLETE => self.finish_task(task, ctx),
-            TOK_RETRIEVE => {
-                self.retrievals_pending -= 1;
-                if self.retrievals_pending == 0 {
-                    self.begin_shutdown(ctx);
-                }
-            }
-            TOK_SHUTDOWN => {
-                self.phase = Phase::Done;
-                ctx.stop();
-            }
-            _ => unreachable!("unknown token kind {kind:#x}"),
-        }
-    }
-}
-
 /// Run the simulated OMPC runtime on `workload` over `cluster` and return
 /// the timing result. Tracing is disabled for speed; use
 /// [`simulate_ompc_traced`] when the trace is needed.
@@ -335,7 +75,7 @@ pub fn simulate_ompc(
     config: &OmpcConfig,
     overheads: &OverheadModel,
 ) -> OmpcSimResult {
-    simulate_ompc_inner(workload, cluster, config, overheads, false).0
+    simulate_inner(workload, cluster, config, overheads, None, false).0
 }
 
 /// Like [`simulate_ompc`] but also returns the full execution trace.
@@ -345,31 +85,73 @@ pub fn simulate_ompc_traced(
     config: &OmpcConfig,
     overheads: &OverheadModel,
 ) -> (OmpcSimResult, Trace) {
-    simulate_ompc_inner(workload, cluster, config, overheads, true)
+    let (result, trace, _) = simulate_inner(workload, cluster, config, overheads, None, true);
+    (result, trace)
 }
 
-fn simulate_ompc_inner(
+/// Like [`simulate_ompc`] but also returns the execution core's decision
+/// record (assignment, dispatch and completion order, peak concurrency).
+pub fn simulate_ompc_recorded(
     workload: &WorkloadGraph,
     cluster: &ClusterConfig,
     config: &OmpcConfig,
     overheads: &OverheadModel,
+) -> (OmpcSimResult, RunRecord) {
+    let (result, _, record) = simulate_inner(workload, cluster, config, overheads, None, false);
+    (result, record)
+}
+
+/// Run the simulation under an explicit, externally computed [`RuntimePlan`]
+/// instead of deriving one from the cluster's network model. This is how
+/// the backend-equivalence tests drive the simulated and threaded backends
+/// from the *same* plan.
+pub fn simulate_ompc_with_plan(
+    workload: &WorkloadGraph,
+    cluster: &ClusterConfig,
+    config: &OmpcConfig,
+    overheads: &OverheadModel,
+    plan: &RuntimePlan,
+) -> (OmpcSimResult, RunRecord) {
+    let (result, _, record) =
+        simulate_inner(workload, cluster, config, overheads, Some(plan.clone()), false);
+    (result, record)
+}
+
+/// The static plan [`simulate_ompc`] derives for a workload: the configured
+/// scheduler over the cluster's own communication model.
+pub fn sim_plan(
+    workload: &WorkloadGraph,
+    cluster: &ClusterConfig,
+    config: &OmpcConfig,
+) -> RuntimePlan {
+    RuntimePlan::for_workload(workload, &sim_platform(cluster), config)
+}
+
+fn simulate_inner(
+    workload: &WorkloadGraph,
+    cluster: &ClusterConfig,
+    config: &OmpcConfig,
+    overheads: &OverheadModel,
+    plan: Option<RuntimePlan>,
     traced: bool,
-) -> (OmpcSimResult, Trace) {
+) -> (OmpcSimResult, Trace, RunRecord) {
+    let plan = plan.unwrap_or_else(|| sim_plan(workload, cluster, config));
     let trace = if traced { Trace::new() } else { Trace::disabled() };
-    let mut engine = Engine::with_trace(cluster.clone(), trace);
-    let mut process = OmpcSimProcess::new(workload, cluster, config, overheads.clone());
-    let schedule = process.schedule_time();
-    let makespan = engine.run(&mut process);
-    let (stats, trace) = engine.finish();
+    let mut core = RuntimeCore::new(workload, &plan);
+    let mut backend = SimBackend::new(workload, cluster, config, overheads.clone(), trace);
+    core.execute(&mut backend).expect("simulated execution cannot fail on a well-formed workload");
+    let schedule = backend.schedule_time();
+    let (stats, trace) = backend.finish();
     (
         OmpcSimResult {
-            makespan,
+            makespan: stats.makespan,
             startup: overheads.startup,
             schedule,
             shutdown: overheads.shutdown,
             stats,
         },
         trace,
+        core.record(),
     )
 }
 
@@ -378,6 +160,7 @@ mod tests {
     use super::*;
     use crate::config::SchedulerKind;
     use ompc_sched::TaskGraph;
+    use ompc_sim::SimTime;
 
     fn chain_workload(n: usize, cost: f64, bytes: u64) -> WorkloadGraph {
         let mut g = TaskGraph::new();
@@ -399,11 +182,7 @@ mod tests {
     }
 
     fn default_setup(nodes: usize) -> (ClusterConfig, OmpcConfig, OverheadModel) {
-        (
-            ClusterConfig::santos_dumont(nodes),
-            OmpcConfig::default(),
-            OverheadModel::default(),
-        )
+        (ClusterConfig::santos_dumont(nodes), OmpcConfig::default(), OverheadModel::default())
     }
 
     #[test]
@@ -432,14 +211,13 @@ mod tests {
         let overheads = OverheadModel::default();
         // Lift the in-flight limit so node count (not head threads) is the
         // binding constraint in this test.
-        let mut config = OmpcConfig::default();
-        config.enforce_in_flight_limit = false;
+        let config = OmpcConfig { enforce_in_flight_limit: false, ..OmpcConfig::default() };
         let w = wide_workload(256, 0.05, 1 << 16);
         let small = simulate_ompc(&w, &ClusterConfig::santos_dumont(3), &config, &overheads);
         let large = simulate_ompc(&w, &ClusterConfig::santos_dumont(17), &config, &overheads);
         assert!(
             large.makespan < small.makespan,
-            "64 independent tasks must finish faster on 16 workers ({}) than on 2 ({})",
+            "256 independent tasks must finish faster on 16 workers ({}) than on 2 ({})",
             large.makespan,
             small.makespan
         );
@@ -450,15 +228,140 @@ mod tests {
         let overheads = OverheadModel::default();
         let cluster = ClusterConfig::santos_dumont(9);
         let w = wide_workload(256, 0.02, 1 << 10);
-        let mut limited = OmpcConfig::default();
-        limited.head_worker_threads = 4;
-        let mut unlimited = OmpcConfig::default();
-        unlimited.enforce_in_flight_limit = false;
+        let limited = OmpcConfig { max_inflight_tasks: Some(4), ..OmpcConfig::default() };
+        let unlimited = OmpcConfig { enforce_in_flight_limit: false, ..OmpcConfig::default() };
         let r_lim = simulate_ompc(&w, &cluster, &limited, &overheads);
         let r_unl = simulate_ompc(&w, &cluster, &unlimited, &overheads);
         assert!(
             r_lim.makespan > r_unl.makespan,
-            "a 4-task in-flight limit must hurt a 256-wide graph"
+            "a 4-task in-flight window must hurt a 256-wide graph"
+        );
+    }
+
+    #[test]
+    fn shrinking_the_window_monotonically_increases_makespan() {
+        // The §7 effect, as a property of the unified core: the narrower the
+        // head node's dispatch window, the longer a wide graph takes.
+        let overheads = OverheadModel::default();
+        let cluster = ClusterConfig::santos_dumont(9);
+        let w = wide_workload(128, 0.02, 1 << 14);
+        let mut previous: Option<SimTime> = None;
+        for window in [1usize, 2, 4, 8, 16, 64, 256] {
+            let config = OmpcConfig { max_inflight_tasks: Some(window), ..OmpcConfig::default() };
+            let r = simulate_ompc(&w, &cluster, &config, &overheads);
+            if let Some(prev) = previous {
+                assert!(
+                    r.makespan <= prev,
+                    "window {window} must not be slower than the next-narrower window \
+                     ({} > {prev})",
+                    r.makespan
+                );
+            }
+            previous = Some(r.makespan);
+        }
+        // And the extremes differ strictly: the bottleneck is real.
+        let narrow = {
+            let c = OmpcConfig { max_inflight_tasks: Some(1), ..OmpcConfig::default() };
+            simulate_ompc(&w, &cluster, &c, &overheads)
+        };
+        let wide = {
+            let c = OmpcConfig { max_inflight_tasks: Some(256), ..OmpcConfig::default() };
+            simulate_ompc(&w, &cluster, &c, &overheads)
+        };
+        assert!(narrow.makespan > wide.makespan);
+    }
+
+    #[test]
+    fn pipelined_transfers_beat_legacy_serial_transfers() {
+        // A fan-in heavy graph: each consumer pulls several large inputs.
+        // Issuing them concurrently (the pipelined dispatch loop) must not
+        // be slower than the legacy one-at-a-time issue, and is strictly
+        // faster when transfers dominate.
+        let mut g = TaskGraph::new();
+        let sources = 6;
+        for _ in 0..sources {
+            g.add_task(0.001);
+        }
+        let sink = g.add_task(0.001);
+        for s in 0..sources {
+            g.add_edge(s, sink, 64 << 20);
+        }
+        let w = WorkloadGraph::new(g, vec![64 << 20; sources + 1]);
+        let (cluster, _, overheads) = default_setup(8);
+        let pipelined = simulate_ompc(&w, &cluster, &OmpcConfig::default(), &overheads);
+        let legacy = simulate_ompc(&w, &cluster, &OmpcConfig::legacy_libomptarget(), &overheads);
+        assert!(
+            pipelined.makespan < legacy.makespan,
+            "overlapped input forwarding ({}) must beat serial forwarding ({})",
+            pipelined.makespan,
+            legacy.makespan
+        );
+    }
+
+    #[test]
+    fn staged_transfers_pay_both_legs_even_when_pipelined() {
+        // Forwarding disabled + concurrent input transfers: each staged
+        // input's head->consumer leg must wait for its own worker->head leg,
+        // so a large input always pays its serialization twice - regardless
+        // of a small sibling input completing its first leg earlier. The
+        // plan pins producer and consumer to different nodes (HEFT would
+        // otherwise colocate them and avoid the transfer entirely).
+        let mut g = TaskGraph::new();
+        let small = g.add_task(1e-4);
+        let big = g.add_task(1e-4);
+        let sink = g.add_task(1e-4);
+        g.add_edge(small, sink, 1 << 10);
+        g.add_edge(big, sink, 256 << 20);
+        let w = WorkloadGraph::new(g, vec![1 << 10, 256 << 20, 64]);
+        let cluster = ClusterConfig::santos_dumont(4);
+        let config = OmpcConfig {
+            worker_to_worker_forwarding: false,
+            serial_input_transfers: false,
+            ..OmpcConfig::default()
+        };
+        let plan = RuntimePlan { assignment: vec![3, 1, 2], window: config.inflight_window() };
+        let (r, record) =
+            simulate_ompc_with_plan(&w, &cluster, &config, &OverheadModel::default(), &plan);
+        assert_eq!(record.assignment, vec![3, 1, 2]);
+        // The 256 MB buffer crosses the network three times: head -> big's
+        // node (enter data), big's node -> head (stage), head -> sink's node.
+        let one_leg = cluster.network.transfer_time(256 << 20);
+        assert!(
+            r.makespan >= SimTime(one_leg.0 * 3),
+            "staged big input must cross the network three times: makespan {} < 3 x {one_leg}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn colocated_consumer_waits_for_shared_input_arrival() {
+        // Two consumers of one producer pinned to the same node: the second
+        // gets no transfer of its own (the copy is already on the wire for
+        // the first), but it must not start computing until that copy has
+        // arrived - the simulated analogue of the threaded transfer gate.
+        let mut g = TaskGraph::new();
+        let p = g.add_task(1e-4);
+        let c1 = g.add_task(1e-4);
+        let c2 = g.add_task(0.05);
+        g.add_edge(p, c1, 256 << 20);
+        g.add_edge(p, c2, 256 << 20);
+        let w = WorkloadGraph::new(g, vec![256 << 20, 64, 64]);
+        let cluster = ClusterConfig::santos_dumont(4);
+        let config = OmpcConfig::default();
+        let overheads = OverheadModel::default();
+        let plan = RuntimePlan { assignment: vec![1, 2, 2], window: config.inflight_window() };
+        let (r, _) = simulate_ompc_with_plan(&w, &cluster, &config, &overheads, &plan);
+        // The forward p -> node 2 and c2's 50 ms compute must serialize
+        // (plus the initial head -> node 1 distribution of p's input).
+        let one_leg = cluster.network.transfer_time(256 << 20);
+        let floor = overheads.startup
+            + SimTime(one_leg.0 * 2)
+            + SimTime::from_secs_f64(0.05)
+            + overheads.shutdown;
+        assert!(
+            r.makespan >= floor,
+            "co-located consumer must wait for the shared input: makespan {} < floor {floor}",
+            r.makespan
         );
     }
 
@@ -480,24 +383,35 @@ mod tests {
     #[test]
     fn scheduler_choice_changes_assignment() {
         let cluster = ClusterConfig::santos_dumont(5);
-        let overheads = OverheadModel::default();
         let w = chain_workload(12, 0.01, 64 << 20);
-        let mut heft_cfg = OmpcConfig::default();
-        heft_cfg.scheduler = SchedulerKind::Heft;
-        let mut rr_cfg = OmpcConfig::default();
-        rr_cfg.scheduler = SchedulerKind::RoundRobin;
-        let heft = OmpcSimProcess::new(&w, &cluster, &heft_cfg, overheads.clone());
-        let rr = OmpcSimProcess::new(&w, &cluster, &rr_cfg, overheads.clone());
+        let heft_cfg = OmpcConfig { scheduler: SchedulerKind::Heft, ..OmpcConfig::default() };
+        let rr_cfg = OmpcConfig { scheduler: SchedulerKind::RoundRobin, ..OmpcConfig::default() };
+        let heft = sim_plan(&w, &cluster, &heft_cfg);
+        let rr = sim_plan(&w, &cluster, &rr_cfg);
         // HEFT keeps the communication-heavy chain on one node; round robin
         // scatters it.
-        let heft_nodes: std::collections::BTreeSet<_> = heft.assignment().iter().collect();
-        let rr_nodes: std::collections::BTreeSet<_> = rr.assignment().iter().collect();
+        let heft_nodes: std::collections::BTreeSet<_> = heft.assignment.iter().collect();
+        let rr_nodes: std::collections::BTreeSet<_> = rr.assignment.iter().collect();
         assert_eq!(heft_nodes.len(), 1);
         assert!(rr_nodes.len() > 1);
         // And the simulated makespan agrees that HEFT is at least as good.
+        let overheads = OverheadModel::default();
         let r_heft = simulate_ompc(&w, &cluster, &heft_cfg, &overheads);
         let r_rr = simulate_ompc(&w, &cluster, &rr_cfg, &overheads);
         assert!(r_heft.makespan <= r_rr.makespan);
+    }
+
+    #[test]
+    fn recorded_run_reports_core_decisions() {
+        let (cluster, config, overheads) = default_setup(4);
+        let w = chain_workload(6, 0.01, 1 << 18);
+        let (result, record) = simulate_ompc_recorded(&w, &cluster, &config, &overheads);
+        assert_eq!(result.stats.total_tasks(), 6);
+        // A chain dispatches and completes strictly in order.
+        assert_eq!(record.dispatch_order, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(record.completion_order, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(record.peak_in_flight, 1);
+        assert_eq!(record.assignment.len(), 6);
     }
 
     #[test]
@@ -507,7 +421,7 @@ mod tests {
         let plain = simulate_ompc(&w, &cluster, &config, &overheads);
         let (traced, trace) = simulate_ompc_traced(&w, &cluster, &config, &overheads);
         assert_eq!(plain.makespan, traced.makespan);
-        assert!(trace.len() > 0);
+        assert!(!trace.is_empty());
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub struct RegionReport {
     pub tasks_executed: usize,
     /// Number of target (kernel) tasks executed on worker nodes.
     pub target_tasks: usize,
+    /// Highest number of simultaneously in-flight tasks the execution
+    /// core's dispatch window reached (bounded by
+    /// [`crate::config::OmpcConfig::max_inflight_tasks`]).
+    pub peak_in_flight: usize,
     /// Number of data-movement events issued (submit, retrieve, exchange).
     pub data_events: usize,
     /// Total bytes moved between nodes (including head ↔ worker).
@@ -77,6 +81,7 @@ mod tests {
             execution_time: Duration::from_millis(90),
             tasks_executed: 4,
             target_tasks: 2,
+            peak_in_flight: 2,
             data_events: 3,
             bytes_moved: 1024,
         };

@@ -174,7 +174,9 @@ impl RegionGraph {
 
         // Deduplicate edges between the same pair of tasks, preferring flow
         // edges (they carry data-movement information).
-        new_edges.sort_by_key(|e| (e.from.0, matches!(e.kind, EdgeKind::Flow).then_some(0).unwrap_or(1)));
+        new_edges.sort_by_key(|e| {
+            (e.from.0, matches!(e.kind, EdgeKind::Flow).then_some(0).unwrap_or(1))
+        });
         let mut seen: Vec<TaskId> = Vec::new();
         for edge in new_edges {
             if seen.contains(&edge.from) {
@@ -237,18 +239,12 @@ impl RegionGraph {
 
     /// Tasks with no predecessors.
     pub fn roots(&self) -> Vec<TaskId> {
-        (0..self.len())
-            .map(TaskId)
-            .filter(|t| self.predecessors[t.0].is_empty())
-            .collect()
+        (0..self.len()).map(TaskId).filter(|t| self.predecessors[t.0].is_empty()).collect()
     }
 
     /// Tasks with no successors.
     pub fn sinks(&self) -> Vec<TaskId> {
-        (0..self.len())
-            .map(TaskId)
-            .filter(|t| self.successors[t.0].is_empty())
-            .collect()
+        (0..self.len()).map(TaskId).filter(|t| self.successors[t.0].is_empty()).collect()
     }
 
     /// Program order is always a valid topological order because edges only
@@ -423,10 +419,7 @@ mod tests {
         assert!(TaskKind::ExitData { buffer: BufferId(0), map: MapType::From }.is_data());
         assert!(!TaskKind::Host { cost_hint: 0.1 }.is_target());
         assert_eq!(TaskKind::Host { cost_hint: 0.1 }.cost_hint(), 0.1);
-        assert_eq!(
-            TaskKind::EnterData { buffer: BufferId(0), map: MapType::To }.cost_hint(),
-            0.0
-        );
+        assert_eq!(TaskKind::EnterData { buffer: BufferId(0), map: MapType::To }.cost_hint(), 0.0);
     }
 
     #[test]

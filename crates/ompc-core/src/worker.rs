@@ -80,15 +80,11 @@ pub fn handle_event(
             channel.send(HEAD_RANK, tag, Vec::new())?;
         }
         EventRequest::Retrieve { buffer } => {
-            let data = memory
-                .get(buffer)
-                .ok_or(OmpcError::UnknownBuffer(buffer))?;
+            let data = memory.get(buffer).ok_or(OmpcError::UnknownBuffer(buffer))?;
             channel.send(HEAD_RANK, tag, data)?;
         }
         EventRequest::ExchangeSend { buffer, to } => {
-            let data = memory
-                .get(buffer)
-                .ok_or(OmpcError::UnknownBuffer(buffer))?;
+            let data = memory.get(buffer).ok_or(OmpcError::UnknownBuffer(buffer))?;
             channel.send(to, tag, data)?;
         }
         EventRequest::ExchangeRecv { buffer, from } => {
@@ -102,14 +98,11 @@ pub fn handle_event(
             // Work on private copies so concurrent read-only forwards of the
             // same buffers keep seeing a consistent resident version; the
             // dependence graph already serializes writers.
-            let mut copies: Vec<(BufferId, Vec<u8>)> = buffers
-                .iter()
-                .map(|&b| (b, memory.get(b).unwrap_or_default()))
-                .collect();
+            let mut copies: Vec<(BufferId, Vec<u8>)> =
+                buffers.iter().map(|&b| (b, memory.get(b).unwrap_or_default())).collect();
             {
-                let mut args = KernelArgs::new(
-                    copies.iter_mut().map(|(id, data)| (*id, data)).collect(),
-                );
+                let mut args =
+                    KernelArgs::new(copies.iter_mut().map(|(id, data)| (*id, data)).collect());
                 k.execute(&mut args);
             }
             for (id, data) in copies {
@@ -129,11 +122,7 @@ pub fn handle_event(
 ///
 /// Returns when a shutdown event is received (normal termination) or when
 /// the communication substrate reports that the peers are gone.
-pub fn worker_main(
-    comm: Communicator,
-    kernels: Arc<KernelRegistry>,
-    handler_threads: usize,
-) {
+pub fn worker_main(comm: Communicator, kernels: Arc<KernelRegistry>, handler_threads: usize) {
     let memory = Arc::new(DeviceMemory::new());
     let (tx, rx) = crossbeam::channel::unbounded::<EventNotification>();
 
@@ -166,30 +155,26 @@ pub fn worker_main(
         // executed inline by the gate thread — the analogue of the paper's
         // handlers re-enqueueing events that still have pending I/O — so a
         // small handler pool cannot deadlock on two opposing exchanges.
-        loop {
-            match comm.recv(None, Some(CONTROL_TAG)) {
-                Ok(msg) => match EventNotification::decode(&msg.data) {
-                    Ok(notification) => {
-                        if matches!(notification.request, EventRequest::Shutdown) {
-                            break;
-                        }
-                        let inline = matches!(
-                            notification.request,
-                            EventRequest::Alloc { .. }
-                                | EventRequest::Delete { .. }
-                                | EventRequest::Retrieve { .. }
-                                | EventRequest::ExchangeSend { .. }
-                        );
-                        if inline {
-                            let _ = handle_event(&comm, &memory, &kernels, notification);
-                        } else if tx.send(notification).is_err() {
-                            break;
-                        }
-                    }
-                    Err(_) => continue,
-                },
-                // The world shut down or every peer terminated: exit.
-                Err(_) => break,
+        // The loop ends when the world shuts down or every peer terminated
+        // (recv fails), or when a shutdown event arrives.
+        while let Ok(msg) = comm.recv(None, Some(CONTROL_TAG)) {
+            let Ok(notification) = EventNotification::decode(&msg.data) else {
+                continue;
+            };
+            if matches!(notification.request, EventRequest::Shutdown) {
+                break;
+            }
+            let inline = matches!(
+                notification.request,
+                EventRequest::Alloc { .. }
+                    | EventRequest::Delete { .. }
+                    | EventRequest::Retrieve { .. }
+                    | EventRequest::ExchangeSend { .. }
+            );
+            if inline {
+                let _ = handle_event(&comm, &memory, &kernels, notification);
+            } else if tx.send(notification).is_err() {
+                break;
             }
         }
         drop(tx);
@@ -236,10 +221,7 @@ mod tests {
         let buffer = BufferId(0);
         let tag = Tag(10);
         let comm = CommId(1);
-        head.on(comm)
-            .unwrap()
-            .send(1, tag, ompc_mpi::typed::f64s_to_bytes(&[1.0, 2.0]))
-            .unwrap();
+        head.on(comm).unwrap().send(1, tag, ompc_mpi::typed::f64s_to_bytes(&[1.0, 2.0])).unwrap();
         handle_event(
             &worker,
             &memory,
@@ -357,11 +339,7 @@ mod tests {
             &w1,
             &mem1,
             &kernels,
-            EventNotification {
-                request: EventRequest::ExchangeSend { buffer, to: 2 },
-                tag,
-                comm,
-            },
+            EventNotification { request: EventRequest::ExchangeSend { buffer, to: 2 }, tag, comm },
         )
         .unwrap();
         let received = recv_thread.join().unwrap();

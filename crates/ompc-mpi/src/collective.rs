@@ -236,11 +236,8 @@ mod tests {
     #[test]
     fn scatter_hands_each_rank_its_chunk() {
         let results = run_all(3, |c| {
-            let chunks = if c.rank() == 0 {
-                Some(vec![vec![10], vec![11], vec![12]])
-            } else {
-                None
-            };
+            let chunks =
+                if c.rank() == 0 { Some(vec![vec![10], vec![11], vec![12]]) } else { None };
             c.scatter(0, chunks).unwrap()
         });
         assert_eq!(results, vec![vec![10], vec![11], vec![12]]);
@@ -248,18 +245,15 @@ mod tests {
 
     #[test]
     fn reduce_sums_across_ranks() {
-        let results = run_all(4, |c| {
-            c.reduce_f64(0, &[c.rank() as f64, 1.0], ReduceOp::Sum).unwrap()
-        });
+        let results =
+            run_all(4, |c| c.reduce_f64(0, &[c.rank() as f64, 1.0], ReduceOp::Sum).unwrap());
         assert_eq!(results[0].as_ref().unwrap(), &vec![6.0, 4.0]);
         assert!(results[1..].iter().all(|r| r.is_none()));
     }
 
     #[test]
     fn allreduce_max_visible_on_every_rank() {
-        let results = run_all(4, |c| {
-            c.allreduce_f64(&[c.rank() as f64], ReduceOp::Max).unwrap()
-        });
+        let results = run_all(4, |c| c.allreduce_f64(&[c.rank() as f64], ReduceOp::Max).unwrap());
         assert!(results.iter().all(|v| v == &vec![3.0]));
     }
 

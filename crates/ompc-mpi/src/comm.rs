@@ -54,18 +54,14 @@ impl Communicator {
         if comm.0 >= self.world.num_comms {
             return Err(MpiError::InvalidCommunicator(comm));
         }
-        Ok(Communicator {
-            world: Arc::clone(&self.world),
-            rank: self.rank,
-            comm,
-        })
+        Ok(Communicator { world: Arc::clone(&self.world), rank: self.rank, comm })
     }
 
     fn mailbox_of(&self, rank: Rank) -> MpiResult<&Arc<Mailbox>> {
-        self.world.mailboxes.get(rank).ok_or(MpiError::InvalidRank {
-            rank,
-            world_size: self.world.size,
-        })
+        self.world
+            .mailboxes
+            .get(rank)
+            .ok_or(MpiError::InvalidRank { rank, world_size: self.world.size })
     }
 
     fn own_mailbox(&self) -> &Arc<Mailbox> {
@@ -101,10 +97,7 @@ impl Communicator {
     pub fn recv(&self, source: Option<Rank>, tag: Option<Tag>) -> MpiResult<Message> {
         if let Some(s) = source {
             if s >= self.world.size {
-                return Err(MpiError::InvalidRank {
-                    rank: s,
-                    world_size: self.world.size,
-                });
+                return Err(MpiError::InvalidRank { rank: s, world_size: self.world.size });
             }
         }
         self.own_mailbox().recv(self.comm, source, tag)

@@ -102,12 +102,7 @@ impl Mailbox {
     /// Returns [`MpiError::Finalized`] if the world shuts down first, or
     /// [`MpiError::PeerTerminated`] if every peer has terminated while the
     /// receive is still unmatched (the message can never arrive).
-    pub fn recv(
-        &self,
-        comm: CommId,
-        source: Option<Rank>,
-        tag: Option<Tag>,
-    ) -> MpiResult<Message> {
+    pub fn recv(&self, comm: CommId, source: Option<Rank>, tag: Option<Tag>) -> MpiResult<Message> {
         let mut inner = self.inner.lock();
         loop {
             if let Some(env) = Self::take_match(&mut inner.queue, comm, source, tag) {
@@ -117,10 +112,7 @@ impl Mailbox {
                 return Err(MpiError::Finalized(self.owner));
             }
             if inner.total_peers > 0 && inner.terminated_peers >= inner.total_peers {
-                return Err(MpiError::PeerTerminated {
-                    peer: source.unwrap_or(usize::MAX),
-                    tag,
-                });
+                return Err(MpiError::PeerTerminated { peer: source.unwrap_or(usize::MAX), tag });
             }
             self.arrival.wait_for(&mut inner, RECV_POLL);
         }
@@ -130,21 +122,12 @@ impl Mailbox {
     /// removing it from the queue.
     pub fn iprobe(&self, comm: CommId, source: Option<Rank>, tag: Option<Tag>) -> Option<Status> {
         let inner = self.inner.lock();
-        inner
-            .queue
-            .iter()
-            .find(|e| e.matches(comm, source, tag))
-            .map(MessageEnvelope::probe_status)
+        inner.queue.iter().find(|e| e.matches(comm, source, tag)).map(MessageEnvelope::probe_status)
     }
 
     /// Blocking probe: wait until a matching message is available and report
     /// its status without consuming it.
-    pub fn probe(
-        &self,
-        comm: CommId,
-        source: Option<Rank>,
-        tag: Option<Tag>,
-    ) -> MpiResult<Status> {
+    pub fn probe(&self, comm: CommId, source: Option<Rank>, tag: Option<Tag>) -> MpiResult<Status> {
         let mut inner = self.inner.lock();
         loop {
             if let Some(st) = inner
@@ -159,10 +142,7 @@ impl Mailbox {
                 return Err(MpiError::Finalized(self.owner));
             }
             if inner.total_peers > 0 && inner.terminated_peers >= inner.total_peers {
-                return Err(MpiError::PeerTerminated {
-                    peer: source.unwrap_or(usize::MAX),
-                    tag,
-                });
+                return Err(MpiError::PeerTerminated { peer: source.unwrap_or(usize::MAX), tag });
             }
             self.arrival.wait_for(&mut inner, RECV_POLL);
         }
@@ -185,14 +165,7 @@ mod tests {
     use std::thread;
 
     fn env(source: Rank, tag: u64, comm: u32, seq: u64, payload: Vec<u8>) -> MessageEnvelope {
-        MessageEnvelope {
-            source,
-            dest: 0,
-            tag: Tag(tag),
-            comm: CommId(comm),
-            seq,
-            payload,
-        }
+        MessageEnvelope { source, dest: 0, tag: Tag(tag), comm: CommId(comm), seq, payload }
     }
 
     #[test]
@@ -275,10 +248,7 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         mb.peer_terminated();
         mb.peer_terminated();
-        assert!(matches!(
-            t.join().unwrap(),
-            Err(MpiError::PeerTerminated { peer: 1, .. })
-        ));
+        assert!(matches!(t.join().unwrap(), Err(MpiError::PeerTerminated { peer: 1, .. })));
     }
 
     #[test]

@@ -88,12 +88,7 @@ impl MessageEnvelope {
 
     /// Status that a probe of this envelope would report (payload stays put).
     pub fn probe_status(&self) -> Status {
-        Status {
-            source: self.source,
-            tag: self.tag,
-            len: self.payload.len(),
-            comm: self.comm,
-        }
+        Status { source: self.source, tag: self.tag, len: self.payload.len(), comm: self.comm }
     }
 }
 

@@ -69,14 +69,7 @@ impl RecvRequest {
         source: Option<Rank>,
         tag: Option<Tag>,
     ) -> Self {
-        Self {
-            mailbox,
-            comm,
-            source,
-            tag,
-            cached: None,
-            consumed: false,
-        }
+        Self { mailbox, comm, source, tag, cached: None, consumed: false }
     }
 
     /// Poll for completion. When this returns `true` the message is held by

@@ -17,7 +17,7 @@ pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
 
 /// Deserialize little-endian bytes into `f64` values.
 pub fn bytes_to_f64s(bytes: &[u8]) -> MpiResult<Vec<f64>> {
-    if bytes.len() % 8 != 0 {
+    if !bytes.len().is_multiple_of(8) {
         return Err(MpiError::TypeConversion { expected: "f64", len: bytes.len() });
     }
     Ok(bytes
@@ -37,7 +37,7 @@ pub fn u64s_to_bytes(values: &[u64]) -> Vec<u8> {
 
 /// Deserialize little-endian bytes into `u64` values.
 pub fn bytes_to_u64s(bytes: &[u8]) -> MpiResult<Vec<u64>> {
-    if bytes.len() % 8 != 0 {
+    if !bytes.len().is_multiple_of(8) {
         return Err(MpiError::TypeConversion { expected: "u64", len: bytes.len() });
     }
     Ok(bytes
@@ -57,7 +57,7 @@ pub fn u32s_to_bytes(values: &[u32]) -> Vec<u8> {
 
 /// Deserialize little-endian bytes into `u32` values.
 pub fn bytes_to_u32s(bytes: &[u8]) -> MpiResult<Vec<u32>> {
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(MpiError::TypeConversion { expected: "u32", len: bytes.len() });
     }
     Ok(bytes
@@ -69,8 +69,6 @@ pub fn bytes_to_u32s(bytes: &[u8]) -> MpiResult<Vec<u32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-
     #[test]
     fn f64_round_trip() {
         let v = vec![1.5, -2.25, 0.0, f64::MAX];
@@ -96,19 +94,29 @@ mod tests {
         assert!(bytes_to_u32s(&[0u8; 2]).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_f64_round_trip(v in proptest::collection::vec(any::<f64>(), 0..128)) {
+    // Deterministic seeded sweeps replacing the former proptest round-trip
+    // properties (no crate registry is available for proptest itself).
+    #[test]
+    fn prop_f64_round_trip() {
+        for seed in 1u64..=32 {
+            let mut rng = ompc_testutil::Rng::new(seed);
+            let len = rng.range_usize(0, 128);
+            let v: Vec<f64> = (0..len).map(|_| f64::from_bits(rng.next_u64())).collect();
             let back = bytes_to_f64s(&f64s_to_bytes(&v)).unwrap();
-            prop_assert_eq!(back.len(), v.len());
+            assert_eq!(back.len(), v.len(), "seed {seed}");
             for (a, b) in back.iter().zip(v.iter()) {
-                prop_assert_eq!(a.to_bits(), b.to_bits());
+                assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
             }
         }
+    }
 
-        #[test]
-        fn prop_u64_round_trip(v in proptest::collection::vec(any::<u64>(), 0..128)) {
-            prop_assert_eq!(bytes_to_u64s(&u64s_to_bytes(&v)).unwrap(), v);
+    #[test]
+    fn prop_u64_round_trip() {
+        for seed in 1u64..=32 {
+            let mut rng = ompc_testutil::Rng::new(seed);
+            let len = rng.range_usize(0, 128);
+            let v: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            assert_eq!(bytes_to_u64s(&u64s_to_bytes(&v)).unwrap(), v, "seed {seed}");
         }
     }
 }

@@ -63,14 +63,7 @@ impl World {
                 coll_seq: (0..num_comms).map(|_| AtomicU64::new(0)).collect(),
             })
             .collect();
-        Self {
-            inner: Arc::new(WorldInner {
-                size,
-                num_comms,
-                mailboxes,
-                rank_states,
-            }),
-        }
+        Self { inner: Arc::new(WorldInner { size, num_comms, mailboxes, rank_states }) }
     }
 
     /// Number of ranks in the world.

@@ -119,11 +119,7 @@ impl TaskGraph {
     /// Bytes on the edge `from -> to` (summed if parallel edges exist),
     /// 0 when no such edge exists.
     pub fn edge_bytes(&self, from: usize, to: usize) -> u64 {
-        self.edges
-            .iter()
-            .filter(|e| e.from == from && e.to == to)
-            .map(|e| e.bytes)
-            .sum()
+        self.edges.iter().filter(|e| e.from == from && e.to == to).map(|e| e.bytes).sum()
     }
 
     /// Tasks with no predecessors.
@@ -139,9 +135,9 @@ impl TaskGraph {
     /// A topological order of the task ids, or `None` if the graph contains
     /// a cycle.
     pub fn topological_order(&self) -> Option<Vec<usize>> {
-        let mut indegree: Vec<usize> = (0..self.len()).map(|t| self.predecessors[t].len()).collect();
-        let mut queue: VecDeque<usize> =
-            (0..self.len()).filter(|&t| indegree[t] == 0).collect();
+        let mut indegree: Vec<usize> =
+            (0..self.len()).map(|t| self.predecessors[t].len()).collect();
+        let mut queue: VecDeque<usize> = (0..self.len()).filter(|&t| indegree[t] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         while let Some(t) = queue.pop_front() {
             order.push(t);
@@ -177,11 +173,7 @@ impl TaskGraph {
         let mut finish = vec![0.0f64; self.len()];
         let mut best: f64 = 0.0;
         for &t in &order {
-            let ready = self
-                .predecessors(t)
-                .iter()
-                .map(|&p| finish[p])
-                .fold(0.0f64, f64::max);
+            let ready = self.predecessors(t).iter().map(|&p| finish[p]).fold(0.0f64, f64::max);
             finish[t] = ready + self.tasks[t].cost;
             best = best.max(finish[t]);
         }

@@ -28,9 +28,7 @@ impl HeftScheduler {
 
     /// Compute the upward rank of every task.
     pub fn upward_ranks(graph: &TaskGraph, platform: &Platform) -> Vec<f64> {
-        let order = graph
-            .topological_order()
-            .expect("HEFT requires an acyclic task graph");
+        let order = graph.topological_order().expect("HEFT requires an acyclic task graph");
         let mut rank = vec![0.0f64; graph.len()];
         for &t in order.iter().rev() {
             let mut succ_term: f64 = 0.0;
@@ -102,10 +100,7 @@ impl Scheduler for HeftScheduler {
             let (finish, start, proc) = best.expect("at least one candidate processor");
             placements[t] = Placement { proc, start, finish };
             scheduled[t] = true;
-            let pos = busy[proc]
-                .iter()
-                .position(|&(s, _)| s > start)
-                .unwrap_or(busy[proc].len());
+            let pos = busy[proc].iter().position(|&(s, _)| s > start).unwrap_or(busy[proc].len());
             busy[proc].insert(pos, (start, finish));
         }
         Schedule::new(placements)

@@ -99,8 +99,7 @@ impl Scheduler for MinMinScheduler {
         let mut placements = vec![Placement { proc: 0, start: 0.0, finish: 0.0 }; n];
         let mut avail = vec![0.0f64; platform.num_procs()];
         let mut done = vec![false; n];
-        let mut remaining_preds: Vec<usize> =
-            (0..n).map(|t| graph.predecessors(t).len()).collect();
+        let mut remaining_preds: Vec<usize> = (0..n).map(|t| graph.predecessors(t).len()).collect();
         let mut ready: Vec<usize> = (0..n).filter(|&t| remaining_preds[t] == 0).collect();
         let mut scheduled = 0usize;
 
@@ -116,7 +115,7 @@ impl Scheduler for MinMinScheduler {
                 for &p in &candidates {
                     let start = ready_time(graph, platform, &placements, t, p).max(avail[p]);
                     let finish = start + platform.compute_time(graph.tasks()[t].cost, p);
-                    if best.map_or(true, |(bf, _, _)| finish < bf - 1e-15) {
+                    if best.is_none_or(|(bf, _, _)| finish < bf - 1e-15) {
                         best = Some((finish, t, p));
                     }
                 }

@@ -1,11 +1,11 @@
 //! Cluster, node, and network configuration.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
+use ompc_json::{Json, JsonError};
 
 /// Interconnect model: fixed latency plus bandwidth-limited serialization on
 /// a configurable number of NIC channels per node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkConfig {
     /// One-way message latency (time on the wire after serialization).
     pub latency: SimTime,
@@ -63,7 +63,7 @@ impl Default for NetworkConfig {
 }
 
 /// Per-node hardware description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeConfig {
     /// Number of cores usable for task execution on the node.
     pub cores: usize,
@@ -79,7 +79,7 @@ impl Default for NodeConfig {
 }
 
 /// Full cluster description handed to the simulation [`crate::Engine`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Number of nodes, including the head node (node 0).
     pub nodes: usize,
@@ -93,21 +93,13 @@ impl ClusterConfig {
     /// A Santos-Dumont-like cluster of `nodes` nodes: 24 cores per node and
     /// an InfiniBand-class interconnect.
     pub fn santos_dumont(nodes: usize) -> Self {
-        Self {
-            nodes,
-            node: NodeConfig::default(),
-            network: NetworkConfig::infiniband(),
-        }
+        Self { nodes, node: NodeConfig::default(), network: NetworkConfig::infiniband() }
     }
 
     /// A small cluster for unit tests: `nodes` nodes with `cores` cores each
     /// and the default network.
     pub fn small(nodes: usize, cores: usize) -> Self {
-        Self {
-            nodes,
-            node: NodeConfig { cores },
-            network: NetworkConfig::default(),
-        }
+        Self { nodes, node: NodeConfig { cores }, network: NetworkConfig::default() }
     }
 
     /// Number of worker nodes when node 0 is used as a head node.
@@ -119,6 +111,71 @@ impl ClusterConfig {
 impl Default for ClusterConfig {
     fn default() -> Self {
         Self::santos_dumont(2)
+    }
+}
+
+impl NetworkConfig {
+    /// Render as a JSON value.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("latency_ns", Json::u64(self.latency.0)),
+            ("bandwidth_bytes_per_sec", Json::num(self.bandwidth_bytes_per_sec)),
+            ("nic_channels", Json::usize(self.nic_channels)),
+            ("per_message_overhead_ns", Json::u64(self.per_message_overhead.0)),
+        ])
+    }
+
+    /// Parse from a JSON value produced by [`NetworkConfig::to_json_value`].
+    pub fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            latency: SimTime(
+                value
+                    .field("latency_ns")?
+                    .as_u64()
+                    .ok_or_else(|| JsonError::invalid("latency_ns"))?,
+            ),
+            bandwidth_bytes_per_sec: value
+                .field("bandwidth_bytes_per_sec")?
+                .as_f64()
+                .ok_or_else(|| JsonError::invalid("bandwidth_bytes_per_sec"))?,
+            nic_channels: value
+                .field("nic_channels")?
+                .as_usize()
+                .ok_or_else(|| JsonError::invalid("nic_channels"))?,
+            per_message_overhead: SimTime(
+                value
+                    .field("per_message_overhead_ns")?
+                    .as_u64()
+                    .ok_or_else(|| JsonError::invalid("per_message_overhead_ns"))?,
+            ),
+        })
+    }
+}
+
+impl ClusterConfig {
+    /// Render the full configuration as a JSON string.
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("nodes", Json::usize(self.nodes)),
+            ("cores_per_node", Json::usize(self.node.cores)),
+            ("network", self.network.to_json_value()),
+        ])
+        .to_string()
+    }
+
+    /// Parse a configuration rendered with [`ClusterConfig::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        let value = Json::parse(json)?;
+        Ok(Self {
+            nodes: value.field("nodes")?.as_usize().ok_or_else(|| JsonError::invalid("nodes"))?,
+            node: NodeConfig {
+                cores: value
+                    .field("cores_per_node")?
+                    .as_usize()
+                    .ok_or_else(|| JsonError::invalid("cores_per_node"))?,
+            },
+            network: NetworkConfig::from_json_value(value.field("network")?)?,
+        })
     }
 }
 
@@ -162,8 +219,9 @@ mod tests {
     #[test]
     fn config_serializes_to_json() {
         let c = ClusterConfig::small(4, 8);
-        let json = serde_json::to_string(&c).unwrap();
-        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        let json = c.to_json();
+        let back = ClusterConfig::from_json(&json).unwrap();
         assert_eq!(back, c);
+        assert!(ClusterConfig::from_json("{}").is_err());
     }
 }

@@ -87,13 +87,7 @@ impl SimContext {
     }
 
     /// Request a compute activity with a trace label.
-    pub fn compute_labeled(
-        &mut self,
-        node: usize,
-        duration: SimTime,
-        token: Token,
-        label: String,
-    ) {
+    pub fn compute_labeled(&mut self, node: usize, duration: SimTime, token: Token, label: String) {
         self.commands.push(Command::Compute { node, duration, token, label });
     }
 
@@ -219,9 +213,8 @@ impl Engine {
     pub fn with_trace(config: ClusterConfig, trace: Trace) -> Self {
         assert!(config.nodes > 0, "cluster needs at least one node");
         let cores = (0..config.nodes).map(|_| FifoServer::new(config.node.cores)).collect();
-        let nics = (0..config.nodes)
-            .map(|_| FifoServer::new(config.network.nic_channels))
-            .collect();
+        let nics =
+            (0..config.nodes).map(|_| FifoServer::new(config.network.nic_channels)).collect();
         let node_stats = vec![NodeStats::default(); config.nodes];
         Self {
             config,
@@ -332,7 +325,10 @@ impl Engine {
                     if let Some(next) = self.activities.get_mut(&next_id) {
                         next.started = self.now;
                     }
-                    self.push(self.now + next_duration, Internal::ComputeDone { activity: next_id });
+                    self.push(
+                        self.now + next_duration,
+                        Internal::ComputeDone { activity: next_id },
+                    );
                 }
                 Some(Completion::Compute { node, token: act.token })
             }
@@ -354,7 +350,10 @@ impl Engine {
                     if let Some(next) = self.activities.get_mut(&next_id) {
                         next.started = self.now;
                     }
-                    self.push(self.now + next_duration, Internal::SerializeDone { activity: next_id });
+                    self.push(
+                        self.now + next_duration,
+                        Internal::SerializeDone { activity: next_id },
+                    );
                 }
                 None
             }
@@ -396,24 +395,42 @@ impl Engine {
         }
     }
 
-    /// Drive `process` to completion (event queue drained or the process
-    /// issued [`Command::Stop`]). Returns the makespan.
-    pub fn run<P: SimProcess>(&mut self, process: &mut P) -> SimTime {
+    /// Issue commands from outside a completion callback. This is the hook
+    /// external drivers (e.g. the OMPC execution backend in `ompc-core`)
+    /// use to inject work between calls to [`Engine::next_completion`].
+    pub fn issue(&mut self, build: impl FnOnce(&mut SimContext)) {
         let mut ctx = SimContext::new(self.now);
-        process.init(&mut ctx);
+        build(&mut ctx);
         let commands = ctx.take_commands();
         self.apply_commands(commands);
+    }
 
+    /// Advance virtual time to the next completion and return it, or `None`
+    /// when the event queue is drained or the simulation was stopped. This
+    /// is the pull-style counterpart of [`Engine::run`]: an external driver
+    /// alternates [`Engine::issue`] and `next_completion` instead of
+    /// implementing [`SimProcess`].
+    pub fn next_completion(&mut self) -> Option<Completion> {
         while !self.stopped {
-            let Some(entry) = self.queue.pop() else { break };
+            let entry = self.queue.pop()?;
             self.now = entry.time;
             self.events_processed += 1;
             if let Some(completion) = self.handle(entry.event) {
-                let mut ctx = SimContext::new(self.now);
-                process.on_completion(completion, &mut ctx);
-                let commands = ctx.take_commands();
-                self.apply_commands(commands);
+                return Some(completion);
             }
+        }
+        None
+    }
+
+    /// Drive `process` to completion (event queue drained or the process
+    /// issued [`Command::Stop`]). Returns the makespan.
+    pub fn run<P: SimProcess>(&mut self, process: &mut P) -> SimTime {
+        self.issue(|ctx| process.init(ctx));
+        while let Some(completion) = self.next_completion() {
+            let mut ctx = SimContext::new(self.now);
+            process.on_completion(completion, &mut ctx);
+            let commands = ctx.take_commands();
+            self.apply_commands(commands);
         }
         self.now
     }
@@ -624,6 +641,32 @@ mod tests {
         let mut proc = TwoSends { arrivals: Vec::new() };
         engine.run(&mut proc);
         assert_eq!(proc.arrivals[0], proc.arrivals[1]);
+    }
+
+    #[test]
+    fn pull_api_matches_push_api() {
+        // Drive the ping-pong scenario through issue()/next_completion()
+        // and check it reproduces run()'s makespan exactly.
+        let mut reference = Engine::new(two_node_config());
+        let expected = reference.run(&mut PingPong { remaining: 3, transfers_seen: 0 });
+
+        let mut engine = Engine::new(two_node_config());
+        let mut remaining = 3u32;
+        engine.issue(|ctx| ctx.compute(1, SimTime::from_millis(10), 1));
+        while let Some(completion) = engine.next_completion() {
+            match completion {
+                Completion::Compute { .. } => engine.issue(|ctx| ctx.send(1, 0, 1 << 20, 2)),
+                Completion::Transfer { .. } => {
+                    remaining -= 1;
+                    if remaining > 0 {
+                        engine.issue(|ctx| ctx.compute(1, SimTime::from_millis(10), 1));
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(engine.now(), expected);
+        assert_eq!(remaining, 0);
     }
 
     #[test]

@@ -21,13 +21,7 @@ impl<P> FifoServer<P> {
     /// Create a resource with `capacity` parallel servers.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "a resource needs at least one server");
-        Self {
-            capacity,
-            busy: 0,
-            pending: VecDeque::new(),
-            busy_time: SimTime::ZERO,
-            served: 0,
-        }
+        Self { capacity, busy: 0, pending: VecDeque::new(), busy_time: SimTime::ZERO, served: 0 }
     }
 
     /// Number of parallel servers.

@@ -1,10 +1,9 @@
 //! Aggregate statistics of a finished simulation.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Per-node resource usage accumulated by the engine.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NodeStats {
     /// Total core-time spent computing on this node.
     pub compute_time: SimTime,
@@ -19,7 +18,7 @@ pub struct NodeStats {
 }
 
 /// Whole-run summary returned by [`crate::Engine::finish`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Virtual time at which the last event completed (the makespan).
     pub makespan: SimTime,
@@ -60,8 +59,16 @@ mod tests {
         let stats = SimStats {
             makespan: SimTime::from_secs(10),
             nodes: vec![
-                NodeStats { compute_time: SimTime::from_secs(20), tasks_executed: 4, ..Default::default() },
-                NodeStats { compute_time: SimTime::from_secs(20), tasks_executed: 4, ..Default::default() },
+                NodeStats {
+                    compute_time: SimTime::from_secs(20),
+                    tasks_executed: 4,
+                    ..Default::default()
+                },
+                NodeStats {
+                    compute_time: SimTime::from_secs(20),
+                    tasks_executed: 4,
+                    ..Default::default()
+                },
             ],
             events_processed: 8,
         };

@@ -1,6 +1,5 @@
 //! Virtual time kept in integer nanoseconds for exact, deterministic math.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
@@ -9,9 +8,7 @@ use std::ops::{Add, AddAssign, Sub};
 ///
 /// Integer nanoseconds keep the event queue ordering exact and the runs
 /// reproducible across platforms, which floating-point seconds would not.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

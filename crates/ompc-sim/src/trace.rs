@@ -2,10 +2,10 @@
 //! Gantt-style inspection, overhead attribution (Fig. 7a) and debugging.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
+use ompc_json::{Json, JsonError};
 
 /// The kind of activity a trace event describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
     /// A task (or task fragment) computing on a node core.
     Compute,
@@ -15,8 +15,28 @@ pub enum TraceKind {
     Runtime,
 }
 
+impl TraceKind {
+    /// Stable name used in the JSON rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Compute => "compute",
+            TraceKind::Transfer => "transfer",
+            TraceKind::Runtime => "runtime",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "compute" => Some(TraceKind::Compute),
+            "transfer" => Some(TraceKind::Transfer),
+            "runtime" => Some(TraceKind::Runtime),
+            _ => None,
+        }
+    }
+}
+
 /// One recorded activity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Activity kind.
     pub kind: TraceKind,
@@ -41,8 +61,47 @@ impl TraceEvent {
     }
 }
 
+impl TraceEvent {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("kind", Json::str(self.kind.name())),
+            ("node", Json::usize(self.node)),
+            ("dest", self.dest.map_or(Json::Null, Json::usize)),
+            ("start", Json::u64(self.start.0)),
+            ("end", Json::u64(self.end.0)),
+            ("label", Json::str(self.label.clone())),
+            ("bytes", Json::u64(self.bytes)),
+        ])
+    }
+
+    fn from_json_value(value: &Json) -> Result<Self, JsonError> {
+        Ok(TraceEvent {
+            kind: value
+                .field("kind")?
+                .as_str()
+                .and_then(TraceKind::from_name)
+                .ok_or_else(|| JsonError::invalid("kind"))?,
+            node: value.field("node")?.as_usize().ok_or_else(|| JsonError::invalid("node"))?,
+            dest: match value.field("dest")? {
+                Json::Null => None,
+                other => Some(other.as_usize().ok_or_else(|| JsonError::invalid("dest"))?),
+            },
+            start: SimTime(
+                value.field("start")?.as_u64().ok_or_else(|| JsonError::invalid("start"))?,
+            ),
+            end: SimTime(value.field("end")?.as_u64().ok_or_else(|| JsonError::invalid("end"))?),
+            label: value
+                .field("label")?
+                .as_str()
+                .ok_or_else(|| JsonError::invalid("label"))?
+                .to_string(),
+            bytes: value.field("bytes")?.as_u64().ok_or_else(|| JsonError::invalid("bytes"))?,
+        })
+    }
+}
+
 /// A collection of trace events in completion order.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     enabled: bool,
@@ -106,7 +165,26 @@ impl Trace {
     /// Serialize the trace to a JSON string (one object with an `events`
     /// array), consumed by the experiment harness.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serialization cannot fail")
+        Json::obj([
+            ("enabled", Json::Bool(self.enabled)),
+            ("events", Json::Arr(self.events.iter().map(TraceEvent::to_json_value).collect())),
+        ])
+        .to_string()
+    }
+
+    /// Parse a trace previously rendered with [`Trace::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        let value = Json::parse(json)?;
+        let enabled =
+            value.field("enabled")?.as_bool().ok_or_else(|| JsonError::invalid("enabled"))?;
+        let events = value
+            .field("events")?
+            .as_array()
+            .ok_or_else(|| JsonError::invalid("events"))?
+            .iter()
+            .map(TraceEvent::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace { events, enabled })
     }
 }
 
@@ -152,7 +230,14 @@ mod tests {
         let mut tr = Trace::new();
         tr.record(ev(TraceKind::Runtime, 1, 2, 0));
         let json = tr.to_json();
-        let back: Trace = serde_json::from_str(&json).unwrap();
+        let back = Trace::from_json(&json).unwrap();
         assert_eq!(back.events(), tr.events());
+        assert_eq!(back.is_enabled(), tr.is_enabled());
+    }
+
+    #[test]
+    fn json_rejects_malformed_documents() {
+        assert!(Trace::from_json("{}").is_err());
+        assert!(Trace::from_json(r#"{"enabled": true, "events": [{}]}"#).is_err());
     }
 }

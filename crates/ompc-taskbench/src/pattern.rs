@@ -128,7 +128,6 @@ impl fmt::Display for DependencePattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn first_timestep_has_no_dependencies() {
@@ -204,32 +203,36 @@ mod tests {
         assert!((fft - 2.0).abs() < 1e-9);
     }
 
-    proptest! {
-        /// Every dependence refers to a valid point of the previous step and
-        /// contains no duplicates, for all patterns and sizes.
-        #[test]
-        fn prop_dependencies_are_valid(
-            pattern_idx in 0usize..5,
-            point in 0usize..256,
-            step in 0usize..64,
-            width in 1usize..256,
-        ) {
-            let patterns = [
-                DependencePattern::Trivial,
-                DependencePattern::NoComm,
-                DependencePattern::Stencil1D,
-                DependencePattern::Fft,
-                DependencePattern::Tree,
-            ];
-            let pattern = patterns[pattern_idx];
-            let point = point % width;
-            let deps = pattern.dependencies(point, step, width);
-            let mut sorted = deps.clone();
-            sorted.sort_unstable();
-            sorted.dedup();
-            prop_assert_eq!(sorted.len(), deps.len(), "duplicate dependencies");
-            for d in deps {
-                prop_assert!(d < width, "dependence {} out of range {}", d, width);
+    /// Every dependence refers to a valid point of the previous step and
+    /// contains no duplicates, for all patterns and sizes (exhaustive sweep
+    /// replacing the former proptest property).
+    #[test]
+    fn prop_dependencies_are_valid() {
+        let patterns = [
+            DependencePattern::Trivial,
+            DependencePattern::NoComm,
+            DependencePattern::Stencil1D,
+            DependencePattern::Fft,
+            DependencePattern::Tree,
+        ];
+        for pattern in patterns {
+            for width in [1usize, 2, 3, 5, 8, 13, 64, 255] {
+                for step in [0usize, 1, 2, 3, 7, 15, 63] {
+                    for point in (0..width).step_by(1 + width / 16) {
+                        let deps = pattern.dependencies(point, step, width);
+                        let mut sorted = deps.clone();
+                        sorted.sort_unstable();
+                        sorted.dedup();
+                        assert_eq!(
+                            sorted.len(),
+                            deps.len(),
+                            "{pattern} w={width} s={step} p={point}: duplicate dependencies"
+                        );
+                        for d in deps {
+                            assert!(d < width, "{pattern}: dependence {d} out of range {width}");
+                        }
+                    }
+                }
             }
         }
     }

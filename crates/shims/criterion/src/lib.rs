@@ -1,0 +1,182 @@
+//! A minimal, API-compatible stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach a crate registry, so the workspace
+//! vendors the slice of criterion's API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurements are intentionally lightweight — a short warm-up followed by
+//! a fixed number of timed samples whose minimum / median / maximum are
+//! printed — so the benches stay useful for relative comparisons without
+//! criterion's statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n# bench group: {name}");
+        BenchmarkGroup { _parent: self, name, samples: 10 }
+    }
+
+    /// Run a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_case("", &id.to_string(), 10, &mut f);
+        self
+    }
+}
+
+/// A named benchmark identifier (`function / parameter` pair).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` measured at `parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self { function: function.to_string(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// A group of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_case(&self.name, &id.to_string(), self.samples, &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_case(&self.name, &id.to_string(), self.samples, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    rounds: usize,
+}
+
+impl Bencher {
+    /// Time `rounds` executions of `routine` (after one warm-up run).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.rounds {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_case<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher { samples: Vec::new(), rounds: samples };
+    f(&mut bencher);
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let min = bencher.samples[0];
+    let med = bencher.samples[bencher.samples.len() / 2];
+    let max = bencher.samples[bencher.samples.len() - 1];
+    println!("{label}: min {min:?}  median {med:?}  max {max:?}");
+}
+
+/// Define a function that runs the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` to run the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u32;
+        group.sample_size(4).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with-input", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        // one warm-up + min(4, 5) timed rounds
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn benchmark_id_displays_as_path() {
+        assert_eq!(BenchmarkId::new("heft", 64).to_string(), "heft/64");
+    }
+}

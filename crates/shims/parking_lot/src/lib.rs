@@ -1,0 +1,216 @@
+//! A minimal, API-compatible stand-in for the `parking_lot` crate.
+//!
+//! The build environment cannot reach a crate registry, so the workspace
+//! vendors the small slice of `parking_lot` it uses: `Mutex`, `RwLock` and
+//! `Condvar` with non-poisoning guards. Everything is implemented over
+//! `std::sync`; a poisoned std lock is treated as still-usable (the data is
+//! handed back), matching parking_lot's no-poisoning semantics.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// A mutual-exclusion lock whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard of a [`Mutex`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait_for` can temporarily take the std guard by
+    // value; it is `None` only during that call.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex and return the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)) }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard taken during condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard taken during condvar wait")
+    }
+}
+
+/// A reader-writer lock whose `read`/`write` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared-access guard of an [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+/// Exclusive-access guard of an [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Create a reader-writer lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Consume the lock and return the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Outcome of a [`Condvar::wait_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable operating on [`MutexGuard`]s.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Block on the condition variable until notified or `timeout` elapses,
+    /// releasing `guard` while waiting and re-acquiring it before returning.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard already taken");
+        let (inner, result) =
+            self.0.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Block on the condition variable until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard already taken");
+        let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(vec![1, 2]);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(r.timed_out());
+        assert!(!*g);
+    }
+
+    #[test]
+    fn condvar_wakes_on_notify() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait_for(&mut done, Duration::from_millis(50));
+            }
+        });
+        {
+            let (m, cv) = &*shared;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+}

@@ -56,11 +56,7 @@ fn main() {
         let output = region.map_alloc(32 * 8);
         region.target_labeled(
             transform,
-            vec![
-                Dependence::input(input),
-                Dependence::input(factor),
-                Dependence::output(output),
-            ],
+            vec![Dependence::input(input), Dependence::input(factor), Dependence::output(output)],
             format!("transform-{lane}"),
         );
         lane_outputs.push(output);

@@ -9,6 +9,9 @@
 
 use ompc::prelude::*;
 
+// The kernel names mirror the paper's Listing 1, which literally calls them
+// `foo` and `bar`.
+#[allow(clippy::disallowed_names)]
 fn main() {
     // A cluster of 1 head node + 3 worker nodes, all as threads in this
     // process (the in-process analogue of `mpirun -np 4`).

@@ -23,10 +23,8 @@ fn main() {
     );
 
     // Four shots across the surface.
-    let shots: Vec<Shot> = [12usize, 28, 40, 52]
-        .iter()
-        .map(|&x| Shot { source_x: x, source_z: 2 })
-        .collect();
+    let shots: Vec<Shot> =
+        [12usize, 28, 40, 52].iter().map(|&x| Shot { source_x: x, source_z: 2 }).collect();
     let params = RtmParams { nt: 200, snapshot_every: 4, smoothing_passes: 4 };
 
     // Sequential reference migration.
@@ -40,8 +38,8 @@ fn main() {
     // the host.
     let mut device = ClusterDevice::spawn(2);
     let t0 = std::time::Instant::now();
-    let clustered = run_shots_on_cluster(&device, &model, &shots, &params)
-        .expect("clustered migration failed");
+    let clustered =
+        run_shots_on_cluster(&device, &model, &shots, &params).expect("clustered migration failed");
     let cluster_time = t0.elapsed();
     device.shutdown();
     println!("clustered  migration of {} shots: {:?}", shots.len(), cluster_time);

@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo run --release --example taskbench_stencil`
 
-use ompc::baselines::{block_assignment, BaselineRuntime, CharmRuntime, MpiSyncRuntime, StarPuRuntime};
+use ompc::baselines::{
+    block_assignment, BaselineRuntime, CharmRuntime, MpiSyncRuntime, StarPuRuntime,
+};
 use ompc::prelude::*;
 use ompc::sim::ClusterConfig;
 use ompc::taskbench::{
@@ -70,7 +72,8 @@ fn simulated_comparison() {
     );
 
     let cluster = ClusterConfig::santos_dumont(nodes);
-    let ompc = simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+    let ompc =
+        simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
     println!("OMPC    : {:.3}s", ompc.makespan.as_secs_f64());
 
     let assignment = block_assignment(config.width, config.steps, nodes);

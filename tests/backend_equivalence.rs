@@ -1,0 +1,174 @@
+//! Backend-equivalence properties of the unified execution core: for the
+//! same seeded workload and the same [`RuntimePlan`], the simulated backend
+//! and the real threaded backend must make identical scheduling and
+//! dispatch decisions — the acceptance bar for the `RuntimeCore` /
+//! `ExecutionBackend` refactor.
+
+use ompc::prelude::*;
+use ompc::sched::{Platform, TaskGraph};
+use ompc::sim::ClusterConfig;
+use ompc_testutil::Rng;
+
+/// A random layered DAG whose edges always point forward and carry the
+/// producer's output size — the shape both backends can execute (the
+/// threaded one materializes it as a region of per-task output buffers).
+fn random_workload(rng: &mut Rng) -> WorkloadGraph {
+    let tasks = rng.range(2, 14) as usize;
+    let mut graph = TaskGraph::new();
+    let mut output_bytes = Vec::with_capacity(tasks);
+    for _ in 0..tasks {
+        graph.add_task(rng.range(1, 40) as f64 * 1e-4);
+        output_bytes.push(rng.range(1, 64) * 1024);
+    }
+    // Edges grouped by consumer, predecessors ascending, so the scheduler
+    // sees the same adjacency order the region materialization produces.
+    for t in 1..tasks {
+        let max_preds = t.min(3);
+        let preds = rng.range(0, max_preds as u64 + 1) as usize;
+        let mut chosen: Vec<usize> = (0..preds).map(|_| rng.range(0, t as u64) as usize).collect();
+        chosen.sort_unstable();
+        chosen.dedup();
+        for p in chosen {
+            graph.add_edge(p, t, output_bytes[p]);
+        }
+    }
+    WorkloadGraph::new(graph, output_bytes)
+}
+
+fn is_topological(order: &[usize], workload: &WorkloadGraph) -> bool {
+    let pos: std::collections::HashMap<usize, usize> =
+        order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    workload.graph.edges().iter().all(|e| pos[&e.from] < pos[&e.to])
+}
+
+/// With a serial dispatch window both backends must agree on everything:
+/// the HEFT assignment, the dispatch order, and the task-completion order.
+#[test]
+fn backends_agree_on_assignment_and_completion_order() {
+    for seed in 0..10u64 {
+        let mut rng = Rng::new(seed);
+        let workload = random_workload(&mut rng);
+        let workers = rng.range(2, 5) as usize;
+        let platform = Platform::cluster(workers);
+        let mut config = OmpcConfig::small();
+        config.max_inflight_tasks = Some(1);
+
+        // The scheduler is deterministic: planning twice from the same
+        // inputs gives the same plan.
+        let plan = RuntimePlan::for_workload(&workload, &platform, &config);
+        let replan = RuntimePlan::for_workload(&workload, &platform, &config);
+        assert_eq!(plan, replan, "seed {seed}: scheduling is not deterministic");
+        assert!(
+            plan.assignment.iter().all(|&n| n >= 1 && n <= workers),
+            "seed {seed}: tasks must be assigned to worker nodes"
+        );
+
+        let cluster = ClusterConfig::santos_dumont(workers + 1);
+        let (sim_result, sim_record) =
+            simulate_ompc_with_plan(&workload, &cluster, &config, &OverheadModel::default(), &plan);
+        assert_eq!(sim_result.stats.total_tasks(), workload.len() as u64, "seed {seed}");
+
+        let mut device = ClusterDevice::with_config(workers, config.clone());
+        let threaded_record = device.run_workload(&workload, &plan).unwrap();
+        device.shutdown();
+
+        assert_eq!(
+            sim_record.assignment, threaded_record.assignment,
+            "seed {seed}: backends disagree on the HEFT assignment"
+        );
+        assert_eq!(
+            sim_record.dispatch_order, threaded_record.dispatch_order,
+            "seed {seed}: backends disagree on the dispatch order"
+        );
+        assert_eq!(
+            sim_record.completion_order, threaded_record.completion_order,
+            "seed {seed}: backends disagree on the task-completion order"
+        );
+        assert_eq!(sim_record.peak_in_flight, 1, "seed {seed}");
+        assert!(is_topological(&sim_record.completion_order, &workload), "seed {seed}");
+    }
+}
+
+/// With a wide window the threaded completion order becomes timing
+/// dependent, but both backends must still execute every task exactly once
+/// in a dependence-respecting order, under the configured window bound.
+#[test]
+fn backends_respect_dependences_under_wide_windows() {
+    for seed in 0..6u64 {
+        let mut rng = Rng::new(1000 + seed);
+        let workload = random_workload(&mut rng);
+        let workers = 3;
+        let platform = Platform::cluster(workers);
+        let mut config = OmpcConfig::small();
+        config.max_inflight_tasks = Some(4);
+        let plan = RuntimePlan::for_workload(&workload, &platform, &config);
+        let cluster = ClusterConfig::santos_dumont(workers + 1);
+
+        let (_, sim_record) =
+            simulate_ompc_with_plan(&workload, &cluster, &config, &OverheadModel::default(), &plan);
+        let mut device = ClusterDevice::with_config(workers, config.clone());
+        let threaded_record = device.run_workload(&workload, &plan).unwrap();
+        device.shutdown();
+
+        for (name, record) in [("sim", &sim_record), ("threaded", &threaded_record)] {
+            let mut seen = record.completion_order.clone();
+            seen.sort_unstable();
+            assert_eq!(
+                seen,
+                (0..workload.len()).collect::<Vec<_>>(),
+                "seed {seed}: {name} backend did not execute every task exactly once"
+            );
+            assert!(
+                is_topological(&record.completion_order, &workload),
+                "seed {seed}: {name} backend violated a dependence"
+            );
+            assert!(
+                record.peak_in_flight <= 4,
+                "seed {seed}: {name} backend exceeded the in-flight window"
+            );
+        }
+        // The assignment is static, so it still matches exactly.
+        assert_eq!(sim_record.assignment, threaded_record.assignment, "seed {seed}");
+    }
+}
+
+/// The simulated §7 reproduction: with the legacy libomptarget-style window
+/// the makespan of a wide graph degrades, and the recorded peak concurrency
+/// honours `max_inflight_tasks` in both modes.
+#[test]
+fn window_is_honored_and_bottleneck_reproduces() {
+    let mut rng = Rng::new(42);
+    // A wide, shallow workload: plenty of available parallelism.
+    let width = 24usize;
+    let mut graph = TaskGraph::new();
+    let mut output_bytes = Vec::new();
+    for _ in 0..width {
+        graph.add_task(2e-3);
+        output_bytes.push(rng.range(1, 8) * 1024);
+    }
+    let workload = WorkloadGraph::new(graph, output_bytes);
+    let cluster = ClusterConfig::santos_dumont(9);
+
+    let run = |window: usize| {
+        let config = OmpcConfig { max_inflight_tasks: Some(window), ..OmpcConfig::default() };
+        simulate_ompc_recorded(&workload, &cluster, &config, &OverheadModel::default())
+    };
+    let (narrow_result, narrow_record) = run(2);
+    let (wide_result, wide_record) = run(width);
+    assert_eq!(narrow_record.peak_in_flight, 2);
+    assert!(wide_record.peak_in_flight > 2);
+    assert!(
+        narrow_result.makespan > wide_result.makespan,
+        "the narrow window must reproduce the head-node bottleneck"
+    );
+
+    // The threaded backend honours the same bound.
+    let mut config = OmpcConfig::small();
+    config.max_inflight_tasks = Some(2);
+    let platform = Platform::cluster(3);
+    let plan = RuntimePlan::for_workload(&workload, &platform, &config);
+    let mut device = ClusterDevice::with_config(3, config);
+    let record = device.run_workload(&workload, &plan).unwrap();
+    device.shutdown();
+    assert!(record.peak_in_flight <= 2);
+}

@@ -1,0 +1,166 @@
+//! Smoke tests exercising reduced versions of every `examples/` program, so
+//! the exact flows a user runs with `cargo run --example …` are covered by
+//! `cargo test` end-to-end (threaded cluster, Awave RTM, Task Bench real +
+//! simulated, and the dataflow pipeline).
+
+use ompc::awave::{migrate, run_shots_on_cluster, ModelKind, RtmParams, Shot, VelocityModel};
+use ompc::baselines::{block_assignment, BaselineRuntime, MpiSyncRuntime};
+use ompc::prelude::*;
+use ompc::sim::ClusterConfig;
+use ompc::taskbench::{
+    generate_workload, register_taskbench_kernel, DependencePattern, TaskBenchConfig,
+};
+
+/// `examples/quickstart.rs`: the paper's Listing 1 (foo then bar on A).
+#[test]
+fn quickstart_listing1() {
+    let mut device = ClusterDevice::spawn(3);
+    let foo = device.register_kernel_fn("foo", 1e-4, |args| {
+        let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+        args.set_f64s(0, &v);
+    });
+    let bar = device.register_kernel_fn("bar", 1e-4, |args| {
+        let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x * 10.0).collect();
+        args.set_f64s(0, &v);
+    });
+    let mut region = device.target_region();
+    let a = region.map_to_f64s(&[1.0, 2.0, 3.0, 4.0]);
+    region.target(foo, vec![Dependence::inout(a)]);
+    region.target(bar, vec![Dependence::inout(a)]);
+    region.map_from(a);
+    let report = region.run().expect("region execution failed");
+    assert_eq!(device.buffer_f64s(a).unwrap(), vec![20.0, 30.0, 40.0, 50.0]);
+    assert_eq!(report.target_tasks, 2);
+    assert!(report.peak_in_flight >= 1);
+    device.shutdown();
+}
+
+/// `examples/seismic_rtm.rs`, reduced: a tiny Sigsbee-like survey migrated
+/// sequentially and on the cluster must agree to numerical precision.
+#[test]
+fn seismic_rtm_cluster_matches_sequential() {
+    let model = VelocityModel::generate(ModelKind::SigsbeeLike, 24, 24, 20.0);
+    let shots: Vec<Shot> =
+        [6usize, 12, 18].iter().map(|&x| Shot { source_x: x, source_z: 2 }).collect();
+    let params = RtmParams { nt: 40, snapshot_every: 4, smoothing_passes: 2 };
+    let reference = migrate(&model, &shots, &params);
+    let mut device = ClusterDevice::spawn(2);
+    let clustered =
+        run_shots_on_cluster(&device, &model, &shots, &params).expect("clustered migration failed");
+    device.shutdown();
+    let max_diff = clustered
+        .values
+        .iter()
+        .zip(&reference.values)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_diff < 1e-9, "clustered image deviates by {max_diff}");
+}
+
+/// `examples/taskbench_stencil.rs`, reduced: the real-mode stencil plus the
+/// simulated paper configuration.
+#[test]
+fn taskbench_stencil_real_and_simulated() {
+    // Real mode: 4-point × 4-step stencil on 2 workers.
+    let width = 4usize;
+    let steps = 4usize;
+    let mut device = ClusterDevice::spawn(2);
+    let kernel = register_taskbench_kernel(&device, 5_000);
+    let mut region = device.target_region();
+    let buffers: Vec<BufferId> = (0..width)
+        .map(|p| region.map_to(ompc::mpi::typed::u64s_to_bytes(&[p as u64 + 1])))
+        .collect();
+    let pattern = DependencePattern::Stencil1D;
+    for step in 1..steps {
+        for point in 0..width {
+            let mut deps = vec![Dependence::inout(buffers[point])];
+            for dep in pattern.dependencies(point, step, width) {
+                if dep != point {
+                    deps.push(Dependence::input(buffers[dep]));
+                }
+            }
+            region.target(kernel, deps);
+        }
+    }
+    for &b in &buffers {
+        region.map_from(b);
+    }
+    let report = region.run().expect("stencil region failed");
+    assert_eq!(report.target_tasks, width * (steps - 1));
+    for &b in &buffers {
+        let out = ompc::mpi::typed::bytes_to_u64s(&device.buffer_data(b).unwrap()).unwrap();
+        assert!(!out.is_empty());
+    }
+    device.shutdown();
+
+    // Simulated mode: OMPC vs the synchronous-MPI baseline on 8 nodes.
+    let config = TaskBenchConfig::new(DependencePattern::Stencil1D, 8, 4, 1_000_000, 1 << 14);
+    let workload = generate_workload(&config);
+    let cluster = ClusterConfig::santos_dumont(8);
+    let ompc_time =
+        simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+    let mpi = MpiSyncRuntime::new().run(
+        &workload,
+        &cluster,
+        &block_assignment(config.width, config.steps, 8),
+    );
+    assert!(ompc_time.makespan.as_secs_f64() > 0.0);
+    assert!(mpi.makespan.as_secs_f64() > 0.0);
+}
+
+/// `examples/pipeline_dataflow.rs`, reduced: produce → fan-out transforms →
+/// reduce → host task, checking the data-manager forwarding semantics.
+#[test]
+fn pipeline_dataflow_produces_expected_sum() {
+    const LANES: usize = 4;
+    const N: usize = 8;
+    let mut device = ClusterDevice::spawn(3);
+    let produce = device.register_kernel_fn("produce", 1e-5, |args| {
+        let n = args.as_f64s(0).len();
+        let ramp: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        args.set_f64s(0, &ramp);
+    });
+    let transform = device.register_kernel_fn("transform", 1e-5, |args| {
+        let factor = args.as_f64s(1)[0];
+        let scaled: Vec<f64> = args.as_f64s(0).iter().map(|x| x * factor).collect();
+        args.set_f64s(2, &scaled);
+    });
+    let reduce = device.register_kernel_fn("reduce", 1e-5, |args| {
+        let lanes = args.len() - 1;
+        let n = args.as_f64s(0).len();
+        let mut total = vec![0.0f64; n];
+        for lane in 0..lanes {
+            for (t, v) in total.iter_mut().zip(args.as_f64s(lane)) {
+                *t += v;
+            }
+        }
+        args.set_f64s(lanes, &total);
+    });
+
+    let mut region = device.target_region();
+    let input = region.map_alloc(N * 8);
+    region.target(produce, vec![Dependence::output(input)]);
+    let mut lane_outputs = Vec::new();
+    for lane in 0..LANES {
+        let factor = region.map_to_f64s(&[(lane + 1) as f64]);
+        let out = region.map_alloc(N * 8);
+        region.target(
+            transform,
+            vec![Dependence::input(input), Dependence::input(factor), Dependence::output(out)],
+        );
+        lane_outputs.push(out);
+    }
+    let total = region.map_alloc(N * 8);
+    let mut reduce_deps: Vec<Dependence> =
+        lane_outputs.iter().map(|&b| Dependence::input(b)).collect();
+    reduce_deps.push(Dependence::output(total));
+    region.target(reduce, reduce_deps);
+    region.map_from(total);
+    region.run().expect("pipeline region failed");
+
+    // Sum over lanes of (lane+1) * i == i * LANES*(LANES+1)/2.
+    let factor_sum = (LANES * (LANES + 1) / 2) as f64;
+    let expected: Vec<f64> = (0..N).map(|i| i as f64 * factor_sum).collect();
+    assert_eq!(device.buffer_f64s(total).unwrap(), expected);
+    device.shutdown();
+}

@@ -2,20 +2,17 @@
 //! figure shapes. These run reduced versions of the paper's experiments and
 //! assert the qualitative results the paper reports.
 
-use ompc::baselines::{block_assignment, BaselineRuntime, CharmRuntime, MpiSyncRuntime, StarPuRuntime};
+use ompc::baselines::{
+    block_assignment, BaselineRuntime, CharmRuntime, MpiSyncRuntime, StarPuRuntime,
+};
 use ompc::prelude::*;
 use ompc::sim::{ClusterConfig, NetworkConfig};
 use ompc::taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
 
 fn ompc_time(workload: &WorkloadGraph, nodes: usize, config: &OmpcConfig) -> f64 {
-    simulate_ompc(
-        workload,
-        &ClusterConfig::santos_dumont(nodes),
-        config,
-        &OverheadModel::default(),
-    )
-    .makespan
-    .as_secs_f64()
+    simulate_ompc(workload, &ClusterConfig::santos_dumont(nodes), config, &OverheadModel::default())
+        .makespan
+        .as_secs_f64()
 }
 
 fn baseline_time(
@@ -39,8 +36,7 @@ fn baseline_time(
 #[test]
 fn figure5_ordering_holds_at_16_nodes() {
     let nodes = 16;
-    for pattern in [DependencePattern::Stencil1D, DependencePattern::Fft, DependencePattern::Tree]
-    {
+    for pattern in [DependencePattern::Stencil1D, DependencePattern::Fft, DependencePattern::Tree] {
         let mut cfg = TaskBenchConfig::new(pattern, 2 * nodes, 8, 10_000_000, 0);
         cfg.output_bytes = cfg.bytes_for_ccr(1.0, &NetworkConfig::infiniband());
         let workload = generate_workload(&cfg);
@@ -91,7 +87,8 @@ fn figure6_charm_collapse_at_low_ccr() {
 fn figure5_ompc_degrades_beyond_in_flight_capacity() {
     let run_at = |nodes: usize| {
         let cfg = {
-            let mut c = TaskBenchConfig::new(DependencePattern::Trivial, 2 * nodes, 8, 10_000_000, 0);
+            let mut c =
+                TaskBenchConfig::new(DependencePattern::Trivial, 2 * nodes, 8, 10_000_000, 0);
             c.output_bytes = 0;
             c
         };
@@ -119,8 +116,7 @@ fn lifting_the_in_flight_limit_restores_scalability() {
     let cfg = TaskBenchConfig::new(DependencePattern::Trivial, 2 * nodes, 8, 10_000_000, 0);
     let workload = generate_workload(&cfg);
     let limited = ompc_time(&workload, nodes, &OmpcConfig::default());
-    let mut unlimited_cfg = OmpcConfig::default();
-    unlimited_cfg.enforce_in_flight_limit = false;
+    let unlimited_cfg = OmpcConfig { enforce_in_flight_limit: false, ..OmpcConfig::default() };
     let unlimited = ompc_time(&workload, nodes, &unlimited_cfg);
     assert!(
         unlimited < limited * 0.6,
@@ -138,8 +134,7 @@ fn forwarding_beats_staging_through_the_head() {
     cfg.output_bytes = cfg.bytes_for_ccr(1.0, &NetworkConfig::infiniband());
     let workload = generate_workload(&cfg);
     let forwarding = ompc_time(&workload, nodes, &OmpcConfig::default());
-    let mut staged_cfg = OmpcConfig::default();
-    staged_cfg.worker_to_worker_forwarding = false;
+    let staged_cfg = OmpcConfig { worker_to_worker_forwarding: false, ..OmpcConfig::default() };
     let staged = ompc_time(&workload, nodes, &staged_cfg);
     assert!(
         staged > forwarding * 1.1,

@@ -1,64 +1,77 @@
 //! Cross-crate property-based tests: invariants that must hold for any
 //! workload the Task Bench generator can produce.
+//!
+//! The build environment has no crate registry, so instead of `proptest`
+//! these properties are exercised over a deterministic sweep of pseudo-random
+//! configurations drawn from a seeded xorshift generator. Failures print the
+//! offending seed so a case can be replayed exactly.
 
 use ompc::baselines::{block_assignment, BaselineRuntime, MpiSyncRuntime, StarPuRuntime};
 use ompc::prelude::*;
 use ompc::sched::{HeftScheduler, Platform, Scheduler};
 use ompc::sim::ClusterConfig;
 use ompc::taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
-use proptest::prelude::*;
+use ompc_testutil::Rng;
 
-fn arbitrary_config() -> impl Strategy<Value = TaskBenchConfig> {
-    (0usize..4, 1usize..12, 1usize..8, 1u64..5_000_000, 0u64..4_000_000).prop_map(
-        |(pattern_idx, width, steps, iterations, bytes)| {
-            TaskBenchConfig::new(
-                DependencePattern::paper_patterns()[pattern_idx],
-                width,
-                steps,
-                iterations,
-                bytes,
-            )
-        },
-    )
+/// The same configuration space the proptest strategy used to cover:
+/// every paper pattern, widths 1–11, steps 1–7, iteration counts up to
+/// 5M, and edge payloads up to 4 MB.
+fn arbitrary_config(rng: &mut Rng) -> TaskBenchConfig {
+    let pattern = DependencePattern::paper_patterns()[rng.range(0, 4) as usize];
+    let width = rng.range(1, 12) as usize;
+    let steps = rng.range(1, 8) as usize;
+    let iterations = rng.range(1, 5_000_000);
+    let bytes = rng.range(0, 4_000_000);
+    TaskBenchConfig::new(pattern, width, steps, iterations, bytes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    /// HEFT always produces a dependence- and capacity-respecting schedule
-    /// for any Task Bench graph.
-    #[test]
-    fn heft_schedules_any_taskbench_graph(config in arbitrary_config()) {
+/// HEFT always produces a dependence- and capacity-respecting schedule for
+/// any Task Bench graph.
+#[test]
+fn heft_schedules_any_taskbench_graph() {
+    for seed in 0..CASES {
+        let config = arbitrary_config(&mut Rng::new(seed));
         let workload = generate_workload(&config);
         let platform = Platform::cluster(7);
         let schedule = HeftScheduler::new().schedule(&workload.graph, &platform);
-        prop_assert!(schedule.validate(&workload.graph, &platform).is_ok());
-        prop_assert_eq!(schedule.len(), workload.len());
+        assert!(
+            schedule.validate(&workload.graph, &platform).is_ok(),
+            "seed {seed}: invalid HEFT schedule"
+        );
+        assert_eq!(schedule.len(), workload.len(), "seed {seed}");
     }
+}
 
-    /// The simulated OMPC runtime executes every task exactly once and its
-    /// makespan is never below the critical-path compute time.
-    #[test]
-    fn simulated_ompc_respects_critical_path(config in arbitrary_config()) {
+/// The simulated OMPC runtime executes every task exactly once and its
+/// makespan is never below the critical-path compute time.
+#[test]
+fn simulated_ompc_respects_critical_path() {
+    for seed in 0..CASES {
+        let config = arbitrary_config(&mut Rng::new(seed));
         let workload = generate_workload(&config);
         let cluster = ClusterConfig::santos_dumont(5);
-        let result = simulate_ompc(
-            &workload,
-            &cluster,
-            &OmpcConfig::default(),
-            &OverheadModel::default(),
-        );
-        prop_assert_eq!(result.stats.total_tasks(), workload.len() as u64);
+        let result =
+            simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+        assert_eq!(result.stats.total_tasks(), workload.len() as u64, "seed {seed}");
         let critical = workload.graph.critical_path_cost();
-        prop_assert!(result.makespan.as_secs_f64() + 1e-9 >= critical);
+        assert!(
+            result.makespan.as_secs_f64() + 1e-9 >= critical,
+            "seed {seed}: makespan {} below critical path {critical}",
+            result.makespan
+        );
         // The head node never executes target tasks.
-        prop_assert_eq!(result.stats.nodes[0].tasks_executed, 0);
+        assert_eq!(result.stats.nodes[0].tasks_executed, 0, "seed {seed}");
     }
+}
 
-    /// Every baseline runtime also executes every task exactly once, and no
-    /// runtime beats the critical-path lower bound.
-    #[test]
-    fn baselines_respect_critical_path(config in arbitrary_config()) {
+/// Every baseline runtime also executes every task exactly once, and no
+/// runtime beats the critical-path lower bound.
+#[test]
+fn baselines_respect_critical_path() {
+    for seed in 0..CASES {
+        let config = arbitrary_config(&mut Rng::new(seed));
         let workload = generate_workload(&config);
         let cluster = ClusterConfig::santos_dumont(5);
         let assignment = block_assignment(config.width, config.steps, 5);
@@ -68,18 +81,26 @@ proptest! {
             Box::new(StarPuRuntime::new()),
         ] {
             let r = runtime.run(&workload, &cluster, &assignment);
-            prop_assert_eq!(r.stats.total_tasks(), workload.len() as u64);
-            prop_assert!(r.makespan.as_secs_f64() + 1e-9 >= critical);
+            assert_eq!(r.stats.total_tasks(), workload.len() as u64, "seed {seed}");
+            assert!(
+                r.makespan.as_secs_f64() + 1e-9 >= critical,
+                "seed {seed}: baseline beat the critical path"
+            );
         }
     }
+}
 
-    /// Simulation determinism across repeated runs, for any workload.
-    #[test]
-    fn simulation_is_deterministic(config in arbitrary_config()) {
+/// Simulation determinism across repeated runs, for any workload.
+#[test]
+fn simulation_is_deterministic() {
+    for seed in 0..CASES {
+        let config = arbitrary_config(&mut Rng::new(seed));
         let workload = generate_workload(&config);
         let cluster = ClusterConfig::santos_dumont(4);
-        let a = simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
-        let b = simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
-        prop_assert_eq!(a, b);
+        let a =
+            simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+        let b =
+            simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+        assert_eq!(a, b, "seed {seed}: simulation not deterministic");
     }
 }

@@ -33,10 +33,7 @@ fn multi_stage_region_matches_sequential_result() {
     let report = region.run().unwrap();
 
     assert_eq!(device.buffer_f64s(acc).unwrap(), vec![expected]);
-    assert_eq!(
-        device.buffer_f64s(data).unwrap(),
-        input.iter().map(|x| x * x).collect::<Vec<_>>()
-    );
+    assert_eq!(device.buffer_f64s(data).unwrap(), input.iter().map(|x| x * x).collect::<Vec<_>>());
     assert_eq!(report.target_tasks, 2);
     device.shutdown();
 }
@@ -192,5 +189,48 @@ fn event_counters_track_data_movement() {
     assert!(report.data_events >= 2);
     assert!(report.bytes_moved >= 2 * 1024 * 8);
     assert_eq!(device.buffer_f64s(a).unwrap()[0], 2.0);
+    device.shutdown();
+}
+
+/// Many concurrent readers of one shared buffer with a wide dispatch window:
+/// every reader must observe the producer's full payload even when two
+/// readers land on the same node and one's input forward is still in flight
+/// when the other is dispatched (the transfer-gate race).
+#[test]
+fn concurrent_same_node_readers_see_complete_data() {
+    let mut config = OmpcConfig::small();
+    config.head_worker_threads = 8;
+    config.max_inflight_tasks = Some(16);
+    let mut device = ClusterDevice::with_config(2, config);
+    let produce = device.register_kernel_fn("produce", 1e-5, |args| {
+        let n = args.as_f64s(0).len();
+        args.set_f64s(0, &vec![3.5; n]);
+    });
+    let sum_into = device.register_kernel_fn("sum-into", 1e-5, |args| {
+        let total: f64 = args.as_f64s(0).iter().sum();
+        args.set_f64s(1, &[total]);
+    });
+    for _ in 0..10 {
+        let mut region = device.target_region();
+        let shared = region.map_alloc(256 * 8);
+        region.target(produce, vec![Dependence::output(shared)]);
+        let outs: Vec<BufferId> = (0..12)
+            .map(|_| {
+                let out = region.map_alloc(8);
+                region.target(sum_into, vec![Dependence::input(shared), Dependence::output(out)]);
+                out
+            })
+            .collect();
+        for &out in &outs {
+            region.map_from(out);
+        }
+        region.release(shared);
+        region.run().unwrap();
+        for &out in &outs {
+            // A reader that raced an in-flight forward would have summed an
+            // empty buffer and produced 0.0.
+            assert_eq!(device.buffer_f64s(out).unwrap(), vec![256.0 * 3.5]);
+        }
+    }
     device.shutdown();
 }
