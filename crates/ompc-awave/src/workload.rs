@@ -154,6 +154,7 @@ mod tests {
             let survey = AwaveWorkloadConfig::survey(workers, 800, 400, 2000);
             let w = awave_workload(&survey);
             simulate_ompc(&w, &ClusterConfig::santos_dumont(workers + 1), &config, &overheads)
+                .unwrap()
                 .makespan
                 .as_secs_f64()
         };

@@ -38,7 +38,7 @@ fn bench_design_choices(c: &mut Criterion) {
     for scheduler in [SchedulerKind::Heft, SchedulerKind::Eager] {
         let config = OmpcConfig { scheduler, ..OmpcConfig::default() };
         group.bench_function(format!("scheduler/{}", scheduler.name()), |b| {
-            b.iter(|| simulate_ompc(&workload, &cluster, &config, &overheads).makespan)
+            b.iter(|| simulate_ompc(&workload, &cluster, &config, &overheads).unwrap().makespan)
         });
     }
     for forwarding in [true, false] {
@@ -46,7 +46,7 @@ fn bench_design_choices(c: &mut Criterion) {
             OmpcConfig { worker_to_worker_forwarding: forwarding, ..OmpcConfig::default() };
         let label = if forwarding { "forwarding" } else { "staged" };
         group.bench_function(format!("data-path/{label}"), |b| {
-            b.iter(|| simulate_ompc(&workload, &cluster, &config, &overheads).makespan)
+            b.iter(|| simulate_ompc(&workload, &cluster, &config, &overheads).unwrap().makespan)
         });
     }
     group.finish();

@@ -24,6 +24,7 @@ fn bench_simulated_survey(c: &mut Criterion) {
                     &OmpcConfig::default(),
                     &OverheadModel::default(),
                 )
+                .expect("valid cluster")
                 .makespan
             })
         });

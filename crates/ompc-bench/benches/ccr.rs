@@ -28,6 +28,7 @@ fn bench_ccr(c: &mut Criterion) {
                     &OmpcConfig::default(),
                     &OverheadModel::default(),
                 )
+                .expect("valid cluster")
                 .makespan
             })
         });

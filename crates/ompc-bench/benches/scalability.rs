@@ -40,6 +40,7 @@ fn bench_scalability(c: &mut Criterion) {
                             &OmpcConfig::default(),
                             &OverheadModel::default(),
                         )
+                        .expect("valid cluster")
                         .makespan
                     })
                 },

@@ -20,7 +20,10 @@ pub struct AblationRow {
 
 fn measure(config: &OmpcConfig, cluster: &ClusterConfig, tb: &TaskBenchConfig) -> f64 {
     let workload = generate_workload(tb);
-    simulate_ompc(&workload, cluster, config, &OverheadModel::default()).makespan.as_secs_f64()
+    simulate_ompc(&workload, cluster, config, &OverheadModel::default())
+        .expect("valid cluster")
+        .makespan
+        .as_secs_f64()
 }
 
 /// Run every ablation on a communication-heavy 16-node stencil workload

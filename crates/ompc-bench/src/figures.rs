@@ -117,7 +117,8 @@ pub fn run_overhead(iteration_counts: &[u64]) -> Vec<OverheadRow> {
         .map(|&iterations| {
             let tb = TaskBenchConfig::figure7a(iterations);
             let workload = generate_workload(&tb);
-            let result = simulate_ompc(&workload, &cluster, &config, &overheads);
+            let result = simulate_ompc(&workload, &cluster, &config, &overheads)
+                .expect("valid overhead cluster");
             let (startup, schedule, shutdown) = result.overhead_fractions();
             OverheadRow {
                 iterations,
@@ -159,6 +160,7 @@ pub fn run_awave(worker_counts: &[usize]) -> Vec<AwaveRow> {
             let survey = AwaveWorkloadConfig::survey(1, nx, nz, nt);
             let w = awave_workload(&survey);
             simulate_ompc(&w, &ClusterConfig::santos_dumont(2), &config, &overheads)
+                .expect("valid awave cluster")
                 .makespan
                 .as_secs_f64()
         };
@@ -167,6 +169,7 @@ pub fn run_awave(worker_counts: &[usize]) -> Vec<AwaveRow> {
             let w = awave_workload(&survey);
             let seconds =
                 simulate_ompc(&w, &ClusterConfig::santos_dumont(workers + 1), &config, &overheads)
+                    .expect("valid awave cluster")
                     .makespan
                     .as_secs_f64();
             rows.push(AwaveRow {

@@ -15,17 +15,22 @@
 //! * [`run_ablation`] — the design-choice studies DESIGN.md calls out:
 //!   scheduler choice, head-node in-flight limit, worker-to-worker
 //!   forwarding, and NIC channel count.
+//! * [`run_fault_overhead`] — the §3.1 resilience cost: makespan at 0, 1,
+//!   and 2 injected worker failures vs. the failure-free run, with
+//!   re-execution counts and heartbeat detection latency.
 //!
 //! Each function returns plain records (serializable with serde) so the
 //! `fig5` … `ablation` binaries can print the same rows the paper plots and
 //! EXPERIMENTS.md can record paper-vs-measured comparisons.
 
 pub mod ablation;
+pub mod fault;
 pub mod figures;
 pub mod report;
 pub mod runtimes;
 
 pub use ablation::{run_ablation, AblationRow};
+pub use fault::{run_fault_overhead, FaultRow};
 pub use figures::{
     run_awave, run_ccr, run_overhead, run_scalability, AwaveRow, CcrRow, OverheadRow,
     ScalabilityRow,

@@ -68,6 +68,7 @@ pub fn run_all_runtimes(
 
     let ompc_seconds =
         simulate_ompc(workload, &cluster, &OmpcConfig::default(), &OverheadModel::default())
+            .expect("valid cluster")
             .makespan
             .as_secs_f64();
 

@@ -15,12 +15,14 @@ use crate::event::EventSystem;
 use crate::kernel::{Kernel, KernelArgs, KernelRegistry};
 use crate::model::WorkloadGraph;
 use crate::region::TargetRegion;
+use crate::runtime::fault::{FaultPlan, FaultState};
 use crate::runtime::{RunRecord, RuntimeCore, RuntimePlan, ThreadedBackend};
 use crate::stats::{DeviceReport, RegionReport};
 use crate::task::{RegionGraph, TaskKind};
-use crate::types::{BufferId, Dependence, KernelId, OmpcError, OmpcResult};
+use crate::types::{BufferId, Dependence, KernelId, NodeId, OmpcError, OmpcResult};
 use crate::worker::worker_main;
 use ompc_mpi::World;
+use ompc_sched::Platform;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -61,6 +63,9 @@ pub struct ClusterDevice {
     num_workers: usize,
     worker_handles: Vec<JoinHandle<()>>,
     report: Mutex<DeviceReport>,
+    /// Decision record of the most recent region / workload execution,
+    /// including any failure and recovery events.
+    last_record: Mutex<Option<RunRecord>>,
     /// Lazily registered no-op kernel shared by every `run_workload` call.
     workload_kernel: std::sync::OnceLock<KernelId>,
     shut_down: bool,
@@ -103,6 +108,7 @@ impl ClusterDevice {
             num_workers,
             worker_handles,
             report: Mutex::new(DeviceReport { startup_time, ..DeviceReport::default() }),
+            last_record: Mutex::new(None),
             workload_kernel: std::sync::OnceLock::new(),
             shut_down: false,
         }
@@ -169,6 +175,20 @@ impl ClusterDevice {
         self.report.lock().clone()
     }
 
+    /// Decision record of the most recent region / workload execution:
+    /// assignment, dispatch and completion orders, and — when a
+    /// [`crate::runtime::fault::FaultPlan`] was active — the failure
+    /// detection, re-execution, and recovery events.
+    pub fn last_run_record(&self) -> Option<RunRecord> {
+        self.last_record.lock().clone()
+    }
+
+    /// Worker nodes not declared failed by the fault subsystem, ascending.
+    pub fn alive_workers(&self) -> Vec<NodeId> {
+        let dm = self.dm.lock();
+        (1..=self.num_workers).filter(|&n| !dm.is_failed(n)).collect()
+    }
+
     /// Shut the cluster down: workers receive shutdown events and their
     /// threads are joined. Called automatically on drop.
     pub fn shutdown(&mut self) {
@@ -200,7 +220,29 @@ impl ClusterDevice {
             return Ok(RegionReport::default());
         }
         let sched_start = Instant::now();
-        let plan = RuntimePlan::for_region(&graph, &self.buffers, self.num_workers, &self.config);
+        // Plan over the workers that are still alive: a node declared
+        // failed in an earlier region stays excommunicated for the rest of
+        // the device lifetime.
+        let alive = self.alive_workers();
+        if alive.is_empty() {
+            return Err(OmpcError::InvalidConfig(
+                "every worker node has failed; no survivors to execute the region".to_string(),
+            ));
+        }
+        let plan = if alive.len() == self.num_workers {
+            RuntimePlan::for_region(&graph, &self.buffers, self.num_workers, &self.config)
+        } else {
+            RuntimePlan {
+                assignment: RuntimePlan::region_assignment_on(
+                    &graph,
+                    &self.buffers,
+                    &Platform::cluster(alive.len()),
+                    &self.config,
+                    &alive,
+                ),
+                window: self.config.inflight_window(),
+            }
+        };
         // Register every referenced buffer with the data manager (host copy
         // lives on the head node until data movement says otherwise).
         {
@@ -231,6 +273,8 @@ impl ClusterDevice {
             data_events: (self.events.counters().data_events.load(Ordering::Relaxed) - data_before)
                 as usize,
             bytes_moved: self.events.counters().bytes_moved.load(Ordering::Relaxed) - bytes_before,
+            failures: record.failures.len(),
+            reexecuted_tasks: record.reexecuted.len(),
         };
         self.report.lock().regions.push(report.clone());
         Ok(report)
@@ -244,7 +288,32 @@ impl ClusterDevice {
         host_fns: &HashMap<usize, HostFn>,
         plan: &RuntimePlan,
     ) -> OmpcResult<RunRecord> {
-        let mut core = RuntimeCore::new(graph, plan);
+        // Triggers naming a node that already died in an earlier region
+        // are spent: re-firing them would re-declare the failure here.
+        let fault_plan = {
+            let dm = self.dm.lock();
+            FaultPlan {
+                events: self
+                    .config
+                    .fault_plan
+                    .events
+                    .iter()
+                    .copied()
+                    .filter(|e| !dm.is_failed(e.node))
+                    .collect(),
+            }
+        };
+        let faults = FaultState::from_config(
+            &fault_plan,
+            self.config.heartbeat_period_ms,
+            self.config.heartbeat_miss_threshold,
+            self.num_workers,
+        )?
+        .map(|f| f.with_replan(self.config.replan_on_failure));
+        let mut core = match faults {
+            Some(faults) => RuntimeCore::with_faults(graph, plan, faults),
+            None => RuntimeCore::new(graph, plan),
+        };
         let backend = ThreadedBackend::new(
             &self.events,
             &self.buffers,
@@ -253,8 +322,11 @@ impl ClusterDevice {
             host_fns,
             &self.config,
         );
-        backend.execute(&mut core)?;
-        Ok(core.record())
+        let result = backend.execute(&mut core);
+        let record = core.record();
+        *self.last_record.lock() = Some(record.clone());
+        result?;
+        Ok(record)
     }
 
     /// Execute an abstract [`WorkloadGraph`] on the real cluster under an

@@ -1,6 +1,7 @@
 //! Runtime configuration: threading, scheduling policy, and the overhead
 //! model used by the simulated runtime.
 
+use crate::runtime::fault::FaultPlan;
 use ompc_sched::{EagerScheduler, HeftScheduler, MinMinScheduler, RoundRobinScheduler, Scheduler};
 use ompc_sim::SimTime;
 
@@ -78,6 +79,22 @@ pub struct OmpcConfig {
     /// head node, the behaviour the DM was built to avoid; used by the
     /// ablation benchmark.
     pub worker_to_worker_forwarding: bool,
+    /// Deterministic failure-injection plan honoured by both execution
+    /// backends (paper §3.1 fault tolerance). Empty by default: no node
+    /// ever fails and the fault subsystem stays entirely out of the
+    /// dispatch loop.
+    pub fault_plan: FaultPlan,
+    /// When a failure is declared, re-run the configured static scheduler
+    /// over the surviving workers instead of the fast round-robin
+    /// [`crate::heartbeat::plan_recovery`] path.
+    pub replan_on_failure: bool,
+    /// Ring-heartbeat period in milliseconds (paper §3.1). In the simulated
+    /// backend heartbeats follow virtual time; in the threaded backend the
+    /// dispatch loop advances a logical clock by one period per round.
+    pub heartbeat_period_ms: u64,
+    /// Number of consecutive missed heartbeat periods after which a silent
+    /// node is declared failed.
+    pub heartbeat_miss_threshold: u32,
 }
 
 impl Default for OmpcConfig {
@@ -94,6 +111,10 @@ impl Default for OmpcConfig {
             num_communicators: 8,
             scheduler: SchedulerKind::Heft,
             worker_to_worker_forwarding: true,
+            fault_plan: FaultPlan::default(),
+            replan_on_failure: false,
+            heartbeat_period_ms: 10,
+            heartbeat_miss_threshold: 3,
         }
     }
 }
@@ -111,6 +132,10 @@ impl OmpcConfig {
             num_communicators: 2,
             scheduler: SchedulerKind::Heft,
             worker_to_worker_forwarding: true,
+            fault_plan: FaultPlan::default(),
+            replan_on_failure: false,
+            heartbeat_period_ms: 10,
+            heartbeat_miss_threshold: 3,
         }
     }
 

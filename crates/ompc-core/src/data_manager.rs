@@ -48,6 +48,9 @@ struct BufferLocations {
 #[derive(Debug, Clone, Default)]
 pub struct DataManager {
     buffers: BTreeMap<BufferId, BufferLocations>,
+    /// Nodes that have been declared failed: their copies are gone, their
+    /// writes are ignored, and they are never chosen as a transfer source.
+    failed: BTreeSet<NodeId>,
 }
 
 impl DataManager {
@@ -64,8 +67,12 @@ impl DataManager {
     }
 
     /// Register a buffer that is allocated directly on `node` without a
-    /// host copy (the `map(alloc:)` case).
+    /// host copy (the `map(alloc:)` case). Ignored when `node` has been
+    /// declared failed.
     pub fn register_device_buffer(&mut self, buffer: BufferId, node: NodeId) {
+        if self.failed.contains(&node) {
+            return;
+        }
         let mut holders = BTreeSet::new();
         holders.insert(node);
         self.buffers.insert(buffer, BufferLocations { holders, latest: node });
@@ -96,6 +103,11 @@ impl DataManager {
     /// present; otherwise returns a transfer from the most recent holder and
     /// records the new replica.
     pub fn plan_input(&mut self, buffer: BufferId, node: NodeId) -> Option<TransferPlan> {
+        if self.failed.contains(&node) {
+            // A dead node never receives data; the caller is a zombie task
+            // whose results are discarded anyway.
+            return None;
+        }
         let loc = self
             .buffers
             .get_mut(&buffer)
@@ -112,6 +124,11 @@ impl DataManager {
     /// `node` becomes the only valid one. Returns the nodes whose copies
     /// became stale (and should be deleted), excluding `node` itself.
     pub fn record_write(&mut self, buffer: BufferId, node: NodeId) -> Vec<NodeId> {
+        if self.failed.contains(&node) {
+            // Writes from a dead node are discarded: its task will be
+            // re-executed on a survivor.
+            return Vec::new();
+        }
         let loc = self
             .buffers
             .get_mut(&buffer)
@@ -138,6 +155,9 @@ impl DataManager {
     /// Record that `node` received a read-only replica of `buffer` (e.g.
     /// after an explicit submit that bypassed [`DataManager::plan_input`]).
     pub fn record_replica(&mut self, buffer: BufferId, node: NodeId) {
+        if self.failed.contains(&node) {
+            return;
+        }
         let loc = self
             .buffers
             .get_mut(&buffer)
@@ -171,6 +191,41 @@ impl DataManager {
             .remove(&buffer)
             .map(|l| l.holders.into_iter().filter(|&n| n != HEAD_NODE).collect())
             .unwrap_or_default()
+    }
+
+    /// Declare `node` failed: every copy it held becomes invalid, its
+    /// future writes are ignored, and it is never again chosen as a
+    /// transfer source. Returns the buffers whose *only* valid copy lived
+    /// on the node — their producing tasks must be re-executed (lineage
+    /// recovery). For such buffers `latest` falls back to the head node:
+    /// the host registry still holds the pre-offload image from which the
+    /// re-executed lineage restarts.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<BufferId> {
+        assert_ne!(node, HEAD_NODE, "the head node cannot fail");
+        self.failed.insert(node);
+        let mut lost = Vec::new();
+        for (&buffer, loc) in self.buffers.iter_mut() {
+            loc.holders.remove(&node);
+            if loc.latest == node {
+                if let Some(&survivor) = loc.holders.iter().next() {
+                    loc.latest = survivor;
+                } else {
+                    loc.latest = HEAD_NODE;
+                    lost.push(buffer);
+                }
+            }
+        }
+        lost
+    }
+
+    /// Whether `node` has been declared failed.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed.contains(&node)
+    }
+
+    /// Whether any node has been declared failed.
+    pub fn has_failures(&self) -> bool {
+        !self.failed.is_empty()
     }
 
     /// Number of tracked buffers.
@@ -301,5 +356,53 @@ mod tests {
     fn plan_input_on_unregistered_buffer_panics() {
         let mut dm = DataManager::new();
         dm.plan_input(BufferId(0), 1);
+    }
+
+    #[test]
+    fn failed_node_with_surviving_replica_promotes_a_survivor() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b);
+        dm.plan_input(b, 1).unwrap();
+        dm.record_write(b, 1);
+        // A reader replicates the latest version onto node 2.
+        dm.plan_input(b, 2).unwrap();
+        let lost = dm.fail_node(1);
+        assert!(lost.is_empty(), "node 2 still holds a valid copy");
+        assert!(dm.is_failed(1) && dm.has_failures());
+        assert_eq!(dm.latest(b), Some(2));
+        assert_eq!(dm.holders(b), vec![2]);
+    }
+
+    #[test]
+    fn failed_node_holding_the_only_copy_loses_the_buffer() {
+        let mut dm = DataManager::new();
+        let b = BufferId(3);
+        dm.register_host_buffer(b);
+        dm.plan_input(b, 2).unwrap();
+        dm.record_write(b, 2);
+        let lost = dm.fail_node(2);
+        assert_eq!(lost, vec![b]);
+        // Lineage restarts from the head node's pre-offload image.
+        assert_eq!(dm.latest(b), Some(HEAD_NODE));
+        assert!(dm.holders(b).is_empty());
+    }
+
+    #[test]
+    fn dead_nodes_are_excommunicated_from_all_operations() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b);
+        dm.fail_node(4);
+        // No transfers to, writes from, or replicas on a dead node.
+        assert!(dm.plan_input(b, 4).is_none());
+        assert!(dm.record_write(b, 4).is_empty());
+        assert_eq!(dm.latest(b), Some(HEAD_NODE));
+        dm.record_replica(b, 4);
+        assert!(!dm.is_present(b, 4));
+        dm.register_device_buffer(BufferId(9), 4);
+        assert!(!dm.is_registered(BufferId(9)));
+        // Live nodes are unaffected.
+        assert!(dm.plan_input(b, 1).is_some());
     }
 }

@@ -34,7 +34,7 @@
 //! | HEFT task scheduler (§4.4) | `ompc-sched`, glued in [`model`], [`config`] |
 //! | Unified execution core (§3.1 + §7 dispatch window) | [`runtime`] |
 //! | Head-node orchestration (§3.1) | [`cluster`] (façade over [`runtime`]) |
-//! | Fault tolerance heartbeat (§3.1) | [`heartbeat`] |
+//! | Fault tolerance (§3.1): injection / heartbeat detection / recovery | [`runtime::fault`], [`heartbeat`] |
 //! | Virtual-cluster execution (§6 experiments) | [`sim_runtime`] (façade over [`runtime`]) |
 //!
 //! ## Quickstart
@@ -89,7 +89,8 @@ pub mod prelude {
     pub use crate::model::WorkloadGraph;
     pub use crate::region::TargetRegion;
     pub use crate::runtime::{
-        ExecutionBackend, RunRecord, RuntimeCore, RuntimePlan, SimBackend, ThreadedBackend,
+        ExecutionBackend, FailureRecord, FaultPlan, FaultTrigger, ReplanEntry, RunRecord,
+        RuntimeCore, RuntimePlan, SimBackend, ThreadedBackend,
     };
     pub use crate::sim_runtime::{
         sim_plan, simulate_ompc, simulate_ompc_recorded, simulate_ompc_traced,

@@ -15,30 +15,36 @@
 //!   counters, the bounded in-flight window
 //!   ([`crate::config::OmpcConfig::max_inflight_tasks`]), and the per-phase
 //!   accounting (dispatch order, completion order, peak concurrency).
-//! * [`ExecutionBackend`] — the five-method trait a backend implements to
-//!   execute what the core decides: [`ThreadedBackend`] wraps the
-//!   `ompc-mpi` world and the real worker threads, [`SimBackend`] wraps the
-//!   `ompc-sim` discrete-event engine.
+//! * [`ExecutionBackend`] — the trait a backend implements to execute what
+//!   the core decides: [`ThreadedBackend`] wraps the `ompc-mpi` world and
+//!   the real worker threads, [`SimBackend`] wraps the `ompc-sim`
+//!   discrete-event engine.
+//! * [`fault`] — the fault-tolerance subsystem (paper §3.1): deterministic
+//!   failure injection, ring-heartbeat detection driven by this dispatch
+//!   loop, and task recovery onto the surviving workers.
 //!
-//! Both execution modes therefore share every scheduling, windowing, and
-//! forwarding decision — an optimization or fix lands once and is measured
-//! in both — and the §7 head-node bottleneck can be reproduced (or lifted)
-//! in either mode purely through configuration.
+//! Both execution modes therefore share every scheduling, windowing,
+//! forwarding, and recovery decision — an optimization or fix lands once
+//! and is measured in both — and the §7 head-node bottleneck can be
+//! reproduced (or lifted) in either mode purely through configuration.
 
+pub mod fault;
 pub mod sim;
 pub mod threaded;
 
+pub use fault::{FailureRecord, FaultPlan, FaultState, FaultTrigger, LostBuffer, ReplanEntry};
 pub use sim::SimBackend;
 pub use threaded::ThreadedBackend;
 
 use crate::buffer::BufferRegistry;
 use crate::config::OmpcConfig;
 use crate::data_manager::HEAD_NODE;
+use crate::heartbeat::{plan_recovery, Millis};
 use crate::model::{self, WorkloadGraph};
 use crate::task::{RegionGraph, TaskKind};
 use crate::types::{NodeId, OmpcError, OmpcResult, TaskId};
 use ompc_sched::Platform;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A dependence DAG as seen by the execution core: dense task ids, counted
 /// predecessors, listed successors. Implemented by the scheduler's
@@ -109,15 +115,30 @@ impl RuntimePlan {
         platform: &Platform,
         config: &OmpcConfig,
     ) -> Self {
-        let schedule = config.scheduler.build().schedule(&workload.graph, platform);
-        let assignment = (0..workload.len()).map(|t| schedule.proc_of(t) + 1).collect();
+        let nodes: Vec<NodeId> = (1..=platform.num_procs()).collect();
+        let assignment = Self::workload_assignment_on(workload, platform, config, &nodes);
         Self { assignment, window: config.inflight_window() }
+    }
+
+    /// The assignment the configured scheduler produces for `workload` on
+    /// `platform`, with processor `p` mapped to `nodes[p]`. This is how
+    /// fault recovery re-schedules onto the surviving workers: the platform
+    /// shrinks to the survivor count and `nodes` names the survivors.
+    pub fn workload_assignment_on(
+        workload: &WorkloadGraph,
+        platform: &Platform,
+        config: &OmpcConfig,
+        nodes: &[NodeId],
+    ) -> Vec<NodeId> {
+        assert_eq!(platform.num_procs(), nodes.len(), "one node per platform processor");
+        let schedule = config.scheduler.build().schedule(&workload.graph, platform);
+        (0..workload.len()).map(|t| nodes[schedule.proc_of(t)]).collect()
     }
 
     /// Plan a target region: schedule the region's task graph, then apply
     /// the paper's §4.4 pinning rules — enter-data tasks follow their first
-    /// target consumer, exit-data tasks follow their last target producer,
-    /// and host tasks stay on the head node.
+    /// target consumer, exit-data tasks follow their *last* target
+    /// predecessor, and host tasks stay on the head node.
     pub fn for_region(
         region: &RegionGraph,
         buffers: &BufferRegistry,
@@ -134,10 +155,26 @@ impl RuntimePlan {
         platform: &Platform,
         config: &OmpcConfig,
     ) -> Self {
+        let nodes: Vec<NodeId> = (1..=platform.num_procs()).collect();
+        let assignment = Self::region_assignment_on(region, buffers, platform, config, &nodes);
+        Self { assignment, window: config.inflight_window() }
+    }
+
+    /// The pinned region assignment with processor `p` mapped to
+    /// `nodes[p]` — the region-graph counterpart of
+    /// [`RuntimePlan::workload_assignment_on`], used by fault recovery.
+    pub fn region_assignment_on(
+        region: &RegionGraph,
+        buffers: &BufferRegistry,
+        platform: &Platform,
+        config: &OmpcConfig,
+        nodes: &[NodeId],
+    ) -> Vec<NodeId> {
+        assert_eq!(platform.num_procs(), nodes.len(), "one node per platform processor");
         let sched_graph = model::region_to_sched(region, buffers);
         let schedule = config.scheduler.build().schedule(&sched_graph, platform);
         let mut assignment: Vec<NodeId> =
-            (0..region.len()).map(|t| schedule.proc_of(t) + 1).collect();
+            (0..region.len()).map(|t| nodes[schedule.proc_of(t)]).collect();
         for task in region.tasks() {
             match task.kind {
                 TaskKind::EnterData { .. } => {
@@ -150,9 +187,14 @@ impl RuntimePlan {
                     }
                 }
                 TaskKind::ExitData { .. } => {
+                    // §4.4: exit data follows its *last* target predecessor
+                    // — the producer of the version being copied back — so
+                    // the assignment record agrees with where the data
+                    // manager will find the bytes.
                     if let Some(&pred) = region
                         .predecessors(task.id)
                         .iter()
+                        .rev()
                         .find(|&&p| region.task(p).kind.is_target())
                     {
                         assignment[task.id.0] = assignment[pred.0];
@@ -162,7 +204,7 @@ impl RuntimePlan {
                 TaskKind::Target { .. } => {}
             }
         }
-        Self { assignment, window: config.inflight_window() }
+        assignment
     }
 }
 
@@ -173,6 +215,10 @@ impl RuntimePlan {
 /// (when the window is full or no task is ready), then `epilogue` once after
 /// the last task retired. A backend reports *which* tasks finished; the core
 /// decides *what* becomes ready and *when* it is dispatched.
+///
+/// The fault-tolerance hooks (`clock_millis`, `invalidate_node`, `replan`)
+/// have no-op defaults: a backend that never runs under a
+/// [`fault::FaultPlan`] can ignore them entirely.
 pub trait ExecutionBackend {
     /// Pay the per-run start-up and whole-graph scheduling costs. Called
     /// once, before any task is launched.
@@ -188,12 +234,39 @@ pub trait ExecutionBackend {
     fn launch(&mut self, task: usize, node: NodeId) -> OmpcResult<()>;
 
     /// Wait until at least one launched task has finished and return the
-    /// finished ids in completion order.
+    /// finished ids in completion order. When the task's node has been
+    /// killed by the failure injector, its completion is *stale*: the core
+    /// discards the result and requeues the task instead of retiring it.
     fn await_completions(&mut self) -> OmpcResult<Vec<usize>>;
 
     /// Drain results and shut down. Called once, after every task retired.
     fn epilogue(&mut self) -> OmpcResult<()> {
         Ok(())
+    }
+
+    /// The backend's fault clock in milliseconds, if it has one. The
+    /// simulated backend reports virtual time; the threaded backend returns
+    /// `None` and the core advances a logical clock one heartbeat period
+    /// per dispatch round.
+    fn clock_millis(&self) -> Option<Millis> {
+        None
+    }
+
+    /// Tell the backend `node` just died: discard every data copy it held
+    /// and return the buffers whose *only* valid copy was lost, each with
+    /// the tasks that write it (the lineage the core re-executes).
+    fn invalidate_node(&mut self, node: NodeId) -> Vec<LostBuffer> {
+        let _ = node;
+        Vec::new()
+    }
+
+    /// Re-run the static scheduler over the surviving workers and return
+    /// the full new assignment, or `None` to fall back to the round-robin
+    /// [`plan_recovery`] fast path. Only called when
+    /// [`crate::config::OmpcConfig::replan_on_failure`] is set.
+    fn replan(&mut self, alive_workers: &[NodeId]) -> Option<Vec<NodeId>> {
+        let _ = alive_workers;
+        None
     }
 }
 
@@ -202,28 +275,68 @@ pub trait ExecutionBackend {
 /// the public reporting APIs.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunRecord {
-    /// Node each task executed on.
+    /// Node each task executed on (for recovered tasks: the surviving node
+    /// that finally ran them; the per-failure history is in `failures` /
+    /// `replanned`).
     pub assignment: Vec<NodeId>,
-    /// Order in which the core dispatched tasks into the window.
+    /// Order in which the core dispatched tasks into the window. A task
+    /// restarted by fault recovery appears once per dispatch.
     pub dispatch_order: Vec<usize>,
-    /// Order in which the backend reported task completions.
+    /// Order in which the backend reported retiring task completions
+    /// (stale completions from dead nodes are not recorded). A task whose
+    /// completed work was lost with a node appears once per retirement.
     pub completion_order: Vec<usize>,
     /// Highest number of simultaneously in-flight tasks observed.
     pub peak_in_flight: usize,
+    /// Every node failure declared during the run, in detection order.
+    pub failures: Vec<FailureRecord>,
+    /// Tasks executed more than once because a node died — restarted
+    /// in-flight work and re-executed lineage producers — ascending.
+    pub reexecuted: Vec<usize>,
+    /// Tasks moved to a different node during recovery, in recovery order.
+    pub replanned: Vec<ReplanEntry>,
+}
+
+impl RunRecord {
+    /// Detection latency (ms of fault-clock time) of every declared
+    /// failure, in detection order.
+    pub fn recovery_latencies(&self) -> Vec<Millis> {
+        self.failures.iter().map(|f| f.detection_latency()).collect()
+    }
+}
+
+/// Per-task dispatch state tracked by the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    /// Waiting for predecessors.
+    Blocked,
+    /// All predecessors retired; queued for dispatch.
+    Ready,
+    /// Dispatched to the backend, completion pending.
+    InFlight,
+    /// Retired.
+    Done,
 }
 
 /// The backend-agnostic OMPC dispatch engine.
 ///
 /// One instance executes one task graph: it tracks readiness, keeps up to
 /// `window` tasks in flight (the pipelined replacement for the paper's
-/// one-blocked-thread-per-region dispatch), and retires tasks as the backend
-/// reports their completion.
+/// one-blocked-thread-per-region dispatch), retires tasks as the backend
+/// reports their completion, and — when a [`fault::FaultPlan`] is active —
+/// drives failure injection, heartbeat detection, and task recovery from
+/// the same loop.
 #[derive(Debug)]
 pub struct RuntimeCore {
     assignment: Vec<NodeId>,
     window: usize,
     successors: Vec<Vec<usize>>,
+    predecessors: Vec<Vec<usize>>,
     preds_remaining: Vec<usize>,
+    state: Vec<TaskState>,
+    /// Node each in-flight task was actually dispatched to (stale-completion
+    /// detection must not consult `assignment`, which recovery rewrites).
+    dispatched_on: Vec<NodeId>,
     ready: VecDeque<usize>,
     in_flight: usize,
     completed: usize,
@@ -231,20 +344,51 @@ pub struct RuntimeCore {
     dispatch_order: Vec<usize>,
     completion_order: Vec<usize>,
     peak_in_flight: usize,
+    faults: Option<FaultState>,
+    /// Lost-buffer / lineage counts per killed node, reported in the
+    /// [`FailureRecord`] once the monitor declares the failure.
+    kill_info: BTreeMap<NodeId, (usize, usize)>,
+    failures: Vec<FailureRecord>,
+    reexecuted: BTreeSet<usize>,
+    replanned: Vec<ReplanEntry>,
 }
 
 impl RuntimeCore {
-    /// Build the dispatch engine for `dag` under `plan`.
+    /// Build the dispatch engine for `dag` under `plan`, without fault
+    /// tolerance.
     pub fn new(dag: &impl TaskDag, plan: &RuntimePlan) -> Self {
+        Self::build(dag, plan, None)
+    }
+
+    /// Build the dispatch engine with an active fault subsystem (see
+    /// [`FaultState::from_config`]).
+    pub fn with_faults(dag: &impl TaskDag, plan: &RuntimePlan, faults: FaultState) -> Self {
+        Self::build(dag, plan, Some(faults))
+    }
+
+    fn build(dag: &impl TaskDag, plan: &RuntimePlan, faults: Option<FaultState>) -> Self {
         let total = dag.task_count();
         assert_eq!(plan.assignment.len(), total, "plan must assign every task of the graph");
         let preds_remaining: Vec<usize> = (0..total).map(|t| dag.predecessor_count(t)).collect();
         let ready: VecDeque<usize> = (0..total).filter(|&t| preds_remaining[t] == 0).collect();
+        let successors: Vec<Vec<usize>> = (0..total).map(|t| dag.successor_ids(t)).collect();
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for (task, succs) in successors.iter().enumerate() {
+            for &s in succs {
+                predecessors[s].push(task);
+            }
+        }
+        let state: Vec<TaskState> = (0..total)
+            .map(|t| if preds_remaining[t] == 0 { TaskState::Ready } else { TaskState::Blocked })
+            .collect();
         Self {
             assignment: plan.assignment.clone(),
             window: plan.window.max(1),
-            successors: (0..total).map(|t| dag.successor_ids(t)).collect(),
+            successors,
+            predecessors,
             preds_remaining,
+            state,
+            dispatched_on: vec![HEAD_NODE; total],
             ready,
             in_flight: 0,
             completed: 0,
@@ -252,6 +396,11 @@ impl RuntimeCore {
             dispatch_order: Vec::with_capacity(total),
             completion_order: Vec::with_capacity(total),
             peak_in_flight: 0,
+            faults,
+            kill_info: BTreeMap::new(),
+            failures: Vec::new(),
+            reexecuted: BTreeSet::new(),
+            replanned: Vec::new(),
         }
     }
 
@@ -270,16 +419,181 @@ impl RuntimeCore {
                 ));
             }
             for task in finished {
-                self.retire(task);
+                self.on_completion(task, backend)?;
+            }
+            if self.faults.is_some() {
+                self.poll_heartbeats(backend)?;
             }
             self.fill_window(backend)?;
         }
         backend.epilogue()
     }
 
+    /// Handle one completion reported by the backend: retire it — checking
+    /// the failure injector's completion triggers at this exact position in
+    /// the completion stream — or, when it comes from a dead node, discard
+    /// it as stale and requeue the task for re-execution.
+    fn on_completion<B: ExecutionBackend>(
+        &mut self,
+        task: usize,
+        backend: &mut B,
+    ) -> OmpcResult<()> {
+        if task >= self.total || self.state[task] != TaskState::InFlight {
+            return Err(OmpcError::Internal(format!(
+                "backend reported completion of task {task}, which is not in flight"
+            )));
+        }
+        let node = self.dispatched_on[task];
+        if self.faults.as_ref().is_some_and(|f| f.is_dead(node)) {
+            // Stale completion from a dead node: the result was discarded
+            // at the data layer; restart the task.
+            self.in_flight -= 1;
+            self.reexecuted.insert(task);
+            self.reset_to_pending(task);
+            return Ok(());
+        }
+        self.retire(task);
+        let newly_dead = match &mut self.faults {
+            Some(f) => f.note_retirement(node),
+            None => Vec::new(),
+        };
+        for dead in newly_dead {
+            self.kill_node(dead, backend);
+        }
+        Ok(())
+    }
+
+    /// One heartbeat round: advance the fault clock, fire timed failure
+    /// triggers, beat the surviving nodes, and run recovery for any node
+    /// the monitor newly declares failed.
+    fn poll_heartbeats<B: ExecutionBackend>(&mut self, backend: &mut B) -> OmpcResult<()> {
+        let backend_now = backend.clock_millis();
+        let newly_dead = match &mut self.faults {
+            Some(f) => f.advance_round(backend_now),
+            None => return Ok(()),
+        };
+        for dead in newly_dead {
+            self.kill_node(dead, backend);
+        }
+        let declared = match &mut self.faults {
+            Some(f) => f.beat_and_check(),
+            None => Vec::new(),
+        };
+        for node in declared {
+            self.recover_from(node, backend)?;
+        }
+        Ok(())
+    }
+
+    /// The injector killed `node`: invalidate its data through the backend
+    /// and un-retire the lineage of every buffer that died with it, so the
+    /// producers re-execute from the head node's pre-offload image.
+    fn kill_node<B: ExecutionBackend>(&mut self, node: NodeId, backend: &mut B) {
+        let lost = backend.invalidate_node(node);
+        let mut lineage = 0usize;
+        for buffer in &lost {
+            for &writer in &buffer.writers {
+                if writer < self.total && self.state[writer] == TaskState::Done {
+                    self.state[writer] = TaskState::Blocked;
+                    self.completed -= 1;
+                    self.reexecuted.insert(writer);
+                    lineage += 1;
+                }
+            }
+        }
+        self.kill_info.insert(node, (lost.len(), lineage));
+        self.rebuild_ready();
+    }
+
+    /// The heartbeat monitor declared `node` failed: record the failure and
+    /// move its tasks onto the surviving workers.
+    fn recover_from<B: ExecutionBackend>(
+        &mut self,
+        node: NodeId,
+        backend: &mut B,
+    ) -> OmpcResult<()> {
+        let (alive, silenced_at, detected_at, replan) = {
+            let f = self.faults.as_ref().expect("recovery requires an active fault subsystem");
+            (f.alive_workers(), f.silenced_at(node), f.clock(), f.replan_on_failure)
+        };
+        let (lost_buffers, lineage_tasks) = self.kill_info.remove(&node).unwrap_or((0, 0));
+        self.failures.push(FailureRecord {
+            node,
+            silenced_at,
+            detected_at,
+            lost_buffers,
+            lineage_tasks,
+        });
+        if alive.is_empty() {
+            return Err(OmpcError::NodeFailure(node));
+        }
+        let full_replan = if replan { backend.replan(&alive) } else { None };
+        match full_replan {
+            Some(new_assignment) if new_assignment.len() == self.total => {
+                for (task, &to) in new_assignment.iter().enumerate() {
+                    if !self.may_move(task, node) || to == self.assignment[task] {
+                        continue;
+                    }
+                    self.replanned.push(ReplanEntry { task, from: self.assignment[task], to });
+                    self.assignment[task] = to;
+                }
+            }
+            _ => {
+                for (task, to) in plan_recovery(&self.assignment, &[node], &alive) {
+                    if !self.may_move(task, node) {
+                        continue;
+                    }
+                    self.replanned.push(ReplanEntry { task, from: self.assignment[task], to });
+                    self.assignment[task] = to;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether recovery for the failure of `failed` may move `task`:
+    /// retired tasks keep their historical node, and live in-flight tasks
+    /// cannot move mid-execution (in-flight tasks on the dead node are
+    /// zombies and must move).
+    fn may_move(&self, task: usize, failed: NodeId) -> bool {
+        match self.state[task] {
+            TaskState::Done => false,
+            TaskState::InFlight => self.dispatched_on[task] == failed,
+            TaskState::Blocked | TaskState::Ready => true,
+        }
+    }
+
+    /// Put a restarted task back into the dependence machinery.
+    fn reset_to_pending(&mut self, task: usize) {
+        let unmet =
+            self.predecessors[task].iter().filter(|&&p| self.state[p] != TaskState::Done).count();
+        self.preds_remaining[task] = unmet;
+        if unmet == 0 {
+            self.state[task] = TaskState::Ready;
+            self.ready.push_back(task);
+        } else {
+            self.state[task] = TaskState::Blocked;
+        }
+    }
+
+    /// Recompute the dependence counters and rebuild the ready queue
+    /// (ascending task id) after recovery changed task states. In-flight
+    /// and retired tasks are untouched.
+    fn rebuild_ready(&mut self) {
+        self.ready.clear();
+        for task in 0..self.total {
+            if matches!(self.state[task], TaskState::Blocked | TaskState::Ready) {
+                self.reset_to_pending(task);
+            }
+        }
+    }
+
     fn fill_window<B: ExecutionBackend>(&mut self, backend: &mut B) -> OmpcResult<()> {
         while self.in_flight < self.window {
             let Some(task) = self.ready.pop_front() else { break };
+            debug_assert_eq!(self.state[task], TaskState::Ready);
+            self.state[task] = TaskState::InFlight;
+            self.dispatched_on[task] = self.assignment[task];
             self.in_flight += 1;
             self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
             self.dispatch_order.push(task);
@@ -290,13 +604,18 @@ impl RuntimeCore {
 
     fn retire(&mut self, task: usize) {
         debug_assert!(self.in_flight > 0, "retired task {task} that was not in flight");
+        self.state[task] = TaskState::Done;
         self.in_flight -= 1;
         self.completed += 1;
         self.completion_order.push(task);
         for i in 0..self.successors[task].len() {
             let succ = self.successors[task][i];
-            self.preds_remaining[succ] -= 1;
+            if self.state[succ] != TaskState::Blocked {
+                continue;
+            }
+            self.preds_remaining[succ] = self.preds_remaining[succ].saturating_sub(1);
             if self.preds_remaining[succ] == 0 {
+                self.state[succ] = TaskState::Ready;
                 self.ready.push_back(succ);
             }
         }
@@ -318,13 +637,17 @@ impl RuntimeCore {
     }
 
     /// The run's decision record (dispatch order, completion order, peak
-    /// concurrency).
+    /// concurrency, and — with an active fault plan — the failure,
+    /// re-execution, and recovery events).
     pub fn record(&self) -> RunRecord {
         RunRecord {
             assignment: self.assignment.clone(),
             dispatch_order: self.dispatch_order.clone(),
             completion_order: self.completion_order.clone(),
             peak_in_flight: self.peak_in_flight,
+            failures: self.failures.clone(),
+            reexecuted: self.reexecuted.iter().copied().collect(),
+            replanned: self.replanned.clone(),
         }
     }
 }
@@ -388,6 +711,7 @@ mod tests {
         assert_eq!(record.completion_order.len(), 4);
         assert_eq!(backend.prologues, 1);
         assert_eq!(backend.epilogues, 1);
+        assert!(record.failures.is_empty() && record.reexecuted.is_empty());
         // Dependences hold in completion order.
         let pos = |t: usize| record.completion_order.iter().position(|&x| x == t).unwrap();
         assert!(pos(0) < pos(1));
@@ -485,5 +809,141 @@ mod tests {
         assert_eq!(plan.assignment[exit.0], plan.assignment[target.0]);
         assert_eq!(plan.assignment[host.0], HEAD_NODE);
         assert!(plan.assignment[target.0] >= 1);
+    }
+
+    #[test]
+    fn exit_data_follows_the_last_target_predecessor() {
+        use crate::types::{Dependence, KernelId, MapType};
+        let buffers = BufferRegistry::new();
+        let a = buffers.register(vec![0u8; 64]);
+        let mut region = RegionGraph::new();
+        region.add_task(
+            TaskKind::EnterData { buffer: a, map: MapType::To },
+            vec![Dependence::output(a)],
+            "enter",
+        );
+        let first = region.add_task(
+            TaskKind::Target { kernel: KernelId(0), cost_hint: 0.5 },
+            vec![Dependence::inout(a)],
+            "first",
+        );
+        let last = region.add_task(
+            TaskKind::Target { kernel: KernelId(1), cost_hint: 0.5 },
+            vec![Dependence::inout(a)],
+            "last",
+        );
+        let exit = region.add_task(
+            TaskKind::ExitData { buffer: a, map: MapType::From },
+            vec![Dependence::inout(a)],
+            "exit",
+        );
+        // Round-robin placement forces the two producers apart, so "first"
+        // and "last" predecessor pinning genuinely differ.
+        let config = OmpcConfig {
+            scheduler: crate::config::SchedulerKind::RoundRobin,
+            ..OmpcConfig::small()
+        };
+        let plan = RuntimePlan::for_region(&region, &buffers, 2, &config);
+        assert_ne!(
+            plan.assignment[first.0], plan.assignment[last.0],
+            "test needs the producers on different nodes"
+        );
+        assert_eq!(
+            plan.assignment[exit.0], plan.assignment[last.0],
+            "exit data must follow the last target predecessor"
+        );
+    }
+
+    /// A deterministic fault-injection harness over the LIFO backend: node
+    /// data is tracked well enough to exercise lineage (every task's output
+    /// "lives" on the node that ran it).
+    #[derive(Default)]
+    struct FaultyStackBackend {
+        inner: StackBackend,
+        ran_on: std::collections::HashMap<usize, NodeId>,
+        invalidated: Vec<NodeId>,
+    }
+
+    impl ExecutionBackend for FaultyStackBackend {
+        fn launch(&mut self, task: usize, node: NodeId) -> OmpcResult<()> {
+            self.ran_on.insert(task, node);
+            self.inner.launch(task, node)
+        }
+        fn await_completions(&mut self) -> OmpcResult<Vec<usize>> {
+            self.inner.await_completions()
+        }
+        fn invalidate_node(&mut self, node: NodeId) -> Vec<LostBuffer> {
+            self.invalidated.push(node);
+            // Every task that ran (only) on the dead node loses its output.
+            let mut lost: Vec<LostBuffer> = self
+                .ran_on
+                .iter()
+                .filter(|&(_, &n)| n == node)
+                .map(|(&t, _)| LostBuffer {
+                    buffer: crate::types::BufferId(t as u64),
+                    writers: vec![t],
+                })
+                .collect();
+            lost.sort_by_key(|l| l.buffer);
+            lost
+        }
+    }
+
+    #[test]
+    fn injected_failure_recovers_onto_survivors() {
+        // A chain of 6 tasks, first half on node 1, second half on node 2;
+        // node 1 dies right after its second retirement.
+        let mut g = TaskGraph::new();
+        for _ in 0..6 {
+            g.add_task(1.0);
+        }
+        for t in 1..6 {
+            g.add_edge(t - 1, t, 64);
+        }
+        let w = WorkloadGraph::new(g, vec![64; 6]);
+        let plan = RuntimePlan { assignment: vec![1, 1, 1, 2, 2, 2], window: 1 };
+        let fault_plan = FaultPlan::none().fail_after_completions(1, 2);
+        let faults = FaultState::from_config(&fault_plan, 10, 3, 2).unwrap().unwrap();
+        let mut core = RuntimeCore::with_faults(&w, &plan, faults);
+        let mut backend = FaultyStackBackend::default();
+        core.execute(&mut backend).unwrap();
+        let record = core.record();
+        assert_eq!(backend.invalidated, vec![1]);
+        assert_eq!(record.failures.len(), 1);
+        assert_eq!(record.failures[0].node, 1);
+        assert!(record.failures[0].detected_at > record.failures[0].silenced_at);
+        // Tasks 0 and 1 completed on node 1 and lost their outputs with it.
+        // Task 2 never re-executes: the lineage rebuild re-blocks it behind
+        // task 1 before it can be dispatched to the dead node.
+        assert_eq!(record.reexecuted, vec![0, 1]);
+        // Everything that had to move went to node 2.
+        assert!(record.replanned.iter().all(|r| r.from == 1 && r.to == 2));
+        // Every task's final node is the survivor or its original node 2.
+        assert!(record.assignment.iter().all(|&n| n == 2 || n == 1));
+        // The last retirement of every task happened exactly once per task.
+        let mut last_positions = std::collections::HashMap::new();
+        for (i, &t) in record.completion_order.iter().enumerate() {
+            last_positions.insert(t, i);
+        }
+        assert_eq!(last_positions.len(), 6);
+        assert_eq!(core.completed(), 6);
+    }
+
+    #[test]
+    fn failure_with_no_survivors_is_an_error() {
+        let mut g = TaskGraph::new();
+        for _ in 0..4 {
+            g.add_task(1.0);
+        }
+        for t in 1..4 {
+            g.add_edge(t - 1, t, 8);
+        }
+        let w = WorkloadGraph::new(g, vec![8; 4]);
+        let plan = RuntimePlan { assignment: vec![1; 4], window: 1 };
+        let fault_plan = FaultPlan::none().fail_after_completions(1, 1);
+        let faults = FaultState::from_config(&fault_plan, 10, 2, 1).unwrap().unwrap();
+        let mut core = RuntimeCore::with_faults(&w, &plan, faults);
+        let err = core.execute(&mut FaultyStackBackend::default()).unwrap_err();
+        assert_eq!(err, OmpcError::NodeFailure(1));
     }
 }

@@ -5,7 +5,7 @@
 //! dispatch bookkeeping on the head node, input forwarding planned by the
 //! same [`DataManager`] logic, per-event completion costs, sink retrieval
 //! and shutdown — with compute durations and byte-transfer times supplied
-//! by the virtual cluster. [`RuntimeCore`] makes every dispatch and window
+//! by the virtual cluster. [`super::RuntimeCore`] makes every dispatch and window
 //! decision, so the simulation reproduces the §7 head-node bottleneck when
 //! (and only when) the configuration selects the legacy libomptarget-style
 //! window.
@@ -15,9 +15,11 @@
 //! one-at-a-time behaviour of a blocked head worker thread is preserved
 //! behind [`crate::config::OmpcConfig::serial_input_transfers`].
 
-use super::ExecutionBackend;
+use super::fault::LostBuffer;
+use super::{ExecutionBackend, RuntimePlan};
 use crate::config::{OmpcConfig, OverheadModel};
 use crate::data_manager::{DataManager, HEAD_NODE};
+use crate::heartbeat::Millis;
 use crate::model::WorkloadGraph;
 use crate::types::{BufferId, NodeId, OmpcError, OmpcResult};
 use ompc_sched::Platform;
@@ -48,10 +50,16 @@ fn transfer_token(kind: u64, task: usize, buffer: u64) -> Token {
 /// simulated cluster: per-message cost = latency + software overhead,
 /// bandwidth as configured.
 pub fn sim_platform(cluster: &ClusterConfig) -> Platform {
+    network_platform(&cluster.network, cluster.worker_nodes().max(1))
+}
+
+/// [`sim_platform`] over an explicit processor count — the shrunken-
+/// platform variant fault recovery reschedules on.
+fn network_platform(network: &ompc_sim::NetworkConfig, procs: usize) -> Platform {
     Platform::homogeneous(
-        cluster.worker_nodes().max(1),
-        (cluster.network.latency + cluster.network.per_message_overhead).as_secs_f64(),
-        cluster.network.bandwidth_bytes_per_sec,
+        procs,
+        (network.latency + network.per_message_overhead).as_secs_f64(),
+        network.bandwidth_bytes_per_sec,
     )
 }
 
@@ -65,6 +73,9 @@ pub struct SimBackend<'w> {
     node_of: Vec<NodeId>,
     forwarding: bool,
     serial_inputs: bool,
+    /// Retained configuration, consulted by the fault-recovery `replan`
+    /// hook (scheduler choice).
+    config: OmpcConfig,
     /// Forwarding decisions, driven by the same data-manager logic as the
     /// threaded backend; buffer `t` is task `t`'s output.
     dm: DataManager,
@@ -108,6 +119,7 @@ impl<'w> SimBackend<'w> {
             node_of: vec![HEAD_NODE; total],
             forwarding: config.worker_to_worker_forwarding,
             serial_inputs: config.serial_input_transfers,
+            config: config.clone(),
             dm,
             pending_inputs: vec![0; total],
             queued_inputs: vec![VecDeque::new(); total],
@@ -357,6 +369,33 @@ impl ExecutionBackend for SimBackend<'_> {
                 return Ok(vec![task]);
             }
         }
+    }
+
+    fn clock_millis(&self) -> Option<Millis> {
+        // The fault clock of the simulated backend is virtual time.
+        Some(self.engine.now().as_nanos() / 1_000_000)
+    }
+
+    fn invalidate_node(&mut self, node: NodeId) -> Vec<LostBuffer> {
+        // In workload graphs buffer `t` is task `t`'s output, so the lost
+        // lineage of a buffer is exactly its producing task.
+        self.dm
+            .fail_node(node)
+            .into_iter()
+            .map(|buffer| LostBuffer { buffer, writers: vec![buffer.0 as usize] })
+            .collect()
+    }
+
+    fn replan(&mut self, alive_workers: &[NodeId]) -> Option<Vec<NodeId>> {
+        // Re-run the configured static scheduler over the shrunken
+        // platform, mapping processor `p` onto the p-th survivor.
+        let platform = network_platform(&self.engine.config().network, alive_workers.len());
+        Some(RuntimePlan::workload_assignment_on(
+            self.workload,
+            &platform,
+            &self.config,
+            alive_workers,
+        ))
     }
 
     fn epilogue(&mut self) -> OmpcResult<()> {

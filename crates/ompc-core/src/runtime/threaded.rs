@@ -10,8 +10,18 @@
 //! window is a property of the core rather than of the pool, more tasks can
 //! be in flight than there are blocked threads, which is exactly the
 //! pipelined dispatch the paper proposes as the fix for its §7 bottleneck.
+//!
+//! Fault tolerance (paper §3.1) is honoured at the protocol layer: when
+//! the failure injector kills a node, the node's OS thread stays alive —
+//! real clusters cannot be simulated in-process by killing threads — but
+//! the [`DataManager`] excommunicates it, tasks that run there become
+//! no-ops whose completions the core discards as stale, and errors raised
+//! on a dead node are swallowed instead of failing the run. A genuine task
+//! failure on a *live* node trips the pool's cancellation flag so tasks
+//! already queued behind it stop executing before the error propagates.
 
-use super::{ExecutionBackend, RuntimeCore};
+use super::fault::LostBuffer;
+use super::{ExecutionBackend, RuntimeCore, RuntimePlan};
 use crate::buffer::BufferRegistry;
 use crate::cluster::HostFn;
 use crate::config::OmpcConfig;
@@ -20,8 +30,15 @@ use crate::event::EventSystem;
 use crate::task::{RegionGraph, TaskKind};
 use crate::types::{BufferId, MapType, NodeId, OmpcError, OmpcResult, TaskId};
 use crossbeam::channel::{Receiver, Sender};
+use ompc_sched::Platform;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Message of the synthetic error reported for tasks skipped by the
+/// cancellation flag; the pool driver recognizes it so it never masks the
+/// root-cause error of the task that actually failed.
+const CANCELLED_MSG: &str = "cancelled after an earlier task failure";
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TransferState {
@@ -79,9 +96,14 @@ pub struct ThreadedBackend<'a> {
     dm: &'a Mutex<DataManager>,
     graph: &'a RegionGraph,
     host_fns: &'a HashMap<usize, HostFn>,
+    config: OmpcConfig,
     pool_threads: usize,
     serial_inputs: bool,
     transfers: TransferGate,
+    /// Set when a task fails on a live node: tasks still queued in the head
+    /// pool stop executing instead of landing side effects after the run
+    /// has already failed.
+    cancelled: AtomicBool,
 }
 
 impl<'a> ThreadedBackend<'a> {
@@ -103,8 +125,16 @@ impl<'a> ThreadedBackend<'a> {
             host_fns,
             pool_threads: config.head_worker_threads.max(1),
             serial_inputs: config.serial_input_transfers,
+            config: config.clone(),
             transfers: TransferGate::default(),
+            cancelled: AtomicBool::new(false),
         }
+    }
+
+    /// Whether the pool's cancellation flag tripped (a task failed on a
+    /// live node while others were still queued).
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
     }
 
     /// Drive `core` to completion: spawn the head worker pool, feed it the
@@ -120,7 +150,18 @@ impl<'a> ThreadedBackend<'a> {
                     .name(format!("ompc-head-{i}"))
                     .spawn_scoped(scope, move || {
                         while let Ok((tid, node)) = task_rx.recv() {
-                            let res = self.run_task(tid, node);
+                            // Cancellation: once a task has failed on a live
+                            // node, queued tasks stop executing so no side
+                            // effects land after the error propagates.
+                            let res = if self.cancelled.load(Ordering::SeqCst) {
+                                Err(OmpcError::Internal(CANCELLED_MSG.to_string()))
+                            } else {
+                                let res = self.run_task(tid, node);
+                                if res.is_err() && !self.dm.lock().is_failed(node) {
+                                    self.cancelled.store(true, Ordering::SeqCst);
+                                }
+                                res
+                            };
                             if done_tx.send((tid, res)).is_err() {
                                 break;
                             }
@@ -130,7 +171,7 @@ impl<'a> ThreadedBackend<'a> {
             }
             drop(task_rx);
             drop(done_tx);
-            let mut driver = HeadPool { task_tx, done_rx };
+            let mut driver = HeadPool { backend: self, task_tx, done_rx, launched: HashMap::new() };
             core.execute(&mut driver)
             // The pool drains and joins when `driver` (and with it the task
             // sender) drops at the end of this scope.
@@ -159,6 +200,12 @@ impl<'a> ThreadedBackend<'a> {
     /// data manager, then run the kernel (or the host body, or the data
     /// movement itself for enter/exit data tasks).
     fn run_task(&self, tid: usize, node: NodeId) -> OmpcResult<()> {
+        if node != HEAD_NODE && self.dm.lock().is_failed(node) {
+            // The failure injector killed this node: the task becomes a
+            // no-op whose completion the core discards as stale and
+            // restarts on a survivor.
+            return Ok(());
+        }
         let task = self.graph.task(TaskId(tid));
         match &task.kind {
             TaskKind::EnterData { buffer, map } => {
@@ -284,8 +331,23 @@ impl<'a> ThreadedBackend<'a> {
             }
             TaskKind::ExitData { buffer, map } => {
                 if map.copies_from_device() {
-                    let from = self.dm.lock().plan_retrieve(*buffer);
+                    let (from, pinned_holds_data, any_failures) = {
+                        let mut dm = self.dm.lock();
+                        let present = dm.is_present(*buffer, node);
+                        (dm.plan_retrieve(*buffer), present, dm.has_failures())
+                    };
                     if let Some(from) = from {
+                        // §4.4 consistency: the exit task is pinned to its
+                        // last target producer, so in a failure-free run the
+                        // assignment record must agree with the data
+                        // manager's holder — the retrieval source is the
+                        // pinned node (or the pinned node at least holds the
+                        // latest version it read).
+                        debug_assert!(
+                            any_failures || from == node || pinned_holds_data,
+                            "exit-data task pinned to node {node} but the latest copy of \
+                             {buffer} is only on node {from}"
+                        );
                         let data = self.events.retrieve(from, *buffer)?;
                         self.buffers.set(*buffer, data)?;
                     }
@@ -311,30 +373,95 @@ impl<'a> ThreadedBackend<'a> {
 
 /// The [`ExecutionBackend`] face of the head worker pool: `launch` enqueues
 /// a task for the pool, `await_completions` blocks on the next completion
-/// and drains any others that finished in the meantime.
-struct HeadPool {
+/// and drains any others that finished in the meantime. It also carries the
+/// fault-tolerance hooks, which act on the backend's shared data manager.
+struct HeadPool<'p, 'a> {
+    backend: &'p ThreadedBackend<'a>,
     task_tx: Sender<(usize, NodeId)>,
     done_rx: Receiver<(usize, OmpcResult<()>)>,
+    /// Node each task was last sent to, for attributing pool errors to dead
+    /// vs. live nodes.
+    launched: HashMap<usize, NodeId>,
 }
 
-impl ExecutionBackend for HeadPool {
+impl ExecutionBackend for HeadPool<'_, '_> {
     fn launch(&mut self, task: usize, node: NodeId) -> OmpcResult<()> {
+        self.launched.insert(task, node);
         self.task_tx
             .send((task, node))
             .map_err(|_| OmpcError::Internal("head worker pool terminated early".to_string()))
     }
 
+    /// Completions and dead-node errors (swallowed — the core discards the
+    /// stale completion and restarts the task) are reported as finished;
+    /// an error on a live node fails the run. A synthetic cancellation
+    /// error can race ahead of the failure that tripped the flag, so it is
+    /// held back until the root-cause error arrives (the failing task's
+    /// thread is guaranteed to report it after setting the flag).
     fn await_completions(&mut self) -> OmpcResult<Vec<usize>> {
-        let (tid, result) = self
-            .done_rx
-            .recv()
-            .map_err(|_| OmpcError::Internal("head worker pool disappeared".to_string()))?;
-        result?;
-        let mut finished = vec![tid];
-        while let Ok((tid, result)) = self.done_rx.try_recv() {
-            result?;
-            finished.push(tid);
+        let mut finished = Vec::new();
+        let mut held_cancellation: Option<OmpcError> = None;
+        loop {
+            let received = if finished.is_empty() || held_cancellation.is_some() {
+                match self.done_rx.recv() {
+                    Ok(pair) => pair,
+                    Err(_) => {
+                        return Err(held_cancellation.unwrap_or_else(|| {
+                            OmpcError::Internal("head worker pool disappeared".to_string())
+                        }));
+                    }
+                }
+            } else {
+                match self.done_rx.try_recv() {
+                    Ok(pair) => pair,
+                    Err(_) => break,
+                }
+            };
+            let (tid, result) = received;
+            match result {
+                Ok(()) => finished.push(tid),
+                Err(e) => {
+                    let node = self.launched.get(&tid).copied().unwrap_or(HEAD_NODE);
+                    if node != HEAD_NODE && self.backend.dm.lock().is_failed(node) {
+                        finished.push(tid);
+                    } else if matches!(&e, OmpcError::Internal(m) if m == CANCELLED_MSG) {
+                        held_cancellation = Some(e);
+                    } else {
+                        return Err(e);
+                    }
+                }
+            }
         }
         Ok(finished)
+    }
+
+    fn invalidate_node(&mut self, node: NodeId) -> Vec<LostBuffer> {
+        let lost = self.backend.dm.lock().fail_node(node);
+        lost.into_iter()
+            .map(|buffer| LostBuffer {
+                buffer,
+                writers: self
+                    .backend
+                    .graph
+                    .tasks()
+                    .iter()
+                    .filter(|t| {
+                        t.dependences.iter().any(|d| d.buffer == buffer && d.dep_type.writes())
+                    })
+                    .map(|t| t.id.0)
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn replan(&mut self, alive_workers: &[NodeId]) -> Option<Vec<NodeId>> {
+        let platform = Platform::cluster(alive_workers.len());
+        Some(RuntimePlan::region_assignment_on(
+            self.backend.graph,
+            self.backend.buffers,
+            &platform,
+            &self.backend.config,
+            alive_workers,
+        ))
     }
 }

@@ -23,8 +23,10 @@
 
 use crate::config::{OmpcConfig, OverheadModel};
 use crate::model::WorkloadGraph;
+use crate::runtime::fault::FaultState;
 use crate::runtime::sim::sim_platform;
 use crate::runtime::{RunRecord, RuntimeCore, RuntimePlan, SimBackend};
+use crate::types::{OmpcError, OmpcResult};
 use ompc_sim::{ClusterConfig, SimStats, SimTime, Trace};
 
 /// Result of one simulated OMPC run.
@@ -69,13 +71,18 @@ impl OmpcSimResult {
 /// Run the simulated OMPC runtime on `workload` over `cluster` and return
 /// the timing result. Tracing is disabled for speed; use
 /// [`simulate_ompc_traced`] when the trace is needed.
+///
+/// Fails with [`OmpcError::InvalidConfig`] when the cluster has no worker
+/// nodes (the head node cannot execute target tasks), and with
+/// [`OmpcError::NodeFailure`] when an injected failure
+/// ([`OmpcConfig::fault_plan`]) leaves no survivors to recover onto.
 pub fn simulate_ompc(
     workload: &WorkloadGraph,
     cluster: &ClusterConfig,
     config: &OmpcConfig,
     overheads: &OverheadModel,
-) -> OmpcSimResult {
-    simulate_inner(workload, cluster, config, overheads, None, false).0
+) -> OmpcResult<OmpcSimResult> {
+    simulate_inner(workload, cluster, config, overheads, None, false).map(|(r, _, _)| r)
 }
 
 /// Like [`simulate_ompc`] but also returns the full execution trace.
@@ -84,21 +91,22 @@ pub fn simulate_ompc_traced(
     cluster: &ClusterConfig,
     config: &OmpcConfig,
     overheads: &OverheadModel,
-) -> (OmpcSimResult, Trace) {
-    let (result, trace, _) = simulate_inner(workload, cluster, config, overheads, None, true);
-    (result, trace)
+) -> OmpcResult<(OmpcSimResult, Trace)> {
+    let (result, trace, _) = simulate_inner(workload, cluster, config, overheads, None, true)?;
+    Ok((result, trace))
 }
 
 /// Like [`simulate_ompc`] but also returns the execution core's decision
-/// record (assignment, dispatch and completion order, peak concurrency).
+/// record (assignment, dispatch and completion order, peak concurrency,
+/// and — under an injected fault plan — the failure and recovery events).
 pub fn simulate_ompc_recorded(
     workload: &WorkloadGraph,
     cluster: &ClusterConfig,
     config: &OmpcConfig,
     overheads: &OverheadModel,
-) -> (OmpcSimResult, RunRecord) {
-    let (result, _, record) = simulate_inner(workload, cluster, config, overheads, None, false);
-    (result, record)
+) -> OmpcResult<(OmpcSimResult, RunRecord)> {
+    let (result, _, record) = simulate_inner(workload, cluster, config, overheads, None, false)?;
+    Ok((result, record))
 }
 
 /// Run the simulation under an explicit, externally computed [`RuntimePlan`]
@@ -111,10 +119,10 @@ pub fn simulate_ompc_with_plan(
     config: &OmpcConfig,
     overheads: &OverheadModel,
     plan: &RuntimePlan,
-) -> (OmpcSimResult, RunRecord) {
+) -> OmpcResult<(OmpcSimResult, RunRecord)> {
     let (result, _, record) =
-        simulate_inner(workload, cluster, config, overheads, Some(plan.clone()), false);
-    (result, record)
+        simulate_inner(workload, cluster, config, overheads, Some(plan.clone()), false)?;
+    Ok((result, record))
 }
 
 /// The static plan [`simulate_ompc`] derives for a workload: the configured
@@ -134,15 +142,33 @@ fn simulate_inner(
     overheads: &OverheadModel,
     plan: Option<RuntimePlan>,
     traced: bool,
-) -> (OmpcSimResult, Trace, RunRecord) {
+) -> OmpcResult<(OmpcSimResult, Trace, RunRecord)> {
+    let workers = cluster.worker_nodes();
+    if workers == 0 {
+        return Err(OmpcError::InvalidConfig(format!(
+            "cluster of {} node(s) has no worker nodes: node 0 is the head node and cannot \
+             execute target tasks; configure at least 2 nodes",
+            cluster.nodes
+        )));
+    }
     let plan = plan.unwrap_or_else(|| sim_plan(workload, cluster, config));
     let trace = if traced { Trace::new() } else { Trace::disabled() };
-    let mut core = RuntimeCore::new(workload, &plan);
+    let faults = FaultState::from_config(
+        &config.fault_plan,
+        config.heartbeat_period_ms,
+        config.heartbeat_miss_threshold,
+        workers,
+    )?
+    .map(|f| f.with_replan(config.replan_on_failure));
+    let mut core = match faults {
+        Some(faults) => RuntimeCore::with_faults(workload, &plan, faults),
+        None => RuntimeCore::new(workload, &plan),
+    };
     let mut backend = SimBackend::new(workload, cluster, config, overheads.clone(), trace);
-    core.execute(&mut backend).expect("simulated execution cannot fail on a well-formed workload");
+    core.execute(&mut backend)?;
     let schedule = backend.schedule_time();
     let (stats, trace) = backend.finish();
-    (
+    Ok((
         OmpcSimResult {
             makespan: stats.makespan,
             startup: overheads.startup,
@@ -152,7 +178,7 @@ fn simulate_inner(
         },
         trace,
         core.record(),
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -189,7 +215,7 @@ mod tests {
     fn empty_workload_finishes_immediately() {
         let (cluster, config, overheads) = default_setup(2);
         let w = WorkloadGraph::default();
-        let r = simulate_ompc(&w, &cluster, &config, &overheads);
+        let r = simulate_ompc(&w, &cluster, &config, &overheads).unwrap();
         assert_eq!(r.makespan, SimTime::ZERO);
     }
 
@@ -197,7 +223,7 @@ mod tests {
     fn chain_makespan_is_at_least_serial_compute_plus_overheads() {
         let (cluster, config, overheads) = default_setup(3);
         let w = chain_workload(8, 0.05, 1 << 20);
-        let r = simulate_ompc(&w, &cluster, &config, &overheads);
+        let r = simulate_ompc(&w, &cluster, &config, &overheads).unwrap();
         let serial = SimTime::from_secs_f64(8.0 * 0.05);
         assert!(r.makespan > serial + overheads.startup + overheads.shutdown);
         // Every task ran exactly once.
@@ -213,8 +239,10 @@ mod tests {
         // binding constraint in this test.
         let config = OmpcConfig { enforce_in_flight_limit: false, ..OmpcConfig::default() };
         let w = wide_workload(256, 0.05, 1 << 16);
-        let small = simulate_ompc(&w, &ClusterConfig::santos_dumont(3), &config, &overheads);
-        let large = simulate_ompc(&w, &ClusterConfig::santos_dumont(17), &config, &overheads);
+        let small =
+            simulate_ompc(&w, &ClusterConfig::santos_dumont(3), &config, &overheads).unwrap();
+        let large =
+            simulate_ompc(&w, &ClusterConfig::santos_dumont(17), &config, &overheads).unwrap();
         assert!(
             large.makespan < small.makespan,
             "256 independent tasks must finish faster on 16 workers ({}) than on 2 ({})",
@@ -230,8 +258,8 @@ mod tests {
         let w = wide_workload(256, 0.02, 1 << 10);
         let limited = OmpcConfig { max_inflight_tasks: Some(4), ..OmpcConfig::default() };
         let unlimited = OmpcConfig { enforce_in_flight_limit: false, ..OmpcConfig::default() };
-        let r_lim = simulate_ompc(&w, &cluster, &limited, &overheads);
-        let r_unl = simulate_ompc(&w, &cluster, &unlimited, &overheads);
+        let r_lim = simulate_ompc(&w, &cluster, &limited, &overheads).unwrap();
+        let r_unl = simulate_ompc(&w, &cluster, &unlimited, &overheads).unwrap();
         assert!(
             r_lim.makespan > r_unl.makespan,
             "a 4-task in-flight window must hurt a 256-wide graph"
@@ -248,7 +276,7 @@ mod tests {
         let mut previous: Option<SimTime> = None;
         for window in [1usize, 2, 4, 8, 16, 64, 256] {
             let config = OmpcConfig { max_inflight_tasks: Some(window), ..OmpcConfig::default() };
-            let r = simulate_ompc(&w, &cluster, &config, &overheads);
+            let r = simulate_ompc(&w, &cluster, &config, &overheads).unwrap();
             if let Some(prev) = previous {
                 assert!(
                     r.makespan <= prev,
@@ -262,11 +290,11 @@ mod tests {
         // And the extremes differ strictly: the bottleneck is real.
         let narrow = {
             let c = OmpcConfig { max_inflight_tasks: Some(1), ..OmpcConfig::default() };
-            simulate_ompc(&w, &cluster, &c, &overheads)
+            simulate_ompc(&w, &cluster, &c, &overheads).unwrap()
         };
         let wide = {
             let c = OmpcConfig { max_inflight_tasks: Some(256), ..OmpcConfig::default() };
-            simulate_ompc(&w, &cluster, &c, &overheads)
+            simulate_ompc(&w, &cluster, &c, &overheads).unwrap()
         };
         assert!(narrow.makespan > wide.makespan);
     }
@@ -288,8 +316,9 @@ mod tests {
         }
         let w = WorkloadGraph::new(g, vec![64 << 20; sources + 1]);
         let (cluster, _, overheads) = default_setup(8);
-        let pipelined = simulate_ompc(&w, &cluster, &OmpcConfig::default(), &overheads);
-        let legacy = simulate_ompc(&w, &cluster, &OmpcConfig::legacy_libomptarget(), &overheads);
+        let pipelined = simulate_ompc(&w, &cluster, &OmpcConfig::default(), &overheads).unwrap();
+        let legacy =
+            simulate_ompc(&w, &cluster, &OmpcConfig::legacy_libomptarget(), &overheads).unwrap();
         assert!(
             pipelined.makespan < legacy.makespan,
             "overlapped input forwarding ({}) must beat serial forwarding ({})",
@@ -321,7 +350,8 @@ mod tests {
         };
         let plan = RuntimePlan { assignment: vec![3, 1, 2], window: config.inflight_window() };
         let (r, record) =
-            simulate_ompc_with_plan(&w, &cluster, &config, &OverheadModel::default(), &plan);
+            simulate_ompc_with_plan(&w, &cluster, &config, &OverheadModel::default(), &plan)
+                .unwrap();
         assert_eq!(record.assignment, vec![3, 1, 2]);
         // The 256 MB buffer crosses the network three times: head -> big's
         // node (enter data), big's node -> head (stage), head -> sink's node.
@@ -350,7 +380,7 @@ mod tests {
         let config = OmpcConfig::default();
         let overheads = OverheadModel::default();
         let plan = RuntimePlan { assignment: vec![1, 2, 2], window: config.inflight_window() };
-        let (r, _) = simulate_ompc_with_plan(&w, &cluster, &config, &overheads, &plan);
+        let (r, _) = simulate_ompc_with_plan(&w, &cluster, &config, &overheads, &plan).unwrap();
         // The forward p -> node 2 and c2's 50 ms compute must serialize
         // (plus the initial head -> node 1 distribution of p's input).
         let one_leg = cluster.network.transfer_time(256 << 20);
@@ -370,8 +400,8 @@ mod tests {
         let (cluster, config, overheads) = default_setup(2);
         let tiny = chain_workload(16, 2e-5, 1024);
         let big = chain_workload(16, 0.5, 1024);
-        let r_tiny = simulate_ompc(&tiny, &cluster, &config, &overheads);
-        let r_big = simulate_ompc(&big, &cluster, &config, &overheads);
+        let r_tiny = simulate_ompc(&tiny, &cluster, &config, &overheads).unwrap();
+        let r_big = simulate_ompc(&big, &cluster, &config, &overheads).unwrap();
         let frac = |r: &OmpcSimResult| {
             let (s, c, d) = r.overhead_fractions();
             s + c + d
@@ -396,8 +426,8 @@ mod tests {
         assert!(rr_nodes.len() > 1);
         // And the simulated makespan agrees that HEFT is at least as good.
         let overheads = OverheadModel::default();
-        let r_heft = simulate_ompc(&w, &cluster, &heft_cfg, &overheads);
-        let r_rr = simulate_ompc(&w, &cluster, &rr_cfg, &overheads);
+        let r_heft = simulate_ompc(&w, &cluster, &heft_cfg, &overheads).unwrap();
+        let r_rr = simulate_ompc(&w, &cluster, &rr_cfg, &overheads).unwrap();
         assert!(r_heft.makespan <= r_rr.makespan);
     }
 
@@ -405,7 +435,7 @@ mod tests {
     fn recorded_run_reports_core_decisions() {
         let (cluster, config, overheads) = default_setup(4);
         let w = chain_workload(6, 0.01, 1 << 18);
-        let (result, record) = simulate_ompc_recorded(&w, &cluster, &config, &overheads);
+        let (result, record) = simulate_ompc_recorded(&w, &cluster, &config, &overheads).unwrap();
         assert_eq!(result.stats.total_tasks(), 6);
         // A chain dispatches and completes strictly in order.
         assert_eq!(record.dispatch_order, vec![0, 1, 2, 3, 4, 5]);
@@ -418,8 +448,8 @@ mod tests {
     fn traced_run_matches_untraced_makespan() {
         let (cluster, config, overheads) = default_setup(4);
         let w = chain_workload(6, 0.01, 1 << 18);
-        let plain = simulate_ompc(&w, &cluster, &config, &overheads);
-        let (traced, trace) = simulate_ompc_traced(&w, &cluster, &config, &overheads);
+        let plain = simulate_ompc(&w, &cluster, &config, &overheads).unwrap();
+        let (traced, trace) = simulate_ompc_traced(&w, &cluster, &config, &overheads).unwrap();
         assert_eq!(plain.makespan, traced.makespan);
         assert!(!trace.is_empty());
     }
@@ -428,8 +458,91 @@ mod tests {
     fn determinism_across_runs() {
         let (cluster, config, overheads) = default_setup(6);
         let w = chain_workload(20, 0.02, 1 << 19);
-        let a = simulate_ompc(&w, &cluster, &config, &overheads);
-        let b = simulate_ompc(&w, &cluster, &config, &overheads);
+        let a = simulate_ompc(&w, &cluster, &config, &overheads).unwrap();
+        let b = simulate_ompc(&w, &cluster, &config, &overheads).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_less_cluster_is_rejected_up_front() {
+        // ROADMAP follow-up: this used to panic inside the engine with
+        // "compute on unknown node 1".
+        let (_, config, overheads) = default_setup(2);
+        let w = chain_workload(4, 0.01, 1 << 10);
+        let err =
+            simulate_ompc(&w, &ClusterConfig::santos_dumont(1), &config, &overheads).unwrap_err();
+        assert!(matches!(err, OmpcError::InvalidConfig(_)));
+        assert!(err.to_string().contains("no worker nodes"), "unclear message: {err}");
+    }
+
+    #[test]
+    fn injected_failure_recovers_and_is_recorded() {
+        use crate::runtime::fault::FaultPlan;
+        let overheads = OverheadModel::default();
+        let cluster = ClusterConfig::santos_dumont(4);
+        let w = chain_workload(10, 0.02, 1 << 16);
+        let baseline =
+            simulate_ompc_recorded(&w, &cluster, &OmpcConfig::default(), &overheads).unwrap();
+        // Kill the node running the chain after its third retirement.
+        let victim = baseline.1.assignment[2];
+        let config = OmpcConfig {
+            fault_plan: FaultPlan::none().fail_after_completions(victim, 3),
+            ..OmpcConfig::default()
+        };
+        let (result, record) = simulate_ompc_recorded(&w, &cluster, &config, &overheads).unwrap();
+        assert_eq!(result.stats.makespan, result.makespan);
+        assert_eq!(record.failures.len(), 1);
+        assert_eq!(record.failures[0].node, victim);
+        assert!(record.failures[0].detected_at >= record.failures[0].silenced_at);
+        assert!(!record.reexecuted.is_empty(), "lost work must re-execute");
+        assert!(record.replanned.iter().all(|r| r.from == victim && r.to != victim));
+        // Every task still retired (the last retirement of each id exists).
+        let mut retired: Vec<usize> = record.completion_order.clone();
+        retired.sort_unstable();
+        retired.dedup();
+        assert_eq!(retired, (0..w.len()).collect::<Vec<_>>());
+        // Failures cost time.
+        let clean = simulate_ompc(&w, &cluster, &OmpcConfig::default(), &overheads).unwrap();
+        assert!(result.makespan > clean.makespan, "recovery must not be free");
+    }
+
+    #[test]
+    fn replan_on_failure_reschedules_over_survivors() {
+        use crate::runtime::fault::FaultPlan;
+        let overheads = OverheadModel::default();
+        let cluster = ClusterConfig::santos_dumont(5);
+        // Independent tasks spread over all workers.
+        let w = wide_workload(16, 0.02, 1 << 12);
+        let config = OmpcConfig {
+            fault_plan: FaultPlan::none().fail_after_completions(1, 1),
+            replan_on_failure: true,
+            max_inflight_tasks: Some(2),
+            ..OmpcConfig::default()
+        };
+        let (_, record) = simulate_ompc_recorded(&w, &cluster, &config, &overheads).unwrap();
+        assert_eq!(record.failures.len(), 1);
+        // Nothing may end up on the dead node except tasks retired before
+        // the failure.
+        for (task, &node) in record.assignment.iter().enumerate() {
+            if node == 1 {
+                let last = record.completion_order.iter().rposition(|&t| t == task);
+                assert!(last.is_some(), "task {task} on the dead node never retired");
+            }
+        }
+        assert!(record.replanned.iter().all(|r| r.to != 1));
+    }
+
+    #[test]
+    fn failure_of_the_only_worker_is_unrecoverable() {
+        use crate::runtime::fault::FaultPlan;
+        let overheads = OverheadModel::default();
+        let cluster = ClusterConfig::santos_dumont(2);
+        let w = chain_workload(6, 0.02, 1 << 10);
+        let config = OmpcConfig {
+            fault_plan: FaultPlan::none().fail_after_completions(1, 2),
+            ..OmpcConfig::default()
+        };
+        let err = simulate_ompc(&w, &cluster, &config, &overheads).unwrap_err();
+        assert_eq!(err, OmpcError::NodeFailure(1));
     }
 }

@@ -24,6 +24,11 @@ pub struct RegionReport {
     pub data_events: usize,
     /// Total bytes moved between nodes (including head ↔ worker).
     pub bytes_moved: u64,
+    /// Number of worker-node failures declared during the region (always 0
+    /// without an injected [`crate::runtime::fault::FaultPlan`]).
+    pub failures: usize,
+    /// Number of distinct tasks executed more than once by fault recovery.
+    pub reexecuted_tasks: usize,
 }
 
 impl RegionReport {
@@ -84,6 +89,8 @@ mod tests {
             peak_in_flight: 2,
             data_events: 3,
             bytes_moved: 1024,
+            failures: 0,
+            reexecuted_tasks: 0,
         };
         assert_eq!(r.total_time(), Duration::from_millis(100));
         assert!((r.schedule_fraction() - 0.1).abs() < 1e-9);

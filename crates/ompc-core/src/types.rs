@@ -122,8 +122,12 @@ pub enum OmpcError {
     RegionAlreadyRun,
     /// The underlying communication substrate reported an error.
     Communication(String),
-    /// A worker node failed (detected by the heartbeat monitor).
+    /// A worker node failed (detected by the heartbeat monitor) and no
+    /// surviving worker was available to recover its tasks.
     NodeFailure(NodeId),
+    /// The runtime was configured inconsistently (e.g. a cluster without
+    /// worker nodes, or a fault plan naming a node outside the cluster).
+    InvalidConfig(String),
     /// The cluster was shut down while work was outstanding.
     ShutDown,
     /// Miscellaneous internal invariant violation.
@@ -138,6 +142,7 @@ impl fmt::Display for OmpcError {
             OmpcError::RegionAlreadyRun => write!(f, "target region already executed"),
             OmpcError::Communication(m) => write!(f, "communication error: {m}"),
             OmpcError::NodeFailure(n) => write!(f, "worker node {n} failed"),
+            OmpcError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             OmpcError::ShutDown => write!(f, "cluster already shut down"),
             OmpcError::Internal(m) => write!(f, "internal runtime error: {m}"),
         }

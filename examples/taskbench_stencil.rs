@@ -73,7 +73,8 @@ fn simulated_comparison() {
 
     let cluster = ClusterConfig::santos_dumont(nodes);
     let ompc =
-        simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+        simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default())
+            .expect("valid cluster");
     println!("OMPC    : {:.3}s", ompc.makespan.as_secs_f64());
 
     let assignment = block_assignment(config.width, config.steps, nodes);

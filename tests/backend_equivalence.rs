@@ -65,7 +65,8 @@ fn backends_agree_on_assignment_and_completion_order() {
 
         let cluster = ClusterConfig::santos_dumont(workers + 1);
         let (sim_result, sim_record) =
-            simulate_ompc_with_plan(&workload, &cluster, &config, &OverheadModel::default(), &plan);
+            simulate_ompc_with_plan(&workload, &cluster, &config, &OverheadModel::default(), &plan)
+                .unwrap();
         assert_eq!(sim_result.stats.total_tasks(), workload.len() as u64, "seed {seed}");
 
         let mut device = ClusterDevice::with_config(workers, config.clone());
@@ -105,7 +106,8 @@ fn backends_respect_dependences_under_wide_windows() {
         let cluster = ClusterConfig::santos_dumont(workers + 1);
 
         let (_, sim_record) =
-            simulate_ompc_with_plan(&workload, &cluster, &config, &OverheadModel::default(), &plan);
+            simulate_ompc_with_plan(&workload, &cluster, &config, &OverheadModel::default(), &plan)
+                .unwrap();
         let mut device = ClusterDevice::with_config(workers, config.clone());
         let threaded_record = device.run_workload(&workload, &plan).unwrap();
         device.shutdown();
@@ -151,7 +153,7 @@ fn window_is_honored_and_bottleneck_reproduces() {
 
     let run = |window: usize| {
         let config = OmpcConfig { max_inflight_tasks: Some(window), ..OmpcConfig::default() };
-        simulate_ompc_recorded(&workload, &cluster, &config, &OverheadModel::default())
+        simulate_ompc_recorded(&workload, &cluster, &config, &OverheadModel::default()).unwrap()
     };
     let (narrow_result, narrow_record) = run(2);
     let (wide_result, wide_record) = run(width);

@@ -98,7 +98,8 @@ fn taskbench_stencil_real_and_simulated() {
     let workload = generate_workload(&config);
     let cluster = ClusterConfig::santos_dumont(8);
     let ompc_time =
-        simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+        simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default())
+            .unwrap();
     let mpi = MpiSyncRuntime::new().run(
         &workload,
         &cluster,

@@ -11,6 +11,7 @@ use ompc::taskbench::{generate_workload, DependencePattern, TaskBenchConfig};
 
 fn ompc_time(workload: &WorkloadGraph, nodes: usize, config: &OmpcConfig) -> f64 {
     simulate_ompc(workload, &ClusterConfig::santos_dumont(nodes), config, &OverheadModel::default())
+        .unwrap()
         .makespan
         .as_secs_f64()
 }

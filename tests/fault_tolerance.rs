@@ -1,0 +1,269 @@
+//! Integration tests of the fault-tolerance subsystem (paper §3.1): a
+//! deterministically injected worker failure must be detected by the ring
+//! heartbeat, its lost work re-executed on the survivors, and the final
+//! results must be byte-identical to a failure-free run — in **both**
+//! execution backends, which must also agree on the recovered task sets.
+
+use ompc::prelude::*;
+use ompc::sched::TaskGraph;
+use ompc::sim::ClusterConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn fault_config(plan: FaultPlan) -> OmpcConfig {
+    OmpcConfig { fault_plan: plan, ..OmpcConfig::small() }
+}
+
+/// Run the paper's Listing-1-style chain (`foo` then `bar` on one vector)
+/// on a two-worker device, optionally killing `victim` right after its
+/// `kill_after`-th task completion. Returns the final host buffer and the
+/// run record.
+fn run_listing1_chain(fault: Option<(usize, usize)>) -> (Vec<f64>, RunRecord) {
+    let plan = match fault {
+        Some((victim, kill_after)) => FaultPlan::none().fail_after_completions(victim, kill_after),
+        None => FaultPlan::none(),
+    };
+    let mut device = ClusterDevice::with_config(2, fault_config(plan));
+    let plus_one = device.register_kernel_fn("plus-one", 1e-5, |args| {
+        let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+        args.set_f64s(0, &v);
+    });
+    let times_ten = device.register_kernel_fn("times-ten", 1e-5, |args| {
+        let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x * 10.0).collect();
+        args.set_f64s(0, &v);
+    });
+    let mut region = device.target_region();
+    let a = region.map_to_f64s(&[1.0, 2.0, 3.0, 4.0]);
+    region.target(plus_one, vec![Dependence::inout(a)]);
+    region.target(times_ten, vec![Dependence::inout(a)]);
+    region.map_from(a);
+    region.run().unwrap();
+    let result = device.buffer_f64s(a).unwrap();
+    let record = device.last_run_record().expect("the device executed a region");
+    device.shutdown();
+    (result, record)
+}
+
+#[test]
+fn threaded_region_survives_a_mid_region_failure_with_identical_buffers() {
+    // Failure-free baseline, and the node HEFT placed the chain on.
+    let (clean, clean_record) = run_listing1_chain(None);
+    assert_eq!(clean, vec![20.0, 30.0, 40.0, 50.0]);
+    assert!(clean_record.failures.is_empty());
+    let victim = clean_record.assignment[1];
+    assert!(victim >= 1, "foo must run on a worker");
+
+    // Kill the victim after its second completion: enter-data and foo have
+    // retired there, bar's work is lost mid-region.
+    let (recovered, record) = run_listing1_chain(Some((victim, 2)));
+    assert_eq!(recovered, clean, "recovery must reproduce the failure-free bytes");
+    assert_eq!(record.failures.len(), 1);
+    assert_eq!(record.failures[0].node, victim);
+    assert!(record.failures[0].detected_at >= record.failures[0].silenced_at);
+    assert!(record.failures[0].lost_buffers >= 1, "the chain's buffer died with the node");
+    // The lost lineage (enter-data + foo at least) re-executed.
+    assert!(record.reexecuted.contains(&0) && record.reexecuted.contains(&1));
+    // Recovery moved the affected tasks off the dead node.
+    assert!(!record.replanned.is_empty());
+    assert!(record.replanned.iter().all(|r| r.from == victim && r.to != victim));
+}
+
+#[test]
+fn threaded_region_recovers_with_full_replan_too() {
+    let (clean, clean_record) = run_listing1_chain(None);
+    let victim = clean_record.assignment[1];
+    let plan = FaultPlan::none().fail_after_completions(victim, 2);
+    let config = OmpcConfig { replan_on_failure: true, ..fault_config(plan) };
+    let mut device = ClusterDevice::with_config(2, config);
+    let plus_one = device.register_kernel_fn("plus-one", 1e-5, |args| {
+        let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+        args.set_f64s(0, &v);
+    });
+    let times_ten = device.register_kernel_fn("times-ten", 1e-5, |args| {
+        let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x * 10.0).collect();
+        args.set_f64s(0, &v);
+    });
+    let mut region = device.target_region();
+    let a = region.map_to_f64s(&[1.0, 2.0, 3.0, 4.0]);
+    region.target(plus_one, vec![Dependence::inout(a)]);
+    region.target(times_ten, vec![Dependence::inout(a)]);
+    region.map_from(a);
+    region.run().unwrap();
+    assert_eq!(device.buffer_f64s(a).unwrap(), clean);
+    let record = device.last_run_record().unwrap();
+    assert_eq!(record.failures.len(), 1);
+    assert!(record.replanned.iter().all(|r| r.to != victim), "HEFT replan avoids the dead node");
+    device.shutdown();
+}
+
+/// The backend-equivalence property under failure: for the same seeded
+/// chain, the same explicit plan, and the same injected failure, the
+/// simulated and threaded backends must retire tasks in the same order and
+/// recover exactly the same task sets.
+#[test]
+fn backends_recover_the_same_tasks_from_the_same_failure() {
+    let n = 8usize;
+    let mut g = TaskGraph::new();
+    for _ in 0..n {
+        g.add_task(0.02);
+    }
+    for t in 1..n {
+        g.add_edge(t - 1, t, 32 * 1024);
+    }
+    let workload = WorkloadGraph::new(g, vec![32 * 1024; n]);
+    // First half of the chain on worker 1 (which dies after two
+    // retirements), second half on worker 2.
+    let assignment: Vec<NodeId> = (0..n).map(|t| if t < n / 2 { 1 } else { 2 }).collect();
+    let mut config = fault_config(FaultPlan::none().fail_after_completions(1, 2));
+    config.max_inflight_tasks = Some(1);
+    let plan = RuntimePlan { assignment, window: config.inflight_window() };
+
+    let (_, sim_record) = simulate_ompc_with_plan(
+        &workload,
+        &ClusterConfig::santos_dumont(3),
+        &config,
+        &OverheadModel::default(),
+        &plan,
+    )
+    .unwrap();
+
+    let mut device = ClusterDevice::with_config(2, config);
+    let threaded_record = device.run_workload(&workload, &plan).unwrap();
+    device.shutdown();
+
+    for (name, record) in [("sim", &sim_record), ("threaded", &threaded_record)] {
+        assert_eq!(record.failures.len(), 1, "{name}: exactly one declared failure");
+        assert_eq!(record.failures[0].node, 1, "{name}");
+        // Every task's final retirement exists exactly once.
+        let mut retired: Vec<usize> = record.completion_order.clone();
+        retired.sort_unstable();
+        retired.dedup();
+        assert_eq!(retired, (0..n).collect::<Vec<_>>(), "{name}: every task must retire");
+    }
+    // The backends agree on every recovery decision (timing aside).
+    assert_eq!(
+        sim_record.completion_order, threaded_record.completion_order,
+        "backends disagree on the retirement order under failure"
+    );
+    assert_eq!(
+        sim_record.reexecuted, threaded_record.reexecuted,
+        "backends disagree on the re-executed task set"
+    );
+    assert_eq!(
+        sim_record.replanned, threaded_record.replanned,
+        "backends disagree on the recovery reassignment"
+    );
+    assert_eq!(sim_record.assignment, threaded_record.assignment);
+    assert_eq!(sim_record.failures[0].lost_buffers, threaded_record.failures[0].lost_buffers);
+    assert_eq!(sim_record.failures[0].lineage_tasks, threaded_record.failures[0].lineage_tasks);
+    // The lost lineage (tasks 0 and 1 completed on the dead node) re-ran.
+    assert!(sim_record.reexecuted.contains(&0) && sim_record.reexecuted.contains(&1));
+}
+
+#[test]
+fn worker_less_cluster_is_rejected_with_a_clear_error() {
+    let mut g = TaskGraph::new();
+    g.add_task(0.01);
+    let workload = WorkloadGraph::new(g, vec![1024]);
+    let err = simulate_ompc(
+        &workload,
+        &ClusterConfig::santos_dumont(1),
+        &OmpcConfig::default(),
+        &OverheadModel::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, OmpcError::InvalidConfig(_)), "got {err:?}");
+    assert!(err.to_string().contains("no worker nodes"), "unclear message: {err}");
+}
+
+#[test]
+fn cancellation_stops_tasks_queued_behind_a_failure() {
+    // One head pool thread and a wide-open window: the failing task and all
+    // counting tasks are queued into the pool together, the failing task
+    // first. Without the cancellation flag every counter would still
+    // execute before the error propagates; with it, none do.
+    let config =
+        OmpcConfig { head_worker_threads: 1, max_inflight_tasks: Some(256), ..OmpcConfig::small() };
+    let device = ClusterDevice::with_config(2, config);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let count = {
+        let counter = Arc::clone(&counter);
+        device.register_kernel_fn("count", 1e-6, move |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        })
+    };
+    let noop = device.register_kernel_fn("noop", 1e-6, |_| {});
+
+    let mut region = device.target_region();
+    // The first task reads a buffer that was never mapped: its input
+    // forwarding fails on the head node before the kernel can run.
+    region.target(noop, vec![Dependence::input(BufferId(424_242))]);
+    let buffers: Vec<BufferId> = (0..32).map(|i| region.map_to_f64s(&[i as f64])).collect();
+    for &b in &buffers {
+        region.target(count, vec![Dependence::inout(b)]);
+    }
+    let err = region.run().unwrap_err();
+    assert!(matches!(err, OmpcError::UnknownBuffer(_)), "{err:?}");
+    assert_eq!(
+        counter.load(Ordering::SeqCst),
+        0,
+        "tasks queued behind the failed task must not execute"
+    );
+}
+
+#[test]
+fn cancellation_never_masks_the_root_cause_error() {
+    // With several pool threads, a task skipped by the cancellation flag
+    // can report its synthetic error before the task that actually failed
+    // reports the real one; the run must still surface the root cause.
+    let config =
+        OmpcConfig { head_worker_threads: 4, max_inflight_tasks: Some(256), ..OmpcConfig::small() };
+    let device = ClusterDevice::with_config(2, config);
+    let noop = device.register_kernel_fn("noop", 1e-6, |_| {});
+    let mut region = device.target_region();
+    region.target(noop, vec![Dependence::input(BufferId(424_242))]);
+    let buffers: Vec<BufferId> = (0..32).map(|i| region.map_to_f64s(&[i as f64])).collect();
+    for &b in &buffers {
+        region.target(noop, vec![Dependence::inout(b)]);
+    }
+    let err = region.run().unwrap_err();
+    assert!(matches!(err, OmpcError::UnknownBuffer(_)), "root cause lost: {err:?}");
+}
+
+#[test]
+fn device_stays_usable_after_a_failure_in_an_earlier_region() {
+    let (_, clean_record) = run_listing1_chain(None);
+    let victim = clean_record.assignment[1];
+    let plan = FaultPlan::none().fail_after_completions(victim, 2);
+    let mut device = ClusterDevice::with_config(2, fault_config(plan));
+    let bump = device.register_kernel_fn("bump", 1e-5, |args| {
+        let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+        args.set_f64s(0, &v);
+    });
+
+    // Region 1: the victim dies mid-region; recovery completes the region.
+    let mut region = device.target_region();
+    let a = region.map_to_f64s(&[1.0, 2.0]);
+    region.target(bump, vec![Dependence::inout(a)]);
+    region.target(bump, vec![Dependence::inout(a)]);
+    region.map_from(a);
+    region.run().unwrap();
+    assert_eq!(device.buffer_f64s(a).unwrap(), vec![3.0, 4.0]);
+    assert_eq!(device.alive_workers(), vec![3 - victim], "one worker survived");
+
+    // Region 2: planned exclusively over the survivor; the dead node stays
+    // excommunicated for the rest of the device lifetime.
+    let mut region = device.target_region();
+    let b = region.map_to_f64s(&[10.0]);
+    region.target(bump, vec![Dependence::inout(b)]);
+    region.map_from(b);
+    region.run().unwrap();
+    assert_eq!(device.buffer_f64s(b).unwrap(), vec![11.0]);
+    let record = device.last_run_record().unwrap();
+    assert!(
+        record.assignment.iter().all(|&n| n != victim),
+        "region 2 must avoid the dead node: {:?}",
+        record.assignment
+    );
+    device.shutdown();
+}

@@ -53,7 +53,8 @@ fn simulated_ompc_respects_critical_path() {
         let workload = generate_workload(&config);
         let cluster = ClusterConfig::santos_dumont(5);
         let result =
-            simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+            simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default())
+                .unwrap();
         assert_eq!(result.stats.total_tasks(), workload.len() as u64, "seed {seed}");
         let critical = workload.graph.critical_path_cost();
         assert!(
@@ -98,9 +99,11 @@ fn simulation_is_deterministic() {
         let workload = generate_workload(&config);
         let cluster = ClusterConfig::santos_dumont(4);
         let a =
-            simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+            simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default())
+                .unwrap();
         let b =
-            simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default());
+            simulate_ompc(&workload, &cluster, &OmpcConfig::default(), &OverheadModel::default())
+                .unwrap();
         assert_eq!(a, b, "seed {seed}: simulation not deterministic");
     }
 }
