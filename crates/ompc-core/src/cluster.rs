@@ -16,7 +16,7 @@ use crate::kernel::{Kernel, KernelArgs, KernelRegistry};
 use crate::model::WorkloadGraph;
 use crate::region::TargetRegion;
 use crate::runtime::fault::{FaultPlan, FaultState};
-use crate::runtime::{RunRecord, RuntimeCore, RuntimePlan, ThreadedBackend};
+use crate::runtime::{HeadWorkerPool, RunRecord, RuntimeCore, RuntimePlan, ThreadedBackend};
 use crate::stats::{DeviceReport, RegionReport};
 use crate::task::{RegionGraph, TaskKind};
 use crate::types::{BufferId, Dependence, KernelId, NodeId, OmpcError, OmpcResult};
@@ -62,6 +62,11 @@ pub struct ClusterDevice {
     config: OmpcConfig,
     num_workers: usize,
     worker_handles: Vec<JoinHandle<()>>,
+    /// Long-lived head worker pool, sized lazily per region
+    /// (`min(head_worker_threads, window, tasks)`, growing to the largest
+    /// region seen) and reused across region executions; drained on
+    /// shutdown/drop.
+    pool: HeadWorkerPool,
     report: Mutex<DeviceReport>,
     /// Decision record of the most recent region / workload execution,
     /// including any failure and recovery events.
@@ -96,7 +101,10 @@ impl ClusterDevice {
                     .expect("failed to spawn worker node thread"),
             );
         }
-        let events = Arc::new(EventSystem::new(world.communicator(HEAD_NODE)));
+        let events = Arc::new(EventSystem::with_reply_timeout(
+            world.communicator(HEAD_NODE),
+            config.event_reply_timeout_ms.map(std::time::Duration::from_millis),
+        ));
         let startup_time = start.elapsed();
         Self {
             world,
@@ -107,6 +115,7 @@ impl ClusterDevice {
             config,
             num_workers,
             worker_handles,
+            pool: HeadWorkerPool::new(),
             report: Mutex::new(DeviceReport { startup_time, ..DeviceReport::default() }),
             last_record: Mutex::new(None),
             workload_kernel: std::sync::OnceLock::new(),
@@ -117,6 +126,15 @@ impl ClusterDevice {
     /// Number of worker nodes.
     pub fn num_workers(&self) -> usize {
         self.num_workers
+    }
+
+    /// Number of threads currently alive in the long-lived head worker
+    /// pool. The pool grows lazily to `min(head_worker_threads, window,
+    /// tasks)` of the largest region executed so far and is reused across
+    /// regions — repeated small regions never pay per-region spawn/join
+    /// churn.
+    pub fn pool_threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// The runtime configuration.
@@ -189,14 +207,18 @@ impl ClusterDevice {
         (1..=self.num_workers).filter(|&n| !dm.is_failed(n)).collect()
     }
 
-    /// Shut the cluster down: workers receive shutdown events and their
-    /// threads are joined. Called automatically on drop.
+    /// Shut the cluster down: the head worker pool drains (in-flight jobs
+    /// finish, pool threads are joined), then workers receive shutdown
+    /// events and their threads are joined. Called automatically on drop.
     pub fn shutdown(&mut self) {
         if self.shut_down {
             return;
         }
         self.shut_down = true;
         let start = Instant::now();
+        // Drain the pool before the workers go away: pool jobs talk to the
+        // workers through the event system.
+        self.pool.drain();
         for node in 1..=self.num_workers {
             let _ = self.events.shutdown(node);
         }
@@ -219,6 +241,7 @@ impl ClusterDevice {
         if graph.is_empty() {
             return Ok(RegionReport::default());
         }
+        let graph = Arc::new(graph);
         let sched_start = Instant::now();
         // Plan over the workers that are still alive: a node declared
         // failed in an earlier region stays excommunicated for the rest of
@@ -261,7 +284,7 @@ impl ClusterDevice {
         let bytes_before = self.events.counters().bytes_moved.load(Ordering::Relaxed);
 
         let exec_start = Instant::now();
-        let record = self.execute_planned(&graph, &host_fns, &plan)?;
+        let record = self.execute_planned(Arc::clone(&graph), host_fns, &plan)?;
         let execution_time = exec_start.elapsed();
 
         let report = RegionReport {
@@ -284,8 +307,8 @@ impl ClusterDevice {
     /// decision record.
     fn execute_planned(
         &self,
-        graph: &RegionGraph,
-        host_fns: &HashMap<usize, HostFn>,
+        graph: Arc<RegionGraph>,
+        host_fns: HashMap<usize, HostFn>,
         plan: &RuntimePlan,
     ) -> OmpcResult<RunRecord> {
         // Triggers naming a node that already died in an earlier region
@@ -301,6 +324,7 @@ impl ClusterDevice {
                     .copied()
                     .filter(|e| !dm.is_failed(e.node))
                     .collect(),
+                task_errors: self.config.fault_plan.task_errors.clone(),
             }
         };
         let faults = FaultState::from_config(
@@ -311,13 +335,14 @@ impl ClusterDevice {
         )?
         .map(|f| f.with_replan(self.config.replan_on_failure));
         let mut core = match faults {
-            Some(faults) => RuntimeCore::with_faults(graph, plan, faults),
-            None => RuntimeCore::new(graph, plan),
+            Some(faults) => RuntimeCore::with_faults(graph.as_ref(), plan, faults),
+            None => RuntimeCore::new(graph.as_ref(), plan),
         };
         let backend = ThreadedBackend::new(
-            &self.events,
-            &self.buffers,
-            &self.dm,
+            &self.pool,
+            Arc::clone(&self.events),
+            Arc::clone(&self.buffers),
+            Arc::clone(&self.dm),
             graph,
             host_fns,
             &self.config,
@@ -340,6 +365,30 @@ impl ClusterDevice {
     /// virtual cluster. This is the entry point of the backend-equivalence
     /// tests: both backends must make identical scheduling and dispatch
     /// decisions for the same workload and plan.
+    ///
+    /// A worker-side failure during the run (e.g. an injected task error)
+    /// returns the propagated [`OmpcError`] instead of hanging; the partial
+    /// decision record stays available through
+    /// [`ClusterDevice::last_run_record`].
+    ///
+    /// ```
+    /// use ompc_core::model::WorkloadGraph;
+    /// use ompc_core::prelude::*;
+    ///
+    /// let mut graph = ompc_sched::TaskGraph::new();
+    /// for _ in 0..3 {
+    ///     graph.add_task(0.001);
+    /// }
+    /// graph.add_edge(0, 1, 64);
+    /// graph.add_edge(1, 2, 64);
+    /// let workload = WorkloadGraph::new(graph, vec![64; 3]);
+    ///
+    /// let mut device = ClusterDevice::spawn(2);
+    /// let plan = RuntimePlan { assignment: vec![1, 1, 2], window: 4 };
+    /// let record = device.run_workload(&workload, &plan).unwrap();
+    /// assert_eq!(record.completion_order, vec![0, 1, 2]);
+    /// device.shutdown();
+    /// ```
     pub fn run_workload(
         &self,
         workload: &WorkloadGraph,
@@ -379,8 +428,7 @@ impl ClusterDevice {
                 }
             }
         }
-        let host_fns = HashMap::new();
-        let record = self.execute_planned(&region, &host_fns, plan);
+        let record = self.execute_planned(Arc::new(region), HashMap::new(), plan);
         // The materialized buffers are private to this run: release their
         // device copies, data-manager entries, and host copies so repeated
         // `run_workload` calls on one device do not accumulate state.

@@ -42,16 +42,37 @@ impl SchedulerKind {
 
 /// Configuration of a [`crate::cluster::ClusterDevice`] (real threaded mode)
 /// and of the simulated OMPC runtime.
+///
+/// Build one by updating the defaults:
+///
+/// ```
+/// use ompc_core::config::{OmpcConfig, SchedulerKind};
+///
+/// let config = OmpcConfig {
+///     head_worker_threads: 8,
+///     max_inflight_tasks: Some(32),
+///     scheduler: SchedulerKind::Heft,
+///     ..OmpcConfig::default()
+/// };
+/// assert_eq!(config.inflight_window(), 32);
+/// // The head pool is sized min(threads, window, tasks): a 4-task region
+/// // on this config uses 4 pool threads, a 100-task region uses 8.
+/// assert_eq!(config.head_worker_threads.min(config.inflight_window()).min(4), 4);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct OmpcConfig {
     /// Number of event-handler threads per worker node (paper §4.2).
     pub event_handler_threads: usize,
-    /// Number of head-node worker threads. In LLVM's libomptarget one
+    /// Upper bound of the head-node worker pool. In LLVM's libomptarget one
     /// OpenMP thread blocks per in-flight `target nowait` region, so the
     /// paper's runtime can keep at most this many target tasks in flight —
     /// the limitation it identifies as the main scalability bottleneck (§7).
     /// In this runtime the thread-pool size and the dispatch window are
-    /// decoupled: see [`OmpcConfig::max_inflight_tasks`].
+    /// decoupled (see [`OmpcConfig::max_inflight_tasks`]), and the pool
+    /// itself is **long-lived**: the device spawns
+    /// `min(head_worker_threads, window, tasks)` threads lazily for the
+    /// largest region seen so far and reuses them across region
+    /// executions instead of spawning/joining a fresh pool per region.
     pub head_worker_threads: usize,
     /// Size of the pipelined dispatch window: how many target regions the
     /// unified execution core keeps in flight at once, overlapping their
@@ -95,6 +116,19 @@ pub struct OmpcConfig {
     /// Number of consecutive missed heartbeat periods after which a silent
     /// node is declared failed.
     pub heartbeat_miss_threshold: u32,
+    /// Upper bound (milliseconds) on any single wait for an event reply in
+    /// the threaded backend, or `None` to wait forever. The event-reply
+    /// protocol guarantees every event is answered — success or typed
+    /// error — so this is a last line of defence against a reply that can
+    /// never arrive (e.g. a worker thread that died without answering);
+    /// hitting it surfaces as an [`crate::types::OmpcError::Communication`]
+    /// instead of a hang. `None` by default — a kernel is allowed to run
+    /// arbitrarily long — and set to 60 s in [`OmpcConfig::small`], the
+    /// test configuration, where kernels are tiny and a lost reply should
+    /// fail the suite fast. When enabling it for production runs, budget
+    /// for the slowest kernel plus queueing delay on the worker's handler
+    /// pool.
+    pub event_reply_timeout_ms: Option<u64>,
 }
 
 impl Default for OmpcConfig {
@@ -115,6 +149,7 @@ impl Default for OmpcConfig {
             replan_on_failure: false,
             heartbeat_period_ms: 10,
             heartbeat_miss_threshold: 3,
+            event_reply_timeout_ms: None,
         }
     }
 }
@@ -136,6 +171,7 @@ impl OmpcConfig {
             replan_on_failure: false,
             heartbeat_period_ms: 10,
             heartbeat_miss_threshold: 3,
+            event_reply_timeout_ms: Some(60_000),
         }
     }
 

@@ -4,15 +4,24 @@
 //! fresh tag, picks a communicator round-robin, sends a new-event
 //! notification to the destination's gate thread, exchanges any payload
 //! messages on the `(tag, communicator)` channel, and finally waits for the
-//! completion notification on that same channel. Because the tag is unique
-//! per event and shared only with the destination, concurrent events cannot
-//! cross-talk even though many head worker threads issue them at the same
-//! time.
+//! **typed reply** ([`crate::protocol::EventReply`]) on that same channel.
+//! Because the tag is unique per event and shared only with the
+//! destination, concurrent events cannot cross-talk even though many head
+//! worker threads issue them at the same time.
+//!
+//! A reply is either `Ok(payload)` or `Err(OmpcError)`: worker-side handler
+//! failures (unregistered kernels, missing buffers, killed nodes) come back
+//! as [`crate::types::OmpcError::RemoteEvent`] values naming the origin
+//! node and event tag, never as a silently missing completion. As a last
+//! line of defence against a reply that can never arrive (a worker thread
+//! that died without answering), every wait is additionally bounded by
+//! [`crate::config::OmpcConfig::event_reply_timeout_ms`].
 
-use crate::protocol::{EventNotification, EventRequest, CONTROL_TAG, FIRST_EVENT_TAG};
+use crate::protocol::{EventNotification, EventReply, EventRequest, CONTROL_TAG, FIRST_EVENT_TAG};
 use crate::types::{BufferId, KernelId, NodeId, OmpcResult};
 use ompc_mpi::{CommId, Communicator, Tag};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Counters describing the event traffic of a device lifetime.
 #[derive(Debug, Default)]
@@ -41,12 +50,38 @@ pub struct EventSystem {
     comm: Communicator,
     next_tag: AtomicU64,
     counters: EventCounters,
+    /// Upper bound on any single reply wait; `None` waits forever.
+    reply_timeout: Option<Duration>,
 }
 
 impl EventSystem {
-    /// Create an event system over the head node's world communicator.
+    /// Create an event system over the head node's world communicator, with
+    /// reply waits unbounded.
     pub fn new(comm: Communicator) -> Self {
-        Self { comm, next_tag: AtomicU64::new(FIRST_EVENT_TAG), counters: EventCounters::default() }
+        Self::with_reply_timeout(comm, None)
+    }
+
+    /// [`EventSystem::new`] with an explicit bound on every reply wait.
+    pub fn with_reply_timeout(comm: Communicator, reply_timeout: Option<Duration>) -> Self {
+        Self {
+            comm,
+            next_tag: AtomicU64::new(FIRST_EVENT_TAG),
+            counters: EventCounters::default(),
+            reply_timeout,
+        }
+    }
+
+    /// Wait for the typed reply of the event on `(tag, comm)` from `node`
+    /// and convert it into the event's result. Worker-side errors arrive
+    /// as decoded [`crate::types::OmpcError::RemoteEvent`] values; a timed-out or
+    /// undeliverable reply is a [`crate::types::OmpcError::Communication`].
+    fn await_reply(&self, node: NodeId, tag: Tag, comm: CommId) -> OmpcResult<Vec<u8>> {
+        let channel = self.comm.on(comm)?;
+        let msg = match self.reply_timeout {
+            Some(timeout) => channel.recv_timeout(Some(node), Some(tag), timeout)?,
+            None => channel.recv(Some(node), Some(tag))?,
+        };
+        EventReply::decode(&msg.data)?.into_result()
     }
 
     /// Traffic counters (events issued, data events, bytes).
@@ -68,7 +103,7 @@ impl EventSystem {
         Ok(())
     }
 
-    /// Allocate `size` bytes for `buffer` on `node` and wait for completion.
+    /// Allocate `size` bytes for `buffer` on `node` and wait for the reply.
     pub fn alloc(&self, node: NodeId, buffer: BufferId, size: usize) -> OmpcResult<()> {
         let (tag, comm) = self.open_channel();
         self.notify(
@@ -79,25 +114,25 @@ impl EventSystem {
                 comm,
             },
         )?;
-        self.comm.on(comm)?.recv(Some(node), Some(tag))?;
+        self.await_reply(node, tag, comm)?;
         self.counters.record(None);
         Ok(())
     }
 
-    /// Free `buffer` on `node` and wait for completion.
+    /// Free `buffer` on `node` and wait for the reply.
     pub fn delete(&self, node: NodeId, buffer: BufferId) -> OmpcResult<()> {
         let (tag, comm) = self.open_channel();
         self.notify(
             node,
             &EventNotification { request: EventRequest::Delete { buffer }, tag, comm },
         )?;
-        self.comm.on(comm)?.recv(Some(node), Some(tag))?;
+        self.await_reply(node, tag, comm)?;
         self.counters.record(None);
         Ok(())
     }
 
-    /// Copy `data` into `buffer` on `node` (host → worker) and wait for
-    /// completion.
+    /// Copy `data` into `buffer` on `node` (host → worker) and wait for the
+    /// reply.
     pub fn submit(&self, node: NodeId, buffer: BufferId, data: Vec<u8>) -> OmpcResult<()> {
         let (tag, comm) = self.open_channel();
         let bytes = data.len() as u64;
@@ -105,9 +140,8 @@ impl EventSystem {
             node,
             &EventNotification { request: EventRequest::Submit { buffer }, tag, comm },
         )?;
-        let channel = self.comm.on(comm)?;
-        channel.send(node, tag, data)?;
-        channel.recv(Some(node), Some(tag))?;
+        self.comm.on(comm)?.send(node, tag, data)?;
+        self.await_reply(node, tag, comm)?;
         self.counters.record(Some(bytes));
         Ok(())
     }
@@ -119,14 +153,17 @@ impl EventSystem {
             node,
             &EventNotification { request: EventRequest::Retrieve { buffer }, tag, comm },
         )?;
-        let msg = self.comm.on(comm)?.recv(Some(node), Some(tag))?;
-        self.counters.record(Some(msg.data.len() as u64));
-        Ok(msg.data)
+        let data = self.await_reply(node, tag, comm)?;
+        self.counters.record(Some(data.len() as u64));
+        Ok(data)
     }
 
     /// Forward `buffer` directly from worker `from` to worker `to` without
-    /// staging it on the head node, and wait for the receiver's completion.
-    /// Returns the number of bytes the receiver acknowledged.
+    /// staging it on the head node, and wait for the receiver's reply.
+    /// Returns the number of bytes the receiver acknowledged. A failure of
+    /// the *sending* half travels through the receiver (the sender forwards
+    /// its error envelope instead of the data), so the head never hangs on
+    /// a half-completed exchange.
     pub fn exchange(&self, from: NodeId, to: NodeId, buffer: BufferId) -> OmpcResult<u64> {
         let (tag, comm) = self.open_channel();
         self.notify(
@@ -137,16 +174,17 @@ impl EventSystem {
             from,
             &EventNotification { request: EventRequest::ExchangeSend { buffer, to }, tag, comm },
         )?;
-        let ack = self.comm.on(comm)?.recv(Some(to), Some(tag))?;
-        let bytes = u64::from_le_bytes(
-            ack.data.get(..8).unwrap_or(&[0u8; 8]).try_into().unwrap_or([0u8; 8]),
-        );
+        let ack = self.await_reply(to, tag, comm)?;
+        let bytes =
+            u64::from_le_bytes(ack.get(..8).unwrap_or(&[0u8; 8]).try_into().unwrap_or([0u8; 8]));
         self.counters.record(Some(bytes));
         Ok(bytes)
     }
 
     /// Run `kernel` on `node` against its device copies of `buffers` and
-    /// wait for completion.
+    /// wait for the reply. An unregistered kernel comes back as
+    /// [`crate::types::OmpcError::RemoteEvent`] wrapping
+    /// [`crate::types::OmpcError::UnknownKernel`] — not as a hang.
     pub fn execute(
         &self,
         node: NodeId,
@@ -158,8 +196,18 @@ impl EventSystem {
             node,
             &EventNotification { request: EventRequest::Execute { kernel, buffers }, tag, comm },
         )?;
-        self.comm.on(comm)?.recv(Some(node), Some(tag))?;
+        self.await_reply(node, tag, comm)?;
         self.counters.record(None);
+        Ok(())
+    }
+
+    /// Kill `node`'s event loop for real (failure injection): the node
+    /// stops executing events and answers every later one with an error
+    /// reply. Fire-and-forget — the injector must not block on the node it
+    /// just declared dead.
+    pub fn kill(&self, node: NodeId) -> OmpcResult<()> {
+        let (tag, comm) = self.open_channel();
+        self.notify(node, &EventNotification { request: EventRequest::Kill, tag, comm })?;
         Ok(())
     }
 

@@ -89,12 +89,12 @@ pub mod prelude {
     pub use crate::model::WorkloadGraph;
     pub use crate::region::TargetRegion;
     pub use crate::runtime::{
-        ExecutionBackend, FailureRecord, FaultPlan, FaultTrigger, ReplanEntry, RunRecord,
-        RuntimeCore, RuntimePlan, SimBackend, ThreadedBackend,
+        ExecutionBackend, FailureRecord, FaultPlan, FaultTrigger, HeadWorkerPool, ReplanEntry,
+        RunRecord, RuntimeCore, RuntimePlan, SimBackend, TaskEvent, ThreadedBackend,
     };
     pub use crate::sim_runtime::{
-        sim_plan, simulate_ompc, simulate_ompc_recorded, simulate_ompc_traced,
-        simulate_ompc_with_plan, OmpcSimResult,
+        sim_plan, simulate_ompc, simulate_ompc_outcome, simulate_ompc_recorded,
+        simulate_ompc_traced, simulate_ompc_with_plan, OmpcSimResult,
     };
     pub use crate::stats::{DeviceReport, RegionReport};
     pub use crate::task::{RegionGraph, TaskKind};

@@ -5,6 +5,14 @@
 //! the event kind, its operands, and the `(tag, communicator)` pair that all
 //! subsequent messages of this event will use — this is how the paper's
 //! event system guarantees an exclusive channel per event (§4.2).
+//!
+//! Every dispatched event also produces exactly one **typed reply** on its
+//! exclusive channel, an [`EventReply`]: `Ok(payload)` on success or
+//! `Err(OmpcError)` when the handler failed. The error reply carries the
+//! originating node and the event tag (wrapped as
+//! [`OmpcError::RemoteEvent`]), so a worker-side failure — an unregistered
+//! kernel, a missing buffer, a killed node — surfaces on the head node as a
+//! propagated error instead of a reply that never arrives.
 
 use crate::types::{BufferId, KernelId, NodeId, OmpcError, OmpcResult};
 use ompc_mpi::{CommId, Tag};
@@ -42,6 +50,13 @@ pub enum EventRequest {
     Execute { kernel: KernelId, buffers: Vec<BufferId> },
     /// Leave the gate loop and terminate the worker.
     Shutdown,
+    /// Kill the worker's event loop for real (failure injection): the node
+    /// stops executing events and answers every later one with an error
+    /// reply, so in-flight peers never hang on it. Only [`Shutdown`]
+    /// terminates the gate loop afterwards.
+    ///
+    /// [`Shutdown`]: EventRequest::Shutdown
+    Kill,
 }
 
 impl EventRequest {
@@ -56,6 +71,7 @@ impl EventRequest {
             EventRequest::ExchangeRecv { .. } => "exchange-recv",
             EventRequest::Execute { .. } => "execute",
             EventRequest::Shutdown => "shutdown",
+            EventRequest::Kill => "kill",
         }
     }
 }
@@ -86,6 +102,13 @@ impl Writer {
     }
     fn u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.0.extend_from_slice(b);
     }
 }
 
@@ -124,6 +147,22 @@ impl<'a> Reader<'a> {
         self.pos = end;
         Ok(u64::from_le_bytes(slice.try_into().expect("8-byte slice")))
     }
+    fn string(&mut self) -> OmpcResult<String> {
+        let len = self.u32()? as usize;
+        let end = self.pos + len;
+        let slice = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| OmpcError::Internal("truncated notification".to_string()))?;
+        self.pos = end;
+        String::from_utf8(slice.to_vec())
+            .map_err(|_| OmpcError::Internal("non-UTF-8 string in reply".to_string()))
+    }
+    fn rest(&mut self) -> Vec<u8> {
+        let rest = self.data.get(self.pos..).unwrap_or_default().to_vec();
+        self.pos = self.data.len();
+        rest
+    }
 }
 
 const KIND_ALLOC: u8 = 1;
@@ -134,6 +173,7 @@ const KIND_EXCHANGE_SEND: u8 = 5;
 const KIND_EXCHANGE_RECV: u8 = 6;
 const KIND_EXECUTE: u8 = 7;
 const KIND_SHUTDOWN: u8 = 8;
+const KIND_KILL: u8 = 9;
 
 impl EventNotification {
     /// Serialize the notification for transmission on the control tag.
@@ -180,6 +220,9 @@ impl EventNotification {
             EventRequest::Shutdown => {
                 w.u8(KIND_SHUTDOWN);
             }
+            EventRequest::Kill => {
+                w.u8(KIND_KILL);
+            }
         }
         w.0
     }
@@ -211,11 +254,148 @@ impl EventNotification {
                 EventRequest::Execute { kernel, buffers }
             }
             KIND_SHUTDOWN => EventRequest::Shutdown,
+            KIND_KILL => EventRequest::Kill,
             other => {
                 return Err(OmpcError::Internal(format!("unknown event kind {other}")));
             }
         };
         Ok(Self { request, tag, comm })
+    }
+}
+
+/// Status byte of a successful [`EventReply`].
+const REPLY_OK: u8 = 0;
+/// Status byte of a failed [`EventReply`].
+const REPLY_ERR: u8 = 1;
+
+const ERR_UNKNOWN_BUFFER: u8 = 1;
+const ERR_UNKNOWN_KERNEL: u8 = 2;
+const ERR_REGION_ALREADY_RUN: u8 = 3;
+const ERR_COMMUNICATION: u8 = 4;
+const ERR_NODE_FAILURE: u8 = 5;
+const ERR_INVALID_CONFIG: u8 = 6;
+const ERR_SHUT_DOWN: u8 = 7;
+const ERR_INTERNAL: u8 = 8;
+const ERR_REMOTE_EVENT: u8 = 9;
+
+fn encode_error(w: &mut Writer, error: &OmpcError) {
+    match error {
+        OmpcError::UnknownBuffer(b) => {
+            w.u8(ERR_UNKNOWN_BUFFER);
+            w.u64(b.0);
+        }
+        OmpcError::UnknownKernel(k) => {
+            w.u8(ERR_UNKNOWN_KERNEL);
+            w.u64(k.0 as u64);
+        }
+        OmpcError::RegionAlreadyRun => w.u8(ERR_REGION_ALREADY_RUN),
+        OmpcError::Communication(m) => {
+            w.u8(ERR_COMMUNICATION);
+            w.string(m);
+        }
+        OmpcError::NodeFailure(n) => {
+            w.u8(ERR_NODE_FAILURE);
+            w.u64(*n as u64);
+        }
+        OmpcError::InvalidConfig(m) => {
+            w.u8(ERR_INVALID_CONFIG);
+            w.string(m);
+        }
+        OmpcError::ShutDown => w.u8(ERR_SHUT_DOWN),
+        OmpcError::Internal(m) => {
+            w.u8(ERR_INTERNAL);
+            w.string(m);
+        }
+        OmpcError::RemoteEvent { node, event, error } => {
+            w.u8(ERR_REMOTE_EVENT);
+            w.u64(*node as u64);
+            w.u64(*event);
+            encode_error(w, error);
+        }
+    }
+}
+
+fn decode_error(r: &mut Reader<'_>) -> OmpcResult<OmpcError> {
+    Ok(match r.u8()? {
+        ERR_UNKNOWN_BUFFER => OmpcError::UnknownBuffer(BufferId(r.u64()?)),
+        ERR_UNKNOWN_KERNEL => OmpcError::UnknownKernel(KernelId(r.u64()? as usize)),
+        ERR_REGION_ALREADY_RUN => OmpcError::RegionAlreadyRun,
+        ERR_COMMUNICATION => OmpcError::Communication(r.string()?),
+        ERR_NODE_FAILURE => OmpcError::NodeFailure(r.u64()? as NodeId),
+        ERR_INVALID_CONFIG => OmpcError::InvalidConfig(r.string()?),
+        ERR_SHUT_DOWN => OmpcError::ShutDown,
+        ERR_INTERNAL => OmpcError::Internal(r.string()?),
+        ERR_REMOTE_EVENT => OmpcError::RemoteEvent {
+            node: r.u64()? as NodeId,
+            event: r.u64()?,
+            error: Box::new(decode_error(r)?),
+        },
+        other => return Err(OmpcError::Internal(format!("unknown error code {other}"))),
+    })
+}
+
+/// The typed reply every dispatched event produces on its exclusive
+/// channel: the success payload (completion data, byte counts, or empty),
+/// or the error the destination's handler raised. Workers wrap handler
+/// errors as [`OmpcError::RemoteEvent`] before replying, so the head node
+/// always learns *which* node and *which* event failed.
+///
+/// ```
+/// use ompc_core::protocol::EventReply;
+/// use ompc_core::types::{BufferId, OmpcError};
+///
+/// let ok = EventReply::Ok(vec![1, 2, 3]);
+/// assert_eq!(EventReply::decode(&ok.encode()).unwrap(), ok);
+///
+/// let err = EventReply::Err(OmpcError::RemoteEvent {
+///     node: 2,
+///     event: 41,
+///     error: Box::new(OmpcError::UnknownBuffer(BufferId(7))),
+/// });
+/// let decoded = EventReply::decode(&err.encode()).unwrap();
+/// assert_eq!(decoded.into_result().unwrap_err().origin_node(), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventReply {
+    /// The event completed; the payload is event-specific (often empty).
+    Ok(Vec<u8>),
+    /// The event failed on the destination node.
+    Err(OmpcError),
+}
+
+impl EventReply {
+    /// Serialize for transmission on the event channel.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            EventReply::Ok(payload) => {
+                w.u8(REPLY_OK);
+                w.bytes(payload);
+            }
+            EventReply::Err(error) => {
+                w.u8(REPLY_ERR);
+                encode_error(&mut w, error);
+            }
+        }
+        w.0
+    }
+
+    /// Parse a reply received on an event channel.
+    pub fn decode(data: &[u8]) -> OmpcResult<Self> {
+        let mut r = Reader::new(data);
+        match r.u8()? {
+            REPLY_OK => Ok(EventReply::Ok(r.rest())),
+            REPLY_ERR => Ok(EventReply::Err(decode_error(&mut r)?)),
+            other => Err(OmpcError::Internal(format!("unknown reply status {other}"))),
+        }
+    }
+
+    /// Convert into the `Result` the origin side consumes.
+    pub fn into_result(self) -> OmpcResult<Vec<u8>> {
+        match self {
+            EventReply::Ok(payload) => Ok(payload),
+            EventReply::Err(error) => Err(error),
+        }
     }
 }
 
@@ -242,6 +422,38 @@ mod tests {
             buffers: vec![BufferId(1), BufferId(2), BufferId(3)],
         });
         round_trip(EventRequest::Shutdown);
+        round_trip(EventRequest::Kill);
+    }
+
+    #[test]
+    fn replies_round_trip_ok_and_err() {
+        for reply in [
+            EventReply::Ok(Vec::new()),
+            EventReply::Ok(vec![0, 1, 2, 255]),
+            EventReply::Err(OmpcError::UnknownBuffer(BufferId(9))),
+            EventReply::Err(OmpcError::UnknownKernel(KernelId(3))),
+            EventReply::Err(OmpcError::NodeFailure(4)),
+            EventReply::Err(OmpcError::ShutDown),
+            EventReply::Err(OmpcError::RegionAlreadyRun),
+            EventReply::Err(OmpcError::Communication("lost".to_string())),
+            EventReply::Err(OmpcError::InvalidConfig("bad".to_string())),
+            EventReply::Err(OmpcError::Internal("oops".to_string())),
+            EventReply::Err(OmpcError::RemoteEvent {
+                node: 3,
+                event: 77,
+                error: Box::new(OmpcError::UnknownKernel(KernelId(12))),
+            }),
+        ] {
+            assert_eq!(EventReply::decode(&reply.encode()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn truncated_or_garbage_reply_is_an_error() {
+        assert!(EventReply::decode(&[]).is_err());
+        assert!(EventReply::decode(&[9]).is_err());
+        let err = EventReply::Err(OmpcError::Internal("x".to_string())).encode();
+        assert!(EventReply::decode(&err[..err.len() - 1]).is_err());
     }
 
     #[test]

@@ -43,6 +43,17 @@ use crate::types::{BufferId, NodeId, OmpcError, OmpcResult};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// When an injected failure takes effect.
+///
+/// ```
+/// use ompc_core::runtime::{FaultPlan, FaultTrigger};
+///
+/// let plan = FaultPlan::none()
+///     .fail_after_completions(1, 3) // node 1 dies after its 3rd retirement
+///     .fail_at_millis(2, 50) // node 2 dies at fault-clock 50 ms
+///     .fail_at_wall_millis(3, 10_000); // node 3 dies 10 s into the run
+/// assert_eq!(plan.events.len(), 3);
+/// assert!(matches!(plan.events[2].trigger, FaultTrigger::AtWallMillis(10_000)));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultTrigger {
     /// The node dies once the fault clock reaches this many milliseconds
@@ -53,6 +64,13 @@ pub enum FaultTrigger {
     /// trigger to use when both backends must fail at the identical point
     /// of the completion stream.
     AfterCompletions(usize),
+    /// The node dies once this much *real* (wall-clock) time has elapsed
+    /// since the run started — the trigger soak tests use to inject
+    /// failures by elapsed time regardless of how the fault clock advances.
+    /// Inherently non-deterministic with respect to the completion stream;
+    /// prefer the other triggers when both backends must fail at the same
+    /// protocol point.
+    AtWallMillis(Millis),
 }
 
 /// One injected failure: a worker node and its trigger.
@@ -70,8 +88,15 @@ pub struct FaultEvent {
 /// disables the fault subsystem entirely.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
-    /// The injected failures, in configuration order.
+    /// The injected node failures, in configuration order.
     pub events: Vec<FaultEvent>,
+    /// Tasks whose execution is forced to fail at the protocol layer: the
+    /// threaded backend executes them against a deliberately unregistered
+    /// kernel (a genuine worker-side handler error travelling back through
+    /// the event-reply channel), the simulated backend models the same
+    /// failed reply. Used to test the error-reply path deterministically
+    /// in both backends.
+    pub task_errors: Vec<usize>,
 }
 
 impl FaultPlan {
@@ -80,7 +105,8 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// Whether the plan injects no failures.
+    /// Whether the plan injects no *node* failures (task-error injection
+    /// does not involve the heartbeat/recovery subsystem).
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
@@ -91,11 +117,51 @@ impl FaultPlan {
         self
     }
 
+    /// Add a failure of `node` once `millis` of real (wall-clock) time have
+    /// elapsed since the run started — for soak tests that inject failures
+    /// by elapsed time.
+    pub fn fail_at_wall_millis(mut self, node: NodeId, millis: Millis) -> Self {
+        self.events.push(FaultEvent { node, trigger: FaultTrigger::AtWallMillis(millis) });
+        self
+    }
+
     /// Add a failure of `node` right after its `completions`-th task
     /// retirement.
     pub fn fail_after_completions(mut self, node: NodeId, completions: usize) -> Self {
         self.events.push(FaultEvent { node, trigger: FaultTrigger::AfterCompletions(completions) });
         self
+    }
+
+    /// Force `task`'s execution to fail at the protocol layer (an injected
+    /// worker-side handler error). Both backends propagate the same
+    /// `RemoteEvent { node, error: UnknownKernel, .. }`; only the `event`
+    /// id is backend-specific (the real wire tag in the threaded backend,
+    /// the task index in the simulated one) — compare errors across
+    /// backends via `origin_node()` / `root_cause()`, not equality.
+    pub fn error_on_task(mut self, task: usize) -> Self {
+        self.task_errors.push(task);
+        self
+    }
+
+    /// Whether `task` is marked for an injected execution error.
+    pub fn has_task_error(&self, task: usize) -> bool {
+        self.task_errors.contains(&task)
+    }
+
+    /// Check the injected task errors against a graph of `total_tasks`
+    /// tasks: a typo'd task index must be rejected up front, not silently
+    /// degrade the plan to a no-op. Called by both backends at execution
+    /// time (only then is the graph size known).
+    pub fn validate_task_errors(&self, total_tasks: usize) -> OmpcResult<()> {
+        for &task in &self.task_errors {
+            if task >= total_tasks {
+                return Err(OmpcError::InvalidConfig(format!(
+                    "fault plan injects an error into task {task} but the graph has only \
+                     {total_tasks} task(s)"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Check the plan against a cluster of `num_workers` worker nodes.
@@ -176,6 +242,24 @@ impl FailureInjector {
         });
         fired
     }
+
+    /// Report that `elapsed` milliseconds of real time have passed since
+    /// the run started; returns the nodes whose `AtWallMillis` trigger
+    /// just fired.
+    pub fn advance_wall_clock(&mut self, elapsed: Millis) -> Vec<NodeId> {
+        let silenced = &mut self.silenced;
+        let mut fired = Vec::new();
+        self.pending.retain(|event| match event.trigger {
+            FaultTrigger::AtWallMillis(t) if elapsed >= t => {
+                if silenced.insert(event.node) {
+                    fired.push(event.node);
+                }
+                false
+            }
+            _ => true,
+        });
+        fired
+    }
 }
 
 /// A buffer whose last valid copy died with a node, as reported by a
@@ -236,6 +320,8 @@ pub struct FaultState {
     clock: Millis,
     num_workers: usize,
     pub(crate) replan_on_failure: bool,
+    /// Real-time epoch of the run, for [`FaultTrigger::AtWallMillis`].
+    wall_start: std::time::Instant,
     /// Nodes the injector has silenced (dead, possibly not yet declared).
     silenced_at: BTreeMap<NodeId, Millis>,
     /// Nodes the monitor has declared failed.
@@ -269,6 +355,7 @@ impl FaultState {
             clock: 0,
             num_workers,
             replan_on_failure: false,
+            wall_start: std::time::Instant::now(),
             silenced_at: BTreeMap::new(),
             declared: BTreeSet::new(),
         }))
@@ -311,13 +398,15 @@ impl FaultState {
 
     /// Advance the fault clock one dispatch round — to `backend_now` if the
     /// backend has a clock, by one heartbeat period otherwise — and return
-    /// the nodes whose timed trigger fired.
+    /// the nodes whose timed trigger (fault-clock or wall-clock) fired.
     pub(crate) fn advance_round(&mut self, backend_now: Option<Millis>) -> Vec<NodeId> {
         self.clock = match backend_now {
             Some(now) => now.max(self.clock),
             None => self.clock + self.period,
         };
-        let fired = self.injector.advance_clock(self.clock);
+        let mut fired = self.injector.advance_clock(self.clock);
+        let wall_elapsed = self.wall_start.elapsed().as_millis() as Millis;
+        fired.extend(self.injector.advance_wall_clock(wall_elapsed));
         for &n in &fired {
             self.silenced_at.insert(n, self.clock);
         }
@@ -388,6 +477,53 @@ mod tests {
         assert_eq!(injector.advance_clock(60), vec![1]);
         assert_eq!(injector.advance_clock(500), vec![3]);
         assert!(injector.advance_clock(1000).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_trigger_fires_on_elapsed_real_time() {
+        let plan = FaultPlan::none().fail_at_wall_millis(2, 5);
+        let mut injector = FailureInjector::new(&plan, 4);
+        assert!(injector.advance_wall_clock(4).is_empty());
+        assert_eq!(injector.advance_wall_clock(5), vec![2]);
+        assert!(injector.advance_wall_clock(100).is_empty(), "fires only once");
+        // A wall trigger is untouched by fault-clock advances and vice
+        // versa.
+        let plan = FaultPlan::none().fail_at_wall_millis(1, 5).fail_at_millis(3, 5);
+        let mut injector = FailureInjector::new(&plan, 4);
+        assert_eq!(injector.advance_clock(10), vec![3]);
+        assert_eq!(injector.advance_wall_clock(10), vec![1]);
+    }
+
+    #[test]
+    fn wall_clock_trigger_fires_through_fault_state_rounds() {
+        // An immediate wall trigger (0 ms) fires on the first round even
+        // though the fault clock is still at its first period.
+        let plan = FaultPlan::none().fail_at_wall_millis(1, 0);
+        let mut state = FaultState::from_config(&plan, 10, 3, 2).unwrap().unwrap();
+        let fired = state.advance_round(None);
+        assert_eq!(fired, vec![1]);
+        assert!(state.is_dead(1));
+        assert_eq!(state.alive_workers(), vec![2]);
+    }
+
+    #[test]
+    fn task_error_injection_is_recorded_in_the_plan() {
+        let plan = FaultPlan::none().error_on_task(3).error_on_task(7);
+        assert!(plan.has_task_error(3) && plan.has_task_error(7));
+        assert!(!plan.has_task_error(4));
+        // Task errors alone do not enable the node-failure subsystem.
+        assert!(plan.is_empty());
+        assert!(FaultState::from_config(&plan, 10, 3, 4).unwrap().is_none());
+    }
+
+    #[test]
+    fn out_of_range_task_errors_are_rejected_not_ignored() {
+        let plan = FaultPlan::none().error_on_task(3).error_on_task(7);
+        assert!(plan.validate_task_errors(8).is_ok());
+        let err = plan.validate_task_errors(4).unwrap_err();
+        assert!(matches!(err, OmpcError::InvalidConfig(_)));
+        assert!(err.to_string().contains("task 7"), "unclear message: {err}");
+        assert!(FaultPlan::none().validate_task_errors(0).is_ok());
     }
 
     #[test]

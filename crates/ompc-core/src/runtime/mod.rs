@@ -34,7 +34,7 @@ pub mod threaded;
 
 pub use fault::{FailureRecord, FaultPlan, FaultState, FaultTrigger, LostBuffer, ReplanEntry};
 pub use sim::SimBackend;
-pub use threaded::ThreadedBackend;
+pub use threaded::{HeadWorkerPool, ThreadedBackend};
 
 use crate::buffer::BufferRegistry;
 use crate::config::OmpcConfig;
@@ -208,13 +208,38 @@ impl RuntimePlan {
     }
 }
 
+/// One entry of the completion stream a backend reports to the core: every
+/// dispatched task eventually produces exactly one event per execution
+/// attempt — a completion or a typed failure — so the core can never block
+/// on a task whose execution went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskEvent {
+    /// The task's execution finished normally.
+    Completed(usize),
+    /// The task's execution failed with the given error — typically a
+    /// worker's typed error reply ([`OmpcError::RemoteEvent`]). The core
+    /// owns the policy: a failure attributable to a node the failure
+    /// injector killed (the task's own node, or the error's
+    /// [`OmpcError::origin_node`]) is *stale* and the task restarts on a
+    /// survivor; anything else propagates out of
+    /// [`RuntimeCore::execute`].
+    Failed {
+        /// The task whose execution failed.
+        task: usize,
+        /// The error its execution produced.
+        error: OmpcError,
+    },
+}
+
 /// What a backend does with the work the core hands it.
 ///
 /// The core calls the methods in a fixed protocol: `prologue` once, then an
 /// alternation of `launch` (as the window opens) and `await_completions`
 /// (when the window is full or no task is ready), then `epilogue` once after
-/// the last task retired. A backend reports *which* tasks finished; the core
-/// decides *what* becomes ready and *when* it is dispatched.
+/// the last task retired. A backend reports *what happened* to dispatched
+/// tasks as typed [`TaskEvent`]s; the core decides *what* becomes ready,
+/// *when* it is dispatched, and whether a failure propagates or restarts
+/// the task.
 ///
 /// The fault-tolerance hooks (`clock_millis`, `invalidate_node`, `replan`)
 /// have no-op defaults: a backend that never runs under a
@@ -233,11 +258,15 @@ pub trait ExecutionBackend {
     /// window full.
     fn launch(&mut self, task: usize, node: NodeId) -> OmpcResult<()>;
 
-    /// Wait until at least one launched task has finished and return the
-    /// finished ids in completion order. When the task's node has been
-    /// killed by the failure injector, its completion is *stale*: the core
+    /// Wait until at least one launched task has produced an outcome and
+    /// return the events in completion order. When a completion's node has
+    /// been killed by the failure injector, it is *stale*: the core
     /// discards the result and requeues the task instead of retiring it.
-    fn await_completions(&mut self) -> OmpcResult<Vec<usize>>;
+    /// A [`TaskEvent::Failed`] whose blamed node is dead is handled the
+    /// same way; any other failure propagates. `Err` from this method is
+    /// reserved for backend-level breakdowns (a vanished pool, a stalled
+    /// engine) that abort the run outright.
+    fn await_completions(&mut self) -> OmpcResult<Vec<TaskEvent>>;
 
     /// Drain results and shut down. Called once, after every task retired.
     fn epilogue(&mut self) -> OmpcResult<()> {
@@ -272,7 +301,36 @@ pub trait ExecutionBackend {
 
 /// Record of one execution through the core: the decisions every backend
 /// must agree on. Used by the backend-equivalence tests and exposed through
-/// the public reporting APIs.
+/// the public reporting APIs
+/// ([`crate::cluster::ClusterDevice::last_run_record`],
+/// [`crate::sim_runtime::simulate_ompc_recorded`],
+/// [`crate::sim_runtime::simulate_ompc_outcome`]).
+///
+/// ```
+/// use ompc_core::prelude::*;
+/// use ompc_core::sim_runtime::simulate_ompc_recorded;
+/// use ompc_sim::ClusterConfig;
+///
+/// let mut g = ompc_sched::TaskGraph::new();
+/// for _ in 0..3 {
+///     g.add_task(0.01);
+/// }
+/// g.add_edge(0, 1, 128);
+/// g.add_edge(1, 2, 128);
+/// let workload = WorkloadGraph::new(g, vec![128; 3]);
+/// let (_, record) = simulate_ompc_recorded(
+///     &workload,
+///     &ClusterConfig::santos_dumont(3),
+///     &OmpcConfig::default(),
+///     &OverheadModel::default(),
+/// )
+/// .unwrap();
+/// // A chain dispatches and retires strictly in order, one in flight.
+/// assert_eq!(record.dispatch_order, vec![0, 1, 2]);
+/// assert_eq!(record.completion_order, vec![0, 1, 2]);
+/// assert_eq!(record.peak_in_flight, 1);
+/// assert!(record.failures.is_empty() && record.reexecuted.is_empty());
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunRecord {
     /// Node each task executed on (for recovered tasks: the surviving node
@@ -412,14 +470,14 @@ impl RuntimeCore {
         backend.prologue()?;
         self.fill_window(backend)?;
         while self.completed < self.total {
-            let finished = backend.await_completions()?;
-            if finished.is_empty() {
+            let events = backend.await_completions()?;
+            if events.is_empty() {
                 return Err(OmpcError::Internal(
                     "execution backend reported no progress".to_string(),
                 ));
             }
-            for task in finished {
-                self.on_completion(task, backend)?;
+            for event in events {
+                self.on_event(event, backend)?;
             }
             if self.faults.is_some() {
                 self.poll_heartbeats(backend)?;
@@ -429,38 +487,68 @@ impl RuntimeCore {
         backend.epilogue()
     }
 
-    /// Handle one completion reported by the backend: retire it — checking
-    /// the failure injector's completion triggers at this exact position in
-    /// the completion stream — or, when it comes from a dead node, discard
-    /// it as stale and requeue the task for re-execution.
-    fn on_completion<B: ExecutionBackend>(
+    /// Handle one event of the backend's completion stream.
+    ///
+    /// A completion retires the task — checking the failure injector's
+    /// completion triggers at this exact position in the completion stream
+    /// — unless it comes from a dead node, in which case it is discarded
+    /// as stale and the task requeued. A failure whose blame falls on a
+    /// dead node (the task's own node, or the node the error reply
+    /// originated from) is likewise stale — the failure injector caused
+    /// it, recovery will rerun the task — while any other failure
+    /// propagates out of the run.
+    fn on_event<B: ExecutionBackend>(
         &mut self,
-        task: usize,
+        event: TaskEvent,
         backend: &mut B,
     ) -> OmpcResult<()> {
+        let task = match &event {
+            TaskEvent::Completed(task) => *task,
+            TaskEvent::Failed { task, .. } => *task,
+        };
         if task >= self.total || self.state[task] != TaskState::InFlight {
             return Err(OmpcError::Internal(format!(
-                "backend reported completion of task {task}, which is not in flight"
+                "backend reported an event for task {task}, which is not in flight"
             )));
         }
         let node = self.dispatched_on[task];
-        if self.faults.as_ref().is_some_and(|f| f.is_dead(node)) {
-            // Stale completion from a dead node: the result was discarded
-            // at the data layer; restart the task.
-            self.in_flight -= 1;
-            self.reexecuted.insert(task);
-            self.reset_to_pending(task);
-            return Ok(());
+        let node_is_dead =
+            |n: NodeId| -> bool { self.faults.as_ref().is_some_and(|f| f.is_dead(n)) };
+        match event {
+            TaskEvent::Completed(_) if node_is_dead(node) => {
+                // Stale completion from a dead node: the result was
+                // discarded at the data layer; restart the task.
+                self.in_flight -= 1;
+                self.reexecuted.insert(task);
+                self.reset_to_pending(task);
+                Ok(())
+            }
+            TaskEvent::Completed(_) => {
+                self.retire(task);
+                let newly_dead = match &mut self.faults {
+                    Some(f) => f.note_retirement(node),
+                    None => Vec::new(),
+                };
+                for dead in newly_dead {
+                    self.kill_node(dead, backend);
+                }
+                Ok(())
+            }
+            TaskEvent::Failed { error, .. } => {
+                let blamed = error.origin_node();
+                if node_is_dead(node) || blamed.is_some_and(node_is_dead) {
+                    // The failure is collateral damage of an injected node
+                    // death (the task ran there, or a dead peer refused an
+                    // event mid-task): stale — restart on a survivor.
+                    self.in_flight -= 1;
+                    self.reexecuted.insert(task);
+                    self.reset_to_pending(task);
+                    Ok(())
+                } else {
+                    Err(error)
+                }
+            }
         }
-        self.retire(task);
-        let newly_dead = match &mut self.faults {
-            Some(f) => f.note_retirement(node),
-            None => Vec::new(),
-        };
-        for dead in newly_dead {
-            self.kill_node(dead, backend);
-        }
-        Ok(())
     }
 
     /// One heartbeat round: advance the fault clock, fire timed failure
@@ -675,8 +763,8 @@ mod tests {
             self.running.push(task);
             Ok(())
         }
-        fn await_completions(&mut self) -> OmpcResult<Vec<usize>> {
-            Ok(self.running.pop().into_iter().collect())
+        fn await_completions(&mut self) -> OmpcResult<Vec<TaskEvent>> {
+            Ok(self.running.pop().map(TaskEvent::Completed).into_iter().collect())
         }
         fn epilogue(&mut self) -> OmpcResult<()> {
             self.epilogues += 1;
@@ -751,7 +839,7 @@ mod tests {
             fn launch(&mut self, _: usize, _: NodeId) -> OmpcResult<()> {
                 Ok(())
             }
-            fn await_completions(&mut self) -> OmpcResult<Vec<usize>> {
+            fn await_completions(&mut self) -> OmpcResult<Vec<TaskEvent>> {
                 Ok(Vec::new())
             }
         }
@@ -869,7 +957,7 @@ mod tests {
             self.ran_on.insert(task, node);
             self.inner.launch(task, node)
         }
-        fn await_completions(&mut self) -> OmpcResult<Vec<usize>> {
+        fn await_completions(&mut self) -> OmpcResult<Vec<TaskEvent>> {
             self.inner.await_completions()
         }
         fn invalidate_node(&mut self, node: NodeId) -> Vec<LostBuffer> {
@@ -927,6 +1015,79 @@ mod tests {
         }
         assert_eq!(last_positions.len(), 6);
         assert_eq!(core.completed(), 6);
+    }
+
+    /// A backend that fails a chosen task with a chosen error on its first
+    /// attempt and completes everything (including the retry) otherwise.
+    struct FailOnce {
+        running: Vec<usize>,
+        fail_task: usize,
+        error: Option<OmpcError>,
+    }
+
+    impl ExecutionBackend for FailOnce {
+        fn launch(&mut self, task: usize, _node: NodeId) -> OmpcResult<()> {
+            self.running.push(task);
+            Ok(())
+        }
+        fn await_completions(&mut self) -> OmpcResult<Vec<TaskEvent>> {
+            let Some(task) = self.running.pop() else { return Ok(Vec::new()) };
+            if task == self.fail_task {
+                if let Some(error) = self.error.take() {
+                    return Ok(vec![TaskEvent::Failed { task, error }]);
+                }
+            }
+            Ok(vec![TaskEvent::Completed(task)])
+        }
+    }
+
+    #[test]
+    fn unattributed_task_failure_propagates() {
+        let w = diamond();
+        let mut core = RuntimeCore::new(&w, &plan_with_window(&w, 1));
+        let remote = OmpcError::RemoteEvent {
+            node: 1,
+            event: 9,
+            error: Box::new(OmpcError::UnknownKernel(crate::types::KernelId(42))),
+        };
+        let mut backend =
+            FailOnce { running: Vec::new(), fail_task: 2, error: Some(remote.clone()) };
+        let err = core.execute(&mut backend).unwrap_err();
+        assert_eq!(err, remote, "the typed error reply must propagate unchanged");
+        // The record still shows the completions that happened first.
+        let record = core.record();
+        assert!(record.completion_order.len() < 4);
+        assert!(!record.completion_order.contains(&2));
+    }
+
+    #[test]
+    fn failure_blamed_on_a_dead_node_restarts_the_task() {
+        // Node 1 dies after its first retirement. Task 1's execution then
+        // fails with an error *originating from* node 1 even though it ran
+        // on node 2 (a refused event from the dead peer): the failure is
+        // stale and the task restarts instead of aborting the run.
+        let mut g = TaskGraph::new();
+        for _ in 0..3 {
+            g.add_task(1.0);
+        }
+        for t in 1..3 {
+            g.add_edge(t - 1, t, 8);
+        }
+        let w = WorkloadGraph::new(g, vec![8; 3]);
+        let plan = RuntimePlan { assignment: vec![1, 2, 2], window: 1 };
+        let fault_plan = FaultPlan::none().fail_after_completions(1, 1);
+        let faults = FaultState::from_config(&fault_plan, 10, 3, 2).unwrap().unwrap();
+        let mut core = RuntimeCore::with_faults(&w, &plan, faults);
+        let remote = OmpcError::RemoteEvent {
+            node: 1,
+            event: 17,
+            error: Box::new(OmpcError::NodeFailure(1)),
+        };
+        let mut backend = FailOnce { running: Vec::new(), fail_task: 1, error: Some(remote) };
+        core.execute(&mut backend).unwrap();
+        let record = core.record();
+        assert!(record.reexecuted.contains(&1), "the blamed-dead failure must requeue task 1");
+        assert_eq!(core.completed(), 3);
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! behind [`crate::config::OmpcConfig::serial_input_transfers`].
 
 use super::fault::LostBuffer;
-use super::{ExecutionBackend, RuntimePlan};
+use super::threaded::POISONED_KERNEL;
+use super::{ExecutionBackend, RuntimePlan, TaskEvent};
 use crate::config::{OmpcConfig, OverheadModel};
 use crate::data_manager::{DataManager, HEAD_NODE};
 use crate::heartbeat::Millis;
@@ -358,7 +359,7 @@ impl ExecutionBackend for SimBackend<'_> {
         Ok(())
     }
 
-    fn await_completions(&mut self) -> OmpcResult<Vec<usize>> {
+    fn await_completions(&mut self) -> OmpcResult<Vec<TaskEvent>> {
         loop {
             let Some(completion) = self.engine.next_completion() else {
                 return Err(OmpcError::Internal(
@@ -366,7 +367,20 @@ impl ExecutionBackend for SimBackend<'_> {
                 ));
             };
             if let Some(task) = self.step(completion) {
-                return Ok(vec![task]);
+                // Injected task error (fault plan): model the worker-side
+                // handler failure the threaded backend provokes for real —
+                // a typed error reply attributing the executing node.
+                if self.config.fault_plan.has_task_error(task) {
+                    return Ok(vec![TaskEvent::Failed {
+                        task,
+                        error: OmpcError::RemoteEvent {
+                            node: self.node_of[task],
+                            event: task as u64,
+                            error: Box::new(OmpcError::UnknownKernel(POISONED_KERNEL)),
+                        },
+                    }]);
+                }
+                return Ok(vec![TaskEvent::Completed(task)]);
             }
         }
     }

@@ -1,49 +1,68 @@
 //! The threaded execution backend: real worker-node threads driven through
 //! the `ompc-mpi` event system.
 //!
-//! The backend owns a pool of head worker threads (the analogue of
-//! libomptarget's hidden helper threads). [`RuntimeCore`] decides *which*
-//! task is dispatched *when* — bounded by the configured in-flight window —
-//! and the pool performs each task's data movement and kernel execution:
-//! input forwarding planned by the [`DataManager`], worker-to-worker
-//! exchanges, kernel execution events, and write-invalidation. Because the
-//! window is a property of the core rather than of the pool, more tasks can
-//! be in flight than there are blocked threads, which is exactly the
-//! pipelined dispatch the paper proposes as the fix for its §7 bottleneck.
+//! Tasks are executed by a **long-lived pool of head worker threads** (the
+//! analogue of libomptarget's hidden helper threads) owned by
+//! [`crate::cluster::ClusterDevice`] — see [`HeadWorkerPool`]. The pool is
+//! created lazily, sized `min(head_worker_threads, window, tasks)` for the
+//! largest region seen so far, reused across region executions, and drained
+//! when the device shuts down; per-region spawn/join churn is gone.
+//! [`RuntimeCore`] decides *which* task is dispatched *when* — bounded by
+//! the configured in-flight window — and the pool performs each task's data
+//! movement and kernel execution: input forwarding planned by the
+//! [`DataManager`], worker-to-worker exchanges, kernel execution events, and
+//! write-invalidation. Because the window is a property of the core rather
+//! than of the pool, more tasks can be in flight than there are blocked
+//! threads, which is exactly the pipelined dispatch the paper proposes as
+//! the fix for its §7 bottleneck.
 //!
-//! Fault tolerance (paper §3.1) is honoured at the protocol layer: when
-//! the failure injector kills a node, the node's OS thread stays alive —
-//! real clusters cannot be simulated in-process by killing threads — but
-//! the [`DataManager`] excommunicates it, tasks that run there become
-//! no-ops whose completions the core discards as stale, and errors raised
-//! on a dead node are swallowed instead of failing the run. A genuine task
-//! failure on a *live* node trips the pool's cancellation flag so tasks
-//! already queued behind it stop executing before the error propagates.
+//! Every event a pool thread issues produces a typed reply
+//! ([`crate::protocol::EventReply`]): worker-side handler failures come back
+//! as [`OmpcError::RemoteEvent`] values naming the origin node and event,
+//! and are threaded through the core's completion stream as
+//! [`TaskEvent::Failed`] — the core propagates genuine errors and restarts
+//! tasks whose failure is collateral damage of an injected node death.
+//!
+//! Fault tolerance (paper §3.1): when the failure injector kills a node,
+//! the backend kills the worker's event loop **for real** — the node stops
+//! executing events and refuses every later one with an error reply — and
+//! the [`DataManager`] excommunicates it. A genuine task failure on a live
+//! node trips the pool's cancellation flag so tasks already queued behind
+//! it stop executing before the error propagates.
 
 use super::fault::LostBuffer;
-use super::{ExecutionBackend, RuntimeCore, RuntimePlan};
+use super::{ExecutionBackend, RuntimeCore, RuntimePlan, TaskEvent};
 use crate::buffer::BufferRegistry;
 use crate::cluster::HostFn;
 use crate::config::OmpcConfig;
 use crate::data_manager::{DataManager, TransferPlan, HEAD_NODE};
 use crate::event::EventSystem;
 use crate::task::{RegionGraph, TaskKind};
-use crate::types::{BufferId, MapType, NodeId, OmpcError, OmpcResult, TaskId};
+use crate::types::{BufferId, KernelId, MapType, NodeId, OmpcError, OmpcResult, TaskId};
 use crossbeam::channel::{Receiver, Sender};
 use ompc_sched::Platform;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// Message of the synthetic error reported for tasks skipped by the
 /// cancellation flag; the pool driver recognizes it so it never masks the
 /// root-cause error of the task that actually failed.
 const CANCELLED_MSG: &str = "cancelled after an earlier task failure";
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The kernel id injected task errors execute against: guaranteed to be
+/// unregistered, so the worker's handler genuinely fails and the error
+/// travels back through the event-reply channel.
+pub(crate) const POISONED_KERNEL: KernelId = KernelId(usize::MAX);
+
+#[derive(Debug, Clone)]
 enum TransferState {
     InFlight,
-    Failed,
+    /// The transfer failed with this error; waiters receive a clone, so a
+    /// failure caused by a killed source keeps its node attribution.
+    Failed(OmpcError),
 }
 
 /// Tracks `(buffer, node)` input transfers that have been *planned* (the
@@ -51,7 +70,8 @@ enum TransferState {
 /// not yet completed on the wire. A concurrent reader of the same buffer on
 /// the same node gets `plan_input == None` and must wait here instead of
 /// executing against memory that has not arrived yet; if the transfer fails,
-/// waiters get an error instead of silently computing on missing data.
+/// waiters get the transfer's error instead of silently computing on
+/// missing data.
 #[derive(Default)]
 struct TransferGate {
     transfers: Mutex<HashMap<(u64, NodeId), TransferState>>,
@@ -59,45 +79,47 @@ struct TransferGate {
 }
 
 impl TransferGate {
-    fn finish(&self, buffer: BufferId, node: NodeId, ok: bool) {
+    fn finish(&self, buffer: BufferId, node: NodeId, outcome: Result<(), OmpcError>) {
         {
             let mut transfers = self.transfers.lock();
-            if ok {
-                transfers.remove(&(buffer.0, node));
-            } else {
-                transfers.insert((buffer.0, node), TransferState::Failed);
+            match outcome {
+                Ok(()) => {
+                    transfers.remove(&(buffer.0, node));
+                }
+                Err(error) => {
+                    transfers.insert((buffer.0, node), TransferState::Failed(error));
+                }
             }
         }
         self.done.notify_all();
     }
 
     /// Block until the transfer of `buffer` to `node` has landed; error out
-    /// if it failed.
+    /// (with the transfer's own error) if it failed.
     fn wait_until_present(&self, buffer: BufferId, node: NodeId) -> OmpcResult<()> {
         let mut transfers = self.transfers.lock();
         loop {
             match transfers.get(&(buffer.0, node)) {
                 None => return Ok(()),
-                Some(TransferState::Failed) => {
-                    return Err(OmpcError::Internal(format!(
-                        "input forwarding of {buffer} to node {node} failed"
-                    )));
-                }
+                Some(TransferState::Failed(error)) => return Err(error.clone()),
                 Some(TransferState::InFlight) => self.done.wait(&mut transfers),
             }
         }
     }
 }
 
-/// Executes a region graph on the real (threaded) cluster.
-pub struct ThreadedBackend<'a> {
-    events: &'a EventSystem,
-    buffers: &'a BufferRegistry,
-    dm: &'a Mutex<DataManager>,
-    graph: &'a RegionGraph,
-    host_fns: &'a HashMap<usize, HostFn>,
+/// Everything a pool thread needs to execute tasks of one region: the
+/// device's communication machinery plus the per-region graph, host tasks,
+/// transfer gate, and cancellation flag. Shared with the long-lived pool
+/// through an `Arc`, which is what lets the pool outlive any single region
+/// execution.
+pub(crate) struct RegionContext {
+    events: Arc<EventSystem>,
+    buffers: Arc<BufferRegistry>,
+    dm: Arc<Mutex<DataManager>>,
+    graph: Arc<RegionGraph>,
+    host_fns: HashMap<usize, HostFn>,
     config: OmpcConfig,
-    pool_threads: usize,
     serial_inputs: bool,
     transfers: TransferGate,
     /// Set when a task fails on a live node: tasks still queued in the head
@@ -106,76 +128,27 @@ pub struct ThreadedBackend<'a> {
     cancelled: AtomicBool,
 }
 
-impl<'a> ThreadedBackend<'a> {
-    /// Build a backend over the device's communication machinery for one
-    /// region execution.
-    pub fn new(
-        events: &'a EventSystem,
-        buffers: &'a BufferRegistry,
-        dm: &'a Mutex<DataManager>,
-        graph: &'a RegionGraph,
-        host_fns: &'a HashMap<usize, HostFn>,
-        config: &OmpcConfig,
-    ) -> Self {
-        Self {
-            events,
-            buffers,
-            dm,
-            graph,
-            host_fns,
-            pool_threads: config.head_worker_threads.max(1),
-            serial_inputs: config.serial_input_transfers,
-            config: config.clone(),
-            transfers: TransferGate::default(),
-            cancelled: AtomicBool::new(false),
+impl RegionContext {
+    /// Run one task end to end and report its outcome, honouring the
+    /// cancellation flag and classifying failures for the core.
+    fn run(&self, task: usize, node: NodeId) -> OmpcResult<()> {
+        if self.cancelled.load(Ordering::SeqCst) {
+            return Err(OmpcError::Internal(CANCELLED_MSG.to_string()));
         }
-    }
-
-    /// Whether the pool's cancellation flag tripped (a task failed on a
-    /// live node while others were still queued).
-    pub fn was_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::SeqCst)
-    }
-
-    /// Drive `core` to completion: spawn the head worker pool, feed it the
-    /// tasks the core dispatches, and report completions back.
-    pub fn execute(&self, core: &mut RuntimeCore) -> OmpcResult<()> {
-        std::thread::scope(|scope| {
-            let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, NodeId)>();
-            let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, OmpcResult<()>)>();
-            for i in 0..self.pool_threads {
-                let task_rx = task_rx.clone();
-                let done_tx = done_tx.clone();
-                std::thread::Builder::new()
-                    .name(format!("ompc-head-{i}"))
-                    .spawn_scoped(scope, move || {
-                        while let Ok((tid, node)) = task_rx.recv() {
-                            // Cancellation: once a task has failed on a live
-                            // node, queued tasks stop executing so no side
-                            // effects land after the error propagates.
-                            let res = if self.cancelled.load(Ordering::SeqCst) {
-                                Err(OmpcError::Internal(CANCELLED_MSG.to_string()))
-                            } else {
-                                let res = self.run_task(tid, node);
-                                if res.is_err() && !self.dm.lock().is_failed(node) {
-                                    self.cancelled.store(true, Ordering::SeqCst);
-                                }
-                                res
-                            };
-                            if done_tx.send((tid, res)).is_err() {
-                                break;
-                            }
-                        }
-                    })
-                    .expect("failed to spawn head worker thread");
+        let res = self.run_task(task, node);
+        if let Err(error) = &res {
+            // Trip the cancellation flag only for *genuine* failures: not
+            // for tasks on a node the injector killed, and not for errors
+            // blamed on a killed peer — those are stale, the core restarts
+            // the task, and cancelling the run for them would wedge it.
+            let dm = self.dm.lock();
+            let own_node_dead = node != HEAD_NODE && dm.is_failed(node);
+            let blamed_dead = error.origin_node().is_some_and(|n| dm.is_failed(n));
+            if !own_node_dead && !blamed_dead {
+                self.cancelled.store(true, Ordering::SeqCst);
             }
-            drop(task_rx);
-            drop(done_tx);
-            let mut driver = HeadPool { backend: self, task_tx, done_rx, launched: HashMap::new() };
-            core.execute(&mut driver)
-            // The pool drains and joins when `driver` (and with it the task
-            // sender) drops at the end of this scope.
-        })
+        }
+        res
     }
 
     /// Carry out one planned input forward and resolve its gate entry.
@@ -192,8 +165,22 @@ impl<'a> ThreadedBackend<'a> {
             // recorded optimistically so no later reader skips the transfer.
             self.dm.lock().forget_replica(plan.buffer, node);
         }
-        self.transfers.finish(plan.buffer, node, moved.is_ok());
+        self.transfers.finish(plan.buffer, node, moved.clone());
         moved
+    }
+
+    /// Resolve a planned-but-unperformed forward as failed so co-located
+    /// waiters error out instead of blocking forever.
+    fn abandon_transfer(&self, plan: &TransferPlan, node: NodeId) {
+        self.dm.lock().forget_replica(plan.buffer, node);
+        self.transfers.finish(
+            plan.buffer,
+            node,
+            Err(OmpcError::Internal(format!(
+                "input forwarding of {} to node {node} abandoned after an earlier failure",
+                plan.buffer
+            ))),
+        );
     }
 
     /// Execute one task: plan and perform its data movement through the
@@ -228,6 +215,14 @@ impl<'a> ThreadedBackend<'a> {
                 Ok(())
             }
             TaskKind::Target { kernel, .. } => {
+                // Injected task error (fault plan): execute a deliberately
+                // unregistered kernel so a genuine worker-side handler
+                // error exercises the event-reply path end to end.
+                let kernel = if self.config.fault_plan.has_task_error(tid) {
+                    POISONED_KERNEL
+                } else {
+                    *kernel
+                };
                 let buffer_list: Vec<BufferId> =
                     task.dependences.iter().map(|d| d.buffer).collect();
                 // Plan every input forward first, under one gate acquisition
@@ -269,8 +264,7 @@ impl<'a> ThreadedBackend<'a> {
                     );
                 if let Err(e) = allocated {
                     for plan in own {
-                        self.dm.lock().forget_replica(plan.buffer, node);
-                        self.transfers.finish(plan.buffer, node, false);
+                        self.abandon_transfer(&plan, node);
                     }
                     return Err(e);
                 }
@@ -290,8 +284,7 @@ impl<'a> ThreadedBackend<'a> {
                     // Mark any unperformed forwards failed so co-located
                     // waiters error out instead of blocking forever.
                     for plan in own {
-                        self.dm.lock().forget_replica(plan.buffer, node);
-                        self.transfers.finish(plan.buffer, node, false);
+                        self.abandon_transfer(&plan, node);
                     }
                     result
                 } else {
@@ -316,12 +309,12 @@ impl<'a> ThreadedBackend<'a> {
                 for buffer in awaited {
                     self.transfers.wait_until_present(buffer, node)?;
                 }
-                self.events.execute(node, *kernel, buffer_list)?;
+                self.events.execute(node, kernel, buffer_list)?;
                 for dep in &task.dependences {
                     if dep.dep_type.writes() {
                         let stale = self.dm.lock().record_write(dep.buffer, node);
                         for stale_node in stale {
-                            if stale_node != HEAD_NODE {
+                            if stale_node != HEAD_NODE && !self.dm.lock().is_failed(stale_node) {
                                 self.events.delete(stale_node, dep.buffer)?;
                             }
                         }
@@ -355,7 +348,7 @@ impl<'a> ThreadedBackend<'a> {
                 // Exit data always releases the device copies.
                 let holders = self.dm.lock().remove(*buffer);
                 for holder in holders {
-                    if holder != HEAD_NODE {
+                    if holder != HEAD_NODE && !self.dm.lock().is_failed(holder) {
                         self.events.delete(holder, *buffer)?;
                     }
                 }
@@ -363,7 +356,7 @@ impl<'a> ThreadedBackend<'a> {
             }
             TaskKind::Host { .. } => {
                 if let Some(f) = self.host_fns.get(&tid) {
-                    f(self.buffers);
+                    f(&self.buffers);
                 }
                 Ok(())
             }
@@ -371,44 +364,273 @@ impl<'a> ThreadedBackend<'a> {
     }
 }
 
-/// The [`ExecutionBackend`] face of the head worker pool: `launch` enqueues
-/// a task for the pool, `await_completions` blocks on the next completion
-/// and drains any others that finished in the meantime. It also carries the
-/// fault-tolerance hooks, which act on the backend's shared data manager.
-struct HeadPool<'p, 'a> {
-    backend: &'p ThreadedBackend<'a>,
-    task_tx: Sender<(usize, NodeId)>,
-    done_rx: Receiver<(usize, OmpcResult<()>)>,
-    /// Node each task was last sent to, for attributing pool errors to dead
-    /// vs. live nodes.
-    launched: HashMap<usize, NodeId>,
+/// One unit of work submitted to the long-lived pool: run `task` on `node`
+/// against the region `ctx` and report the outcome on `done`.
+struct PoolJob {
+    task: usize,
+    node: NodeId,
+    ctx: Arc<RegionContext>,
+    done: Sender<(usize, OmpcResult<()>)>,
 }
 
-impl ExecutionBackend for HeadPool<'_, '_> {
-    fn launch(&mut self, task: usize, node: NodeId) -> OmpcResult<()> {
-        self.launched.insert(task, node);
-        self.task_tx
-            .send((task, node))
+struct PoolState {
+    /// `None` once the pool has been drained; submissions fail from then on.
+    job_tx: Option<Sender<PoolJob>>,
+    /// Kept only to clone into newly spawned threads.
+    job_rx: Receiver<PoolJob>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// The long-lived head worker pool, owned by
+/// [`crate::cluster::ClusterDevice`] and shared by every region execution
+/// of the device's lifetime.
+///
+/// Threads are spawned lazily: each region asks for
+/// `min(head_worker_threads, window, tasks)` threads and the pool grows to
+/// the largest such request seen so far — a small region never pays for 48
+/// idle threads, and repeated region executions never re-spawn a pool. On
+/// [`HeadWorkerPool::drain`] (device shutdown / drop) the job channel
+/// closes, in-flight jobs finish, and every thread is joined.
+pub struct HeadWorkerPool {
+    state: Mutex<PoolState>,
+}
+
+impl Default for HeadWorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeadWorkerPool {
+    /// Create an empty pool; threads are spawned on first use.
+    pub fn new() -> Self {
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<PoolJob>();
+        Self { state: Mutex::new(PoolState { job_tx: Some(job_tx), job_rx, handles: Vec::new() }) }
+    }
+
+    /// Number of threads currently alive in the pool.
+    pub fn threads(&self) -> usize {
+        self.state.lock().handles.len()
+    }
+
+    /// Grow the pool to at least `needed` threads (no-op when already
+    /// large enough or after [`HeadWorkerPool::drain`]).
+    fn ensure_threads(&self, needed: usize) {
+        let mut state = self.state.lock();
+        if state.job_tx.is_none() {
+            return;
+        }
+        while state.handles.len() < needed {
+            let rx = state.job_rx.clone();
+            let i = state.handles.len();
+            let handle = std::thread::Builder::new()
+                .name(format!("ompc-head-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        // A panic (e.g. a debug assertion in the data
+                        // layer) must still produce an outcome, or the
+                        // driver would wait for this job forever.
+                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            job.ctx.run(job.task, job.node)
+                        }))
+                        .unwrap_or_else(|_| {
+                            Err(OmpcError::Internal(format!(
+                                "head pool thread panicked while executing task {}",
+                                job.task
+                            )))
+                        });
+                        // The driver may already have gone away (the run
+                        // failed); the outcome is then irrelevant.
+                        let _ = job.done.send((job.task, res));
+                    }
+                })
+                .expect("failed to spawn head worker thread");
+            state.handles.push(handle);
+        }
+    }
+
+    /// Submit one job; fails if the pool has been drained.
+    fn submit(&self, job: PoolJob) -> OmpcResult<()> {
+        let tx =
+            self.state.lock().job_tx.clone().ok_or_else(|| {
+                OmpcError::Internal("head worker pool already drained".to_string())
+            })?;
+        tx.send(job)
             .map_err(|_| OmpcError::Internal("head worker pool terminated early".to_string()))
     }
 
-    /// Completions and dead-node errors (swallowed — the core discards the
-    /// stale completion and restarts the task) are reported as finished;
-    /// an error on a live node fails the run. A synthetic cancellation
+    /// Close the job channel, let in-flight jobs finish, and join every
+    /// thread. Idempotent; called on device shutdown.
+    pub fn drain(&self) {
+        let (tx, handles) = {
+            let mut state = self.state.lock();
+            (state.job_tx.take(), std::mem::take(&mut state.handles))
+        };
+        drop(tx);
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HeadWorkerPool {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Executes a region graph on the real (threaded) cluster through the
+/// device's long-lived [`HeadWorkerPool`].
+pub struct ThreadedBackend<'a> {
+    ctx: Arc<RegionContext>,
+    pool: &'a HeadWorkerPool,
+}
+
+impl<'a> ThreadedBackend<'a> {
+    /// Build a backend over the device's communication machinery and pool
+    /// for one region execution.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        pool: &'a HeadWorkerPool,
+        events: Arc<EventSystem>,
+        buffers: Arc<BufferRegistry>,
+        dm: Arc<Mutex<DataManager>>,
+        graph: Arc<RegionGraph>,
+        host_fns: HashMap<usize, HostFn>,
+        config: &OmpcConfig,
+    ) -> Self {
+        Self {
+            ctx: Arc::new(RegionContext {
+                events,
+                buffers,
+                dm,
+                graph,
+                host_fns,
+                serial_inputs: config.serial_input_transfers,
+                config: config.clone(),
+                transfers: TransferGate::default(),
+                cancelled: AtomicBool::new(false),
+            }),
+            pool,
+        }
+    }
+
+    /// Whether the pool's cancellation flag tripped (a task failed on a
+    /// live node while others were still queued).
+    pub fn was_cancelled(&self) -> bool {
+        self.ctx.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Drive `core` to completion: size the long-lived pool for this
+    /// region, feed it the tasks the core dispatches, and report typed
+    /// completion events back. After the run (successful or not) every
+    /// outstanding job is drained so no stale work bleeds into the next
+    /// region execution.
+    pub fn execute(&self, core: &mut RuntimeCore) -> OmpcResult<()> {
+        self.ctx.config.fault_plan.validate_task_errors(self.ctx.graph.len())?;
+        let threads = self
+            .ctx
+            .config
+            .head_worker_threads
+            .max(1)
+            .min(core.window())
+            .min(self.ctx.graph.len())
+            .max(1);
+        self.pool.ensure_threads(threads);
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<(usize, OmpcResult<()>)>();
+        let mut driver = HeadPool {
+            ctx: &self.ctx,
+            pool: self.pool,
+            done_tx,
+            done_rx,
+            outstanding: 0,
+            cancelled_held: Vec::new(),
+            root_cause_reported: false,
+        };
+        let result = core.execute(&mut driver);
+        if result.is_err() {
+            // Fast-fail everything still queued in the pool, then wait for
+            // the stragglers so no side effect lands after we return.
+            self.ctx.cancelled.store(true, Ordering::SeqCst);
+        }
+        driver.drain_outstanding();
+        result
+    }
+}
+
+/// The [`ExecutionBackend`] face of the head worker pool: `launch` enqueues
+/// a task for the pool, `await_completions` blocks on the next outcome and
+/// drains any others that arrived in the meantime. It also carries the
+/// fault-tolerance hooks, which act on the backend's shared data manager
+/// and kill the affected worker's event loop for real.
+struct HeadPool<'p> {
+    ctx: &'p Arc<RegionContext>,
+    pool: &'p HeadWorkerPool,
+    done_tx: Sender<(usize, OmpcResult<()>)>,
+    done_rx: Receiver<(usize, OmpcResult<()>)>,
+    /// Jobs launched but not yet reported back, so a failed run can drain
+    /// the pool before returning.
+    outstanding: usize,
+    /// Tasks skipped by the cancellation flag whose synthetic error has
+    /// been received but not yet reported to the core. They are released
+    /// (as failures) only once the root-cause failure has been reported,
+    /// so a synthetic error can never mask the real one — and never
+    /// silently vanish, which would strand the task in flight.
+    cancelled_held: Vec<(usize, OmpcError)>,
+    /// Whether a real (non-synthetic) task failure has been reported to
+    /// the core since the run started.
+    root_cause_reported: bool,
+}
+
+impl HeadPool<'_> {
+    /// Wait for every launched job to report back (used after a failed run;
+    /// on a successful run nothing is outstanding).
+    fn drain_outstanding(&mut self) {
+        while self.outstanding > 0 {
+            match self.done_rx.recv() {
+                Ok(_) => self.outstanding -= 1,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl ExecutionBackend for HeadPool<'_> {
+    fn launch(&mut self, task: usize, node: NodeId) -> OmpcResult<()> {
+        self.outstanding += 1;
+        self.pool.submit(PoolJob {
+            task,
+            node,
+            ctx: Arc::clone(self.ctx),
+            done: self.done_tx.clone(),
+        })
+    }
+
+    /// Outcomes are forwarded to the core as typed [`TaskEvent`]s: the core
+    /// owns the propagate-vs-restart policy. A synthetic cancellation
     /// error can race ahead of the failure that tripped the flag, so it is
-    /// held back until the root-cause error arrives (the failing task's
-    /// thread is guaranteed to report it after setting the flag).
-    fn await_completions(&mut self) -> OmpcResult<Vec<usize>> {
-        let mut finished = Vec::new();
-        let mut held_cancellation: Option<OmpcError> = None;
+    /// held back until the root-cause failure has been reported — the
+    /// failing task's thread is guaranteed to report it after setting the
+    /// flag — and only then released as a failure of its own, ordered
+    /// after the root cause. It is never dropped: every launched task
+    /// produces exactly one event, so the core can never be left waiting
+    /// for a task the pool silently skipped (e.g. when the root cause
+    /// turns out to be stale and the run continues).
+    fn await_completions(&mut self) -> OmpcResult<Vec<TaskEvent>> {
+        let mut events = Vec::new();
         loop {
-            let received = if finished.is_empty() || held_cancellation.is_some() {
+            // Block only while there is nothing to report: a synthetic
+            // cancellation alone is not reportable yet (it would mask the
+            // root cause), so it keeps the loop blocking until the real
+            // failure arrives; once any real event is in hand, drain
+            // without blocking and let the core decide.
+            let received = if events.is_empty() {
                 match self.done_rx.recv() {
                     Ok(pair) => pair,
                     Err(_) => {
-                        return Err(held_cancellation.unwrap_or_else(|| {
-                            OmpcError::Internal("head worker pool disappeared".to_string())
-                        }));
+                        return Err(OmpcError::Internal(
+                            "head worker pool disappeared".to_string(),
+                        ));
                     }
                 }
             } else {
@@ -417,31 +639,52 @@ impl ExecutionBackend for HeadPool<'_, '_> {
                     Err(_) => break,
                 }
             };
-            let (tid, result) = received;
+            self.outstanding -= 1;
+            let (task, result) = received;
             match result {
-                Ok(()) => finished.push(tid),
-                Err(e) => {
-                    let node = self.launched.get(&tid).copied().unwrap_or(HEAD_NODE);
-                    if node != HEAD_NODE && self.backend.dm.lock().is_failed(node) {
-                        finished.push(tid);
-                    } else if matches!(&e, OmpcError::Internal(m) if m == CANCELLED_MSG) {
-                        held_cancellation = Some(e);
+                Ok(()) => events.push(TaskEvent::Completed(task)),
+                Err(e) if matches!(&e, OmpcError::Internal(m) if m == CANCELLED_MSG) => {
+                    if self.root_cause_reported {
+                        // The root cause already reached the core in an
+                        // earlier batch; this synthetic is immediately
+                        // reportable (holding it could block forever if
+                        // every remaining task is cancelled).
+                        events.push(TaskEvent::Failed { task, error: e });
                     } else {
-                        return Err(e);
+                        self.cancelled_held.push((task, e));
                     }
+                }
+                Err(error) => {
+                    self.root_cause_reported = true;
+                    events.push(TaskEvent::Failed { task, error });
                 }
             }
         }
-        Ok(finished)
+        // With the root cause on its way to the core, the held synthetic
+        // failures are reportable: ordered after it, they can no longer
+        // mask it. If the core classifies the root cause as stale and
+        // keeps running, these propagate instead of hanging the dispatch
+        // loop on tasks the pool never executed.
+        if self.root_cause_reported {
+            for (task, error) in self.cancelled_held.drain(..) {
+                events.push(TaskEvent::Failed { task, error });
+            }
+        }
+        Ok(events)
     }
 
     fn invalidate_node(&mut self, node: NodeId) -> Vec<LostBuffer> {
-        let lost = self.backend.dm.lock().fail_node(node);
+        let lost = self.ctx.dm.lock().fail_node(node);
+        // Kill the worker's event loop for real: from now on the node
+        // refuses every event with an error reply instead of executing it,
+        // so peers observe the death instead of hanging — and no further
+        // effects can land there.
+        let _ = self.ctx.events.kill(node);
         lost.into_iter()
             .map(|buffer| LostBuffer {
                 buffer,
                 writers: self
-                    .backend
+                    .ctx
                     .graph
                     .tasks()
                     .iter()
@@ -457,10 +700,10 @@ impl ExecutionBackend for HeadPool<'_, '_> {
     fn replan(&mut self, alive_workers: &[NodeId]) -> Option<Vec<NodeId>> {
         let platform = Platform::cluster(alive_workers.len());
         Some(RuntimePlan::region_assignment_on(
-            self.backend.graph,
-            self.backend.buffers,
+            &self.ctx.graph,
+            &self.ctx.buffers,
             &platform,
-            &self.backend.config,
+            &self.ctx.config,
             alive_workers,
         ))
     }

@@ -73,9 +73,38 @@ impl OmpcSimResult {
 /// [`simulate_ompc_traced`] when the trace is needed.
 ///
 /// Fails with [`OmpcError::InvalidConfig`] when the cluster has no worker
-/// nodes (the head node cannot execute target tasks), and with
+/// nodes (the head node cannot execute target tasks), with
 /// [`OmpcError::NodeFailure`] when an injected failure
-/// ([`OmpcConfig::fault_plan`]) leaves no survivors to recover onto.
+/// ([`OmpcConfig::fault_plan`]) leaves no survivors to recover onto, and
+/// with the propagated task error (an
+/// [`OmpcError::RemoteEvent`]) when the fault plan injects
+/// a task-execution failure — never by hanging.
+///
+/// ```
+/// use ompc_core::prelude::*;
+/// use ompc_core::sim_runtime::simulate_ompc;
+/// use ompc_sim::ClusterConfig;
+///
+/// // A 4-task chain on a 1-head + 3-worker virtual cluster.
+/// let mut graph = ompc_sched::TaskGraph::new();
+/// for _ in 0..4 {
+///     graph.add_task(0.01);
+/// }
+/// for t in 1..4 {
+///     graph.add_edge(t - 1, t, 1 << 10);
+/// }
+/// let workload = WorkloadGraph::new(graph, vec![1 << 10; 4]);
+///
+/// let result = simulate_ompc(
+///     &workload,
+///     &ClusterConfig::santos_dumont(4),
+///     &OmpcConfig::default(),
+///     &OverheadModel::default(),
+/// )
+/// .unwrap();
+/// assert!(result.makespan > ompc_sim::SimTime::ZERO);
+/// assert_eq!(result.stats.total_tasks(), 4);
+/// ```
 pub fn simulate_ompc(
     workload: &WorkloadGraph,
     cluster: &ClusterConfig,
@@ -83,6 +112,24 @@ pub fn simulate_ompc(
     overheads: &OverheadModel,
 ) -> OmpcResult<OmpcSimResult> {
     simulate_inner(workload, cluster, config, overheads, None, false).map(|(r, _, _)| r)
+}
+
+/// Like [`simulate_ompc`], but always returns the execution core's decision
+/// record — even when the run fails. This is the error-aware counterpart of
+/// [`crate::cluster::ClusterDevice::last_run_record`]: a run aborted by a
+/// propagated task error still reports which tasks dispatched and retired
+/// before the failure, which is what the cross-backend error-equivalence
+/// tests compare.
+pub fn simulate_ompc_outcome(
+    workload: &WorkloadGraph,
+    cluster: &ClusterConfig,
+    config: &OmpcConfig,
+    overheads: &OverheadModel,
+    plan: Option<&RuntimePlan>,
+) -> (OmpcResult<OmpcSimResult>, RunRecord) {
+    let (outcome, _, record) =
+        simulate_outcome_inner(workload, cluster, config, overheads, plan.cloned(), false);
+    (outcome, record)
 }
 
 /// Like [`simulate_ompc`] but also returns the full execution trace.
@@ -143,42 +190,68 @@ fn simulate_inner(
     plan: Option<RuntimePlan>,
     traced: bool,
 ) -> OmpcResult<(OmpcSimResult, Trace, RunRecord)> {
+    let (outcome, trace, record) =
+        simulate_outcome_inner(workload, cluster, config, overheads, plan, traced);
+    Ok((outcome?, trace, record))
+}
+
+fn simulate_outcome_inner(
+    workload: &WorkloadGraph,
+    cluster: &ClusterConfig,
+    config: &OmpcConfig,
+    overheads: &OverheadModel,
+    plan: Option<RuntimePlan>,
+    traced: bool,
+) -> (OmpcResult<OmpcSimResult>, Trace, RunRecord) {
     let workers = cluster.worker_nodes();
     if workers == 0 {
-        return Err(OmpcError::InvalidConfig(format!(
+        let err = OmpcError::InvalidConfig(format!(
             "cluster of {} node(s) has no worker nodes: node 0 is the head node and cannot \
              execute target tasks; configure at least 2 nodes",
             cluster.nodes
-        )));
+        ));
+        return (Err(err), Trace::disabled(), RunRecord::default());
+    }
+    if let Err(e) = config.fault_plan.validate_task_errors(workload.len()) {
+        return (Err(e), Trace::disabled(), RunRecord::default());
     }
     let plan = plan.unwrap_or_else(|| sim_plan(workload, cluster, config));
     let trace = if traced { Trace::new() } else { Trace::disabled() };
-    let faults = FaultState::from_config(
+    let faults = match FaultState::from_config(
         &config.fault_plan,
         config.heartbeat_period_ms,
         config.heartbeat_miss_threshold,
         workers,
-    )?
-    .map(|f| f.with_replan(config.replan_on_failure));
+    ) {
+        Ok(f) => f.map(|f| f.with_replan(config.replan_on_failure)),
+        Err(e) => return (Err(e), Trace::disabled(), RunRecord::default()),
+    };
     let mut core = match faults {
         Some(faults) => RuntimeCore::with_faults(workload, &plan, faults),
         None => RuntimeCore::new(workload, &plan),
     };
     let mut backend = SimBackend::new(workload, cluster, config, overheads.clone(), trace);
-    core.execute(&mut backend)?;
+    let executed = core.execute(&mut backend);
+    let record = core.record();
+    if let Err(e) = executed {
+        // The run failed (propagated task error, unrecoverable node loss):
+        // the record of what happened before the failure survives.
+        let (_, trace) = backend.finish();
+        return (Err(e), trace, record);
+    }
     let schedule = backend.schedule_time();
     let (stats, trace) = backend.finish();
-    Ok((
-        OmpcSimResult {
+    (
+        Ok(OmpcSimResult {
             makespan: stats.makespan,
             startup: overheads.startup,
             schedule,
             shutdown: overheads.shutdown,
             stats,
-        },
+        }),
         trace,
-        core.record(),
-    ))
+        record,
+    )
 }
 
 #[cfg(test)]

@@ -132,6 +132,23 @@ pub enum OmpcError {
     ShutDown,
     /// Miscellaneous internal invariant violation.
     Internal(String),
+    /// An event handler on a worker node reported a failure through the
+    /// event-reply protocol: carries the originating node, the event tag,
+    /// and the underlying error — the head node never blocks on a failed
+    /// event, it receives this instead of a completion.
+    RemoteEvent {
+        /// Node whose handler failed.
+        node: NodeId,
+        /// Id of the event that failed: the wire tag (unique per device
+        /// lifetime) in the threaded backend, the task index for errors
+        /// modelled by the simulated backend — backend-specific, so
+        /// cross-backend comparisons should use
+        /// [`OmpcError::origin_node`] / [`OmpcError::root_cause`] rather
+        /// than error equality.
+        event: u64,
+        /// What went wrong on the worker.
+        error: Box<OmpcError>,
+    },
 }
 
 impl fmt::Display for OmpcError {
@@ -145,6 +162,33 @@ impl fmt::Display for OmpcError {
             OmpcError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             OmpcError::ShutDown => write!(f, "cluster already shut down"),
             OmpcError::Internal(m) => write!(f, "internal runtime error: {m}"),
+            OmpcError::RemoteEvent { node, event, error } => {
+                write!(f, "event {event} failed on node {node}: {error}")
+            }
+        }
+    }
+}
+
+impl OmpcError {
+    /// The worker node this error originates from, when it names one: the
+    /// failed node of a [`OmpcError::NodeFailure`], or the replying node of
+    /// a [`OmpcError::RemoteEvent`]. The execution core uses this to tell a
+    /// *stale* failure (the blamed node has been killed by the failure
+    /// injector — requeue the task) from a genuine one (propagate).
+    pub fn origin_node(&self) -> Option<NodeId> {
+        match self {
+            OmpcError::NodeFailure(n) => Some(*n),
+            OmpcError::RemoteEvent { node, .. } => Some(*node),
+            _ => None,
+        }
+    }
+
+    /// Strip [`OmpcError::RemoteEvent`] wrappers and return the underlying
+    /// error (self when not remote).
+    pub fn root_cause(&self) -> &OmpcError {
+        match self {
+            OmpcError::RemoteEvent { error, .. } => error.root_cause(),
+            other => other,
         }
     }
 }

@@ -1,10 +1,19 @@
 //! The worker-node runtime: device memory, the gate thread, and the event
 //! handler pool (the destination side of the event system, paper §4.2).
+//!
+//! Every event ends in exactly one typed reply
+//! ([`crate::protocol::EventReply`]) on the event's exclusive channel:
+//! `Ok(payload)` on success or `Err` carrying the originating node and
+//! event tag when the handler failed — the head node never blocks on an
+//! event whose handler errored. A [`EventRequest::Kill`] (failure
+//! injection) kills the event loop for real: the node stops executing
+//! events and refuses every later one with an error reply until the final
+//! [`EventRequest::Shutdown`].
 
 use crate::kernel::{KernelArgs, KernelRegistry};
-use crate::protocol::{EventNotification, EventRequest, CONTROL_TAG};
-use crate::types::{BufferId, OmpcError, OmpcResult};
-use ompc_mpi::Communicator;
+use crate::protocol::{EventNotification, EventReply, EventRequest, CONTROL_TAG};
+use crate::types::{BufferId, NodeId, OmpcError, OmpcResult};
+use ompc_mpi::{Communicator, Tag};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -55,43 +64,50 @@ impl DeviceMemory {
     }
 }
 
-/// Handle one event on the worker side. Exposed for unit testing; normal
-/// use is through [`worker_main`].
-pub fn handle_event(
-    comm: &Communicator,
+/// Wrap a handler error as a [`OmpcError::RemoteEvent`] naming this node
+/// and event, unless it already carries an origin (a forwarded remote
+/// error keeps its original attribution).
+fn as_remote(node: NodeId, tag: Tag, error: OmpcError) -> OmpcError {
+    match error {
+        already @ OmpcError::RemoteEvent { .. } => already,
+        error => OmpcError::RemoteEvent { node, event: tag.0, error: Box::new(error) },
+    }
+}
+
+/// Compute the outcome (reply payload or error) of one head-replying event.
+fn event_outcome(
+    channel: &Communicator,
     memory: &DeviceMemory,
     kernels: &KernelRegistry,
-    notification: EventNotification,
-) -> OmpcResult<()> {
-    let channel = comm.on(notification.comm)?;
-    let tag = notification.tag;
-    match notification.request {
+    request: EventRequest,
+    tag: Tag,
+) -> OmpcResult<Vec<u8>> {
+    match request {
         EventRequest::Alloc { buffer, size } => {
             memory.store(buffer, vec![0u8; size as usize]);
-            channel.send(HEAD_RANK, tag, Vec::new())?;
+            Ok(Vec::new())
         }
         EventRequest::Delete { buffer } => {
             memory.remove(buffer);
-            channel.send(HEAD_RANK, tag, Vec::new())?;
+            Ok(Vec::new())
         }
         EventRequest::Submit { buffer } => {
             let msg = channel.recv(Some(HEAD_RANK), Some(tag))?;
             memory.store(buffer, msg.data);
-            channel.send(HEAD_RANK, tag, Vec::new())?;
+            Ok(Vec::new())
         }
         EventRequest::Retrieve { buffer } => {
-            let data = memory.get(buffer).ok_or(OmpcError::UnknownBuffer(buffer))?;
-            channel.send(HEAD_RANK, tag, data)?;
-        }
-        EventRequest::ExchangeSend { buffer, to } => {
-            let data = memory.get(buffer).ok_or(OmpcError::UnknownBuffer(buffer))?;
-            channel.send(to, tag, data)?;
+            memory.get(buffer).ok_or(OmpcError::UnknownBuffer(buffer))
         }
         EventRequest::ExchangeRecv { buffer, from } => {
+            // The sending half transmits a reply envelope: the data on
+            // success, its error otherwise — which we forward to the head
+            // (with the sender's attribution) instead of acknowledging.
             let msg = channel.recv(Some(from), Some(tag))?;
-            let bytes = (msg.data.len() as u64).to_le_bytes().to_vec();
-            memory.store(buffer, msg.data);
-            channel.send(HEAD_RANK, tag, bytes)?;
+            let data = EventReply::decode(&msg.data)?.into_result()?;
+            let bytes = (data.len() as u64).to_le_bytes().to_vec();
+            memory.store(buffer, data);
+            Ok(bytes)
         }
         EventRequest::Execute { kernel, buffers } => {
             let k = kernels.get(kernel).ok_or(OmpcError::UnknownKernel(kernel))?;
@@ -108,12 +124,67 @@ pub fn handle_event(
             for (id, data) in copies {
                 memory.store(id, data);
             }
-            channel.send(HEAD_RANK, tag, Vec::new())?;
+            Ok(Vec::new())
         }
-        EventRequest::Shutdown => {
-            // Handled by the gate loop; nothing to do here.
+        EventRequest::ExchangeSend { .. } | EventRequest::Shutdown | EventRequest::Kill => {
+            unreachable!("not a head-replying event")
         }
     }
+}
+
+/// Handle one event on the worker side, always producing exactly one typed
+/// reply (to the head node, or to the exchange receiver for the sending
+/// half). Returns the handler's own outcome so tests and the gate loop can
+/// observe failures; the same error has already been sent as the reply.
+/// Exposed for unit testing; normal use is through [`worker_main`].
+pub fn handle_event(
+    comm: &Communicator,
+    memory: &DeviceMemory,
+    kernels: &KernelRegistry,
+    notification: EventNotification,
+) -> OmpcResult<()> {
+    let channel = comm.on(notification.comm)?;
+    let tag = notification.tag;
+    let node = comm.rank();
+    match notification.request {
+        EventRequest::Shutdown | EventRequest::Kill => Ok(()), // gate-loop concerns
+        EventRequest::ExchangeSend { buffer, to } => {
+            // The sending half's "reply" is the envelope it forwards to the
+            // receiver: the data on success, the error otherwise. The
+            // receiver propagates a failure to the head, so the head never
+            // hangs on a half-completed exchange.
+            let outcome = memory.get(buffer).ok_or(OmpcError::UnknownBuffer(buffer));
+            let reply = match &outcome {
+                Ok(data) => EventReply::Ok(data.clone()),
+                Err(e) => EventReply::Err(as_remote(node, tag, e.clone())),
+            };
+            channel.send(to, tag, reply.encode())?;
+            outcome.map(|_| ())
+        }
+        request => {
+            let outcome = event_outcome(&channel, memory, kernels, request, tag);
+            let (reply, result) = match outcome {
+                Ok(payload) => (EventReply::Ok(payload), Ok(())),
+                Err(e) => (EventReply::Err(as_remote(node, tag, e.clone())), Err(e)),
+            };
+            channel.send(HEAD_RANK, tag, reply.encode())?;
+            result
+        }
+    }
+}
+
+/// Refuse an event on a killed node: reply with the node's failure instead
+/// of executing anything, so no peer ever blocks on a dead node.
+fn refuse_event(comm: &Communicator, notification: &EventNotification) -> OmpcResult<()> {
+    let channel = comm.on(notification.comm)?;
+    let node = comm.rank();
+    let error = as_remote(node, notification.tag, OmpcError::NodeFailure(node));
+    let dest = match notification.request {
+        // The exchange receiver is the peer waiting on the sending half.
+        EventRequest::ExchangeSend { to, .. } => to,
+        _ => HEAD_RANK,
+    };
+    channel.send(dest, notification.tag, EventReply::Err(error).encode())?;
     Ok(())
 }
 
@@ -121,7 +192,12 @@ pub fn handle_event(
 /// notifications and a pool of event-handler threads executing them.
 ///
 /// Returns when a shutdown event is received (normal termination) or when
-/// the communication substrate reports that the peers are gone.
+/// the communication substrate reports that the peers are gone. A kill
+/// event ([`EventRequest::Kill`], failure injection) ends the node's
+/// useful life early: events already accepted still complete (and reply),
+/// but every event notified afterwards is refused with an error reply
+/// instead of being executed — peers observe the failure immediately
+/// rather than hanging, and no further effects land on the dead node.
 pub fn worker_main(comm: Communicator, kernels: Arc<KernelRegistry>, handler_threads: usize) {
     let memory = Arc::new(DeviceMemory::new());
     let (tx, rx) = crossbeam::channel::unbounded::<EventNotification>();
@@ -139,8 +215,8 @@ pub fn worker_main(comm: Communicator, kernels: Arc<KernelRegistry>, handler_thr
                     .spawn_scoped(scope, move || {
                         while let Ok(notification) = rx.recv() {
                             // Errors on individual events must not kill the
-                            // handler pool; the head node will observe the
-                            // missing completion and surface the failure.
+                            // handler pool; the head node receives them as
+                            // error replies on the event channel.
                             let _ = handle_event(&comm, &memory, &kernels, notification);
                         }
                     })
@@ -157,12 +233,22 @@ pub fn worker_main(comm: Communicator, kernels: Arc<KernelRegistry>, handler_thr
         // small handler pool cannot deadlock on two opposing exchanges.
         // The loop ends when the world shuts down or every peer terminated
         // (recv fails), or when a shutdown event arrives.
+        let mut dead = false;
         while let Ok(msg) = comm.recv(None, Some(CONTROL_TAG)) {
             let Ok(notification) = EventNotification::decode(&msg.data) else {
                 continue;
             };
-            if matches!(notification.request, EventRequest::Shutdown) {
-                break;
+            match notification.request {
+                EventRequest::Shutdown => break,
+                EventRequest::Kill => {
+                    dead = true;
+                    continue;
+                }
+                _ => {}
+            }
+            if dead {
+                let _ = refuse_event(&comm, &notification);
+                continue;
             }
             let inline = matches!(
                 notification.request,
@@ -229,8 +315,9 @@ mod tests {
             EventNotification { request: EventRequest::Submit { buffer }, tag, comm },
         )
         .unwrap();
-        // Completion arrived at head.
-        assert!(head.on(comm).unwrap().recv(Some(1), Some(tag)).unwrap().is_empty());
+        // The typed Ok reply arrived at the head.
+        let msg = head.on(comm).unwrap().recv(Some(1), Some(tag)).unwrap();
+        assert_eq!(EventReply::decode(&msg.data).unwrap(), EventReply::Ok(Vec::new()));
 
         // Execute the kernel.
         let tag2 = Tag(11);
@@ -245,7 +332,8 @@ mod tests {
             },
         )
         .unwrap();
-        head.on(comm).unwrap().recv(Some(1), Some(tag2)).unwrap();
+        let msg = head.on(comm).unwrap().recv(Some(1), Some(tag2)).unwrap();
+        assert!(EventReply::decode(&msg.data).unwrap().into_result().is_ok());
 
         // Retrieve the result.
         let tag3 = Tag(12);
@@ -257,7 +345,8 @@ mod tests {
         )
         .unwrap();
         let msg = head.on(comm).unwrap().recv(Some(1), Some(tag3)).unwrap();
-        assert_eq!(ompc_mpi::typed::bytes_to_f64s(&msg.data).unwrap(), vec![3.0, 6.0]);
+        let data = EventReply::decode(&msg.data).unwrap().into_result().unwrap();
+        assert_eq!(ompc_mpi::typed::bytes_to_f64s(&data).unwrap(), vec![3.0, 6.0]);
     }
 
     #[test]
@@ -344,9 +433,118 @@ mod tests {
         .unwrap();
         let received = recv_thread.join().unwrap();
         assert_eq!(received, Some(vec![7, 8, 9]));
-        // The head got an acknowledgement carrying the byte count.
+        // The head got a typed acknowledgement carrying the byte count.
         let ack = head.recv(Some(2), Some(tag)).unwrap();
-        assert_eq!(u64::from_le_bytes(ack.data[..8].try_into().unwrap()), 3);
+        let payload = EventReply::decode(&ack.data).unwrap().into_result().unwrap();
+        assert_eq!(u64::from_le_bytes(payload[..8].try_into().unwrap()), 3);
         let _ = mem2;
+    }
+
+    #[test]
+    fn handler_error_is_replied_to_the_head_not_dropped() {
+        let world = World::new(2);
+        let head = world.communicator(0);
+        let worker = world.communicator(1);
+        let memory = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        let tag = Tag(33);
+        let err = handle_event(
+            &worker,
+            &memory,
+            &kernels,
+            EventNotification {
+                request: EventRequest::Execute { kernel: KernelId(7), buffers: vec![] },
+                tag,
+                comm: CommId(0),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, OmpcError::UnknownKernel(KernelId(7)));
+        // The head receives the same failure as a typed error reply, with
+        // the originating node and event tag attached.
+        let msg = head.recv(Some(1), Some(tag)).unwrap();
+        match EventReply::decode(&msg.data).unwrap().into_result().unwrap_err() {
+            OmpcError::RemoteEvent { node, event, error } => {
+                assert_eq!((node, event), (1, 33));
+                assert_eq!(*error, OmpcError::UnknownKernel(KernelId(7)));
+            }
+            other => panic!("expected a remote-event error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_exchange_sender_unblocks_receiver_and_head() {
+        // The sending half fails (the buffer was never stored): the sender
+        // forwards its error envelope to the receiver, which propagates it
+        // to the head — nobody hangs on the half-completed exchange.
+        let world = World::with_communicators(3, 2);
+        let head = world.communicator(0);
+        let w1 = world.communicator(1);
+        let w2 = world.communicator(2);
+        let buffer = BufferId(6);
+        let tag = Tag(40);
+        let comm = CommId(0);
+        let recv_thread = std::thread::spawn({
+            let w2 = w2.clone();
+            move || {
+                let mem2 = DeviceMemory::new();
+                let kernels = KernelRegistry::new();
+                handle_event(
+                    &w2,
+                    &mem2,
+                    &kernels,
+                    EventNotification {
+                        request: EventRequest::ExchangeRecv { buffer, from: 1 },
+                        tag,
+                        comm,
+                    },
+                )
+            }
+        });
+        let mem1 = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        let send_err = handle_event(
+            &w1,
+            &mem1,
+            &kernels,
+            EventNotification { request: EventRequest::ExchangeSend { buffer, to: 2 }, tag, comm },
+        )
+        .unwrap_err();
+        assert_eq!(send_err, OmpcError::UnknownBuffer(buffer));
+        assert!(recv_thread.join().unwrap().is_err());
+        let msg = head.recv(Some(2), Some(tag)).unwrap();
+        let forwarded = EventReply::decode(&msg.data).unwrap().into_result().unwrap_err();
+        assert_eq!(forwarded.origin_node(), Some(1), "the error keeps the sender's attribution");
+        assert_eq!(forwarded.root_cause(), &OmpcError::UnknownBuffer(buffer));
+    }
+
+    #[test]
+    fn killed_worker_refuses_events_with_error_replies_until_shutdown() {
+        let world = World::with_communicators(2, 2);
+        let head = world.communicator(0);
+        let worker_comm = world.communicator(1);
+        let kernels = Arc::new(KernelRegistry::new());
+        let worker = std::thread::spawn(move || worker_main(worker_comm, kernels, 1));
+
+        let send = |req: EventRequest, tag: u64| {
+            let n = EventNotification { request: req, tag: Tag(tag), comm: CommId(0) };
+            head.send(1, CONTROL_TAG, n.encode()).unwrap();
+        };
+        // Before the kill: a normal alloc completes with an Ok reply.
+        send(EventRequest::Alloc { buffer: BufferId(1), size: 8 }, 100);
+        let msg = head.on(CommId(0)).unwrap().recv(Some(1), Some(Tag(100))).unwrap();
+        assert!(EventReply::decode(&msg.data).unwrap().into_result().is_ok());
+
+        // Kill the node, then try to execute: the event is refused.
+        send(EventRequest::Kill, 101);
+        send(EventRequest::Execute { kernel: KernelId(0), buffers: vec![] }, 102);
+        let msg = head.on(CommId(0)).unwrap().recv(Some(1), Some(Tag(102))).unwrap();
+        let err = EventReply::decode(&msg.data).unwrap().into_result().unwrap_err();
+        assert_eq!(err.origin_node(), Some(1));
+        assert_eq!(err.root_cause(), &OmpcError::NodeFailure(1));
+
+        // Shutdown still terminates the gate loop.
+        send(EventRequest::Shutdown, 103);
+        worker.join().unwrap();
     }
 }

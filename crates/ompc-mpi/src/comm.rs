@@ -103,6 +103,24 @@ impl Communicator {
         self.own_mailbox().recv(self.comm, source, tag)
     }
 
+    /// Blocking receive with an upper bound on the wait; returns
+    /// [`MpiError::Timeout`] when no matching message arrives in time. The
+    /// OMPC event system uses this as a last line of defence against a
+    /// reply that can never arrive (a worker thread that died mid-event).
+    pub fn recv_timeout(
+        &self,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: std::time::Duration,
+    ) -> MpiResult<Message> {
+        if let Some(s) = source {
+            if s >= self.world.size {
+                return Err(MpiError::InvalidRank { rank: s, world_size: self.world.size });
+            }
+        }
+        self.own_mailbox().recv_timeout(self.comm, source, tag, timeout)
+    }
+
     /// Non-blocking receive attempt; returns `None` when no matching message
     /// is queued.
     pub fn try_recv(&self, source: Option<Rank>, tag: Option<Tag>) -> Option<Message> {

@@ -30,6 +30,10 @@ pub enum MpiError {
     CollectiveMismatch(String),
     /// Payload could not be reinterpreted as the requested element type.
     TypeConversion { expected: &'static str, len: usize },
+    /// A timed receive gave up before a matching message arrived. Used by
+    /// the OMPC event system as a last-resort guard against a lost reply
+    /// (e.g. a worker thread that died without answering).
+    Timeout { source: Option<Rank>, tag: Option<Tag> },
 }
 
 impl fmt::Display for MpiError {
@@ -48,6 +52,19 @@ impl fmt::Display for MpiError {
             MpiError::CollectiveMismatch(m) => write!(f, "collective mismatch: {m}"),
             MpiError::TypeConversion { expected, len } => {
                 write!(f, "payload of {len} bytes is not a whole number of {expected} elements")
+            }
+            MpiError::Timeout { source, tag } => {
+                write!(f, "receive timed out (source ")?;
+                match source {
+                    Some(s) => write!(f, "{s}")?,
+                    None => write!(f, "any")?,
+                }
+                write!(f, ", tag ")?;
+                match tag {
+                    Some(t) => write!(f, "{t}")?,
+                    None => write!(f, "any")?,
+                }
+                write!(f, ")")
             }
         }
     }

@@ -118,6 +118,37 @@ impl Mailbox {
         }
     }
 
+    /// [`Mailbox::recv`] with an upper bound on the wait: returns
+    /// [`MpiError::Timeout`] when no matching message has arrived within
+    /// `timeout`. Shutdown and peer-termination are still reported with
+    /// their own errors, exactly as in the untimed receive.
+    pub fn recv_timeout(
+        &self,
+        comm: CommId,
+        source: Option<Rank>,
+        tag: Option<Tag>,
+        timeout: Duration,
+    ) -> MpiResult<Message> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(env) = Self::take_match(&mut inner.queue, comm, source, tag) {
+                return Ok(env.into_message());
+            }
+            if inner.shutdown {
+                return Err(MpiError::Finalized(self.owner));
+            }
+            if inner.total_peers > 0 && inner.terminated_peers >= inner.total_peers {
+                return Err(MpiError::PeerTerminated { peer: source.unwrap_or(usize::MAX), tag });
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(MpiError::Timeout { source, tag });
+            }
+            self.arrival.wait_for(&mut inner, RECV_POLL.min(deadline - now));
+        }
+    }
+
     /// Non-blocking probe: status of the first matching message, without
     /// removing it from the queue.
     pub fn iprobe(&self, comm: CommId, source: Option<Rank>, tag: Option<Tag>) -> Option<Status> {

@@ -38,6 +38,30 @@ impl Rng {
     }
 }
 
+/// Run `f` on a watchdog thread and panic if it has not finished within
+/// `limit` — turns a protocol hang into a fast, attributable test failure
+/// instead of a wedged CI job. Used by the error-protocol and
+/// fault-tolerance suites with a 120 s limit.
+pub fn with_timeout<T: Send + 'static>(
+    limit: std::time::Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(limit) {
+        Ok(value) => {
+            let _ = handle.join();
+            value
+        }
+        Err(_) => panic!(
+            "test body did not finish within the {}s watchdog — protocol hang?",
+            limit.as_secs()
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +81,18 @@ mod tests {
     fn zero_seed_is_valid() {
         let mut r = Rng::new(0);
         assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn with_timeout_returns_the_value_in_time() {
+        assert_eq!(with_timeout(std::time::Duration::from_secs(5), || 41 + 1), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn with_timeout_panics_on_a_hang() {
+        with_timeout(std::time::Duration::from_millis(50), || {
+            std::thread::sleep(std::time::Duration::from_secs(60));
+        });
     }
 }

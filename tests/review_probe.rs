@@ -4,16 +4,18 @@ use ompc::sched::TaskGraph;
 #[test]
 fn second_region_failure_must_not_recover_onto_a_node_dead_from_region_one() {
     // 3 workers. Region 1 kills node 1; region 2 kills node 2.
-    let plan = FaultPlan::none()
-        .fail_after_completions(1, 1)
-        .fail_after_completions(2, 2);
+    let plan = FaultPlan::none().fail_after_completions(1, 1).fail_after_completions(2, 2);
     let config = OmpcConfig { fault_plan: plan, ..OmpcConfig::small() };
     let mut device = ClusterDevice::with_config(3, config.clone());
 
     // Region 1: a 3-task chain pinned to node 1; node 1 dies, recovery moves it.
     let mut g = TaskGraph::new();
-    for _ in 0..3 { g.add_task(0.005); }
-    for t in 1..3 { g.add_edge(t - 1, t, 1024); }
+    for _ in 0..3 {
+        g.add_task(0.005);
+    }
+    for t in 1..3 {
+        g.add_edge(t - 1, t, 1024);
+    }
     let w1 = WorkloadGraph::new(g, vec![1024; 3]);
     let p1 = RuntimePlan { assignment: vec![1, 1, 1], window: 1 };
     let r1 = device.run_workload(&w1, &p1).unwrap();
@@ -22,15 +24,23 @@ fn second_region_failure_must_not_recover_onto_a_node_dead_from_region_one() {
 
     // Region 2: a chain on nodes 2 and 3; node 2 dies mid-region.
     let mut g = TaskGraph::new();
-    for _ in 0..8 { g.add_task(0.005); }
-    for t in 1..8 { g.add_edge(t - 1, t, 1024); }
+    for _ in 0..8 {
+        g.add_task(0.005);
+    }
+    for t in 1..8 {
+        g.add_edge(t - 1, t, 1024);
+    }
     let w2 = WorkloadGraph::new(g, vec![1024; 8]);
     let p2 = RuntimePlan { assignment: vec![2, 2, 2, 2, 3, 3, 3, 3], window: 1 };
     let r2 = device.run_workload(&w2, &p2).unwrap();
     assert_eq!(r2.failures.len(), 1, "node 2 must die in region 2");
     // Recovery must only ever target node 3, the sole true survivor.
     for rp in &r2.replanned {
-        assert_ne!(rp.to, 1, "recovery reassigned task {} onto node 1, which died in region 1: {:?}", rp.task, r2.replanned);
+        assert_ne!(
+            rp.to, 1,
+            "recovery reassigned task {} onto node 1, which died in region 1: {:?}",
+            rp.task, r2.replanned
+        );
     }
     for (t, &n) in r2.assignment.iter().enumerate() {
         assert_ne!(n, 1, "task {t} ended on long-dead node 1: {:?}", r2.assignment);
