@@ -9,6 +9,7 @@
 //! logic.
 
 use crate::buffer::BufferRegistry;
+use crate::config::BackendKind;
 use crate::config::OmpcConfig;
 use crate::data_manager::{DataManager, HEAD_NODE};
 use crate::event::EventSystem;
@@ -16,7 +17,9 @@ use crate::kernel::{Kernel, KernelArgs, KernelRegistry};
 use crate::model::WorkloadGraph;
 use crate::region::TargetRegion;
 use crate::runtime::fault::{FaultPlan, FaultState};
-use crate::runtime::{HeadWorkerPool, RunRecord, RuntimeCore, RuntimePlan, ThreadedBackend};
+use crate::runtime::{
+    HeadWorkerPool, MpiBackend, RunRecord, RuntimeCore, RuntimePlan, ThreadedBackend,
+};
 use crate::stats::{DeviceReport, RegionReport};
 use crate::task::{RegionGraph, TaskKind};
 use crate::types::{BufferId, Dependence, KernelId, NodeId, OmpcError, OmpcResult};
@@ -106,6 +109,9 @@ impl ClusterDevice {
             config.event_reply_timeout_ms.map(std::time::Duration::from_millis),
         ));
         let startup_time = start.elapsed();
+        let pool = HeadWorkerPool::with_idle_timeout(
+            config.pool_idle_timeout_ms.map(std::time::Duration::from_millis),
+        );
         Self {
             world,
             kernels,
@@ -115,7 +121,7 @@ impl ClusterDevice {
             config,
             num_workers,
             worker_handles,
-            pool: HeadWorkerPool::new(),
+            pool,
             report: Mutex::new(DeviceReport { startup_time, ..DeviceReport::default() }),
             last_record: Mutex::new(None),
             workload_kernel: std::sync::OnceLock::new(),
@@ -132,7 +138,10 @@ impl ClusterDevice {
     /// pool. The pool grows lazily to `min(head_worker_threads, window,
     /// tasks)` of the largest region executed so far and is reused across
     /// regions — repeated small regions never pay per-region spawn/join
-    /// churn.
+    /// churn. With [`OmpcConfig::pool_idle_timeout_ms`] set, idle threads
+    /// exit after the timeout, so this count also *drops* once the device
+    /// has been quiet. Always zero under
+    /// [`crate::config::BackendKind::Mpi`], which has no head pool.
     pub fn pool_threads(&self) -> usize {
         self.pool.threads()
     }
@@ -312,10 +321,12 @@ impl ClusterDevice {
         plan: &RuntimePlan,
     ) -> OmpcResult<RunRecord> {
         // Triggers naming a node that already died in an earlier region
-        // are spent: re-firing them would re-declare the failure here.
-        let fault_plan = {
+        // are spent: re-firing them would re-declare the failure here. The
+        // dead nodes themselves carry over as *prior* failures, so this
+        // region's recovery never counts them among the survivors.
+        let (fault_plan, prior_dead) = {
             let dm = self.dm.lock();
-            FaultPlan {
+            let plan = FaultPlan {
                 events: self
                     .config
                     .fault_plan
@@ -325,29 +336,64 @@ impl ClusterDevice {
                     .filter(|e| !dm.is_failed(e.node))
                     .collect(),
                 task_errors: self.config.fault_plan.task_errors.clone(),
-            }
+            };
+            let dead: Vec<NodeId> = (1..=self.num_workers).filter(|&n| dm.is_failed(n)).collect();
+            (plan, dead)
         };
+        // A plan naming an already-excommunicated node is a configuration
+        // error, not a recoverable failure: the recovery machinery moves
+        // tasks off nodes that die *during* a run, while a long-dead node
+        // would either fake-complete the task without executing it (no
+        // active fault subsystem) or bounce it back to the same dead node
+        // forever (prior failures are never re-declared, so nothing ever
+        // replans it). Reject up front with a pointer at the fix.
+        if let Some(&node) = plan.assignment.iter().find(|n| prior_dead.contains(n)) {
+            return Err(OmpcError::InvalidConfig(format!(
+                "plan assigns a task to worker node {node}, which was declared failed in an \
+                 earlier region and stays excommunicated; plan over ClusterDevice::alive_workers()"
+            )));
+        }
         let faults = FaultState::from_config(
             &fault_plan,
             self.config.heartbeat_period_ms,
             self.config.heartbeat_miss_threshold,
             self.num_workers,
         )?
-        .map(|f| f.with_replan(self.config.replan_on_failure));
+        .map(|f| f.with_replan(self.config.replan_on_failure).with_prior_failures(&prior_dead));
         let mut core = match faults {
             Some(faults) => RuntimeCore::with_faults(graph.as_ref(), plan, faults),
             None => RuntimeCore::new(graph.as_ref(), plan),
         };
-        let backend = ThreadedBackend::new(
-            &self.pool,
-            Arc::clone(&self.events),
-            Arc::clone(&self.buffers),
-            Arc::clone(&self.dm),
-            graph,
-            host_fns,
-            &self.config,
-        );
-        let result = backend.execute(&mut core);
+        let result = match self.config.backend {
+            BackendKind::Threaded => {
+                let backend = ThreadedBackend::new(
+                    &self.pool,
+                    Arc::clone(&self.events),
+                    Arc::clone(&self.buffers),
+                    Arc::clone(&self.dm),
+                    graph,
+                    host_fns,
+                    &self.config,
+                );
+                backend.execute(&mut core)
+            }
+            BackendKind::Mpi => {
+                let backend = MpiBackend::new(
+                    Arc::clone(&self.events),
+                    Arc::clone(&self.buffers),
+                    Arc::clone(&self.dm),
+                    graph,
+                    host_fns,
+                    &self.config,
+                );
+                backend.execute(&mut core)
+            }
+            BackendKind::Sim => Err(OmpcError::InvalidConfig(
+                "a ClusterDevice cannot drive the simulated backend; use the simulate_ompc* \
+                 entry points instead"
+                    .to_string(),
+            )),
+        };
         let record = core.record();
         *self.last_record.lock() = Some(record.clone());
         result?;

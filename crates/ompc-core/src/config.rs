@@ -5,6 +5,42 @@ use crate::runtime::fault::FaultPlan;
 use ompc_sched::{EagerScheduler, HeftScheduler, MinMinScheduler, RoundRobinScheduler, Scheduler};
 use ompc_sim::SimTime;
 
+/// Which [`crate::runtime::ExecutionBackend`] a
+/// [`crate::cluster::ClusterDevice`] drives through the unified execution
+/// core. All backends share every scheduling, windowing, forwarding, and
+/// recovery decision; they differ only in *how* dispatched tasks execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// [`crate::runtime::ThreadedBackend`]: a long-lived pool of head
+    /// worker threads drives each task's events synchronously (the
+    /// libomptarget hidden-helper-thread analogue). The default.
+    #[default]
+    Threaded,
+    /// [`crate::runtime::MpiBackend`]: pure message passing — the head
+    /// serializes each task into one composite event carried over
+    /// `ompc-mpi` tagged messages and probes for typed completion replies,
+    /// as the paper's gate thread does. No head pool threads block per
+    /// in-flight task.
+    Mpi,
+    /// [`crate::runtime::SimBackend`]: the deterministic virtual cluster.
+    /// Selected implicitly by the `simulate_ompc*` family; a
+    /// [`crate::cluster::ClusterDevice`] rejects it with
+    /// [`crate::types::OmpcError::InvalidConfig`] because a real device
+    /// has no cost model to simulate against.
+    Sim,
+}
+
+impl BackendKind {
+    /// Name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Threaded => "threaded",
+            BackendKind::Mpi => "mpi",
+            BackendKind::Sim => "sim",
+        }
+    }
+}
+
 /// Which static scheduler the runtime uses at the implicit barrier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
@@ -61,6 +97,11 @@ impl SchedulerKind {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct OmpcConfig {
+    /// Which execution backend a [`crate::cluster::ClusterDevice`] drives:
+    /// the threaded head pool (default) or the message-passing
+    /// [`crate::runtime::MpiBackend`]. The simulated backend is selected
+    /// through the `simulate_ompc*` entry points instead.
+    pub backend: BackendKind,
     /// Number of event-handler threads per worker node (paper §4.2).
     pub event_handler_threads: usize,
     /// Upper bound of the head-node worker pool. In LLVM's libomptarget one
@@ -129,11 +170,21 @@ pub struct OmpcConfig {
     /// for the slowest kernel plus queueing delay on the worker's handler
     /// pool.
     pub event_reply_timeout_ms: Option<u64>,
+    /// Idle timeout (milliseconds) after which a head pool thread that
+    /// received no work exits, letting the long-lived
+    /// [`crate::runtime::HeadWorkerPool`] shrink below its high-water mark.
+    /// `None` (the default) keeps the historical behaviour: the pool only
+    /// ever grows, which is right for steady workloads but wastes threads
+    /// on a device alternating huge and tiny regions. The pool re-grows
+    /// lazily on the next region that needs more threads, so enabling the
+    /// reaper trades idle memory for occasional re-spawn latency.
+    pub pool_idle_timeout_ms: Option<u64>,
 }
 
 impl Default for OmpcConfig {
     fn default() -> Self {
         Self {
+            backend: BackendKind::Threaded,
             // The paper's nodes have 24 cores / 48 hardware threads; the
             // OpenMP hidden-helper/worker pool on the head node is what
             // bounds in-flight target regions.
@@ -150,6 +201,7 @@ impl Default for OmpcConfig {
             heartbeat_period_ms: 10,
             heartbeat_miss_threshold: 3,
             event_reply_timeout_ms: None,
+            pool_idle_timeout_ms: None,
         }
     }
 }
@@ -159,6 +211,7 @@ impl OmpcConfig {
     /// communicators.
     pub fn small() -> Self {
         Self {
+            backend: BackendKind::Threaded,
             event_handler_threads: 1,
             head_worker_threads: 4,
             max_inflight_tasks: None,
@@ -172,6 +225,7 @@ impl OmpcConfig {
             heartbeat_period_ms: 10,
             heartbeat_miss_threshold: 3,
             event_reply_timeout_ms: Some(60_000),
+            pool_idle_timeout_ms: None,
         }
     }
 
@@ -257,6 +311,19 @@ mod tests {
             let s = kind.build();
             assert_eq!(s.name(), kind.name());
         }
+    }
+
+    #[test]
+    fn backend_kinds_have_stable_names_and_threaded_default() {
+        assert_eq!(BackendKind::default(), BackendKind::Threaded);
+        assert_eq!(BackendKind::Threaded.name(), "threaded");
+        assert_eq!(BackendKind::Mpi.name(), "mpi");
+        assert_eq!(BackendKind::Sim.name(), "sim");
+        assert_eq!(OmpcConfig::default().backend, BackendKind::Threaded);
+        assert_eq!(OmpcConfig::small().backend, BackendKind::Threaded);
+        // The idle reaper is opt-in.
+        assert_eq!(OmpcConfig::default().pool_idle_timeout_ms, None);
+        assert_eq!(OmpcConfig::small().pool_idle_timeout_ms, None);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub struct EventCounters {
 }
 
 impl EventCounters {
-    fn record(&self, data_bytes: Option<u64>) {
+    pub(crate) fn record(&self, data_bytes: Option<u64>) {
         self.events.fetch_add(1, Ordering::Relaxed);
         if let Some(bytes) = data_bytes {
             self.data_events.fetch_add(1, Ordering::Relaxed);
@@ -91,14 +91,28 @@ impl EventSystem {
 
     /// Allocate an exclusive `(tag, communicator)` channel for a new event.
     /// Communicators are chosen round-robin by tag, mirroring the paper's
-    /// mapping of events onto MPICH virtual communication interfaces.
-    fn open_channel(&self) -> (Tag, CommId) {
+    /// mapping of events onto MPICH virtual communication interfaces. Also
+    /// used by the message-passing `MpiBackend`, so composite task events
+    /// and this system's synchronous events share one device-unique tag
+    /// space.
+    pub(crate) fn open_channel(&self) -> (Tag, CommId) {
         let tag = self.next_tag.fetch_add(1, Ordering::Relaxed);
         let comm = CommId((tag % u64::from(self.comm.num_communicators())) as u32);
         (Tag(tag), comm)
     }
 
-    fn notify(&self, node: NodeId, notification: &EventNotification) -> OmpcResult<()> {
+    /// The head node's communicator handle, for backends that probe and
+    /// receive replies themselves instead of blocking per event.
+    pub(crate) fn communicator(&self) -> &Communicator {
+        &self.comm
+    }
+
+    /// The configured upper bound on any single reply wait.
+    pub(crate) fn reply_timeout(&self) -> Option<Duration> {
+        self.reply_timeout
+    }
+
+    pub(crate) fn notify(&self, node: NodeId, notification: &EventNotification) -> OmpcResult<()> {
         self.comm.send(node, CONTROL_TAG, notification.encode())?;
         Ok(())
     }

@@ -83,18 +83,19 @@ pub mod worker;
 pub mod prelude {
     pub use crate::buffer::BufferRegistry;
     pub use crate::cluster::ClusterDevice;
-    pub use crate::config::{OmpcConfig, OverheadModel, SchedulerKind};
+    pub use crate::config::{BackendKind, OmpcConfig, OverheadModel, SchedulerKind};
     pub use crate::data_manager::DataManager;
     pub use crate::kernel::{FnKernel, Kernel, KernelArgs, KernelRegistry};
     pub use crate::model::WorkloadGraph;
     pub use crate::region::TargetRegion;
     pub use crate::runtime::{
-        ExecutionBackend, FailureRecord, FaultPlan, FaultTrigger, HeadWorkerPool, ReplanEntry,
-        RunRecord, RuntimeCore, RuntimePlan, SimBackend, TaskEvent, ThreadedBackend,
+        ExecutionBackend, FailureRecord, FaultPlan, FaultTrigger, HeadWorkerPool, MpiBackend,
+        ReplanEntry, RunRecord, RuntimeCore, RuntimePlan, SimBackend, TaskEvent, ThreadedBackend,
     };
     pub use crate::sim_runtime::{
-        sim_plan, simulate_ompc, simulate_ompc_outcome, simulate_ompc_recorded,
-        simulate_ompc_traced, simulate_ompc_with_plan, OmpcSimResult,
+        sim_plan, simulate_ompc, simulate_ompc_outcome, simulate_ompc_outcome_traced,
+        simulate_ompc_recorded, simulate_ompc_traced, simulate_ompc_with_plan, OmpcSimOutcome,
+        OmpcSimResult,
     };
     pub use crate::stats::{DeviceReport, RegionReport};
     pub use crate::task::{RegionGraph, TaskKind};

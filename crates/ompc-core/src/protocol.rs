@@ -48,6 +48,13 @@ pub enum EventRequest {
     ExchangeRecv { buffer: BufferId, from: NodeId },
     /// Execute kernel `kernel` against the listed device buffers.
     Execute { kernel: KernelId, buffers: Vec<BufferId> },
+    /// Run one whole task — data movement steps then kernel execution — on
+    /// the destination node, producing a single reply when every step has
+    /// finished. This is the [`crate::runtime::MpiBackend`]'s composite
+    /// event: the head composes the task's recipe from the data manager's
+    /// forwarding plan and carries it as one tagged message instead of
+    /// blocking a head pool thread on each constituent event.
+    Task(TaskSpec),
     /// Leave the gate loop and terminate the worker.
     Shutdown,
     /// Kill the worker's event loop for real (failure injection): the node
@@ -70,10 +77,64 @@ impl EventRequest {
             EventRequest::ExchangeSend { .. } => "exchange-send",
             EventRequest::ExchangeRecv { .. } => "exchange-recv",
             EventRequest::Execute { .. } => "execute",
+            EventRequest::Task(_) => "task",
             EventRequest::Shutdown => "shutdown",
             EventRequest::Kill => "kill",
         }
     }
+}
+
+/// One step of a composite [`EventRequest::Task`], executed in order by the
+/// destination node's event handler. Receive steps use the task's exclusive
+/// `(tag, communicator)` channel; because MPI delivery is non-overtaking
+/// per `(source, communicator, tag)`, several receives from the same source
+/// arrive in step order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskStep {
+    /// Receive the contents of `buffer` from the head node on the event
+    /// channel (the head sends the payload right after the notification).
+    RecvFromHead { buffer: BufferId },
+    /// Receive the contents of `buffer` from worker `from` on the event
+    /// channel. The sender transmits a reply envelope — the data on
+    /// success, its own error otherwise — exactly like the sending half of
+    /// an [`EventRequest::ExchangeSend`], so a dead or failed source
+    /// surfaces as a typed error in this task's reply instead of a hang.
+    RecvFromWorker { buffer: BufferId, from: NodeId },
+    /// Wait until `buffer` is locally present in device memory: a
+    /// co-scheduled task on the same node owns the in-flight transfer of
+    /// this buffer and will store it. Bounded by `timeout_ms` so an
+    /// upstream failure degrades into a typed error, never a hang.
+    AwaitLocal { buffer: BufferId, timeout_ms: u64 },
+    /// Ensure `size` zeroed bytes of device memory exist for `buffer` (a
+    /// write-only output that nothing transferred in).
+    Alloc { buffer: BufferId, size: u64 },
+    /// Run `kernel` against the listed device buffers.
+    Execute { kernel: KernelId, buffers: Vec<BufferId> },
+}
+
+/// The recipe of one composite [`EventRequest::Task`]: the ordered steps
+/// the destination node performs before sending the task's single typed
+/// reply.
+///
+/// ```
+/// use ompc_core::protocol::{EventNotification, EventRequest, TaskSpec, TaskStep};
+/// use ompc_core::types::{BufferId, KernelId};
+/// use ompc_mpi::{CommId, Tag};
+///
+/// let spec = TaskSpec {
+///     steps: vec![
+///         TaskStep::RecvFromHead { buffer: BufferId(1) },
+///         TaskStep::RecvFromWorker { buffer: BufferId(2), from: 3 },
+///         TaskStep::Execute { kernel: KernelId(0), buffers: vec![BufferId(1), BufferId(2)] },
+///     ],
+/// };
+/// let n = EventNotification { request: EventRequest::Task(spec), tag: Tag(7), comm: CommId(0) };
+/// assert_eq!(EventNotification::decode(&n.encode()).unwrap(), n);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// The steps, in execution order.
+    pub steps: Vec<TaskStep>,
 }
 
 /// A complete new-event notification: the request plus the exclusive
@@ -174,6 +235,68 @@ const KIND_EXCHANGE_RECV: u8 = 6;
 const KIND_EXECUTE: u8 = 7;
 const KIND_SHUTDOWN: u8 = 8;
 const KIND_KILL: u8 = 9;
+const KIND_TASK: u8 = 10;
+
+const STEP_RECV_FROM_HEAD: u8 = 1;
+const STEP_RECV_FROM_WORKER: u8 = 2;
+const STEP_AWAIT_LOCAL: u8 = 3;
+const STEP_ALLOC: u8 = 4;
+const STEP_EXECUTE: u8 = 5;
+
+fn encode_step(w: &mut Writer, step: &TaskStep) {
+    match step {
+        TaskStep::RecvFromHead { buffer } => {
+            w.u8(STEP_RECV_FROM_HEAD);
+            w.u64(buffer.0);
+        }
+        TaskStep::RecvFromWorker { buffer, from } => {
+            w.u8(STEP_RECV_FROM_WORKER);
+            w.u64(buffer.0);
+            w.u64(*from as u64);
+        }
+        TaskStep::AwaitLocal { buffer, timeout_ms } => {
+            w.u8(STEP_AWAIT_LOCAL);
+            w.u64(buffer.0);
+            w.u64(*timeout_ms);
+        }
+        TaskStep::Alloc { buffer, size } => {
+            w.u8(STEP_ALLOC);
+            w.u64(buffer.0);
+            w.u64(*size);
+        }
+        TaskStep::Execute { kernel, buffers } => {
+            w.u8(STEP_EXECUTE);
+            w.u64(kernel.0 as u64);
+            w.u32(buffers.len() as u32);
+            for b in buffers {
+                w.u64(b.0);
+            }
+        }
+    }
+}
+
+fn decode_step(r: &mut Reader<'_>) -> OmpcResult<TaskStep> {
+    Ok(match r.u8()? {
+        STEP_RECV_FROM_HEAD => TaskStep::RecvFromHead { buffer: BufferId(r.u64()?) },
+        STEP_RECV_FROM_WORKER => {
+            TaskStep::RecvFromWorker { buffer: BufferId(r.u64()?), from: r.u64()? as NodeId }
+        }
+        STEP_AWAIT_LOCAL => {
+            TaskStep::AwaitLocal { buffer: BufferId(r.u64()?), timeout_ms: r.u64()? }
+        }
+        STEP_ALLOC => TaskStep::Alloc { buffer: BufferId(r.u64()?), size: r.u64()? },
+        STEP_EXECUTE => {
+            let kernel = KernelId(r.u64()? as usize);
+            let n = r.u32()?;
+            let mut buffers = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                buffers.push(BufferId(r.u64()?));
+            }
+            TaskStep::Execute { kernel, buffers }
+        }
+        other => return Err(OmpcError::Internal(format!("unknown task step kind {other}"))),
+    })
+}
 
 impl EventNotification {
     /// Serialize the notification for transmission on the control tag.
@@ -217,6 +340,13 @@ impl EventNotification {
                     w.u64(b.0);
                 }
             }
+            EventRequest::Task(spec) => {
+                w.u8(KIND_TASK);
+                w.u32(spec.steps.len() as u32);
+                for step in &spec.steps {
+                    encode_step(&mut w, step);
+                }
+            }
             EventRequest::Shutdown => {
                 w.u8(KIND_SHUTDOWN);
             }
@@ -252,6 +382,14 @@ impl EventNotification {
                     buffers.push(BufferId(r.u64()?));
                 }
                 EventRequest::Execute { kernel, buffers }
+            }
+            KIND_TASK => {
+                let n = r.u32()?;
+                let mut steps = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    steps.push(decode_step(&mut r)?);
+                }
+                EventRequest::Task(TaskSpec { steps })
             }
             KIND_SHUTDOWN => EventRequest::Shutdown,
             KIND_KILL => EventRequest::Kill,
@@ -423,6 +561,41 @@ mod tests {
         });
         round_trip(EventRequest::Shutdown);
         round_trip(EventRequest::Kill);
+    }
+
+    #[test]
+    fn composite_task_round_trips_every_step_kind() {
+        round_trip(EventRequest::Task(TaskSpec { steps: vec![] }));
+        round_trip(EventRequest::Task(TaskSpec {
+            steps: vec![
+                TaskStep::RecvFromHead { buffer: BufferId(1) },
+                TaskStep::RecvFromWorker { buffer: BufferId(2), from: 4 },
+                TaskStep::AwaitLocal { buffer: BufferId(3), timeout_ms: 60_000 },
+                TaskStep::Alloc { buffer: BufferId(4), size: 4096 },
+                TaskStep::Execute {
+                    kernel: KernelId(7),
+                    buffers: vec![BufferId(1), BufferId(2), BufferId(3), BufferId(4)],
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn truncated_task_spec_is_an_error() {
+        let n = EventNotification {
+            request: EventRequest::Task(TaskSpec {
+                steps: vec![TaskStep::Alloc { buffer: BufferId(1), size: 64 }],
+            }),
+            tag: Tag(5),
+            comm: CommId(0),
+        };
+        let bytes = n.encode();
+        assert!(EventNotification::decode(&bytes[..bytes.len() - 1]).is_err());
+        // Corrupt the step kind.
+        let mut bad = bytes.clone();
+        let step_kind_pos = bad.len() - 17; // step kind byte before two u64 operands
+        bad[step_kind_pos] = 99;
+        assert!(EventNotification::decode(&bad).is_err());
     }
 
     #[test]

@@ -61,8 +61,20 @@ pub enum FaultTrigger {
     /// in the threaded backend).
     AtMillis(Millis),
     /// The node dies immediately after its K-th task retirement — the
-    /// trigger to use when both backends must fail at the identical point
+    /// trigger to use when every backend must fail at the identical point
     /// of the completion stream.
+    ///
+    /// Only **first-attempt** retirements advance this trigger's clock.
+    /// Recovery re-executions — lineage producers un-retired after a node
+    /// death, and in-flight tasks restarted on a survivor — retire again,
+    /// but those retirements are *recovery work*, not progress of the
+    /// original completion stream: counting them would let one injected
+    /// failure push a survivor past its own trigger and turn a
+    /// one-failure plan into a cascade whose shape depends on where
+    /// recovery happened to land. The execution core therefore skips the
+    /// injector's retirement accounting for any task in its re-executed
+    /// set, which keeps `AfterCompletions` positions identical across all
+    /// execution backends even when recovery timing differs.
     AfterCompletions(usize),
     /// The node dies once this much *real* (wall-clock) time has elapsed
     /// since the run started — the trigger soak tests use to inject
@@ -201,6 +213,13 @@ impl FailureInjector {
     /// Whether the injector has silenced `node`.
     pub fn is_silenced(&self, node: NodeId) -> bool {
         self.silenced.contains(&node)
+    }
+
+    /// Silence `node` without any trigger firing — used to carry a failure
+    /// declared in an earlier region execution into a fresh injector, so
+    /// the node is never again counted among the survivors.
+    pub fn silence(&mut self, node: NodeId) {
+        self.silenced.insert(node);
     }
 
     /// Record a task retirement on `node`; returns the nodes (possibly
@@ -367,6 +386,19 @@ impl FaultState {
         self
     }
 
+    /// Seed the subsystem with nodes that already failed before this
+    /// execution started (e.g. in an earlier region of the same device
+    /// lifetime). They are silenced and pre-declared: excluded from
+    /// [`FaultState::alive_workers`] — so recovery never resurrects them —
+    /// and never re-declared to the core as a fresh failure.
+    pub fn with_prior_failures(mut self, dead: &[NodeId]) -> Self {
+        for &node in dead {
+            self.injector.silence(node);
+            self.declared.insert(node);
+        }
+        self
+    }
+
     /// The current fault clock (ms).
     pub fn clock(&self) -> Millis {
         self.clock
@@ -421,10 +453,12 @@ impl FaultState {
                 self.monitor.record_heartbeat(node, self.clock);
             }
         }
-        let newly = self.monitor.check(self.clock);
-        for &n in &newly {
-            self.declared.insert(n);
-        }
+        // `insert` returning false filters nodes pre-declared by
+        // `with_prior_failures`: their (new) monitor entry goes silent from
+        // round one, but their failure belongs to an earlier execution and
+        // must not be re-declared to the core.
+        let mut newly = self.monitor.check(self.clock);
+        newly.retain(|&n| self.declared.insert(n));
         newly
     }
 
@@ -548,6 +582,33 @@ mod tests {
         assert!(state.is_declared(1));
         let latency = state.clock() - state.silenced_at(1);
         assert!(latency > 30, "declared only after the miss threshold, got {latency} ms");
+    }
+
+    #[test]
+    fn prior_failures_are_silenced_but_never_redeclared() {
+        // A node that died in an earlier region: excluded from the
+        // survivors from round one, and never declared again even though
+        // its (fresh) monitor entry goes silent immediately.
+        let plan = FaultPlan::none().fail_after_completions(2, 1);
+        let mut state =
+            FaultState::from_config(&plan, 10, 3, 3).unwrap().unwrap().with_prior_failures(&[1]);
+        assert!(state.is_dead(1) && state.is_declared(1));
+        assert_eq!(state.alive_workers(), vec![2, 3]);
+        let mut declared = Vec::new();
+        for _ in 0..10 {
+            state.advance_round(None);
+            declared.extend(state.beat_and_check());
+        }
+        assert!(declared.is_empty(), "the prior failure must not be re-declared: {declared:?}");
+        // A fresh trigger on a live node still fires and declares normally.
+        assert_eq!(state.note_retirement(2), vec![2]);
+        let mut declared = Vec::new();
+        for _ in 0..10 {
+            state.advance_round(None);
+            declared.extend(state.beat_and_check());
+        }
+        assert_eq!(declared, vec![2]);
+        assert_eq!(state.alive_workers(), vec![3]);
     }
 
     #[test]

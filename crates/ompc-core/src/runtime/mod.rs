@@ -16,9 +16,13 @@
 //!   ([`crate::config::OmpcConfig::max_inflight_tasks`]), and the per-phase
 //!   accounting (dispatch order, completion order, peak concurrency).
 //! * [`ExecutionBackend`] — the trait a backend implements to execute what
-//!   the core decides: [`ThreadedBackend`] wraps the `ompc-mpi` world and
-//!   the real worker threads, [`SimBackend`] wraps the `ompc-sim`
-//!   discrete-event engine.
+//!   the core decides: [`ThreadedBackend`] drives the real worker threads
+//!   through a pool of synchronous head worker threads, [`MpiBackend`]
+//!   carries every task as one composite tagged message over the
+//!   `ompc-mpi` world and probes for typed completion replies (the paper's
+//!   gate-thread shape), and [`SimBackend`] wraps the `ompc-sim`
+//!   discrete-event engine. Select between the first two with
+//!   [`crate::config::OmpcConfig::backend`].
 //! * [`fault`] — the fault-tolerance subsystem (paper §3.1): deterministic
 //!   failure injection, ring-heartbeat detection driven by this dispatch
 //!   loop, and task recovery onto the surviving workers.
@@ -29,22 +33,48 @@
 //! reproduced (or lifted) in either mode purely through configuration.
 
 pub mod fault;
+pub mod mpi;
 pub mod sim;
 pub mod threaded;
 
 pub use fault::{FailureRecord, FaultPlan, FaultState, FaultTrigger, LostBuffer, ReplanEntry};
+pub use mpi::MpiBackend;
 pub use sim::SimBackend;
 pub use threaded::{HeadWorkerPool, ThreadedBackend};
 
 use crate::buffer::BufferRegistry;
 use crate::config::OmpcConfig;
-use crate::data_manager::HEAD_NODE;
+use crate::data_manager::{DataManager, HEAD_NODE};
+use crate::event::EventSystem;
 use crate::heartbeat::{plan_recovery, Millis};
 use crate::model::{self, WorkloadGraph};
 use crate::task::{RegionGraph, TaskKind};
-use crate::types::{NodeId, OmpcError, OmpcResult, TaskId};
+use crate::types::{BufferId, NodeId, OmpcError, OmpcResult, TaskId};
 use ompc_sched::Platform;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Release every device copy of `buffer` (exit-data semantics, shared by
+/// the threaded and MPI backends): drop the buffer from the data manager
+/// and delete the copy on every live holder. Dead holders are skipped —
+/// their memory died with them, and a delete event would only bounce off
+/// the zombie gate.
+pub(crate) fn release_device_copies(
+    dm: &parking_lot::Mutex<DataManager>,
+    events: &EventSystem,
+    buffer: BufferId,
+) -> OmpcResult<()> {
+    // `remove` returns only worker-node holders; capture the failed set
+    // under the same acquisition instead of re-locking per holder.
+    let live_holders: Vec<NodeId> = {
+        let mut dm = dm.lock();
+        let holders = dm.remove(buffer);
+        holders.into_iter().filter(|&n| !dm.is_failed(n)).collect()
+    };
+    for holder in live_holders {
+        events.delete(holder, buffer)?;
+    }
+    Ok(())
+}
 
 /// A dependence DAG as seen by the execution core: dense task ids, counted
 /// predecessors, listed successors. Implemented by the scheduler's
@@ -524,10 +554,17 @@ impl RuntimeCore {
                 Ok(())
             }
             TaskEvent::Completed(_) => {
+                // Only a task's *first-attempt* retirement advances the
+                // failure injector's `AfterCompletions` fault clock: a task
+                // in the re-executed set is retiring recovery work, and
+                // counting it would let one injected failure cascade a
+                // survivor past its own trigger (see
+                // [`FaultTrigger::AfterCompletions`]).
+                let first_attempt = !self.reexecuted.contains(&task);
                 self.retire(task);
                 let newly_dead = match &mut self.faults {
-                    Some(f) => f.note_retirement(node),
-                    None => Vec::new(),
+                    Some(f) if first_attempt => f.note_retirement(node),
+                    _ => Vec::new(),
                 };
                 for dead in newly_dead {
                     self.kill_node(dead, backend);

@@ -1,0 +1,718 @@
+//! The message-passing execution backend: every task travels to its worker
+//! node as **one composite event over `ompc-mpi`**, and completions come
+//! back as typed replies the head discovers by probing — the paper's
+//! head/worker split (§4.2) with no head pool thread blocked per in-flight
+//! task.
+//!
+//! Where [`super::ThreadedBackend`] has a pool of head worker threads each
+//! driving a task's constituent events *synchronously* (submit, wait;
+//! execute, wait; …), the [`MpiBackend`] head composes the whole task — the
+//! input forwards planned by the [`DataManager`], output allocations, and
+//! the kernel execution — into a single [`EventRequest::Task`] recipe,
+//! serializes it through the `protocol` codec, and sends it as a tagged
+//! message. Payloads and worker-to-worker forwards ride the task's
+//! exclusive `(tag, communicator)` channel (communicators chosen
+//! round-robin by tag, the paper's VCI mapping), and the worker's handler
+//! answers with exactly one [`EventReply`] when the last step finished —
+//! success or a typed error naming the node and event.
+//!
+//! The head's `await_completions` is the paper's gate-thread loop: it
+//! `iprobe`s the reply channel of every outstanding task, retires whatever
+//! has landed, and honours
+//! [`crate::config::OmpcConfig::event_reply_timeout_ms`] as the last-resort
+//! bound on a reply that can never arrive.
+//!
+//! Tag layout: new-event notifications travel on the reserved
+//! [`crate::protocol::CONTROL_TAG`]; each task (and each synchronous
+//! maintenance event — deletes, retrieves — still issued through the shared
+//! [`EventSystem`]) owns a device-unique tag drawn from the same counter,
+//! so the two tag spaces can never collide and concurrent events cannot
+//! cross-talk.
+//!
+//! The full fault-tolerance surface carries over unchanged: the failure
+//! injector kills the worker's event loop for real ([`EventRequest::Kill`]
+//! via [`ExecutionBackend::invalidate_node`]), the zombie gate refuses
+//! every later task with an error reply (so a launch onto a dead node
+//! degrades into a stale failure the core restarts, never a hang), and a
+//! dead exchange source forwards its error envelope through the receiving
+//! task's reply with the dead node's attribution — the same
+//! propagate-vs-restart decisions [`super::RuntimeCore`] makes for the
+//! other two backends.
+
+use super::fault::LostBuffer;
+use super::threaded::POISONED_KERNEL;
+use super::{ExecutionBackend, RuntimeCore, RuntimePlan, TaskEvent};
+use crate::buffer::BufferRegistry;
+use crate::cluster::HostFn;
+use crate::config::OmpcConfig;
+use crate::data_manager::{DataManager, HEAD_NODE};
+use crate::event::EventSystem;
+use crate::protocol::{EventNotification, EventReply, EventRequest, TaskSpec, TaskStep};
+use crate::task::{RegionGraph, TaskKind};
+use crate::types::{BufferId, MapType, NodeId, OmpcError, OmpcResult, TaskId};
+use ompc_mpi::{CommId, Tag};
+use ompc_sched::Platform;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long the probe loop sleeps between polls of the outstanding reply
+/// channels. Small enough to keep single-task latency negligible next to a
+/// kernel execution, large enough not to spin a core.
+const PROBE_INTERVAL: Duration = Duration::from_micros(100);
+
+/// Bound on each reply wait while draining outstanding tasks after a failed
+/// run, when no [`crate::config::OmpcConfig::event_reply_timeout_ms`] is
+/// configured.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// `AwaitLocal` bound when no reply timeout is configured: a co-scheduled
+/// transfer that has not landed in this long is considered failed.
+const DEFAULT_AWAIT_LOCAL_MS: u64 = 60_000;
+
+/// What the head must do when a task's reply arrives, beyond retiring it.
+enum PendingKind {
+    /// A target task: clear its in-flight transfers, record its writes
+    /// (invalidating stale copies), or roll the optimistic records back on
+    /// failure.
+    Target {
+        /// Input transfers this task owns, as `(buffer, destination)`.
+        owned: Vec<(BufferId, NodeId)>,
+        /// Output replicas recorded optimistically for alloc steps.
+        allocs: Vec<(BufferId, NodeId)>,
+        /// Buffers the task writes.
+        writes: Vec<BufferId>,
+    },
+    /// An enter-data task: record the new replica.
+    EnterData { buffer: BufferId },
+    /// An exit-data retrieval: the reply payload is the buffer contents —
+    /// store them on the host and release the device copies.
+    ExitData { buffer: BufferId },
+}
+
+/// One dispatched task whose reply the probe loop is waiting for.
+struct Pending {
+    node: NodeId,
+    tag: Tag,
+    comm: CommId,
+    kind: PendingKind,
+}
+
+/// Everything the message-passing backend needs for one region execution:
+/// the device's communication machinery plus the region graph and host
+/// tasks.
+pub(crate) struct MpiContext {
+    events: Arc<EventSystem>,
+    buffers: Arc<BufferRegistry>,
+    dm: Arc<Mutex<DataManager>>,
+    graph: Arc<RegionGraph>,
+    host_fns: HashMap<usize, HostFn>,
+    config: OmpcConfig,
+}
+
+/// Executes a region graph through composite task messages over `ompc-mpi`.
+/// The third [`ExecutionBackend`] implementation, selected with
+/// [`crate::config::BackendKind::Mpi`].
+pub struct MpiBackend {
+    ctx: MpiContext,
+}
+
+impl MpiBackend {
+    /// Build a backend over the device's communication machinery for one
+    /// region execution.
+    pub(crate) fn new(
+        events: Arc<EventSystem>,
+        buffers: Arc<BufferRegistry>,
+        dm: Arc<Mutex<DataManager>>,
+        graph: Arc<RegionGraph>,
+        host_fns: HashMap<usize, HostFn>,
+        config: &OmpcConfig,
+    ) -> Self {
+        Self { ctx: MpiContext { events, buffers, dm, graph, host_fns, config: config.clone() } }
+    }
+
+    /// Drive `core` to completion. After the run (successful or not) every
+    /// outstanding task reply is drained, so no stale message bleeds into
+    /// a later region execution.
+    pub fn execute(&self, core: &mut RuntimeCore) -> OmpcResult<()> {
+        self.ctx.config.fault_plan.validate_task_errors(self.ctx.graph.len())?;
+        let mut driver = MpiDriver {
+            ctx: &self.ctx,
+            pending: BTreeMap::new(),
+            ready: VecDeque::new(),
+            inflight: HashSet::new(),
+        };
+        let result = core.execute(&mut driver);
+        driver.drain_outstanding();
+        result
+    }
+}
+
+/// The [`ExecutionBackend`] face of the message-passing head: `launch`
+/// composes and sends one task message, `await_completions` probes the
+/// outstanding reply channels.
+struct MpiDriver<'c> {
+    ctx: &'c MpiContext,
+    /// Outstanding tasks, keyed by core task id.
+    pending: BTreeMap<usize, Pending>,
+    /// Locally produced events (host tasks, no-op data tasks, head-side
+    /// planning failures) awaiting the next `await_completions`.
+    ready: VecDeque<TaskEvent>,
+    /// Inbound transfers on the wire, keyed `(buffer, destination)`: a
+    /// co-scheduled same-node reader must await the arrival instead of
+    /// executing against memory the bytes have not reached yet — the
+    /// message-passing analogue of the threaded backend's transfer gate.
+    inflight: HashSet<(u64, NodeId)>,
+}
+
+impl MpiDriver<'_> {
+    /// Wait (bounded) for every outstanding reply after a failed run.
+    fn drain_outstanding(&mut self) {
+        let timeout = self.ctx.events.reply_timeout().unwrap_or(DRAIN_TIMEOUT);
+        for (_, p) in std::mem::take(&mut self.pending) {
+            if let Ok(channel) = self.ctx.events.communicator().on(p.comm) {
+                let _ = channel.recv_timeout(Some(p.node), Some(p.tag), timeout);
+            }
+        }
+    }
+
+    /// Release every device copy of `buffer` (exit-data semantics).
+    fn release_buffer(&self, buffer: BufferId) -> OmpcResult<()> {
+        super::release_device_copies(&self.ctx.dm, &self.ctx.events, buffer)
+    }
+
+    /// Compose and send the message(s) of one task, or finish it locally.
+    /// `Ok(None)` means the task completed immediately (host task, no-op
+    /// data task); `Err` is a head-side task failure the caller reports as
+    /// a [`TaskEvent::Failed`].
+    fn begin_task(&mut self, tid: usize, node: NodeId) -> OmpcResult<Option<Pending>> {
+        let task = self.ctx.graph.task(TaskId(tid));
+        match &task.kind {
+            TaskKind::Host { .. } => {
+                if let Some(f) = self.ctx.host_fns.get(&tid) {
+                    let buffers = &self.ctx.buffers;
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(buffers)))
+                        .map_err(|_| OmpcError::Internal(format!("host task {tid} panicked")))?;
+                }
+                Ok(None)
+            }
+            TaskKind::EnterData { buffer, map } => {
+                if node == HEAD_NODE {
+                    return Ok(None);
+                }
+                match map {
+                    MapType::To | MapType::ToFrom => {
+                        let data = self.ctx.buffers.get(*buffer)?;
+                        let (tag, comm) = self.ctx.events.open_channel();
+                        self.ctx.events.notify(
+                            node,
+                            &EventNotification {
+                                request: EventRequest::Submit { buffer: *buffer },
+                                tag,
+                                comm,
+                            },
+                        )?;
+                        let bytes = data.len() as u64;
+                        self.ctx.events.communicator().on(comm)?.send(node, tag, data)?;
+                        self.ctx.events.counters().record(Some(bytes));
+                        Ok(Some(Pending {
+                            node,
+                            tag,
+                            comm,
+                            kind: PendingKind::EnterData { buffer: *buffer },
+                        }))
+                    }
+                    MapType::Alloc => {
+                        let size = self.ctx.buffers.size_of(*buffer)?;
+                        let (tag, comm) = self.ctx.events.open_channel();
+                        self.ctx.events.notify(
+                            node,
+                            &EventNotification {
+                                request: EventRequest::Alloc { buffer: *buffer, size: size as u64 },
+                                tag,
+                                comm,
+                            },
+                        )?;
+                        self.ctx.events.counters().record(None);
+                        Ok(Some(Pending {
+                            node,
+                            tag,
+                            comm,
+                            kind: PendingKind::EnterData { buffer: *buffer },
+                        }))
+                    }
+                    MapType::From | MapType::Release => Ok(None),
+                }
+            }
+            TaskKind::ExitData { buffer, map } => {
+                if map.copies_from_device() {
+                    let (from, pinned_holds_data, any_failures) = {
+                        let mut dm = self.ctx.dm.lock();
+                        let present = dm.is_present(*buffer, node);
+                        (dm.plan_retrieve(*buffer), present, dm.has_failures())
+                    };
+                    if let Some(from) = from {
+                        // §4.4 consistency, as in the threaded backend: the
+                        // exit task is pinned to its last target producer,
+                        // so in a failure-free run the retrieval source is
+                        // the pinned node (or the pinned node holds the
+                        // version it read).
+                        debug_assert!(
+                            any_failures || from == node || pinned_holds_data,
+                            "exit-data task pinned to node {node} but the latest copy of \
+                             {buffer} is only on node {from}"
+                        );
+                        let (tag, comm) = self.ctx.events.open_channel();
+                        self.ctx.events.notify(
+                            from,
+                            &EventNotification {
+                                request: EventRequest::Retrieve { buffer: *buffer },
+                                tag,
+                                comm,
+                            },
+                        )?;
+                        return Ok(Some(Pending {
+                            node: from,
+                            tag,
+                            comm,
+                            kind: PendingKind::ExitData { buffer: *buffer },
+                        }));
+                    }
+                }
+                // Nothing to copy back: just release the device copies.
+                self.release_buffer(*buffer)?;
+                Ok(None)
+            }
+            TaskKind::Target { kernel, .. } => {
+                // Injected task error (fault plan): execute a deliberately
+                // unregistered kernel so a genuine worker-side handler
+                // error exercises the reply path end to end.
+                let kernel = if self.ctx.config.fault_plan.has_task_error(tid) {
+                    POISONED_KERNEL
+                } else {
+                    *kernel
+                };
+                let await_ms =
+                    self.ctx.config.event_reply_timeout_ms.unwrap_or(DEFAULT_AWAIT_LOCAL_MS);
+                let mut steps: Vec<TaskStep> = Vec::new();
+                let mut owned: Vec<(BufferId, NodeId)> = Vec::new();
+                let mut allocs: Vec<(BufferId, NodeId)> = Vec::new();
+                let mut payloads: Vec<Vec<u8>> = Vec::new();
+                let mut exchanges: Vec<(NodeId, EventRequest)> = Vec::new();
+                let mut exchange_bytes: Vec<u64> = Vec::new();
+                // Plan the whole task under one data-manager acquisition,
+                // exactly as the threaded backend plans under its gate: a
+                // later co-scheduled reader either sees our holder record
+                // (and awaits the arrival) or plans its own transfer.
+                let planned: OmpcResult<()> = {
+                    let mut dm = self.ctx.dm.lock();
+                    let mut planned = Ok(());
+                    for dep in &task.dependences {
+                        if !dep.dep_type.reads() {
+                            continue;
+                        }
+                        match dm.plan_input(dep.buffer, node) {
+                            Some(plan) if plan.from == HEAD_NODE => {
+                                match self.ctx.buffers.get(dep.buffer) {
+                                    Ok(data) => {
+                                        steps.push(TaskStep::RecvFromHead { buffer: dep.buffer });
+                                        payloads.push(data);
+                                        owned.push((dep.buffer, node));
+                                    }
+                                    Err(e) => {
+                                        dm.forget_replica(dep.buffer, node);
+                                        planned = Err(e);
+                                        break;
+                                    }
+                                }
+                            }
+                            Some(plan) => {
+                                steps.push(TaskStep::RecvFromWorker {
+                                    buffer: dep.buffer,
+                                    from: plan.from,
+                                });
+                                exchanges.push((
+                                    plan.from,
+                                    EventRequest::ExchangeSend { buffer: dep.buffer, to: node },
+                                ));
+                                exchange_bytes
+                                    .push(self.ctx.buffers.size_of(dep.buffer).unwrap_or(0) as u64);
+                                owned.push((dep.buffer, node));
+                            }
+                            None => {
+                                if self.inflight.contains(&(dep.buffer.0, node)) {
+                                    steps.push(TaskStep::AwaitLocal {
+                                        buffer: dep.buffer,
+                                        timeout_ms: await_ms,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    if planned.is_ok() {
+                        // Write-only outputs: make sure storage exists on
+                        // the executing node.
+                        for dep in &task.dependences {
+                            if dep.dep_type.reads() || dm.is_present(dep.buffer, node) {
+                                continue;
+                            }
+                            match self.ctx.buffers.size_of(dep.buffer) {
+                                Ok(size) => {
+                                    steps.push(TaskStep::Alloc {
+                                        buffer: dep.buffer,
+                                        size: size as u64,
+                                    });
+                                    dm.record_replica(dep.buffer, node);
+                                    allocs.push((dep.buffer, node));
+                                }
+                                Err(e) => {
+                                    planned = Err(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if planned.is_err() {
+                        for &(buf, n) in owned.iter().chain(allocs.iter()) {
+                            dm.forget_replica(buf, n);
+                        }
+                    }
+                    planned
+                };
+                planned?;
+                let buffer_list: Vec<BufferId> =
+                    task.dependences.iter().map(|d| d.buffer).collect();
+                steps.push(TaskStep::Execute { kernel, buffers: buffer_list });
+                let writes: Vec<BufferId> = task
+                    .dependences
+                    .iter()
+                    .filter(|d| d.dep_type.writes())
+                    .map(|d| d.buffer)
+                    .collect();
+                let (tag, comm) = self.ctx.events.open_channel();
+                let sent: OmpcResult<()> = (|| {
+                    self.ctx.events.notify(
+                        node,
+                        &EventNotification {
+                            request: EventRequest::Task(TaskSpec { steps }),
+                            tag,
+                            comm,
+                        },
+                    )?;
+                    self.ctx.events.counters().record(None);
+                    let channel = self.ctx.events.communicator().on(comm)?;
+                    for data in payloads {
+                        let bytes = data.len() as u64;
+                        channel.send(node, tag, data)?;
+                        self.ctx.events.counters().record(Some(bytes));
+                    }
+                    for ((src, request), bytes) in exchanges.into_iter().zip(exchange_bytes) {
+                        self.ctx.events.notify(src, &EventNotification { request, tag, comm })?;
+                        self.ctx.events.counters().record(Some(bytes));
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = sent {
+                    let mut dm = self.ctx.dm.lock();
+                    for &(buf, n) in owned.iter().chain(allocs.iter()) {
+                        dm.forget_replica(buf, n);
+                    }
+                    return Err(e);
+                }
+                for &(buf, n) in &owned {
+                    self.inflight.insert((buf.0, n));
+                }
+                Ok(Some(Pending {
+                    node,
+                    tag,
+                    comm,
+                    kind: PendingKind::Target { owned, allocs, writes },
+                }))
+            }
+        }
+    }
+
+    /// Turn an arrived reply into the task's [`TaskEvent`], performing the
+    /// completion-side data-manager bookkeeping.
+    fn finish_task(&mut self, task: usize, pending: Pending, data: Vec<u8>) -> TaskEvent {
+        let reply = match EventReply::decode(&data) {
+            Ok(reply) => reply,
+            Err(error) => return TaskEvent::Failed { task, error },
+        };
+        match reply.into_result() {
+            Err(error) => {
+                if let PendingKind::Target { owned, allocs, .. } = pending.kind {
+                    // The task never landed its effects: roll back the
+                    // optimistic holder records so no later reader skips a
+                    // transfer the bytes never made.
+                    let mut dm = self.ctx.dm.lock();
+                    for &(buf, n) in owned.iter().chain(allocs.iter()) {
+                        dm.forget_replica(buf, n);
+                    }
+                    for (buf, n) in owned {
+                        self.inflight.remove(&(buf.0, n));
+                    }
+                }
+                TaskEvent::Failed { task, error }
+            }
+            Ok(payload) => match pending.kind {
+                PendingKind::Target { owned, writes, .. } => {
+                    for (buf, n) in owned {
+                        self.inflight.remove(&(buf.0, n));
+                    }
+                    let mut stale_deletes: Vec<(NodeId, BufferId)> = Vec::new();
+                    {
+                        let mut dm = self.ctx.dm.lock();
+                        for buf in writes {
+                            for stale in dm.record_write(buf, pending.node) {
+                                if stale != HEAD_NODE && !dm.is_failed(stale) {
+                                    stale_deletes.push((stale, buf));
+                                }
+                            }
+                        }
+                    }
+                    for (stale, buf) in stale_deletes {
+                        if let Err(error) = self.ctx.events.delete(stale, buf) {
+                            return TaskEvent::Failed { task, error };
+                        }
+                    }
+                    TaskEvent::Completed(task)
+                }
+                PendingKind::EnterData { buffer } => {
+                    self.ctx.dm.lock().record_replica(buffer, pending.node);
+                    TaskEvent::Completed(task)
+                }
+                PendingKind::ExitData { buffer } => {
+                    self.ctx.events.counters().record(Some(payload.len() as u64));
+                    if let Err(error) = self.ctx.buffers.set(buffer, payload) {
+                        return TaskEvent::Failed { task, error };
+                    }
+                    if let Err(error) = self.release_buffer(buffer) {
+                        return TaskEvent::Failed { task, error };
+                    }
+                    TaskEvent::Completed(task)
+                }
+            },
+        }
+    }
+
+    /// One pass of the gate-thread loop: receive every outstanding reply
+    /// that has already arrived (discovered with `iprobe`, never blocking).
+    fn poll_replies(&mut self, out: &mut Vec<TaskEvent>) -> OmpcResult<()> {
+        let arrived: Vec<usize> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| {
+                self.ctx
+                    .events
+                    .communicator()
+                    .on(p.comm)
+                    .ok()
+                    .and_then(|c| c.iprobe(Some(p.node), Some(p.tag)))
+                    .is_some()
+            })
+            .map(|(&task, _)| task)
+            .collect();
+        for task in arrived {
+            let p = self.pending.remove(&task).expect("probed task is pending");
+            let msg = self.ctx.events.communicator().on(p.comm)?.recv(Some(p.node), Some(p.tag))?;
+            let event = self.finish_task(task, p, msg.data);
+            out.push(event);
+        }
+        Ok(())
+    }
+}
+
+impl ExecutionBackend for MpiDriver<'_> {
+    fn launch(&mut self, task: usize, node: NodeId) -> OmpcResult<()> {
+        if node != HEAD_NODE && self.ctx.dm.lock().is_failed(node) {
+            // The failure injector killed this node: complete the task as a
+            // no-op whose (stale) completion the core discards and restarts
+            // on a survivor — without depending on the zombie gate's reply
+            // latency.
+            self.ready.push_back(TaskEvent::Completed(task));
+            return Ok(());
+        }
+        match self.begin_task(task, node) {
+            Ok(Some(pending)) => {
+                self.pending.insert(task, pending);
+            }
+            Ok(None) => self.ready.push_back(TaskEvent::Completed(task)),
+            // Head-side planning failures are task failures, not backend
+            // breakdowns: the core owns the propagate-vs-restart policy.
+            Err(error) => self.ready.push_back(TaskEvent::Failed { task, error }),
+        }
+        Ok(())
+    }
+
+    fn await_completions(&mut self) -> OmpcResult<Vec<TaskEvent>> {
+        let mut events: Vec<TaskEvent> = self.ready.drain(..).collect();
+        // Whatever already arrived rides along without waiting.
+        self.poll_replies(&mut events)?;
+        if !events.is_empty() {
+            return Ok(events);
+        }
+        if self.pending.is_empty() {
+            return Err(OmpcError::Internal(
+                "mpi backend awaited completions with nothing outstanding".to_string(),
+            ));
+        }
+        let deadline = self.ctx.events.reply_timeout().map(|t| Instant::now() + t);
+        loop {
+            std::thread::sleep(PROBE_INTERVAL);
+            self.poll_replies(&mut events)?;
+            if !events.is_empty() {
+                return Ok(events);
+            }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return Err(OmpcError::Communication(format!(
+                        "timed out waiting for the replies of {} outstanding task event(s)",
+                        self.pending.len()
+                    )));
+                }
+            }
+        }
+    }
+
+    fn invalidate_node(&mut self, node: NodeId) -> Vec<LostBuffer> {
+        let lost = self.ctx.dm.lock().fail_node(node);
+        // Kill the worker's event loop for real: from now on the node
+        // refuses every event with an error reply instead of executing it,
+        // so outstanding and future tasks observe the death instead of
+        // hanging.
+        let _ = self.ctx.events.kill(node);
+        lost.into_iter()
+            .map(|buffer| LostBuffer {
+                buffer,
+                writers: self
+                    .ctx
+                    .graph
+                    .tasks()
+                    .iter()
+                    .filter(|t| {
+                        t.dependences.iter().any(|d| d.buffer == buffer && d.dep_type.writes())
+                    })
+                    .map(|t| t.id.0)
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn replan(&mut self, alive_workers: &[NodeId]) -> Option<Vec<NodeId>> {
+        let platform = Platform::cluster(alive_workers.len());
+        Some(RuntimePlan::region_assignment_on(
+            &self.ctx.graph,
+            &self.ctx.buffers,
+            &platform,
+            &self.ctx.config,
+            alive_workers,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cluster::ClusterDevice;
+    use crate::config::{BackendKind, OmpcConfig};
+    use crate::types::{Dependence, OmpcError};
+
+    fn mpi_config() -> OmpcConfig {
+        OmpcConfig { backend: BackendKind::Mpi, ..OmpcConfig::small() }
+    }
+
+    #[test]
+    fn listing1_chain_runs_end_to_end_over_mpi_messages() {
+        let mut device = ClusterDevice::with_config(2, mpi_config());
+        let foo = device.register_kernel_fn("foo", 1e-5, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+            args.set_f64s(0, &v);
+        });
+        let bar = device.register_kernel_fn("bar", 1e-5, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x * 10.0).collect();
+            args.set_f64s(0, &v);
+        });
+        let mut region = device.target_region();
+        let a = region.map_to_f64s(&[1.0, 2.0, 3.0, 4.0]);
+        region.target(foo, vec![Dependence::inout(a)]);
+        region.target(bar, vec![Dependence::inout(a)]);
+        region.map_from(a);
+        let report = region.run().unwrap();
+        assert_eq!(report.target_tasks, 2);
+        assert!(report.bytes_moved > 0, "task payloads travel as real messages");
+        assert_eq!(device.buffer_f64s(a).unwrap(), vec![20.0, 30.0, 40.0, 50.0]);
+        // No head pool thread was ever spawned: the MPI backend is pure
+        // message passing.
+        assert_eq!(device.pool_threads(), 0);
+        device.shutdown();
+    }
+
+    #[test]
+    fn independent_tasks_spread_and_colocated_readers_wait() {
+        let mut device = ClusterDevice::with_config(3, mpi_config());
+        let bump = device.register_kernel_fn("bump", 1e-4, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+            args.set_f64s(0, &v);
+        });
+        let mut region = device.target_region();
+        let buffers: Vec<_> = (0..6).map(|i| region.map_to_f64s(&[i as f64])).collect();
+        for &b in &buffers {
+            region.target(bump, vec![Dependence::inout(b)]);
+        }
+        for &b in &buffers {
+            region.map_from(b);
+        }
+        region.run().unwrap();
+        for (i, &b) in buffers.iter().enumerate() {
+            assert_eq!(device.buffer_f64s(b).unwrap(), vec![i as f64 + 1.0]);
+        }
+        device.shutdown();
+    }
+
+    #[test]
+    fn host_tasks_and_empty_regions_work_over_mpi() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let device = ClusterDevice::with_config(1, mpi_config());
+        let empty = device.target_region();
+        assert_eq!(empty.run().unwrap().tasks_executed, 0);
+        let mut region = device.target_region();
+        let a = region.map_to_f64s(&[5.0]);
+        let flag = Arc::new(AtomicBool::new(false));
+        let flag2 = Arc::clone(&flag);
+        region.host_task(vec![Dependence::input(a)], move |_| {
+            flag2.store(true, Ordering::SeqCst);
+        });
+        region.run().unwrap();
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn unregistered_kernel_is_a_typed_error_not_a_hang() {
+        let mut device = ClusterDevice::with_config(2, mpi_config());
+        let bogus = crate::types::KernelId(424_242);
+        let mut region = device.target_region();
+        let a = region.map_to_f64s(&[1.0, 2.0]);
+        region.target(bogus, vec![Dependence::inout(a)]);
+        region.map_from(a);
+        let err = region.run().unwrap_err();
+        assert_eq!(err.root_cause(), &OmpcError::UnknownKernel(bogus), "got {err:?}");
+        assert!(err.origin_node().is_some_and(|n| (1..=2).contains(&n)));
+        device.shutdown();
+    }
+
+    #[test]
+    fn sim_backend_kind_is_rejected_by_the_device() {
+        let device = ClusterDevice::with_config(
+            1,
+            OmpcConfig { backend: BackendKind::Sim, ..OmpcConfig::small() },
+        );
+        let noop = device.register_kernel_fn("noop", 1e-6, |_| {});
+        let mut region = device.target_region();
+        let a = region.map_to_f64s(&[1.0]);
+        region.target(noop, vec![Dependence::inout(a)]);
+        let err = region.run().unwrap_err();
+        assert!(matches!(err, OmpcError::InvalidConfig(_)), "got {err:?}");
+    }
+}

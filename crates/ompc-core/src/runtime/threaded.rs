@@ -346,13 +346,7 @@ impl RegionContext {
                     }
                 }
                 // Exit data always releases the device copies.
-                let holders = self.dm.lock().remove(*buffer);
-                for holder in holders {
-                    if holder != HEAD_NODE && !self.dm.lock().is_failed(holder) {
-                        self.events.delete(holder, *buffer)?;
-                    }
-                }
-                Ok(())
+                super::release_device_copies(&self.dm, &self.events, *buffer)
             }
             TaskKind::Host { .. } => {
                 if let Some(f) = self.host_fns.get(&tid) {
@@ -373,12 +367,67 @@ struct PoolJob {
     done: Sender<(usize, OmpcResult<()>)>,
 }
 
+/// Body of one head pool thread: drain jobs until the channel closes
+/// (device shutdown) or — with an idle timeout configured — no work arrived
+/// for that long. The exit protocol decrements the alive count *before* the
+/// final non-blocking drain, so a job enqueued concurrently with the
+/// timeout is either picked up here or observed by `submit`'s respawn
+/// check, never stranded.
+fn pool_thread_main(
+    rx: Receiver<PoolJob>,
+    alive: Arc<std::sync::atomic::AtomicUsize>,
+    idle_timeout: Option<std::time::Duration>,
+) {
+    loop {
+        let job = match idle_timeout {
+            None => match rx.recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            },
+            Some(timeout) => match rx.recv_timeout(timeout) {
+                Ok(job) => job,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    alive.fetch_sub(1, Ordering::SeqCst);
+                    match rx.try_recv() {
+                        // A job raced the reaper: take it and stay alive.
+                        Ok(job) => {
+                            alive.fetch_add(1, Ordering::SeqCst);
+                            job
+                        }
+                        Err(_) => return,
+                    }
+                }
+            },
+        };
+        // A panic (e.g. a debug assertion in the data layer) must still
+        // produce an outcome, or the driver would wait for this job
+        // forever.
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            job.ctx.run(job.task, job.node)
+        }))
+        .unwrap_or_else(|_| {
+            Err(OmpcError::Internal(format!(
+                "head pool thread panicked while executing task {}",
+                job.task
+            )))
+        });
+        // The driver may already have gone away (the run failed); the
+        // outcome is then irrelevant.
+        let _ = job.done.send((job.task, res));
+    }
+    alive.fetch_sub(1, Ordering::SeqCst);
+}
+
 struct PoolState {
     /// `None` once the pool has been drained; submissions fail from then on.
     job_tx: Option<Sender<PoolJob>>,
     /// Kept only to clone into newly spawned threads.
     job_rx: Receiver<PoolJob>,
     handles: Vec<JoinHandle<()>>,
+    /// Monotonic counter for thread names (threads reaped by the idle
+    /// timeout may be replaced, so names must not collide with the dead).
+    spawned: usize,
 }
 
 /// The long-lived head worker pool, owned by
@@ -388,11 +437,20 @@ struct PoolState {
 /// Threads are spawned lazily: each region asks for
 /// `min(head_worker_threads, window, tasks)` threads and the pool grows to
 /// the largest such request seen so far — a small region never pays for 48
-/// idle threads, and repeated region executions never re-spawn a pool. On
+/// idle threads, and repeated region executions never re-spawn a pool.
+/// With [`crate::config::OmpcConfig::pool_idle_timeout_ms`] set, a thread
+/// that receives no work for that long exits, so the pool also *shrinks*
+/// below its high-water mark on devices alternating huge and tiny regions
+/// (and re-grows lazily on the next demanding region). On
 /// [`HeadWorkerPool::drain`] (device shutdown / drop) the job channel
 /// closes, in-flight jobs finish, and every thread is joined.
 pub struct HeadWorkerPool {
     state: Mutex<PoolState>,
+    /// Number of threads currently alive (spawned and not yet exited).
+    alive: Arc<std::sync::atomic::AtomicUsize>,
+    /// Idle timeout after which a pool thread exits; `None` disables the
+    /// reaper (the pool only ever grows).
+    idle_timeout: Option<std::time::Duration>,
 }
 
 impl Default for HeadWorkerPool {
@@ -402,61 +460,75 @@ impl Default for HeadWorkerPool {
 }
 
 impl HeadWorkerPool {
-    /// Create an empty pool; threads are spawned on first use.
+    /// Create an empty pool; threads are spawned on first use and live for
+    /// the pool's lifetime.
     pub fn new() -> Self {
+        Self::with_idle_timeout(None)
+    }
+
+    /// Create an empty pool whose idle threads exit after `idle_timeout`
+    /// of receiving no work (`None` disables the reaper).
+    pub fn with_idle_timeout(idle_timeout: Option<std::time::Duration>) -> Self {
         let (job_tx, job_rx) = crossbeam::channel::unbounded::<PoolJob>();
-        Self { state: Mutex::new(PoolState { job_tx: Some(job_tx), job_rx, handles: Vec::new() }) }
+        Self {
+            state: Mutex::new(PoolState {
+                job_tx: Some(job_tx),
+                job_rx,
+                handles: Vec::new(),
+                spawned: 0,
+            }),
+            alive: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            idle_timeout,
+        }
     }
 
     /// Number of threads currently alive in the pool.
     pub fn threads(&self) -> usize {
-        self.state.lock().handles.len()
+        self.alive.load(Ordering::SeqCst)
     }
 
-    /// Grow the pool to at least `needed` threads (no-op when already
+    /// Grow the pool to at least `needed` alive threads (no-op when already
     /// large enough or after [`HeadWorkerPool::drain`]).
     fn ensure_threads(&self, needed: usize) {
         let mut state = self.state.lock();
         if state.job_tx.is_none() {
             return;
         }
-        while state.handles.len() < needed {
+        // Handles of threads the idle reaper already retired are spent.
+        state.handles.retain(|h| !h.is_finished());
+        while self.alive.load(Ordering::SeqCst) < needed {
             let rx = state.job_rx.clone();
-            let i = state.handles.len();
+            let i = state.spawned;
+            state.spawned += 1;
+            let alive = Arc::clone(&self.alive);
+            let idle_timeout = self.idle_timeout;
+            alive.fetch_add(1, Ordering::SeqCst);
             let handle = std::thread::Builder::new()
                 .name(format!("ompc-head-{i}"))
-                .spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        // A panic (e.g. a debug assertion in the data
-                        // layer) must still produce an outcome, or the
-                        // driver would wait for this job forever.
-                        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            job.ctx.run(job.task, job.node)
-                        }))
-                        .unwrap_or_else(|_| {
-                            Err(OmpcError::Internal(format!(
-                                "head pool thread panicked while executing task {}",
-                                job.task
-                            )))
-                        });
-                        // The driver may already have gone away (the run
-                        // failed); the outcome is then irrelevant.
-                        let _ = job.done.send((job.task, res));
-                    }
-                })
+                .spawn(move || pool_thread_main(rx, alive, idle_timeout))
                 .expect("failed to spawn head worker thread");
             state.handles.push(handle);
         }
     }
 
-    /// Submit one job; fails if the pool has been drained.
+    /// Submit one job; fails if the pool has been drained. If the idle
+    /// reaper emptied the pool since the region sized it, one thread is
+    /// respawned so the job cannot strand in the queue.
     fn submit(&self, job: PoolJob) -> OmpcResult<()> {
         let tx =
             self.state.lock().job_tx.clone().ok_or_else(|| {
                 OmpcError::Internal("head worker pool already drained".to_string())
             })?;
         tx.send(job)
-            .map_err(|_| OmpcError::Internal("head worker pool terminated early".to_string()))
+            .map_err(|_| OmpcError::Internal("head worker pool terminated early".to_string()))?;
+        // SeqCst ordering with the reaper's exit protocol: if this load
+        // sees an alive thread, that thread's final drain of the queue
+        // happens after our enqueue, so it picks the job up; if it sees
+        // none, we respawn.
+        if self.idle_timeout.is_some() && self.alive.load(Ordering::SeqCst) == 0 {
+            self.ensure_threads(1);
+        }
+        Ok(())
     }
 
     /// Close the job channel, let in-flight jobs finish, and join every

@@ -68,6 +68,66 @@ impl OmpcSimResult {
     }
 }
 
+/// The outcome of one simulated OMPC run — the **one outcome-shaped API**
+/// behind the whole `simulate_ompc*` family. Whatever happens to the run,
+/// the execution core's decision record (and the trace, when enabled)
+/// survives: a run aborted by a propagated task error still reports which
+/// tasks dispatched and retired before the failure, which is what the
+/// cross-backend error-equivalence tests compare. The convenience wrappers
+/// ([`simulate_ompc`], [`simulate_ompc_recorded`], [`simulate_ompc_traced`],
+/// [`simulate_ompc_with_plan`]) all reduce to this shape.
+///
+/// ```
+/// use ompc_core::prelude::*;
+/// use ompc_core::sim_runtime::simulate_ompc_outcome;
+/// use ompc_sim::ClusterConfig;
+///
+/// let mut g = ompc_sched::TaskGraph::new();
+/// for _ in 0..4 {
+///     g.add_task(0.002);
+/// }
+/// for t in 1..4 {
+///     g.add_edge(t - 1, t, 1024);
+/// }
+/// let workload = WorkloadGraph::new(g, vec![1024; 4]);
+/// // Task 2's execution is forced to fail: the run errors, but the
+/// // decision record still shows everything that retired first.
+/// let config = OmpcConfig {
+///     fault_plan: FaultPlan::none().error_on_task(2),
+///     max_inflight_tasks: Some(1),
+///     ..OmpcConfig::default()
+/// };
+/// let outcome = simulate_ompc_outcome(
+///     &workload,
+///     &ClusterConfig::santos_dumont(3),
+///     &config,
+///     &OverheadModel::default(),
+///     None,
+/// );
+/// assert!(outcome.result.is_err());
+/// assert_eq!(outcome.record.completion_order, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OmpcSimOutcome {
+    /// The timing result, or the error that aborted the run.
+    pub result: OmpcResult<OmpcSimResult>,
+    /// The execution core's decision record — always available, even for a
+    /// failed run (it then covers everything up to the failure).
+    pub record: RunRecord,
+    /// The execution trace; [`Trace::disabled`] unless the run was started
+    /// through a traced entry point.
+    pub trace: Trace,
+}
+
+impl OmpcSimOutcome {
+    /// Convert into a plain result, keeping the record and trace on
+    /// success and dropping them on failure (the lossy view the pre-unified
+    /// `simulate_ompc*` wrappers expose).
+    pub fn into_result(self) -> OmpcResult<(OmpcSimResult, RunRecord, Trace)> {
+        self.result.map(|r| (r, self.record, self.trace))
+    }
+}
+
 /// Run the simulated OMPC runtime on `workload` over `cluster` and return
 /// the timing result. Tracing is disabled for speed; use
 /// [`simulate_ompc_traced`] when the trace is needed.
@@ -111,25 +171,35 @@ pub fn simulate_ompc(
     config: &OmpcConfig,
     overheads: &OverheadModel,
 ) -> OmpcResult<OmpcSimResult> {
-    simulate_inner(workload, cluster, config, overheads, None, false).map(|(r, _, _)| r)
+    simulate_ompc_outcome(workload, cluster, config, overheads, None).result
 }
 
-/// Like [`simulate_ompc`], but always returns the execution core's decision
-/// record — even when the run fails. This is the error-aware counterpart of
-/// [`crate::cluster::ClusterDevice::last_run_record`]: a run aborted by a
-/// propagated task error still reports which tasks dispatched and retired
-/// before the failure, which is what the cross-backend error-equivalence
-/// tests compare.
+/// The unified error-aware entry point: run the simulation — under an
+/// explicit [`RuntimePlan`] when given, the cluster-derived plan otherwise
+/// — and return the full [`OmpcSimOutcome`], whose decision record
+/// survives a failed run. This is the error-aware counterpart of
+/// [`crate::cluster::ClusterDevice::last_run_record`]. Tracing is disabled
+/// for speed; use [`simulate_ompc_outcome_traced`] when the trace is
+/// needed.
 pub fn simulate_ompc_outcome(
     workload: &WorkloadGraph,
     cluster: &ClusterConfig,
     config: &OmpcConfig,
     overheads: &OverheadModel,
     plan: Option<&RuntimePlan>,
-) -> (OmpcResult<OmpcSimResult>, RunRecord) {
-    let (outcome, _, record) =
-        simulate_outcome_inner(workload, cluster, config, overheads, plan.cloned(), false);
-    (outcome, record)
+) -> OmpcSimOutcome {
+    simulate_outcome_inner(workload, cluster, config, overheads, plan.cloned(), false)
+}
+
+/// [`simulate_ompc_outcome`] with the execution trace enabled.
+pub fn simulate_ompc_outcome_traced(
+    workload: &WorkloadGraph,
+    cluster: &ClusterConfig,
+    config: &OmpcConfig,
+    overheads: &OverheadModel,
+    plan: Option<&RuntimePlan>,
+) -> OmpcSimOutcome {
+    simulate_outcome_inner(workload, cluster, config, overheads, plan.cloned(), true)
 }
 
 /// Like [`simulate_ompc`] but also returns the full execution trace.
@@ -139,7 +209,8 @@ pub fn simulate_ompc_traced(
     config: &OmpcConfig,
     overheads: &OverheadModel,
 ) -> OmpcResult<(OmpcSimResult, Trace)> {
-    let (result, trace, _) = simulate_inner(workload, cluster, config, overheads, None, true)?;
+    let (result, _, trace) =
+        simulate_ompc_outcome_traced(workload, cluster, config, overheads, None).into_result()?;
     Ok((result, trace))
 }
 
@@ -152,14 +223,15 @@ pub fn simulate_ompc_recorded(
     config: &OmpcConfig,
     overheads: &OverheadModel,
 ) -> OmpcResult<(OmpcSimResult, RunRecord)> {
-    let (result, _, record) = simulate_inner(workload, cluster, config, overheads, None, false)?;
+    let (result, record, _) =
+        simulate_ompc_outcome(workload, cluster, config, overheads, None).into_result()?;
     Ok((result, record))
 }
 
 /// Run the simulation under an explicit, externally computed [`RuntimePlan`]
 /// instead of deriving one from the cluster's network model. This is how
-/// the backend-equivalence tests drive the simulated and threaded backends
-/// from the *same* plan.
+/// the backend-equivalence tests drive the simulated, threaded, and MPI
+/// backends from the *same* plan.
 pub fn simulate_ompc_with_plan(
     workload: &WorkloadGraph,
     cluster: &ClusterConfig,
@@ -167,8 +239,8 @@ pub fn simulate_ompc_with_plan(
     overheads: &OverheadModel,
     plan: &RuntimePlan,
 ) -> OmpcResult<(OmpcSimResult, RunRecord)> {
-    let (result, _, record) =
-        simulate_inner(workload, cluster, config, overheads, Some(plan.clone()), false)?;
+    let (result, record, _) =
+        simulate_ompc_outcome(workload, cluster, config, overheads, Some(plan)).into_result()?;
     Ok((result, record))
 }
 
@@ -182,19 +254,6 @@ pub fn sim_plan(
     RuntimePlan::for_workload(workload, &sim_platform(cluster), config)
 }
 
-fn simulate_inner(
-    workload: &WorkloadGraph,
-    cluster: &ClusterConfig,
-    config: &OmpcConfig,
-    overheads: &OverheadModel,
-    plan: Option<RuntimePlan>,
-    traced: bool,
-) -> OmpcResult<(OmpcSimResult, Trace, RunRecord)> {
-    let (outcome, trace, record) =
-        simulate_outcome_inner(workload, cluster, config, overheads, plan, traced);
-    Ok((outcome?, trace, record))
-}
-
 fn simulate_outcome_inner(
     workload: &WorkloadGraph,
     cluster: &ClusterConfig,
@@ -202,18 +261,22 @@ fn simulate_outcome_inner(
     overheads: &OverheadModel,
     plan: Option<RuntimePlan>,
     traced: bool,
-) -> (OmpcResult<OmpcSimResult>, Trace, RunRecord) {
+) -> OmpcSimOutcome {
+    let fail = |e: OmpcError| OmpcSimOutcome {
+        result: Err(e),
+        record: RunRecord::default(),
+        trace: Trace::disabled(),
+    };
     let workers = cluster.worker_nodes();
     if workers == 0 {
-        let err = OmpcError::InvalidConfig(format!(
+        return fail(OmpcError::InvalidConfig(format!(
             "cluster of {} node(s) has no worker nodes: node 0 is the head node and cannot \
              execute target tasks; configure at least 2 nodes",
             cluster.nodes
-        ));
-        return (Err(err), Trace::disabled(), RunRecord::default());
+        )));
     }
     if let Err(e) = config.fault_plan.validate_task_errors(workload.len()) {
-        return (Err(e), Trace::disabled(), RunRecord::default());
+        return fail(e);
     }
     let plan = plan.unwrap_or_else(|| sim_plan(workload, cluster, config));
     let trace = if traced { Trace::new() } else { Trace::disabled() };
@@ -224,7 +287,7 @@ fn simulate_outcome_inner(
         workers,
     ) {
         Ok(f) => f.map(|f| f.with_replan(config.replan_on_failure)),
-        Err(e) => return (Err(e), Trace::disabled(), RunRecord::default()),
+        Err(e) => return fail(e),
     };
     let mut core = match faults {
         Some(faults) => RuntimeCore::with_faults(workload, &plan, faults),
@@ -237,21 +300,21 @@ fn simulate_outcome_inner(
         // The run failed (propagated task error, unrecoverable node loss):
         // the record of what happened before the failure survives.
         let (_, trace) = backend.finish();
-        return (Err(e), trace, record);
+        return OmpcSimOutcome { result: Err(e), record, trace };
     }
     let schedule = backend.schedule_time();
     let (stats, trace) = backend.finish();
-    (
-        Ok(OmpcSimResult {
+    OmpcSimOutcome {
+        result: Ok(OmpcSimResult {
             makespan: stats.makespan,
             startup: overheads.startup,
             schedule,
             shutdown: overheads.shutdown,
             stats,
         }),
-        trace,
         record,
-    )
+        trace,
+    }
 }
 
 #[cfg(test)]

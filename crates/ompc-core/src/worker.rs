@@ -25,6 +25,9 @@ const HEAD_RANK: usize = 0;
 #[derive(Debug, Default)]
 pub struct DeviceMemory {
     buffers: Mutex<HashMap<u64, Vec<u8>>>,
+    /// Signalled on every store, so a composite task's `AwaitLocal` step
+    /// can wait for a buffer a co-scheduled task is transferring in.
+    arrival: parking_lot::Condvar,
 }
 
 impl DeviceMemory {
@@ -36,6 +39,27 @@ impl DeviceMemory {
     /// Store (or overwrite) the contents of a buffer.
     pub fn store(&self, id: BufferId, data: Vec<u8>) {
         self.buffers.lock().insert(id.0, data);
+        self.arrival.notify_all();
+    }
+
+    /// Block until the buffer is locally present, up to `timeout`. Returns
+    /// whether the buffer arrived — `false` means the co-scheduled task
+    /// that owned the transfer never stored it (it failed or its node
+    /// died), and the caller must error out instead of computing on
+    /// missing data.
+    pub fn wait_for(&self, id: BufferId, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut buffers = self.buffers.lock();
+        loop {
+            if buffers.contains_key(&id.0) {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let _ = self.arrival.wait_for(&mut buffers, deadline - now);
+        }
     }
 
     /// Clone the contents of a buffer.
@@ -110,26 +134,85 @@ fn event_outcome(
             Ok(bytes)
         }
         EventRequest::Execute { kernel, buffers } => {
-            let k = kernels.get(kernel).ok_or(OmpcError::UnknownKernel(kernel))?;
-            // Work on private copies so concurrent read-only forwards of the
-            // same buffers keep seeing a consistent resident version; the
-            // dependence graph already serializes writers.
-            let mut copies: Vec<(BufferId, Vec<u8>)> =
-                buffers.iter().map(|&b| (b, memory.get(b).unwrap_or_default())).collect();
-            {
-                let mut args =
-                    KernelArgs::new(copies.iter_mut().map(|(id, data)| (*id, data)).collect());
-                k.execute(&mut args);
-            }
-            for (id, data) in copies {
-                memory.store(id, data);
-            }
+            execute_kernel(memory, kernels, kernel, &buffers)?;
+            Ok(Vec::new())
+        }
+        EventRequest::Task(spec) => {
+            run_task_steps(channel, memory, kernels, spec, tag)?;
             Ok(Vec::new())
         }
         EventRequest::ExchangeSend { .. } | EventRequest::Shutdown | EventRequest::Kill => {
             unreachable!("not a head-replying event")
         }
     }
+}
+
+/// Run `kernel` against the node's device copies of `buffers`.
+fn execute_kernel(
+    memory: &DeviceMemory,
+    kernels: &KernelRegistry,
+    kernel: crate::types::KernelId,
+    buffers: &[BufferId],
+) -> OmpcResult<()> {
+    let k = kernels.get(kernel).ok_or(OmpcError::UnknownKernel(kernel))?;
+    // Work on private copies so concurrent read-only forwards of the
+    // same buffers keep seeing a consistent resident version; the
+    // dependence graph already serializes writers.
+    let mut copies: Vec<(BufferId, Vec<u8>)> =
+        buffers.iter().map(|&b| (b, memory.get(b).unwrap_or_default())).collect();
+    {
+        let mut args = KernelArgs::new(copies.iter_mut().map(|(id, data)| (*id, data)).collect());
+        k.execute(&mut args);
+    }
+    for (id, data) in copies {
+        memory.store(id, data);
+    }
+    Ok(())
+}
+
+/// Execute the steps of a composite [`EventRequest::Task`] in order. The
+/// first failing step aborts the task; the caller replies with the error.
+fn run_task_steps(
+    channel: &Communicator,
+    memory: &DeviceMemory,
+    kernels: &KernelRegistry,
+    spec: crate::protocol::TaskSpec,
+    tag: Tag,
+) -> OmpcResult<()> {
+    use crate::protocol::TaskStep;
+    for step in spec.steps {
+        match step {
+            TaskStep::RecvFromHead { buffer } => {
+                let msg = channel.recv(Some(HEAD_RANK), Some(tag))?;
+                memory.store(buffer, msg.data);
+            }
+            TaskStep::RecvFromWorker { buffer, from } => {
+                // The sender transmits a reply envelope: the data on
+                // success, its error (kept with its original attribution)
+                // otherwise.
+                let msg = channel.recv(Some(from), Some(tag))?;
+                let data = EventReply::decode(&msg.data)?.into_result()?;
+                memory.store(buffer, data);
+            }
+            TaskStep::AwaitLocal { buffer, timeout_ms } => {
+                if !memory.wait_for(buffer, std::time::Duration::from_millis(timeout_ms)) {
+                    return Err(OmpcError::Internal(format!(
+                        "task step timed out after {timeout_ms} ms waiting for {buffer} to \
+                         arrive from a co-scheduled transfer"
+                    )));
+                }
+            }
+            TaskStep::Alloc { buffer, size } => {
+                if !memory.contains(buffer) {
+                    memory.store(buffer, vec![0u8; size as usize]);
+                }
+            }
+            TaskStep::Execute { kernel, buffers } => {
+                execute_kernel(memory, kernels, kernel, &buffers)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Handle one event on the worker side, always producing exactly one typed

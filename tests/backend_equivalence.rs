@@ -1,13 +1,33 @@
 //! Backend-equivalence properties of the unified execution core: for the
-//! same seeded workload and the same [`RuntimePlan`], the simulated backend
-//! and the real threaded backend must make identical scheduling and
-//! dispatch decisions — the acceptance bar for the `RuntimeCore` /
-//! `ExecutionBackend` refactor.
+//! same seeded workload and the same [`RuntimePlan`], the simulated
+//! backend, the real threaded backend, and the message-passing MPI backend
+//! must make identical scheduling and dispatch decisions — the acceptance
+//! bar for the `RuntimeCore` / `ExecutionBackend` refactor, now three
+//! backends wide. The cross-backend sweeps run under ompc-testutil's 120 s
+//! watchdog so a protocol hang fails fast.
 
 use ompc::prelude::*;
 use ompc::sched::{Platform, TaskGraph};
 use ompc::sim::ClusterConfig;
-use ompc_testutil::Rng;
+use ompc_testutil::{with_timeout, Rng};
+use std::time::Duration;
+
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// Execute `workload` under `plan` on a real device with the given
+/// backend, returning the decision record.
+fn device_record(
+    backend: BackendKind,
+    workers: usize,
+    config: &OmpcConfig,
+    workload: &WorkloadGraph,
+    plan: &RuntimePlan,
+) -> RunRecord {
+    let mut device = ClusterDevice::with_config(workers, OmpcConfig { backend, ..config.clone() });
+    let record = device.run_workload(workload, plan).unwrap();
+    device.shutdown();
+    record
+}
 
 /// A random layered DAG whose edges always point forward and carry the
 /// producer's output size — the shape both backends can execute (the
@@ -41,97 +61,114 @@ fn is_topological(order: &[usize], workload: &WorkloadGraph) -> bool {
     workload.graph.edges().iter().all(|e| pos[&e.from] < pos[&e.to])
 }
 
-/// With a serial dispatch window both backends must agree on everything:
-/// the HEFT assignment, the dispatch order, and the task-completion order.
+/// With a serial dispatch window all three backends must agree on
+/// everything: the HEFT assignment, the dispatch order, and the
+/// task-completion order.
 #[test]
 fn backends_agree_on_assignment_and_completion_order() {
-    for seed in 0..10u64 {
-        let mut rng = Rng::new(seed);
-        let workload = random_workload(&mut rng);
-        let workers = rng.range(2, 5) as usize;
-        let platform = Platform::cluster(workers);
-        let mut config = OmpcConfig::small();
-        config.max_inflight_tasks = Some(1);
+    with_timeout(WATCHDOG, || {
+        for seed in 0..10u64 {
+            let mut rng = Rng::new(seed);
+            let workload = random_workload(&mut rng);
+            let workers = rng.range(2, 5) as usize;
+            let platform = Platform::cluster(workers);
+            let mut config = OmpcConfig::small();
+            config.max_inflight_tasks = Some(1);
 
-        // The scheduler is deterministic: planning twice from the same
-        // inputs gives the same plan.
-        let plan = RuntimePlan::for_workload(&workload, &platform, &config);
-        let replan = RuntimePlan::for_workload(&workload, &platform, &config);
-        assert_eq!(plan, replan, "seed {seed}: scheduling is not deterministic");
-        assert!(
-            plan.assignment.iter().all(|&n| n >= 1 && n <= workers),
-            "seed {seed}: tasks must be assigned to worker nodes"
-        );
+            // The scheduler is deterministic: planning twice from the same
+            // inputs gives the same plan.
+            let plan = RuntimePlan::for_workload(&workload, &platform, &config);
+            let replan = RuntimePlan::for_workload(&workload, &platform, &config);
+            assert_eq!(plan, replan, "seed {seed}: scheduling is not deterministic");
+            assert!(
+                plan.assignment.iter().all(|&n| n >= 1 && n <= workers),
+                "seed {seed}: tasks must be assigned to worker nodes"
+            );
 
-        let cluster = ClusterConfig::santos_dumont(workers + 1);
-        let (sim_result, sim_record) =
-            simulate_ompc_with_plan(&workload, &cluster, &config, &OverheadModel::default(), &plan)
-                .unwrap();
-        assert_eq!(sim_result.stats.total_tasks(), workload.len() as u64, "seed {seed}");
+            let cluster = ClusterConfig::santos_dumont(workers + 1);
+            let (sim_result, sim_record) = simulate_ompc_with_plan(
+                &workload,
+                &cluster,
+                &config,
+                &OverheadModel::default(),
+                &plan,
+            )
+            .unwrap();
+            assert_eq!(sim_result.stats.total_tasks(), workload.len() as u64, "seed {seed}");
 
-        let mut device = ClusterDevice::with_config(workers, config.clone());
-        let threaded_record = device.run_workload(&workload, &plan).unwrap();
-        device.shutdown();
-
-        assert_eq!(
-            sim_record.assignment, threaded_record.assignment,
-            "seed {seed}: backends disagree on the HEFT assignment"
-        );
-        assert_eq!(
-            sim_record.dispatch_order, threaded_record.dispatch_order,
-            "seed {seed}: backends disagree on the dispatch order"
-        );
-        assert_eq!(
-            sim_record.completion_order, threaded_record.completion_order,
-            "seed {seed}: backends disagree on the task-completion order"
-        );
-        assert_eq!(sim_record.peak_in_flight, 1, "seed {seed}");
-        assert!(is_topological(&sim_record.completion_order, &workload), "seed {seed}");
-    }
+            for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+                let record = device_record(backend, workers, &config, &workload, &plan);
+                let name = backend.name();
+                assert_eq!(
+                    sim_record.assignment, record.assignment,
+                    "seed {seed}: sim and {name} disagree on the HEFT assignment"
+                );
+                assert_eq!(
+                    sim_record.dispatch_order, record.dispatch_order,
+                    "seed {seed}: sim and {name} disagree on the dispatch order"
+                );
+                assert_eq!(
+                    sim_record.completion_order, record.completion_order,
+                    "seed {seed}: sim and {name} disagree on the task-completion order"
+                );
+            }
+            assert_eq!(sim_record.peak_in_flight, 1, "seed {seed}");
+            assert!(is_topological(&sim_record.completion_order, &workload), "seed {seed}");
+        }
+    });
 }
 
-/// With a wide window the threaded completion order becomes timing
-/// dependent, but both backends must still execute every task exactly once
+/// With a wide window the threaded and MPI completion orders become timing
+/// dependent, but every backend must still execute every task exactly once
 /// in a dependence-respecting order, under the configured window bound.
 #[test]
 fn backends_respect_dependences_under_wide_windows() {
-    for seed in 0..6u64 {
-        let mut rng = Rng::new(1000 + seed);
-        let workload = random_workload(&mut rng);
-        let workers = 3;
-        let platform = Platform::cluster(workers);
-        let mut config = OmpcConfig::small();
-        config.max_inflight_tasks = Some(4);
-        let plan = RuntimePlan::for_workload(&workload, &platform, &config);
-        let cluster = ClusterConfig::santos_dumont(workers + 1);
+    with_timeout(WATCHDOG, || {
+        for seed in 0..6u64 {
+            let mut rng = Rng::new(1000 + seed);
+            let workload = random_workload(&mut rng);
+            let workers = 3;
+            let platform = Platform::cluster(workers);
+            let mut config = OmpcConfig::small();
+            config.max_inflight_tasks = Some(4);
+            let plan = RuntimePlan::for_workload(&workload, &platform, &config);
+            let cluster = ClusterConfig::santos_dumont(workers + 1);
 
-        let (_, sim_record) =
-            simulate_ompc_with_plan(&workload, &cluster, &config, &OverheadModel::default(), &plan)
-                .unwrap();
-        let mut device = ClusterDevice::with_config(workers, config.clone());
-        let threaded_record = device.run_workload(&workload, &plan).unwrap();
-        device.shutdown();
+            let (_, sim_record) = simulate_ompc_with_plan(
+                &workload,
+                &cluster,
+                &config,
+                &OverheadModel::default(),
+                &plan,
+            )
+            .unwrap();
+            let threaded_record =
+                device_record(BackendKind::Threaded, workers, &config, &workload, &plan);
+            let mpi_record = device_record(BackendKind::Mpi, workers, &config, &workload, &plan);
 
-        for (name, record) in [("sim", &sim_record), ("threaded", &threaded_record)] {
-            let mut seen = record.completion_order.clone();
-            seen.sort_unstable();
-            assert_eq!(
-                seen,
-                (0..workload.len()).collect::<Vec<_>>(),
-                "seed {seed}: {name} backend did not execute every task exactly once"
-            );
-            assert!(
-                is_topological(&record.completion_order, &workload),
-                "seed {seed}: {name} backend violated a dependence"
-            );
-            assert!(
-                record.peak_in_flight <= 4,
-                "seed {seed}: {name} backend exceeded the in-flight window"
-            );
+            for (name, record) in
+                [("sim", &sim_record), ("threaded", &threaded_record), ("mpi", &mpi_record)]
+            {
+                let mut seen = record.completion_order.clone();
+                seen.sort_unstable();
+                assert_eq!(
+                    seen,
+                    (0..workload.len()).collect::<Vec<_>>(),
+                    "seed {seed}: {name} backend did not execute every task exactly once"
+                );
+                assert!(
+                    is_topological(&record.completion_order, &workload),
+                    "seed {seed}: {name} backend violated a dependence"
+                );
+                assert!(
+                    record.peak_in_flight <= 4,
+                    "seed {seed}: {name} backend exceeded the in-flight window"
+                );
+                // The assignment is static, so it matches exactly.
+                assert_eq!(sim_record.assignment, record.assignment, "seed {seed}: {name}");
+            }
         }
-        // The assignment is static, so it still matches exactly.
-        assert_eq!(sim_record.assignment, threaded_record.assignment, "seed {seed}");
-    }
+    });
 }
 
 /// The simulated §7 reproduction: with the legacy libomptarget-style window
@@ -164,13 +201,13 @@ fn window_is_honored_and_bottleneck_reproduces() {
         "the narrow window must reproduce the head-node bottleneck"
     );
 
-    // The threaded backend honours the same bound.
+    // The threaded and MPI backends honour the same bound.
     let mut config = OmpcConfig::small();
     config.max_inflight_tasks = Some(2);
     let platform = Platform::cluster(3);
     let plan = RuntimePlan::for_workload(&workload, &platform, &config);
-    let mut device = ClusterDevice::with_config(3, config);
-    let record = device.run_workload(&workload, &plan).unwrap();
-    device.shutdown();
-    assert!(record.peak_in_flight <= 2);
+    for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+        let record = device_record(backend, 3, &config, &workload, &plan);
+        assert!(record.peak_in_flight <= 2, "{}", backend.name());
+    }
 }

@@ -1,10 +1,11 @@
 //! Integration tests of the error-aware event protocol: a worker-side
 //! handler failure (unregistered kernel, injected task error) or a worker
-//! death mid-run must surface as a propagated `OmpcError` from **both**
-//! execution backends within bounded time — never as a head-side hang —
-//! and the two backends must agree on the decision record of the failed
-//! run. Every test body runs under a 120 s watchdog so any future protocol
-//! hang fails fast instead of wedging the suite.
+//! death mid-run must surface as a propagated `OmpcError` from **all
+//! three** execution backends (simulated, threaded, message-passing MPI)
+//! within bounded time — never as a head-side hang — and the backends must
+//! agree on the decision record of the failed run. Every test body runs
+//! under a 120 s watchdog so any future protocol hang fails fast instead
+//! of wedging the suite.
 
 use ompc::prelude::*;
 use ompc::sched::TaskGraph;
@@ -27,12 +28,12 @@ fn chain_workload(n: usize, cost: f64, bytes: u64) -> WorkloadGraph {
 }
 
 #[test]
-fn unregistered_kernel_errors_both_backends_with_equivalent_records() {
+fn unregistered_kernel_errors_all_backends_with_equivalent_records() {
     with_timeout(WATCHDOG, || {
         // A 6-task chain alternating between two workers; task 3's
         // execution is forced to fail at the protocol layer (the threaded
-        // backend executes a genuinely unregistered kernel, the simulated
-        // backend models the same failed reply).
+        // and MPI backends execute a genuinely unregistered kernel, the
+        // simulated backend models the same failed reply).
         let n = 6usize;
         let workload = chain_workload(n, 0.002, 1024);
         let config = OmpcConfig {
@@ -43,37 +44,49 @@ fn unregistered_kernel_errors_both_backends_with_equivalent_records() {
         let assignment: Vec<NodeId> = (0..n).map(|t| 1 + t % 2).collect();
         let plan = RuntimePlan { assignment, window: config.inflight_window() };
 
-        let (sim_result, sim_record) = simulate_ompc_outcome(
+        let outcome = simulate_ompc_outcome(
             &workload,
             &ClusterConfig::santos_dumont(3),
             &config,
             &OverheadModel::default(),
             Some(&plan),
         );
-        let sim_err = sim_result.unwrap_err();
+        let sim_record = outcome.record;
+        let sim_err = outcome.result.unwrap_err();
         assert!(
             matches!(sim_err.root_cause(), OmpcError::UnknownKernel(_)),
             "sim: expected an unknown-kernel root cause, got {sim_err:?}"
         );
         assert_eq!(sim_err.origin_node(), Some(plan.assignment[3]), "sim blames the wrong node");
 
-        let mut device = ClusterDevice::with_config(2, config);
-        let threaded_err = device.run_workload(&workload, &plan).unwrap_err();
-        assert!(
-            matches!(threaded_err.root_cause(), OmpcError::UnknownKernel(_)),
-            "threaded: expected an unknown-kernel root cause, got {threaded_err:?}"
-        );
-        assert_eq!(threaded_err.origin_node(), Some(plan.assignment[3]));
-        let threaded_record = device.last_run_record().expect("failed runs keep their record");
-        device.shutdown();
+        let mut records = Vec::new();
+        for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+            let mut device =
+                ClusterDevice::with_config(2, OmpcConfig { backend, ..config.clone() });
+            let err = device.run_workload(&workload, &plan).unwrap_err();
+            assert!(
+                matches!(err.root_cause(), OmpcError::UnknownKernel(_)),
+                "{}: expected an unknown-kernel root cause, got {err:?}",
+                backend.name()
+            );
+            assert_eq!(err.origin_node(), Some(plan.assignment[3]), "{}", backend.name());
+            records.push((
+                backend.name(),
+                device.last_run_record().expect("failed runs keep their record"),
+            ));
+            device.shutdown();
+        }
 
         // Backend-equivalent records of the failed run: identical
         // dispatches and identical completions before the propagated error.
         assert_eq!(sim_record.completion_order, vec![0, 1, 2]);
-        assert_eq!(sim_record.completion_order, threaded_record.completion_order);
-        assert_eq!(sim_record.dispatch_order, threaded_record.dispatch_order);
-        assert_eq!(sim_record.assignment, threaded_record.assignment);
-        assert!(sim_record.failures.is_empty() && threaded_record.failures.is_empty());
+        for (name, record) in &records {
+            assert_eq!(sim_record.completion_order, record.completion_order, "{name}");
+            assert_eq!(sim_record.dispatch_order, record.dispatch_order, "{name}");
+            assert_eq!(sim_record.assignment, record.assignment, "{name}");
+            assert!(record.failures.is_empty(), "{name}");
+        }
+        assert!(sim_record.failures.is_empty());
     });
 }
 
@@ -98,13 +111,15 @@ fn unregistered_kernel_in_a_target_region_is_an_error_not_a_hang() {
 }
 
 #[test]
-fn mid_run_death_of_the_only_worker_errors_both_backends_in_bounded_time() {
+fn mid_run_death_of_the_only_worker_errors_all_backends_in_bounded_time() {
     with_timeout(WATCHDOG, || {
         // The only worker dies after its second retirement, with work (and
-        // its data) still on it: nothing can recover, so both backends
-        // must report `NodeFailure` — the threaded backend kills the
-        // worker's event loop for real, so this also proves the killed
-        // node's error replies keep the head from hanging.
+        // its data) still on it: nothing can recover, so every backend
+        // must report `NodeFailure` — the threaded and MPI backends kill
+        // the worker's event loop for real, so this also proves the killed
+        // node's error replies keep the head from hanging (for the MPI
+        // backend: the zombie gate answers composite task messages with
+        // typed refusals).
         let n = 6usize;
         let workload = chain_workload(n, 0.002, 1024);
         let config = OmpcConfig {
@@ -114,34 +129,40 @@ fn mid_run_death_of_the_only_worker_errors_both_backends_in_bounded_time() {
         };
         let plan = RuntimePlan { assignment: vec![1; n], window: config.inflight_window() };
 
-        let (sim_result, sim_record) = simulate_ompc_outcome(
+        let outcome = simulate_ompc_outcome(
             &workload,
             &ClusterConfig::santos_dumont(2),
             &config,
             &OverheadModel::default(),
             Some(&plan),
         );
-        assert_eq!(sim_result.unwrap_err(), OmpcError::NodeFailure(1));
-
-        let mut device = ClusterDevice::with_config(1, config);
-        let threaded_err = device.run_workload(&workload, &plan).unwrap_err();
-        assert_eq!(threaded_err, OmpcError::NodeFailure(1));
-        let threaded_record = device.last_run_record().unwrap();
-        device.shutdown();
-
-        // Equivalent decision records (fault-clock timestamps aside): the
-        // same completions retired before the death, the same failure
-        // declared, the same tasks caught by the lineage/restart machinery.
+        let sim_record = outcome.record;
+        assert_eq!(outcome.result.unwrap_err(), OmpcError::NodeFailure(1));
         assert_eq!(sim_record.completion_order, vec![0, 1]);
-        assert_eq!(sim_record.completion_order, threaded_record.completion_order);
         assert_eq!(sim_record.failures.len(), 1);
-        assert_eq!(threaded_record.failures.len(), 1);
         assert_eq!(sim_record.failures[0].node, 1);
-        assert_eq!(threaded_record.failures[0].node, 1);
-        assert_eq!(sim_record.failures[0].lost_buffers, threaded_record.failures[0].lost_buffers);
-        assert_eq!(sim_record.failures[0].lineage_tasks, threaded_record.failures[0].lineage_tasks);
-        assert_eq!(sim_record.reexecuted, threaded_record.reexecuted);
-        assert_eq!(sim_record.assignment, threaded_record.assignment);
+
+        for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+            let mut device =
+                ClusterDevice::with_config(1, OmpcConfig { backend, ..config.clone() });
+            let err = device.run_workload(&workload, &plan).unwrap_err();
+            assert_eq!(err, OmpcError::NodeFailure(1), "{}", backend.name());
+            let record = device.last_run_record().unwrap();
+            device.shutdown();
+
+            // Equivalent decision records (fault-clock timestamps aside):
+            // the same completions retired before the death, the same
+            // failure declared, the same tasks caught by the
+            // lineage/restart machinery.
+            let name = backend.name();
+            assert_eq!(sim_record.completion_order, record.completion_order, "{name}");
+            assert_eq!(record.failures.len(), 1, "{name}");
+            assert_eq!(record.failures[0].node, 1, "{name}");
+            assert_eq!(sim_record.failures[0].lost_buffers, record.failures[0].lost_buffers);
+            assert_eq!(sim_record.failures[0].lineage_tasks, record.failures[0].lineage_tasks);
+            assert_eq!(sim_record.reexecuted, record.reexecuted, "{name}");
+            assert_eq!(sim_record.assignment, record.assignment, "{name}");
+        }
     });
 }
 
@@ -244,7 +265,7 @@ fn wall_clock_trigger_kills_a_worker_during_a_long_run() {
 }
 
 #[test]
-fn out_of_range_task_error_is_rejected_by_both_backends() {
+fn out_of_range_task_error_is_rejected_by_all_backends() {
     with_timeout(WATCHDOG, || {
         // A typo'd task index in `error_on_task` must fail the run up
         // front with `InvalidConfig`, not silently degrade the fault plan
@@ -255,18 +276,69 @@ fn out_of_range_task_error_is_rejected_by_both_backends() {
             OmpcConfig { fault_plan: FaultPlan::none().error_on_task(30), ..OmpcConfig::small() };
         let plan = RuntimePlan { assignment: vec![1; n], window: config.inflight_window() };
 
-        let (sim_result, _) = simulate_ompc_outcome(
+        let outcome = simulate_ompc_outcome(
             &workload,
             &ClusterConfig::santos_dumont(2),
             &config,
             &OverheadModel::default(),
             Some(&plan),
         );
-        assert!(matches!(sim_result.unwrap_err(), OmpcError::InvalidConfig(_)));
+        assert!(matches!(outcome.result.unwrap_err(), OmpcError::InvalidConfig(_)));
 
-        let mut device = ClusterDevice::with_config(1, config);
-        let threaded_err = device.run_workload(&workload, &plan).unwrap_err();
-        assert!(matches!(threaded_err, OmpcError::InvalidConfig(_)), "got {threaded_err:?}");
+        for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+            let mut device =
+                ClusterDevice::with_config(1, OmpcConfig { backend, ..config.clone() });
+            let err = device.run_workload(&workload, &plan).unwrap_err();
+            assert!(matches!(err, OmpcError::InvalidConfig(_)), "{}: got {err:?}", backend.name());
+            device.shutdown();
+        }
+    });
+}
+
+#[test]
+fn idle_pool_threads_are_reaped_after_the_timeout() {
+    with_timeout(WATCHDOG, || {
+        // With `pool_idle_timeout_ms` set, the long-lived pool shrinks
+        // below its high-water mark once the device goes quiet — the fix
+        // for devices alternating huge and tiny regions — and re-grows
+        // lazily when the next region needs threads again.
+        let config = OmpcConfig {
+            head_worker_threads: 4,
+            pool_idle_timeout_ms: Some(100),
+            ..OmpcConfig::small()
+        };
+        let mut device = ClusterDevice::with_config(2, config);
+        let noop = device.register_kernel_fn("noop", 1e-6, |_| {});
+
+        let mut region = device.target_region();
+        let buffers: Vec<BufferId> = (0..8).map(|i| region.map_to_f64s(&[i as f64])).collect();
+        for &b in &buffers {
+            region.target(noop, vec![Dependence::inout(b)]);
+        }
+        region.run().unwrap();
+        assert_eq!(device.pool_threads(), 4, "the region grew the pool to the thread cap");
+
+        // Past the idle timeout every thread exits; poll rather than
+        // assuming exact reaper timing.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while device.pool_threads() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(device.pool_threads(), 0, "idle threads must be reaped after the timeout");
+
+        // The next region re-grows the pool and still runs correctly.
+        let mut region = device.target_region();
+        let a = region.map_to_f64s(&[41.0]);
+        let bump = device.register_kernel_fn("bump", 1e-6, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+            args.set_f64s(0, &v);
+        });
+        region.target(bump, vec![Dependence::inout(a)]);
+        region.map_from(a);
+        region.run().unwrap();
+        assert_eq!(device.buffer_f64s(a).unwrap(), vec![42.0]);
+        assert!(device.pool_threads() > 0, "the pool re-grew for the new region");
         device.shutdown();
+        assert_eq!(device.pool_threads(), 0);
     });
 }

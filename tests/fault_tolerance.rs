@@ -1,14 +1,20 @@
 //! Integration tests of the fault-tolerance subsystem (paper §3.1): a
 //! deterministically injected worker failure must be detected by the ring
 //! heartbeat, its lost work re-executed on the survivors, and the final
-//! results must be byte-identical to a failure-free run — in **both**
-//! execution backends, which must also agree on the recovered task sets.
+//! results must be byte-identical to a failure-free run — in **all three**
+//! execution backends (simulated, threaded, message-passing MPI), which
+//! must also agree on the recovered task sets. The cross-backend tests
+//! run under ompc-testutil's 120 s watchdog.
 
 use ompc::prelude::*;
 use ompc::sched::TaskGraph;
 use ompc::sim::ClusterConfig;
+use ompc_testutil::with_timeout;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+const WATCHDOG: Duration = Duration::from_secs(120);
 
 fn fault_config(plan: FaultPlan) -> OmpcConfig {
     OmpcConfig { fault_plan: plan, ..OmpcConfig::small() }
@@ -19,11 +25,19 @@ fn fault_config(plan: FaultPlan) -> OmpcConfig {
 /// `kill_after`-th task completion. Returns the final host buffer and the
 /// run record.
 fn run_listing1_chain(fault: Option<(usize, usize)>) -> (Vec<f64>, RunRecord) {
+    run_listing1_chain_on(BackendKind::Threaded, fault)
+}
+
+/// [`run_listing1_chain`] on an explicit device backend.
+fn run_listing1_chain_on(
+    backend: BackendKind,
+    fault: Option<(usize, usize)>,
+) -> (Vec<f64>, RunRecord) {
     let plan = match fault {
         Some((victim, kill_after)) => FaultPlan::none().fail_after_completions(victim, kill_after),
         None => FaultPlan::none(),
     };
-    let mut device = ClusterDevice::with_config(2, fault_config(plan));
+    let mut device = ClusterDevice::with_config(2, OmpcConfig { backend, ..fault_config(plan) });
     let plus_one = device.register_kernel_fn("plus-one", 1e-5, |args| {
         let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
         args.set_f64s(0, &v);
@@ -97,67 +111,102 @@ fn threaded_region_recovers_with_full_replan_too() {
 }
 
 /// The backend-equivalence property under failure: for the same seeded
-/// chain, the same explicit plan, and the same injected failure, the
-/// simulated and threaded backends must retire tasks in the same order and
-/// recover exactly the same task sets.
+/// chain, the same explicit plan, and the same injected failure, all three
+/// backends must retire tasks in the same order and recover exactly the
+/// same task sets.
 #[test]
 fn backends_recover_the_same_tasks_from_the_same_failure() {
-    let n = 8usize;
-    let mut g = TaskGraph::new();
-    for _ in 0..n {
-        g.add_task(0.02);
-    }
-    for t in 1..n {
-        g.add_edge(t - 1, t, 32 * 1024);
-    }
-    let workload = WorkloadGraph::new(g, vec![32 * 1024; n]);
-    // First half of the chain on worker 1 (which dies after two
-    // retirements), second half on worker 2.
-    let assignment: Vec<NodeId> = (0..n).map(|t| if t < n / 2 { 1 } else { 2 }).collect();
-    let mut config = fault_config(FaultPlan::none().fail_after_completions(1, 2));
-    config.max_inflight_tasks = Some(1);
-    let plan = RuntimePlan { assignment, window: config.inflight_window() };
+    with_timeout(WATCHDOG, || {
+        let n = 8usize;
+        let mut g = TaskGraph::new();
+        for _ in 0..n {
+            g.add_task(0.02);
+        }
+        for t in 1..n {
+            g.add_edge(t - 1, t, 32 * 1024);
+        }
+        let workload = WorkloadGraph::new(g, vec![32 * 1024; n]);
+        // First half of the chain on worker 1 (which dies after two
+        // retirements), second half on worker 2.
+        let assignment: Vec<NodeId> = (0..n).map(|t| if t < n / 2 { 1 } else { 2 }).collect();
+        let mut config = fault_config(FaultPlan::none().fail_after_completions(1, 2));
+        config.max_inflight_tasks = Some(1);
+        let plan = RuntimePlan { assignment, window: config.inflight_window() };
 
-    let (_, sim_record) = simulate_ompc_with_plan(
-        &workload,
-        &ClusterConfig::santos_dumont(3),
-        &config,
-        &OverheadModel::default(),
-        &plan,
-    )
-    .unwrap();
+        let (_, sim_record) = simulate_ompc_with_plan(
+            &workload,
+            &ClusterConfig::santos_dumont(3),
+            &config,
+            &OverheadModel::default(),
+            &plan,
+        )
+        .unwrap();
 
-    let mut device = ClusterDevice::with_config(2, config);
-    let threaded_record = device.run_workload(&workload, &plan).unwrap();
-    device.shutdown();
+        let mut records = vec![("sim", sim_record)];
+        for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+            let mut device =
+                ClusterDevice::with_config(2, OmpcConfig { backend, ..config.clone() });
+            let record = device.run_workload(&workload, &plan).unwrap();
+            device.shutdown();
+            records.push((backend.name(), record));
+        }
 
-    for (name, record) in [("sim", &sim_record), ("threaded", &threaded_record)] {
-        assert_eq!(record.failures.len(), 1, "{name}: exactly one declared failure");
-        assert_eq!(record.failures[0].node, 1, "{name}");
-        // Every task's final retirement exists exactly once.
-        let mut retired: Vec<usize> = record.completion_order.clone();
-        retired.sort_unstable();
-        retired.dedup();
-        assert_eq!(retired, (0..n).collect::<Vec<_>>(), "{name}: every task must retire");
-    }
-    // The backends agree on every recovery decision (timing aside).
-    assert_eq!(
-        sim_record.completion_order, threaded_record.completion_order,
-        "backends disagree on the retirement order under failure"
-    );
-    assert_eq!(
-        sim_record.reexecuted, threaded_record.reexecuted,
-        "backends disagree on the re-executed task set"
-    );
-    assert_eq!(
-        sim_record.replanned, threaded_record.replanned,
-        "backends disagree on the recovery reassignment"
-    );
-    assert_eq!(sim_record.assignment, threaded_record.assignment);
-    assert_eq!(sim_record.failures[0].lost_buffers, threaded_record.failures[0].lost_buffers);
-    assert_eq!(sim_record.failures[0].lineage_tasks, threaded_record.failures[0].lineage_tasks);
-    // The lost lineage (tasks 0 and 1 completed on the dead node) re-ran.
-    assert!(sim_record.reexecuted.contains(&0) && sim_record.reexecuted.contains(&1));
+        for (name, record) in &records {
+            assert_eq!(record.failures.len(), 1, "{name}: exactly one declared failure");
+            assert_eq!(record.failures[0].node, 1, "{name}");
+            // Every task's final retirement exists exactly once.
+            let mut retired: Vec<usize> = record.completion_order.clone();
+            retired.sort_unstable();
+            retired.dedup();
+            assert_eq!(retired, (0..n).collect::<Vec<_>>(), "{name}: every task must retire");
+        }
+        // The backends agree on every recovery decision (timing aside).
+        let (_, sim_record) = &records[0];
+        for (name, record) in &records[1..] {
+            assert_eq!(
+                sim_record.completion_order, record.completion_order,
+                "sim and {name} disagree on the retirement order under failure"
+            );
+            assert_eq!(
+                sim_record.reexecuted, record.reexecuted,
+                "sim and {name} disagree on the re-executed task set"
+            );
+            assert_eq!(
+                sim_record.replanned, record.replanned,
+                "sim and {name} disagree on the recovery reassignment"
+            );
+            assert_eq!(sim_record.assignment, record.assignment, "{name}");
+            assert_eq!(sim_record.failures[0].lost_buffers, record.failures[0].lost_buffers);
+            assert_eq!(sim_record.failures[0].lineage_tasks, record.failures[0].lineage_tasks);
+        }
+        // The lost lineage (tasks 0 and 1 completed on the dead node) re-ran.
+        assert!(sim_record.reexecuted.contains(&0) && sim_record.reexecuted.contains(&1));
+    });
+}
+
+/// The MPI backend's fault surface end to end at the region level: the
+/// victim's event loop dies for real mid-region, recovery re-executes the
+/// lost lineage on the survivor through fresh composite task messages, and
+/// the final bytes are identical to a failure-free run.
+#[test]
+fn mpi_region_survives_a_mid_region_failure_with_identical_buffers() {
+    with_timeout(WATCHDOG, || {
+        let (clean, clean_record) = run_listing1_chain_on(BackendKind::Mpi, None);
+        assert_eq!(clean, vec![20.0, 30.0, 40.0, 50.0]);
+        assert!(clean_record.failures.is_empty());
+        let victim = clean_record.assignment[1];
+        assert!(victim >= 1, "foo must run on a worker");
+
+        let (recovered, record) = run_listing1_chain_on(BackendKind::Mpi, Some((victim, 2)));
+        assert_eq!(recovered, clean, "recovery must reproduce the failure-free bytes");
+        assert_eq!(record.failures.len(), 1);
+        assert_eq!(record.failures[0].node, victim);
+        assert!(record.failures[0].detected_at >= record.failures[0].silenced_at);
+        assert!(record.failures[0].lost_buffers >= 1, "the chain's buffer died with the node");
+        assert!(record.reexecuted.contains(&0) && record.reexecuted.contains(&1));
+        assert!(!record.replanned.is_empty());
+        assert!(record.replanned.iter().all(|r| r.from == victim && r.to != victim));
+    });
 }
 
 #[test]
@@ -228,6 +277,63 @@ fn cancellation_never_masks_the_root_cause_error() {
     }
     let err = region.run().unwrap_err();
     assert!(matches!(err, OmpcError::UnknownBuffer(_)), "root cause lost: {err:?}");
+}
+
+#[test]
+fn explicit_plan_naming_a_long_dead_node_is_rejected_not_fake_completed() {
+    with_timeout(WATCHDOG, || {
+        // After node 1 dies in region 1 and its triggers are spent, a later
+        // `run_workload` whose explicit plan still names node 1 must fail
+        // up front with `InvalidConfig` — previously the dead-node branch
+        // fake-completed the task (its kernel never ran) and, with no
+        // remaining trigger, the core retired the lie as a genuine
+        // completion. Both real backends share the guard.
+        for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+            let config = OmpcConfig {
+                backend,
+                ..fault_config(FaultPlan::none().fail_after_completions(1, 1))
+            };
+            let mut device = ClusterDevice::with_config(2, config);
+            let bump = device.register_kernel_fn("bump", 1e-5, |args| {
+                let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+                args.set_f64s(0, &v);
+            });
+            // Region 1: node 1 dies after its first retirement; recovery
+            // completes the region on node 2.
+            let mut region = device.target_region();
+            let a = region.map_to_f64s(&[1.0]);
+            region.target(bump, vec![Dependence::inout(a)]);
+            region.target(bump, vec![Dependence::inout(a)]);
+            region.map_from(a);
+            region.run().unwrap();
+            assert_eq!(device.alive_workers(), vec![2], "{}", backend.name());
+
+            // Region 2: an explicit plan naming the long-dead node 1.
+            let mut g = TaskGraph::new();
+            g.add_task(0.001);
+            g.add_task(0.001);
+            g.add_edge(0, 1, 64);
+            let workload = WorkloadGraph::new(g, vec![64; 2]);
+            let plan = RuntimePlan { assignment: vec![1, 2], window: 1 };
+            let err = device.run_workload(&workload, &plan).unwrap_err();
+            assert!(
+                matches!(err, OmpcError::InvalidConfig(_)),
+                "{}: expected InvalidConfig, got {err:?}",
+                backend.name()
+            );
+            assert!(
+                err.to_string().contains("node 1"),
+                "{}: unclear message: {err}",
+                backend.name()
+            );
+
+            // A plan over the survivors still runs.
+            let plan = RuntimePlan { assignment: vec![2, 2], window: 1 };
+            let record = device.run_workload(&workload, &plan).unwrap();
+            assert_eq!(record.completion_order, vec![0, 1], "{}", backend.name());
+            device.shutdown();
+        }
+    });
 }
 
 #[test]

@@ -6,7 +6,7 @@ fn second_region_failure_must_not_recover_onto_a_node_dead_from_region_one() {
     // 3 workers. Region 1 kills node 1; region 2 kills node 2.
     let plan = FaultPlan::none().fail_after_completions(1, 1).fail_after_completions(2, 2);
     let config = OmpcConfig { fault_plan: plan, ..OmpcConfig::small() };
-    let mut device = ClusterDevice::with_config(3, config.clone());
+    let device = ClusterDevice::with_config(3, config.clone());
 
     // Region 1: a 3-task chain pinned to node 1; node 1 dies, recovery moves it.
     let mut g = TaskGraph::new();
