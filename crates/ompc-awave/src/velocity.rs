@@ -93,6 +93,14 @@ impl VelocityModel {
         &self.velocities
     }
 
+    /// Rebuild a model from its raw grid (the inverse of
+    /// [`VelocityModel::values`]) — used by cluster kernels that receive
+    /// the model as a mapped buffer instead of a captured closure value.
+    pub fn from_values(nx: usize, nz: usize, h: f64, velocities: Vec<f64>) -> Self {
+        assert_eq!(velocities.len(), nx * nz, "velocity grid must be nx × nz");
+        Self { nx, nz, h, velocities }
+    }
+
     /// Maximum velocity (governs the CFL-stable time step).
     pub fn max_velocity(&self) -> f64 {
         self.velocities.iter().copied().fold(0.0, f64::max)

@@ -117,6 +117,88 @@ pub fn run_shots_on_cluster(
     Ok(stacked)
 }
 
+/// Serialize a velocity model as the f64 payload of a mapped buffer:
+/// `[nx, nz, h, values...]`.
+fn model_to_f64s(model: &VelocityModel) -> Vec<f64> {
+    let mut out = Vec::with_capacity(3 + model.values().len());
+    out.push(model.nx as f64);
+    out.push(model.nz as f64);
+    out.push(model.h);
+    out.extend_from_slice(model.values());
+    out
+}
+
+/// Rebuild a velocity model from the payload written by [`model_to_f64s`].
+fn model_from_f64s(values: &[f64]) -> VelocityModel {
+    let (nx, nz, h) = (values[0] as usize, values[1] as usize, values[2]);
+    VelocityModel::from_values(nx, nz, h, values[3..].to_vec())
+}
+
+/// The §6 iterative showcase of cross-region data residency: migrate a
+/// survey as **one region per shot**, with the velocity model mapped once
+/// as a device-resident buffer ([`ClusterDevice::enter_data`]) that every
+/// shot region reads in place. The model reaches each worker at most once
+/// across the whole survey — later regions generate no enter-data transfer
+/// — where the per-region variant ([`run_shots_on_cluster`]) would pay the
+/// distribution in every region that maps it. Returns the stacked image
+/// (byte-identical to the sequential [`crate::rtm::migrate`] result) and
+/// the number of times the model buffer crossed the network, which tests
+/// and `ompc-bench` assert stays bounded by the worker count, independent
+/// of the shot count.
+pub fn run_shots_resident(
+    device: &ClusterDevice,
+    model: &VelocityModel,
+    shots: &[Shot],
+    params: &RtmParams,
+) -> OmpcResult<(RtmImage, usize)> {
+    let params = Arc::new(params.clone());
+    let cost = estimate_shot_cost(model.nx, model.nz, params.nt);
+    let kernel = {
+        let params = Arc::clone(&params);
+        device.register_kernel_fn("rtm-shot-resident", cost, move |args| {
+            let model = model_from_f64s(&args.as_f64s(0));
+            let desc = args.as_u64s(1);
+            let shot = Shot { source_x: desc[0] as usize, source_z: desc[1] as usize };
+            let image = rtm_shot(&model, shot, &params);
+            args.set_f64s(2, &image.values);
+        })
+    };
+
+    // Unstructured enter data: the model becomes a resident mapping, pulled
+    // onto a worker the first time a shot region reads it there.
+    let model_buffer = device.enter_data(ompc_mpi::typed::f64s_to_bytes(&model_to_f64s(model)));
+
+    let (nx, nz) = (model.nx, model.nz);
+    let mut stacked = RtmImage::zeros(nx, nz);
+    let mut model_transfers = 0usize;
+    for shot in shots {
+        let mut region = device.target_region();
+        let desc = region
+            .map_to(ompc_mpi::typed::u64s_to_bytes(&[shot.source_x as u64, shot.source_z as u64]));
+        let image = region.map_alloc(nx * nz * 8);
+        region.target_with_cost(
+            kernel,
+            cost,
+            vec![
+                Dependence::input(model_buffer),
+                Dependence::input(desc),
+                Dependence::output(image),
+            ],
+            format!("shot@{}", shot.source_x),
+        );
+        region.map_from(image);
+        region.run()?;
+        if let Some(record) = device.last_run_record() {
+            model_transfers += record.buffer_transfers(model_buffer).len();
+        }
+        let values = device.buffer_f64s(image)?;
+        stacked.stack(&RtmImage { nx, nz, values });
+    }
+    // End the unstructured mapping: release the model's device copies.
+    device.exit_data(model_buffer)?;
+    Ok((stacked, model_transfers))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +247,38 @@ mod tests {
         let efficiency16 = t1 / t16;
         assert!(efficiency8 > 0.85, "8-node weak-scaling efficiency {efficiency8}");
         assert!(efficiency16 > 0.80, "16-node weak-scaling efficiency {efficiency16}");
+    }
+
+    #[test]
+    fn resident_cluster_run_matches_sequential_and_moves_the_model_once() {
+        let model = VelocityModel::generate(ModelKind::SigsbeeLike, 32, 32, 20.0);
+        let params = RtmParams { nt: 80, snapshot_every: 4, smoothing_passes: 2 };
+        let shots = [
+            Shot { source_x: 8, source_z: 2 },
+            Shot { source_x: 16, source_z: 2 },
+            Shot { source_x: 24, source_z: 2 },
+        ];
+        let sequential = crate::rtm::migrate(&model, &shots, &params);
+
+        let mut device = ClusterDevice::spawn(2);
+        let (clustered, model_transfers) =
+            run_shots_resident(&device, &model, &shots, &params).unwrap();
+        let workers = device.num_workers();
+        device.shutdown();
+
+        assert!(
+            model_transfers >= 1 && model_transfers <= workers,
+            "the resident model must cross the network at most once per worker \
+             (moved {model_transfers} times for {workers} workers over {} regions)",
+            shots.len()
+        );
+        assert_eq!(clustered.values.len(), sequential.values.len());
+        for (a, b) in clustered.values.iter().zip(&sequential.values) {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "resident cluster image diverged from the sequential reference"
+            );
+        }
     }
 
     #[test]

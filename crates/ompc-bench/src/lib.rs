@@ -18,6 +18,12 @@
 //! * [`run_fault_overhead`] — the §3.1 resilience cost: makespan at 0, 1,
 //!   and 2 injected worker failures vs. the failure-free run, with
 //!   re-execution counts and heartbeat detection latency.
+//! * [`run_residency`] — cross-region data residency: transfer bytes and
+//!   makespan of an iterative stencil vs. region count, resident mapping
+//!   against per-region mapping, on the real threaded device.
+//! * [`run_backend_overhead`] — threaded-vs-MPI dispatch overhead: wall
+//!   time of a wide tiny-task graph at varying in-flight window sizes on
+//!   both real backends.
 //!
 //! Each function returns plain records (serializable with serde) so the
 //! `fig5` … `ablation` binaries can print the same rows the paper plots and
@@ -27,6 +33,7 @@ pub mod ablation;
 pub mod fault;
 pub mod figures;
 pub mod report;
+pub mod residency;
 pub mod runtimes;
 
 pub use ablation::{run_ablation, AblationRow};
@@ -36,4 +43,7 @@ pub use figures::{
     ScalabilityRow,
 };
 pub use report::{geometric_mean, render_table, rows_to_json_pretty, speedup_summary, JsonRow};
+pub use residency::{
+    run_backend_overhead, run_residency, BackendOverheadRow, MappingMode, ResidencyRow,
+};
 pub use runtimes::{run_all_runtimes, RuntimeKind, RuntimeMeasurement};

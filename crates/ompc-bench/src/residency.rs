@@ -1,0 +1,241 @@
+//! Two runtime figures on the *real* backends:
+//!
+//! * [`run_residency`] — the cross-region residency figure: transfer bytes
+//!   and makespan of an iterative stencil vs. region count, with the field
+//!   mapped **resident** (entered once, flushed once at the end) against
+//!   the classic **per-region** mapping (`map_to` / `map_from` every
+//!   region). Residency makes the transferred bytes independent of the
+//!   region count; per-region mapping pays the round-trip every region.
+//! * [`run_backend_overhead`] — the threaded-vs-MPI dispatch-overhead
+//!   figure: wall time of a wide graph of tiny tasks at varying in-flight
+//!   window sizes, quantifying pool-thread cost (threaded) against
+//!   probe-loop cost (message-passing) on the same plan — the §7 overhead
+//!   comparison at the protocol level.
+
+use crate::report::JsonRow;
+use ompc_core::model::WorkloadGraph;
+use ompc_core::prelude::*;
+use ompc_json::Json;
+use ompc_sched::TaskGraph;
+use std::time::Instant;
+
+/// How the iterative stencil's field is mapped across regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingMode {
+    /// Entered once as a device-resident buffer, flushed once at the end.
+    Resident,
+    /// Freshly `map_to` / `map_from` in every region (the pre-residency
+    /// idiom).
+    PerRegion,
+}
+
+impl MappingMode {
+    /// Name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MappingMode::Resident => "resident",
+            MappingMode::PerRegion => "per-region",
+        }
+    }
+}
+
+/// One point of the residency figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidencyRow {
+    /// Mapping mode measured.
+    pub mode: MappingMode,
+    /// Number of stencil regions executed.
+    pub regions: usize,
+    /// Total transfers planned across all regions.
+    pub transfer_count: usize,
+    /// Total bytes of those transfers (registered buffer sizes).
+    pub transfer_bytes: u64,
+    /// Wall time of the whole region sequence in seconds.
+    pub seconds: f64,
+}
+
+/// One smoothing pass over the field: a 3-point stencil, in place.
+fn register_stencil(device: &ClusterDevice) -> KernelId {
+    device.register_kernel_fn("stencil", 1e-4, |args| {
+        let v = args.as_f64s(0);
+        let n = v.len();
+        let mut out = v.clone();
+        for i in 1..n.saturating_sub(1) {
+            out[i] = (v[i - 1] + v[i] + v[i + 1]) / 3.0;
+        }
+        args.set_f64s(0, &out);
+    })
+}
+
+/// Run the iterative stencil under one mapping mode and return its row.
+fn run_stencil(mode: MappingMode, regions: usize, field_len: usize) -> ResidencyRow {
+    let mut device = ClusterDevice::with_config(2, OmpcConfig::small());
+    let stencil = register_stencil(&device);
+    let initial: Vec<f64> = (0..field_len).map(|i| (i % 17) as f64).collect();
+
+    let start = Instant::now();
+    let mut transfer_count = 0usize;
+    let mut transfer_bytes = 0u64;
+    let mut take_counts = |device: &ClusterDevice| {
+        if let Some(record) = device.last_run_record() {
+            transfer_count += record.transfer_count();
+            transfer_bytes += record.transfer_bytes();
+        }
+    };
+    match mode {
+        MappingMode::Resident => {
+            let field = device.enter_data_f64s(&initial);
+            for _ in 0..regions {
+                let mut region = device.target_region();
+                region.target(stencil, vec![Dependence::inout(field)]);
+                region.run().expect("stencil region");
+                take_counts(&device);
+            }
+            device.exit_data(field).expect("final flush");
+            // The final flush is planned outside any region; count it too,
+            // or the resident column would understate its real movement.
+            for t in device.take_unattributed_transfers() {
+                transfer_count += 1;
+                transfer_bytes += t.bytes;
+            }
+        }
+        MappingMode::PerRegion => {
+            let mut host: Vec<u8> = initial.iter().flat_map(|v| v.to_le_bytes()).collect();
+            for _ in 0..regions {
+                let mut region = device.target_region();
+                let field = region.map_to(host.clone());
+                region.target(stencil, vec![Dependence::inout(field)]);
+                region.map_from(field);
+                region.run().expect("stencil region");
+                take_counts(&device);
+                host = device.buffer_data(field).expect("round-tripped field");
+            }
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    device.shutdown();
+    ResidencyRow { mode, regions, transfer_count, transfer_bytes, seconds }
+}
+
+/// The residency figure: both mapping modes at every region count, over a
+/// field of `field_len` doubles.
+pub fn run_residency(region_counts: &[usize], field_len: usize) -> Vec<ResidencyRow> {
+    let mut rows = Vec::new();
+    for &regions in region_counts {
+        for mode in [MappingMode::Resident, MappingMode::PerRegion] {
+            rows.push(run_stencil(mode, regions, field_len));
+        }
+    }
+    rows
+}
+
+/// One point of the threaded-vs-MPI overhead figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendOverheadRow {
+    /// Backend measured (threaded or mpi).
+    pub backend: BackendKind,
+    /// In-flight window size.
+    pub window: usize,
+    /// Number of tasks in the wide graph.
+    pub tasks: usize,
+    /// Wall time in seconds.
+    pub seconds: f64,
+}
+
+/// A wide, dependence-free graph of `tasks` tiny tasks with small outputs —
+/// pure dispatch overhead.
+fn wide_workload(tasks: usize) -> WorkloadGraph {
+    let mut g = TaskGraph::new();
+    for _ in 0..tasks {
+        g.add_task(1e-5);
+    }
+    WorkloadGraph::new(g, vec![256; tasks])
+}
+
+/// The threaded-vs-MPI overhead figure: wall time of the wide graph on
+/// both real backends at every window size, same plan everywhere.
+pub fn run_backend_overhead(
+    windows: &[usize],
+    tasks: usize,
+    workers: usize,
+) -> Vec<BackendOverheadRow> {
+    let workload = wide_workload(tasks);
+    let assignment: Vec<NodeId> = (0..tasks).map(|t| (t % workers) + 1).collect();
+    let mut rows = Vec::new();
+    for &window in windows {
+        for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+            let config =
+                OmpcConfig { backend, max_inflight_tasks: Some(window), ..OmpcConfig::small() };
+            let plan = RuntimePlan { assignment: assignment.clone(), window };
+            let mut device = ClusterDevice::with_config(workers, config);
+            let start = Instant::now();
+            device.run_workload(&workload, &plan).expect("overhead workload");
+            let seconds = start.elapsed().as_secs_f64();
+            device.shutdown();
+            rows.push(BackendOverheadRow { backend, window, tasks, seconds });
+        }
+    }
+    rows
+}
+
+impl JsonRow for ResidencyRow {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("mode", Json::str(self.mode.name())),
+            ("regions", Json::usize(self.regions)),
+            ("transfer_count", Json::usize(self.transfer_count)),
+            ("transfer_bytes", Json::u64(self.transfer_bytes)),
+            ("seconds", Json::num(self.seconds)),
+        ])
+    }
+}
+
+impl JsonRow for BackendOverheadRow {
+    fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("backend", Json::str(self.backend.name())),
+            ("window", Json::usize(self.window)),
+            ("tasks", Json::usize(self.tasks)),
+            ("seconds", Json::num(self.seconds)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resident_transfer_bytes_are_independent_of_region_count() {
+        let rows = run_residency(&[1, 4], 1024);
+        let get = |mode: MappingMode, regions: usize| {
+            rows.iter().find(|r| r.mode == mode && r.regions == regions).unwrap().clone()
+        };
+        // Resident: one distribution plus one final flush, no matter how
+        // many regions smooth the field.
+        let r1 = get(MappingMode::Resident, 1);
+        let r4 = get(MappingMode::Resident, 4);
+        assert_eq!(r1.transfer_count, 2, "enter once + flush once");
+        assert_eq!(r1.transfer_count, r4.transfer_count);
+        assert_eq!(r1.transfer_bytes, r4.transfer_bytes);
+        // Per-region mapping pays the round-trip (distribute + retrieve)
+        // every region: bytes grow linearly.
+        let p1 = get(MappingMode::PerRegion, 1);
+        let p4 = get(MappingMode::PerRegion, 4);
+        assert_eq!(p4.transfer_bytes, 4 * p1.transfer_bytes);
+        assert!(p4.transfer_bytes > r4.transfer_bytes);
+    }
+
+    #[test]
+    fn backend_overhead_measures_both_backends_at_each_window() {
+        let rows = run_backend_overhead(&[1, 4], 16, 2);
+        assert_eq!(rows.len(), 4);
+        for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+            for &window in &[1usize, 4] {
+                assert!(rows
+                    .iter()
+                    .any(|r| r.backend == backend && r.window == window && r.seconds > 0.0));
+            }
+        }
+    }
+}

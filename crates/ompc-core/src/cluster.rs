@@ -18,7 +18,7 @@ use crate::model::WorkloadGraph;
 use crate::region::TargetRegion;
 use crate::runtime::fault::{FaultPlan, FaultState};
 use crate::runtime::{
-    HeadWorkerPool, MpiBackend, RunRecord, RuntimeCore, RuntimePlan, ThreadedBackend,
+    HeadWorkerPool, MpiBackend, ResidencyMap, RunRecord, RuntimeCore, RuntimePlan, ThreadedBackend,
 };
 use crate::stats::{DeviceReport, RegionReport};
 use crate::task::{RegionGraph, TaskKind};
@@ -170,20 +170,142 @@ impl ClusterDevice {
         self.buffers.register(data)
     }
 
+    /// Device-level unstructured `target enter data`: register `data` as a
+    /// mapped buffer that is **resident** across region executions. No
+    /// bytes move yet — the first region task that reads the buffer pulls
+    /// it onto its worker, and from then on it stays there: later regions
+    /// generate no enter-data transfer, a region-level `map(from:)`
+    /// flushes it to the host without dropping the device copies, and only
+    /// [`ClusterDevice::exit_data`] (or a region-level `map(release:)`)
+    /// ends the mapping.
+    ///
+    /// ```
+    /// use ompc_core::cluster::ClusterDevice;
+    /// use ompc_core::types::Dependence;
+    ///
+    /// let mut device = ClusterDevice::spawn(1);
+    /// let bump = device.register_kernel_fn("bump", 1e-6, |args| {
+    ///     let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+    ///     args.set_f64s(0, &v);
+    /// });
+    /// let a = device.enter_data_f64s(&[1.0, 2.0]);
+    /// for _ in 0..3 {
+    ///     let mut region = device.target_region();
+    ///     region.target(bump, vec![Dependence::inout(a)]);
+    ///     region.run().unwrap();
+    /// }
+    /// // The host copy is flushed lazily: reading the buffer retrieves
+    /// // the device-resident latest version.
+    /// assert_eq!(device.buffer_f64s(a).unwrap(), vec![4.0, 5.0]);
+    /// // Ending the mapping releases the device copies.
+    /// device.exit_data(a).unwrap();
+    /// device.shutdown();
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device has been shut down — the mapping could never
+    /// be used, so the misuse is reported here rather than as a confusing
+    /// error from a later region.
+    pub fn enter_data(&self, data: Vec<u8>) -> BufferId {
+        assert!(!self.shut_down, "enter_data on a shut-down ClusterDevice");
+        let bytes = data.len() as u64;
+        let buffer = self.buffers.register(data);
+        let mut dm = self.dm.lock();
+        dm.register_host_buffer(buffer, bytes);
+        dm.mark_resident(buffer);
+        buffer
+    }
+
+    /// Convenience: [`ClusterDevice::enter_data`] for a slice of `f64`s.
+    pub fn enter_data_f64s(&self, values: &[f64]) -> BufferId {
+        self.enter_data(ompc_mpi::typed::f64s_to_bytes(values))
+    }
+
+    /// Device-level unstructured `target exit data map(from:)`: flush the
+    /// buffer's latest contents back to the host (a no-op when the host
+    /// already holds the latest version) and release every device copy,
+    /// ending the mapping. The host copy stays readable through
+    /// [`ClusterDevice::buffer_data`].
+    pub fn exit_data(&self, buffer: BufferId) -> OmpcResult<()> {
+        if self.shut_down {
+            return Err(OmpcError::ShutDown);
+        }
+        self.flush_to_host(buffer)?;
+        crate::runtime::release_device_copies(&self.dm, &self.events, buffer)
+    }
+
+    /// Bring the host copy of `buffer` up to date when its latest version
+    /// is resident on a worker (the lazy host flush of the residency
+    /// protocol). Device copies stay mapped — a flush is a read. Nothing
+    /// is committed until the bytes land: a failed retrieval surfaces as
+    /// an error and the next read retries from the then-latest holder
+    /// instead of silently trusting a stale host copy.
+    fn flush_to_host(&self, buffer: BufferId) -> OmpcResult<()> {
+        let from = {
+            let dm = self.dm.lock();
+            if !dm.is_registered(buffer) {
+                return Ok(());
+            }
+            dm.retrieve_source(buffer)
+        };
+        if let Some(from) = from {
+            let data = self.events.retrieve(from, buffer)?;
+            self.buffers.set(buffer, data)?;
+            self.dm.lock().record_retrieve(buffer);
+        }
+        Ok(())
+    }
+
+    /// Drain the transfers planned *outside* any region execution — lazy
+    /// host flushes ([`ClusterDevice::buffer_data`]) and device-level
+    /// [`ClusterDevice::exit_data`] retrievals. Transfers planned during a
+    /// region run are attributed to that run's
+    /// [`RunRecord::transfers`](crate::runtime::RunRecord::transfers)
+    /// instead and never appear here; undrained entries are discarded when
+    /// the next region begins.
+    pub fn take_unattributed_transfers(&self) -> Vec<crate::data_manager::TransferRecord> {
+        self.dm.lock().take_transfer_log()
+    }
+
+    /// The current region epoch: 0 before any region has executed,
+    /// incremented once per region execution. Together with
+    /// [`ClusterDevice::buffer_epoch`] this makes cross-region residency
+    /// observable — a buffer whose epoch is older than the device's has
+    /// been carried across regions, not re-registered.
+    pub fn region_epoch(&self) -> u64 {
+        self.dm.lock().epoch()
+    }
+
+    /// The region epoch that last registered or wrote `buffer` (`None`
+    /// when the buffer is not currently mapped).
+    pub fn buffer_epoch(&self, buffer: BufferId) -> Option<u64> {
+        self.dm.lock().buffer_epoch(buffer)
+    }
+
     /// Registered cost hint of a kernel (seconds), used by regions to feed
     /// the static scheduler.
     pub fn kernel_cost(&self, id: KernelId) -> f64 {
         self.kernels.get(id).map(|k| k.cost_hint()).unwrap_or(1e-4)
     }
 
-    /// Current host contents of a buffer.
+    /// Current contents of a buffer, flushed lazily: when the latest
+    /// version is resident on a worker node (a cross-region mapping whose
+    /// data was produced on the cluster and never exited), it is retrieved
+    /// to the host first, so the returned bytes are never stale. The
+    /// device copies stay mapped. After [`ClusterDevice::shutdown`] the
+    /// host copy is returned as-is.
     pub fn buffer_data(&self, id: BufferId) -> OmpcResult<Vec<u8>> {
+        if !self.shut_down {
+            self.flush_to_host(id)?;
+        }
         self.buffers.get(id)
     }
 
-    /// Current host contents of a buffer interpreted as `f64`s.
+    /// [`ClusterDevice::buffer_data`] interpreted as `f64`s (flushed
+    /// lazily the same way).
     pub fn buffer_f64s(&self, id: BufferId) -> OmpcResult<Vec<f64>> {
-        let data = self.buffers.get(id)?;
+        let data = self.buffer_data(id)?;
         ompc_mpi::typed::bytes_to_f64s(&data).map_err(|e| OmpcError::Internal(e.to_string()))
     }
 
@@ -261,32 +383,40 @@ impl ClusterDevice {
                 "every worker node has failed; no survivors to execute the region".to_string(),
             ));
         }
-        let plan = if alive.len() == self.num_workers {
-            RuntimePlan::for_region(&graph, &self.buffers, self.num_workers, &self.config)
-        } else {
-            RuntimePlan {
-                assignment: RuntimePlan::region_assignment_on(
-                    &graph,
-                    &self.buffers,
-                    &Platform::cluster(alive.len()),
-                    &self.config,
-                    &alive,
-                ),
-                window: self.config.inflight_window(),
-            }
-        };
-        // Register every referenced buffer with the data manager (host copy
-        // lives on the head node until data movement says otherwise).
-        {
+        // Open a new region epoch, register every referenced buffer that
+        // is not already resident from an earlier region (host copy lives
+        // on the head node until data movement says otherwise), mark
+        // keep-resident mappings, and snapshot the residency view the
+        // planner pins against.
+        let residency: ResidencyMap = {
             let mut dm = self.dm.lock();
+            dm.begin_region();
             for task in graph.tasks() {
                 for dep in &task.dependences {
                     if !dm.is_registered(dep.buffer) {
-                        dm.register_host_buffer(dep.buffer);
+                        let bytes = self.buffers.size_of(dep.buffer).unwrap_or(0) as u64;
+                        dm.register_host_buffer(dep.buffer, bytes);
+                    }
+                }
+                if let TaskKind::EnterData { buffer, map } = task.kind {
+                    if map.keeps_resident() {
+                        dm.mark_resident(buffer);
                     }
                 }
             }
-        }
+            dm.latest_on_workers()
+        };
+        let plan = RuntimePlan {
+            assignment: RuntimePlan::region_assignment_on(
+                &graph,
+                &self.buffers,
+                &Platform::cluster(alive.len()),
+                &self.config,
+                &alive,
+                &residency,
+            ),
+            window: self.config.inflight_window(),
+        };
         let schedule_time = sched_start.elapsed();
 
         let data_before = self.events.counters().data_events.load(Ordering::Relaxed);
@@ -360,6 +490,10 @@ impl ClusterDevice {
             self.num_workers,
         )?
         .map(|f| f.with_replan(self.config.replan_on_failure).with_prior_failures(&prior_dead));
+        // Transfers planned between regions (lazy host flushes through
+        // `buffer_data`) belong to no run; clear them so this run's record
+        // contains exactly its own transfers.
+        self.dm.lock().take_transfer_log();
         let mut core = match faults {
             Some(faults) => RuntimeCore::with_faults(graph.as_ref(), plan, faults),
             None => RuntimeCore::new(graph.as_ref(), plan),
@@ -394,7 +528,12 @@ impl ClusterDevice {
                     .to_string(),
             )),
         };
-        let record = core.record();
+        let mut record = core.record();
+        // The data manager logged every transfer this run planned
+        // (including any planned for work that later failed and rolled
+        // back — those entries were withdrawn); attach them so residency
+        // wins are assertable per run.
+        record.transfers = self.dm.lock().take_transfer_log();
         *self.last_record.lock() = Some(record.clone());
         result?;
         Ok(record)
@@ -468,9 +607,9 @@ impl ClusterDevice {
         }
         {
             let mut dm = self.dm.lock();
-            for &buffer in &buffers {
+            for (t, &buffer) in buffers.iter().enumerate() {
                 if !dm.is_registered(buffer) {
-                    dm.register_host_buffer(buffer);
+                    dm.register_host_buffer(buffer, workload.output_bytes[t]);
                 }
             }
         }
@@ -487,7 +626,28 @@ impl ClusterDevice {
             }
             let _ = self.buffers.remove(buffer);
         }
-        record
+        // De-materialize the transfer records: buffer `t` of the workload
+        // coordinate system is task `t`'s output (the convention the
+        // simulated backend records in), so cross-backend transfer sets
+        // compare directly. The stored last_run_record is rewritten too —
+        // both views of the run, successful or failed, must name the same
+        // buffers.
+        let index_of: HashMap<BufferId, u64> =
+            buffers.iter().enumerate().map(|(t, &b)| (b, t as u64)).collect();
+        let remap = |record: &mut RunRecord| {
+            for transfer in &mut record.transfers {
+                if let Some(&t) = index_of.get(&transfer.buffer) {
+                    transfer.buffer = BufferId(t);
+                }
+            }
+        };
+        if let Some(last) = self.last_record.lock().as_mut() {
+            remap(last);
+        }
+        record.map(|mut record| {
+            remap(&mut record);
+            record
+        })
     }
 }
 

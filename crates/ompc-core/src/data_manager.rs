@@ -1,4 +1,4 @@
-//! The Data Management module (paper §4.3).
+//! The Data Management module (paper §4.3–§4.4).
 //!
 //! The DM tracks, for every mapped buffer, the set of nodes that currently
 //! hold a valid copy and which of them holds the most recent version. When
@@ -15,9 +15,33 @@
 //! * read-only uses replicate the buffer, so later readers can fetch it
 //!   from any holder.
 //!
-//! The same logic drives both the real threaded runtime and the simulated
-//! runtime, so the transfer patterns measured in the benchmarks are produced
-//! by exactly this code.
+//! The same logic drives the threaded, message-passing, and simulated
+//! runtimes, so the transfer patterns measured in the benchmarks are
+//! produced by exactly this code.
+//!
+//! ## Cross-region residency
+//!
+//! The data manager is a **persistent subsystem**: one instance is owned by
+//! [`crate::cluster::ClusterDevice`] for its whole lifetime and carries
+//! buffer residency *across* target-region executions (the paper's
+//! unstructured `target enter data` / `target exit data` environment,
+//! §4.3). A buffer mapped once stays on its worker until an exit-data
+//! construct releases it, so iterative applications pay the distribution
+//! cost once rather than per region. Each region execution advances a
+//! **region epoch** ([`DataManager::begin_region`]); every location entry
+//! remembers the epoch that last touched it, which is what the residency
+//! reports and tests key on.
+//!
+//! Every forwarding decision is also appended to a per-run **transfer
+//! log** ([`TransferRecord`]) that the execution core drains into
+//! [`crate::runtime::RunRecord::transfers`] — residency wins are assertable
+//! ("this buffer moved exactly once across N regions") instead of inferred
+//! from timings.
+//!
+//! A node failure ([`DataManager::fail_node`]) invalidates the node's
+//! resident copies exactly like its per-region copies: the next plan that
+//! needs one of them transparently re-sources it from a surviving replica
+//! or from the host version.
 
 use crate::types::{BufferId, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -36,12 +60,53 @@ pub struct TransferPlan {
     pub buffer: BufferId,
 }
 
+/// Why a transfer was planned — the classification the cross-backend
+/// transfer-set equivalence tests compare on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferReason {
+    /// An enter-data distribution (`map(to:)` making the buffer available
+    /// on the cluster).
+    EnterData,
+    /// An input forward for a task that reads the buffer (host→worker or
+    /// worker→worker, as planned by [`DataManager::plan_input`]).
+    Input,
+    /// A retrieval of the latest version back to the host (`map(from:)`,
+    /// exit data, or a lazy host flush).
+    Retrieve,
+}
+
+/// One planned transfer, as recorded in the data manager's per-run log and
+/// surfaced through [`crate::runtime::RunRecord::transfers`]. `bytes` is
+/// the buffer's registered (nominal) size — the size the mapping declared,
+/// which is what the scheduler and the simulator cost on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// The buffer that moved.
+    pub buffer: BufferId,
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Registered size of the buffer in bytes.
+    pub bytes: u64,
+    /// Why the transfer was planned.
+    pub reason: TransferReason,
+}
+
 #[derive(Debug, Clone, Default)]
 struct BufferLocations {
     /// Nodes holding a valid copy.
     holders: BTreeSet<NodeId>,
     /// Node holding the most recent version.
     latest: NodeId,
+    /// Registered size in bytes (nominal mapped size).
+    bytes: u64,
+    /// Whether the buffer was mapped with keep-resident semantics: a
+    /// region-level `map(from:)` flushes it to the host but keeps the
+    /// device copies (and this entry) alive for later regions.
+    resident: bool,
+    /// Region epoch that last registered or wrote this buffer.
+    epoch: u64,
 }
 
 /// Location tracking and forwarding decisions for every mapped buffer.
@@ -51,6 +116,10 @@ pub struct DataManager {
     /// Nodes that have been declared failed: their copies are gone, their
     /// writes are ignored, and they are never chosen as a transfer source.
     failed: BTreeSet<NodeId>,
+    /// Monotonic region counter; see [`DataManager::begin_region`].
+    epoch: u64,
+    /// Per-run transfer log, drained by [`DataManager::take_transfer_log`].
+    log: Vec<TransferRecord>,
 }
 
 impl DataManager {
@@ -59,28 +128,76 @@ impl DataManager {
         Self::default()
     }
 
+    /// Start a new region epoch. Called once per region execution by the
+    /// owning device; entries registered or written from now on carry the
+    /// new epoch.
+    pub fn begin_region(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The current region epoch (0 before the first region).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The region epoch that last registered or wrote `buffer`.
+    pub fn buffer_epoch(&self, buffer: BufferId) -> Option<u64> {
+        self.buffers.get(&buffer).map(|l| l.epoch)
+    }
+
     /// Register a buffer whose initial (host) copy lives on the head node.
-    pub fn register_host_buffer(&mut self, buffer: BufferId) {
+    /// `bytes` is the nominal mapped size used for transfer accounting.
+    pub fn register_host_buffer(&mut self, buffer: BufferId, bytes: u64) {
         let mut holders = BTreeSet::new();
         holders.insert(HEAD_NODE);
-        self.buffers.insert(buffer, BufferLocations { holders, latest: HEAD_NODE });
+        let epoch = self.epoch;
+        self.buffers.insert(
+            buffer,
+            BufferLocations { holders, latest: HEAD_NODE, bytes, resident: false, epoch },
+        );
     }
 
     /// Register a buffer that is allocated directly on `node` without a
     /// host copy (the `map(alloc:)` case). Ignored when `node` has been
     /// declared failed.
-    pub fn register_device_buffer(&mut self, buffer: BufferId, node: NodeId) {
+    pub fn register_device_buffer(&mut self, buffer: BufferId, node: NodeId, bytes: u64) {
         if self.failed.contains(&node) {
             return;
         }
         let mut holders = BTreeSet::new();
         holders.insert(node);
-        self.buffers.insert(buffer, BufferLocations { holders, latest: node });
+        let epoch = self.epoch;
+        self.buffers.insert(
+            buffer,
+            BufferLocations { holders, latest: node, bytes, resident: false, epoch },
+        );
     }
 
     /// Whether the buffer is known to the data manager.
     pub fn is_registered(&self, buffer: BufferId) -> bool {
         self.buffers.contains_key(&buffer)
+    }
+
+    /// Mark `buffer` keep-resident: a region-level `map(from:)` flushes it
+    /// back to the host but keeps the device copies mapped for later
+    /// regions. Exit data with `map(release:)` (or the device-level
+    /// [`crate::cluster::ClusterDevice::exit_data`]) still ends the
+    /// mapping.
+    pub fn mark_resident(&mut self, buffer: BufferId) {
+        if let Some(loc) = self.buffers.get_mut(&buffer) {
+            loc.resident = true;
+        }
+    }
+
+    /// Whether `buffer` was marked keep-resident.
+    pub fn is_resident(&self, buffer: BufferId) -> bool {
+        self.buffers.get(&buffer).is_some_and(|l| l.resident)
+    }
+
+    /// Registered (nominal) size of the buffer in bytes.
+    pub fn bytes_of(&self, buffer: BufferId) -> u64 {
+        self.buffers.get(&buffer).map(|l| l.bytes).unwrap_or(0)
     }
 
     /// Nodes currently holding a valid copy of the buffer.
@@ -98,11 +215,37 @@ impl DataManager {
         self.buffers.get(&buffer).is_some_and(|l| l.holders.contains(&node))
     }
 
+    /// The residency map consulted by region planning: every buffer whose
+    /// latest version currently lives on a worker node, with that worker.
+    /// Dead nodes never appear (their copies were invalidated by
+    /// [`DataManager::fail_node`]).
+    pub fn latest_on_workers(&self) -> BTreeMap<BufferId, NodeId> {
+        self.buffers
+            .iter()
+            .filter(|(_, l)| l.latest != HEAD_NODE)
+            .map(|(&b, l)| (b, l.latest))
+            .collect()
+    }
+
     /// Decide how to make `buffer` available on `node` before a task that
     /// *reads* it executes there. Returns `None` when the buffer is already
-    /// present; otherwise returns a transfer from the most recent holder and
-    /// records the new replica.
+    /// present; otherwise returns a transfer from the most recent holder,
+    /// records the new replica, and logs the transfer with
+    /// [`TransferReason::Input`].
     pub fn plan_input(&mut self, buffer: BufferId, node: NodeId) -> Option<TransferPlan> {
+        self.plan_input_as(buffer, node, TransferReason::Input)
+    }
+
+    /// [`DataManager::plan_input`] with an explicit log classification —
+    /// enter-data distributions use [`TransferReason::EnterData`] so the
+    /// transfer observability can tell initial distribution from steady-
+    /// state forwarding.
+    pub fn plan_input_as(
+        &mut self,
+        buffer: BufferId,
+        node: NodeId,
+        reason: TransferReason,
+    ) -> Option<TransferPlan> {
         if self.failed.contains(&node) {
             // A dead node never receives data; the caller is a zombie task
             // whose results are discarded anyway.
@@ -117,6 +260,7 @@ impl DataManager {
         }
         let from = loc.latest;
         loc.holders.insert(node);
+        self.log.push(TransferRecord { buffer, from, to: node, bytes: loc.bytes, reason });
         Some(TransferPlan { from, to: node, buffer })
     }
 
@@ -129,6 +273,7 @@ impl DataManager {
             // re-executed on a survivor.
             return Vec::new();
         }
+        let epoch = self.epoch;
         let loc = self
             .buffers
             .get_mut(&buffer)
@@ -137,23 +282,32 @@ impl DataManager {
         loc.holders.clear();
         loc.holders.insert(node);
         loc.latest = node;
+        loc.epoch = epoch;
         stale
     }
 
     /// Roll back a replica recorded optimistically by
     /// [`DataManager::plan_input`] whose transfer failed: `node` never
-    /// received the bytes, so it must not be remembered as a holder. The
-    /// most recent copy (`latest`) is never forgotten.
+    /// received the bytes, so it must not be remembered as a holder, and
+    /// the logged transfer is withdrawn. The most recent copy (`latest`)
+    /// is never forgotten.
     pub fn forget_replica(&mut self, buffer: BufferId, node: NodeId) {
         if let Some(loc) = self.buffers.get_mut(&buffer) {
-            if loc.latest != node {
-                loc.holders.remove(&node);
+            if loc.latest != node && loc.holders.remove(&node) {
+                // At most one live log entry can exist per (buffer, node):
+                // a second plan is only possible after the first was rolled
+                // back (the holder record blocks re-planning otherwise).
+                if let Some(pos) = self.log.iter().rposition(|t| t.buffer == buffer && t.to == node)
+                {
+                    self.log.remove(pos);
+                }
             }
         }
     }
 
     /// Record that `node` received a read-only replica of `buffer` (e.g.
-    /// after an explicit submit that bypassed [`DataManager::plan_input`]).
+    /// after an explicit alloc that bypassed [`DataManager::plan_input`]).
+    /// Not logged as a transfer — no bytes moved.
     pub fn record_replica(&mut self, buffer: BufferId, node: NodeId) {
         if self.failed.contains(&node) {
             return;
@@ -165,27 +319,50 @@ impl DataManager {
         loc.holders.insert(node);
     }
 
-    /// Plan the retrieval of the buffer back to the head node (exit data
-    /// with `map(from:)`). Returns the node to fetch from, or `None` when
-    /// the head already holds the latest version.
-    pub fn plan_retrieve(&mut self, buffer: BufferId) -> Option<NodeId> {
+    /// The node a retrieval of `buffer` back to the head (exit data with
+    /// `map(from:)`, or a lazy host flush) must fetch from, or `None` when
+    /// the head already holds the latest version. Read-only: nothing is
+    /// committed until [`DataManager::record_retrieve`] confirms the bytes
+    /// actually landed — so a retrieval that fails (or whose source dies
+    /// mid-flight) leaves the location state truthful and a later plan
+    /// retries from the then-latest holder.
+    pub fn retrieve_source(&self, buffer: BufferId) -> Option<NodeId> {
+        let loc = self
+            .buffers
+            .get(&buffer)
+            .unwrap_or_else(|| panic!("retrieve_source on unregistered buffer {buffer}"));
+        (loc.latest != HEAD_NODE).then_some(loc.latest)
+    }
+
+    /// Record that the retrieval planned by [`DataManager::retrieve_source`]
+    /// completed: the head now holds the latest version, and the transfer
+    /// is logged. The worker's copy stays a valid holder — a flush is a
+    /// read, not an invalidation — so a resident buffer keeps its device
+    /// copies. No-op when the head is already latest (the source died and
+    /// recovery re-sourced the buffer meanwhile).
+    pub fn record_retrieve(&mut self, buffer: BufferId) {
         let loc = self
             .buffers
             .get_mut(&buffer)
-            .unwrap_or_else(|| panic!("plan_retrieve on unregistered buffer {buffer}"));
+            .unwrap_or_else(|| panic!("record_retrieve on unregistered buffer {buffer}"));
         if loc.latest == HEAD_NODE {
-            None
-        } else {
-            let from = loc.latest;
-            loc.holders.insert(HEAD_NODE);
-            loc.latest = HEAD_NODE;
-            Some(from)
+            return;
         }
+        let from = loc.latest;
+        loc.holders.insert(HEAD_NODE);
+        loc.latest = HEAD_NODE;
+        self.log.push(TransferRecord {
+            buffer,
+            from,
+            to: HEAD_NODE,
+            bytes: loc.bytes,
+            reason: TransferReason::Retrieve,
+        });
     }
 
     /// Remove the buffer from the data manager entirely (exit data with
     /// `map(release:)`), returning the worker nodes that still held copies
-    /// and must free them.
+    /// and must free them. Ends keep-resident status.
     pub fn remove(&mut self, buffer: BufferId) -> Vec<NodeId> {
         self.buffers
             .remove(&buffer)
@@ -199,7 +376,9 @@ impl DataManager {
     /// on the node — their producing tasks must be re-executed (lineage
     /// recovery). For such buffers `latest` falls back to the head node:
     /// the host registry still holds the pre-offload image from which the
-    /// re-executed lineage restarts.
+    /// re-executed lineage restarts. Resident copies are invalidated the
+    /// same way — the next region's plan re-sources them from the host
+    /// version or a surviving replica.
     pub fn fail_node(&mut self, node: NodeId) -> Vec<BufferId> {
         assert_ne!(node, HEAD_NODE, "the head node cannot fail");
         self.failed.insert(node);
@@ -228,6 +407,18 @@ impl DataManager {
         !self.failed.is_empty()
     }
 
+    /// Drain the per-run transfer log (planned transfers since the last
+    /// drain). The execution core attaches this to its
+    /// [`crate::runtime::RunRecord`].
+    pub fn take_transfer_log(&mut self) -> Vec<TransferRecord> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// The transfers logged since the last [`DataManager::take_transfer_log`].
+    pub fn transfer_log(&self) -> &[TransferRecord] {
+        &self.log
+    }
+
     /// Number of tracked buffers.
     pub fn len(&self) -> usize {
         self.buffers.len()
@@ -251,7 +442,7 @@ mod tests {
         // bar writes.
         let mut dm = DataManager::new();
         let a = BufferId(0);
-        dm.register_host_buffer(a);
+        dm.register_host_buffer(a, 64);
 
         // foo (inout A) on node 1: input comes from the head.
         let plan = dm.plan_input(a, 1).unwrap();
@@ -268,18 +459,28 @@ mod tests {
         assert_eq!(dm.holders(a), vec![2]);
 
         // exit data: retrieve from node 2, then release everywhere.
-        assert_eq!(dm.plan_retrieve(a), Some(2));
+        assert_eq!(dm.retrieve_source(a), Some(2));
+        dm.record_retrieve(a);
         assert_eq!(dm.latest(a), Some(HEAD_NODE));
         let free = dm.remove(a);
         assert_eq!(free, vec![2]);
         assert!(dm.is_empty());
+
+        // The log captured the whole story with the registered size.
+        let log = dm.take_transfer_log();
+        assert_eq!(log.len(), 3);
+        assert!(log.iter().all(|t| t.bytes == 64 && t.buffer == a));
+        assert_eq!(log[0].reason, TransferReason::Input);
+        assert_eq!((log[1].from, log[1].to), (1, 2));
+        assert_eq!(log[2].reason, TransferReason::Retrieve);
+        assert!(dm.transfer_log().is_empty(), "the drain empties the log");
     }
 
     #[test]
     fn read_only_data_is_replicated_not_invalidated() {
         let mut dm = DataManager::new();
         let b = BufferId(1);
-        dm.register_host_buffer(b);
+        dm.register_host_buffer(b, 8);
         assert!(dm.plan_input(b, 1).is_some());
         assert!(dm.plan_input(b, 2).is_some());
         // Both workers plus the head hold copies now.
@@ -292,55 +493,94 @@ mod tests {
     fn second_input_plan_for_same_node_is_free() {
         let mut dm = DataManager::new();
         let b = BufferId(0);
-        dm.register_host_buffer(b);
+        dm.register_host_buffer(b, 8);
         assert!(dm.plan_input(b, 3).is_some());
         assert!(dm.plan_input(b, 3).is_none());
+        assert_eq!(dm.transfer_log().len(), 1, "a free re-plan logs nothing");
     }
 
     #[test]
     fn retrieve_is_noop_when_head_is_latest() {
         let mut dm = DataManager::new();
         let b = BufferId(0);
-        dm.register_host_buffer(b);
-        assert_eq!(dm.plan_retrieve(b), None);
+        dm.register_host_buffer(b, 8);
+        assert_eq!(dm.retrieve_source(b), None);
+        dm.record_retrieve(b);
+        assert!(dm.transfer_log().is_empty());
     }
 
     #[test]
     fn device_only_buffer_starts_on_its_node() {
         let mut dm = DataManager::new();
         let b = BufferId(7);
-        dm.register_device_buffer(b, 3);
+        dm.register_device_buffer(b, 3, 16);
         assert_eq!(dm.latest(b), Some(3));
         assert!(dm.is_present(b, 3));
         assert!(!dm.is_present(b, HEAD_NODE));
-        assert_eq!(dm.plan_retrieve(b), Some(3));
+        assert_eq!(dm.bytes_of(b), 16);
+        assert_eq!(dm.retrieve_source(b), Some(3));
+        dm.record_retrieve(b);
+        assert_eq!(dm.latest(b), Some(HEAD_NODE));
+        // A flush is a read: node 3 keeps its copy.
+        assert!(dm.is_present(b, 3));
     }
 
     #[test]
-    fn forget_replica_rolls_back_a_failed_transfer() {
+    fn failed_retrieve_commits_nothing_and_recovery_retries_truthfully() {
+        // The retrieval plan is read-only: if the bytes never land (the
+        // source fails mid-flight), the location state stays truthful —
+        // fail_node still sees the worker as latest, reports the loss, and
+        // a later plan re-sources from the head's pre-offload image.
         let mut dm = DataManager::new();
         let b = BufferId(0);
-        dm.register_host_buffer(b);
+        dm.register_host_buffer(b, 8);
+        dm.plan_input(b, 2).unwrap();
+        dm.record_write(b, 2);
+        assert_eq!(dm.retrieve_source(b), Some(2));
+        // ... the retrieve from node 2 fails; nothing was committed:
+        assert_eq!(dm.latest(b), Some(2));
+        assert!(!dm.is_present(b, HEAD_NODE));
+        let lost = dm.fail_node(2);
+        assert_eq!(lost, vec![b], "the death must be reported, not masked by a phantom flush");
+        assert_eq!(dm.retrieve_source(b), None, "nothing left to retrieve");
+        // record_retrieve after recovery moved latest to the head is a
+        // no-op, not a phantom transfer.
+        dm.record_retrieve(b);
+        let retrieves =
+            dm.transfer_log().iter().filter(|t| t.reason == TransferReason::Retrieve).count();
+        assert_eq!(retrieves, 0);
+    }
+
+    #[test]
+    fn forget_replica_rolls_back_a_failed_transfer_and_its_log_entry() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 8);
         assert!(dm.plan_input(b, 2).is_some());
+        assert_eq!(dm.transfer_log().len(), 1);
         // The transfer failed: node 2 must be forgotten so a later reader
-        // plans the transfer again.
+        // plans the transfer again, and the logged transfer is withdrawn.
         dm.forget_replica(b, 2);
         assert!(!dm.is_present(b, 2));
+        assert!(dm.transfer_log().is_empty());
         assert!(dm.plan_input(b, 2).is_some());
+        assert_eq!(dm.transfer_log().len(), 1);
         // The latest copy is never forgotten.
         dm.forget_replica(b, HEAD_NODE);
         assert!(dm.is_present(b, HEAD_NODE));
+        assert_eq!(dm.transfer_log().len(), 1);
     }
 
     #[test]
     fn record_replica_marks_presence() {
         let mut dm = DataManager::new();
         let b = BufferId(0);
-        dm.register_host_buffer(b);
+        dm.register_host_buffer(b, 8);
         dm.record_replica(b, 5);
         assert!(dm.is_present(b, 5));
-        // Latest is unchanged by a replica.
+        // Latest is unchanged by a replica, and nothing was logged.
         assert_eq!(dm.latest(b), Some(HEAD_NODE));
+        assert!(dm.transfer_log().is_empty());
     }
 
     #[test]
@@ -362,7 +602,7 @@ mod tests {
     fn failed_node_with_surviving_replica_promotes_a_survivor() {
         let mut dm = DataManager::new();
         let b = BufferId(0);
-        dm.register_host_buffer(b);
+        dm.register_host_buffer(b, 8);
         dm.plan_input(b, 1).unwrap();
         dm.record_write(b, 1);
         // A reader replicates the latest version onto node 2.
@@ -378,7 +618,7 @@ mod tests {
     fn failed_node_holding_the_only_copy_loses_the_buffer() {
         let mut dm = DataManager::new();
         let b = BufferId(3);
-        dm.register_host_buffer(b);
+        dm.register_host_buffer(b, 8);
         dm.plan_input(b, 2).unwrap();
         dm.record_write(b, 2);
         let lost = dm.fail_node(2);
@@ -392,7 +632,7 @@ mod tests {
     fn dead_nodes_are_excommunicated_from_all_operations() {
         let mut dm = DataManager::new();
         let b = BufferId(0);
-        dm.register_host_buffer(b);
+        dm.register_host_buffer(b, 8);
         dm.fail_node(4);
         // No transfers to, writes from, or replicas on a dead node.
         assert!(dm.plan_input(b, 4).is_none());
@@ -400,9 +640,59 @@ mod tests {
         assert_eq!(dm.latest(b), Some(HEAD_NODE));
         dm.record_replica(b, 4);
         assert!(!dm.is_present(b, 4));
-        dm.register_device_buffer(BufferId(9), 4);
+        dm.register_device_buffer(BufferId(9), 4, 8);
         assert!(!dm.is_registered(BufferId(9)));
         // Live nodes are unaffected.
         assert!(dm.plan_input(b, 1).is_some());
+    }
+
+    #[test]
+    fn region_epochs_stamp_registration_and_writes() {
+        let mut dm = DataManager::new();
+        assert_eq!(dm.epoch(), 0);
+        assert_eq!(dm.begin_region(), 1);
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 8);
+        assert_eq!(dm.buffer_epoch(b), Some(1));
+        dm.begin_region();
+        // Residency carries the old epoch until something writes.
+        assert_eq!(dm.buffer_epoch(b), Some(1));
+        dm.plan_input(b, 1);
+        assert_eq!(dm.buffer_epoch(b), Some(1), "a read replica does not advance the epoch");
+        dm.record_write(b, 1);
+        assert_eq!(dm.buffer_epoch(b), Some(2));
+        assert_eq!(dm.epoch(), 2);
+    }
+
+    #[test]
+    fn resident_marking_survives_until_remove() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 8);
+        assert!(!dm.is_resident(b));
+        dm.mark_resident(b);
+        assert!(dm.is_resident(b));
+        dm.plan_input(b, 1);
+        dm.record_write(b, 1);
+        assert!(dm.is_resident(b), "writes keep residency");
+        dm.remove(b);
+        assert!(!dm.is_resident(b), "release ends residency");
+    }
+
+    #[test]
+    fn latest_on_workers_reports_only_device_latest_buffers() {
+        let mut dm = DataManager::new();
+        let a = BufferId(0);
+        let b = BufferId(1);
+        dm.register_host_buffer(a, 8);
+        dm.register_host_buffer(b, 8);
+        dm.plan_input(a, 2);
+        dm.record_write(a, 2);
+        let map = dm.latest_on_workers();
+        assert_eq!(map.get(&a), Some(&2));
+        assert!(!map.contains_key(&b), "host-latest buffers are not resident on workers");
+        // A failure moves the residency view.
+        dm.fail_node(2);
+        assert!(dm.latest_on_workers().is_empty());
     }
 }

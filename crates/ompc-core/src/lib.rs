@@ -84,13 +84,14 @@ pub mod prelude {
     pub use crate::buffer::BufferRegistry;
     pub use crate::cluster::ClusterDevice;
     pub use crate::config::{BackendKind, OmpcConfig, OverheadModel, SchedulerKind};
-    pub use crate::data_manager::DataManager;
+    pub use crate::data_manager::{DataManager, TransferReason, TransferRecord};
     pub use crate::kernel::{FnKernel, Kernel, KernelArgs, KernelRegistry};
     pub use crate::model::WorkloadGraph;
     pub use crate::region::TargetRegion;
     pub use crate::runtime::{
         ExecutionBackend, FailureRecord, FaultPlan, FaultTrigger, HeadWorkerPool, MpiBackend,
-        ReplanEntry, RunRecord, RuntimeCore, RuntimePlan, SimBackend, TaskEvent, ThreadedBackend,
+        ReplanEntry, ResidencyMap, RunRecord, RuntimeCore, RuntimePlan, SimBackend, TaskEvent,
+        ThreadedBackend,
     };
     pub use crate::sim_runtime::{
         sim_plan, simulate_ompc, simulate_ompc_outcome, simulate_ompc_outcome_traced,

@@ -108,6 +108,11 @@ pub enum TaskStep {
     /// Ensure `size` zeroed bytes of device memory exist for `buffer` (a
     /// write-only output that nothing transferred in).
     Alloc { buffer: BufferId, size: u64 },
+    /// Free the device memory of `buffer` (a no-op when absent). Deferred
+    /// head-side maintenance — stale copies invalidated by a write,
+    /// exit-data releases — rides composite tasks as prologue `Delete`
+    /// steps instead of paying one synchronous event round-trip each.
+    Delete { buffer: BufferId },
     /// Run `kernel` against the listed device buffers.
     Execute { kernel: KernelId, buffers: Vec<BufferId> },
 }
@@ -242,6 +247,7 @@ const STEP_RECV_FROM_WORKER: u8 = 2;
 const STEP_AWAIT_LOCAL: u8 = 3;
 const STEP_ALLOC: u8 = 4;
 const STEP_EXECUTE: u8 = 5;
+const STEP_DELETE: u8 = 6;
 
 fn encode_step(w: &mut Writer, step: &TaskStep) {
     match step {
@@ -264,6 +270,10 @@ fn encode_step(w: &mut Writer, step: &TaskStep) {
             w.u64(buffer.0);
             w.u64(*size);
         }
+        TaskStep::Delete { buffer } => {
+            w.u8(STEP_DELETE);
+            w.u64(buffer.0);
+        }
         TaskStep::Execute { kernel, buffers } => {
             w.u8(STEP_EXECUTE);
             w.u64(kernel.0 as u64);
@@ -285,6 +295,7 @@ fn decode_step(r: &mut Reader<'_>) -> OmpcResult<TaskStep> {
             TaskStep::AwaitLocal { buffer: BufferId(r.u64()?), timeout_ms: r.u64()? }
         }
         STEP_ALLOC => TaskStep::Alloc { buffer: BufferId(r.u64()?), size: r.u64()? },
+        STEP_DELETE => TaskStep::Delete { buffer: BufferId(r.u64()?) },
         STEP_EXECUTE => {
             let kernel = KernelId(r.u64()? as usize);
             let n = r.u32()?;
@@ -568,6 +579,7 @@ mod tests {
         round_trip(EventRequest::Task(TaskSpec { steps: vec![] }));
         round_trip(EventRequest::Task(TaskSpec {
             steps: vec![
+                TaskStep::Delete { buffer: BufferId(9) },
                 TaskStep::RecvFromHead { buffer: BufferId(1) },
                 TaskStep::RecvFromWorker { buffer: BufferId(2), from: 4 },
                 TaskStep::AwaitLocal { buffer: BufferId(3), timeout_ms: 60_000 },

@@ -63,6 +63,27 @@ impl<'d> TargetRegion<'d> {
         buffer
     }
 
+    /// [`TargetRegion::map_to`] with **keep-resident** semantics
+    /// ([`MapType::ToResident`]): the buffer is distributed once and then
+    /// stays mapped on its worker across region executions. A later
+    /// [`TargetRegion::map_from`] flushes its contents to the host without
+    /// dropping the device copies; only [`TargetRegion::release`] (or the
+    /// device-level [`crate::cluster::ClusterDevice::exit_data`]) ends the
+    /// mapping. Re-entering the buffer in a later region generates **no**
+    /// transfer — the residency-aware data manager sees it is already
+    /// present.
+    pub fn map_to_resident(&mut self, data: Vec<u8>) -> BufferId {
+        let buffer = self.device.buffers().register(data);
+        self.enter_data(buffer, MapType::ToResident);
+        buffer
+    }
+
+    /// Convenience: [`TargetRegion::map_to_resident`] for a slice of
+    /// `f64`s.
+    pub fn map_to_resident_f64s(&mut self, values: &[f64]) -> BufferId {
+        self.map_to_resident(ompc_mpi::typed::f64s_to_bytes(values))
+    }
+
     /// Add an explicit `target enter data` task for an existing buffer.
     pub fn enter_data(&mut self, buffer: BufferId, map: MapType) -> TaskId {
         self.graph.add_task(
@@ -132,7 +153,11 @@ impl<'d> TargetRegion<'d> {
     }
 
     /// `target exit data map(from:)`: bring the buffer's latest contents
-    /// back to the host and release the device copies.
+    /// back to the host and release the device copies — unless the buffer
+    /// is **keep-resident** ([`TargetRegion::map_to_resident`] /
+    /// [`crate::cluster::ClusterDevice::enter_data`]), in which case this
+    /// is a flush: the host copy is brought up to date and the device
+    /// copies stay mapped for later regions.
     pub fn map_from(&mut self, buffer: BufferId) -> TaskId {
         self.exit_data(buffer, MapType::From)
     }

@@ -44,7 +44,7 @@ pub use threaded::{HeadWorkerPool, ThreadedBackend};
 
 use crate::buffer::BufferRegistry;
 use crate::config::OmpcConfig;
-use crate::data_manager::{DataManager, HEAD_NODE};
+use crate::data_manager::{DataManager, TransferReason, TransferRecord, HEAD_NODE};
 use crate::event::EventSystem;
 use crate::heartbeat::{plan_recovery, Millis};
 use crate::model::{self, WorkloadGraph};
@@ -52,6 +52,12 @@ use crate::task::{RegionGraph, TaskKind};
 use crate::types::{BufferId, NodeId, OmpcError, OmpcResult, TaskId};
 use ompc_sched::Platform;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The residency view consulted by region planning: every buffer whose
+/// latest version lives on a worker node, mapped to that worker (see
+/// [`DataManager::latest_on_workers`]). An empty map plans exactly as the
+/// pre-residency runtime did.
+pub type ResidencyMap = BTreeMap<BufferId, NodeId>;
 
 /// Release every device copy of `buffer` (exit-data semantics, shared by
 /// the threaded and MPI backends): drop the buffer from the data manager
@@ -186,25 +192,48 @@ impl RuntimePlan {
         config: &OmpcConfig,
     ) -> Self {
         let nodes: Vec<NodeId> = (1..=platform.num_procs()).collect();
-        let assignment = Self::region_assignment_on(region, buffers, platform, config, &nodes);
+        let assignment = Self::region_assignment_on(
+            region,
+            buffers,
+            platform,
+            config,
+            &nodes,
+            &ResidencyMap::new(),
+        );
         Self { assignment, window: config.inflight_window() }
     }
 
     /// The pinned region assignment with processor `p` mapped to
     /// `nodes[p]` — the region-graph counterpart of
-    /// [`RuntimePlan::workload_assignment_on`], used by fault recovery.
+    /// [`RuntimePlan::workload_assignment_on`], used by the device's region
+    /// planning and by fault recovery.
+    ///
+    /// `residency` is the device's current cross-region residency view
+    /// ([`DataManager::latest_on_workers`]): an enter-data task for a
+    /// buffer already resident on a worker, or an exit-data task with no
+    /// target predecessor *in this region* (a flush of data produced by an
+    /// earlier region), is pinned to the node actually holding the latest
+    /// copy, so the assignment record agrees with where the data manager
+    /// will find (or leave) the bytes. Pins are only taken from `nodes` —
+    /// a holder excluded from this plan (e.g. not in the survivor set)
+    /// falls back to the scheduler's placement.
     pub fn region_assignment_on(
         region: &RegionGraph,
         buffers: &BufferRegistry,
         platform: &Platform,
         config: &OmpcConfig,
         nodes: &[NodeId],
+        residency: &ResidencyMap,
     ) -> Vec<NodeId> {
         assert_eq!(platform.num_procs(), nodes.len(), "one node per platform processor");
         let sched_graph = model::region_to_sched(region, buffers);
         let schedule = config.scheduler.build().schedule(&sched_graph, platform);
         let mut assignment: Vec<NodeId> =
             (0..region.len()).map(|t| nodes[schedule.proc_of(t)]).collect();
+        let resident_pin = |task: &crate::task::TargetTask| -> Option<NodeId> {
+            let buffer = task.kind.data_buffer()?;
+            residency.get(&buffer).copied().filter(|holder| nodes.contains(holder))
+        };
         for task in region.tasks() {
             match task.kind {
                 TaskKind::EnterData { .. } => {
@@ -214,6 +243,10 @@ impl RuntimePlan {
                         .find(|&&s| region.task(s).kind.is_target())
                     {
                         assignment[task.id.0] = assignment[succ.0];
+                    } else if let Some(holder) = resident_pin(task) {
+                        // No consumer in this region (a prefetch / re-enter
+                        // of resident data): stay where the data already is.
+                        assignment[task.id.0] = holder;
                     }
                 }
                 TaskKind::ExitData { .. } => {
@@ -228,6 +261,11 @@ impl RuntimePlan {
                         .find(|&&p| region.task(p).kind.is_target())
                     {
                         assignment[task.id.0] = assignment[pred.0];
+                    } else if let Some(holder) = resident_pin(task) {
+                        // No producer in this region: the version being
+                        // flushed is resident from an earlier region — pin
+                        // the exit to its actual holder.
+                        assignment[task.id.0] = holder;
                     }
                 }
                 TaskKind::Host { .. } => assignment[task.id.0] = HEAD_NODE,
@@ -383,6 +421,13 @@ pub struct RunRecord {
     pub reexecuted: Vec<usize>,
     /// Tasks moved to a different node during recovery, in recovery order.
     pub replanned: Vec<ReplanEntry>,
+    /// Every transfer the data manager planned during the run, in planning
+    /// order: enter-data distributions, input forwards, and host
+    /// retrievals. This is the observable side of cross-region residency —
+    /// a buffer resident from an earlier region generates **no** entry
+    /// here — and the surface the three-way transfer-set equivalence tests
+    /// compare.
+    pub transfers: Vec<TransferRecord>,
 }
 
 impl RunRecord {
@@ -390,6 +435,29 @@ impl RunRecord {
     /// failure, in detection order.
     pub fn recovery_latencies(&self) -> Vec<Millis> {
         self.failures.iter().map(|f| f.detection_latency()).collect()
+    }
+
+    /// Number of transfers planned during the run.
+    pub fn transfer_count(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Total bytes of the transfers planned during the run (registered
+    /// buffer sizes).
+    pub fn transfer_bytes(&self) -> u64 {
+        self.transfers.iter().map(|t| t.bytes).sum()
+    }
+
+    /// The transfers that moved `buffer`, in planning order — the
+    /// per-buffer breakdown residency tests assert on ("this input moved
+    /// exactly once across N regions").
+    pub fn buffer_transfers(&self, buffer: BufferId) -> Vec<TransferRecord> {
+        self.transfers.iter().copied().filter(|t| t.buffer == buffer).collect()
+    }
+
+    /// The transfers with the given reason, in planning order.
+    pub fn transfers_with_reason(&self, reason: TransferReason) -> Vec<TransferRecord> {
+        self.transfers.iter().copied().filter(|t| t.reason == reason).collect()
     }
 }
 
@@ -773,6 +841,9 @@ impl RuntimeCore {
             failures: self.failures.clone(),
             reexecuted: self.reexecuted.iter().copied().collect(),
             replanned: self.replanned.clone(),
+            // Transfers are owned by the data layer, not the dispatch
+            // loop; the backend's owner attaches them after execution.
+            transfers: Vec::new(),
         }
     }
 }
@@ -977,6 +1048,99 @@ mod tests {
             plan.assignment[exit.0], plan.assignment[last.0],
             "exit data must follow the last target predecessor"
         );
+    }
+
+    #[test]
+    fn residency_pins_data_tasks_with_no_region_producer_or_consumer() {
+        use crate::types::{Dependence, MapType};
+        let buffers = BufferRegistry::new();
+        let a = buffers.register(vec![0u8; 64]);
+        // A flush-only region: one exit-data task, no target tasks — the
+        // version being flushed is resident from an earlier region.
+        let mut flush = RegionGraph::new();
+        let exit = flush.add_task(
+            TaskKind::ExitData { buffer: a, map: MapType::From },
+            vec![Dependence::inout(a)],
+            "flush",
+        );
+        // And a prefetch-only region: one enter-data task, no consumer.
+        let mut prefetch = RegionGraph::new();
+        let enter = prefetch.add_task(
+            TaskKind::EnterData { buffer: a, map: MapType::ToResident },
+            vec![Dependence::output(a)],
+            "enter",
+        );
+        let config = OmpcConfig::small();
+        let platform = Platform::cluster(3);
+        let nodes: Vec<NodeId> = vec![1, 2, 3];
+        let residency: ResidencyMap = [(a, 3)].into_iter().collect();
+        let flush_assignment = RuntimePlan::region_assignment_on(
+            &flush, &buffers, &platform, &config, &nodes, &residency,
+        );
+        assert_eq!(flush_assignment[exit.0], 3, "the exit must follow the resident holder");
+        let enter_assignment = RuntimePlan::region_assignment_on(
+            &prefetch, &buffers, &platform, &config, &nodes, &residency,
+        );
+        assert_eq!(enter_assignment[enter.0], 3, "the re-enter must stay where the data is");
+        // A holder outside the planned node set falls back to the
+        // scheduler's placement instead of pinning to an excluded node.
+        let survivors: Vec<NodeId> = vec![1, 2];
+        let degraded = RuntimePlan::region_assignment_on(
+            &flush,
+            &buffers,
+            &Platform::cluster(2),
+            &config,
+            &survivors,
+            &residency,
+        );
+        assert!(survivors.contains(&degraded[exit.0]));
+        // With no residency the pinning rules are unchanged.
+        let plain = RuntimePlan::region_assignment_on(
+            &flush,
+            &buffers,
+            &platform,
+            &config,
+            &nodes,
+            &ResidencyMap::new(),
+        );
+        assert!(nodes.contains(&plain[exit.0]));
+    }
+
+    #[test]
+    fn run_record_transfer_helpers_aggregate_the_log() {
+        use crate::data_manager::{TransferReason, TransferRecord};
+        let record = RunRecord {
+            transfers: vec![
+                TransferRecord {
+                    buffer: BufferId(0),
+                    from: HEAD_NODE,
+                    to: 1,
+                    bytes: 100,
+                    reason: TransferReason::EnterData,
+                },
+                TransferRecord {
+                    buffer: BufferId(0),
+                    from: 1,
+                    to: 2,
+                    bytes: 100,
+                    reason: TransferReason::Input,
+                },
+                TransferRecord {
+                    buffer: BufferId(1),
+                    from: 2,
+                    to: HEAD_NODE,
+                    bytes: 8,
+                    reason: TransferReason::Retrieve,
+                },
+            ],
+            ..RunRecord::default()
+        };
+        assert_eq!(record.transfer_count(), 3);
+        assert_eq!(record.transfer_bytes(), 208);
+        assert_eq!(record.buffer_transfers(BufferId(0)).len(), 2);
+        assert_eq!(record.buffer_transfers(BufferId(9)).len(), 0);
+        assert_eq!(record.transfers_with_reason(TransferReason::Input).len(), 1);
+        assert_eq!(record.transfers_with_reason(TransferReason::Retrieve)[0].to, HEAD_NODE);
     }
 
     /// A deterministic fault-injection harness over the LIFO backend: node

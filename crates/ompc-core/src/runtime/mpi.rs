@@ -45,7 +45,7 @@ use super::{ExecutionBackend, RuntimeCore, RuntimePlan, TaskEvent};
 use crate::buffer::BufferRegistry;
 use crate::cluster::HostFn;
 use crate::config::OmpcConfig;
-use crate::data_manager::{DataManager, HEAD_NODE};
+use crate::data_manager::{DataManager, TransferReason, HEAD_NODE};
 use crate::event::EventSystem;
 use crate::protocol::{EventNotification, EventReply, EventRequest, TaskSpec, TaskStep};
 use crate::task::{RegionGraph, TaskKind};
@@ -53,7 +53,7 @@ use crate::types::{BufferId, MapType, NodeId, OmpcError, OmpcResult, TaskId};
 use ompc_mpi::{CommId, Tag};
 use ompc_sched::Platform;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -84,11 +84,15 @@ enum PendingKind {
         /// Buffers the task writes.
         writes: Vec<BufferId>,
     },
-    /// An enter-data task: record the new replica.
-    EnterData { buffer: BufferId },
+    /// An enter-data task. `planned` records whether the holder entry was
+    /// written optimistically by `plan_input` (a residency-aware
+    /// distribution, rolled back on failure) or still has to be recorded
+    /// on success (an alloc).
+    EnterData { buffer: BufferId, planned: bool },
     /// An exit-data retrieval: the reply payload is the buffer contents —
-    /// store them on the host and release the device copies.
-    ExitData { buffer: BufferId },
+    /// store them on the host and, unless the buffer is keep-resident,
+    /// release the device copies.
+    ExitData { buffer: BufferId, release: bool },
 }
 
 /// One dispatched task whose reply the probe loop is waiting for.
@@ -142,9 +146,14 @@ impl MpiBackend {
             pending: BTreeMap::new(),
             ready: VecDeque::new(),
             inflight: HashSet::new(),
+            pending_deletes: BTreeMap::new(),
         };
         let result = core.execute(&mut driver);
         driver.drain_outstanding();
+        // On the success path the epilogue already flushed; after a failed
+        // run, flush best-effort so no device copy leaks into the next
+        // region.
+        let _ = driver.flush_pending_deletes();
         result
     }
 }
@@ -164,6 +173,13 @@ struct MpiDriver<'c> {
     /// executing against memory the bytes have not reached yet — the
     /// message-passing analogue of the threaded backend's transfer gate.
     inflight: HashSet<(u64, NodeId)>,
+    /// Deferred head-side maintenance: device copies to free per node
+    /// (stale copies invalidated by a write, exit-data releases). Instead
+    /// of a synchronous round-trip per delete, they ride as
+    /// [`TaskStep::Delete`] prologue steps of the **next composite task**
+    /// sent to that node; whatever never finds a carrier is flushed at the
+    /// epilogue.
+    pending_deletes: BTreeMap<NodeId, BTreeSet<BufferId>>,
 }
 
 impl MpiDriver<'_> {
@@ -177,9 +193,40 @@ impl MpiDriver<'_> {
         }
     }
 
-    /// Release every device copy of `buffer` (exit-data semantics).
-    fn release_buffer(&self, buffer: BufferId) -> OmpcResult<()> {
-        super::release_device_copies(&self.ctx.dm, &self.ctx.events, buffer)
+    /// Queue the deletion of `buffer`'s device copy on `node` for the next
+    /// composite task headed there.
+    fn defer_delete(&mut self, node: NodeId, buffer: BufferId) {
+        self.pending_deletes.entry(node).or_default().insert(buffer);
+    }
+
+    /// Flush every deferred delete synchronously (end of run, or a node
+    /// with no further tasks). Dead nodes are skipped — their memory died
+    /// with them.
+    fn flush_pending_deletes(&mut self) -> OmpcResult<()> {
+        let pending = std::mem::take(&mut self.pending_deletes);
+        for (node, buffers) in pending {
+            if self.ctx.dm.lock().is_failed(node) {
+                continue;
+            }
+            for buffer in buffers {
+                self.ctx.events.delete(node, buffer)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Release every device copy of `buffer` (exit-data semantics): drop it
+    /// from the data manager and *defer* the per-holder delete events into
+    /// the composite-task protocol.
+    fn release_buffer(&mut self, buffer: BufferId) {
+        let live_holders: Vec<NodeId> = {
+            let mut dm = self.ctx.dm.lock();
+            let holders = dm.remove(buffer);
+            holders.into_iter().filter(|&n| !dm.is_failed(n)).collect()
+        };
+        for holder in live_holders {
+            self.defer_delete(holder, buffer);
+        }
     }
 
     /// Compose and send the message(s) of one task, or finish it locally.
@@ -202,28 +249,84 @@ impl MpiDriver<'_> {
                     return Ok(None);
                 }
                 match map {
-                    MapType::To | MapType::ToFrom => {
-                        let data = self.ctx.buffers.get(*buffer)?;
-                        let (tag, comm) = self.ctx.events.open_channel();
-                        self.ctx.events.notify(
+                    MapType::To | MapType::ToFrom | MapType::ToResident => {
+                        // Residency-aware distribution, exactly as the
+                        // threaded backend plans it: no transfer when the
+                        // buffer is already present, a worker-to-worker
+                        // forward when the latest version is on another
+                        // worker, a host submit otherwise.
+                        let plan = self.ctx.dm.lock().plan_input_as(
+                            *buffer,
                             node,
-                            &EventNotification {
-                                request: EventRequest::Submit { buffer: *buffer },
-                                tag,
-                                comm,
-                            },
-                        )?;
-                        let bytes = data.len() as u64;
-                        self.ctx.events.communicator().on(comm)?.send(node, tag, data)?;
-                        self.ctx.events.counters().record(Some(bytes));
+                            TransferReason::EnterData,
+                        );
+                        let Some(plan) = plan else { return Ok(None) };
+                        // The incoming copy supersedes whatever stale bytes
+                        // a deferred delete was going to free — but the
+                        // cancellation only sticks if the send succeeds.
+                        let cancelled_delete =
+                            self.pending_deletes.get_mut(&node).is_some_and(|s| s.remove(buffer));
+                        let (tag, comm) = self.ctx.events.open_channel();
+                        let sent: OmpcResult<()> = (|| {
+                            if plan.from == HEAD_NODE {
+                                let data = self.ctx.buffers.get(*buffer)?;
+                                self.ctx.events.notify(
+                                    node,
+                                    &EventNotification {
+                                        request: EventRequest::Submit { buffer: *buffer },
+                                        tag,
+                                        comm,
+                                    },
+                                )?;
+                                let bytes = data.len() as u64;
+                                self.ctx.events.communicator().on(comm)?.send(node, tag, data)?;
+                                self.ctx.events.counters().record(Some(bytes));
+                            } else {
+                                self.ctx.events.notify(
+                                    node,
+                                    &EventNotification {
+                                        request: EventRequest::ExchangeRecv {
+                                            buffer: *buffer,
+                                            from: plan.from,
+                                        },
+                                        tag,
+                                        comm,
+                                    },
+                                )?;
+                                self.ctx.events.notify(
+                                    plan.from,
+                                    &EventNotification {
+                                        request: EventRequest::ExchangeSend {
+                                            buffer: *buffer,
+                                            to: node,
+                                        },
+                                        tag,
+                                        comm,
+                                    },
+                                )?;
+                                let bytes = self.ctx.buffers.size_of(*buffer).unwrap_or(0) as u64;
+                                self.ctx.events.counters().record(Some(bytes));
+                            }
+                            Ok(())
+                        })();
+                        if let Err(e) = sent {
+                            self.ctx.dm.lock().forget_replica(*buffer, node);
+                            if cancelled_delete {
+                                self.defer_delete(node, *buffer);
+                            }
+                            return Err(e);
+                        }
                         Ok(Some(Pending {
                             node,
                             tag,
                             comm,
-                            kind: PendingKind::EnterData { buffer: *buffer },
+                            kind: PendingKind::EnterData { buffer: *buffer, planned: true },
                         }))
                     }
                     MapType::Alloc => {
+                        if self.ctx.dm.lock().is_present(*buffer, node) {
+                            return Ok(None);
+                        }
                         let size = self.ctx.buffers.size_of(*buffer)?;
                         let (tag, comm) = self.ctx.events.open_channel();
                         self.ctx.events.notify(
@@ -239,18 +342,25 @@ impl MpiDriver<'_> {
                             node,
                             tag,
                             comm,
-                            kind: PendingKind::EnterData { buffer: *buffer },
+                            kind: PendingKind::EnterData { buffer: *buffer, planned: false },
                         }))
                     }
                     MapType::From | MapType::Release => Ok(None),
                 }
             }
             TaskKind::ExitData { buffer, map } => {
+                let mut keep_resident = false;
                 if map.copies_from_device() {
+                    // Read-only plan: the latest-on-head commit (and the
+                    // transfer log entry) happens in `finish_task` once the
+                    // bytes actually arrived, so a source that dies
+                    // mid-retrieval leaves the location state truthful for
+                    // recovery.
                     let (from, pinned_holds_data, any_failures) = {
-                        let mut dm = self.ctx.dm.lock();
+                        let dm = self.ctx.dm.lock();
+                        keep_resident = dm.is_resident(*buffer);
                         let present = dm.is_present(*buffer, node);
-                        (dm.plan_retrieve(*buffer), present, dm.has_failures())
+                        (dm.retrieve_source(*buffer), present, dm.has_failures())
                     };
                     if let Some(from) = from {
                         // §4.4 consistency, as in the threaded backend: the
@@ -276,12 +386,19 @@ impl MpiDriver<'_> {
                             node: from,
                             tag,
                             comm,
-                            kind: PendingKind::ExitData { buffer: *buffer },
+                            kind: PendingKind::ExitData {
+                                buffer: *buffer,
+                                release: !keep_resident,
+                            },
                         }));
                     }
                 }
-                // Nothing to copy back: just release the device copies.
-                self.release_buffer(*buffer)?;
+                // Nothing to copy back: unless the buffer is keep-resident
+                // (a flush with nothing to flush), release the device
+                // copies.
+                if !keep_resident {
+                    self.release_buffer(*buffer);
+                }
                 Ok(None)
             }
             TaskKind::Target { kernel, .. } => {
@@ -381,6 +498,19 @@ impl MpiDriver<'_> {
                     planned
                 };
                 planned?;
+                // Deferred maintenance rides along: whatever deletes were
+                // queued for this node since its last task become prologue
+                // steps of this composite — ordered before any receive of
+                // the same buffer, executed in one handler invocation, and
+                // costing zero extra round-trips.
+                let attached_deletes: Vec<BufferId> =
+                    self.pending_deletes.remove(&node).unwrap_or_default().into_iter().collect();
+                if !attached_deletes.is_empty() {
+                    steps.splice(
+                        0..0,
+                        attached_deletes.iter().map(|&buffer| TaskStep::Delete { buffer }),
+                    );
+                }
                 let buffer_list: Vec<BufferId> =
                     task.dependences.iter().map(|d| d.buffer).collect();
                 steps.push(TaskStep::Execute { kernel, buffers: buffer_list });
@@ -414,9 +544,16 @@ impl MpiDriver<'_> {
                     Ok(())
                 })();
                 if let Err(e) = sent {
-                    let mut dm = self.ctx.dm.lock();
-                    for &(buf, n) in owned.iter().chain(allocs.iter()) {
-                        dm.forget_replica(buf, n);
+                    {
+                        let mut dm = self.ctx.dm.lock();
+                        for &(buf, n) in owned.iter().chain(allocs.iter()) {
+                            dm.forget_replica(buf, n);
+                        }
+                    }
+                    // The composite never left: its deferred deletes must
+                    // find another carrier (or the epilogue flush).
+                    for buf in attached_deletes {
+                        self.defer_delete(node, buf);
                     }
                     return Err(e);
                 }
@@ -442,17 +579,25 @@ impl MpiDriver<'_> {
         };
         match reply.into_result() {
             Err(error) => {
-                if let PendingKind::Target { owned, allocs, .. } = pending.kind {
-                    // The task never landed its effects: roll back the
-                    // optimistic holder records so no later reader skips a
-                    // transfer the bytes never made.
-                    let mut dm = self.ctx.dm.lock();
-                    for &(buf, n) in owned.iter().chain(allocs.iter()) {
-                        dm.forget_replica(buf, n);
+                match pending.kind {
+                    PendingKind::Target { owned, allocs, .. } => {
+                        // The task never landed its effects: roll back the
+                        // optimistic holder records so no later reader
+                        // skips a transfer the bytes never made.
+                        let mut dm = self.ctx.dm.lock();
+                        for &(buf, n) in owned.iter().chain(allocs.iter()) {
+                            dm.forget_replica(buf, n);
+                        }
+                        for (buf, n) in owned {
+                            self.inflight.remove(&(buf.0, n));
+                        }
                     }
-                    for (buf, n) in owned {
-                        self.inflight.remove(&(buf.0, n));
+                    PendingKind::EnterData { buffer, planned } => {
+                        if planned {
+                            self.ctx.dm.lock().forget_replica(buffer, pending.node);
+                        }
                     }
+                    PendingKind::ExitData { .. } => {}
                 }
                 TaskEvent::Failed { task, error }
             }
@@ -461,35 +606,40 @@ impl MpiDriver<'_> {
                     for (buf, n) in owned {
                         self.inflight.remove(&(buf.0, n));
                     }
-                    let mut stale_deletes: Vec<(NodeId, BufferId)> = Vec::new();
-                    {
+                    // Stale copies invalidated by this task's writes are
+                    // deferred into the composite-task protocol instead of
+                    // paying a synchronous round-trip each.
+                    let stale_deletes: Vec<(NodeId, BufferId)> = {
                         let mut dm = self.ctx.dm.lock();
+                        let mut out = Vec::new();
                         for buf in writes {
                             for stale in dm.record_write(buf, pending.node) {
                                 if stale != HEAD_NODE && !dm.is_failed(stale) {
-                                    stale_deletes.push((stale, buf));
+                                    out.push((stale, buf));
                                 }
                             }
                         }
-                    }
+                        out
+                    };
                     for (stale, buf) in stale_deletes {
-                        if let Err(error) = self.ctx.events.delete(stale, buf) {
-                            return TaskEvent::Failed { task, error };
-                        }
+                        self.defer_delete(stale, buf);
                     }
                     TaskEvent::Completed(task)
                 }
-                PendingKind::EnterData { buffer } => {
-                    self.ctx.dm.lock().record_replica(buffer, pending.node);
+                PendingKind::EnterData { buffer, planned } => {
+                    if !planned {
+                        self.ctx.dm.lock().record_replica(buffer, pending.node);
+                    }
                     TaskEvent::Completed(task)
                 }
-                PendingKind::ExitData { buffer } => {
+                PendingKind::ExitData { buffer, release } => {
                     self.ctx.events.counters().record(Some(payload.len() as u64));
                     if let Err(error) = self.ctx.buffers.set(buffer, payload) {
                         return TaskEvent::Failed { task, error };
                     }
-                    if let Err(error) = self.release_buffer(buffer) {
-                        return TaskEvent::Failed { task, error };
+                    self.ctx.dm.lock().record_retrieve(buffer);
+                    if release {
+                        self.release_buffer(buffer);
                     }
                     TaskEvent::Completed(task)
                 }
@@ -576,7 +726,17 @@ impl ExecutionBackend for MpiDriver<'_> {
         }
     }
 
+    fn epilogue(&mut self) -> OmpcResult<()> {
+        // Deferred maintenance that never found a composite-task carrier
+        // is flushed here, once, at the end of the run.
+        self.flush_pending_deletes()
+    }
+
     fn invalidate_node(&mut self, node: NodeId) -> Vec<LostBuffer> {
+        // The dead node's memory died with it; dropping its deferred
+        // deletes also keeps them from riding a later composite into the
+        // zombie gate.
+        self.pending_deletes.remove(&node);
         let lost = self.ctx.dm.lock().fail_node(node);
         // Kill the worker's event loop for real: from now on the node
         // refuses every event with an error reply instead of executing it,
@@ -602,12 +762,16 @@ impl ExecutionBackend for MpiDriver<'_> {
 
     fn replan(&mut self, alive_workers: &[NodeId]) -> Option<Vec<NodeId>> {
         let platform = Platform::cluster(alive_workers.len());
+        // Re-pin against the post-failure residency view: the dead node's
+        // copies are gone, so data tasks follow the surviving holders.
+        let residency = self.ctx.dm.lock().latest_on_workers();
         Some(RuntimePlan::region_assignment_on(
             &self.ctx.graph,
             &self.ctx.buffers,
             &platform,
             &self.ctx.config,
             alive_workers,
+            &residency,
         ))
     }
 }

@@ -19,7 +19,7 @@ use super::fault::LostBuffer;
 use super::threaded::POISONED_KERNEL;
 use super::{ExecutionBackend, RuntimePlan, TaskEvent};
 use crate::config::{OmpcConfig, OverheadModel};
-use crate::data_manager::{DataManager, HEAD_NODE};
+use crate::data_manager::{DataManager, TransferReason, TransferRecord, HEAD_NODE};
 use crate::heartbeat::Millis;
 use crate::model::WorkloadGraph;
 use crate::types::{BufferId, NodeId, OmpcError, OmpcResult};
@@ -105,11 +105,12 @@ impl<'w> SimBackend<'w> {
         let total = workload.len();
         assert!((total as u64) < TOK_SUB_MASK, "simulated workloads are limited to 2^24 tasks");
         let mut dm = DataManager::new();
+        dm.begin_region();
         for t in 0..total {
             // Roots consume an input of their output size distributed from
             // the head node (enter data), so their buffer starts there.
             if workload.graph.predecessors(t).is_empty() && workload.output_bytes[t] > 0 {
-                dm.register_host_buffer(BufferId(t as u64));
+                dm.register_host_buffer(BufferId(t as u64), workload.output_bytes[t]);
             }
         }
         let schedule_time = overheads.schedule_time(total, workload.graph.edges().len());
@@ -139,6 +140,13 @@ impl<'w> SimBackend<'w> {
     /// Consume the backend and return the engine's statistics and trace.
     pub fn finish(self) -> (SimStats, Trace) {
         self.engine.finish()
+    }
+
+    /// Drain the transfers the data manager planned during the run, in
+    /// planning order — attached to the run's
+    /// [`crate::runtime::RunRecord`] by the `simulate_ompc*` entry points.
+    pub fn take_transfers(&mut self) -> Vec<TransferRecord> {
+        self.dm.take_transfer_log()
     }
 
     /// Advance the engine until a phase token (startup, schedule, shutdown,
@@ -232,7 +240,11 @@ impl<'w> SimBackend<'w> {
                 if self.dm.is_registered(BufferId(task as u64)) {
                     self.dm.record_write(BufferId(task as u64), node);
                 } else {
-                    self.dm.register_device_buffer(BufferId(task as u64), node);
+                    self.dm.register_device_buffer(
+                        BufferId(task as u64),
+                        node,
+                        self.workload.output_bytes[task],
+                    );
                 }
                 Some(task)
             }
@@ -257,8 +269,9 @@ impl<'w> SimBackend<'w> {
         let mut need = |dm: &mut DataManager,
                         arrivals: &mut HashMap<(u64, NodeId), Vec<usize>>,
                         buf: u64,
-                        bytes: u64| {
-            if let Some(plan) = dm.plan_input(BufferId(buf), node) {
+                        bytes: u64,
+                        reason: TransferReason| {
+            if let Some(plan) = dm.plan_input_as(BufferId(buf), node, reason) {
                 // We own this transfer; announce it so later co-located
                 // consumers wait for the arrival instead of racing past it.
                 arrivals.insert((buf, node), Vec::new());
@@ -274,13 +287,19 @@ impl<'w> SimBackend<'w> {
             if bytes == 0 {
                 continue;
             }
-            need(&mut self.dm, &mut self.arrivals, pred as u64, bytes);
+            need(&mut self.dm, &mut self.arrivals, pred as u64, bytes, TransferReason::Input);
         }
         if self.workload.graph.predecessors(task).is_empty() {
             let bytes = self.workload.output_bytes[task];
             if bytes > 0 {
                 // Initial data distributed from the head node (enter data).
-                need(&mut self.dm, &mut self.arrivals, task as u64, bytes);
+                need(
+                    &mut self.dm,
+                    &mut self.arrivals,
+                    task as u64,
+                    bytes,
+                    TransferReason::EnterData,
+                );
             }
         }
         self.pending_inputs[task] = transfers.len() + awaited;
@@ -420,7 +439,7 @@ impl ExecutionBackend for SimBackend<'_> {
             if bytes == 0 || !self.dm.is_registered(BufferId(sink as u64)) {
                 continue;
             }
-            if let Some(from) = self.dm.plan_retrieve(BufferId(sink as u64)) {
+            if let Some(from) = self.dm.retrieve_source(BufferId(sink as u64)) {
                 self.engine.issue(|ctx| {
                     ctx.send_labeled(
                         from,
@@ -430,6 +449,8 @@ impl ExecutionBackend for SimBackend<'_> {
                         format!("out t{sink}"),
                     )
                 });
+                // Simulated transfers cannot fail; commit immediately.
+                self.dm.record_retrieve(BufferId(sink as u64));
                 self.retrievals_pending += 1;
             }
         }

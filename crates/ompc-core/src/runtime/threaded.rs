@@ -200,15 +200,39 @@ impl RegionContext {
                     return Ok(());
                 }
                 match map {
-                    MapType::To | MapType::ToFrom => {
-                        let data = self.buffers.get(*buffer)?;
-                        self.events.submit(node, *buffer, data)?;
-                        self.dm.lock().record_replica(*buffer, node);
+                    MapType::To | MapType::ToFrom | MapType::ToResident => {
+                        // Residency-aware distribution: source from the
+                        // current latest holder — a submit from the host
+                        // for a fresh mapping, a worker-to-worker forward
+                        // when the latest version lives on another worker,
+                        // and **no transfer at all** when the buffer is
+                        // already present on this node (OpenMP present-table
+                        // semantics: re-entering mapped data does not copy).
+                        let plan = self.dm.lock().plan_input_as(
+                            *buffer,
+                            node,
+                            crate::data_manager::TransferReason::EnterData,
+                        );
+                        if let Some(plan) = plan {
+                            let moved = if plan.from == HEAD_NODE {
+                                self.buffers
+                                    .get(*buffer)
+                                    .and_then(|data| self.events.submit(node, *buffer, data))
+                            } else {
+                                self.events.exchange(plan.from, node, *buffer).map(|_| ())
+                            };
+                            if moved.is_err() {
+                                self.dm.lock().forget_replica(*buffer, node);
+                            }
+                            moved?;
+                        }
                     }
                     MapType::Alloc => {
-                        let size = self.buffers.size_of(*buffer)?;
-                        self.events.alloc(node, *buffer, size)?;
-                        self.dm.lock().record_replica(*buffer, node);
+                        if !self.dm.lock().is_present(*buffer, node) {
+                            let size = self.buffers.size_of(*buffer)?;
+                            self.events.alloc(node, *buffer, size)?;
+                            self.dm.lock().record_replica(*buffer, node);
+                        }
                     }
                     MapType::From | MapType::Release => {}
                 }
@@ -323,11 +347,13 @@ impl RegionContext {
                 Ok(())
             }
             TaskKind::ExitData { buffer, map } => {
+                let mut keep_resident = false;
                 if map.copies_from_device() {
                     let (from, pinned_holds_data, any_failures) = {
-                        let mut dm = self.dm.lock();
+                        let dm = self.dm.lock();
+                        keep_resident = dm.is_resident(*buffer);
                         let present = dm.is_present(*buffer, node);
-                        (dm.plan_retrieve(*buffer), present, dm.has_failures())
+                        (dm.retrieve_source(*buffer), present, dm.has_failures())
                     };
                     if let Some(from) = from {
                         // §4.4 consistency: the exit task is pinned to its
@@ -341,12 +367,23 @@ impl RegionContext {
                             "exit-data task pinned to node {node} but the latest copy of \
                              {buffer} is only on node {from}"
                         );
+                        // Nothing is committed until the bytes land: a
+                        // failed retrieval leaves the location state
+                        // truthful, so recovery re-sources and retries.
                         let data = self.events.retrieve(from, *buffer)?;
                         self.buffers.set(*buffer, data)?;
+                        self.dm.lock().record_retrieve(*buffer);
                     }
                 }
-                // Exit data always releases the device copies.
-                super::release_device_copies(&self.dm, &self.events, *buffer)
+                if keep_resident {
+                    // `map(from:)` on a keep-resident buffer is a flush:
+                    // the host copy is now current, the device copies stay
+                    // mapped for later regions.
+                    Ok(())
+                } else {
+                    // Otherwise exit data releases the device copies.
+                    super::release_device_copies(&self.dm, &self.events, *buffer)
+                }
             }
             TaskKind::Host { .. } => {
                 if let Some(f) = self.host_fns.get(&tid) {
@@ -771,12 +808,16 @@ impl ExecutionBackend for HeadPool<'_> {
 
     fn replan(&mut self, alive_workers: &[NodeId]) -> Option<Vec<NodeId>> {
         let platform = Platform::cluster(alive_workers.len());
+        // Re-pin against the post-failure residency view: the dead node's
+        // copies are gone, so data tasks follow the surviving holders.
+        let residency = self.ctx.dm.lock().latest_on_workers();
         Some(RuntimePlan::region_assignment_on(
             &self.ctx.graph,
             &self.ctx.buffers,
             &platform,
             &self.ctx.config,
             alive_workers,
+            &residency,
         ))
     }
 }

@@ -295,7 +295,8 @@ fn simulate_outcome_inner(
     };
     let mut backend = SimBackend::new(workload, cluster, config, overheads.clone(), trace);
     let executed = core.execute(&mut backend);
-    let record = core.record();
+    let mut record = core.record();
+    record.transfers = backend.take_transfers();
     if let Err(e) = executed {
         // The run failed (propagated task error, unrecoverable node loss):
         // the record of what happened before the failure survives.

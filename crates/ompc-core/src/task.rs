@@ -40,6 +40,16 @@ impl TaskKind {
         matches!(self, TaskKind::EnterData { .. } | TaskKind::ExitData { .. })
     }
 
+    /// The buffer a data-movement task operates on (`None` for target and
+    /// host tasks). Residency-aware planning uses this to pin enter/exit
+    /// tasks next to the buffer's current device-resident copy.
+    pub fn data_buffer(&self) -> Option<BufferId> {
+        match self {
+            TaskKind::EnterData { buffer, .. } | TaskKind::ExitData { buffer, .. } => Some(*buffer),
+            _ => None,
+        }
+    }
+
     /// Estimated compute cost in seconds (data tasks cost nothing on a
     /// core; their cost is communication, accounted separately).
     pub fn cost_hint(&self) -> f64 {
@@ -420,6 +430,15 @@ mod tests {
         assert!(!TaskKind::Host { cost_hint: 0.1 }.is_target());
         assert_eq!(TaskKind::Host { cost_hint: 0.1 }.cost_hint(), 0.1);
         assert_eq!(TaskKind::EnterData { buffer: BufferId(0), map: MapType::To }.cost_hint(), 0.0);
+        assert_eq!(
+            TaskKind::EnterData { buffer: BufferId(3), map: MapType::ToResident }.data_buffer(),
+            Some(BufferId(3))
+        );
+        assert_eq!(
+            TaskKind::ExitData { buffer: BufferId(4), map: MapType::From }.data_buffer(),
+            Some(BufferId(4))
+        );
+        assert_eq!(TaskKind::Host { cost_hint: 0.1 }.data_buffer(), None);
     }
 
     #[test]

@@ -73,17 +73,29 @@ pub enum MapType {
     Alloc,
     /// Drop the device copy without copying back (`map(release: …)`).
     Release,
+    /// Like [`MapType::To`], but the buffer is marked **keep-resident**:
+    /// a later exit-data `map(from:)` flushes its contents to the host
+    /// while keeping the device copies mapped, so iterative multi-region
+    /// applications re-use them without re-distribution. Only
+    /// [`MapType::Release`] (or the device-level
+    /// `ClusterDevice::exit_data`) ends the mapping.
+    ToResident,
 }
 
 impl MapType {
     /// Whether the map moves data host → cluster.
     pub fn copies_to_device(self) -> bool {
-        matches!(self, MapType::To | MapType::ToFrom)
+        matches!(self, MapType::To | MapType::ToFrom | MapType::ToResident)
     }
 
     /// Whether the map moves data cluster → host.
     pub fn copies_from_device(self) -> bool {
         matches!(self, MapType::From | MapType::ToFrom)
+    }
+
+    /// Whether the map marks the buffer keep-resident across regions.
+    pub fn keeps_resident(self) -> bool {
+        matches!(self, MapType::ToResident)
     }
 }
 
@@ -225,6 +237,9 @@ mod tests {
         assert!(MapType::ToFrom.copies_to_device() && MapType::ToFrom.copies_from_device());
         assert!(!MapType::Alloc.copies_to_device());
         assert!(!MapType::Release.copies_from_device());
+        assert!(MapType::ToResident.copies_to_device());
+        assert!(!MapType::ToResident.copies_from_device());
+        assert!(MapType::ToResident.keeps_resident() && !MapType::To.keeps_resident());
     }
 
     #[test]

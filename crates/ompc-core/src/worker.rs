@@ -207,6 +207,11 @@ fn run_task_steps(
                     memory.store(buffer, vec![0u8; size as usize]);
                 }
             }
+            TaskStep::Delete { buffer } => {
+                // Deferred head-side maintenance riding this task; absent
+                // buffers are fine (the copy may never have landed).
+                memory.remove(buffer);
+            }
             TaskStep::Execute { kernel, buffers } => {
                 execute_kernel(memory, kernels, kernel, &buffers)?;
             }

@@ -61,6 +61,15 @@ fn is_topological(order: &[usize], workload: &WorkloadGraph) -> bool {
     workload.graph.edges().iter().all(|e| pos[&e.from] < pos[&e.to])
 }
 
+/// The input-forward transfers of a record — the transfer-plan surface all
+/// three backends share for a workload run. (Enter-data and retrieval
+/// records are modelled differently by design: the simulator distributes
+/// root inputs and retrieves sink outputs, while the materialized region
+/// allocates root outputs in place and has no exit tasks.)
+fn input_transfers(record: &RunRecord) -> Vec<TransferRecord> {
+    record.transfers_with_reason(TransferReason::Input)
+}
+
 /// With a serial dispatch window all three backends must agree on
 /// everything: the HEFT assignment, the dispatch order, and the
 /// task-completion order.
@@ -110,6 +119,14 @@ fn backends_agree_on_assignment_and_completion_order() {
                 assert_eq!(
                     sim_record.completion_order, record.completion_order,
                     "seed {seed}: sim and {name} disagree on the task-completion order"
+                );
+                // With a serial window the transfer *plans* agree exactly:
+                // same buffers, same sources, same destinations, same
+                // sizes, in the same order.
+                assert_eq!(
+                    input_transfers(&sim_record),
+                    input_transfers(&record),
+                    "seed {seed}: sim and {name} disagree on the input-transfer plan"
                 );
             }
             assert_eq!(sim_record.peak_in_flight, 1, "seed {seed}");
@@ -166,6 +183,18 @@ fn backends_respect_dependences_under_wide_windows() {
                 );
                 // The assignment is static, so it matches exactly.
                 assert_eq!(sim_record.assignment, record.assignment, "seed {seed}: {name}");
+                // Under a wide window the planning *order* is timing
+                // dependent, but the transfer plan as a set is not: the
+                // same bytes move between the same nodes in every backend.
+                let sort = |mut v: Vec<TransferRecord>| {
+                    v.sort_by_key(|t| (t.buffer, t.from, t.to, t.bytes));
+                    v
+                };
+                assert_eq!(
+                    sort(input_transfers(&sim_record)),
+                    sort(input_transfers(record)),
+                    "seed {seed}: {name} backend moved a different input-transfer set"
+                );
             }
         }
     });

@@ -178,6 +178,15 @@ fn backends_recover_the_same_tasks_from_the_same_failure() {
             assert_eq!(sim_record.assignment, record.assignment, "{name}");
             assert_eq!(sim_record.failures[0].lost_buffers, record.failures[0].lost_buffers);
             assert_eq!(sim_record.failures[0].lineage_tasks, record.failures[0].lineage_tasks);
+            // The transfer plans agree too, failure included: the same
+            // re-sourcing transfers are planned for the re-executed work
+            // in every backend (input forwards compared — enter-data and
+            // sink retrieval are modelled asymmetrically by design).
+            assert_eq!(
+                sim_record.transfers_with_reason(TransferReason::Input),
+                record.transfers_with_reason(TransferReason::Input),
+                "sim and {name} disagree on the transfer plan under failure"
+            );
         }
         // The lost lineage (tasks 0 and 1 completed on the dead node) re-ran.
         assert!(sim_record.reexecuted.contains(&0) && sim_record.reexecuted.contains(&1));
