@@ -24,6 +24,9 @@
 //! * [`run_backend_overhead`] — threaded-vs-MPI dispatch overhead: wall
 //!   time of a wide tiny-task graph at varying in-flight window sizes on
 //!   both real backends.
+//! * [`run_hotpath_overhead`] / [`run_warm_startup`] — the MPI hot-path
+//!   figure: the same wide graph with task-train batching on and off, and
+//!   the warm-pool start-up share of a tiny run, cold vs warm.
 //!
 //! Each function returns plain records (serializable with serde) so the
 //! `fig5` … `ablation` binaries can print the same rows the paper plots and
@@ -32,6 +35,7 @@
 pub mod ablation;
 pub mod fault;
 pub mod figures;
+pub mod hotpath;
 pub mod report;
 pub mod residency;
 pub mod runtimes;
@@ -41,6 +45,10 @@ pub use fault::{run_fault_overhead, FaultRow};
 pub use figures::{
     run_awave, run_ccr, run_overhead, run_scalability, AwaveRow, CcrRow, OverheadRow,
     ScalabilityRow,
+};
+pub use hotpath::{
+    baseline_window1_ratio, hotpath_json, run_hotpath_overhead, run_warm_startup,
+    HotpathOverheadRow, HotpathStartupRow,
 };
 pub use report::{geometric_mean, render_table, rows_to_json_pretty, speedup_summary, JsonRow};
 pub use residency::{

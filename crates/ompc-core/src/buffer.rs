@@ -4,6 +4,15 @@ use crate::types::{BufferId, OmpcError, OmpcResult};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
+/// One registered buffer: its bytes plus a version counter bumped on every
+/// [`BufferRegistry::set`], so payload caches can tell "same bytes as last
+/// time" from "rewritten since".
+#[derive(Debug, Default)]
+struct Slot {
+    data: Vec<u8>,
+    version: u64,
+}
+
 /// The head node's storage for mapped buffers.
 ///
 /// In OpenMP terms this is the host memory that `map` clauses copy from and
@@ -11,7 +20,7 @@ use std::collections::HashMap;
 /// `crate::worker::DeviceMemory`), coordinated by the data manager.
 #[derive(Debug, Default)]
 pub struct BufferRegistry {
-    buffers: RwLock<HashMap<u64, Vec<u8>>>,
+    buffers: RwLock<HashMap<u64, Slot>>,
     next: RwLock<u64>,
 }
 
@@ -26,7 +35,7 @@ impl BufferRegistry {
         let mut next = self.next.write();
         let id = *next;
         *next += 1;
-        self.buffers.write().insert(id, data);
+        self.buffers.write().insert(id, Slot { data, version: 0 });
         BufferId(id)
     }
 
@@ -38,12 +47,29 @@ impl BufferRegistry {
 
     /// Size in bytes of a buffer.
     pub fn size_of(&self, id: BufferId) -> OmpcResult<usize> {
-        self.buffers.read().get(&id.0).map(Vec::len).ok_or(OmpcError::UnknownBuffer(id))
+        self.buffers.read().get(&id.0).map(|s| s.data.len()).ok_or(OmpcError::UnknownBuffer(id))
     }
 
     /// Clone the current host contents of a buffer.
     pub fn get(&self, id: BufferId) -> OmpcResult<Vec<u8>> {
-        self.buffers.read().get(&id.0).cloned().ok_or(OmpcError::UnknownBuffer(id))
+        self.buffers.read().get(&id.0).map(|s| s.data.clone()).ok_or(OmpcError::UnknownBuffer(id))
+    }
+
+    /// Clone the current host contents of a buffer together with its
+    /// version, as one consistent snapshot. Payload caches key on the
+    /// version: a cached frame with the same version is the same bytes.
+    pub fn get_versioned(&self, id: BufferId) -> OmpcResult<(u64, Vec<u8>)> {
+        self.buffers
+            .read()
+            .get(&id.0)
+            .map(|s| (s.version, s.data.clone()))
+            .ok_or(OmpcError::UnknownBuffer(id))
+    }
+
+    /// The version counter of a buffer: 0 at registration, bumped by every
+    /// [`BufferRegistry::set`].
+    pub fn version(&self, id: BufferId) -> OmpcResult<u64> {
+        self.buffers.read().get(&id.0).map(|s| s.version).ok_or(OmpcError::UnknownBuffer(id))
     }
 
     /// Replace the host contents of a buffer (used when `map(from:)` /
@@ -52,7 +78,8 @@ impl BufferRegistry {
         let mut buffers = self.buffers.write();
         match buffers.get_mut(&id.0) {
             Some(slot) => {
-                *slot = data;
+                slot.data = data;
+                slot.version += 1;
                 Ok(())
             }
             None => Err(OmpcError::UnknownBuffer(id)),
@@ -61,7 +88,7 @@ impl BufferRegistry {
 
     /// Remove a buffer entirely (after `map(release:)` / exit data).
     pub fn remove(&self, id: BufferId) -> OmpcResult<Vec<u8>> {
-        self.buffers.write().remove(&id.0).ok_or(OmpcError::UnknownBuffer(id))
+        self.buffers.write().remove(&id.0).map(|s| s.data).ok_or(OmpcError::UnknownBuffer(id))
     }
 
     /// Whether the buffer exists.
@@ -110,6 +137,20 @@ mod tests {
         assert_eq!(reg.set(ghost, vec![]).unwrap_err(), OmpcError::UnknownBuffer(ghost));
         assert_eq!(reg.remove(ghost).unwrap_err(), OmpcError::UnknownBuffer(ghost));
         assert_eq!(reg.size_of(ghost).unwrap_err(), OmpcError::UnknownBuffer(ghost));
+    }
+
+    #[test]
+    fn versions_bump_on_set_only() {
+        let reg = BufferRegistry::new();
+        let a = reg.register(vec![1, 2]);
+        assert_eq!(reg.version(a).unwrap(), 0);
+        assert_eq!(reg.get_versioned(a).unwrap(), (0, vec![1, 2]));
+        reg.get(a).unwrap();
+        assert_eq!(reg.version(a).unwrap(), 0, "reads do not bump the version");
+        reg.set(a, vec![3]).unwrap();
+        reg.set(a, vec![4]).unwrap();
+        assert_eq!(reg.get_versioned(a).unwrap(), (2, vec![4]));
+        assert_eq!(reg.version(BufferId(9)).unwrap_err(), OmpcError::UnknownBuffer(BufferId(9)));
     }
 
     #[test]

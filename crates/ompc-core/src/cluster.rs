@@ -15,6 +15,7 @@ use crate::data_manager::{DataManager, HEAD_NODE};
 use crate::event::EventSystem;
 use crate::kernel::{Kernel, KernelArgs, KernelRegistry};
 use crate::model::WorkloadGraph;
+use crate::protocol::COMPLETION_TAG;
 use crate::region::TargetRegion;
 use crate::runtime::fault::{FaultPlan, FaultState};
 use crate::runtime::{
@@ -36,6 +37,47 @@ use std::time::Instant;
 /// A host-task body: runs on the head node with access to the host buffers.
 pub type HostFn = Arc<dyn Fn(&BufferRegistry) + Send + Sync>;
 
+/// Compatibility key of a parked worker pool: only a device asking for the
+/// same worker count, communicator fan-out, handler threads, and reply
+/// timeout can adopt it — `(num_workers, num_communicators,
+/// event_handler_threads, event_reply_timeout_ms)`.
+type WarmKey = (usize, u32, usize, Option<u64>);
+
+/// A worker pool kept alive between device lifetimes: the communication
+/// world, the shared kernel table (cleared on adoption — the fat binary is
+/// re-populated by the new lifetime's registrations), the event system (its
+/// tag counter continues, keeping tags device-unique across lifetimes), and
+/// the gate-thread handles.
+struct WarmWorkers {
+    world: World,
+    kernels: Arc<KernelRegistry>,
+    events: Arc<EventSystem>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+/// Parked worker pools, by compatibility key. Fig. 7(a) attributes ~80% of
+/// small-run overhead to cluster start-up; with
+/// [`OmpcConfig::warm_worker_keepalive`] a shut-down device parks its
+/// healthy workers here instead of joining them, and the next compatible
+/// device adopts them for a near-zero start-up. Parked gate threads persist
+/// until adopted or process exit.
+static WARM_WORKERS: Mutex<Vec<(WarmKey, WarmWorkers)>> = Mutex::new(Vec::new());
+
+fn warm_key(num_workers: usize, config: &OmpcConfig) -> WarmKey {
+    (
+        num_workers,
+        config.num_communicators,
+        config.event_handler_threads,
+        config.event_reply_timeout_ms,
+    )
+}
+
+fn adopt_warm_workers(key: &WarmKey) -> Option<WarmWorkers> {
+    let mut pool = WARM_WORKERS.lock();
+    let idx = pool.iter().position(|(k, _)| k == key)?;
+    Some(pool.swap_remove(idx).1)
+}
+
 /// The OMPC cluster device.
 ///
 /// ```
@@ -56,8 +98,9 @@ pub type HostFn = Arc<dyn Fn(&BufferRegistry) + Send + Sync>;
 /// device.shutdown();
 /// ```
 pub struct ClusterDevice {
-    #[allow(dead_code)]
-    world: World,
+    /// The communication world; `None` only after its workers were parked
+    /// for adoption by a later device lifetime.
+    world: Option<World>,
     kernels: Arc<KernelRegistry>,
     buffers: Arc<BufferRegistry>,
     events: Arc<EventSystem>,
@@ -86,34 +129,56 @@ impl ClusterDevice {
         Self::with_config(num_workers, OmpcConfig::small())
     }
 
-    /// Spawn a cluster with an explicit configuration.
+    /// Spawn a cluster with an explicit configuration. With
+    /// [`OmpcConfig::warm_worker_keepalive`], a compatible worker pool
+    /// parked by an earlier lifetime's [`ClusterDevice::shutdown`] is
+    /// adopted instead of spawning fresh workers — the dominant start-up
+    /// cost of small runs (Fig. 7(a)) drops to a registry reset.
     pub fn with_config(num_workers: usize, config: OmpcConfig) -> Self {
         assert!(num_workers > 0, "the cluster needs at least one worker node");
         let start = Instant::now();
-        let world = World::with_communicators(num_workers + 1, config.num_communicators);
-        let kernels = Arc::new(KernelRegistry::new());
-        let mut worker_handles = Vec::with_capacity(num_workers);
-        for node in 1..=num_workers {
-            let comm = world.communicator(node);
-            let kernels = Arc::clone(&kernels);
-            let handler_threads = config.event_handler_threads;
-            worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("ompc-worker-{node}"))
-                    .spawn(move || worker_main(comm, kernels, handler_threads))
-                    .expect("failed to spawn worker node thread"),
-            );
-        }
-        let events = Arc::new(EventSystem::with_reply_timeout(
-            world.communicator(HEAD_NODE),
-            config.event_reply_timeout_ms.map(std::time::Duration::from_millis),
-        ));
+        let adopted = if config.warm_worker_keepalive {
+            adopt_warm_workers(&warm_key(num_workers, &config))
+        } else {
+            None
+        };
+        let (world, kernels, events, worker_handles) = match adopted {
+            Some(warm) => {
+                // The previous lifetime's kernel table is stale; clearing
+                // it restarts kernel ids from 0, exactly as a cold start
+                // would assign them. (Device memories were already cleared
+                // by the reset events at parking time.)
+                warm.kernels.clear();
+                (warm.world, warm.kernels, warm.events, warm.worker_handles)
+            }
+            None => {
+                let world = World::with_communicators(num_workers + 1, config.num_communicators);
+                let kernels = Arc::new(KernelRegistry::new());
+                let mut worker_handles = Vec::with_capacity(num_workers);
+                for node in 1..=num_workers {
+                    let comm = world.communicator(node);
+                    let kernels = Arc::clone(&kernels);
+                    let handler_threads = config.event_handler_threads;
+                    worker_handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("ompc-worker-{node}"))
+                            .spawn(move || worker_main(comm, kernels, handler_threads))
+                            .expect("failed to spawn worker node thread"),
+                    );
+                }
+                let events = Arc::new(EventSystem::with_reply_timeout(
+                    world.communicator(HEAD_NODE),
+                    config.event_reply_timeout_ms.map(std::time::Duration::from_millis),
+                ));
+                (world, kernels, events, worker_handles)
+            }
+        };
         let startup_time = start.elapsed();
         let pool = HeadWorkerPool::with_idle_timeout(
             config.pool_idle_timeout_ms.map(std::time::Duration::from_millis),
         );
         Self {
-            world,
+            world: Some(world),
             kernels,
             buffers: Arc::new(BufferRegistry::new()),
             events,
@@ -251,8 +316,13 @@ impl ClusterDevice {
         };
         if let Some(from) = from {
             let data = self.events.retrieve(from, buffer)?;
+            let bytes = data.len() as u64;
             self.buffers.set(buffer, data)?;
-            self.dm.lock().record_retrieve(buffer);
+            let mut dm = self.dm.lock();
+            // A kernel may have resized the device copy; the observed size
+            // keeps this and every later transfer-log entry truthful.
+            dm.observe_size(buffer, bytes);
+            dm.record_retrieve(buffer);
         }
         Ok(())
     }
@@ -340,7 +410,13 @@ impl ClusterDevice {
 
     /// Shut the cluster down: the head worker pool drains (in-flight jobs
     /// finish, pool threads are joined), then workers receive shutdown
-    /// events and their threads are joined. Called automatically on drop.
+    /// events and their threads are joined. With
+    /// [`OmpcConfig::warm_worker_keepalive`], a healthy worker pool is
+    /// *parked* for the next compatible device lifetime instead of joined:
+    /// every device memory is cleared by a reset round-trip and the event
+    /// counters restart, so adoption is indistinguishable from a cold start
+    /// except for the missing spawn cost. Pools that saw a node failure are
+    /// never parked. Called automatically on drop.
     pub fn shutdown(&mut self) {
         if self.shut_down {
             return;
@@ -350,6 +426,10 @@ impl ClusterDevice {
         // Drain the pool before the workers go away: pool jobs talk to the
         // workers through the event system.
         self.pool.drain();
+        if self.config.warm_worker_keepalive && self.try_park_workers() {
+            self.report.lock().shutdown_time = start.elapsed();
+            return;
+        }
         for node in 1..=self.num_workers {
             let _ = self.events.shutdown(node);
         }
@@ -357,6 +437,40 @@ impl ClusterDevice {
             let _ = handle.join();
         }
         self.report.lock().shutdown_time = start.elapsed();
+    }
+
+    /// Try to park this device's workers for adoption by a later lifetime.
+    /// Returns `false` (caller falls back to a cold shutdown) when any node
+    /// failed, any reset round-trip fails, or the world was already taken.
+    fn try_park_workers(&mut self) -> bool {
+        {
+            let dm = self.dm.lock();
+            if (1..=self.num_workers).any(|n| dm.is_failed(n)) {
+                return false;
+            }
+        }
+        // Clear every worker's device memory now, synchronously: an error
+        // (a dying handler, a wedged gate) disqualifies the pool.
+        for node in 1..=self.num_workers {
+            if self.events.reset(node).is_err() {
+                return false;
+            }
+        }
+        let Some(world) = self.world.take() else { return false };
+        // A completion notice of an already-drained reply must not leak
+        // into the adopting lifetime as a stale message.
+        while self.events.communicator().try_recv(None, Some(COMPLETION_TAG)).is_some() {}
+        self.events.reset_counters();
+        WARM_WORKERS.lock().push((
+            warm_key(self.num_workers, &self.config),
+            WarmWorkers {
+                world,
+                kernels: Arc::clone(&self.kernels),
+                events: Arc::clone(&self.events),
+                worker_handles: self.worker_handles.drain(..).collect(),
+            },
+        ));
+        true
     }
 
     /// Execute a region graph through the unified execution core. Called by
@@ -735,6 +849,59 @@ mod tests {
         let region = device.target_region();
         let report = region.run().unwrap();
         assert_eq!(report.tasks_executed, 0);
+    }
+
+    #[test]
+    fn warm_worker_keepalive_parks_and_adopts_across_lifetimes() {
+        // An unusual (workers, communicators) pair keys this test's pool
+        // apart from any other keepalive user in the process.
+        let config =
+            OmpcConfig { warm_worker_keepalive: true, num_communicators: 7, ..OmpcConfig::small() };
+        let key = warm_key(5, &config);
+        let parked = |key: &WarmKey| WARM_WORKERS.lock().iter().filter(|(k, _)| k == key).count();
+        let before = parked(&key);
+
+        let mut d1 = ClusterDevice::with_config(5, config.clone());
+        let bump = d1.register_kernel_fn("bump", 1e-6, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+            args.set_f64s(0, &v);
+        });
+        let mut region = d1.target_region();
+        let a = region.map_to_f64s(&[1.0]);
+        region.target(bump, vec![Dependence::inout(a)]);
+        region.map_from(a);
+        region.run().unwrap();
+        assert_eq!(d1.buffer_f64s(a).unwrap(), vec![2.0]);
+        d1.shutdown();
+        assert_eq!(parked(&key), before + 1, "shutdown parks the healthy pool");
+
+        let mut d2 = ClusterDevice::with_config(5, config.clone());
+        assert_eq!(parked(&key), before, "the new lifetime adopted the parked pool");
+        // The adopted pool serves a full second lifetime: fresh kernel ids
+        // from 0, clean device memories, real execution.
+        let scale = d2.register_kernel_fn("scale", 1e-6, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x * 3.0).collect();
+            args.set_f64s(0, &v);
+        });
+        assert_eq!(scale, KernelId(0), "adoption restarts kernel ids like a cold start");
+        let mut region = d2.target_region();
+        let b = region.map_to_f64s(&[2.0, 4.0]);
+        region.target(scale, vec![Dependence::inout(b)]);
+        region.map_from(b);
+        region.run().unwrap();
+        assert_eq!(d2.buffer_f64s(b).unwrap(), vec![6.0, 12.0]);
+        d2.shutdown();
+
+        // Leave the process as we found it: adopt the parked pool and shut
+        // its workers down cold.
+        if let Some(warm) = adopt_warm_workers(&key) {
+            for node in 1..=5 {
+                let _ = warm.events.shutdown(node);
+            }
+            for handle in warm.worker_handles {
+                let _ = handle.join();
+            }
+        }
     }
 
     #[test]

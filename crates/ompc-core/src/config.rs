@@ -179,6 +179,26 @@ pub struct OmpcConfig {
     /// lazily on the next region that needs more threads, so enabling the
     /// reaper trades idle memory for occasional re-spawn latency.
     pub pool_idle_timeout_ms: Option<u64>,
+    /// Pack all tasks a dispatch round sends to one node into a single
+    /// [`crate::protocol::EventRequest::TaskTrain`] message instead of one
+    /// tagged message per task (the §7 per-task messaging cost). The worker
+    /// runs the train in order and still replies **per task** on each car's
+    /// own channel, so error blame, zombie-gate refusals, and fault
+    /// recovery stay per-task. Only the [`crate::runtime::MpiBackend`]
+    /// reads this knob; a round that sends a node exactly one task is sent
+    /// as a plain `Task` message, wire-identical to batching disabled.
+    /// Enabled by default.
+    pub task_train_batching: bool,
+    /// Keep the MPI worker loops of a [`crate::cluster::ClusterDevice`]
+    /// alive after [`crate::cluster::ClusterDevice::shutdown`] and let the
+    /// next device with the same shape (workers, communicators, handler
+    /// threads) adopt them instead of spawning fresh ones — amortizing the
+    /// fig. 7(a) startup share across runs. Workers are reset (device
+    /// memory cleared, counters zeroed) between lifetimes, and a device
+    /// that saw any node failure is never parked. Disabled by default:
+    /// tests that count spawned threads or inject faults expect cold
+    /// workers unless they opt in.
+    pub warm_worker_keepalive: bool,
 }
 
 impl Default for OmpcConfig {
@@ -202,6 +222,8 @@ impl Default for OmpcConfig {
             heartbeat_miss_threshold: 3,
             event_reply_timeout_ms: None,
             pool_idle_timeout_ms: None,
+            task_train_batching: true,
+            warm_worker_keepalive: false,
         }
     }
 }
@@ -226,6 +248,8 @@ impl OmpcConfig {
             heartbeat_miss_threshold: 3,
             event_reply_timeout_ms: Some(60_000),
             pool_idle_timeout_ms: None,
+            task_train_batching: true,
+            warm_worker_keepalive: false,
         }
     }
 
@@ -324,6 +348,11 @@ mod tests {
         // The idle reaper is opt-in.
         assert_eq!(OmpcConfig::default().pool_idle_timeout_ms, None);
         assert_eq!(OmpcConfig::small().pool_idle_timeout_ms, None);
+        // Task-train batching is on by default; warm workers are opt-in.
+        assert!(OmpcConfig::default().task_train_batching);
+        assert!(OmpcConfig::small().task_train_batching);
+        assert!(!OmpcConfig::default().warm_worker_keepalive);
+        assert!(!OmpcConfig::small().warm_worker_keepalive);
     }
 
     #[test]

@@ -77,8 +77,10 @@ pub enum TransferReason {
 
 /// One planned transfer, as recorded in the data manager's per-run log and
 /// surfaced through [`crate::runtime::RunRecord::transfers`]. `bytes` is
-/// the buffer's registered (nominal) size — the size the mapping declared,
-/// which is what the scheduler and the simulator cost on.
+/// the buffer's registered size — the size the mapping declared, updated by
+/// [`DataManager::observe_size`] whenever a retrieval observes that a
+/// kernel resized the data, so logged bytes stay equal to the bytes that
+/// actually crossed the wire ([`crate::event::EventCounters::bytes_moved`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransferRecord {
     /// The buffer that moved.
@@ -198,6 +200,19 @@ impl DataManager {
     /// Registered (nominal) size of the buffer in bytes.
     pub fn bytes_of(&self, buffer: BufferId) -> u64 {
         self.buffers.get(&buffer).map(|l| l.bytes).unwrap_or(0)
+    }
+
+    /// Update the registered size of `buffer` to the size actually observed
+    /// on the wire. Kernels may resize a buffer on the device (`set_f64s`
+    /// with a different length); the first retrieval of the resized data
+    /// sees the real byte count and reports it here **before**
+    /// [`DataManager::record_retrieve`], so that record — and every later
+    /// forward of the buffer — logs the bytes that really moved instead of
+    /// the stale mapped size.
+    pub fn observe_size(&mut self, buffer: BufferId, bytes: u64) {
+        if let Some(loc) = self.buffers.get_mut(&buffer) {
+            loc.bytes = bytes;
+        }
     }
 
     /// Nodes currently holding a valid copy of the buffer.
@@ -569,6 +584,29 @@ mod tests {
         dm.forget_replica(b, HEAD_NODE);
         assert!(dm.is_present(b, HEAD_NODE));
         assert_eq!(dm.transfer_log().len(), 1);
+    }
+
+    #[test]
+    fn observed_resizes_keep_log_bytes_truthful() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 8);
+        dm.plan_input(b, 1).unwrap();
+        dm.record_write(b, 1);
+        // A kernel grew the buffer on node 1; the retrieval observes the
+        // wire size before committing, so its log entry is truthful.
+        dm.observe_size(b, 24);
+        dm.record_retrieve(b);
+        let log = dm.take_transfer_log();
+        assert_eq!(log[0].bytes, 8, "the initial forward moved the mapped size");
+        assert_eq!(log[1].bytes, 24, "the retrieve logs the resized payload");
+        // Later forwards account the observed size too.
+        assert!(dm.plan_input(b, 2).is_some());
+        assert_eq!(dm.transfer_log()[0].bytes, 24);
+        assert_eq!(dm.bytes_of(b), 24);
+        // Unknown buffers are ignored, not invented.
+        dm.observe_size(BufferId(99), 1);
+        assert_eq!(dm.bytes_of(BufferId(99)), 0);
     }
 
     #[test]

@@ -215,6 +215,24 @@ impl EventSystem {
         Ok(())
     }
 
+    /// Clear `node`'s device memory and wait for the acknowledgement —
+    /// issued between device lifetimes when warm workers are recycled, so
+    /// an adopted worker pool starts from an empty device state.
+    pub fn reset(&self, node: NodeId) -> OmpcResult<()> {
+        let (tag, comm) = self.open_channel();
+        self.notify(node, &EventNotification { request: EventRequest::Reset, tag, comm })?;
+        self.await_reply(node, tag, comm)?;
+        Ok(())
+    }
+
+    /// Zero the traffic counters (warm-worker adoption: the next device
+    /// lifetime starts counting from scratch).
+    pub(crate) fn reset_counters(&self) {
+        self.counters.events.store(0, Ordering::Relaxed);
+        self.counters.data_events.store(0, Ordering::Relaxed);
+        self.counters.bytes_moved.store(0, Ordering::Relaxed);
+    }
+
     /// Kill `node`'s event loop for real (failure injection): the node
     /// stops executing events and answers every later one with an error
     /// reply. Fire-and-forget — the injector must not block on the node it

@@ -154,6 +154,15 @@ impl KernelRegistry {
         self.kernels.read().get(&id.0).cloned()
     }
 
+    /// Forget every registered kernel and restart ids from 0 — issued when
+    /// a warm worker pool is adopted by a new device lifetime, so the new
+    /// lifetime's registrations get the same ids a cold start would assign.
+    pub fn clear(&self) {
+        let mut next = self.next.write();
+        self.kernels.write().clear();
+        *next = 0;
+    }
+
     /// Number of registered kernels.
     pub fn len(&self) -> usize {
         self.kernels.read().len()
@@ -182,6 +191,10 @@ mod tests {
         assert_eq!(k.name(), "double");
         assert!((k.cost_hint() - 0.5).abs() < 1e-12);
         assert!(reg.get(KernelId(99)).is_none());
+        reg.clear();
+        assert!(reg.is_empty());
+        let id2 = reg.register_fn("fresh", 1e-6, |_| {});
+        assert_eq!(id2, KernelId(0), "cleared registries restart ids from 0");
     }
 
     #[test]

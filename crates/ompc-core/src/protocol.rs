@@ -20,9 +20,18 @@ use ompc_mpi::{CommId, Tag};
 /// Tag reserved for new-event notifications received by the gate thread.
 pub const CONTROL_TAG: Tag = Tag(0);
 
+/// Tag reserved for the head node's any-source completion channel: after a
+/// worker sends a composite-task reply on the task's exclusive channel, it
+/// posts a compact [`CompletionNotice`] to the head on this tag (world
+/// communicator). The head discovers finished tasks by draining this one
+/// well-known channel — O(messages arrived) per poll — instead of probing
+/// every outstanding task channel; the per-task channel is consulted only
+/// afterwards, for the reply payload already guaranteed to be present.
+pub const COMPLETION_TAG: Tag = Tag(1);
+
 /// First tag usable by events (event tags are allocated upwards from here
 /// and stay below the collective-reserved range).
-pub const FIRST_EVENT_TAG: u64 = 1;
+pub const FIRST_EVENT_TAG: u64 = 2;
 
 /// The action a new event asks the destination node to perform. These map
 /// one-to-one to the operations a libomptarget device plugin must implement
@@ -55,6 +64,21 @@ pub enum EventRequest {
     /// forwarding plan and carries it as one tagged message instead of
     /// blocking a head pool thread on each constituent event.
     Task(TaskSpec),
+    /// Run several composite tasks bound for this node, batched into one
+    /// tagged message (a *task train*). The worker runs the cars strictly
+    /// in order but replies **per car** on each car's own exclusive
+    /// `(tag, communicator)` channel, exactly as if the cars had arrived
+    /// as individual [`Task`] notifications: the typed error protocol,
+    /// zombie-gate refusals, and fault blame all stay per task. The head
+    /// packs all ready tasks of one dispatch round bound for one node into
+    /// a train, collapsing k control-tag messages into one.
+    ///
+    /// [`Task`]: EventRequest::Task
+    TaskTrain(Vec<TrainCar>),
+    /// Clear the worker's device memory and acknowledge: the head issues
+    /// this between workloads when recycling warm workers, so a parked
+    /// worker pool starts the next device lifetime from an empty state.
+    Reset,
     /// Leave the gate loop and terminate the worker.
     Shutdown,
     /// Kill the worker's event loop for real (failure injection): the node
@@ -78,10 +102,27 @@ impl EventRequest {
             EventRequest::ExchangeRecv { .. } => "exchange-recv",
             EventRequest::Execute { .. } => "execute",
             EventRequest::Task(_) => "task",
+            EventRequest::TaskTrain(_) => "task-train",
+            EventRequest::Reset => "reset",
             EventRequest::Shutdown => "shutdown",
             EventRequest::Kill => "kill",
         }
     }
+}
+
+/// One car of an [`EventRequest::TaskTrain`]: a complete composite task
+/// with its own exclusive reply channel. Payloads for the car's
+/// [`TaskStep::RecvFromHead`] steps travel on the car's `(tag, comm)`
+/// channel — not the train's envelope channel — so batching changes only
+/// how the *notification* travels, never the per-task message discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainCar {
+    /// Tag of the car's exclusive channel (reply and payloads).
+    pub tag: Tag,
+    /// Communicator of the car's exclusive channel.
+    pub comm: CommId,
+    /// The composite task itself.
+    pub spec: TaskSpec,
 }
 
 /// One step of a composite [`EventRequest::Task`], executed in order by the
@@ -241,6 +282,8 @@ const KIND_EXECUTE: u8 = 7;
 const KIND_SHUTDOWN: u8 = 8;
 const KIND_KILL: u8 = 9;
 const KIND_TASK: u8 = 10;
+const KIND_TASK_TRAIN: u8 = 11;
+const KIND_RESET: u8 = 12;
 
 const STEP_RECV_FROM_HEAD: u8 = 1;
 const STEP_RECV_FROM_WORKER: u8 = 2;
@@ -358,6 +401,21 @@ impl EventNotification {
                     encode_step(&mut w, step);
                 }
             }
+            EventRequest::TaskTrain(cars) => {
+                w.u8(KIND_TASK_TRAIN);
+                w.u32(cars.len() as u32);
+                for car in cars {
+                    w.u64(car.tag.0);
+                    w.u32(car.comm.0);
+                    w.u32(car.spec.steps.len() as u32);
+                    for step in &car.spec.steps {
+                        encode_step(&mut w, step);
+                    }
+                }
+            }
+            EventRequest::Reset => {
+                w.u8(KIND_RESET);
+            }
             EventRequest::Shutdown => {
                 w.u8(KIND_SHUTDOWN);
             }
@@ -402,6 +460,22 @@ impl EventNotification {
                 }
                 EventRequest::Task(TaskSpec { steps })
             }
+            KIND_TASK_TRAIN => {
+                let cars_len = r.u32()?;
+                let mut cars = Vec::with_capacity(cars_len as usize);
+                for _ in 0..cars_len {
+                    let tag = Tag(r.u64()?);
+                    let comm = CommId(r.u32()?);
+                    let n = r.u32()?;
+                    let mut steps = Vec::with_capacity(n as usize);
+                    for _ in 0..n {
+                        steps.push(decode_step(&mut r)?);
+                    }
+                    cars.push(TrainCar { tag, comm, spec: TaskSpec { steps } });
+                }
+                EventRequest::TaskTrain(cars)
+            }
+            KIND_RESET => EventRequest::Reset,
             KIND_SHUTDOWN => EventRequest::Shutdown,
             KIND_KILL => EventRequest::Kill,
             other => {
@@ -548,6 +622,45 @@ impl EventReply {
     }
 }
 
+/// The compact notice a worker posts to the head's [`COMPLETION_TAG`]
+/// channel after sending a composite-task reply: just the finished task's
+/// event tag and its outcome. The reply itself (payload or typed error) is
+/// already sitting in the head's mailbox on the task's exclusive channel —
+/// sends are eager — so the head turns a notice into the full reply with
+/// one guaranteed-ready receive instead of probing every in-flight task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionNotice {
+    /// Event tag of the finished composite task.
+    pub tag: Tag,
+    /// Whether the task's reply is `Ok` (informational; the reply is
+    /// authoritative).
+    pub ok: bool,
+}
+
+impl CompletionNotice {
+    /// Serialize for transmission on [`COMPLETION_TAG`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.tag.0);
+        w.u8(self.ok as u8);
+        w.0
+    }
+
+    /// Parse a notice received on [`COMPLETION_TAG`].
+    pub fn decode(data: &[u8]) -> OmpcResult<Self> {
+        let mut r = Reader::new(data);
+        let tag = Tag(r.u64()?);
+        let ok = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(OmpcError::Internal(format!("unknown notice status {other}")));
+            }
+        };
+        Ok(Self { tag, ok })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +703,68 @@ mod tests {
                 },
             ],
         }));
+    }
+
+    #[test]
+    fn task_train_round_trips_with_per_car_channels() {
+        round_trip(EventRequest::TaskTrain(vec![]));
+        round_trip(EventRequest::Reset);
+        round_trip(EventRequest::TaskTrain(vec![
+            TrainCar {
+                tag: Tag(11),
+                comm: CommId(1),
+                spec: TaskSpec {
+                    steps: vec![
+                        TaskStep::RecvFromHead { buffer: BufferId(1) },
+                        TaskStep::Execute { kernel: KernelId(2), buffers: vec![BufferId(1)] },
+                    ],
+                },
+            },
+            TrainCar {
+                tag: Tag(12),
+                comm: CommId(0),
+                spec: TaskSpec { steps: vec![TaskStep::Alloc { buffer: BufferId(4), size: 64 }] },
+            },
+        ]));
+    }
+
+    #[test]
+    fn truncated_task_train_is_an_error() {
+        let n = EventNotification {
+            request: EventRequest::TaskTrain(vec![TrainCar {
+                tag: Tag(9),
+                comm: CommId(0),
+                spec: TaskSpec { steps: vec![TaskStep::Delete { buffer: BufferId(3) }] },
+            }]),
+            tag: Tag(9),
+            comm: CommId(0),
+        };
+        let bytes = n.encode();
+        for cut in 1..bytes.len() {
+            assert!(EventNotification::decode(&bytes[..bytes.len() - cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn completion_notices_round_trip_and_reject_garbage() {
+        for notice in [
+            CompletionNotice { tag: Tag(2), ok: true },
+            CompletionNotice { tag: Tag(u64::MAX), ok: false },
+        ] {
+            assert_eq!(CompletionNotice::decode(&notice.encode()).unwrap(), notice);
+        }
+        assert!(CompletionNotice::decode(&[]).is_err());
+        assert!(CompletionNotice::decode(&[0; 8]).is_err());
+        let mut bad = CompletionNotice { tag: Tag(1), ok: true }.encode();
+        bad[8] = 7;
+        assert!(CompletionNotice::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn completion_tag_is_reserved_below_the_event_range() {
+        assert_ne!(COMPLETION_TAG, CONTROL_TAG);
+        let first_event = FIRST_EVENT_TAG;
+        assert!(COMPLETION_TAG.0 < first_event);
     }
 
     #[test]
@@ -671,6 +846,8 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(EventRequest::Shutdown.name(), "shutdown");
+        assert_eq!(EventRequest::TaskTrain(vec![]).name(), "task-train");
+        assert_eq!(EventRequest::Reset.name(), "reset");
         assert_eq!(EventRequest::Retrieve { buffer: BufferId(0) }.name(), "retrieve");
         assert_eq!(
             EventRequest::Execute { kernel: KernelId(0), buffers: vec![] }.name(),

@@ -1,43 +1,61 @@
 //! The message-passing execution backend: every task travels to its worker
-//! node as **one composite event over `ompc-mpi`**, and completions come
-//! back as typed replies the head discovers by probing — the paper's
-//! head/worker split (§4.2) with no head pool thread blocked per in-flight
-//! task.
+//! node as **one composite event over `ompc-mpi`**, ready tasks bound for
+//! the same node in one dispatch window ride together as a **task train**,
+//! and completions come back over a well-known **completion channel** — the
+//! paper's head/worker split (§4.2) with no head pool thread blocked per
+//! in-flight task and no per-task probe loop.
 //!
 //! Where [`super::ThreadedBackend`] has a pool of head worker threads each
 //! driving a task's constituent events *synchronously* (submit, wait;
 //! execute, wait; …), the [`MpiBackend`] head composes the whole task — the
 //! input forwards planned by the [`DataManager`], output allocations, and
-//! the kernel execution — into a single [`EventRequest::Task`] recipe,
-//! serializes it through the `protocol` codec, and sends it as a tagged
-//! message. Payloads and worker-to-worker forwards ride the task's
-//! exclusive `(tag, communicator)` channel (communicators chosen
-//! round-robin by tag, the paper's VCI mapping), and the worker's handler
-//! answers with exactly one [`EventReply`] when the last step finished —
-//! success or a typed error naming the node and event.
+//! the kernel execution — into a single composite recipe, serializes it
+//! through the `protocol` codec, and sends it as a tagged message. Payloads
+//! and worker-to-worker forwards ride the task's exclusive
+//! `(tag, communicator)` channel (communicators chosen round-robin by tag,
+//! the paper's VCI mapping), and the worker's handler answers with exactly
+//! one [`EventReply`] when the last step finished — success or a typed
+//! error naming the node and event.
 //!
-//! The head's `await_completions` is the paper's gate-thread loop: it
-//! `iprobe`s the reply channel of every outstanding task, retires whatever
-//! has landed, and honours
-//! [`crate::config::OmpcConfig::event_reply_timeout_ms`] as the last-resort
-//! bound on a reply that can never arrive.
+//! **Task trains** (§7: per-task messaging overhead): `launch` does not
+//! send a target task immediately. It buffers the composed car per
+//! destination node, and the train departs when the dispatch window closes
+//! (the core calls `await_completions`, or batching is disabled). A train
+//! of one car is sent as a plain [`EventRequest::Task`] — wire-identical to
+//! the unbatched protocol — so [`crate::config::OmpcConfig::task_train_batching`]
+//! changes message *count*, never message *meaning*. Each car keeps its own
+//! reply channel, so per-task typed errors, zombie-gate refusals, and fault
+//! blame survive batching unchanged.
+//!
+//! **Completion channel**: instead of `iprobe`ing the reply channel of
+//! every outstanding task (O(tasks in flight) per poll), workers post a
+//! compact [`CompletionNotice`] to the reserved
+//! [`crate::protocol::COMPLETION_TAG`] after each task or train car. The
+//! head blocks on that one channel (a condvar wakeup, not a sleep poll) and
+//! receives each noticed task's already-delivered typed reply — work
+//! proportional to messages arrived, not tasks outstanding. Data events
+//! (enter/exit transfers issued through the shared [`EventSystem`] verbs)
+//! post no notice and keep the bounded per-channel probe;
+//! [`crate::config::OmpcConfig::event_reply_timeout_ms`] remains the
+//! last-resort bound on a reply that can never arrive.
 //!
 //! Tag layout: new-event notifications travel on the reserved
-//! [`crate::protocol::CONTROL_TAG`]; each task (and each synchronous
+//! [`crate::protocol::CONTROL_TAG`], completion notices on
+//! [`crate::protocol::COMPLETION_TAG`]; each task (and each synchronous
 //! maintenance event — deletes, retrieves — still issued through the shared
 //! [`EventSystem`]) owns a device-unique tag drawn from the same counter,
-//! so the two tag spaces can never collide and concurrent events cannot
+//! so the tag spaces can never collide and concurrent events cannot
 //! cross-talk.
 //!
 //! The full fault-tolerance surface carries over unchanged: the failure
 //! injector kills the worker's event loop for real ([`EventRequest::Kill`]
 //! via [`ExecutionBackend::invalidate_node`]), the zombie gate refuses
-//! every later task with an error reply (so a launch onto a dead node
-//! degrades into a stale failure the core restarts, never a hang), and a
-//! dead exchange source forwards its error envelope through the receiving
-//! task's reply with the dead node's attribution — the same
-//! propagate-vs-restart decisions [`super::RuntimeCore`] makes for the
-//! other two backends.
+//! every later task — and every car of a later train, individually — with
+//! an error reply (so a launch onto a dead node degrades into a stale
+//! failure the core restarts, never a hang), and a dead exchange source
+//! forwards its error envelope through the receiving task's reply with the
+//! dead node's attribution — the same propagate-vs-restart decisions
+//! [`super::RuntimeCore`] makes for the other two backends.
 
 use super::fault::LostBuffer;
 use super::threaded::POISONED_KERNEL;
@@ -47,7 +65,10 @@ use crate::cluster::HostFn;
 use crate::config::OmpcConfig;
 use crate::data_manager::{DataManager, TransferReason, HEAD_NODE};
 use crate::event::EventSystem;
-use crate::protocol::{EventNotification, EventReply, EventRequest, TaskSpec, TaskStep};
+use crate::protocol::{
+    CompletionNotice, EventNotification, EventReply, EventRequest, TaskSpec, TaskStep, TrainCar,
+    COMPLETION_TAG,
+};
 use crate::task::{RegionGraph, TaskKind};
 use crate::types::{BufferId, MapType, NodeId, OmpcError, OmpcResult, TaskId};
 use ompc_mpi::{CommId, Tag};
@@ -57,10 +78,16 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How long the probe loop sleeps between polls of the outstanding reply
-/// channels. Small enough to keep single-task latency negligible next to a
-/// kernel execution, large enough not to spin a core.
+/// How long the probe loop sleeps between polls while a *data* event
+/// (enter/exit transfer) is outstanding — those carry no completion notice,
+/// so their reply channels are still probed. Small enough to keep
+/// single-transfer latency negligible, large enough not to spin a core.
 const PROBE_INTERVAL: Duration = Duration::from_micros(100);
+
+/// Upper bound on one blocking wait for a completion notice. An arriving
+/// notice wakes the waiter immediately through the transport's condvar; the
+/// slice only bounds how long an idle wait can defer the deadline check.
+const NOTICE_WAIT_SLICE: Duration = Duration::from_millis(100);
 
 /// Bound on each reply wait while draining outstanding tasks after a failed
 /// run, when no [`crate::config::OmpcConfig::event_reply_timeout_ms`] is
@@ -95,12 +122,36 @@ enum PendingKind {
     ExitData { buffer: BufferId, release: bool },
 }
 
-/// One dispatched task whose reply the probe loop is waiting for.
+/// One dispatched task whose reply the completion loop is waiting for.
 struct Pending {
     node: NodeId,
     tag: Tag,
     comm: CommId,
     kind: PendingKind,
+}
+
+/// One composed target task waiting for its train to depart: everything
+/// `send_train` needs to emit the car's messages, plus what
+/// `fail_unsent_train` needs to roll the launch back if the train never
+/// leaves.
+struct BufferedCar {
+    /// Core task id.
+    task: usize,
+    /// The car's exclusive reply channel.
+    tag: Tag,
+    comm: CommId,
+    /// The composite recipe.
+    steps: Vec<TaskStep>,
+    /// Host payload frames for the `RecvFromHead` steps, in step order.
+    /// Shared with the payload cache: a buffer forwarded to k nodes is
+    /// encoded once.
+    payloads: Vec<Arc<Vec<u8>>>,
+    /// Exchange-send notifications for third-party source nodes.
+    exchanges: Vec<(NodeId, EventRequest)>,
+    exchange_bytes: Vec<u64>,
+    /// Deferred deletes attached as prologue steps — re-deferred if the
+    /// train never departs.
+    attached_deletes: Vec<BufferId>,
 }
 
 /// Everything the message-passing backend needs for one region execution:
@@ -147,6 +198,9 @@ impl MpiBackend {
             ready: VecDeque::new(),
             inflight: HashSet::new(),
             pending_deletes: BTreeMap::new(),
+            trains: BTreeMap::new(),
+            notice_tasks: HashMap::new(),
+            payload_cache: HashMap::new(),
         };
         let result = core.execute(&mut driver);
         driver.drain_outstanding();
@@ -159,8 +213,9 @@ impl MpiBackend {
 }
 
 /// The [`ExecutionBackend`] face of the message-passing head: `launch`
-/// composes and sends one task message, `await_completions` probes the
-/// outstanding reply channels.
+/// composes one task car and buffers it on its node's train,
+/// `await_completions` flushes the trains and blocks on the completion
+/// channel.
 struct MpiDriver<'c> {
     ctx: &'c MpiContext,
     /// Outstanding tasks, keyed by core task id.
@@ -180,17 +235,62 @@ struct MpiDriver<'c> {
     /// sent to that node; whatever never finds a carrier is flushed at the
     /// epilogue.
     pending_deletes: BTreeMap<NodeId, BTreeSet<BufferId>>,
+    /// Composed target tasks buffered per destination node, departing
+    /// together as one [`EventRequest::TaskTrain`] when the dispatch
+    /// window closes.
+    trains: BTreeMap<NodeId, Vec<BufferedCar>>,
+    /// Event tag → core task id for outstanding target tasks: the index a
+    /// [`CompletionNotice`] is resolved through.
+    notice_tasks: HashMap<u64, usize>,
+    /// Encoded payload frames keyed by buffer id, valid for one
+    /// [`crate::buffer::BufferRegistry`] version: a buffer forwarded to k
+    /// workers is cloned out of the registry once, not k times.
+    payload_cache: HashMap<u64, (u64, Arc<Vec<u8>>)>,
 }
 
 impl MpiDriver<'_> {
-    /// Wait (bounded) for every outstanding reply after a failed run.
+    /// The payload frame of `buffer`, reusing the cached frame when the
+    /// registry still holds the same version.
+    fn cached_payload(&mut self, buffer: BufferId) -> OmpcResult<Arc<Vec<u8>>> {
+        let version = self.ctx.buffers.version(buffer)?;
+        if let Some((cached, frame)) = self.payload_cache.get(&buffer.0) {
+            if *cached == version {
+                return Ok(Arc::clone(frame));
+            }
+        }
+        let (version, data) = self.ctx.buffers.get_versioned(buffer)?;
+        let frame = Arc::new(data);
+        self.payload_cache.insert(buffer.0, (version, Arc::clone(&frame)));
+        Ok(frame)
+    }
+
+    /// Wait (bounded) for every outstanding reply after a failed run, and
+    /// clear every completion-channel leftover so nothing bleeds into a
+    /// later region execution.
     fn drain_outstanding(&mut self) {
+        // Trains that never departed reached no worker: fail their cars
+        // locally. (The pushed ready events die with the driver — the run
+        // is already over.)
+        let trains = std::mem::take(&mut self.trains);
+        for (node, cars) in trains {
+            let rollback: Vec<(usize, Vec<BufferId>)> =
+                cars.iter().map(|c| (c.task, c.attached_deletes.clone())).collect();
+            self.fail_unsent_train(
+                node,
+                rollback,
+                &OmpcError::Communication("run aborted before the task train departed".into()),
+            );
+        }
         let timeout = self.ctx.events.reply_timeout().unwrap_or(DRAIN_TIMEOUT);
         for (_, p) in std::mem::take(&mut self.pending) {
             if let Ok(channel) = self.ctx.events.communicator().on(p.comm) {
                 let _ = channel.recv_timeout(Some(p.node), Some(p.tag), timeout);
             }
         }
+        self.notice_tasks.clear();
+        // The drained replies' notices were never consumed; a notice that
+        // arrives even later is discarded by `on_notice` (unknown tag).
+        while self.ctx.events.communicator().try_recv(None, Some(COMPLETION_TAG)).is_some() {}
     }
 
     /// Queue the deletion of `buffer`'s device copy on `node` for the next
@@ -229,16 +329,138 @@ impl MpiDriver<'_> {
         }
     }
 
-    /// Compose and send the message(s) of one task, or finish it locally.
+    /// Send every buffered train. A train of one car goes out as a plain
+    /// task message; failures fall back on [`MpiDriver::fail_unsent_train`]
+    /// and surface as per-task failures through `ready`.
+    fn flush_trains(&mut self) {
+        let trains = std::mem::take(&mut self.trains);
+        for (node, cars) in trains {
+            let rollback: Vec<(usize, Vec<BufferId>)> =
+                cars.iter().map(|c| (c.task, c.attached_deletes.clone())).collect();
+            if let Err(error) = self.send_train(node, cars) {
+                self.fail_unsent_train(node, rollback, &error);
+            }
+        }
+    }
+
+    /// Emit one train's messages: a single notification carrying every
+    /// car's recipe (or a plain task message for a train of one), then each
+    /// car's payloads and exchange notifications on the car's own channel.
+    /// Counters are recorded per car, so per-task accounting is identical
+    /// with and without batching.
+    fn send_train(&mut self, node: NodeId, mut cars: Vec<BufferedCar>) -> OmpcResult<()> {
+        if let [car] = cars.as_mut_slice() {
+            self.ctx.events.notify(
+                node,
+                &EventNotification {
+                    request: EventRequest::Task(TaskSpec { steps: std::mem::take(&mut car.steps) }),
+                    tag: car.tag,
+                    comm: car.comm,
+                },
+            )?;
+        } else {
+            let spec_cars: Vec<TrainCar> = cars
+                .iter_mut()
+                .map(|car| TrainCar {
+                    tag: car.tag,
+                    comm: car.comm,
+                    spec: TaskSpec { steps: std::mem::take(&mut car.steps) },
+                })
+                .collect();
+            let (tag, comm) = self.ctx.events.open_channel();
+            self.ctx.events.notify(
+                node,
+                &EventNotification { request: EventRequest::TaskTrain(spec_cars), tag, comm },
+            )?;
+        }
+        for car in cars {
+            self.ctx.events.counters().record(None);
+            let channel = self.ctx.events.communicator().on(car.comm)?;
+            for frame in car.payloads {
+                let bytes = frame.len() as u64;
+                channel.send(node, car.tag, frame.as_ref().clone())?;
+                self.ctx.events.counters().record(Some(bytes));
+            }
+            for ((src, request), bytes) in car.exchanges.into_iter().zip(car.exchange_bytes) {
+                self.ctx
+                    .events
+                    .notify(src, &EventNotification { request, tag: car.tag, comm: car.comm })?;
+                self.ctx.events.counters().record(Some(bytes));
+            }
+        }
+        Ok(())
+    }
+
+    /// Roll back the launches of a train that never departed: forget the
+    /// optimistic holder records, clear the in-flight gate, put the
+    /// attached deletes back on the deferral queue, and report each car as
+    /// a failed task (the core owns the propagate-vs-restart policy).
+    fn fail_unsent_train(
+        &mut self,
+        node: NodeId,
+        cars: Vec<(usize, Vec<BufferId>)>,
+        error: &OmpcError,
+    ) {
+        for (task, attached_deletes) in cars {
+            if let Some(p) = self.pending.remove(&task) {
+                self.notice_tasks.remove(&p.tag.0);
+                if let PendingKind::Target { owned, allocs, .. } = p.kind {
+                    {
+                        let mut dm = self.ctx.dm.lock();
+                        for &(buf, n) in owned.iter().chain(allocs.iter()) {
+                            dm.forget_replica(buf, n);
+                        }
+                    }
+                    for (buf, n) in owned {
+                        self.inflight.remove(&(buf.0, n));
+                    }
+                }
+            }
+            for buf in attached_deletes {
+                self.defer_delete(node, buf);
+            }
+            self.ready.push_back(TaskEvent::Failed { task, error: error.clone() });
+        }
+    }
+
+    /// Compose the message(s) of one task, or finish it locally.
     /// `Ok(None)` means the task completed immediately (host task, no-op
     /// data task); `Err` is a head-side task failure the caller reports as
-    /// a [`TaskEvent::Failed`].
+    /// a [`TaskEvent::Failed`]. Target tasks are *buffered* on their node's
+    /// train, not sent — the train departs when the window closes.
     fn begin_task(&mut self, tid: usize, node: NodeId) -> OmpcResult<Option<Pending>> {
-        let task = self.ctx.graph.task(TaskId(tid));
+        let ctx = self.ctx;
+        let task = ctx.graph.task(TaskId(tid));
         match &task.kind {
             TaskKind::Host { .. } => {
-                if let Some(f) = self.ctx.host_fns.get(&tid) {
-                    let buffers = &self.ctx.buffers;
+                // A host task reads through the head's buffer registry, so
+                // every read buffer whose latest version lives on a worker
+                // is flushed home first — the host-side analogue of the
+                // input transfers a target task plans.
+                for dep in &task.dependences {
+                    if !dep.dep_type.reads() {
+                        continue;
+                    }
+                    let from = {
+                        let dm = ctx.dm.lock();
+                        // A host-only buffer (never mapped to the device)
+                        // has no residency entry and nothing to flush.
+                        if !dm.is_registered(dep.buffer) {
+                            continue;
+                        }
+                        dm.retrieve_source(dep.buffer)
+                    };
+                    if let Some(from) = from {
+                        let data = ctx.events.retrieve(from, dep.buffer)?;
+                        let bytes = data.len() as u64;
+                        ctx.buffers.set(dep.buffer, data)?;
+                        let mut dm = ctx.dm.lock();
+                        dm.observe_size(dep.buffer, bytes);
+                        dm.record_retrieve(dep.buffer);
+                    }
+                }
+                if let Some(f) = ctx.host_fns.get(&tid) {
+                    let buffers = &ctx.buffers;
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(buffers)))
                         .map_err(|_| OmpcError::Internal(format!("host task {tid} panicked")))?;
                 }
@@ -255,22 +477,29 @@ impl MpiDriver<'_> {
                         // buffer is already present, a worker-to-worker
                         // forward when the latest version is on another
                         // worker, a host submit otherwise.
-                        let plan = self.ctx.dm.lock().plan_input_as(
-                            *buffer,
-                            node,
-                            TransferReason::EnterData,
-                        );
+                        let plan =
+                            ctx.dm.lock().plan_input_as(*buffer, node, TransferReason::EnterData);
                         let Some(plan) = plan else { return Ok(None) };
+                        let payload = if plan.from == HEAD_NODE {
+                            match self.cached_payload(*buffer) {
+                                Ok(frame) => Some(frame),
+                                Err(e) => {
+                                    ctx.dm.lock().forget_replica(*buffer, node);
+                                    return Err(e);
+                                }
+                            }
+                        } else {
+                            None
+                        };
                         // The incoming copy supersedes whatever stale bytes
                         // a deferred delete was going to free — but the
                         // cancellation only sticks if the send succeeds.
                         let cancelled_delete =
                             self.pending_deletes.get_mut(&node).is_some_and(|s| s.remove(buffer));
-                        let (tag, comm) = self.ctx.events.open_channel();
+                        let (tag, comm) = ctx.events.open_channel();
                         let sent: OmpcResult<()> = (|| {
-                            if plan.from == HEAD_NODE {
-                                let data = self.ctx.buffers.get(*buffer)?;
-                                self.ctx.events.notify(
+                            if let Some(frame) = &payload {
+                                ctx.events.notify(
                                     node,
                                     &EventNotification {
                                         request: EventRequest::Submit { buffer: *buffer },
@@ -278,11 +507,15 @@ impl MpiDriver<'_> {
                                         comm,
                                     },
                                 )?;
-                                let bytes = data.len() as u64;
-                                self.ctx.events.communicator().on(comm)?.send(node, tag, data)?;
-                                self.ctx.events.counters().record(Some(bytes));
+                                let bytes = frame.len() as u64;
+                                ctx.events.communicator().on(comm)?.send(
+                                    node,
+                                    tag,
+                                    frame.as_ref().clone(),
+                                )?;
+                                ctx.events.counters().record(Some(bytes));
                             } else {
-                                self.ctx.events.notify(
+                                ctx.events.notify(
                                     node,
                                     &EventNotification {
                                         request: EventRequest::ExchangeRecv {
@@ -293,7 +526,7 @@ impl MpiDriver<'_> {
                                         comm,
                                     },
                                 )?;
-                                self.ctx.events.notify(
+                                ctx.events.notify(
                                     plan.from,
                                     &EventNotification {
                                         request: EventRequest::ExchangeSend {
@@ -304,13 +537,13 @@ impl MpiDriver<'_> {
                                         comm,
                                     },
                                 )?;
-                                let bytes = self.ctx.buffers.size_of(*buffer).unwrap_or(0) as u64;
-                                self.ctx.events.counters().record(Some(bytes));
+                                let bytes = ctx.buffers.size_of(*buffer).unwrap_or(0) as u64;
+                                ctx.events.counters().record(Some(bytes));
                             }
                             Ok(())
                         })();
                         if let Err(e) = sent {
-                            self.ctx.dm.lock().forget_replica(*buffer, node);
+                            ctx.dm.lock().forget_replica(*buffer, node);
                             if cancelled_delete {
                                 self.defer_delete(node, *buffer);
                             }
@@ -324,12 +557,12 @@ impl MpiDriver<'_> {
                         }))
                     }
                     MapType::Alloc => {
-                        if self.ctx.dm.lock().is_present(*buffer, node) {
+                        if ctx.dm.lock().is_present(*buffer, node) {
                             return Ok(None);
                         }
-                        let size = self.ctx.buffers.size_of(*buffer)?;
-                        let (tag, comm) = self.ctx.events.open_channel();
-                        self.ctx.events.notify(
+                        let size = ctx.buffers.size_of(*buffer)?;
+                        let (tag, comm) = ctx.events.open_channel();
+                        ctx.events.notify(
                             node,
                             &EventNotification {
                                 request: EventRequest::Alloc { buffer: *buffer, size: size as u64 },
@@ -337,7 +570,7 @@ impl MpiDriver<'_> {
                                 comm,
                             },
                         )?;
-                        self.ctx.events.counters().record(None);
+                        ctx.events.counters().record(None);
                         Ok(Some(Pending {
                             node,
                             tag,
@@ -357,7 +590,7 @@ impl MpiDriver<'_> {
                     // mid-retrieval leaves the location state truthful for
                     // recovery.
                     let (from, pinned_holds_data, any_failures) = {
-                        let dm = self.ctx.dm.lock();
+                        let dm = ctx.dm.lock();
                         keep_resident = dm.is_resident(*buffer);
                         let present = dm.is_present(*buffer, node);
                         (dm.retrieve_source(*buffer), present, dm.has_failures())
@@ -373,8 +606,8 @@ impl MpiDriver<'_> {
                             "exit-data task pinned to node {node} but the latest copy of \
                              {buffer} is only on node {from}"
                         );
-                        let (tag, comm) = self.ctx.events.open_channel();
-                        self.ctx.events.notify(
+                        let (tag, comm) = ctx.events.open_channel();
+                        ctx.events.notify(
                             from,
                             &EventNotification {
                                 request: EventRequest::Retrieve { buffer: *buffer },
@@ -405,17 +638,16 @@ impl MpiDriver<'_> {
                 // Injected task error (fault plan): execute a deliberately
                 // unregistered kernel so a genuine worker-side handler
                 // error exercises the reply path end to end.
-                let kernel = if self.ctx.config.fault_plan.has_task_error(tid) {
+                let kernel = if ctx.config.fault_plan.has_task_error(tid) {
                     POISONED_KERNEL
                 } else {
                     *kernel
                 };
-                let await_ms =
-                    self.ctx.config.event_reply_timeout_ms.unwrap_or(DEFAULT_AWAIT_LOCAL_MS);
+                let await_ms = ctx.config.event_reply_timeout_ms.unwrap_or(DEFAULT_AWAIT_LOCAL_MS);
                 let mut steps: Vec<TaskStep> = Vec::new();
                 let mut owned: Vec<(BufferId, NodeId)> = Vec::new();
                 let mut allocs: Vec<(BufferId, NodeId)> = Vec::new();
-                let mut payloads: Vec<Vec<u8>> = Vec::new();
+                let mut payloads: Vec<Arc<Vec<u8>>> = Vec::new();
                 let mut exchanges: Vec<(NodeId, EventRequest)> = Vec::new();
                 let mut exchange_bytes: Vec<u64> = Vec::new();
                 // Plan the whole task under one data-manager acquisition,
@@ -423,7 +655,7 @@ impl MpiDriver<'_> {
                 // later co-scheduled reader either sees our holder record
                 // (and awaits the arrival) or plans its own transfer.
                 let planned: OmpcResult<()> = {
-                    let mut dm = self.ctx.dm.lock();
+                    let mut dm = ctx.dm.lock();
                     let mut planned = Ok(());
                     for dep in &task.dependences {
                         if !dep.dep_type.reads() {
@@ -431,10 +663,10 @@ impl MpiDriver<'_> {
                         }
                         match dm.plan_input(dep.buffer, node) {
                             Some(plan) if plan.from == HEAD_NODE => {
-                                match self.ctx.buffers.get(dep.buffer) {
-                                    Ok(data) => {
+                                match self.cached_payload(dep.buffer) {
+                                    Ok(frame) => {
                                         steps.push(TaskStep::RecvFromHead { buffer: dep.buffer });
-                                        payloads.push(data);
+                                        payloads.push(frame);
                                         owned.push((dep.buffer, node));
                                     }
                                     Err(e) => {
@@ -454,7 +686,7 @@ impl MpiDriver<'_> {
                                     EventRequest::ExchangeSend { buffer: dep.buffer, to: node },
                                 ));
                                 exchange_bytes
-                                    .push(self.ctx.buffers.size_of(dep.buffer).unwrap_or(0) as u64);
+                                    .push(ctx.buffers.size_of(dep.buffer).unwrap_or(0) as u64);
                                 owned.push((dep.buffer, node));
                             }
                             None => {
@@ -474,7 +706,7 @@ impl MpiDriver<'_> {
                             if dep.dep_type.reads() || dm.is_present(dep.buffer, node) {
                                 continue;
                             }
-                            match self.ctx.buffers.size_of(dep.buffer) {
+                            match ctx.buffers.size_of(dep.buffer) {
                                 Ok(size) => {
                                     steps.push(TaskStep::Alloc {
                                         buffer: dep.buffer,
@@ -520,46 +752,23 @@ impl MpiDriver<'_> {
                     .filter(|d| d.dep_type.writes())
                     .map(|d| d.buffer)
                     .collect();
-                let (tag, comm) = self.ctx.events.open_channel();
-                let sent: OmpcResult<()> = (|| {
-                    self.ctx.events.notify(
-                        node,
-                        &EventNotification {
-                            request: EventRequest::Task(TaskSpec { steps }),
-                            tag,
-                            comm,
-                        },
-                    )?;
-                    self.ctx.events.counters().record(None);
-                    let channel = self.ctx.events.communicator().on(comm)?;
-                    for data in payloads {
-                        let bytes = data.len() as u64;
-                        channel.send(node, tag, data)?;
-                        self.ctx.events.counters().record(Some(bytes));
-                    }
-                    for ((src, request), bytes) in exchanges.into_iter().zip(exchange_bytes) {
-                        self.ctx.events.notify(src, &EventNotification { request, tag, comm })?;
-                        self.ctx.events.counters().record(Some(bytes));
-                    }
-                    Ok(())
-                })();
-                if let Err(e) = sent {
-                    {
-                        let mut dm = self.ctx.dm.lock();
-                        for &(buf, n) in owned.iter().chain(allocs.iter()) {
-                            dm.forget_replica(buf, n);
-                        }
-                    }
-                    // The composite never left: its deferred deletes must
-                    // find another carrier (or the epilogue flush).
-                    for buf in attached_deletes {
-                        self.defer_delete(node, buf);
-                    }
-                    return Err(e);
-                }
+                let (tag, comm) = ctx.events.open_channel();
+                // The transfer gate opens at composition time: a later
+                // co-scheduled same-node reader must await the arrival even
+                // though the bytes only leave when the train departs.
                 for &(buf, n) in &owned {
                     self.inflight.insert((buf.0, n));
                 }
+                self.trains.entry(node).or_default().push(BufferedCar {
+                    task: tid,
+                    tag,
+                    comm,
+                    steps,
+                    payloads,
+                    exchanges,
+                    exchange_bytes,
+                    attached_deletes,
+                });
                 Ok(Some(Pending {
                     node,
                     tag,
@@ -633,11 +842,19 @@ impl MpiDriver<'_> {
                     TaskEvent::Completed(task)
                 }
                 PendingKind::ExitData { buffer, release } => {
-                    self.ctx.events.counters().record(Some(payload.len() as u64));
+                    let bytes = payload.len() as u64;
+                    self.ctx.events.counters().record(Some(bytes));
                     if let Err(error) = self.ctx.buffers.set(buffer, payload) {
                         return TaskEvent::Failed { task, error };
                     }
-                    self.ctx.dm.lock().record_retrieve(buffer);
+                    {
+                        // The retrieved size is the ground truth for later
+                        // transfer-log entries of this buffer: a kernel may
+                        // have resized the device copy.
+                        let mut dm = self.ctx.dm.lock();
+                        dm.observe_size(buffer, bytes);
+                        dm.record_retrieve(buffer);
+                    }
                     if release {
                         self.release_buffer(buffer);
                     }
@@ -647,12 +864,40 @@ impl MpiDriver<'_> {
         }
     }
 
-    /// One pass of the gate-thread loop: receive every outstanding reply
-    /// that has already arrived (discovered with `iprobe`, never blocking).
+    /// Resolve one completion notice: look up the noticed task, receive its
+    /// already-delivered typed reply, and retire it. Unknown tags (stale
+    /// notices of a previously drained run) and undecodable notices are
+    /// discarded.
+    fn on_notice(&mut self, data: &[u8], out: &mut Vec<TaskEvent>) -> OmpcResult<()> {
+        let Ok(notice) = CompletionNotice::decode(data) else {
+            return Ok(());
+        };
+        let Some(task) = self.notice_tasks.remove(&notice.tag.0) else {
+            return Ok(());
+        };
+        let Some(p) = self.pending.remove(&task) else {
+            return Ok(());
+        };
+        // The worker sends the typed reply before posting the notice and
+        // the transport delivers eagerly, so this receive cannot block.
+        let msg = self.ctx.events.communicator().on(p.comm)?.recv(Some(p.node), Some(p.tag))?;
+        let event = self.finish_task(task, p, msg.data);
+        out.push(event);
+        Ok(())
+    }
+
+    /// One pass of the completion loop: resolve every notice that has
+    /// already arrived on the completion channel, then probe the reply
+    /// channels of the outstanding *data* events (which carry no notice) —
+    /// O(messages arrived) + O(data events), never O(tasks in flight).
     fn poll_replies(&mut self, out: &mut Vec<TaskEvent>) -> OmpcResult<()> {
+        while let Some(msg) = self.ctx.events.communicator().try_recv(None, Some(COMPLETION_TAG)) {
+            self.on_notice(&msg.data, out)?;
+        }
         let arrived: Vec<usize> = self
             .pending
             .iter()
+            .filter(|(_, p)| !matches!(p.kind, PendingKind::Target { .. }))
             .filter(|(_, p)| {
                 self.ctx
                     .events
@@ -686,6 +931,9 @@ impl ExecutionBackend for MpiDriver<'_> {
         }
         match self.begin_task(task, node) {
             Ok(Some(pending)) => {
+                if matches!(pending.kind, PendingKind::Target { .. }) {
+                    self.notice_tasks.insert(pending.tag.0, task);
+                }
                 self.pending.insert(task, pending);
             }
             Ok(None) => self.ready.push_back(TaskEvent::Completed(task)),
@@ -693,10 +941,17 @@ impl ExecutionBackend for MpiDriver<'_> {
             // breakdowns: the core owns the propagate-vs-restart policy.
             Err(error) => self.ready.push_back(TaskEvent::Failed { task, error }),
         }
+        if !self.ctx.config.task_train_batching {
+            // Unbatched mode: every car departs alone, immediately — the
+            // wire protocol of the original per-task dispatch.
+            self.flush_trains();
+        }
         Ok(())
     }
 
     fn await_completions(&mut self) -> OmpcResult<Vec<TaskEvent>> {
+        // The dispatch window is closed: every buffered train departs now.
+        self.flush_trains();
         let mut events: Vec<TaskEvent> = self.ready.drain(..).collect();
         // Whatever already arrived rides along without waiting.
         self.poll_replies(&mut events)?;
@@ -710,7 +965,25 @@ impl ExecutionBackend for MpiDriver<'_> {
         }
         let deadline = self.ctx.events.reply_timeout().map(|t| Instant::now() + t);
         loop {
-            std::thread::sleep(PROBE_INTERVAL);
+            let all_noticed =
+                self.pending.values().all(|p| matches!(p.kind, PendingKind::Target { .. }));
+            if all_noticed {
+                // Every outstanding task posts a completion notice: block
+                // on the completion channel (condvar wakeup on arrival) in
+                // deadline-bounded slices.
+                let wait = deadline
+                    .map(|d| d.saturating_duration_since(Instant::now()).min(NOTICE_WAIT_SLICE))
+                    .unwrap_or(NOTICE_WAIT_SLICE);
+                if let Ok(msg) =
+                    self.ctx.events.communicator().recv_timeout(None, Some(COMPLETION_TAG), wait)
+                {
+                    self.on_notice(&msg.data, &mut events)?;
+                }
+            } else {
+                // A data event carries no notice: fall back to the bounded
+                // sleep-poll for its reply channel.
+                std::thread::sleep(PROBE_INTERVAL);
+            }
             self.poll_replies(&mut events)?;
             if !events.is_empty() {
                 return Ok(events);
@@ -727,8 +1000,9 @@ impl ExecutionBackend for MpiDriver<'_> {
     }
 
     fn epilogue(&mut self) -> OmpcResult<()> {
-        // Deferred maintenance that never found a composite-task carrier
-        // is flushed here, once, at the end of the run.
+        // `await_completions` flushed every train before the last
+        // completion, so only deferred maintenance that never found a
+        // composite-task carrier is left to flush here.
         self.flush_pending_deletes()
     }
 
@@ -850,6 +1124,95 @@ mod tests {
         });
         region.run().unwrap();
         assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn host_task_reads_device_written_buffer_without_explicit_flush() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let mut device = ClusterDevice::with_config(2, mpi_config());
+        let bump = device.register_kernel_fn("bump", 1e-5, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+            args.set_f64s(0, &v);
+        });
+        let mut region = device.target_region();
+        let a = region.map_to_f64s(&[41.0]);
+        region.target(bump, vec![Dependence::inout(a)]);
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        // No map_from before the host task: the runtime must flush the
+        // device-latest bytes home on its own before the closure runs.
+        region.host_task(vec![Dependence::input(a)], move |buffers| {
+            let raw = buffers.get(a).unwrap();
+            let bits = u64::from_le_bytes(raw[..8].try_into().unwrap());
+            seen2.store(bits, Ordering::SeqCst);
+        });
+        region.map_from(a);
+        region.run().unwrap();
+        assert_eq!(f64::from_bits(seen.load(Ordering::SeqCst)), 42.0);
+        device.shutdown();
+    }
+
+    #[test]
+    fn host_task_reading_an_exited_buffer_does_not_panic() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        // `map_from` on an ordinary buffer releases its residency entry;
+        // a host task reading it afterwards must use the flushed host copy
+        // instead of asking the data manager for a retrieve source.
+        let mut device = ClusterDevice::with_config(2, mpi_config());
+        let bump = device.register_kernel_fn("bump", 1e-5, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+            args.set_f64s(0, &v);
+        });
+        let mut region = device.target_region();
+        let a = region.map_to_f64s(&[9.0]);
+        region.target(bump, vec![Dependence::inout(a)]);
+        region.map_from(a);
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        region.host_task(vec![Dependence::input(a)], move |buffers| {
+            let raw = buffers.get(a).unwrap();
+            seen2.store(u64::from_le_bytes(raw[..8].try_into().unwrap()), Ordering::SeqCst);
+        });
+        region.run().unwrap();
+        assert_eq!(f64::from_bits(seen.load(Ordering::SeqCst)), 10.0);
+        assert_eq!(device.buffer_f64s(a).unwrap(), vec![10.0]);
+        device.shutdown();
+    }
+
+    #[test]
+    fn task_trains_match_unbatched_dispatch() {
+        let run = |batching: bool| {
+            let mut device = ClusterDevice::with_config(
+                2,
+                OmpcConfig { task_train_batching: batching, ..mpi_config() },
+            );
+            let bump = device.register_kernel_fn("bump", 1e-5, |args| {
+                let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+                args.set_f64s(0, &v);
+            });
+            let mut region = device.target_region();
+            let buffers: Vec<_> = (0..5).map(|i| region.map_to_f64s(&[i as f64])).collect();
+            for &b in &buffers {
+                region.target(bump, vec![Dependence::inout(b)]);
+                region.target(bump, vec![Dependence::inout(b)]);
+            }
+            for &b in &buffers {
+                region.map_from(b);
+            }
+            let report = region.run().unwrap();
+            let values: Vec<Vec<f64>> =
+                buffers.iter().map(|&b| device.buffer_f64s(b).unwrap()).collect();
+            device.shutdown();
+            (report.target_tasks, report.data_events, report.bytes_moved, values)
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "a train is a packaging of the same per-task protocol: results, per-task \
+             event accounting, and bytes moved must not depend on batching"
+        );
     }
 
     #[test]

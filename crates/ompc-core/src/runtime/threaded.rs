@@ -371,8 +371,14 @@ impl RegionContext {
                         // failed retrieval leaves the location state
                         // truthful, so recovery re-sources and retries.
                         let data = self.events.retrieve(from, *buffer)?;
+                        let bytes = data.len() as u64;
                         self.buffers.set(*buffer, data)?;
-                        self.dm.lock().record_retrieve(*buffer);
+                        let mut dm = self.dm.lock();
+                        // A kernel may have resized the device copy; the
+                        // observed size keeps this and later transfer-log
+                        // entries truthful.
+                        dm.observe_size(*buffer, bytes);
+                        dm.record_retrieve(*buffer);
                     }
                 }
                 if keep_resident {
@@ -386,6 +392,33 @@ impl RegionContext {
                 }
             }
             TaskKind::Host { .. } => {
+                // A host task reads through the head's buffer registry, so
+                // every read buffer whose latest version lives on a worker
+                // is flushed home first — the host-side analogue of the
+                // input transfers a target task plans. Graph dependences
+                // order this after the producing task's completion.
+                for dep in &task.dependences {
+                    if !dep.dep_type.reads() {
+                        continue;
+                    }
+                    let from = {
+                        let dm = self.dm.lock();
+                        // A host-only buffer (never mapped to the device)
+                        // has no residency entry and nothing to flush.
+                        if !dm.is_registered(dep.buffer) {
+                            continue;
+                        }
+                        dm.retrieve_source(dep.buffer)
+                    };
+                    if let Some(from) = from {
+                        let data = self.events.retrieve(from, dep.buffer)?;
+                        let bytes = data.len() as u64;
+                        self.buffers.set(dep.buffer, data)?;
+                        let mut dm = self.dm.lock();
+                        dm.observe_size(dep.buffer, bytes);
+                        dm.record_retrieve(dep.buffer);
+                    }
+                }
                 if let Some(f) = self.host_fns.get(&tid) {
                     f(&self.buffers);
                 }

@@ -11,7 +11,9 @@
 //! [`EventRequest::Shutdown`].
 
 use crate::kernel::{KernelArgs, KernelRegistry};
-use crate::protocol::{EventNotification, EventReply, EventRequest, CONTROL_TAG};
+use crate::protocol::{
+    CompletionNotice, EventNotification, EventReply, EventRequest, COMPLETION_TAG, CONTROL_TAG,
+};
 use crate::types::{BufferId, NodeId, OmpcError, OmpcResult};
 use ompc_mpi::{Communicator, Tag};
 use parking_lot::Mutex;
@@ -86,6 +88,13 @@ impl DeviceMemory {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Drop every resident buffer (warm-worker recycling between device
+    /// lifetimes).
+    pub fn clear(&self) {
+        self.buffers.lock().clear();
+        self.arrival.notify_all();
+    }
 }
 
 /// Wrap a handler error as a [`OmpcError::RemoteEvent`] naming this node
@@ -141,10 +150,26 @@ fn event_outcome(
             run_task_steps(channel, memory, kernels, spec, tag)?;
             Ok(Vec::new())
         }
-        EventRequest::ExchangeSend { .. } | EventRequest::Shutdown | EventRequest::Kill => {
-            unreachable!("not a head-replying event")
+        EventRequest::Reset => {
+            memory.clear();
+            Ok(Vec::new())
+        }
+        EventRequest::ExchangeSend { .. }
+        | EventRequest::TaskTrain(_)
+        | EventRequest::Shutdown
+        | EventRequest::Kill => {
+            unreachable!("not a single-reply head event")
         }
     }
+}
+
+/// Post a compact completion notice for a finished (or refused) composite
+/// task to the head's any-source completion channel. Sent strictly *after*
+/// the task's typed reply: sends are eager, so by the time the head drains
+/// the notice the reply is already in its mailbox.
+fn post_completion(comm: &Communicator, tag: Tag, ok: bool) {
+    let notice = CompletionNotice { tag, ok };
+    let _ = comm.send(HEAD_RANK, COMPLETION_TAG, notice.encode());
 }
 
 /// Run `kernel` against the node's device copies of `buffers`.
@@ -249,23 +274,65 @@ pub fn handle_event(
             channel.send(to, tag, reply.encode())?;
             outcome.map(|_| ())
         }
+        EventRequest::TaskTrain(cars) => {
+            // Run the cars strictly in order, replying per car on each
+            // car's own exclusive channel — a failed car replies its typed
+            // error and the train keeps rolling (tasks are independent;
+            // the head's per-task blame machinery decides what a failure
+            // means). The first car error is this handler's own outcome.
+            let mut result = Ok(());
+            for car in cars {
+                let channel = comm.on(car.comm)?;
+                let outcome = run_task_steps(&channel, memory, kernels, car.spec, car.tag);
+                let (reply, ok) = match outcome {
+                    Ok(()) => (EventReply::Ok(Vec::new()), true),
+                    Err(e) => {
+                        let remote = as_remote(node, car.tag, e.clone());
+                        if result.is_ok() {
+                            result = Err(e);
+                        }
+                        (EventReply::Err(remote), false)
+                    }
+                };
+                channel.send(HEAD_RANK, car.tag, reply.encode())?;
+                post_completion(comm, car.tag, ok);
+            }
+            result
+        }
         request => {
+            let is_task = matches!(request, EventRequest::Task(_));
             let outcome = event_outcome(&channel, memory, kernels, request, tag);
             let (reply, result) = match outcome {
                 Ok(payload) => (EventReply::Ok(payload), Ok(())),
                 Err(e) => (EventReply::Err(as_remote(node, tag, e.clone())), Err(e)),
             };
+            let ok = result.is_ok();
             channel.send(HEAD_RANK, tag, reply.encode())?;
+            if is_task {
+                post_completion(comm, tag, ok);
+            }
             result
         }
     }
 }
 
 /// Refuse an event on a killed node: reply with the node's failure instead
-/// of executing anything, so no peer ever blocks on a dead node.
+/// of executing anything, so no peer ever blocks on a dead node. Every car
+/// of a task train is refused individually — the zombie gate answers on
+/// each car's own channel (and completion notice), exactly as it would for
+/// unbatched tasks.
 fn refuse_event(comm: &Communicator, notification: &EventNotification) -> OmpcResult<()> {
-    let channel = comm.on(notification.comm)?;
     let node = comm.rank();
+    if let EventRequest::TaskTrain(cars) = &notification.request {
+        for car in cars {
+            let channel = comm.on(car.comm)?;
+            let error = as_remote(node, car.tag, OmpcError::NodeFailure(node));
+            channel.send(HEAD_RANK, car.tag, EventReply::Err(error).encode())?;
+            post_completion(comm, car.tag, false);
+        }
+        return Ok(());
+    }
+    let channel = comm.on(notification.comm)?;
     let error = as_remote(node, notification.tag, OmpcError::NodeFailure(node));
     let dest = match notification.request {
         // The exchange receiver is the peer waiting on the sending half.
@@ -273,6 +340,9 @@ fn refuse_event(comm: &Communicator, notification: &EventNotification) -> OmpcRe
         _ => HEAD_RANK,
     };
     channel.send(dest, notification.tag, EventReply::Err(error).encode())?;
+    if matches!(notification.request, EventRequest::Task(_)) {
+        post_completion(comm, notification.tag, false);
+    }
     Ok(())
 }
 
@@ -344,6 +414,7 @@ pub fn worker_main(comm: Communicator, kernels: Arc<KernelRegistry>, handler_thr
                     | EventRequest::Delete { .. }
                     | EventRequest::Retrieve { .. }
                     | EventRequest::ExchangeSend { .. }
+                    | EventRequest::Reset
             );
             if inline {
                 let _ = handle_event(&comm, &memory, &kernels, notification);
@@ -604,6 +675,147 @@ mod tests {
         let forwarded = EventReply::decode(&msg.data).unwrap().into_result().unwrap_err();
         assert_eq!(forwarded.origin_node(), Some(1), "the error keeps the sender's attribution");
         assert_eq!(forwarded.root_cause(), &OmpcError::UnknownBuffer(buffer));
+    }
+
+    #[test]
+    fn task_train_replies_per_car_and_posts_notices_in_order() {
+        use crate::protocol::{TaskSpec, TaskStep, TrainCar};
+        let world = World::with_communicators(2, 2);
+        let head = world.communicator(0);
+        let worker = world.communicator(1);
+        let memory = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        let bump = kernels.register_fn("bump", 1e-6, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+            args.set_f64s(0, &v);
+        });
+
+        // Car 1 succeeds; car 2 names an unregistered kernel and fails.
+        let good = TrainCar {
+            tag: Tag(50),
+            comm: CommId(1),
+            spec: TaskSpec {
+                steps: vec![
+                    TaskStep::RecvFromHead { buffer: BufferId(1) },
+                    TaskStep::Execute { kernel: bump, buffers: vec![BufferId(1)] },
+                ],
+            },
+        };
+        let bad = TrainCar {
+            tag: Tag(51),
+            comm: CommId(0),
+            spec: TaskSpec {
+                steps: vec![TaskStep::Execute { kernel: KernelId(99), buffers: vec![] }],
+            },
+        };
+        // The good car's payload travels on the car's own channel.
+        head.on(CommId(1))
+            .unwrap()
+            .send(1, Tag(50), ompc_mpi::typed::f64s_to_bytes(&[1.0]))
+            .unwrap();
+        let err = handle_event(
+            &worker,
+            &memory,
+            &kernels,
+            EventNotification {
+                request: EventRequest::TaskTrain(vec![good, bad]),
+                tag: Tag(50),
+                comm: CommId(1),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, OmpcError::UnknownKernel(KernelId(99)), "first car error is the outcome");
+
+        // Per-car replies on each car's own channel.
+        let ok = head.on(CommId(1)).unwrap().recv(Some(1), Some(Tag(50))).unwrap();
+        assert!(EventReply::decode(&ok.data).unwrap().into_result().is_ok());
+        let bad_reply = head.on(CommId(0)).unwrap().recv(Some(1), Some(Tag(51))).unwrap();
+        let bad_err = EventReply::decode(&bad_reply.data).unwrap().into_result().unwrap_err();
+        assert_eq!(bad_err.origin_node(), Some(1), "blame stays per task inside a train");
+        assert_eq!(bad_err.root_cause(), &OmpcError::UnknownKernel(KernelId(99)));
+        // The failed car did not abort the train: the good car executed.
+        assert_eq!(
+            memory.get(BufferId(1)),
+            Some(ompc_mpi::typed::f64s_to_bytes(&[2.0])),
+            "earlier cars execute regardless of later failures"
+        );
+
+        // Two completion notices, in car order, with per-car outcomes.
+        use crate::protocol::{CompletionNotice, COMPLETION_TAG};
+        let n1 = head.recv(Some(1), Some(COMPLETION_TAG)).unwrap();
+        let n2 = head.recv(Some(1), Some(COMPLETION_TAG)).unwrap();
+        assert_eq!(
+            CompletionNotice::decode(&n1.data).unwrap(),
+            CompletionNotice { tag: Tag(50), ok: true }
+        );
+        assert_eq!(
+            CompletionNotice::decode(&n2.data).unwrap(),
+            CompletionNotice { tag: Tag(51), ok: false }
+        );
+    }
+
+    #[test]
+    fn reset_clears_device_memory_and_replies_ok() {
+        let world = World::new(2);
+        let head = world.communicator(0);
+        let worker = world.communicator(1);
+        let memory = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        memory.store(BufferId(3), vec![1, 2, 3]);
+        handle_event(
+            &worker,
+            &memory,
+            &kernels,
+            EventNotification { request: EventRequest::Reset, tag: Tag(60), comm: CommId(0) },
+        )
+        .unwrap();
+        assert!(memory.is_empty());
+        let msg = head.recv(Some(1), Some(Tag(60))).unwrap();
+        assert!(EventReply::decode(&msg.data).unwrap().into_result().is_ok());
+    }
+
+    #[test]
+    fn killed_worker_refuses_every_train_car_individually() {
+        use crate::protocol::{CompletionNotice, TaskSpec, TaskStep, TrainCar, COMPLETION_TAG};
+        let world = World::with_communicators(2, 2);
+        let head = world.communicator(0);
+        let worker_comm = world.communicator(1);
+        let kernels = Arc::new(KernelRegistry::new());
+        let worker = std::thread::spawn(move || worker_main(worker_comm, kernels, 1));
+
+        let kill = EventNotification { request: EventRequest::Kill, tag: Tag(70), comm: CommId(0) };
+        head.send(1, CONTROL_TAG, kill.encode()).unwrap();
+        let cars: Vec<TrainCar> = [71u64, 72]
+            .iter()
+            .map(|&t| TrainCar {
+                tag: Tag(t),
+                comm: CommId((t % 2) as u32),
+                spec: TaskSpec { steps: vec![TaskStep::Alloc { buffer: BufferId(t), size: 8 }] },
+            })
+            .collect();
+        let train = EventNotification {
+            request: EventRequest::TaskTrain(cars),
+            tag: Tag(71),
+            comm: CommId(1),
+        };
+        head.send(1, CONTROL_TAG, train.encode()).unwrap();
+
+        for tag in [71u64, 72] {
+            let msg =
+                head.on(CommId((tag % 2) as u32)).unwrap().recv(Some(1), Some(Tag(tag))).unwrap();
+            let err = EventReply::decode(&msg.data).unwrap().into_result().unwrap_err();
+            assert_eq!(err.origin_node(), Some(1), "car {tag}");
+            assert_eq!(err.root_cause(), &OmpcError::NodeFailure(1), "car {tag}");
+            let notice = head.recv(Some(1), Some(COMPLETION_TAG)).unwrap();
+            assert_eq!(
+                CompletionNotice::decode(&notice.data).unwrap(),
+                CompletionNotice { tag: Tag(tag), ok: false }
+            );
+        }
+        let shutdown =
+            EventNotification { request: EventRequest::Shutdown, tag: Tag(73), comm: CommId(0) };
+        head.send(1, CONTROL_TAG, shutdown.encode()).unwrap();
+        worker.join().unwrap();
     }
 
     #[test]

@@ -344,6 +344,50 @@ fn mid_sequence_node_death_resources_resident_buffers() {
     });
 }
 
+/// Regression: a kernel that resizes its buffer on the device must not
+/// leave the transfer log carrying the stale mapped size. The first
+/// retrieval of the resized data observes the real byte count before the
+/// record is written, so the `Retrieve` entry logs the bytes that actually
+/// crossed the wire — on both real backends.
+#[test]
+fn resized_device_buffers_log_their_real_transfer_bytes() {
+    with_timeout(WATCHDOG, || {
+        for backend in REAL_BACKENDS {
+            let mut device = ClusterDevice::with_config(2, config_for(backend));
+            let grow = device.register_kernel_fn("grow", 1e-6, |args| {
+                args.set_f64s(0, &[1.0, 2.0, 3.0, 4.0, 5.0]);
+            });
+            let mut region = device.target_region();
+            // Mapped as 2 f64s (16 bytes); the kernel grows it to 5 (40).
+            let a = region.map_to_f64s(&[0.0, 0.0]);
+            region.target(grow, vec![Dependence::inout(a)]);
+            region.map_from(a);
+            region.run().unwrap();
+            assert_eq!(
+                device.buffer_f64s(a).unwrap(),
+                vec![1.0, 2.0, 3.0, 4.0, 5.0],
+                "{}: the resized bytes must land on the host",
+                backend.name()
+            );
+            let record = device.last_run_record().unwrap();
+            let retrieves: Vec<TransferRecord> = record
+                .buffer_transfers(a)
+                .iter()
+                .filter(|t| t.reason == TransferReason::Retrieve)
+                .cloned()
+                .collect();
+            assert!(!retrieves.is_empty(), "{}: map_from must log a retrieval", backend.name());
+            assert!(
+                retrieves.iter().all(|t| t.bytes == 40),
+                "{}: the retrieval must log the resized 40 bytes, got {:?}",
+                backend.name(),
+                retrieves
+            );
+            device.shutdown();
+        }
+    });
+}
+
 /// The region epoch is observable bookkeeping: `enter_data` before any
 /// region stamps epoch 0, and each region execution advances the device's
 /// epoch exactly once (exposed indirectly through transfer records staying
