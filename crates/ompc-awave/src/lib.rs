@@ -37,4 +37,7 @@ pub mod workload;
 pub use rtm::{migrate, rtm_shot, RtmImage, RtmParams, Shot};
 pub use velocity::{ModelKind, VelocityModel};
 pub use wave::{propagate, ricker_wavelet, PropagationParams, WaveField};
-pub use workload::{awave_workload, estimate_shot_cost, run_shots_on_cluster, AwaveWorkloadConfig};
+pub use workload::{
+    awave_workload, estimate_shot_cost, run_shots_on_cluster, run_shots_resident,
+    run_shots_resident_traced, AwaveWorkloadConfig,
+};

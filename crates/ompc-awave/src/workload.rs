@@ -6,6 +6,7 @@ use crate::rtm::{rtm_shot, RtmImage, RtmParams, Shot};
 use crate::velocity::VelocityModel;
 use ompc_core::cluster::ClusterDevice;
 use ompc_core::model::WorkloadGraph;
+use ompc_core::runtime::RunRecord;
 use ompc_core::types::{Dependence, OmpcResult};
 use ompc_sched::TaskGraph;
 use std::sync::Arc;
@@ -151,6 +152,22 @@ pub fn run_shots_resident(
     shots: &[Shot],
     params: &RtmParams,
 ) -> OmpcResult<(RtmImage, usize)> {
+    let (image, transfers, _) = run_shots_resident_traced(device, model, shots, params)?;
+    Ok((image, transfers))
+}
+
+/// [`run_shots_resident`] with the per-region [`RunRecord`]s kept: the
+/// survey executes one region per shot, so the records — and the telemetry
+/// spans inside them when the device runs at `TelemetryLevel::Spans` —
+/// would otherwise be lost to the next region's run. The spans of all
+/// records share one monotonic clock, so `ompc-bench` concatenates them
+/// into a single survey-wide timeline.
+pub fn run_shots_resident_traced(
+    device: &ClusterDevice,
+    model: &VelocityModel,
+    shots: &[Shot],
+    params: &RtmParams,
+) -> OmpcResult<(RtmImage, usize, Vec<RunRecord>)> {
     let params = Arc::new(params.clone());
     let cost = estimate_shot_cost(model.nx, model.nz, params.nt);
     let kernel = {
@@ -171,6 +188,7 @@ pub fn run_shots_resident(
     let (nx, nz) = (model.nx, model.nz);
     let mut stacked = RtmImage::zeros(nx, nz);
     let mut model_transfers = 0usize;
+    let mut records = Vec::with_capacity(shots.len());
     for shot in shots {
         let mut region = device.target_region();
         let desc = region
@@ -190,13 +208,14 @@ pub fn run_shots_resident(
         region.run()?;
         if let Some(record) = device.last_run_record() {
             model_transfers += record.buffer_transfers(model_buffer).len();
+            records.push(record);
         }
         let values = device.buffer_f64s(image)?;
         stacked.stack(&RtmImage { nx, nz, values });
     }
     // End the unstructured mapping: release the model's device copies.
     device.exit_data(model_buffer)?;
-    Ok((stacked, model_transfers))
+    Ok((stacked, model_transfers, records))
 }
 
 #[cfg(test)]

@@ -1,0 +1,92 @@
+//! The runtime-telemetry figure: the Awave resident survey on both real
+//! backends at `TelemetryLevel::Spans`. Writes one Chrome trace-event
+//! timeline per backend (`results/trace_threaded.json`,
+//! `results/trace_mpi.json` — load them in Perfetto or `chrome://tracing`)
+//! plus the per-phase overhead attribution
+//! (`results/overhead_attribution.json`), and validates every exported
+//! trace before exiting — CI runs this as the telemetry gate.
+//!
+//! Usage: `cargo run --release -p ompc-bench --bin telemetry [--smoke]`
+//!
+//! `--smoke` shrinks the survey for CI; the timeline keeps every phase.
+
+use ompc_bench::{
+    attribution_json, render_table, run_telemetry, telemetry_trace, validate_chrome_trace,
+    TelemetrySurvey,
+};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let survey = if smoke { TelemetrySurvey::smoke() } else { TelemetrySurvey::full() };
+
+    eprintln!(
+        "# Runtime telemetry: {} shots of a {}x{} Sigsbee-like survey, nt={}, {} workers",
+        survey.shots, survey.nx, survey.nz, survey.nt, survey.workers
+    );
+    let rows = run_telemetry(survey);
+
+    let header = vec![
+        "backend".to_string(),
+        "spans".to_string(),
+        "sched %".to_string(),
+        "serial %".to_string(),
+        "wire %".to_string(),
+        "compute %".to_string(),
+        "wall (ms)".to_string(),
+    ];
+    let pct = |us: u64, a: &ompc_core::prelude::Attribution| {
+        let busy = a.scheduling_us + a.serialization_us + a.wire_us + a.compute_us;
+        if busy == 0 {
+            0.0
+        } else {
+            100.0 * us as f64 / busy as f64
+        }
+    };
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let a = &r.attribution;
+            vec![
+                r.backend.name().to_string(),
+                r.spans.len().to_string(),
+                format!("{:.1}", pct(a.scheduling_us, a)),
+                format!("{:.1}", pct(a.serialization_us, a)),
+                format!("{:.1}", pct(a.wire_us, a)),
+                format!("{:.1}", pct(a.compute_us, a)),
+                format!("{:.1}", a.wall_us as f64 / 1000.0),
+            ]
+        })
+        .collect();
+    println!();
+    print!("{}", render_table(&header, &table));
+
+    std::fs::create_dir_all("results").ok();
+    for row in &rows {
+        let trace = telemetry_trace(row);
+        let durations = match validate_chrome_trace(&trace) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("{} trace failed validation: {e}", row.backend.name());
+                std::process::exit(1);
+            }
+        };
+        let path = format!("results/trace_{}.json", row.backend.name());
+        std::fs::write(&path, trace).expect("write trace");
+        eprintln!("wrote {path} ({durations} duration events)");
+    }
+    let doc = attribution_json(&rows, survey);
+    std::fs::write("results/overhead_attribution.json", doc).expect("write attribution");
+    eprintln!("wrote results/overhead_attribution.json");
+
+    for row in &rows {
+        if row.attribution.compute_share() <= 0.5 {
+            eprintln!(
+                "{}: compute share {:.2} does not dominate — telemetry gate failed",
+                row.backend.name(),
+                row.attribution.compute_share()
+            );
+            std::process::exit(1);
+        }
+    }
+    eprintln!("compute share dominates on both backends — telemetry gate passed");
+}

@@ -27,6 +27,10 @@
 //! * [`run_hotpath_overhead`] / [`run_warm_startup`] — the MPI hot-path
 //!   figure: the same wide graph with task-train batching on and off, and
 //!   the warm-pool start-up share of a tiny run, cold vs warm.
+//! * [`run_telemetry`] — the real-backend Fig. 7(a): the Awave resident
+//!   survey on both real backends at `TelemetryLevel::Spans`, exporting
+//!   Chrome trace-event timelines and the per-phase overhead attribution
+//!   (`results/overhead_attribution.json`).
 //!
 //! Each function returns plain records (serializable with serde) so the
 //! `fig5` … `ablation` binaries can print the same rows the paper plots and
@@ -39,6 +43,7 @@ pub mod hotpath;
 pub mod report;
 pub mod residency;
 pub mod runtimes;
+pub mod telemetry;
 
 pub use ablation::{run_ablation, AblationRow};
 pub use fault::{run_fault_overhead, FaultRow};
@@ -55,3 +60,7 @@ pub use residency::{
     run_backend_overhead, run_residency, BackendOverheadRow, MappingMode, ResidencyRow,
 };
 pub use runtimes::{run_all_runtimes, RuntimeKind, RuntimeMeasurement};
+pub use telemetry::{
+    attribution_json, run_telemetry, telemetry_trace, validate_chrome_trace, TelemetryRow,
+    TelemetrySurvey,
+};

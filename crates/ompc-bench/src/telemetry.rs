@@ -1,0 +1,192 @@
+//! The runtime-telemetry figure: the real-backend analogue of Fig. 7(a).
+//!
+//! The simulated runtime always had a Gantt-capable trace; the real
+//! backends gained one in the telemetry subsystem
+//! (`ompc_core::runtime::telemetry`). This figure runs the Awave resident
+//! survey — the §6 showcase workload — on **both** real backends at
+//! `TelemetryLevel::Spans`, concatenates the per-region span timelines
+//! (all regions share one monotonic clock), and derives:
+//!
+//! * a Chrome trace-event JSON timeline per backend
+//!   (`results/trace_threaded.json`, `results/trace_mpi.json`), loadable
+//!   in Perfetto or `chrome://tracing`;
+//! * the per-phase overhead attribution — scheduling vs serialization vs
+//!   wire vs compute vs idle — written to
+//!   `results/overhead_attribution.json` with the acceptance gate's
+//!   headline number: compute share dominates on the stencil-style RTM
+//!   kernel bodies.
+
+use ompc_awave::workload::run_shots_resident_traced;
+use ompc_awave::{migrate, ModelKind, RtmParams, Shot, VelocityModel};
+use ompc_core::prelude::*;
+use ompc_json::Json;
+
+/// One backend's telemetry harvest from the survey.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryRow {
+    /// Backend measured (threaded or mpi).
+    pub backend: BackendKind,
+    /// Shots migrated (= regions executed).
+    pub shots: usize,
+    /// The concatenated survey-wide span timeline.
+    pub spans: Vec<Span>,
+    /// Per-phase attribution over the whole survey.
+    pub attribution: Attribution,
+    /// Length of the longest time-respecting span chain.
+    pub critical_path_len: usize,
+}
+
+/// Problem dimensions of the measured survey.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySurvey {
+    /// Grid width of the synthetic Sigsbee-like model.
+    pub nx: usize,
+    /// Grid depth.
+    pub nz: usize,
+    /// Time steps per propagation.
+    pub nt: usize,
+    /// Number of shots (one region each).
+    pub shots: usize,
+    /// Worker nodes.
+    pub workers: usize,
+}
+
+impl TelemetrySurvey {
+    /// The CI-sized survey: small enough for a smoke run, large enough
+    /// that kernel bodies dominate the timeline.
+    pub fn smoke() -> Self {
+        Self { nx: 32, nz: 32, nt: 80, shots: 3, workers: 2 }
+    }
+
+    /// The full figure: more shots and a deeper propagation.
+    pub fn full() -> Self {
+        Self { nx: 48, nz: 48, nt: 160, shots: 6, workers: 2 }
+    }
+}
+
+/// Run the resident survey on one real backend at `Spans` level and
+/// harvest the concatenated timeline. The stacked image is checked against
+/// the sequential reference, so the figure doubles as an equivalence test:
+/// telemetry is observational even under the real RTM workload.
+fn harvest(backend: BackendKind, survey: TelemetrySurvey) -> TelemetryRow {
+    let model = VelocityModel::generate(ModelKind::SigsbeeLike, survey.nx, survey.nz, 20.0);
+    let params = RtmParams { nt: survey.nt, snapshot_every: 4, smoothing_passes: 2 };
+    let shots: Vec<Shot> = (0..survey.shots)
+        .map(|s| Shot { source_x: (s + 1) * survey.nx / (survey.shots + 1), source_z: 2 })
+        .collect();
+    let sequential = migrate(&model, &shots, &params);
+
+    let config = OmpcConfig { backend, telemetry: TelemetryLevel::Spans, ..OmpcConfig::small() };
+    let mut device = ClusterDevice::with_config(survey.workers, config);
+    let (image, _, records) =
+        run_shots_resident_traced(&device, &model, &shots, &params).expect("survey run");
+    device.shutdown();
+
+    for (a, b) in image.values.iter().zip(&sequential.values) {
+        assert!(
+            (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+            "{backend:?}: traced survey diverged from the sequential reference"
+        );
+    }
+
+    let spans: Vec<Span> = records.into_iter().flat_map(|r| r.spans).collect();
+    let attribution = overhead_attribution(&spans);
+    let critical_path_len = critical_path(&spans).len();
+    TelemetryRow { backend, shots: shots.len(), spans, attribution, critical_path_len }
+}
+
+/// The telemetry figure: the same survey on both real backends.
+pub fn run_telemetry(survey: TelemetrySurvey) -> Vec<TelemetryRow> {
+    [BackendKind::Threaded, BackendKind::Mpi].into_iter().map(|b| harvest(b, survey)).collect()
+}
+
+/// Render one backend's Chrome trace-event export.
+pub fn telemetry_trace(row: &TelemetryRow) -> String {
+    let label = format!("awave resident survey ({})", row.backend.name());
+    chrome_trace(&row.spans, &label).to_string_pretty()
+}
+
+/// Render the `results/overhead_attribution.json` document: per-backend
+/// phase totals and shares over the same survey.
+pub fn attribution_json(rows: &[TelemetryRow], survey: TelemetrySurvey) -> String {
+    Json::obj([
+        ("workload", Json::str("awave resident survey (Sigsbee-like)")),
+        ("nx", Json::usize(survey.nx)),
+        ("nz", Json::usize(survey.nz)),
+        ("nt", Json::usize(survey.nt)),
+        ("shots", Json::usize(survey.shots)),
+        ("workers", Json::usize(survey.workers)),
+        (
+            "backends",
+            Json::Arr(
+                rows.iter()
+                    .map(|row| {
+                        Json::obj([
+                            ("backend", Json::str(row.backend.name())),
+                            ("spans", Json::usize(row.spans.len())),
+                            ("critical_path_len", Json::usize(row.critical_path_len)),
+                            ("attribution", row.attribution.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string_pretty()
+}
+
+/// Validate an exported Chrome trace: parses as JSON and carries a
+/// non-empty `traceEvents` array with at least one duration event. The CI
+/// smoke run calls this on both backends' exports.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = Json::parse(text).map_err(|e| format!("trace is not valid JSON: {e:?}"))?;
+    let events =
+        doc.get("traceEvents").and_then(Json::as_array).ok_or("trace has no traceEvents array")?;
+    let durations =
+        events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).count();
+    if durations == 0 {
+        return Err("trace has no duration events".to_string());
+    }
+    Ok(durations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_figure_covers_both_backends_and_compute_dominates() {
+        let survey = TelemetrySurvey { nx: 24, nz: 24, nt: 40, shots: 2, workers: 2 };
+        let rows = run_telemetry(survey);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(!row.spans.is_empty(), "{:?}: the survey records spans", row.backend);
+            assert!(row.critical_path_len > 0);
+            assert!(
+                row.attribution.compute_share() > 0.5,
+                "{:?}: RTM kernel bodies dominate the timeline ({:?})",
+                row.backend,
+                row.attribution
+            );
+            let wire = [SpanPhase::Serialize, SpanPhase::EnterData, SpanPhase::ExitData];
+            assert!(
+                row.spans.iter().any(|s| wire.contains(&s.phase)),
+                "{:?}: the survey records data-path spans",
+                row.backend
+            );
+            let trace = telemetry_trace(row);
+            let durations = validate_chrome_trace(&trace).expect("valid Chrome trace");
+            assert!(durations > 0);
+        }
+        let doc = attribution_json(&rows, survey);
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("backends").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn trace_validation_rejects_junk() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents": []}"#).is_err());
+    }
+}

@@ -18,6 +18,7 @@ use crate::model::WorkloadGraph;
 use crate::protocol::COMPLETION_TAG;
 use crate::region::TargetRegion;
 use crate::runtime::fault::{FaultPlan, FaultState};
+use crate::runtime::telemetry::{monotonic_us, Span, SpanPhase, Telemetry};
 use crate::runtime::{
     HeadWorkerPool, MpiBackend, ResidencyMap, RunRecord, RuntimeCore, RuntimePlan, ThreadedBackend,
 };
@@ -119,6 +120,10 @@ pub struct ClusterDevice {
     last_record: Mutex<Option<RunRecord>>,
     /// Lazily registered no-op kernel shared by every `run_workload` call.
     workload_kernel: std::sync::OnceLock<KernelId>,
+    /// Device-owned span recorder, built from [`OmpcConfig::telemetry`].
+    /// Spans accumulate here during a run and are drained into that run's
+    /// [`RunRecord::spans`]; at the Off level it never reads a clock.
+    telemetry: Arc<Telemetry>,
     shut_down: bool,
 }
 
@@ -177,6 +182,7 @@ impl ClusterDevice {
         let pool = HeadWorkerPool::with_idle_timeout(
             config.pool_idle_timeout_ms.map(std::time::Duration::from_millis),
         );
+        let telemetry = Telemetry::new(config.telemetry);
         Self {
             world: Some(world),
             kernels,
@@ -190,6 +196,7 @@ impl ClusterDevice {
             report: Mutex::new(DeviceReport { startup_time, ..DeviceReport::default() }),
             last_record: Mutex::new(None),
             workload_kernel: std::sync::OnceLock::new(),
+            telemetry,
             shut_down: false,
         }
     }
@@ -315,8 +322,17 @@ impl ClusterDevice {
             dm.retrieve_source(buffer)
         };
         if let Some(from) = from {
+            let t0 = self.telemetry.start();
             let data = self.events.retrieve(from, buffer)?;
             let bytes = data.len() as u64;
+            if self.telemetry.spans_enabled() {
+                self.telemetry.record(
+                    Span::new(SpanPhase::HostFlush, HEAD_NODE, t0, monotonic_us())
+                        .bytes(bytes)
+                        .from(from)
+                        .detail("lazy host flush"),
+                );
+            }
             self.buffers.set(buffer, data)?;
             let mut dm = self.dm.lock();
             // A kernel may have resized the device copy; the observed size
@@ -488,6 +504,7 @@ impl ClusterDevice {
         }
         let graph = Arc::new(graph);
         let sched_start = Instant::now();
+        let sched_t0 = self.telemetry.start();
         // Plan over the workers that are still alive: a node declared
         // failed in an earlier region stays excommunicated for the rest of
         // the device lifetime.
@@ -532,6 +549,12 @@ impl ClusterDevice {
             window: self.config.inflight_window(),
         };
         let schedule_time = sched_start.elapsed();
+        if self.telemetry.spans_enabled() {
+            self.telemetry.record(
+                Span::new(SpanPhase::Schedule, HEAD_NODE, sched_t0, monotonic_us())
+                    .detail(format!("{} task(s), {} alive worker(s)", graph.len(), alive.len())),
+            );
+        }
 
         let data_before = self.events.counters().data_events.load(Ordering::Relaxed);
         let bytes_before = self.events.counters().bytes_moved.load(Ordering::Relaxed);
@@ -612,6 +635,7 @@ impl ClusterDevice {
             Some(faults) => RuntimeCore::with_faults(graph.as_ref(), plan, faults),
             None => RuntimeCore::new(graph.as_ref(), plan),
         };
+        core.set_telemetry(Arc::clone(&self.telemetry));
         let result = match self.config.backend {
             BackendKind::Threaded => {
                 let backend = ThreadedBackend::new(
@@ -622,6 +646,7 @@ impl ClusterDevice {
                     graph,
                     host_fns,
                     &self.config,
+                    Arc::clone(&self.telemetry),
                 );
                 backend.execute(&mut core)
             }
@@ -633,6 +658,7 @@ impl ClusterDevice {
                     graph,
                     host_fns,
                     &self.config,
+                    Arc::clone(&self.telemetry),
                 );
                 backend.execute(&mut core)
             }
@@ -648,6 +674,11 @@ impl ClusterDevice {
         // back — those entries were withdrawn); attach them so residency
         // wins are assertable per run.
         record.transfers = self.dm.lock().take_transfer_log();
+        // Drain the spans this run produced (head-side scheduling and
+        // data-path spans plus worker stamps shipped home in the replies)
+        // so each record owns exactly its own timeline. Empty unless the
+        // device runs at `TelemetryLevel::Spans`.
+        record.spans = self.telemetry.take_spans();
         *self.last_record.lock() = Some(record.clone());
         result?;
         Ok(record)
@@ -902,6 +933,91 @@ mod tests {
                 let _ = handle.join();
             }
         }
+    }
+
+    #[test]
+    fn warm_pool_soak_reuses_one_pool_and_never_parks_after_a_failure() {
+        use crate::runtime::fault::FaultPlan;
+        // A key no other test in the process uses: 3 workers × 9
+        // communicators. Every lifetime below adopts (or parks into) this
+        // slot and no other.
+        let config =
+            OmpcConfig { warm_worker_keepalive: true, num_communicators: 9, ..OmpcConfig::small() };
+        let key = warm_key(3, &config);
+        let parked = |key: &WarmKey| WARM_WORKERS.lock().iter().filter(|(k, _)| k == key).count();
+        let before = parked(&key);
+
+        // Soak: four adopt/run/park cycles over the *same* pool. Each
+        // lifetime re-registers its kernels and must see ids restart from
+        // 0 (the adoption reset), and each run must compute correctly on
+        // the recycled device memories.
+        for round in 0..4u32 {
+            let mut device = ClusterDevice::with_config(3, config.clone());
+            if round > 0 {
+                assert_eq!(parked(&key), before, "round {round} adopted the parked pool");
+            }
+            let bump = device.register_kernel_fn("bump", 1e-6, |args| {
+                let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+                args.set_f64s(0, &v);
+            });
+            let scale = device.register_kernel_fn("scale", 1e-6, |args| {
+                let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x * 3.0).collect();
+                args.set_f64s(0, &v);
+            });
+            assert_eq!(
+                (bump, scale),
+                (KernelId(0), KernelId(1)),
+                "round {round}: kernel ids restart from 0 like a cold start"
+            );
+            let mut region = device.target_region();
+            let a = region.map_to_f64s(&[f64::from(round)]);
+            region.target(bump, vec![Dependence::inout(a)]);
+            region.target(scale, vec![Dependence::inout(a)]);
+            region.map_from(a);
+            region.run().unwrap();
+            assert_eq!(device.buffer_f64s(a).unwrap(), vec![(f64::from(round) + 1.0) * 3.0]);
+            device.shutdown();
+            assert_eq!(parked(&key), before + 1, "round {round} parked the pool again");
+        }
+
+        // A mid-lifetime node failure disqualifies the pool: the adopting
+        // device survives the failure (recovery re-executes the lost work)
+        // but its shutdown must join the workers cold, not park them.
+        {
+            let fail_config = OmpcConfig {
+                fault_plan: FaultPlan::none().fail_after_completions(1, 1),
+                ..config.clone()
+            };
+            let mut device = ClusterDevice::with_config(3, fail_config);
+            assert_eq!(parked(&key), before, "the faulting lifetime adopted the parked pool");
+            let bump = device.register_kernel_fn("bump", 1e-6, |args| {
+                let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+                args.set_f64s(0, &v);
+            });
+            let mut region = device.target_region();
+            let buffers: Vec<BufferId> = (0..6).map(|i| region.map_to_f64s(&[i as f64])).collect();
+            for &b in &buffers {
+                region.target(bump, vec![Dependence::inout(b)]);
+            }
+            for &b in &buffers {
+                region.map_from(b);
+            }
+            region.run().unwrap();
+            for (i, &b) in buffers.iter().enumerate() {
+                assert_eq!(device.buffer_f64s(b).unwrap(), vec![i as f64 + 1.0]);
+            }
+            assert!(
+                !device.last_run_record().unwrap().failures.is_empty(),
+                "the injected failure fired mid-lifetime"
+            );
+            assert_eq!(device.alive_workers(), vec![2, 3]);
+            device.shutdown();
+            assert_eq!(parked(&key), before, "a pool that saw a node failure is never parked");
+        }
+
+        // Leave the process as we found it (the failed pool was already
+        // joined cold; nothing should be left under this key).
+        assert_eq!(parked(&key), before);
     }
 
     #[test]

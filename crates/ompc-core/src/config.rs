@@ -2,6 +2,7 @@
 //! model used by the simulated runtime.
 
 use crate::runtime::fault::FaultPlan;
+use crate::runtime::telemetry::TelemetryLevel;
 use ompc_sched::{EagerScheduler, HeftScheduler, MinMinScheduler, RoundRobinScheduler, Scheduler};
 use ompc_sim::SimTime;
 
@@ -195,10 +196,20 @@ pub struct OmpcConfig {
     /// threads) adopt them instead of spawning fresh ones — amortizing the
     /// fig. 7(a) startup share across runs. Workers are reset (device
     /// memory cleared, counters zeroed) between lifetimes, and a device
-    /// that saw any node failure is never parked. Disabled by default:
-    /// tests that count spawned threads or inject faults expect cold
-    /// workers unless they opt in.
+    /// that saw any node failure is never parked — a failed pool is torn
+    /// down cold. Enabled by default; disable for tests that count spawned
+    /// threads across device lifetimes.
     pub warm_worker_keepalive: bool,
+    /// How much the runtime records about its own execution (see
+    /// [`crate::runtime::telemetry`]). [`TelemetryLevel::Off`] (the
+    /// default) reaches no clock read and leaves
+    /// [`crate::runtime::RunRecord::spans`] empty;
+    /// [`TelemetryLevel::Spans`] records the full per-task lifecycle span
+    /// stream on both real backends, exportable as a Chrome-trace timeline
+    /// and foldable into an overhead attribution. Spans are observational:
+    /// dispatch orders, completion orders, and transfer plans are identical
+    /// at every level.
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for OmpcConfig {
@@ -223,7 +234,8 @@ impl Default for OmpcConfig {
             event_reply_timeout_ms: None,
             pool_idle_timeout_ms: None,
             task_train_batching: true,
-            warm_worker_keepalive: false,
+            warm_worker_keepalive: true,
+            telemetry: TelemetryLevel::Off,
         }
     }
 }
@@ -249,7 +261,8 @@ impl OmpcConfig {
             event_reply_timeout_ms: Some(60_000),
             pool_idle_timeout_ms: None,
             task_train_batching: true,
-            warm_worker_keepalive: false,
+            warm_worker_keepalive: true,
+            telemetry: TelemetryLevel::Off,
         }
     }
 
@@ -348,11 +361,14 @@ mod tests {
         // The idle reaper is opt-in.
         assert_eq!(OmpcConfig::default().pool_idle_timeout_ms, None);
         assert_eq!(OmpcConfig::small().pool_idle_timeout_ms, None);
-        // Task-train batching is on by default; warm workers are opt-in.
+        // Task-train batching and warm-worker keepalive are on by default.
         assert!(OmpcConfig::default().task_train_batching);
         assert!(OmpcConfig::small().task_train_batching);
-        assert!(!OmpcConfig::default().warm_worker_keepalive);
-        assert!(!OmpcConfig::small().warm_worker_keepalive);
+        assert!(OmpcConfig::default().warm_worker_keepalive);
+        assert!(OmpcConfig::small().warm_worker_keepalive);
+        // Telemetry is off by default: no clock reads, empty span streams.
+        assert_eq!(OmpcConfig::default().telemetry, crate::runtime::TelemetryLevel::Off);
+        assert_eq!(OmpcConfig::small().telemetry, crate::runtime::TelemetryLevel::Off);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! that died without answering), every wait is additionally bounded by
 //! [`crate::config::OmpcConfig::event_reply_timeout_ms`].
 
-use crate::protocol::{EventNotification, EventReply, EventRequest, CONTROL_TAG, FIRST_EVENT_TAG};
+use crate::protocol::{
+    EventNotification, EventReply, EventRequest, TaskStamps, CONTROL_TAG, FIRST_EVENT_TAG,
+};
 use crate::types::{BufferId, KernelId, NodeId, OmpcResult};
 use ompc_mpi::{CommId, Communicator, Tag};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,12 +78,23 @@ impl EventSystem {
     /// as decoded [`crate::types::OmpcError::RemoteEvent`] values; a timed-out or
     /// undeliverable reply is a [`crate::types::OmpcError::Communication`].
     fn await_reply(&self, node: NodeId, tag: Tag, comm: CommId) -> OmpcResult<Vec<u8>> {
+        self.await_reply_timed(node, tag, comm).map(|(payload, _)| payload)
+    }
+
+    /// [`EventSystem::await_reply`], preserving the worker-side telemetry
+    /// stamps of a timed reply (`None` for ordinary replies).
+    fn await_reply_timed(
+        &self,
+        node: NodeId,
+        tag: Tag,
+        comm: CommId,
+    ) -> OmpcResult<(Vec<u8>, Option<TaskStamps>)> {
         let channel = self.comm.on(comm)?;
         let msg = match self.reply_timeout {
             Some(timeout) => channel.recv_timeout(Some(node), Some(tag), timeout)?,
             None => channel.recv(Some(node), Some(tag))?,
         };
-        EventReply::decode(&msg.data)?.into_result()
+        EventReply::decode(&msg.data)?.into_timed_result()
     }
 
     /// Traffic counters (events issued, data events, bytes).
@@ -126,6 +139,7 @@ impl EventSystem {
                 request: EventRequest::Alloc { buffer, size: size as u64 },
                 tag,
                 comm,
+                timed: false,
             },
         )?;
         self.await_reply(node, tag, comm)?;
@@ -138,7 +152,12 @@ impl EventSystem {
         let (tag, comm) = self.open_channel();
         self.notify(
             node,
-            &EventNotification { request: EventRequest::Delete { buffer }, tag, comm },
+            &EventNotification {
+                request: EventRequest::Delete { buffer },
+                tag,
+                comm,
+                timed: false,
+            },
         )?;
         self.await_reply(node, tag, comm)?;
         self.counters.record(None);
@@ -152,7 +171,12 @@ impl EventSystem {
         let bytes = data.len() as u64;
         self.notify(
             node,
-            &EventNotification { request: EventRequest::Submit { buffer }, tag, comm },
+            &EventNotification {
+                request: EventRequest::Submit { buffer },
+                tag,
+                comm,
+                timed: false,
+            },
         )?;
         self.comm.on(comm)?.send(node, tag, data)?;
         self.await_reply(node, tag, comm)?;
@@ -165,7 +189,12 @@ impl EventSystem {
         let (tag, comm) = self.open_channel();
         self.notify(
             node,
-            &EventNotification { request: EventRequest::Retrieve { buffer }, tag, comm },
+            &EventNotification {
+                request: EventRequest::Retrieve { buffer },
+                tag,
+                comm,
+                timed: false,
+            },
         )?;
         let data = self.await_reply(node, tag, comm)?;
         self.counters.record(Some(data.len() as u64));
@@ -182,11 +211,21 @@ impl EventSystem {
         let (tag, comm) = self.open_channel();
         self.notify(
             to,
-            &EventNotification { request: EventRequest::ExchangeRecv { buffer, from }, tag, comm },
+            &EventNotification {
+                request: EventRequest::ExchangeRecv { buffer, from },
+                tag,
+                comm,
+                timed: false,
+            },
         )?;
         self.notify(
             from,
-            &EventNotification { request: EventRequest::ExchangeSend { buffer, to }, tag, comm },
+            &EventNotification {
+                request: EventRequest::ExchangeSend { buffer, to },
+                tag,
+                comm,
+                timed: false,
+            },
         )?;
         let ack = self.await_reply(to, tag, comm)?;
         let bytes =
@@ -205,14 +244,34 @@ impl EventSystem {
         kernel: KernelId,
         buffers: Vec<BufferId>,
     ) -> OmpcResult<()> {
+        self.execute_timed(node, kernel, buffers, false).map(|_| ())
+    }
+
+    /// [`EventSystem::execute`] with the notification's `timed` flag under
+    /// caller control: with `timed`, the worker captures its receive /
+    /// dependence-wait / kernel timestamps and the reply carries them back
+    /// ([`TaskStamps`]). With `timed = false` this is byte-identical to
+    /// [`EventSystem::execute`] and the worker reads no clock.
+    pub fn execute_timed(
+        &self,
+        node: NodeId,
+        kernel: KernelId,
+        buffers: Vec<BufferId>,
+        timed: bool,
+    ) -> OmpcResult<Option<TaskStamps>> {
         let (tag, comm) = self.open_channel();
         self.notify(
             node,
-            &EventNotification { request: EventRequest::Execute { kernel, buffers }, tag, comm },
+            &EventNotification {
+                request: EventRequest::Execute { kernel, buffers },
+                tag,
+                comm,
+                timed,
+            },
         )?;
-        self.await_reply(node, tag, comm)?;
+        let (_, stamps) = self.await_reply_timed(node, tag, comm)?;
         self.counters.record(None);
-        Ok(())
+        Ok(stamps)
     }
 
     /// Clear `node`'s device memory and wait for the acknowledgement —
@@ -220,7 +279,10 @@ impl EventSystem {
     /// an adopted worker pool starts from an empty device state.
     pub fn reset(&self, node: NodeId) -> OmpcResult<()> {
         let (tag, comm) = self.open_channel();
-        self.notify(node, &EventNotification { request: EventRequest::Reset, tag, comm })?;
+        self.notify(
+            node,
+            &EventNotification { request: EventRequest::Reset, tag, comm, timed: false },
+        )?;
         self.await_reply(node, tag, comm)?;
         Ok(())
     }
@@ -239,14 +301,20 @@ impl EventSystem {
     /// just declared dead.
     pub fn kill(&self, node: NodeId) -> OmpcResult<()> {
         let (tag, comm) = self.open_channel();
-        self.notify(node, &EventNotification { request: EventRequest::Kill, tag, comm })?;
+        self.notify(
+            node,
+            &EventNotification { request: EventRequest::Kill, tag, comm, timed: false },
+        )?;
         Ok(())
     }
 
     /// Tell `node` to leave its gate loop and terminate.
     pub fn shutdown(&self, node: NodeId) -> OmpcResult<()> {
         let (tag, comm) = self.open_channel();
-        self.notify(node, &EventNotification { request: EventRequest::Shutdown, tag, comm })?;
+        self.notify(
+            node,
+            &EventNotification { request: EventRequest::Shutdown, tag, comm, timed: false },
+        )?;
         Ok(())
     }
 }

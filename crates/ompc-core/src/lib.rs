@@ -89,9 +89,10 @@ pub mod prelude {
     pub use crate::model::WorkloadGraph;
     pub use crate::region::TargetRegion;
     pub use crate::runtime::{
+        chrome_trace, clock_reads, critical_path, overhead_attribution, Attribution,
         ExecutionBackend, FailureRecord, FaultPlan, FaultTrigger, HeadWorkerPool, MpiBackend,
-        ReplanEntry, ResidencyMap, RunRecord, RuntimeCore, RuntimePlan, SimBackend, TaskEvent,
-        ThreadedBackend,
+        ReplanEntry, ResidencyMap, RunRecord, RuntimeCore, RuntimePlan, SimBackend, Span,
+        SpanPhase, TaskEvent, Telemetry, TelemetryLevel, ThreadedBackend,
     };
     pub use crate::sim_runtime::{
         sim_plan, simulate_ompc, simulate_ompc_outcome, simulate_ompc_outcome_traced,

@@ -174,7 +174,12 @@ pub enum TaskStep {
 ///         TaskStep::Execute { kernel: KernelId(0), buffers: vec![BufferId(1), BufferId(2)] },
 ///     ],
 /// };
-/// let n = EventNotification { request: EventRequest::Task(spec), tag: Tag(7), comm: CommId(0) };
+/// let n = EventNotification {
+///     request: EventRequest::Task(spec),
+///     tag: Tag(7),
+///     comm: CommId(0),
+///     timed: false,
+/// };
 /// assert_eq!(EventNotification::decode(&n.encode()).unwrap(), n);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -193,6 +198,13 @@ pub struct EventNotification {
     pub tag: Tag,
     /// Communicator all messages of this event travel on.
     pub comm: CommId,
+    /// Whether the destination should capture telemetry timestamps while
+    /// handling this event and ship them home in the reply (see
+    /// [`TaskStamps`] / [`EventReply::OkTimed`]). Cars of an
+    /// [`EventRequest::TaskTrain`] inherit the train envelope's flag. The
+    /// worker reads no clock when this is `false`, keeping
+    /// telemetry-off runs free of clock syscalls.
+    pub timed: bool,
 }
 
 struct Writer(Vec<u8>);
@@ -358,6 +370,7 @@ impl EventNotification {
         let mut w = Writer::new();
         w.u64(self.tag.0);
         w.u32(self.comm.0);
+        w.u8(self.timed as u8);
         match &self.request {
             EventRequest::Alloc { buffer, size } => {
                 w.u8(KIND_ALLOC);
@@ -431,6 +444,13 @@ impl EventNotification {
         let mut r = Reader::new(data);
         let tag = Tag(r.u64()?);
         let comm = CommId(r.u32()?);
+        let timed = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(OmpcError::Internal(format!("unknown timed flag {other}")));
+            }
+        };
         let kind = r.u8()?;
         let request = match kind {
             KIND_ALLOC => EventRequest::Alloc { buffer: BufferId(r.u64()?), size: r.u64()? },
@@ -482,7 +502,45 @@ impl EventNotification {
                 return Err(OmpcError::Internal(format!("unknown event kind {other}")));
             }
         };
-        Ok(Self { request, tag, comm })
+        Ok(Self { request, tag, comm, timed })
+    }
+}
+
+/// Worker-side timestamps of one composite task, captured on the worker
+/// thread when the event envelope carried the `timed` flag and shipped home
+/// inside the typed reply ([`EventReply::OkTimed`]). All values are
+/// microseconds on the process-global monotonic telemetry clock
+/// ([`crate::runtime::telemetry::monotonic_us`]) — workers are threads of
+/// the head's process, so these stamps compare directly with head-side
+/// span stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaskStamps {
+    /// When the handler picked the event up (gate hand-off complete).
+    pub recv_us: u64,
+    /// When the task's data-movement steps (receives, awaits, allocs)
+    /// finished and the kernel was ready to run.
+    pub deps_us: u64,
+    /// When the kernel body started.
+    pub exec_start_us: u64,
+    /// When the kernel body finished.
+    pub exec_end_us: u64,
+}
+
+impl TaskStamps {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.recv_us);
+        w.u64(self.deps_us);
+        w.u64(self.exec_start_us);
+        w.u64(self.exec_end_us);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> OmpcResult<Self> {
+        Ok(Self {
+            recv_us: r.u64()?,
+            deps_us: r.u64()?,
+            exec_start_us: r.u64()?,
+            exec_end_us: r.u64()?,
+        })
     }
 }
 
@@ -490,6 +548,8 @@ impl EventNotification {
 const REPLY_OK: u8 = 0;
 /// Status byte of a failed [`EventReply`].
 const REPLY_ERR: u8 = 1;
+/// Status byte of a successful reply carrying worker-side [`TaskStamps`].
+const REPLY_OK_TIMED: u8 = 2;
 
 const ERR_UNKNOWN_BUFFER: u8 = 1;
 const ERR_UNKNOWN_KERNEL: u8 = 2;
@@ -582,6 +642,11 @@ fn decode_error(r: &mut Reader<'_>) -> OmpcResult<OmpcError> {
 pub enum EventReply {
     /// The event completed; the payload is event-specific (often empty).
     Ok(Vec<u8>),
+    /// The event completed and the notification's `timed` flag was set:
+    /// the payload is preceded by the worker-side [`TaskStamps`]. Origins
+    /// that don't care ([`EventReply::into_result`]) see it as a plain
+    /// success.
+    OkTimed(TaskStamps, Vec<u8>),
     /// The event failed on the destination node.
     Err(OmpcError),
 }
@@ -593,6 +658,11 @@ impl EventReply {
         match self {
             EventReply::Ok(payload) => {
                 w.u8(REPLY_OK);
+                w.bytes(payload);
+            }
+            EventReply::OkTimed(stamps, payload) => {
+                w.u8(REPLY_OK_TIMED);
+                stamps.encode(&mut w);
                 w.bytes(payload);
             }
             EventReply::Err(error) => {
@@ -608,15 +678,28 @@ impl EventReply {
         let mut r = Reader::new(data);
         match r.u8()? {
             REPLY_OK => Ok(EventReply::Ok(r.rest())),
+            REPLY_OK_TIMED => {
+                let stamps = TaskStamps::decode(&mut r)?;
+                Ok(EventReply::OkTimed(stamps, r.rest()))
+            }
             REPLY_ERR => Ok(EventReply::Err(decode_error(&mut r)?)),
             other => Err(OmpcError::Internal(format!("unknown reply status {other}"))),
         }
     }
 
-    /// Convert into the `Result` the origin side consumes.
+    /// Convert into the `Result` the origin side consumes. Worker stamps,
+    /// if any, are dropped — use [`EventReply::into_timed_result`] to keep
+    /// them.
     pub fn into_result(self) -> OmpcResult<Vec<u8>> {
+        self.into_timed_result().map(|(payload, _)| payload)
+    }
+
+    /// Convert into the origin-side `Result`, preserving the worker-side
+    /// stamps of an [`EventReply::OkTimed`].
+    pub fn into_timed_result(self) -> OmpcResult<(Vec<u8>, Option<TaskStamps>)> {
         match self {
-            EventReply::Ok(payload) => Ok(payload),
+            EventReply::Ok(payload) => Ok((payload, None)),
+            EventReply::OkTimed(stamps, payload) => Ok((payload, Some(stamps))),
             EventReply::Err(error) => Err(error),
         }
     }
@@ -666,9 +749,16 @@ mod tests {
     use super::*;
 
     fn round_trip(request: EventRequest) {
-        let n = EventNotification { request, tag: Tag(42), comm: CommId(3) };
-        let decoded = EventNotification::decode(&n.encode()).unwrap();
-        assert_eq!(decoded, n);
+        for timed in [false, true] {
+            let n = EventNotification {
+                request: request.clone(),
+                tag: Tag(42),
+                comm: CommId(3),
+                timed,
+            };
+            let decoded = EventNotification::decode(&n.encode()).unwrap();
+            assert_eq!(decoded, n);
+        }
     }
 
     #[test]
@@ -738,6 +828,7 @@ mod tests {
             }]),
             tag: Tag(9),
             comm: CommId(0),
+            timed: false,
         };
         let bytes = n.encode();
         for cut in 1..bytes.len() {
@@ -775,6 +866,7 @@ mod tests {
             }),
             tag: Tag(5),
             comm: CommId(0),
+            timed: false,
         };
         let bytes = n.encode();
         assert!(EventNotification::decode(&bytes[..bytes.len() - 1]).is_err());
@@ -827,6 +919,7 @@ mod tests {
             request: EventRequest::Alloc { buffer: BufferId(7), size: 1024 },
             tag: Tag(1),
             comm: CommId(0),
+            timed: false,
         };
         let bytes = n.encode();
         assert!(EventNotification::decode(&bytes[..bytes.len() - 1]).is_err());
@@ -835,12 +928,50 @@ mod tests {
 
     #[test]
     fn unknown_kind_is_an_error() {
-        let mut bytes =
-            EventNotification { request: EventRequest::Shutdown, tag: Tag(1), comm: CommId(0) }
-                .encode();
+        let mut bytes = EventNotification {
+            request: EventRequest::Shutdown,
+            tag: Tag(1),
+            comm: CommId(0),
+            timed: false,
+        }
+        .encode();
         let last = bytes.len() - 1;
         bytes[last] = 99;
         assert!(EventNotification::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn timed_flag_round_trips_and_rejects_garbage() {
+        let n = EventNotification {
+            request: EventRequest::Task(TaskSpec { steps: vec![] }),
+            tag: Tag(3),
+            comm: CommId(1),
+            timed: true,
+        };
+        let mut bytes = n.encode();
+        assert_eq!(EventNotification::decode(&bytes).unwrap(), n);
+        // The timed byte sits right after the u64 tag + u32 comm.
+        assert_eq!(bytes[12], 1);
+        bytes[12] = 9;
+        assert!(EventNotification::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn timed_replies_round_trip_and_degrade_to_plain_ok() {
+        let stamps = TaskStamps { recv_us: 10, deps_us: 20, exec_start_us: 21, exec_end_us: 99 };
+        let reply = EventReply::OkTimed(stamps, vec![4, 5, 6]);
+        let decoded = EventReply::decode(&reply.encode()).unwrap();
+        assert_eq!(decoded, reply);
+        // Stamp-oblivious origins read the payload exactly as for Ok.
+        assert_eq!(decoded.clone().into_result().unwrap(), vec![4, 5, 6]);
+        assert_eq!(decoded.into_timed_result().unwrap(), (vec![4, 5, 6], Some(stamps)));
+        // An empty-payload timed reply round-trips too (stamps are fixed
+        // width, so no payload/stamp ambiguity).
+        let empty = EventReply::OkTimed(stamps, Vec::new());
+        assert_eq!(EventReply::decode(&empty.encode()).unwrap(), empty);
+        // Truncated stamps are an error, not a short payload.
+        let bytes = EventReply::OkTimed(stamps, Vec::new()).encode();
+        assert!(EventReply::decode(&bytes[..bytes.len() - 1]).is_err());
     }
 
     #[test]

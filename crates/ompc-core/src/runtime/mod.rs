@@ -35,11 +35,16 @@
 pub mod fault;
 pub mod mpi;
 pub mod sim;
+pub mod telemetry;
 pub mod threaded;
 
 pub use fault::{FailureRecord, FaultPlan, FaultState, FaultTrigger, LostBuffer, ReplanEntry};
 pub use mpi::MpiBackend;
 pub use sim::SimBackend;
+pub use telemetry::{
+    chrome_trace, clock_reads, critical_path, overhead_attribution, Attribution, Span, SpanPhase,
+    Telemetry, TelemetryLevel,
+};
 pub use threaded::{HeadWorkerPool, ThreadedBackend};
 
 use crate::buffer::BufferRegistry;
@@ -428,6 +433,11 @@ pub struct RunRecord {
     /// here — and the surface the three-way transfer-set equivalence tests
     /// compare.
     pub transfers: Vec<TransferRecord>,
+    /// Every telemetry [`Span`] recorded during the run, in recording
+    /// order — empty unless the device ran with
+    /// [`TelemetryLevel::Spans`]. Spans are observational: the rest of the
+    /// record is byte-identical with telemetry on or off.
+    pub spans: Vec<Span>,
 }
 
 impl RunRecord {
@@ -458,6 +468,24 @@ impl RunRecord {
     /// The transfers with the given reason, in planning order.
     pub fn transfers_with_reason(&self, reason: TransferReason) -> Vec<TransferRecord> {
         self.transfers.iter().copied().filter(|t| t.reason == reason).collect()
+    }
+
+    /// The recorded spans of `task`, in recording order (empty unless the
+    /// run was recorded with [`TelemetryLevel::Spans`]).
+    pub fn task_spans(&self, task: usize) -> Vec<Span> {
+        self.spans.iter().filter(|s| s.task == Some(task)).cloned().collect()
+    }
+
+    /// Fold the run's spans into the per-phase overhead attribution of
+    /// Fig. 7(a) (all zeros when the run recorded no spans).
+    pub fn attribution(&self) -> Attribution {
+        overhead_attribution(&self.spans)
+    }
+
+    /// The longest time-respecting span chain of the run (see
+    /// [`critical_path`]).
+    pub fn critical_path(&self) -> Vec<Span> {
+        critical_path(&self.spans)
     }
 }
 
@@ -507,6 +535,10 @@ pub struct RuntimeCore {
     failures: Vec<FailureRecord>,
     reexecuted: BTreeSet<usize>,
     replanned: Vec<ReplanEntry>,
+    /// Span recorder (disabled by default). All core spans — dispatch,
+    /// retire, replan — are head-node bookkeeping and never change what
+    /// the core decides.
+    telemetry: std::sync::Arc<Telemetry>,
 }
 
 impl RuntimeCore {
@@ -557,7 +589,17 @@ impl RuntimeCore {
             failures: Vec::new(),
             reexecuted: BTreeSet::new(),
             replanned: Vec::new(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Install a span recorder: the core records a `Dispatch` span per
+    /// launch (which also opens the task's attempt), a `Retire` span per
+    /// completion, and a `Replan` span per recovery. The device installs
+    /// the recorder it hands to the backend so head-side and worker-side
+    /// spans land in one stream.
+    pub fn set_telemetry(&mut self, telemetry: std::sync::Arc<Telemetry>) {
+        self.telemetry = telemetry;
     }
 
     /// Drive `backend` until every task has completed.
@@ -720,6 +762,7 @@ impl RuntimeCore {
         if alive.is_empty() {
             return Err(OmpcError::NodeFailure(node));
         }
+        let replan_start = self.telemetry.start();
         let full_replan = if replan { backend.replan(&alive) } else { None };
         match full_replan {
             Some(new_assignment) if new_assignment.len() == self.total => {
@@ -740,6 +783,12 @@ impl RuntimeCore {
                     self.assignment[task] = to;
                 }
             }
+        }
+        if self.telemetry.spans_enabled() {
+            self.telemetry.record(
+                Span::new(SpanPhase::Replan, HEAD_NODE, replan_start, telemetry::monotonic_us())
+                    .detail(format!("node {node} failed")),
+            );
         }
         Ok(())
     }
@@ -783,6 +832,7 @@ impl RuntimeCore {
 
     fn fill_window<B: ExecutionBackend>(&mut self, backend: &mut B) -> OmpcResult<()> {
         while self.in_flight < self.window {
+            let start = self.telemetry.start();
             let Some(task) = self.ready.pop_front() else { break };
             debug_assert_eq!(self.state[task], TaskState::Ready);
             self.state[task] = TaskState::InFlight;
@@ -790,6 +840,17 @@ impl RuntimeCore {
             self.in_flight += 1;
             self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
             self.dispatch_order.push(task);
+            let attempt = self.telemetry.begin_attempt(task);
+            // The dispatch span covers only the core's bookkeeping: the
+            // backend records its own serialize/send spans inside `launch`,
+            // and enclosing them here would double-count those buckets.
+            if self.telemetry.spans_enabled() {
+                self.telemetry.record(
+                    Span::new(SpanPhase::Dispatch, HEAD_NODE, start, telemetry::monotonic_us())
+                        .task(task)
+                        .attempt(attempt),
+                );
+            }
             backend.launch(task, self.assignment[task])?;
         }
         Ok(())
@@ -797,6 +858,14 @@ impl RuntimeCore {
 
     fn retire(&mut self, task: usize) {
         debug_assert!(self.in_flight > 0, "retired task {task} that was not in flight");
+        if self.telemetry.spans_enabled() {
+            let now = telemetry::monotonic_us();
+            self.telemetry.record(
+                Span::new(SpanPhase::Retire, HEAD_NODE, now, now)
+                    .task(task)
+                    .attempt(self.telemetry.attempt(task)),
+            );
+        }
         self.state[task] = TaskState::Done;
         self.in_flight -= 1;
         self.completed += 1;
@@ -841,9 +910,11 @@ impl RuntimeCore {
             failures: self.failures.clone(),
             reexecuted: self.reexecuted.iter().copied().collect(),
             replanned: self.replanned.clone(),
-            // Transfers are owned by the data layer, not the dispatch
-            // loop; the backend's owner attaches them after execution.
+            // Transfers are owned by the data layer and spans by the
+            // device's recorder, not the dispatch loop; the backend's
+            // owner attaches both after execution.
             transfers: Vec::new(),
+            spans: Vec::new(),
         }
     }
 }

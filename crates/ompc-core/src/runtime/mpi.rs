@@ -58,6 +58,7 @@
 //! [`super::RuntimeCore`] makes for the other two backends.
 
 use super::fault::LostBuffer;
+use super::telemetry::{monotonic_us, Span, SpanPhase, Telemetry};
 use super::threaded::POISONED_KERNEL;
 use super::{ExecutionBackend, RuntimeCore, RuntimePlan, TaskEvent};
 use crate::buffer::BufferRegistry;
@@ -164,6 +165,7 @@ pub(crate) struct MpiContext {
     graph: Arc<RegionGraph>,
     host_fns: HashMap<usize, HostFn>,
     config: OmpcConfig,
+    telemetry: Arc<Telemetry>,
 }
 
 /// Executes a region graph through composite task messages over `ompc-mpi`.
@@ -183,8 +185,19 @@ impl MpiBackend {
         graph: Arc<RegionGraph>,
         host_fns: HashMap<usize, HostFn>,
         config: &OmpcConfig,
+        telemetry: Arc<Telemetry>,
     ) -> Self {
-        Self { ctx: MpiContext { events, buffers, dm, graph, host_fns, config: config.clone() } }
+        Self {
+            ctx: MpiContext {
+                events,
+                buffers,
+                dm,
+                graph,
+                host_fns,
+                config: config.clone(),
+                telemetry,
+            },
+        }
     }
 
     /// Drive `core` to completion. After the run (successful or not) every
@@ -250,17 +263,39 @@ struct MpiDriver<'c> {
 
 impl MpiDriver<'_> {
     /// The payload frame of `buffer`, reusing the cached frame when the
-    /// registry still holds the same version.
-    fn cached_payload(&mut self, buffer: BufferId) -> OmpcResult<Arc<Vec<u8>>> {
+    /// registry still holds the same version. Records a `Serialize` span
+    /// (detail `hit` / `miss`) attributed to `task`.
+    fn cached_payload(&mut self, buffer: BufferId, task: usize) -> OmpcResult<Arc<Vec<u8>>> {
+        let tel = &self.ctx.telemetry;
+        let t0 = tel.start();
         let version = self.ctx.buffers.version(buffer)?;
         if let Some((cached, frame)) = self.payload_cache.get(&buffer.0) {
             if *cached == version {
-                return Ok(Arc::clone(frame));
+                let frame = Arc::clone(frame);
+                if tel.spans_enabled() {
+                    tel.record(
+                        Span::new(SpanPhase::Serialize, HEAD_NODE, t0, monotonic_us())
+                            .task(task)
+                            .attempt(tel.attempt(task))
+                            .bytes(frame.len() as u64)
+                            .detail("hit"),
+                    );
+                }
+                return Ok(frame);
             }
         }
         let (version, data) = self.ctx.buffers.get_versioned(buffer)?;
         let frame = Arc::new(data);
         self.payload_cache.insert(buffer.0, (version, Arc::clone(&frame)));
+        if tel.spans_enabled() {
+            tel.record(
+                Span::new(SpanPhase::Serialize, HEAD_NODE, t0, monotonic_us())
+                    .task(task)
+                    .attempt(tel.attempt(task))
+                    .bytes(frame.len() as u64)
+                    .detail("miss"),
+            );
+        }
         Ok(frame)
     }
 
@@ -346,9 +381,18 @@ impl MpiDriver<'_> {
     /// Emit one train's messages: a single notification carrying every
     /// car's recipe (or a plain task message for a train of one), then each
     /// car's payloads and exchange notifications on the car's own channel.
-    /// Counters are recorded per car, so per-task accounting is identical
-    /// with and without batching.
+    ///
+    /// Counters are accumulated locally and committed only once the whole
+    /// train is on the wire: a train that fails mid-send is failed as a
+    /// whole by [`MpiDriver::fail_unsent_train`] and its cars re-dispatched,
+    /// so recording interleaved with the sends would double-count the cars
+    /// that preceded the failure. Committing after the last send keeps
+    /// per-task accounting identical with and without batching *and* across
+    /// retries.
     fn send_train(&mut self, node: NodeId, mut cars: Vec<BufferedCar>) -> OmpcResult<()> {
+        let tel = Arc::clone(&self.ctx.telemetry);
+        let timed = tel.spans_enabled();
+        let t0 = tel.start();
         if let [car] = cars.as_mut_slice() {
             self.ctx.events.notify(
                 node,
@@ -356,6 +400,7 @@ impl MpiDriver<'_> {
                     request: EventRequest::Task(TaskSpec { steps: std::mem::take(&mut car.steps) }),
                     tag: car.tag,
                     comm: car.comm,
+                    timed,
                 },
             )?;
         } else {
@@ -370,23 +415,55 @@ impl MpiDriver<'_> {
             let (tag, comm) = self.ctx.events.open_channel();
             self.ctx.events.notify(
                 node,
-                &EventNotification { request: EventRequest::TaskTrain(spec_cars), tag, comm },
+                &EventNotification {
+                    request: EventRequest::TaskTrain(spec_cars),
+                    tag,
+                    comm,
+                    timed,
+                },
             )?;
         }
+        if timed {
+            // The envelope notification only: the cars' own frames get
+            // per-task `Send` spans below, so the buckets never count the
+            // same microsecond twice.
+            tel.record(
+                Span::new(SpanPhase::TrainFlush, HEAD_NODE, t0, monotonic_us())
+                    .detail(format!("node {node}, {} car(s)", cars.len())),
+            );
+        }
+        let mut recorded: Vec<Option<u64>> = Vec::new();
         for car in cars {
-            self.ctx.events.counters().record(None);
+            recorded.push(None);
+            let send_start = tel.start();
+            let mut car_bytes = 0u64;
             let channel = self.ctx.events.communicator().on(car.comm)?;
             for frame in car.payloads {
                 let bytes = frame.len() as u64;
                 channel.send(node, car.tag, frame.as_ref().clone())?;
-                self.ctx.events.counters().record(Some(bytes));
+                car_bytes += bytes;
+                recorded.push(Some(bytes));
             }
             for ((src, request), bytes) in car.exchanges.into_iter().zip(car.exchange_bytes) {
-                self.ctx
-                    .events
-                    .notify(src, &EventNotification { request, tag: car.tag, comm: car.comm })?;
-                self.ctx.events.counters().record(Some(bytes));
+                self.ctx.events.notify(
+                    src,
+                    &EventNotification { request, tag: car.tag, comm: car.comm, timed: false },
+                )?;
+                car_bytes += bytes;
+                recorded.push(Some(bytes));
             }
+            if timed {
+                tel.record(
+                    Span::new(SpanPhase::Send, HEAD_NODE, send_start, monotonic_us())
+                        .task(car.task)
+                        .attempt(tel.attempt(car.task))
+                        .bytes(car_bytes),
+                );
+            }
+        }
+        // Whole train on the wire: commit the per-car accounting.
+        for bytes in recorded {
+            self.ctx.events.counters().record(bytes);
         }
         Ok(())
     }
@@ -451,12 +528,24 @@ impl MpiDriver<'_> {
                         dm.retrieve_source(dep.buffer)
                     };
                     if let Some(from) = from {
+                        let t0 = ctx.telemetry.start();
                         let data = ctx.events.retrieve(from, dep.buffer)?;
                         let bytes = data.len() as u64;
                         ctx.buffers.set(dep.buffer, data)?;
-                        let mut dm = ctx.dm.lock();
-                        dm.observe_size(dep.buffer, bytes);
-                        dm.record_retrieve(dep.buffer);
+                        {
+                            let mut dm = ctx.dm.lock();
+                            dm.observe_size(dep.buffer, bytes);
+                            dm.record_retrieve(dep.buffer);
+                        }
+                        if ctx.telemetry.spans_enabled() {
+                            ctx.telemetry.record(
+                                Span::new(SpanPhase::HostFlush, HEAD_NODE, t0, monotonic_us())
+                                    .task(tid)
+                                    .bytes(bytes)
+                                    .from(from)
+                                    .detail("host task input"),
+                            );
+                        }
                     }
                 }
                 if let Some(f) = ctx.host_fns.get(&tid) {
@@ -481,7 +570,7 @@ impl MpiDriver<'_> {
                             ctx.dm.lock().plan_input_as(*buffer, node, TransferReason::EnterData);
                         let Some(plan) = plan else { return Ok(None) };
                         let payload = if plan.from == HEAD_NODE {
-                            match self.cached_payload(*buffer) {
+                            match self.cached_payload(*buffer, tid) {
                                 Ok(frame) => Some(frame),
                                 Err(e) => {
                                     ctx.dm.lock().forget_replica(*buffer, node);
@@ -497,6 +586,8 @@ impl MpiDriver<'_> {
                         let cancelled_delete =
                             self.pending_deletes.get_mut(&node).is_some_and(|s| s.remove(buffer));
                         let (tag, comm) = ctx.events.open_channel();
+                        let t0 = ctx.telemetry.start();
+                        let mut moved = 0u64;
                         let sent: OmpcResult<()> = (|| {
                             if let Some(frame) = &payload {
                                 ctx.events.notify(
@@ -505,6 +596,7 @@ impl MpiDriver<'_> {
                                         request: EventRequest::Submit { buffer: *buffer },
                                         tag,
                                         comm,
+                                        timed: false,
                                     },
                                 )?;
                                 let bytes = frame.len() as u64;
@@ -514,6 +606,7 @@ impl MpiDriver<'_> {
                                     frame.as_ref().clone(),
                                 )?;
                                 ctx.events.counters().record(Some(bytes));
+                                moved = bytes;
                             } else {
                                 ctx.events.notify(
                                     node,
@@ -524,6 +617,7 @@ impl MpiDriver<'_> {
                                         },
                                         tag,
                                         comm,
+                                        timed: false,
                                     },
                                 )?;
                                 ctx.events.notify(
@@ -535,13 +629,24 @@ impl MpiDriver<'_> {
                                         },
                                         tag,
                                         comm,
+                                        timed: false,
                                     },
                                 )?;
                                 let bytes = ctx.buffers.size_of(*buffer).unwrap_or(0) as u64;
                                 ctx.events.counters().record(Some(bytes));
+                                moved = bytes;
                             }
                             Ok(())
                         })();
+                        if sent.is_ok() && ctx.telemetry.spans_enabled() {
+                            ctx.telemetry.record(
+                                Span::new(SpanPhase::EnterData, node, t0, monotonic_us())
+                                    .task(tid)
+                                    .bytes(moved)
+                                    .from(plan.from)
+                                    .detail("EnterData"),
+                            );
+                        }
                         if let Err(e) = sent {
                             ctx.dm.lock().forget_replica(*buffer, node);
                             if cancelled_delete {
@@ -568,6 +673,7 @@ impl MpiDriver<'_> {
                                 request: EventRequest::Alloc { buffer: *buffer, size: size as u64 },
                                 tag,
                                 comm,
+                                timed: false,
                             },
                         )?;
                         ctx.events.counters().record(None);
@@ -613,6 +719,7 @@ impl MpiDriver<'_> {
                                 request: EventRequest::Retrieve { buffer: *buffer },
                                 tag,
                                 comm,
+                                timed: false,
                             },
                         )?;
                         return Ok(Some(Pending {
@@ -663,7 +770,7 @@ impl MpiDriver<'_> {
                         }
                         match dm.plan_input(dep.buffer, node) {
                             Some(plan) if plan.from == HEAD_NODE => {
-                                match self.cached_payload(dep.buffer) {
+                                match self.cached_payload(dep.buffer, tid) {
                                     Ok(frame) => {
                                         steps.push(TaskStep::RecvFromHead { buffer: dep.buffer });
                                         payloads.push(frame);
@@ -780,13 +887,48 @@ impl MpiDriver<'_> {
     }
 
     /// Turn an arrived reply into the task's [`TaskEvent`], performing the
-    /// completion-side data-manager bookkeeping.
+    /// completion-side data-manager bookkeeping. A timed reply carries the
+    /// worker's [`crate::protocol::TaskStamps`]; they become the task's
+    /// worker-side spans (receive marker, dependence await, kernel execute)
+    /// plus a head-side `Reply` span covering the reply decode.
     fn finish_task(&mut self, task: usize, pending: Pending, data: Vec<u8>) -> TaskEvent {
+        let tel = Arc::clone(&self.ctx.telemetry);
+        let reply_start = tel.start();
         let reply = match EventReply::decode(&data) {
             Ok(reply) => reply,
             Err(error) => return TaskEvent::Failed { task, error },
         };
-        match reply.into_result() {
+        let (result, stamps) = match reply.into_timed_result() {
+            Ok((payload, stamps)) => (Ok(payload), stamps),
+            Err(error) => (Err(error), None),
+        };
+        if tel.spans_enabled() {
+            let attempt = tel.attempt(task);
+            if let Some(s) = stamps {
+                tel.record(
+                    Span::new(SpanPhase::WorkerRecv, pending.node, s.recv_us, s.recv_us)
+                        .task(task)
+                        .attempt(attempt),
+                );
+                tel.record(
+                    Span::new(SpanPhase::WorkerAwait, pending.node, s.recv_us, s.deps_us)
+                        .task(task)
+                        .attempt(attempt),
+                );
+                tel.record(
+                    Span::new(SpanPhase::Compute, pending.node, s.exec_start_us, s.exec_end_us)
+                        .task(task)
+                        .attempt(attempt),
+                );
+            }
+            tel.record(
+                Span::new(SpanPhase::Reply, HEAD_NODE, reply_start, monotonic_us())
+                    .task(task)
+                    .attempt(attempt)
+                    .from(pending.node),
+            );
+        }
+        match result {
             Err(error) => {
                 match pending.kind {
                     PendingKind::Target { owned, allocs, .. } => {
@@ -844,8 +986,19 @@ impl MpiDriver<'_> {
                 PendingKind::ExitData { buffer, release } => {
                     let bytes = payload.len() as u64;
                     self.ctx.events.counters().record(Some(bytes));
+                    let t0 = tel.start();
                     if let Err(error) = self.ctx.buffers.set(buffer, payload) {
                         return TaskEvent::Failed { task, error };
+                    }
+                    if tel.spans_enabled() {
+                        tel.record(
+                            Span::new(SpanPhase::ExitData, HEAD_NODE, t0, monotonic_us())
+                                .task(task)
+                                .attempt(tel.attempt(task))
+                                .bytes(bytes)
+                                .from(pending.node)
+                                .detail("ExitData"),
+                        );
                     }
                     {
                         // The retrieved size is the ground truth for later
@@ -1213,6 +1366,105 @@ mod tests {
             "a train is a packaging of the same per-task protocol: results, per-task \
              event accounting, and bytes moved must not depend on batching"
         );
+    }
+
+    /// Regression test for the counter drift of re-queued train cars: a
+    /// train that fails mid-send (here: a later car naming a communicator
+    /// the world does not have, after an earlier car's payload already
+    /// went out) is failed as a whole and its cars re-dispatched, so
+    /// committing counters interleaved with the sends would count the
+    /// already-sent cars twice. Accounting must commit only at a
+    /// successful flush — the failed attempt counts nothing, the retry
+    /// counts each car exactly once.
+    #[test]
+    fn mid_train_send_failure_commits_no_counters_until_the_retry_lands() {
+        use super::{BufferedCar, MpiContext, MpiDriver};
+        use crate::buffer::BufferRegistry;
+        use crate::data_manager::DataManager;
+        use crate::event::EventSystem;
+        use crate::kernel::KernelRegistry;
+        use crate::runtime::telemetry::Telemetry;
+        use crate::task::RegionGraph;
+        use crate::worker::worker_main;
+        use ompc_mpi::{CommId, Tag, World};
+        use parking_lot::Mutex;
+        use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+
+        let world = World::with_communicators(2, 2);
+        let kernels = Arc::new(KernelRegistry::new());
+        let worker = {
+            let comm = world.communicator(1);
+            let kernels = Arc::clone(&kernels);
+            std::thread::spawn(move || worker_main(comm, kernels, 1))
+        };
+        let events = Arc::new(EventSystem::with_reply_timeout(world.communicator(0), None));
+        let ctx = MpiContext {
+            events: Arc::clone(&events),
+            buffers: Arc::new(BufferRegistry::new()),
+            dm: Arc::new(Mutex::new(DataManager::new())),
+            graph: Arc::new(RegionGraph::new()),
+            host_fns: HashMap::new(),
+            config: mpi_config(),
+            telemetry: Telemetry::off(),
+        };
+        let mut driver = MpiDriver {
+            ctx: &ctx,
+            pending: BTreeMap::new(),
+            ready: VecDeque::new(),
+            inflight: HashSet::new(),
+            pending_deletes: BTreeMap::new(),
+            trains: BTreeMap::new(),
+            notice_tasks: HashMap::new(),
+            payload_cache: HashMap::new(),
+        };
+        let snapshot = || {
+            let c = events.counters();
+            (
+                c.events.load(Ordering::Relaxed),
+                c.data_events.load(Ordering::Relaxed),
+                c.bytes_moved.load(Ordering::Relaxed),
+            )
+        };
+        let car = |task: usize, (tag, comm): (Tag, CommId), payload: Option<Vec<u8>>| BufferedCar {
+            task,
+            tag,
+            comm,
+            steps: Vec::new(),
+            payloads: payload.map(Arc::new).into_iter().collect(),
+            exchanges: Vec::new(),
+            exchange_bytes: Vec::new(),
+            attached_deletes: Vec::new(),
+        };
+
+        let err = driver.send_train(
+            1,
+            vec![
+                car(0, events.open_channel(), Some(vec![7u8; 16])),
+                car(1, (events.open_channel().0, CommId(99)), None),
+            ],
+        );
+        assert!(err.is_err(), "a car on a communicator the world lacks must fail the send");
+        assert_eq!(snapshot(), (0, 0, 0), "a train that failed mid-send commits nothing");
+
+        driver
+            .send_train(
+                1,
+                vec![
+                    car(0, events.open_channel(), Some(vec![7u8; 16])),
+                    car(1, events.open_channel(), None),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            snapshot(),
+            (3, 1, 16),
+            "the successful retry commits each car's event and its payload exactly once"
+        );
+
+        let _ = events.shutdown(1);
+        let _ = worker.join();
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! it stop executing before the error propagates.
 
 use super::fault::LostBuffer;
+use super::telemetry::{monotonic_us, Span, SpanPhase, Telemetry};
 use super::{ExecutionBackend, RuntimeCore, RuntimePlan, TaskEvent};
 use crate::buffer::BufferRegistry;
 use crate::cluster::HostFn;
@@ -121,6 +122,7 @@ pub(crate) struct RegionContext {
     host_fns: HashMap<usize, HostFn>,
     config: OmpcConfig,
     serial_inputs: bool,
+    telemetry: Arc<Telemetry>,
     transfers: TransferGate,
     /// Set when a task fails on a live node: tasks still queued in the head
     /// pool stop executing instead of landing side effects after the run
@@ -152,13 +154,51 @@ impl RegionContext {
     }
 
     /// Carry out one planned input forward and resolve its gate entry.
-    fn perform_transfer(&self, plan: TransferPlan, node: NodeId) -> OmpcResult<()> {
+    /// Records a `Serialize` span for the host-side payload clone and a
+    /// `Send` span for the wire round-trip, attributed to `task`.
+    fn perform_transfer(&self, plan: TransferPlan, node: NodeId, task: usize) -> OmpcResult<()> {
+        let tel = &self.telemetry;
         let moved = if plan.from == HEAD_NODE {
-            self.buffers
-                .get(plan.buffer)
-                .and_then(|data| self.events.submit(node, plan.buffer, data))
+            let t0 = tel.start();
+            let data = self.buffers.get(plan.buffer);
+            if tel.spans_enabled() {
+                let bytes = data.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+                tel.record(
+                    Span::new(SpanPhase::Serialize, HEAD_NODE, t0, monotonic_us())
+                        .task(task)
+                        .attempt(tel.attempt(task))
+                        .bytes(bytes)
+                        .detail("miss"),
+                );
+            }
+            let t0 = tel.start();
+            let bytes = data.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+            let sent = data.and_then(|data| self.events.submit(node, plan.buffer, data));
+            if sent.is_ok() && tel.spans_enabled() {
+                tel.record(
+                    Span::new(SpanPhase::Send, HEAD_NODE, t0, monotonic_us())
+                        .task(task)
+                        .attempt(tel.attempt(task))
+                        .bytes(bytes),
+                );
+            }
+            sent
         } else {
-            self.events.exchange(plan.from, node, plan.buffer).map(|_| ())
+            let t0 = tel.start();
+            let moved = self.events.exchange(plan.from, node, plan.buffer);
+            if tel.spans_enabled() {
+                if let Ok(bytes) = &moved {
+                    tel.record(
+                        Span::new(SpanPhase::Send, node, t0, monotonic_us())
+                            .task(task)
+                            .attempt(tel.attempt(task))
+                            .bytes(*bytes)
+                            .from(plan.from)
+                            .detail("worker forward"),
+                    );
+                }
+            }
+            moved.map(|_| ())
         };
         if moved.is_err() {
             // The bytes never arrived: roll back the holder `plan_input`
@@ -167,6 +207,30 @@ impl RegionContext {
         }
         self.transfers.finish(plan.buffer, node, moved.clone());
         moved
+    }
+
+    /// Record an `EnterData` span for a completed enter-data movement
+    /// covering only the wire time (`t0` → now); the head-side payload
+    /// build gets its own `Serialize` span at the call site.
+    fn record_enter_data(
+        &self,
+        moved: &OmpcResult<()>,
+        tid: usize,
+        buffer: BufferId,
+        node: NodeId,
+        from: NodeId,
+        t0: u64,
+    ) {
+        if moved.is_ok() && self.telemetry.spans_enabled() {
+            let bytes = self.buffers.size_of(buffer).unwrap_or(0) as u64;
+            self.telemetry.record(
+                Span::new(SpanPhase::EnterData, node, t0, monotonic_us())
+                    .task(tid)
+                    .bytes(bytes)
+                    .from(from)
+                    .detail("EnterData"),
+            );
+        }
     }
 
     /// Resolve a planned-but-unperformed forward as failed so co-located
@@ -215,11 +279,38 @@ impl RegionContext {
                         );
                         if let Some(plan) = plan {
                             let moved = if plan.from == HEAD_NODE {
-                                self.buffers
-                                    .get(*buffer)
-                                    .and_then(|data| self.events.submit(node, *buffer, data))
+                                // The host-side payload build is the
+                                // serialization cost; only the submit that
+                                // follows is wire time, so the two get
+                                // separate spans (mirroring the MPI
+                                // backend's payload-cache accounting).
+                                let t0 = self.telemetry.start();
+                                let data = self.buffers.get(*buffer);
+                                if self.telemetry.spans_enabled() {
+                                    let bytes = data.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+                                    self.telemetry.record(
+                                        Span::new(
+                                            SpanPhase::Serialize,
+                                            HEAD_NODE,
+                                            t0,
+                                            monotonic_us(),
+                                        )
+                                        .task(tid)
+                                        .bytes(bytes)
+                                        .detail("miss"),
+                                    );
+                                }
+                                let t0 = self.telemetry.start();
+                                let moved =
+                                    data.and_then(|data| self.events.submit(node, *buffer, data));
+                                self.record_enter_data(&moved, tid, *buffer, node, plan.from, t0);
+                                moved
                             } else {
-                                self.events.exchange(plan.from, node, *buffer).map(|_| ())
+                                let t0 = self.telemetry.start();
+                                let moved =
+                                    self.events.exchange(plan.from, node, *buffer).map(|_| ());
+                                self.record_enter_data(&moved, tid, *buffer, node, plan.from, t0);
+                                moved
                             };
                             if moved.is_err() {
                                 self.dm.lock().forget_replica(*buffer, node);
@@ -300,7 +391,7 @@ impl RegionContext {
                     let mut result = Ok(());
                     let mut own = own.into_iter();
                     for plan in own.by_ref() {
-                        result = self.perform_transfer(plan, node);
+                        result = self.perform_transfer(plan, node, tid);
                         if result.is_err() {
                             break;
                         }
@@ -315,7 +406,7 @@ impl RegionContext {
                     std::thread::scope(|scope| {
                         let handles: Vec<_> = own
                             .into_iter()
-                            .map(|plan| scope.spawn(move || self.perform_transfer(plan, node)))
+                            .map(|plan| scope.spawn(move || self.perform_transfer(plan, node, tid)))
                             .collect();
                         let mut result = Ok(());
                         for handle in handles {
@@ -333,7 +424,27 @@ impl RegionContext {
                 for buffer in awaited {
                     self.transfers.wait_until_present(buffer, node)?;
                 }
-                self.events.execute(node, kernel, buffer_list)?;
+                let timed = self.telemetry.spans_enabled();
+                let stamps = self.events.execute_timed(node, kernel, buffer_list, timed)?;
+                if let Some(s) = stamps {
+                    let tel = &self.telemetry;
+                    let attempt = tel.attempt(tid);
+                    tel.record(
+                        Span::new(SpanPhase::WorkerRecv, node, s.recv_us, s.recv_us)
+                            .task(tid)
+                            .attempt(attempt),
+                    );
+                    tel.record(
+                        Span::new(SpanPhase::WorkerAwait, node, s.recv_us, s.deps_us)
+                            .task(tid)
+                            .attempt(attempt),
+                    );
+                    tel.record(
+                        Span::new(SpanPhase::Compute, node, s.exec_start_us, s.exec_end_us)
+                            .task(tid)
+                            .attempt(attempt),
+                    );
+                }
                 for dep in &task.dependences {
                     if dep.dep_type.writes() {
                         let stale = self.dm.lock().record_write(dep.buffer, node);
@@ -370,15 +481,27 @@ impl RegionContext {
                         // Nothing is committed until the bytes land: a
                         // failed retrieval leaves the location state
                         // truthful, so recovery re-sources and retries.
+                        let t0 = self.telemetry.start();
                         let data = self.events.retrieve(from, *buffer)?;
                         let bytes = data.len() as u64;
                         self.buffers.set(*buffer, data)?;
-                        let mut dm = self.dm.lock();
-                        // A kernel may have resized the device copy; the
-                        // observed size keeps this and later transfer-log
-                        // entries truthful.
-                        dm.observe_size(*buffer, bytes);
-                        dm.record_retrieve(*buffer);
+                        {
+                            let mut dm = self.dm.lock();
+                            // A kernel may have resized the device copy; the
+                            // observed size keeps this and later transfer-log
+                            // entries truthful.
+                            dm.observe_size(*buffer, bytes);
+                            dm.record_retrieve(*buffer);
+                        }
+                        if self.telemetry.spans_enabled() {
+                            self.telemetry.record(
+                                Span::new(SpanPhase::ExitData, HEAD_NODE, t0, monotonic_us())
+                                    .task(tid)
+                                    .bytes(bytes)
+                                    .from(from)
+                                    .detail("ExitData"),
+                            );
+                        }
                     }
                 }
                 if keep_resident {
@@ -411,12 +534,24 @@ impl RegionContext {
                         dm.retrieve_source(dep.buffer)
                     };
                     if let Some(from) = from {
+                        let t0 = self.telemetry.start();
                         let data = self.events.retrieve(from, dep.buffer)?;
                         let bytes = data.len() as u64;
                         self.buffers.set(dep.buffer, data)?;
-                        let mut dm = self.dm.lock();
-                        dm.observe_size(dep.buffer, bytes);
-                        dm.record_retrieve(dep.buffer);
+                        {
+                            let mut dm = self.dm.lock();
+                            dm.observe_size(dep.buffer, bytes);
+                            dm.record_retrieve(dep.buffer);
+                        }
+                        if self.telemetry.spans_enabled() {
+                            self.telemetry.record(
+                                Span::new(SpanPhase::HostFlush, HEAD_NODE, t0, monotonic_us())
+                                    .task(tid)
+                                    .bytes(bytes)
+                                    .from(from)
+                                    .detail("host task input"),
+                            );
+                        }
                     }
                 }
                 if let Some(f) = self.host_fns.get(&tid) {
@@ -640,6 +775,7 @@ impl<'a> ThreadedBackend<'a> {
         graph: Arc<RegionGraph>,
         host_fns: HashMap<usize, HostFn>,
         config: &OmpcConfig,
+        telemetry: Arc<Telemetry>,
     ) -> Self {
         Self {
             ctx: Arc::new(RegionContext {
@@ -650,6 +786,7 @@ impl<'a> ThreadedBackend<'a> {
                 host_fns,
                 serial_inputs: config.serial_input_transfers,
                 config: config.clone(),
+                telemetry,
                 transfers: TransferGate::default(),
                 cancelled: AtomicBool::new(false),
             }),

@@ -12,8 +12,10 @@
 
 use crate::kernel::{KernelArgs, KernelRegistry};
 use crate::protocol::{
-    CompletionNotice, EventNotification, EventReply, EventRequest, COMPLETION_TAG, CONTROL_TAG,
+    CompletionNotice, EventNotification, EventReply, EventRequest, TaskStamps, COMPLETION_TAG,
+    CONTROL_TAG,
 };
+use crate::runtime::telemetry::monotonic_us;
 use crate::types::{BufferId, NodeId, OmpcError, OmpcResult};
 use ompc_mpi::{Communicator, Tag};
 use parking_lot::Mutex;
@@ -108,29 +110,35 @@ fn as_remote(node: NodeId, tag: Tag, error: OmpcError) -> OmpcError {
 }
 
 /// Compute the outcome (reply payload or error) of one head-replying event.
+///
+/// `recv_us` is the handler-entry timestamp when the head asked for a timed
+/// reply (`notification.timed`), `None` otherwise — no clock is read for
+/// untimed events. Execute/Task events return the captured [`TaskStamps`]
+/// alongside their payload so the caller can reply `OkTimed`.
 fn event_outcome(
     channel: &Communicator,
     memory: &DeviceMemory,
     kernels: &KernelRegistry,
     request: EventRequest,
     tag: Tag,
-) -> OmpcResult<Vec<u8>> {
+    recv_us: Option<u64>,
+) -> OmpcResult<(Vec<u8>, Option<TaskStamps>)> {
     match request {
         EventRequest::Alloc { buffer, size } => {
             memory.store(buffer, vec![0u8; size as usize]);
-            Ok(Vec::new())
+            Ok((Vec::new(), None))
         }
         EventRequest::Delete { buffer } => {
             memory.remove(buffer);
-            Ok(Vec::new())
+            Ok((Vec::new(), None))
         }
         EventRequest::Submit { buffer } => {
             let msg = channel.recv(Some(HEAD_RANK), Some(tag))?;
             memory.store(buffer, msg.data);
-            Ok(Vec::new())
+            Ok((Vec::new(), None))
         }
         EventRequest::Retrieve { buffer } => {
-            memory.get(buffer).ok_or(OmpcError::UnknownBuffer(buffer))
+            memory.get(buffer).map(|d| (d, None)).ok_or(OmpcError::UnknownBuffer(buffer))
         }
         EventRequest::ExchangeRecv { buffer, from } => {
             // The sending half transmits a reply envelope: the data on
@@ -140,19 +148,29 @@ fn event_outcome(
             let data = EventReply::decode(&msg.data)?.into_result()?;
             let bytes = (data.len() as u64).to_le_bytes().to_vec();
             memory.store(buffer, data);
-            Ok(bytes)
+            Ok((bytes, None))
         }
         EventRequest::Execute { kernel, buffers } => {
+            let exec_start = recv_us.map(|_| monotonic_us());
             execute_kernel(memory, kernels, kernel, &buffers)?;
-            Ok(Vec::new())
+            let stamps = recv_us.map(|recv_us| {
+                let start = exec_start.unwrap_or(recv_us);
+                TaskStamps {
+                    recv_us,
+                    deps_us: start,
+                    exec_start_us: start,
+                    exec_end_us: monotonic_us(),
+                }
+            });
+            Ok((Vec::new(), stamps))
         }
         EventRequest::Task(spec) => {
-            run_task_steps(channel, memory, kernels, spec, tag)?;
-            Ok(Vec::new())
+            let stamps = run_task_steps(channel, memory, kernels, spec, tag, recv_us)?;
+            Ok((Vec::new(), stamps))
         }
         EventRequest::Reset => {
             memory.clear();
-            Ok(Vec::new())
+            Ok((Vec::new(), None))
         }
         EventRequest::ExchangeSend { .. }
         | EventRequest::TaskTrain(_)
@@ -197,14 +215,26 @@ fn execute_kernel(
 
 /// Execute the steps of a composite [`EventRequest::Task`] in order. The
 /// first failing step aborts the task; the caller replies with the error.
+///
+/// With `recv_us` set (the head asked for a timed reply), the worker stamps
+/// the moment the data steps finished (`deps_us` — everything before it is
+/// dependency/transfer wait) and the kernel-execution window; without it no
+/// clock is ever read.
 fn run_task_steps(
     channel: &Communicator,
     memory: &DeviceMemory,
     kernels: &KernelRegistry,
     spec: crate::protocol::TaskSpec,
     tag: Tag,
-) -> OmpcResult<()> {
+    recv_us: Option<u64>,
+) -> OmpcResult<Option<TaskStamps>> {
     use crate::protocol::TaskStep;
+    let mut stamps = recv_us.map(|recv_us| TaskStamps {
+        recv_us,
+        deps_us: recv_us,
+        exec_start_us: recv_us,
+        exec_end_us: recv_us,
+    });
     for step in spec.steps {
         match step {
             TaskStep::RecvFromHead { buffer } => {
@@ -238,11 +268,19 @@ fn run_task_steps(
                 memory.remove(buffer);
             }
             TaskStep::Execute { kernel, buffers } => {
+                if let Some(s) = stamps.as_mut() {
+                    let now = monotonic_us();
+                    s.deps_us = now;
+                    s.exec_start_us = now;
+                }
                 execute_kernel(memory, kernels, kernel, &buffers)?;
+                if let Some(s) = stamps.as_mut() {
+                    s.exec_end_us = monotonic_us();
+                }
             }
         }
     }
-    Ok(())
+    Ok(stamps)
 }
 
 /// Handle one event on the worker side, always producing exactly one typed
@@ -259,6 +297,9 @@ pub fn handle_event(
     let channel = comm.on(notification.comm)?;
     let tag = notification.tag;
     let node = comm.rank();
+    // Handler-entry timestamp, read only when the head asked for a timed
+    // reply — an untimed event costs no clock read on the worker.
+    let recv_us = notification.timed.then(monotonic_us);
     match notification.request {
         EventRequest::Shutdown | EventRequest::Kill => Ok(()), // gate-loop concerns
         EventRequest::ExchangeSend { buffer, to } => {
@@ -283,9 +324,14 @@ pub fn handle_event(
             let mut result = Ok(());
             for car in cars {
                 let channel = comm.on(car.comm)?;
-                let outcome = run_task_steps(&channel, memory, kernels, car.spec, car.tag);
+                // Each car stamps its own pickup time: cars run strictly in
+                // order, so car N's recv marks when the handler reached it.
+                let car_recv_us = notification.timed.then(monotonic_us);
+                let outcome =
+                    run_task_steps(&channel, memory, kernels, car.spec, car.tag, car_recv_us);
                 let (reply, ok) = match outcome {
-                    Ok(()) => (EventReply::Ok(Vec::new()), true),
+                    Ok(Some(stamps)) => (EventReply::OkTimed(stamps, Vec::new()), true),
+                    Ok(None) => (EventReply::Ok(Vec::new()), true),
                     Err(e) => {
                         let remote = as_remote(node, car.tag, e.clone());
                         if result.is_ok() {
@@ -301,9 +347,10 @@ pub fn handle_event(
         }
         request => {
             let is_task = matches!(request, EventRequest::Task(_));
-            let outcome = event_outcome(&channel, memory, kernels, request, tag);
+            let outcome = event_outcome(&channel, memory, kernels, request, tag, recv_us);
             let (reply, result) = match outcome {
-                Ok(payload) => (EventReply::Ok(payload), Ok(())),
+                Ok((payload, Some(stamps))) => (EventReply::OkTimed(stamps, payload), Ok(())),
+                Ok((payload, None)) => (EventReply::Ok(payload), Ok(())),
                 Err(e) => (EventReply::Err(as_remote(node, tag, e.clone())), Err(e)),
             };
             let ok = result.is_ok();
@@ -471,7 +518,7 @@ mod tests {
             &worker,
             &memory,
             &kernels,
-            EventNotification { request: EventRequest::Submit { buffer }, tag, comm },
+            EventNotification { request: EventRequest::Submit { buffer }, tag, comm, timed: false },
         )
         .unwrap();
         // The typed Ok reply arrived at the head.
@@ -488,6 +535,7 @@ mod tests {
                 request: EventRequest::Execute { kernel: kid, buffers: vec![buffer] },
                 tag: tag2,
                 comm,
+                timed: false,
             },
         )
         .unwrap();
@@ -500,7 +548,12 @@ mod tests {
             &worker,
             &memory,
             &kernels,
-            EventNotification { request: EventRequest::Retrieve { buffer }, tag: tag3, comm },
+            EventNotification {
+                request: EventRequest::Retrieve { buffer },
+                tag: tag3,
+                comm,
+                timed: false,
+            },
         )
         .unwrap();
         let msg = head.on(comm).unwrap().recv(Some(1), Some(tag3)).unwrap();
@@ -522,6 +575,7 @@ mod tests {
                 request: EventRequest::Retrieve { buffer: BufferId(5) },
                 tag: Tag(1),
                 comm: CommId(0),
+                timed: false,
             },
         )
         .unwrap_err();
@@ -542,6 +596,7 @@ mod tests {
                 request: EventRequest::Execute { kernel: KernelId(3), buffers: vec![] },
                 tag: Tag(1),
                 comm: CommId(0),
+                timed: false,
             },
         )
         .unwrap_err();
@@ -577,6 +632,7 @@ mod tests {
                         request: EventRequest::ExchangeRecv { buffer, from: 1 },
                         tag,
                         comm,
+                        timed: false,
                     },
                 )
                 .unwrap();
@@ -587,7 +643,12 @@ mod tests {
             &w1,
             &mem1,
             &kernels,
-            EventNotification { request: EventRequest::ExchangeSend { buffer, to: 2 }, tag, comm },
+            EventNotification {
+                request: EventRequest::ExchangeSend { buffer, to: 2 },
+                tag,
+                comm,
+                timed: false,
+            },
         )
         .unwrap();
         let received = recv_thread.join().unwrap();
@@ -615,6 +676,7 @@ mod tests {
                 request: EventRequest::Execute { kernel: KernelId(7), buffers: vec![] },
                 tag,
                 comm: CommId(0),
+                timed: false,
             },
         )
         .unwrap_err();
@@ -656,6 +718,7 @@ mod tests {
                         request: EventRequest::ExchangeRecv { buffer, from: 1 },
                         tag,
                         comm,
+                        timed: false,
                     },
                 )
             }
@@ -666,7 +729,12 @@ mod tests {
             &w1,
             &mem1,
             &kernels,
-            EventNotification { request: EventRequest::ExchangeSend { buffer, to: 2 }, tag, comm },
+            EventNotification {
+                request: EventRequest::ExchangeSend { buffer, to: 2 },
+                tag,
+                comm,
+                timed: false,
+            },
         )
         .unwrap_err();
         assert_eq!(send_err, OmpcError::UnknownBuffer(buffer));
@@ -721,6 +789,7 @@ mod tests {
                 request: EventRequest::TaskTrain(vec![good, bad]),
                 tag: Tag(50),
                 comm: CommId(1),
+                timed: false,
             },
         )
         .unwrap_err();
@@ -766,7 +835,12 @@ mod tests {
             &worker,
             &memory,
             &kernels,
-            EventNotification { request: EventRequest::Reset, tag: Tag(60), comm: CommId(0) },
+            EventNotification {
+                request: EventRequest::Reset,
+                tag: Tag(60),
+                comm: CommId(0),
+                timed: false,
+            },
         )
         .unwrap();
         assert!(memory.is_empty());
@@ -783,7 +857,12 @@ mod tests {
         let kernels = Arc::new(KernelRegistry::new());
         let worker = std::thread::spawn(move || worker_main(worker_comm, kernels, 1));
 
-        let kill = EventNotification { request: EventRequest::Kill, tag: Tag(70), comm: CommId(0) };
+        let kill = EventNotification {
+            request: EventRequest::Kill,
+            tag: Tag(70),
+            comm: CommId(0),
+            timed: false,
+        };
         head.send(1, CONTROL_TAG, kill.encode()).unwrap();
         let cars: Vec<TrainCar> = [71u64, 72]
             .iter()
@@ -797,6 +876,7 @@ mod tests {
             request: EventRequest::TaskTrain(cars),
             tag: Tag(71),
             comm: CommId(1),
+            timed: false,
         };
         head.send(1, CONTROL_TAG, train.encode()).unwrap();
 
@@ -812,8 +892,12 @@ mod tests {
                 CompletionNotice { tag: Tag(tag), ok: false }
             );
         }
-        let shutdown =
-            EventNotification { request: EventRequest::Shutdown, tag: Tag(73), comm: CommId(0) };
+        let shutdown = EventNotification {
+            request: EventRequest::Shutdown,
+            tag: Tag(73),
+            comm: CommId(0),
+            timed: false,
+        };
         head.send(1, CONTROL_TAG, shutdown.encode()).unwrap();
         worker.join().unwrap();
     }
@@ -827,7 +911,8 @@ mod tests {
         let worker = std::thread::spawn(move || worker_main(worker_comm, kernels, 1));
 
         let send = |req: EventRequest, tag: u64| {
-            let n = EventNotification { request: req, tag: Tag(tag), comm: CommId(0) };
+            let n =
+                EventNotification { request: req, tag: Tag(tag), comm: CommId(0), timed: false };
             head.send(1, CONTROL_TAG, n.encode()).unwrap();
         };
         // Before the kill: a normal alloc completes with an Ok reply.
