@@ -24,6 +24,10 @@
 //! * [`run_backend_overhead`] — threaded-vs-MPI dispatch overhead: wall
 //!   time of a wide tiny-task graph at varying in-flight window sizes on
 //!   both real backends.
+//! * [`run_prefetch`] — cross-region prefetch: wall time of the resident
+//!   Awave survey with per-shot observed-traces payloads at varying
+//!   prefetch depths, showing transfer/compute overlap against
+//!   synchronous enter-data on both real backends.
 //! * [`run_hotpath_overhead`] / [`run_warm_startup`] — the MPI hot-path
 //!   figure: the same wide graph with task-train batching on and off, and
 //!   the warm-pool start-up share of a tiny run, cold vs warm.
@@ -40,6 +44,7 @@ pub mod ablation;
 pub mod fault;
 pub mod figures;
 pub mod hotpath;
+pub mod prefetch;
 pub mod report;
 pub mod residency;
 pub mod runtimes;
@@ -55,6 +60,7 @@ pub use hotpath::{
     baseline_window1_ratio, hotpath_json, run_hotpath_overhead, run_warm_startup,
     HotpathOverheadRow, HotpathStartupRow,
 };
+pub use prefetch::{prefetch_gate_failures, run_prefetch, PrefetchRow, PrefetchSurvey};
 pub use report::{geometric_mean, render_table, rows_to_json_pretty, speedup_summary, JsonRow};
 pub use residency::{
     run_backend_overhead, run_residency, BackendOverheadRow, MappingMode, ResidencyRow,

@@ -11,11 +11,13 @@
 use crate::buffer::BufferRegistry;
 use crate::config::BackendKind;
 use crate::config::OmpcConfig;
-use crate::data_manager::{DataManager, HEAD_NODE};
+use crate::data_manager::{
+    DataManager, Ticket, TransferPlan, TransferReason, TransferState, HEAD_NODE,
+};
 use crate::event::EventSystem;
 use crate::kernel::{Kernel, KernelArgs, KernelRegistry};
 use crate::model::WorkloadGraph;
-use crate::protocol::COMPLETION_TAG;
+use crate::protocol::{COMPLETION_TAG, PREFETCH_TAG};
 use crate::region::TargetRegion;
 use crate::runtime::fault::{FaultPlan, FaultState};
 use crate::runtime::telemetry::{monotonic_us, Span, SpanPhase, Telemetry};
@@ -24,12 +26,12 @@ use crate::runtime::{
 };
 use crate::stats::{DeviceReport, RegionReport};
 use crate::task::{RegionGraph, TaskKind};
-use crate::types::{BufferId, Dependence, KernelId, NodeId, OmpcError, OmpcResult};
+use crate::types::{BufferId, Dependence, KernelId, MapType, NodeId, OmpcError, OmpcResult};
 use crate::worker::worker_main;
 use ompc_mpi::World;
 use ompc_sched::Platform;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -114,6 +116,20 @@ pub struct ClusterDevice {
     /// region seen) and reused across region executions; drained on
     /// shutdown/drop.
     pool: HeadWorkerPool,
+    /// Dedicated pool for the asynchronous data path (async enter-data,
+    /// cross-region prefetch, double-buffered flushes). Separate from the
+    /// region pool by design: a region task may *block* on an in-flight
+    /// transfer, so the job driving that transfer must never be queued
+    /// behind it on the same threads.
+    transfer_pool: HeadWorkerPool,
+    /// Paired with `dm`'s mutex; notified whenever an async data-path job
+    /// resolves an in-flight entry. First readers, concurrent flushes, and
+    /// ticket awaiters block here.
+    inflight_cv: Arc<Condvar>,
+    /// Test-only freeze gate for async transfer jobs (see
+    /// [`ClusterDevice::debug_hold_async_transfers`]). Its condvar pairs
+    /// with its *own* mutex, never with `dm`'s.
+    async_hold: Arc<(Mutex<bool>, Condvar)>,
     report: Mutex<DeviceReport>,
     /// Decision record of the most recent region / workload execution,
     /// including any failure and recovery events.
@@ -182,6 +198,9 @@ impl ClusterDevice {
         let pool = HeadWorkerPool::with_idle_timeout(
             config.pool_idle_timeout_ms.map(std::time::Duration::from_millis),
         );
+        let transfer_pool = HeadWorkerPool::with_idle_timeout(
+            config.pool_idle_timeout_ms.map(std::time::Duration::from_millis),
+        );
         let telemetry = Telemetry::new(config.telemetry);
         Self {
             world: Some(world),
@@ -193,6 +212,9 @@ impl ClusterDevice {
             num_workers,
             worker_handles,
             pool,
+            transfer_pool,
+            inflight_cv: Arc::new(Condvar::new()),
+            async_hold: Arc::new((Mutex::new(false), Condvar::new())),
             report: Mutex::new(DeviceReport { startup_time, ..DeviceReport::default() }),
             last_record: Mutex::new(None),
             workload_kernel: std::sync::OnceLock::new(),
@@ -281,6 +303,9 @@ impl ClusterDevice {
     /// error from a later region.
     pub fn enter_data(&self, data: Vec<u8>) -> BufferId {
         assert!(!self.shut_down, "enter_data on a shut-down ClusterDevice");
+        if self.config.enter_data_async {
+            return self.enter_data_async(data).0;
+        }
         let bytes = data.len() as u64;
         let buffer = self.buffers.register(data);
         let mut dm = self.dm.lock();
@@ -292,6 +317,321 @@ impl ClusterDevice {
     /// Convenience: [`ClusterDevice::enter_data`] for a slice of `f64`s.
     pub fn enter_data_f64s(&self, values: &[f64]) -> BufferId {
         self.enter_data(ompc_mpi::typed::f64s_to_bytes(values))
+    }
+
+    /// [`ClusterDevice::enter_data`] that starts distributing the data
+    /// **immediately**: the destination is predicted by scheduling a
+    /// synthetic single-reader region against the current residency view,
+    /// the movement is booked in the data manager's in-flight table, and a
+    /// dedicated transfer pool pushes the bytes while the caller keeps
+    /// building (or running) regions. Returns the buffer plus a
+    /// [`Ticket`]; awaiting it ([`ClusterDevice::await_transfer`]) is
+    /// optional — the first region task that reads the buffer **awaits the
+    /// in-flight transfer in place** instead of re-submitting it, and a
+    /// reader scheduled onto a different node than predicted just pays one
+    /// extra hop (prediction misses cost bandwidth, never correctness).
+    pub fn enter_data_async(&self, data: Vec<u8>) -> (BufferId, Ticket) {
+        assert!(!self.shut_down, "enter_data_async on a shut-down ClusterDevice");
+        let bytes = data.len() as u64;
+        let buffer = self.buffers.register(data);
+        let ticket = {
+            let mut dm = self.dm.lock();
+            dm.register_host_buffer(buffer, bytes);
+            dm.mark_resident(buffer);
+            dm.open_ticket()
+        };
+        // `Input`, not `EnterData`: the synchronous path distributes a
+        // device-resident mapping lazily through the first reader's
+        // `plan_input`, so the async record must carry the same reason for
+        // the transfer plans to compare byte-identical.
+        if let Some(node) = self.predict_first_reader(buffer) {
+            let plan = self.dm.lock().begin_inflight(buffer, node, TransferReason::Input, ticket);
+            if let Some(plan) = plan {
+                self.spawn_transfer_job(plan, "async enter-data");
+            }
+        }
+        (buffer, ticket)
+    }
+
+    /// Convenience: [`ClusterDevice::enter_data_async`] for `f64`s.
+    pub fn enter_data_async_f64s(&self, values: &[f64]) -> (BufferId, Ticket) {
+        self.enter_data_async(ompc_mpi::typed::f64s_to_bytes(values))
+    }
+
+    /// Block until every transfer booked under `ticket` has resolved and
+    /// return the batch outcome. Unknown (or already awaited) tickets read
+    /// as completed.
+    pub fn await_transfer(&self, ticket: Ticket) -> OmpcResult<()> {
+        let mut dm = self.dm.lock();
+        loop {
+            match dm.ticket_result(ticket) {
+                Some(outcome) => return outcome,
+                None => self.inflight_cv.wait(&mut dm),
+            }
+        }
+    }
+
+    /// Start bringing the host copy of `buffer` up to date **without
+    /// blocking**: the retrieval runs on the transfer pool and overlaps
+    /// whatever the caller does next (the double-buffered flush of the
+    /// async data path). Returns a [`Ticket`]; a concurrent
+    /// [`ClusterDevice::buffer_data`] of the same buffer waits for this
+    /// retrieval instead of scheduling a second one. When a retrieval of
+    /// the buffer is already in flight its ticket is returned instead of
+    /// booking a duplicate.
+    pub fn flush_async(&self, buffer: BufferId) -> OmpcResult<Ticket> {
+        if self.shut_down {
+            return Err(OmpcError::ShutDown);
+        }
+        let (from, ticket) = {
+            let mut dm = self.dm.lock();
+            if !dm.is_registered(buffer) {
+                return Ok(dm.open_ticket());
+            }
+            if let TransferState::InFlight(t) = dm.transfer_state(buffer, HEAD_NODE) {
+                return Ok(t);
+            }
+            let ticket = dm.open_ticket();
+            match dm.begin_inflight_retrieve(buffer, ticket) {
+                Some(from) => (from, ticket),
+                // The host already holds the latest version.
+                None => return Ok(ticket),
+            }
+        };
+        let events = Arc::clone(&self.events);
+        let buffers = Arc::clone(&self.buffers);
+        let dm = Arc::clone(&self.dm);
+        let cv = Arc::clone(&self.inflight_cv);
+        let hold = Arc::clone(&self.async_hold);
+        let telemetry = Arc::clone(&self.telemetry);
+        let submitted = self.transfer_pool.submit_closure(Box::new(move || {
+            Self::wait_hold(&hold);
+            let outcome = Self::retrieve_and_commit(
+                &events,
+                &buffers,
+                &dm,
+                &telemetry,
+                from,
+                buffer,
+                "double-buffered flush",
+            );
+            let mut dm = dm.lock();
+            dm.finish_inflight(buffer, HEAD_NODE, outcome);
+            drop(dm);
+            cv.notify_all();
+        }));
+        if submitted.is_err() {
+            self.dm.lock().finish_inflight(buffer, HEAD_NODE, Err(OmpcError::ShutDown));
+            self.inflight_cv.notify_all();
+        }
+        Ok(ticket)
+    }
+
+    /// Test hook: freeze every async transfer job before it touches the
+    /// wire (`true`), or release them (`false`). Lets fault-tolerance tests
+    /// deterministically arrange "the destination dies while the prefetch
+    /// is in flight" without racing the wire.
+    #[doc(hidden)]
+    pub fn debug_hold_async_transfers(&self, hold: bool) {
+        let (lock, cv) = &*self.async_hold;
+        *lock.lock() = hold;
+        if !hold {
+            cv.notify_all();
+        }
+    }
+
+    /// Predict which worker the first reader of `buffer` will be scheduled
+    /// onto, by planning a synthetic single-reader region against the
+    /// current residency view — the same scheduler the real region will
+    /// consult, so for single-reader shapes the prediction is exact.
+    fn predict_first_reader(&self, buffer: BufferId) -> Option<NodeId> {
+        let alive = self.alive_workers();
+        if alive.is_empty() {
+            return None;
+        }
+        let mut probe = RegionGraph::new();
+        probe.add_task(
+            TaskKind::Target { kernel: KernelId(0), cost_hint: 1e-6 },
+            vec![Dependence::input(buffer)],
+            "async-enter-data probe".to_string(),
+        );
+        let residency = self.dm.lock().latest_on_workers();
+        let assignment = RuntimePlan::region_assignment_on(
+            &probe,
+            &self.buffers,
+            &Platform::cluster(alive.len()),
+            &self.config,
+            &alive,
+            &residency,
+        );
+        assignment.first().copied().filter(|&n| n != HEAD_NODE)
+    }
+
+    /// Block while the test-only hold gate is closed.
+    fn wait_hold(hold: &(Mutex<bool>, Condvar)) {
+        let (lock, cv) = hold;
+        let mut held = lock.lock();
+        while *held {
+            cv.wait(&mut held);
+        }
+    }
+
+    /// Body of one single-transfer async job: push the planned movement
+    /// over the wire and record a `Prefetch` span for the overlap.
+    fn run_async_submit(
+        events: &EventSystem,
+        buffers: &BufferRegistry,
+        dm: &Mutex<DataManager>,
+        telemetry: &Telemetry,
+        plan: &TransferPlan,
+        detail: &'static str,
+    ) -> OmpcResult<()> {
+        // The destination may have died while the job sat in the queue (or
+        // behind the hold gate): fail without touching the wire, so the
+        // booking rolls back deterministically.
+        if dm.lock().is_failed(plan.to) {
+            return Err(OmpcError::NodeFailure(plan.to));
+        }
+        let t0 = telemetry.start();
+        let moved = if plan.from == HEAD_NODE {
+            // A one-car train, not a plain submit: the worker's gate thread
+            // handles trains inline, so the arrival can never queue behind a
+            // composite task blocked awaiting this very transfer (the MPI
+            // backend's `AwaitLocal` step) on a small handler pool.
+            buffers
+                .get(plan.buffer)
+                .and_then(|data| events.submit_train(plan.to, vec![(plan.buffer, data)]))
+        } else {
+            events.exchange(plan.from, plan.to, plan.buffer).map(|_| ())
+        };
+        if moved.is_ok() && telemetry.spans_enabled() {
+            let bytes = buffers.size_of(plan.buffer).unwrap_or(0) as u64;
+            telemetry.record(
+                Span::new(SpanPhase::Prefetch, plan.to, t0, monotonic_us())
+                    .bytes(bytes)
+                    .from(plan.from)
+                    .detail(detail),
+            );
+        }
+        moved
+    }
+
+    /// Submit one booked async movement to the transfer pool. If the pool
+    /// is already drained (device shutting down) the booking is resolved as
+    /// failed immediately so no waiter ever blocks on a job that will not
+    /// run.
+    fn spawn_transfer_job(&self, plan: TransferPlan, detail: &'static str) {
+        let events = Arc::clone(&self.events);
+        let buffers = Arc::clone(&self.buffers);
+        let dm = Arc::clone(&self.dm);
+        let cv = Arc::clone(&self.inflight_cv);
+        let hold = Arc::clone(&self.async_hold);
+        let telemetry = Arc::clone(&self.telemetry);
+        let (buffer, to) = (plan.buffer, plan.to);
+        let submitted = self.transfer_pool.submit_closure(Box::new(move || {
+            Self::wait_hold(&hold);
+            let outcome = Self::run_async_submit(&events, &buffers, &dm, &telemetry, &plan, detail);
+            let mut dm = dm.lock();
+            dm.finish_inflight(buffer, to, outcome);
+            drop(dm);
+            cv.notify_all();
+        }));
+        if submitted.is_err() {
+            self.dm.lock().finish_inflight(buffer, to, Err(OmpcError::ShutDown));
+            self.inflight_cv.notify_all();
+        }
+    }
+
+    /// Submit one per-node prefetch *train* (MPI backend): every payload
+    /// streams back-to-back on one reserved channel and the worker posts a
+    /// single completion notice, so a k-buffer prefetch costs one
+    /// round-trip instead of k. All-or-nothing: a failed train rolls back
+    /// every booking it carried.
+    fn spawn_train_job(&self, node: NodeId, plans: Vec<TransferPlan>) {
+        let events = Arc::clone(&self.events);
+        let buffers = Arc::clone(&self.buffers);
+        let dm = Arc::clone(&self.dm);
+        let cv = Arc::clone(&self.inflight_cv);
+        let hold = Arc::clone(&self.async_hold);
+        let telemetry = Arc::clone(&self.telemetry);
+        let submitted = {
+            let plans = plans.clone();
+            self.transfer_pool.submit_closure(Box::new(move || {
+                Self::wait_hold(&hold);
+                let outcome: OmpcResult<()> = (|| {
+                    if dm.lock().is_failed(node) {
+                        return Err(OmpcError::NodeFailure(node));
+                    }
+                    let t0 = telemetry.start();
+                    let mut cars = Vec::with_capacity(plans.len());
+                    let mut total = 0u64;
+                    for plan in &plans {
+                        let data = buffers.get(plan.buffer)?;
+                        total += data.len() as u64;
+                        cars.push((plan.buffer, data));
+                    }
+                    events.submit_train(node, cars)?;
+                    if telemetry.spans_enabled() {
+                        telemetry.record(
+                            Span::new(SpanPhase::Prefetch, node, t0, monotonic_us())
+                                .bytes(total)
+                                .from(HEAD_NODE)
+                                .detail("prefetch train"),
+                        );
+                    }
+                    Ok(())
+                })();
+                let mut dm = dm.lock();
+                for plan in &plans {
+                    dm.finish_inflight(
+                        plan.buffer,
+                        node,
+                        outcome.as_ref().map(|_| ()).map_err(Clone::clone),
+                    );
+                }
+                drop(dm);
+                cv.notify_all();
+            }))
+        };
+        if submitted.is_err() {
+            let mut dm = self.dm.lock();
+            for plan in &plans {
+                dm.finish_inflight(plan.buffer, node, Err(OmpcError::ShutDown));
+            }
+            drop(dm);
+            self.inflight_cv.notify_all();
+        }
+    }
+
+    /// Retrieve `buffer` from `from` and commit it to the host registry
+    /// (shared body of the synchronous and double-buffered lazy flushes).
+    fn retrieve_and_commit(
+        events: &EventSystem,
+        buffers: &BufferRegistry,
+        dm: &Mutex<DataManager>,
+        telemetry: &Telemetry,
+        from: NodeId,
+        buffer: BufferId,
+        detail: &'static str,
+    ) -> OmpcResult<()> {
+        let t0 = telemetry.start();
+        let data = events.retrieve(from, buffer)?;
+        let bytes = data.len() as u64;
+        if telemetry.spans_enabled() {
+            telemetry.record(
+                Span::new(SpanPhase::HostFlush, HEAD_NODE, t0, monotonic_us())
+                    .bytes(bytes)
+                    .from(from)
+                    .detail(detail),
+            );
+        }
+        buffers.set(buffer, data)?;
+        let mut dm = dm.lock();
+        // A kernel may have resized the device copy; the observed size
+        // keeps this and every later transfer-log entry truthful.
+        dm.observe_size(buffer, bytes);
+        dm.record_retrieve(buffer);
+        Ok(())
     }
 
     /// Device-level unstructured `target exit data map(from:)`: flush the
@@ -313,34 +653,64 @@ impl ClusterDevice {
     /// is committed until the bytes land: a failed retrieval surfaces as
     /// an error and the next read retries from the then-latest holder
     /// instead of silently trusting a stale host copy.
+    ///
+    /// Concurrent flushes of one buffer are **serialized through the
+    /// in-flight table**: the first reader books the retrieval, later
+    /// readers (and [`ClusterDevice::flush_async`] jobs) wait for it to
+    /// land instead of scheduling a second retrieve of the same bytes —
+    /// the fix for the latent double-flush.
     fn flush_to_host(&self, buffer: BufferId) -> OmpcResult<()> {
-        let from = {
-            let dm = self.dm.lock();
+        let (from, ticket) = {
+            let mut dm = self.dm.lock();
             if !dm.is_registered(buffer) {
                 return Ok(());
             }
-            dm.retrieve_source(buffer)
-        };
-        if let Some(from) = from {
-            let t0 = self.telemetry.start();
-            let data = self.events.retrieve(from, buffer)?;
-            let bytes = data.len() as u64;
-            if self.telemetry.spans_enabled() {
-                self.telemetry.record(
-                    Span::new(SpanPhase::HostFlush, HEAD_NODE, t0, monotonic_us())
-                        .bytes(bytes)
-                        .from(from)
-                        .detail("lazy host flush"),
-                );
+            let mut wait_t0 = None;
+            while matches!(dm.transfer_state(buffer, HEAD_NODE), TransferState::InFlight(_)) {
+                if wait_t0.is_none() {
+                    wait_t0 = Some(self.telemetry.start());
+                }
+                self.inflight_cv.wait(&mut dm);
             }
-            self.buffers.set(buffer, data)?;
+            if let Some(t0) = wait_t0 {
+                if self.telemetry.spans_enabled() {
+                    self.telemetry.record(
+                        Span::new(SpanPhase::AwaitInflight, HEAD_NODE, t0, monotonic_us())
+                            .detail("flush waits for in-flight retrieval"),
+                    );
+                }
+            }
+            let ticket = dm.open_ticket();
+            match dm.begin_inflight_retrieve(buffer, ticket) {
+                Some(from) => (from, ticket),
+                None => {
+                    // The host already holds the latest version (possibly
+                    // because the retrieval we just waited for landed it).
+                    let _ = dm.ticket_result(ticket);
+                    return Ok(());
+                }
+            }
+        };
+        let outcome = Self::retrieve_and_commit(
+            &self.events,
+            &self.buffers,
+            &self.dm,
+            &self.telemetry,
+            from,
+            buffer,
+            "lazy host flush",
+        );
+        {
             let mut dm = self.dm.lock();
-            // A kernel may have resized the device copy; the observed size
-            // keeps this and every later transfer-log entry truthful.
-            dm.observe_size(buffer, bytes);
-            dm.record_retrieve(buffer);
+            dm.finish_inflight(
+                buffer,
+                HEAD_NODE,
+                outcome.as_ref().map(|_| ()).map_err(Clone::clone),
+            );
+            let _ = dm.ticket_result(ticket);
         }
-        Ok(())
+        self.inflight_cv.notify_all();
+        outcome
     }
 
     /// Drain the transfers planned *outside* any region execution — lazy
@@ -439,8 +809,12 @@ impl ClusterDevice {
         }
         self.shut_down = true;
         let start = Instant::now();
-        // Drain the pool before the workers go away: pool jobs talk to the
-        // workers through the event system.
+        // Release the test-only hold gate and drain the async data path
+        // first — an in-flight prefetch must land (or fail fast) before the
+        // region pool and the workers go away — then drain the region pool:
+        // jobs in both pools talk to the workers through the event system.
+        self.debug_hold_async_transfers(false);
+        self.transfer_pool.drain();
         self.pool.drain();
         if self.config.warm_worker_keepalive && self.try_park_workers() {
             self.report.lock().shutdown_time = start.elapsed();
@@ -473,9 +847,10 @@ impl ClusterDevice {
             }
         }
         let Some(world) = self.world.take() else { return false };
-        // A completion notice of an already-drained reply must not leak
-        // into the adopting lifetime as a stale message.
+        // A completion (or prefetch-train) notice of an already-drained
+        // reply must not leak into the adopting lifetime as a stale message.
         while self.events.communicator().try_recv(None, Some(COMPLETION_TAG)).is_some() {}
+        while self.events.communicator().try_recv(None, Some(PREFETCH_TAG)).is_some() {}
         self.events.reset_counters();
         WARM_WORKERS.lock().push((
             warm_key(self.num_workers, &self.config),
@@ -487,6 +862,146 @@ impl ClusterDevice {
             },
         ));
         true
+    }
+
+    /// Execute a queue of regions back to back with **cross-region
+    /// prefetch**: while region *i* computes, the enter-data inputs of up
+    /// to [`OmpcConfig::prefetch_depth`] queued regions stream to their
+    /// predicted workers on the dedicated transfer pool, so region *i+1*
+    /// starts with its data already resident (or in flight, in which case
+    /// its first readers await instead of re-submitting). Returns one
+    /// [`RegionReport`] per region, in order; the first error aborts the
+    /// pipeline (transfers already in flight for later regions resolve on
+    /// their own and are rolled back or adopted by whatever runs next).
+    pub fn run_pipeline(&self, regions: Vec<TargetRegion<'_>>) -> OmpcResult<Vec<RegionReport>> {
+        if self.shut_down {
+            return Err(OmpcError::ShutDown);
+        }
+        let mut parts: Vec<Option<(RegionGraph, HashMap<usize, HostFn>)>> =
+            regions.into_iter().map(|r| Some(r.into_parts())).collect();
+        let mut reports = Vec::with_capacity(parts.len());
+        for i in 0..parts.len() {
+            self.prefetch_ahead(&parts, i);
+            let (graph, host_fns) = parts[i].take().expect("pipeline region executed twice");
+            if graph.is_empty() {
+                reports.push(RegionReport::default());
+                continue;
+            }
+            reports.push(self.execute_region(graph, host_fns)?);
+        }
+        Ok(reports)
+    }
+
+    /// Plan and launch the prefetches that may overlap region `next` (the
+    /// one about to execute): for each queued region within
+    /// `prefetch_depth`, stream its enter-data / first-read inputs to the
+    /// worker its consuming task is predicted to run on.
+    ///
+    /// Planning rules:
+    /// - **hazards**: any buffer still touched by an earlier queued region
+    ///   (including the one about to run) is skipped — its contents or
+    ///   residency will change before the target region consumes it;
+    /// - **never duplicate**: a buffer whose latest version is already
+    ///   worker-resident, or already in flight, is skipped;
+    /// - **destination**: the consuming task's node in the target region's
+    ///   schedule, planned against the current residency view (prefetch
+    ///   only adds holders, never changes who holds the latest version, so
+    ///   the real run's schedule sees the same pins);
+    /// - **failure**: a booking towards a node that dies before (or while)
+    ///   the bytes move is rolled back by the job itself and the consuming
+    ///   region re-sources from the survivors.
+    fn prefetch_ahead(&self, parts: &[Option<(RegionGraph, HashMap<usize, HostFn>)>], next: usize) {
+        let depth = self.config.prefetch_depth;
+        if depth == 0 || next >= parts.len() {
+            return;
+        }
+        let alive = self.alive_workers();
+        if alive.is_empty() {
+            return;
+        }
+        let graph_buffers = |graph: &RegionGraph| -> BTreeSet<BufferId> {
+            graph.tasks().iter().flat_map(|t| t.dependences.iter().map(|d| d.buffer)).collect()
+        };
+        let mut hazards: BTreeSet<BufferId> = match &parts[next] {
+            Some((graph, _)) => graph_buffers(graph),
+            None => BTreeSet::new(),
+        };
+        let platform = Platform::cluster(alive.len());
+        let mut singles: Vec<TransferPlan> = Vec::new();
+        let mut train_batches: BTreeMap<NodeId, Vec<TransferPlan>> = BTreeMap::new();
+        let end = parts.len().min(next + 1 + depth);
+        for part in parts.iter().take(end).skip(next + 1) {
+            let Some((graph, _)) = part else { continue };
+            // The first entering or reading task per buffer decides the
+            // prefetch reason and destination.
+            let mut cands: BTreeMap<BufferId, (usize, TransferReason)> = BTreeMap::new();
+            for task in graph.tasks() {
+                match &task.kind {
+                    TaskKind::EnterData { buffer, map } => {
+                        if matches!(map, MapType::To | MapType::ToFrom | MapType::ToResident) {
+                            cands.entry(*buffer).or_insert((task.id.0, TransferReason::EnterData));
+                        }
+                    }
+                    TaskKind::Target { .. } => {
+                        for dep in &task.dependences {
+                            if dep.dep_type.reads() {
+                                cands
+                                    .entry(dep.buffer)
+                                    .or_insert((task.id.0, TransferReason::Input));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !cands.is_empty() {
+                let residency = self.dm.lock().latest_on_workers();
+                let assignment = RuntimePlan::region_assignment_on(
+                    graph,
+                    &self.buffers,
+                    &platform,
+                    &self.config,
+                    &alive,
+                    &residency,
+                );
+                let mut dm = self.dm.lock();
+                let ticket = dm.open_ticket();
+                for (buffer, (task, reason)) in cands {
+                    if hazards.contains(&buffer) {
+                        continue;
+                    }
+                    let Some(&node) = assignment.get(task) else { continue };
+                    if node == HEAD_NODE {
+                        continue;
+                    }
+                    if !dm.is_registered(buffer) {
+                        let bytes = self.buffers.size_of(buffer).unwrap_or(0) as u64;
+                        dm.register_host_buffer(buffer, bytes);
+                    }
+                    if dm.retrieve_source(buffer).is_some() || dm.buffer_in_flight(buffer) {
+                        continue;
+                    }
+                    let Some(plan) = dm.begin_inflight(buffer, node, reason, ticket) else {
+                        continue;
+                    };
+                    // MPI prefetches from the head batch into per-node
+                    // trains on the reserved tag; everything else moves as
+                    // an individual async job.
+                    if matches!(self.config.backend, BackendKind::Mpi) && plan.from == HEAD_NODE {
+                        train_batches.entry(node).or_default().push(plan);
+                    } else {
+                        singles.push(plan);
+                    }
+                }
+            }
+            hazards.extend(graph_buffers(graph));
+        }
+        for plan in singles {
+            self.spawn_transfer_job(plan, "cross-region prefetch");
+        }
+        for (node, plans) in train_batches {
+            self.spawn_train_job(node, plans);
+        }
     }
 
     /// Execute a region graph through the unified execution core. Called by
@@ -629,8 +1144,19 @@ impl ClusterDevice {
         .map(|f| f.with_replan(self.config.replan_on_failure).with_prior_failures(&prior_dead));
         // Transfers planned between regions (lazy host flushes through
         // `buffer_data`) belong to no run; clear them so this run's record
-        // contains exactly its own transfers.
-        self.dm.lock().take_transfer_log();
+        // contains exactly its own transfers. Then adopt the deferred
+        // records of async transfers (async enter-data / cross-region
+        // prefetch) whose buffers this region consumes: the record reports
+        // them exactly where the synchronous path would have planned them,
+        // keeping async and sync transfer plans comparable. Bookings for
+        // other (later) regions stay deferred.
+        {
+            let mut dm = self.dm.lock();
+            dm.take_transfer_log();
+            let consumed: BTreeSet<BufferId> =
+                graph.tasks().iter().flat_map(|t| t.dependences.iter().map(|d| d.buffer)).collect();
+            dm.adopt_deferred_for(&consumed);
+        }
         let mut core = match faults {
             Some(faults) => RuntimeCore::with_faults(graph.as_ref(), plan, faults),
             None => RuntimeCore::new(graph.as_ref(), plan),
@@ -647,6 +1173,7 @@ impl ClusterDevice {
                     host_fns,
                     &self.config,
                     Arc::clone(&self.telemetry),
+                    Arc::clone(&self.inflight_cv),
                 );
                 backend.execute(&mut core)
             }

@@ -200,6 +200,24 @@ pub struct OmpcConfig {
     /// down cold. Enabled by default; disable for tests that count spawned
     /// threads across device lifetimes.
     pub warm_worker_keepalive: bool,
+    /// Start the transfers of [`crate::cluster::ClusterDevice::enter_data`]
+    /// asynchronously: `enter_data` (and the `_f64s` variant) books the
+    /// distribution in the [`crate::data_manager::DataManager`] in-flight
+    /// table, hands it to the device's async transfer engine, and returns
+    /// immediately; the first reader — a region task or a host read —
+    /// awaits the in-flight entry instead of re-submitting. The explicit
+    /// `enter_data_async` entry points always run asynchronously and return
+    /// a ticket regardless of this knob. Disabled by default: `enter_data`
+    /// blocks until the data landed, the historical behaviour.
+    pub enter_data_async: bool,
+    /// How many queued target regions ahead of the running one the
+    /// cross-region prefetcher ([`crate::cluster::ClusterDevice::run_pipeline`])
+    /// may stream enter-data inputs for while earlier regions compute
+    /// (the §4.4 pipelined-dispatch extension to the data path). `0`
+    /// disables prefetch: queued regions distribute their inputs only when
+    /// they start. Prefetches never duplicate resident copies and roll
+    /// back onto survivors when a target node dies mid-flight.
+    pub prefetch_depth: usize,
     /// How much the runtime records about its own execution (see
     /// [`crate::runtime::telemetry`]). [`TelemetryLevel::Off`] (the
     /// default) reaches no clock read and leaves
@@ -235,6 +253,8 @@ impl Default for OmpcConfig {
             pool_idle_timeout_ms: None,
             task_train_batching: true,
             warm_worker_keepalive: true,
+            enter_data_async: false,
+            prefetch_depth: 1,
             telemetry: TelemetryLevel::Off,
         }
     }
@@ -262,6 +282,8 @@ impl OmpcConfig {
             pool_idle_timeout_ms: None,
             task_train_batching: true,
             warm_worker_keepalive: true,
+            enter_data_async: false,
+            prefetch_depth: 1,
             telemetry: TelemetryLevel::Off,
         }
     }
@@ -369,6 +391,12 @@ mod tests {
         // Telemetry is off by default: no clock reads, empty span streams.
         assert_eq!(OmpcConfig::default().telemetry, crate::runtime::TelemetryLevel::Off);
         assert_eq!(OmpcConfig::small().telemetry, crate::runtime::TelemetryLevel::Off);
+        // enter_data stays blocking unless opted in; the pipeline prefetches
+        // one region ahead by default.
+        assert!(!OmpcConfig::default().enter_data_async);
+        assert!(!OmpcConfig::small().enter_data_async);
+        assert_eq!(OmpcConfig::default().prefetch_depth, 1);
+        assert_eq!(OmpcConfig::small().prefetch_depth, 1);
     }
 
     #[test]

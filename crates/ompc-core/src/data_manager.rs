@@ -43,11 +43,55 @@
 //! needs one of them transparently re-sources it from a surviving replica
 //! or from the host version.
 
-use crate::types::{BufferId, NodeId};
+use crate::types::{BufferId, NodeId, OmpcError};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The head node's id; the host copy of a buffer lives there.
 pub const HEAD_NODE: NodeId = 0;
+
+/// Identifier of one asynchronous transfer batch started through the
+/// device's async data path ([`DataManager::open_ticket`]). A ticket covers
+/// every in-flight movement booked against it; awaiting the ticket blocks
+/// until all of them have landed (or surfaced the first failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub u64);
+
+/// The state of `buffer`'s copy on a given node as seen by the in-flight
+/// transfer table — the waiters' view of the async data path. `Resident`
+/// means the bytes are there; `InFlight` means a transfer towards the node
+/// has been booked but not confirmed (first readers wait instead of
+/// re-submitting); `Invalid` means no valid copy and no pending movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferState {
+    /// A valid copy is present on the node.
+    Resident,
+    /// A transfer towards the node is booked under this ticket and has not
+    /// completed yet.
+    InFlight(Ticket),
+    /// No valid copy and no pending transfer (including a transfer that
+    /// failed — see [`DataManager::take_inflight_error`]).
+    Invalid,
+}
+
+/// Internal per-(buffer, node) entry of the in-flight table.
+#[derive(Debug, Clone)]
+enum InflightEntry {
+    /// Booked and moving under this ticket.
+    Moving(Ticket),
+    /// The movement failed; waiters consume the error instead of silently
+    /// computing on missing data. Cleared when a later plan re-books the
+    /// pair.
+    Failed(OmpcError),
+}
+
+/// Per-ticket completion accounting.
+#[derive(Debug, Clone, Default)]
+struct TicketState {
+    /// Transfers booked under the ticket that have not finished yet.
+    remaining: usize,
+    /// First failure observed among the ticket's transfers.
+    error: Option<OmpcError>,
+}
 
 /// A planned data movement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +166,19 @@ pub struct DataManager {
     epoch: u64,
     /// Per-run transfer log, drained by [`DataManager::take_transfer_log`].
     log: Vec<TransferRecord>,
+    /// In-flight transfer table: every `(buffer, node)` pair with a booked
+    /// but unconfirmed movement towards it (see [`TransferState`]).
+    inflight: BTreeMap<(u64, NodeId), InflightEntry>,
+    /// Open tickets of the async data path.
+    tickets: BTreeMap<u64, TicketState>,
+    /// Next ticket id.
+    next_ticket: u64,
+    /// Transfers booked asynchronously *between* region runs. They are not
+    /// part of any region's log yet; [`DataManager::adopt_deferred_for`]
+    /// moves them into the fresh per-run log of the region that consumes
+    /// the buffers, which is what keeps `RunRecord::transfers` identical to
+    /// the synchronous data path.
+    deferred: Vec<TransferRecord>,
 }
 
 impl DataManager {
@@ -275,8 +332,214 @@ impl DataManager {
         }
         let from = loc.latest;
         loc.holders.insert(node);
+        // A stale failure record for this pair is superseded by the new
+        // booking: the caller performs the transfer synchronously.
+        if matches!(self.inflight.get(&(buffer.0, node)), Some(InflightEntry::Failed(_))) {
+            self.inflight.remove(&(buffer.0, node));
+        }
         self.log.push(TransferRecord { buffer, from, to: node, bytes: loc.bytes, reason });
         Some(TransferPlan { from, to: node, buffer })
+    }
+
+    /// Open a ticket for a batch of asynchronous transfers. Movements are
+    /// attached with [`DataManager::begin_inflight`] /
+    /// [`DataManager::begin_inflight_retrieve`] and resolved with
+    /// [`DataManager::finish_inflight`]; [`DataManager::ticket_result`]
+    /// reports (and reaps) the batch outcome.
+    pub fn open_ticket(&mut self) -> Ticket {
+        let t = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.tickets.insert(t.0, TicketState::default());
+        t
+    }
+
+    /// Book an asynchronous movement of `buffer` towards worker `node`
+    /// under `ticket`: exactly [`DataManager::plan_input_as`], except the
+    /// transfer record is *deferred* (adopted into the consuming region's
+    /// log by [`DataManager::adopt_deferred_for`]) and the pair is marked
+    /// in flight so first readers wait on the ticket instead of
+    /// re-submitting. Returns `None` when nothing needs to move (already
+    /// present, already in flight, or the node is dead).
+    pub fn begin_inflight(
+        &mut self,
+        buffer: BufferId,
+        node: NodeId,
+        reason: TransferReason,
+        ticket: Ticket,
+    ) -> Option<TransferPlan> {
+        if self.failed.contains(&node) {
+            return None;
+        }
+        let loc = self
+            .buffers
+            .get_mut(&buffer)
+            .unwrap_or_else(|| panic!("begin_inflight on unregistered buffer {buffer}"));
+        if loc.holders.contains(&node) {
+            return None;
+        }
+        let from = loc.latest;
+        loc.holders.insert(node);
+        self.deferred.push(TransferRecord { buffer, from, to: node, bytes: loc.bytes, reason });
+        self.inflight.insert((buffer.0, node), InflightEntry::Moving(ticket));
+        if let Some(ts) = self.tickets.get_mut(&ticket.0) {
+            ts.remaining += 1;
+        }
+        Some(TransferPlan { from, to: node, buffer })
+    }
+
+    /// Book an asynchronous (or serialized lazy) retrieval of `buffer` to
+    /// the head node under `ticket`, marking `(buffer, HEAD_NODE)` in
+    /// flight so a concurrent flush of the same buffer waits instead of
+    /// scheduling a second retrieve — the fix for the latent double-flush.
+    /// Nothing is logged or committed here; the caller still runs
+    /// [`DataManager::record_retrieve`] once the bytes land, then
+    /// [`DataManager::finish_inflight`]. Returns the retrieval source, or
+    /// `None` when the head already holds the latest version.
+    pub fn begin_inflight_retrieve(&mut self, buffer: BufferId, ticket: Ticket) -> Option<NodeId> {
+        let from = self.retrieve_source(buffer)?;
+        self.inflight.insert((buffer.0, HEAD_NODE), InflightEntry::Moving(ticket));
+        if let Some(ts) = self.tickets.get_mut(&ticket.0) {
+            ts.remaining += 1;
+        }
+        Some(from)
+    }
+
+    /// Resolve a movement booked by [`DataManager::begin_inflight`] /
+    /// [`DataManager::begin_inflight_retrieve`]. On success the booking
+    /// becomes a plain resident copy. On failure — or on "success" towards
+    /// a node that has been declared failed in the meantime — the booking
+    /// is rolled back exactly like [`DataManager::forget_replica`]: the
+    /// optimistic holder is forgotten and the deferred (or already adopted)
+    /// transfer record is withdrawn, so neither the run record nor
+    /// [`crate::event::EventCounters::bytes_moved`] double-counts the
+    /// abandoned transfer. Worker-destined failures stay visible to waiters
+    /// via [`DataManager::take_inflight_error`]; a failed retrieval is
+    /// simply un-booked so the next flush retries from the still-truthful
+    /// location state.
+    pub fn finish_inflight(
+        &mut self,
+        buffer: BufferId,
+        node: NodeId,
+        outcome: Result<(), OmpcError>,
+    ) {
+        let Some(entry) = self.inflight.remove(&(buffer.0, node)) else { return };
+        let ticket = match entry {
+            InflightEntry::Moving(t) => Some(t),
+            InflightEntry::Failed(_) => None,
+        };
+        let outcome = match outcome {
+            Ok(()) if node != HEAD_NODE && self.failed.contains(&node) => {
+                Err(OmpcError::NodeFailure(node))
+            }
+            other => other,
+        };
+        if let Err(error) = &outcome {
+            if node != HEAD_NODE {
+                // Roll back the optimistic booking: the holder (unless the
+                // pair survived a failure declaration that already stripped
+                // it) and the transfer record, wherever it currently lives.
+                if let Some(loc) = self.buffers.get_mut(&buffer) {
+                    if loc.latest != node {
+                        loc.holders.remove(&node);
+                    }
+                }
+                if let Some(pos) =
+                    self.deferred.iter().rposition(|t| t.buffer == buffer && t.to == node)
+                {
+                    self.deferred.remove(pos);
+                } else if let Some(pos) =
+                    self.log.iter().rposition(|t| t.buffer == buffer && t.to == node)
+                {
+                    self.log.remove(pos);
+                }
+                self.inflight.insert((buffer.0, node), InflightEntry::Failed(error.clone()));
+            }
+        }
+        if let Some(t) = ticket {
+            if let Some(ts) = self.tickets.get_mut(&t.0) {
+                ts.remaining = ts.remaining.saturating_sub(1);
+                if let Err(error) = &outcome {
+                    ts.error.get_or_insert_with(|| error.clone());
+                }
+            }
+        }
+    }
+
+    /// The async-data-path state of `buffer`'s copy on `node` (see
+    /// [`TransferState`]).
+    pub fn transfer_state(&self, buffer: BufferId, node: NodeId) -> TransferState {
+        match self.inflight.get(&(buffer.0, node)) {
+            Some(InflightEntry::Moving(t)) => TransferState::InFlight(*t),
+            Some(InflightEntry::Failed(_)) => TransferState::Invalid,
+            None => {
+                if self.is_present(buffer, node) {
+                    TransferState::Resident
+                } else {
+                    TransferState::Invalid
+                }
+            }
+        }
+    }
+
+    /// Consume the stored failure of an abandoned movement towards
+    /// `(buffer, node)`, if one is recorded. Waiters call this after
+    /// observing [`TransferState::Invalid`] so a task never executes
+    /// against bytes that silently failed to arrive.
+    pub fn take_inflight_error(&mut self, buffer: BufferId, node: NodeId) -> Option<OmpcError> {
+        match self.inflight.get(&(buffer.0, node)) {
+            Some(InflightEntry::Failed(_)) => match self.inflight.remove(&(buffer.0, node)) {
+                Some(InflightEntry::Failed(e)) => Some(e),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The outcome of `ticket`, or `None` while transfers are still in
+    /// flight. A finished ticket is reaped on first read; an unknown (or
+    /// already reaped) ticket reads as successfully completed.
+    pub fn ticket_result(&mut self, ticket: Ticket) -> Option<Result<(), OmpcError>> {
+        match self.tickets.get(&ticket.0) {
+            None => Some(Ok(())),
+            Some(ts) if ts.remaining == 0 => {
+                let ts = self.tickets.remove(&ticket.0).unwrap_or_default();
+                Some(match ts.error {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                })
+            }
+            Some(_) => None,
+        }
+    }
+
+    /// Whether any movement of `buffer` (towards any node) is in flight.
+    pub fn buffer_in_flight(&self, buffer: BufferId) -> bool {
+        self.inflight
+            .iter()
+            .any(|(&(b, _), e)| b == buffer.0 && matches!(e, InflightEntry::Moving(_)))
+    }
+
+    /// Move the deferred records of async transfers whose buffers belong to
+    /// the region about to run into the (freshly drained) per-run log, in
+    /// booking order. Called by the device right before a region executes,
+    /// so the consuming region's [`crate::runtime::RunRecord::transfers`]
+    /// reports the prefetched movements exactly where the synchronous path
+    /// would have planned them. Records for other buffers stay deferred.
+    pub fn adopt_deferred_for(&mut self, buffers: &BTreeSet<BufferId>) {
+        let mut kept = Vec::new();
+        for record in std::mem::take(&mut self.deferred) {
+            if buffers.contains(&record.buffer) {
+                self.log.push(record);
+            } else {
+                kept.push(record);
+            }
+        }
+        self.deferred = kept;
+    }
+
+    /// The async transfer records not yet adopted into any region's log.
+    pub fn deferred_transfers(&self) -> &[TransferRecord] {
+        &self.deferred
     }
 
     /// Record that a task executing on `node` wrote `buffer`: the copy on
@@ -715,6 +978,103 @@ mod tests {
         assert!(dm.is_resident(b), "writes keep residency");
         dm.remove(b);
         assert!(!dm.is_resident(b), "release ends residency");
+    }
+
+    #[test]
+    fn inflight_booking_defers_the_record_and_blocks_replanning() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 64);
+        let t = dm.open_ticket();
+        let plan = dm.begin_inflight(b, 2, TransferReason::Input, t).unwrap();
+        assert_eq!(plan, TransferPlan { from: HEAD_NODE, to: 2, buffer: b });
+        // The booking is a holder (no sync re-plan) but the record is
+        // deferred, not in the per-run log.
+        assert!(dm.plan_input(b, 2).is_none());
+        assert!(dm.transfer_log().is_empty());
+        assert_eq!(dm.deferred_transfers().len(), 1);
+        assert_eq!(dm.transfer_state(b, 2), TransferState::InFlight(t));
+        assert!(dm.buffer_in_flight(b));
+        // A second booking of the same pair is free.
+        assert!(dm.begin_inflight(b, 2, TransferReason::Input, t).is_none());
+        // The ticket is pending until the movement lands.
+        assert_eq!(dm.ticket_result(t), None);
+        dm.finish_inflight(b, 2, Ok(()));
+        assert_eq!(dm.transfer_state(b, 2), TransferState::Resident);
+        assert_eq!(dm.ticket_result(t), Some(Ok(())));
+        // Reaped: a later read of the same ticket reads as complete.
+        assert_eq!(dm.ticket_result(t), Some(Ok(())));
+        // Adoption moves the deferred record into the fresh log.
+        dm.adopt_deferred_for(&[b].into_iter().collect());
+        assert!(dm.deferred_transfers().is_empty());
+        assert_eq!(dm.transfer_log().len(), 1);
+        assert_eq!(dm.transfer_log()[0].reason, TransferReason::Input);
+    }
+
+    #[test]
+    fn failed_inflight_rolls_back_holder_record_and_surfaces_the_error() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 8);
+        let t = dm.open_ticket();
+        dm.begin_inflight(b, 3, TransferReason::EnterData, t).unwrap();
+        let boom = OmpcError::Internal("wire".to_string());
+        dm.finish_inflight(b, 3, Err(boom.clone()));
+        // Holder and deferred record are gone; the failure is visible to
+        // waiters exactly once; the ticket reports it.
+        assert!(!dm.is_present(b, 3));
+        assert!(dm.deferred_transfers().is_empty());
+        assert_eq!(dm.transfer_state(b, 3), TransferState::Invalid);
+        assert_eq!(dm.take_inflight_error(b, 3), Some(boom.clone()));
+        assert_eq!(dm.take_inflight_error(b, 3), None);
+        assert_eq!(dm.ticket_result(t), Some(Err(boom)));
+        // The pair can be re-planned synchronously afterwards.
+        assert!(dm.plan_input(b, 3).is_some());
+    }
+
+    #[test]
+    fn inflight_completion_on_a_dead_node_counts_as_failure() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 8);
+        let t = dm.open_ticket();
+        dm.begin_inflight(b, 2, TransferReason::Input, t).unwrap();
+        dm.fail_node(2);
+        // The wire op "succeeded" but the destination died: the booking
+        // must roll back (no phantom transfer record survives).
+        dm.finish_inflight(b, 2, Ok(()));
+        assert!(dm.deferred_transfers().is_empty());
+        assert!(!dm.is_present(b, 2));
+        assert!(matches!(dm.ticket_result(t), Some(Err(OmpcError::NodeFailure(2)))));
+    }
+
+    #[test]
+    fn inflight_retrieve_serializes_concurrent_flushes() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 8);
+        dm.plan_input(b, 1).unwrap();
+        dm.record_write(b, 1);
+        let t = dm.open_ticket();
+        assert_eq!(dm.begin_inflight_retrieve(b, t), Some(1));
+        // A concurrent flusher observes the in-flight retrieval and waits
+        // instead of scheduling a second retrieve.
+        assert_eq!(dm.transfer_state(b, HEAD_NODE), TransferState::InFlight(t));
+        dm.record_retrieve(b);
+        dm.finish_inflight(b, HEAD_NODE, Ok(()));
+        assert_eq!(dm.ticket_result(t), Some(Ok(())));
+        // Once the head is latest there is nothing left to book.
+        let t2 = dm.open_ticket();
+        assert_eq!(dm.begin_inflight_retrieve(b, t2), None);
+        assert_eq!(dm.ticket_result(t2), Some(Ok(())));
+        // A failed retrieve is simply un-booked: the next flush retries.
+        dm.record_write(b, 1);
+        let t3 = dm.open_ticket();
+        assert_eq!(dm.begin_inflight_retrieve(b, t3), Some(1));
+        dm.finish_inflight(b, HEAD_NODE, Err(OmpcError::Internal("x".into())));
+        assert_eq!(dm.transfer_state(b, HEAD_NODE), TransferState::Invalid);
+        assert_eq!(dm.retrieve_source(b), Some(1));
+        assert!(matches!(dm.ticket_result(t3), Some(Err(_))));
     }
 
     #[test]

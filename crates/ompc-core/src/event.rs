@@ -19,6 +19,7 @@
 
 use crate::protocol::{
     EventNotification, EventReply, EventRequest, TaskStamps, CONTROL_TAG, FIRST_EVENT_TAG,
+    PREFETCH_TAG,
 };
 use crate::types::{BufferId, KernelId, NodeId, OmpcResult};
 use ompc_mpi::{CommId, Communicator, Tag};
@@ -181,6 +182,49 @@ impl EventSystem {
         self.comm.on(comm)?.send(node, tag, data)?;
         self.await_reply(node, tag, comm)?;
         self.counters.record(Some(bytes));
+        Ok(())
+    }
+
+    /// Copy several buffers to `node` in one event (host → worker), the
+    /// prefetch analogue of the task trains: one gate notification, the
+    /// payloads streaming in order on the train's own channel, one typed
+    /// reply for the whole train. The worker additionally posts exactly one
+    /// [`crate::protocol::CompletionNotice`] on [`PREFETCH_TAG`] — in both
+    /// its handler and zombie-refusal paths — which this call drains after
+    /// the reply so the any-source prefetch channel never accumulates
+    /// orphans. A train is all-or-nothing on the wire: a failed car fails
+    /// the whole event and the caller rolls back every booked copy.
+    pub fn submit_train(&self, node: NodeId, cars: Vec<(BufferId, Vec<u8>)>) -> OmpcResult<()> {
+        let (tag, comm) = self.open_channel();
+        let buffers: Vec<BufferId> = cars.iter().map(|(b, _)| *b).collect();
+        let sizes: Vec<u64> = cars.iter().map(|(_, d)| d.len() as u64).collect();
+        self.notify(
+            node,
+            &EventNotification {
+                request: EventRequest::SubmitTrain { buffers },
+                tag,
+                comm,
+                timed: false,
+            },
+        )?;
+        let channel = self.comm.on(comm)?;
+        for (_, data) in cars {
+            channel.send(node, tag, data)?;
+        }
+        let outcome = self.await_reply(node, tag, comm).map(|_| ());
+        // Drain the train's single prefetch notice regardless of outcome
+        // (the zombie refusal path posts one too); leaving it behind would
+        // let a later train drain a stale notice for the wrong event.
+        let _ = match self.reply_timeout {
+            Some(timeout) => {
+                self.comm.recv_timeout(Some(node), Some(PREFETCH_TAG), timeout).map(|msg| msg.data)
+            }
+            None => self.comm.recv(Some(node), Some(PREFETCH_TAG)).map(|msg| msg.data),
+        };
+        outcome?;
+        for bytes in sizes {
+            self.counters.record(Some(bytes));
+        }
         Ok(())
     }
 

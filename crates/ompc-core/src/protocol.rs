@@ -29,9 +29,18 @@ pub const CONTROL_TAG: Tag = Tag(0);
 /// afterwards, for the reply payload already guaranteed to be present.
 pub const COMPLETION_TAG: Tag = Tag(1);
 
+/// Tag reserved for the prefetch completion lane: after a worker finishes
+/// (or refuses) an [`EventRequest::SubmitTrain`], it posts one
+/// [`CompletionNotice`] — carrying the train's envelope tag — to the head
+/// on this tag. The asynchronous data path drains exactly one notice per
+/// train it dispatched, keeping prefetch completions on their own reserved
+/// channel instead of mixing with the task completion stream on
+/// [`COMPLETION_TAG`].
+pub const PREFETCH_TAG: Tag = Tag(2);
+
 /// First tag usable by events (event tags are allocated upwards from here
 /// and stay below the collective-reserved range).
-pub const FIRST_EVENT_TAG: u64 = 2;
+pub const FIRST_EVENT_TAG: u64 = 3;
 
 /// The action a new event asks the destination node to perform. These map
 /// one-to-one to the operations a libomptarget device plugin must implement
@@ -75,6 +84,17 @@ pub enum EventRequest {
     ///
     /// [`Task`]: EventRequest::Task
     TaskTrain(Vec<TrainCar>),
+    /// Receive the contents of several buffers from the origin in one
+    /// batched event (a *prefetch train*): the payloads follow on the
+    /// train's envelope channel in listed order (MPI delivery is
+    /// non-overtaking per `(source, communicator, tag)`), the worker stores
+    /// each one, and a single typed reply acknowledges the whole train.
+    /// After replying — or refusing, on a killed node — the worker posts
+    /// one [`CompletionNotice`] on the reserved [`PREFETCH_TAG`] lane.
+    /// This is how the asynchronous data path streams a queued region's
+    /// enter-data inputs to one node while the current region computes,
+    /// collapsing k submit events into one control message.
+    SubmitTrain { buffers: Vec<BufferId> },
     /// Clear the worker's device memory and acknowledge: the head issues
     /// this between workloads when recycling warm workers, so a parked
     /// worker pool starts the next device lifetime from an empty state.
@@ -103,6 +123,7 @@ impl EventRequest {
             EventRequest::Execute { .. } => "execute",
             EventRequest::Task(_) => "task",
             EventRequest::TaskTrain(_) => "task-train",
+            EventRequest::SubmitTrain { .. } => "submit-train",
             EventRequest::Reset => "reset",
             EventRequest::Shutdown => "shutdown",
             EventRequest::Kill => "kill",
@@ -296,6 +317,7 @@ const KIND_KILL: u8 = 9;
 const KIND_TASK: u8 = 10;
 const KIND_TASK_TRAIN: u8 = 11;
 const KIND_RESET: u8 = 12;
+const KIND_SUBMIT_TRAIN: u8 = 13;
 
 const STEP_RECV_FROM_HEAD: u8 = 1;
 const STEP_RECV_FROM_WORKER: u8 = 2;
@@ -426,6 +448,13 @@ impl EventNotification {
                     }
                 }
             }
+            EventRequest::SubmitTrain { buffers } => {
+                w.u8(KIND_SUBMIT_TRAIN);
+                w.u32(buffers.len() as u32);
+                for b in buffers {
+                    w.u64(b.0);
+                }
+            }
             EventRequest::Reset => {
                 w.u8(KIND_RESET);
             }
@@ -494,6 +523,14 @@ impl EventNotification {
                     cars.push(TrainCar { tag, comm, spec: TaskSpec { steps } });
                 }
                 EventRequest::TaskTrain(cars)
+            }
+            KIND_SUBMIT_TRAIN => {
+                let n = r.u32()?;
+                let mut buffers = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    buffers.push(BufferId(r.u64()?));
+                }
+                EventRequest::SubmitTrain { buffers }
             }
             KIND_RESET => EventRequest::Reset,
             KIND_SHUTDOWN => EventRequest::Shutdown,
@@ -816,6 +853,35 @@ mod tests {
                 spec: TaskSpec { steps: vec![TaskStep::Alloc { buffer: BufferId(4), size: 64 }] },
             },
         ]));
+    }
+
+    #[test]
+    fn submit_train_round_trips_and_rejects_truncation() {
+        round_trip(EventRequest::SubmitTrain { buffers: vec![] });
+        round_trip(EventRequest::SubmitTrain {
+            buffers: vec![BufferId(3), BufferId(1), BufferId(u64::MAX)],
+        });
+        let n = EventNotification {
+            request: EventRequest::SubmitTrain { buffers: vec![BufferId(5), BufferId(6)] },
+            tag: Tag(20),
+            comm: CommId(1),
+            timed: false,
+        };
+        let bytes = n.encode();
+        for cut in 1..=16 {
+            assert!(EventNotification::decode(&bytes[..bytes.len() - cut]).is_err());
+        }
+        assert_eq!(n.request.name(), "submit-train");
+    }
+
+    #[test]
+    fn prefetch_tag_is_reserved_below_the_event_range() {
+        assert_ne!(PREFETCH_TAG, CONTROL_TAG);
+        assert_ne!(PREFETCH_TAG, COMPLETION_TAG);
+        // Evaluated through a binding so the reservation reads as a
+        // runtime check without tripping clippy's const-assert lint.
+        let first_event_tag = FIRST_EVENT_TAG;
+        assert!(PREFETCH_TAG.0 < first_event_tag);
     }
 
     #[test]

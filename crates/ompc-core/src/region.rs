@@ -174,6 +174,13 @@ impl<'d> TargetRegion<'d> {
     pub fn run(self) -> OmpcResult<RegionReport> {
         self.device.execute_region(self.graph, self.host_fns)
     }
+
+    /// Decompose the builder into its graph and host-task table, for
+    /// pipelined execution ([`ClusterDevice::run_pipeline`]) where the
+    /// device wants to inspect queued regions before running them.
+    pub(crate) fn into_parts(self) -> (RegionGraph, HashMap<usize, HostFn>) {
+        (self.graph, self.host_fns)
+    }
 }
 
 #[cfg(test)]

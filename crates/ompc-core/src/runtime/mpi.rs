@@ -797,7 +797,20 @@ impl MpiDriver<'_> {
                                 owned.push((dep.buffer, node));
                             }
                             None => {
-                                if self.inflight.contains(&(dep.buffer.0, node)) {
+                                // `None` with an in-flight entry means the
+                                // bytes are still on the wire: either a
+                                // co-scheduled task of this window owns the
+                                // transfer (the driver's gate), or an async
+                                // enter-data / cross-region prefetch booked
+                                // the holder (the data manager's in-flight
+                                // table). Both cases await the local arrival
+                                // on the worker instead of executing early.
+                                let device_inflight = matches!(
+                                    dm.transfer_state(dep.buffer, node),
+                                    crate::data_manager::TransferState::InFlight(_)
+                                );
+                                if self.inflight.contains(&(dep.buffer.0, node)) || device_inflight
+                                {
                                     steps.push(TaskStep::AwaitLocal {
                                         buffer: dep.buffer,
                                         timeout_ms: await_ms,

@@ -108,6 +108,12 @@ pub enum SpanPhase {
     HostFlush,
     /// MPI backend: flushing a buffered task train onto the wire.
     TrainFlush,
+    /// Data path: streaming a queued region's enter-data inputs (or an
+    /// async `enter_data` distribution) while earlier work computes.
+    Prefetch,
+    /// A reader blocking on a transfer still in flight (first use of an
+    /// async enter-data buffer, or a flush waiting out a concurrent one).
+    AwaitInflight,
     /// Fault recovery: replanning survivors after a node failure.
     Replan,
 }
@@ -129,6 +135,8 @@ impl SpanPhase {
             SpanPhase::ExitData => "exit_data",
             SpanPhase::HostFlush => "host_flush",
             SpanPhase::TrainFlush => "train_flush",
+            SpanPhase::Prefetch => "prefetch",
+            SpanPhase::AwaitInflight => "await_inflight",
             SpanPhase::Replan => "replan",
         }
     }
@@ -148,7 +156,12 @@ impl SpanPhase {
             | SpanPhase::EnterData
             | SpanPhase::ExitData
             | SpanPhase::HostFlush
-            | SpanPhase::TrainFlush => AttributionBucket::Wire,
+            | SpanPhase::TrainFlush
+            | SpanPhase::Prefetch => AttributionBucket::Wire,
+            // A reader blocked on an in-flight transfer is scheduling
+            // slack, not wire work: the bytes were already attributed to
+            // the transfer's own prefetch / enter-data span.
+            SpanPhase::AwaitInflight => AttributionBucket::Scheduling,
             SpanPhase::Compute => AttributionBucket::Compute,
         }
     }
@@ -706,5 +719,9 @@ mod tests {
         assert_eq!(SpanPhase::Serialize.bucket().name(), "serialization");
         assert_eq!(SpanPhase::TrainFlush.bucket(), AttributionBucket::Wire);
         assert_eq!(SpanPhase::Replan.bucket(), AttributionBucket::Scheduling);
+        assert_eq!(SpanPhase::Prefetch.name(), "prefetch");
+        assert_eq!(SpanPhase::Prefetch.bucket(), AttributionBucket::Wire);
+        assert_eq!(SpanPhase::AwaitInflight.name(), "await_inflight");
+        assert_eq!(SpanPhase::AwaitInflight.bucket(), AttributionBucket::Scheduling);
     }
 }

@@ -124,6 +124,12 @@ pub(crate) struct RegionContext {
     serial_inputs: bool,
     telemetry: Arc<Telemetry>,
     transfers: TransferGate,
+    /// The device-wide condvar paired with `dm`'s mutex: notified whenever
+    /// an asynchronous data-path job (async enter-data, cross-region
+    /// prefetch, lazy flush) resolves an in-flight entry in the
+    /// [`DataManager`]. First readers of in-flight data block here instead
+    /// of re-submitting the transfer.
+    inflight_cv: Arc<parking_lot::Condvar>,
     /// Set when a task fails on a live node: tasks still queued in the head
     /// pool stop executing instead of landing side effects after the run
     /// has already failed.
@@ -233,6 +239,47 @@ impl RegionContext {
         }
     }
 
+    /// Block until a device-level asynchronous transfer of `buffer` towards
+    /// `node` (booked in the [`DataManager`]'s in-flight table by an async
+    /// enter-data or cross-region prefetch) resolves, recording an
+    /// `AwaitInflight` span for the blocked time. Returns `Ok(true)` when
+    /// the copy is resident, `Ok(false)` when the booking was rolled back
+    /// with no stored error (e.g. the destination died and recovery already
+    /// consumed the failure) — the caller falls back to a synchronous
+    /// forward — and the transfer's own error if it failed.
+    fn await_device_inflight(
+        &self,
+        buffer: BufferId,
+        node: NodeId,
+        task: usize,
+    ) -> OmpcResult<bool> {
+        use crate::data_manager::TransferState as DmState;
+        let tel = &self.telemetry;
+        let t0 = tel.start();
+        let outcome = {
+            let mut dm = self.dm.lock();
+            loop {
+                match dm.transfer_state(buffer, node) {
+                    DmState::Resident => break Ok(true),
+                    DmState::InFlight(_) => self.inflight_cv.wait(&mut dm),
+                    DmState::Invalid => match dm.take_inflight_error(buffer, node) {
+                        Some(error) => break Err(error),
+                        None => break Ok(false),
+                    },
+                }
+            }
+        };
+        if tel.spans_enabled() {
+            tel.record(
+                Span::new(SpanPhase::AwaitInflight, node, t0, monotonic_us())
+                    .task(task)
+                    .attempt(tel.attempt(task))
+                    .detail("first reader awaits async transfer"),
+            );
+        }
+        outcome
+    }
+
     /// Resolve a planned-but-unperformed forward as failed so co-located
     /// waiters error out instead of blocking forever.
     fn abandon_transfer(&self, plan: &TransferPlan, node: NodeId) {
@@ -272,6 +319,18 @@ impl RegionContext {
                         // and **no transfer at all** when the buffer is
                         // already present on this node (OpenMP present-table
                         // semantics: re-entering mapped data does not copy).
+                        //
+                        // An async enter-data or cross-region prefetch may
+                        // already have the bytes on the wire towards this
+                        // node: the first reader awaits that transfer
+                        // instead of re-submitting. A rolled-back booking
+                        // falls through to the synchronous plan below.
+                        if matches!(
+                            self.dm.lock().transfer_state(*buffer, node),
+                            crate::data_manager::TransferState::InFlight(_)
+                        ) {
+                            self.await_device_inflight(*buffer, node, tid)?;
+                        }
                         let plan = self.dm.lock().plan_input_as(
                             *buffer,
                             node,
@@ -346,10 +405,15 @@ impl RegionContext {
                 // is guaranteed to find our in-flight entry to wait on.
                 let mut own: Vec<TransferPlan> = Vec::new();
                 let mut awaited: Vec<BufferId> = Vec::new();
+                let mut inflight: Vec<BufferId> = Vec::new();
                 for dep in &task.dependences {
                     if dep.dep_type.reads() {
                         let mut gate = self.transfers.transfers.lock();
-                        match self.dm.lock().plan_input(dep.buffer, node) {
+                        // Bind the plan before matching: a `match` scrutinee
+                        // keeps its temporary `dm` guard alive for every arm,
+                        // and the `None` arm locks `dm` again.
+                        let plan = self.dm.lock().plan_input(dep.buffer, node);
+                        match plan {
                             Some(plan) => {
                                 gate.insert((dep.buffer.0, node), TransferState::InFlight);
                                 own.push(plan);
@@ -357,6 +421,15 @@ impl RegionContext {
                             None => {
                                 if gate.contains_key(&(dep.buffer.0, node)) {
                                     awaited.push(dep.buffer);
+                                } else if matches!(
+                                    self.dm.lock().transfer_state(dep.buffer, node),
+                                    crate::data_manager::TransferState::InFlight(_)
+                                ) {
+                                    // `plan_input == None` because an async
+                                    // enter-data / prefetch already booked
+                                    // this node as a holder: await the wire
+                                    // instead of re-submitting.
+                                    inflight.push(dep.buffer);
                                 }
                             }
                         }
@@ -423,6 +496,26 @@ impl RegionContext {
                 // their copies have fully arrived.
                 for buffer in awaited {
                     self.transfers.wait_until_present(buffer, node)?;
+                }
+                // Inputs still on the wire from the device's async data
+                // path: first use blocks here. A rolled-back booking (the
+                // async job abandoned the transfer with its error already
+                // consumed) falls back to a synchronous forward, with the
+                // same gate discipline as the planning loop above.
+                for buffer in inflight {
+                    if !self.await_device_inflight(buffer, node, tid)? {
+                        let plan = {
+                            let mut gate = self.transfers.transfers.lock();
+                            let plan = self.dm.lock().plan_input(buffer, node);
+                            if plan.is_some() {
+                                gate.insert((buffer.0, node), TransferState::InFlight);
+                            }
+                            plan
+                        };
+                        if let Some(plan) = plan {
+                            self.perform_transfer(plan, node, tid)?;
+                        }
+                    }
                 }
                 let timed = self.telemetry.spans_enabled();
                 let stamps = self.events.execute_timed(node, kernel, buffer_list, timed)?;
@@ -563,14 +656,12 @@ impl RegionContext {
     }
 }
 
-/// One unit of work submitted to the long-lived pool: run `task` on `node`
-/// against the region `ctx` and report the outcome on `done`.
-struct PoolJob {
-    task: usize,
-    node: NodeId,
-    ctx: Arc<RegionContext>,
-    done: Sender<(usize, OmpcResult<()>)>,
-}
+/// One unit of work submitted to the long-lived pool. Region tasks and the
+/// device's asynchronous data-path jobs (async enter-data, cross-region
+/// prefetch, double-buffered flushes) are both just closures; a task job
+/// carries its own `catch_unwind` + completion send inside the closure so
+/// the driver always receives exactly one outcome per launch.
+struct PoolJob(Box<dyn FnOnce() + Send>);
 
 /// Body of one head pool thread: drain jobs until the channel closes
 /// (device shutdown) or — with an idle timeout configured — no work arrived
@@ -605,21 +696,11 @@ fn pool_thread_main(
                 }
             },
         };
-        // A panic (e.g. a debug assertion in the data layer) must still
-        // produce an outcome, or the driver would wait for this job
-        // forever.
-        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            job.ctx.run(job.task, job.node)
-        }))
-        .unwrap_or_else(|_| {
-            Err(OmpcError::Internal(format!(
-                "head pool thread panicked while executing task {}",
-                job.task
-            )))
-        });
-        // The driver may already have gone away (the run failed); the
-        // outcome is then irrelevant.
-        let _ = job.done.send((job.task, res));
+        // A panicking job (e.g. a debug assertion in the data layer) must
+        // not take the pool thread down with it — the alive count would go
+        // stale and a later `ensure_threads` would under-spawn.
+        let PoolJob(body) = job;
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
     }
     alive.fetch_sub(1, Ordering::SeqCst);
 }
@@ -716,21 +797,21 @@ impl HeadWorkerPool {
         }
     }
 
-    /// Submit one job; fails if the pool has been drained. If the idle
-    /// reaper emptied the pool since the region sized it, one thread is
-    /// respawned so the job cannot strand in the queue.
-    fn submit(&self, job: PoolJob) -> OmpcResult<()> {
+    /// Submit one closure job; fails if the pool has been drained. If the
+    /// pool is empty — never sized by a region, or reaped idle since — one
+    /// thread is spawned so the job cannot strand in the queue. (SeqCst
+    /// ordering with the reaper's exit protocol: if this load sees an alive
+    /// thread, that thread's final non-blocking drain of the queue happens
+    /// after our enqueue, so it picks the job up; if it sees none, we
+    /// respawn.)
+    pub(crate) fn submit_closure(&self, body: Box<dyn FnOnce() + Send>) -> OmpcResult<()> {
         let tx =
             self.state.lock().job_tx.clone().ok_or_else(|| {
                 OmpcError::Internal("head worker pool already drained".to_string())
             })?;
-        tx.send(job)
+        tx.send(PoolJob(body))
             .map_err(|_| OmpcError::Internal("head worker pool terminated early".to_string()))?;
-        // SeqCst ordering with the reaper's exit protocol: if this load
-        // sees an alive thread, that thread's final drain of the queue
-        // happens after our enqueue, so it picks the job up; if it sees
-        // none, we respawn.
-        if self.idle_timeout.is_some() && self.alive.load(Ordering::SeqCst) == 0 {
+        if self.alive.load(Ordering::SeqCst) == 0 {
             self.ensure_threads(1);
         }
         Ok(())
@@ -776,6 +857,7 @@ impl<'a> ThreadedBackend<'a> {
         host_fns: HashMap<usize, HostFn>,
         config: &OmpcConfig,
         telemetry: Arc<Telemetry>,
+        inflight_cv: Arc<parking_lot::Condvar>,
     ) -> Self {
         Self {
             ctx: Arc::new(RegionContext {
@@ -788,6 +870,7 @@ impl<'a> ThreadedBackend<'a> {
                 config: config.clone(),
                 telemetry,
                 transfers: TransferGate::default(),
+                inflight_cv,
                 cancelled: AtomicBool::new(false),
             }),
             pool,
@@ -877,12 +960,22 @@ impl HeadPool<'_> {
 impl ExecutionBackend for HeadPool<'_> {
     fn launch(&mut self, task: usize, node: NodeId) -> OmpcResult<()> {
         self.outstanding += 1;
-        self.pool.submit(PoolJob {
-            task,
-            node,
-            ctx: Arc::clone(self.ctx),
-            done: self.done_tx.clone(),
-        })
+        let ctx = Arc::clone(self.ctx);
+        let done = self.done_tx.clone();
+        self.pool.submit_closure(Box::new(move || {
+            // A panic must still produce an outcome, or the driver would
+            // wait for this job forever.
+            let res =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.run(task, node)))
+                    .unwrap_or_else(|_| {
+                        Err(OmpcError::Internal(format!(
+                            "head pool thread panicked while executing task {task}"
+                        )))
+                    });
+            // The driver may already have gone away (the run failed); the
+            // outcome is then irrelevant.
+            let _ = done.send((task, res));
+        }))
     }
 
     /// Outcomes are forwarded to the core as typed [`TaskEvent`]s: the core

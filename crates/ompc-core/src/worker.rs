@@ -13,7 +13,7 @@
 use crate::kernel::{KernelArgs, KernelRegistry};
 use crate::protocol::{
     CompletionNotice, EventNotification, EventReply, EventRequest, TaskStamps, COMPLETION_TAG,
-    CONTROL_TAG,
+    CONTROL_TAG, PREFETCH_TAG,
 };
 use crate::runtime::telemetry::monotonic_us;
 use crate::types::{BufferId, NodeId, OmpcError, OmpcResult};
@@ -174,6 +174,7 @@ fn event_outcome(
         }
         EventRequest::ExchangeSend { .. }
         | EventRequest::TaskTrain(_)
+        | EventRequest::SubmitTrain { .. }
         | EventRequest::Shutdown
         | EventRequest::Kill => {
             unreachable!("not a single-reply head event")
@@ -188,6 +189,15 @@ fn event_outcome(
 fn post_completion(comm: &Communicator, tag: Tag, ok: bool) {
     let notice = CompletionNotice { tag, ok };
     let _ = comm.send(HEAD_RANK, COMPLETION_TAG, notice.encode());
+}
+
+/// Post the single prefetch notice of a [`EventRequest::SubmitTrain`] on
+/// the head's any-source prefetch channel. Sent in both the handler and the
+/// zombie-refusal paths, so the head can always drain exactly one notice
+/// per train after its reply arrives.
+fn post_prefetch_notice(comm: &Communicator, tag: Tag, ok: bool) {
+    let notice = CompletionNotice { tag, ok };
+    let _ = comm.send(HEAD_RANK, PREFETCH_TAG, notice.encode());
 }
 
 /// Run `kernel` against the node's device copies of `buffers`.
@@ -315,6 +325,30 @@ pub fn handle_event(
             channel.send(to, tag, reply.encode())?;
             outcome.map(|_| ())
         }
+        EventRequest::SubmitTrain { buffers } => {
+            // A prefetch train: the payloads stream in order on the train's
+            // own channel (non-overtaking per sender/channel/tag), stored
+            // as they arrive, answered by one typed reply for the whole
+            // train plus exactly one prefetch notice.
+            let mut outcome = Ok(());
+            for buffer in buffers {
+                match channel.recv(Some(HEAD_RANK), Some(tag)) {
+                    Ok(msg) => memory.store(buffer, msg.data),
+                    Err(e) => {
+                        outcome = Err(OmpcError::from(e));
+                        break;
+                    }
+                }
+            }
+            let reply = match &outcome {
+                Ok(()) => EventReply::Ok(Vec::new()),
+                Err(e) => EventReply::Err(as_remote(node, tag, e.clone())),
+            };
+            let ok = outcome.is_ok();
+            channel.send(HEAD_RANK, tag, reply.encode())?;
+            post_prefetch_notice(comm, tag, ok);
+            outcome
+        }
         EventRequest::TaskTrain(cars) => {
             // Run the cars strictly in order, replying per car on each
             // car's own exclusive channel — a failed car replies its typed
@@ -390,6 +424,10 @@ fn refuse_event(comm: &Communicator, notification: &EventNotification) -> OmpcRe
     if matches!(notification.request, EventRequest::Task(_)) {
         post_completion(comm, notification.tag, false);
     }
+    if matches!(notification.request, EventRequest::SubmitTrain { .. }) {
+        // The head drains one prefetch notice per train even on refusal.
+        post_prefetch_notice(comm, notification.tag, false);
+    }
     Ok(())
 }
 
@@ -455,12 +493,18 @@ pub fn worker_main(comm: Communicator, kernels: Arc<KernelRegistry>, handler_thr
                 let _ = refuse_event(&comm, &notification);
                 continue;
             }
+            // A prefetch train is inline too: its payloads are sent eagerly
+            // right after the envelope, so the receives are bounded — and a
+            // pooled train could queue behind a composite task whose
+            // `AwaitLocal` step is waiting for this very train, deadlocking
+            // a single-handler pool until the await times out.
             let inline = matches!(
                 notification.request,
                 EventRequest::Alloc { .. }
                     | EventRequest::Delete { .. }
                     | EventRequest::Retrieve { .. }
                     | EventRequest::ExchangeSend { .. }
+                    | EventRequest::SubmitTrain { .. }
                     | EventRequest::Reset
             );
             if inline {
@@ -821,6 +865,86 @@ mod tests {
             CompletionNotice::decode(&n2.data).unwrap(),
             CompletionNotice { tag: Tag(51), ok: false }
         );
+    }
+
+    #[test]
+    fn submit_train_stores_payloads_in_order_and_posts_one_notice() {
+        use crate::protocol::PREFETCH_TAG;
+        let world = World::with_communicators(2, 2);
+        let head = world.communicator(0);
+        let worker = world.communicator(1);
+        let memory = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        let tag = Tag(80);
+        let comm = CommId(0);
+        // Payloads ride the train's own channel, in the listed order.
+        head.on(comm).unwrap().send(1, tag, vec![1, 1]).unwrap();
+        head.on(comm).unwrap().send(1, tag, vec![2, 2, 2]).unwrap();
+        handle_event(
+            &worker,
+            &memory,
+            &kernels,
+            EventNotification {
+                request: EventRequest::SubmitTrain { buffers: vec![BufferId(4), BufferId(9)] },
+                tag,
+                comm,
+                timed: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(memory.get(BufferId(4)), Some(vec![1, 1]));
+        assert_eq!(memory.get(BufferId(9)), Some(vec![2, 2, 2]));
+        // One typed reply for the whole train, then exactly one notice on
+        // the prefetch channel.
+        let msg = head.on(comm).unwrap().recv(Some(1), Some(tag)).unwrap();
+        assert!(EventReply::decode(&msg.data).unwrap().into_result().is_ok());
+        let notice = head.recv(Some(1), Some(PREFETCH_TAG)).unwrap();
+        assert_eq!(
+            CompletionNotice::decode(&notice.data).unwrap(),
+            CompletionNotice { tag, ok: true }
+        );
+    }
+
+    #[test]
+    fn killed_worker_refuses_a_submit_train_with_an_error_and_a_notice() {
+        use crate::protocol::PREFETCH_TAG;
+        let world = World::with_communicators(2, 2);
+        let head = world.communicator(0);
+        let worker_comm = world.communicator(1);
+        let kernels = Arc::new(KernelRegistry::new());
+        let worker = std::thread::spawn(move || worker_main(worker_comm, kernels, 1));
+
+        let kill = EventNotification {
+            request: EventRequest::Kill,
+            tag: Tag(90),
+            comm: CommId(0),
+            timed: false,
+        };
+        head.send(1, CONTROL_TAG, kill.encode()).unwrap();
+        let train = EventNotification {
+            request: EventRequest::SubmitTrain { buffers: vec![BufferId(7)] },
+            tag: Tag(91),
+            comm: CommId(1),
+            timed: false,
+        };
+        head.send(1, CONTROL_TAG, train.encode()).unwrap();
+        let msg = head.on(CommId(1)).unwrap().recv(Some(1), Some(Tag(91))).unwrap();
+        let err = EventReply::decode(&msg.data).unwrap().into_result().unwrap_err();
+        assert_eq!(err.root_cause(), &OmpcError::NodeFailure(1));
+        // The refusal path still posts the train's single prefetch notice.
+        let notice = head.recv(Some(1), Some(PREFETCH_TAG)).unwrap();
+        assert_eq!(
+            CompletionNotice::decode(&notice.data).unwrap(),
+            CompletionNotice { tag: Tag(91), ok: false }
+        );
+        let shutdown = EventNotification {
+            request: EventRequest::Shutdown,
+            tag: Tag(92),
+            comm: CommId(0),
+            timed: false,
+        };
+        head.send(1, CONTROL_TAG, shutdown.encode()).unwrap();
+        worker.join().unwrap();
     }
 
     #[test]

@@ -321,3 +321,116 @@ fn window_is_honored_and_bottleneck_reproduces() {
         assert!(record.peak_in_flight <= 2, "{}", backend.name());
     }
 }
+
+/// Asynchronous enter-data is a data-*timing* optimisation only: with
+/// `enter_data_async` on or off, both real backends must produce the same
+/// region assignments, the same outputs, and the same per-region transfer
+/// plans as the synchronous threaded reference — exact order at a serial
+/// window, set equality at a wide one. This mirrors the task-train
+/// batching matrix above: the async data path may overlap transfers with
+/// anything, but it may never change what moves where.
+#[test]
+fn async_enter_data_matrix_is_equivalent() {
+    /// Run the seeded enter/consume script: interleaved device-level
+    /// enter-data calls (async when the flag is on) and single-reader
+    /// regions consuming the entered buffers oldest first.
+    fn enter_data_script(
+        backend: BackendKind,
+        window: usize,
+        enter_async: bool,
+        seed: u64,
+    ) -> (Vec<Vec<usize>>, Vec<Vec<TransferRecord>>, Vec<f64>) {
+        let mut rng = Rng::new(seed);
+        let workers = rng.range(2, 4) as usize;
+        let config = OmpcConfig {
+            backend,
+            enter_data_async: enter_async,
+            max_inflight_tasks: Some(window),
+            ..OmpcConfig::small()
+        };
+        let mut device = ClusterDevice::with_config(workers, config);
+        let sum = device.register_kernel_fn("sum", 1e-6, |args| {
+            let total: f64 = args.as_f64s(0).iter().sum();
+            args.set_f64s(1, &[total]);
+        });
+        let mut pending: Vec<BufferId> = Vec::new();
+        let mut assignments = Vec::new();
+        let mut transfers = Vec::new();
+        let mut outputs = Vec::new();
+        let mut consume = |device: &ClusterDevice, input: BufferId| {
+            let mut region = device.target_region();
+            let out = region.map_alloc(8);
+            region.target(sum, vec![Dependence::input(input), Dependence::output(out)]);
+            region.map_from(out);
+            region.run().unwrap();
+            let record = device.last_run_record().unwrap();
+            assignments.push(record.assignment);
+            transfers.push(record.transfers);
+            outputs.push(device.buffer_f64s(out).unwrap()[0]);
+        };
+        for _ in 0..10 {
+            if rng.range(0, 2) == 0 || pending.is_empty() {
+                let len = rng.range(1, 6) as usize;
+                let vals: Vec<f64> =
+                    (0..len).map(|i| rng.range(0, 100) as f64 + i as f64).collect();
+                // Routed through `enter_data_async` when the flag is on;
+                // the first region reader awaits the in-flight transfer.
+                pending.push(device.enter_data_f64s(&vals));
+            } else {
+                let input = pending.remove(0);
+                consume(&device, input);
+            }
+        }
+        while !pending.is_empty() {
+            let input = pending.remove(0);
+            consume(&device, input);
+        }
+        device.shutdown();
+        (assignments, transfers, outputs)
+    }
+
+    with_timeout(WATCHDOG, || {
+        for seed in 0..4u64 {
+            for (window, strict) in [(1usize, true), (4, false)] {
+                let baseline = enter_data_script(BackendKind::Threaded, window, false, seed);
+                for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+                    for enter_async in [false, true] {
+                        if backend == BackendKind::Threaded && !enter_async {
+                            continue; // the baseline itself
+                        }
+                        let got = enter_data_script(backend, window, enter_async, seed);
+                        let tag = format!(
+                            "seed {seed} window {window} {} async {enter_async}",
+                            backend.name()
+                        );
+                        assert_eq!(baseline.0, got.0, "{tag}: region assignments");
+                        assert_eq!(baseline.2, got.2, "{tag}: region outputs");
+                        if strict {
+                            assert_eq!(
+                                baseline.1, got.1,
+                                "{tag}: per-region transfer plan (exact order)"
+                            );
+                        } else {
+                            let sort =
+                                |regions: &[Vec<TransferRecord>]| -> Vec<Vec<TransferRecord>> {
+                                    regions
+                                        .iter()
+                                        .map(|r| {
+                                            let mut r = r.clone();
+                                            r.sort_by_key(|t| (t.buffer, t.from, t.to, t.bytes));
+                                            r
+                                        })
+                                        .collect()
+                                };
+                            assert_eq!(
+                                sort(&baseline.1),
+                                sort(&got.1),
+                                "{tag}: per-region transfer set"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    });
+}

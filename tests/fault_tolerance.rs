@@ -464,3 +464,107 @@ fn device_stays_usable_after_a_failure_in_an_earlier_region() {
     );
     device.shutdown();
 }
+
+/// The async data path's failure interaction: a node dies while an
+/// `enter_data_async` transfer towards it is still in flight. The booking
+/// must roll back — the ticket reports the failure instead of hanging —
+/// the next consumer re-sources the bytes from a survivor, and the aborted
+/// movement is withdrawn from the transfer accounting so nothing is
+/// double-counted. Threaded backend: the device's hold gate freezes the
+/// transfer job deterministically while the fault fires (the MPI
+/// first-reader protocol resolves in-flight failures through its
+/// `AwaitLocal` timeout instead, which is too slow for a unit test).
+#[test]
+fn prefetch_in_flight_node_death_rolls_back_and_resources() {
+    with_timeout(WATCHDOG, || {
+        // Probe run, fault-free: a single-reader region has exactly the
+        // shape of the async entry point's prediction probe, so its
+        // placement IS the predicted destination — the node to kill.
+        let register_sum = |device: &ClusterDevice| {
+            device.register_kernel_fn("sum", 1e-6, |args| {
+                let total: f64 = args.as_f64s(0).iter().sum();
+                args.set_f64s(1, &[total]);
+            })
+        };
+        let victim = {
+            let mut device = ClusterDevice::with_config(2, fault_config(FaultPlan::none()));
+            let sum = register_sum(&device);
+            let input = device.enter_data_f64s(&[7.0, 8.0, 9.0]);
+            let mut region = device.target_region();
+            let out = region.map_alloc(8);
+            region.target(sum, vec![Dependence::input(input), Dependence::output(out)]);
+            region.run().unwrap();
+            let record = device.last_run_record().unwrap();
+            let node = *record.assignment.iter().find(|&&n| n >= 1).unwrap();
+            device.shutdown();
+            node
+        };
+
+        // Real run: freeze the wire, book the async enter-data towards the
+        // predicted victim, then kill the victim under a sacrificial
+        // region that never touches the in-flight buffer.
+        let plan = FaultPlan::none().fail_after_completions(victim, 1);
+        let mut device = ClusterDevice::with_config(2, fault_config(plan));
+        let sum = register_sum(&device);
+        let bump = device.register_kernel_fn("bump", 1e-5, |args| {
+            let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+            args.set_f64s(0, &v);
+        });
+        device.debug_hold_async_transfers(true);
+        let (buffer, ticket) = device.enter_data_async_f64s(&[7.0, 8.0, 9.0]);
+
+        let mut region = device.target_region();
+        for _ in 0..4 {
+            let b = region.map_to_f64s(&[1.0]);
+            region.target(bump, vec![Dependence::inout(b)]);
+            region.map_from(b);
+        }
+        region.run().unwrap();
+        let record = device.last_run_record().unwrap();
+        assert_eq!(record.failures.len(), 1, "the victim must die during the sacrifice");
+        assert_eq!(record.failures[0].node, victim);
+
+        // Release the frozen job: it observes the death and rolls the
+        // booking back without touching the wire; the ticket reports the
+        // failure instead of blocking forever.
+        device.debug_hold_async_transfers(false);
+        let error =
+            device.await_transfer(ticket).expect_err("a prefetch towards a dead node must fail");
+        assert_eq!(
+            error.origin_node(),
+            Some(victim),
+            "the rollback must blame the dead node, got {error:?}"
+        );
+
+        // The consuming region re-sources the bytes from the survivors:
+        // correct result, exactly one Input transfer of the buffer — the
+        // aborted movement is not in the log, so nothing double-counts.
+        device.take_unattributed_transfers();
+        let mut region = device.target_region();
+        let out = region.map_alloc(8);
+        region.target(sum, vec![Dependence::input(buffer), Dependence::output(out)]);
+        region.map_from(out);
+        region.run().unwrap();
+        assert_eq!(device.buffer_f64s(out).unwrap(), vec![24.0]);
+        let record = device.last_run_record().unwrap();
+        let moved: Vec<&TransferRecord> =
+            record.transfers.iter().filter(|t| t.buffer == buffer).collect();
+        assert_eq!(
+            moved.len(),
+            1,
+            "the buffer must cross the wire exactly once after the rollback: {moved:?}"
+        );
+        assert_eq!(moved[0].reason, TransferReason::Input);
+        assert_eq!(moved[0].bytes, 24, "three f64s");
+        assert!(
+            moved[0].to != victim && moved[0].from != victim,
+            "re-sourcing must avoid the dead node: {:?}",
+            moved[0]
+        );
+        assert!(
+            device.take_unattributed_transfers().iter().all(|t| t.buffer != buffer),
+            "no stray transfer record of the aborted prefetch may remain"
+        );
+        device.shutdown();
+    });
+}
