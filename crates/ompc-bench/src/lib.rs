@@ -31,6 +31,10 @@
 //! * [`run_hotpath_overhead`] / [`run_warm_startup`] — the MPI hot-path
 //!   figure: the same wide graph with task-train batching on and off, and
 //!   the warm-pool start-up share of a tiny run, cold vs warm.
+//! * [`run_multitenant`] — concurrent admission: aggregate throughput of
+//!   K client surveys sharing one device while
+//!   `max_concurrent_regions` sweeps from strictly serial to fully
+//!   overlapped (`results/multitenant.json`).
 //! * [`run_telemetry`] — the real-backend Fig. 7(a): the Awave resident
 //!   survey on both real backends at `TelemetryLevel::Spans`, exporting
 //!   Chrome trace-event timelines and the per-phase overhead attribution
@@ -44,6 +48,7 @@ pub mod ablation;
 pub mod fault;
 pub mod figures;
 pub mod hotpath;
+pub mod multitenant;
 pub mod prefetch;
 pub mod report;
 pub mod residency;
@@ -59,6 +64,9 @@ pub use figures::{
 pub use hotpath::{
     baseline_window1_ratio, hotpath_json, run_hotpath_overhead, run_warm_startup,
     HotpathOverheadRow, HotpathStartupRow,
+};
+pub use multitenant::{
+    multitenant_gate_failures, run_multitenant, MultitenantRow, MultitenantWorkload,
 };
 pub use prefetch::{prefetch_gate_failures, run_prefetch, PrefetchRow, PrefetchSurvey};
 pub use report::{geometric_mean, render_table, rows_to_json_pretty, speedup_summary, JsonRow};

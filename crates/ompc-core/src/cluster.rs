@@ -12,7 +12,7 @@ use crate::buffer::BufferRegistry;
 use crate::config::BackendKind;
 use crate::config::OmpcConfig;
 use crate::data_manager::{
-    DataManager, Ticket, TransferPlan, TransferReason, TransferState, HEAD_NODE,
+    DataManager, Ticket, TransferPlan, TransferReason, TransferState, HEAD_NODE, UNATTRIBUTED,
 };
 use crate::event::EventSystem;
 use crate::kernel::{Kernel, KernelArgs, KernelRegistry};
@@ -20,6 +20,7 @@ use crate::model::WorkloadGraph;
 use crate::protocol::{COMPLETION_TAG, PREFETCH_TAG};
 use crate::region::TargetRegion;
 use crate::runtime::fault::{FaultPlan, FaultState};
+use crate::runtime::mpi::NoticeRouter;
 use crate::runtime::telemetry::{monotonic_us, Span, SpanPhase, Telemetry};
 use crate::runtime::{
     HeadWorkerPool, MpiBackend, ResidencyMap, RunRecord, RuntimeCore, RuntimePlan, ThreadedBackend,
@@ -81,6 +82,39 @@ fn adopt_warm_workers(key: &WarmKey) -> Option<WarmWorkers> {
     Some(pool.swap_remove(idx).1)
 }
 
+/// FIFO turnstile for concurrent region executions: callers of
+/// [`ClusterDevice::execute_region`] / [`ClusterDevice::run_workload`] are
+/// admitted strictly in arrival order, at most
+/// [`OmpcConfig::max_concurrent_regions`] inside at once — a small region
+/// can queue behind a large one but can never be starved by later
+/// arrivals.
+#[derive(Default)]
+struct AdmissionGate {
+    /// Regions currently admitted (inside an execution).
+    running: usize,
+    /// Next arrival ticket to hand out.
+    next_ticket: u64,
+    /// The arrival ticket currently first in line.
+    serving: u64,
+}
+
+/// What an admitted region holds until its execution finishes: the
+/// admission slot, and — once planning registered it — the per-node load
+/// reservation that seeds later tenants' schedules. Dropping the lease,
+/// on success or error, releases both and wakes the admission queue.
+struct RegionLease<'d> {
+    device: &'d ClusterDevice,
+    region: u64,
+}
+
+impl Drop for RegionLease<'_> {
+    fn drop(&mut self) {
+        self.device.inflight_load.lock().remove(&self.region);
+        self.device.admission.lock().running -= 1;
+        self.device.admission_cv.notify_all();
+    }
+}
+
 /// The OMPC cluster device.
 ///
 /// ```
@@ -131,6 +165,20 @@ pub struct ClusterDevice {
     /// with its *own* mutex, never with `dm`'s.
     async_hold: Arc<(Mutex<bool>, Condvar)>,
     report: Mutex<DeviceReport>,
+    /// Admission control for concurrent region executions: FIFO over
+    /// arrival order, at most [`OmpcConfig::max_concurrent_regions`]
+    /// inside at once. Paired with `admission_cv`.
+    admission: Mutex<AdmissionGate>,
+    admission_cv: Condvar,
+    /// Estimated per-node compute seconds still in flight per admitted
+    /// region: the reservation the next admitted region's schedule is
+    /// seeded with ([`RuntimePlan::region_assignment_with_load`]), so
+    /// tenants spread across the shared workers instead of piling onto
+    /// the serially-optimal nodes.
+    inflight_load: Mutex<HashMap<u64, HashMap<NodeId, f64>>>,
+    /// Completion-channel demultiplexer shared by every concurrently
+    /// admitted MPI region execution.
+    notice_router: Arc<NoticeRouter>,
     /// Decision record of the most recent region / workload execution,
     /// including any failure and recovery events.
     last_record: Mutex<Option<RunRecord>>,
@@ -216,6 +264,10 @@ impl ClusterDevice {
             inflight_cv: Arc::new(Condvar::new()),
             async_hold: Arc::new((Mutex::new(false), Condvar::new())),
             report: Mutex::new(DeviceReport { startup_time, ..DeviceReport::default() }),
+            admission: Mutex::new(AdmissionGate::default()),
+            admission_cv: Condvar::new(),
+            inflight_load: Mutex::new(HashMap::new()),
+            notice_router: NoticeRouter::new(),
             last_record: Mutex::new(None),
             workload_kernel: std::sync::OnceLock::new(),
             telemetry,
@@ -721,7 +773,7 @@ impl ClusterDevice {
     /// instead and never appear here; undrained entries are discarded when
     /// the next region begins.
     pub fn take_unattributed_transfers(&self) -> Vec<crate::data_manager::TransferRecord> {
-        self.dm.lock().take_transfer_log()
+        self.dm.lock().take_transfer_log_in(UNATTRIBUTED)
     }
 
     /// The current region epoch: 0 before any region has executed,
@@ -1004,22 +1056,99 @@ impl ClusterDevice {
         }
     }
 
+    /// Block until this caller is admitted: FIFO over arrival order, at
+    /// most [`OmpcConfig::max_concurrent_regions`] regions inside at once.
+    /// Records an `Admission` span on the device recorder when the caller
+    /// actually waited.
+    fn admit(&self) -> RegionLease<'_> {
+        let limit = self.config.admission_limit();
+        let t0 = self.telemetry.start();
+        let mut gate = self.admission.lock();
+        let ticket = gate.next_ticket;
+        gate.next_ticket += 1;
+        let mut waited = false;
+        while gate.serving != ticket || gate.running >= limit {
+            waited = true;
+            self.admission_cv.wait(&mut gate);
+        }
+        gate.serving += 1;
+        gate.running += 1;
+        drop(gate);
+        if waited && self.telemetry.spans_enabled() {
+            self.telemetry.record(
+                Span::new(SpanPhase::Admission, HEAD_NODE, t0, monotonic_us())
+                    .detail(format!("admission limit {limit}")),
+            );
+        }
+        RegionLease { device: self, region: UNATTRIBUTED }
+    }
+
+    /// Stream this region's `map(to:)` inputs through the asynchronous
+    /// prefetch engine ([`OmpcConfig::enter_data_async`]): each enter-data
+    /// payload is booked in the in-flight table and pushed by the transfer
+    /// pool while the backend spins up, so the consuming tasks await an
+    /// already-moving transfer instead of submitting it inline. The
+    /// booking carries the same reason and source the synchronous path
+    /// would plan, and `execute_planned` adopts the deferred records into
+    /// this region's namespace — the transfer plans stay byte-identical.
+    fn stream_region_inputs(&self, graph: &RegionGraph, assignment: &[NodeId]) {
+        let mut jobs: Vec<TransferPlan> = Vec::new();
+        {
+            let mut dm = self.dm.lock();
+            let ticket = dm.open_ticket();
+            for task in graph.tasks() {
+                let TaskKind::EnterData { buffer, map } = task.kind else { continue };
+                if !matches!(map, MapType::To | MapType::ToFrom | MapType::ToResident) {
+                    continue;
+                }
+                let Some(&node) = assignment.get(task.id.0) else { continue };
+                if node == HEAD_NODE {
+                    continue;
+                }
+                if let Some(plan) =
+                    dm.begin_inflight(buffer, node, TransferReason::EnterData, ticket)
+                {
+                    jobs.push(plan);
+                }
+            }
+        }
+        for plan in jobs {
+            self.spawn_transfer_job(plan, "streamed enter-data");
+        }
+    }
+
     /// Execute a region graph through the unified execution core. Called by
-    /// [`TargetRegion::run`].
+    /// [`TargetRegion::run`]. Safe to call from multiple client threads at
+    /// once: callers pass the admission gate in arrival order, each
+    /// execution gets its own region epoch (the namespace of its transfer
+    /// log and telemetry spans), and the scheduler places each admitted
+    /// region against the load the earlier tenants still hold.
     pub(crate) fn execute_region(
         &self,
         graph: RegionGraph,
         host_fns: HashMap<usize, HostFn>,
     ) -> OmpcResult<RegionReport> {
+        self.execute_region_recorded(graph, host_fns).map(|(report, _)| report)
+    }
+
+    /// [`ClusterDevice::execute_region`], additionally returning the
+    /// execution's own [`RunRecord`]. Concurrent clients read their
+    /// region's record from here — [`ClusterDevice::last_run_record`]
+    /// only ever exposes whichever execution stored last.
+    pub(crate) fn execute_region_recorded(
+        &self,
+        graph: RegionGraph,
+        host_fns: HashMap<usize, HostFn>,
+    ) -> OmpcResult<(RegionReport, RunRecord)> {
         if self.shut_down {
             return Err(OmpcError::ShutDown);
         }
         if graph.is_empty() {
-            return Ok(RegionReport::default());
+            return Ok((RegionReport::default(), RunRecord::default()));
         }
         let graph = Arc::new(graph);
+        let mut lease = self.admit();
         let sched_start = Instant::now();
-        let sched_t0 = self.telemetry.start();
         // Plan over the workers that are still alive: a node declared
         // failed in an earlier region stays excommunicated for the rest of
         // the device lifetime.
@@ -1034,9 +1163,9 @@ impl ClusterDevice {
         // on the head node until data movement says otherwise), mark
         // keep-resident mappings, and snapshot the residency view the
         // planner pins against.
-        let residency: ResidencyMap = {
+        let (region, residency): (u64, ResidencyMap) = {
             let mut dm = self.dm.lock();
-            dm.begin_region();
+            let region = dm.begin_region();
             for task in graph.tasks() {
                 for dep in &task.dependences {
                     if !dm.is_registered(dep.buffer) {
@@ -1050,35 +1179,73 @@ impl ClusterDevice {
                     }
                 }
             }
-            dm.latest_on_workers()
+            (region, dm.latest_on_workers())
+        };
+        lease.region = region;
+        // Region-scoped telemetry: every span this execution records
+        // carries the region id, so overlapped tenants render as separate
+        // timeline rows and never interleave their span vectors.
+        let telemetry = self.telemetry.scoped(region);
+        let sched_t0 = telemetry.start();
+        // Seed the schedule with the compute the admitted-but-unfinished
+        // regions already reserved on each worker: an incremental
+        // admission-time placement instead of a full HEFT re-run over all
+        // tenants. Serial executions see an empty table and plan exactly
+        // as before.
+        let load: Vec<f64> = {
+            let table = self.inflight_load.lock();
+            alive.iter().map(|n| table.values().filter_map(|per| per.get(n)).sum()).collect()
         };
         let plan = RuntimePlan {
-            assignment: RuntimePlan::region_assignment_on(
+            assignment: RuntimePlan::region_assignment_with_load(
                 &graph,
                 &self.buffers,
                 &Platform::cluster(alive.len()),
                 &self.config,
                 &alive,
                 &residency,
+                &load,
             ),
             window: self.config.inflight_window(),
         };
+        // Reserve this region's own estimated compute per worker for the
+        // benefit of the next admitted tenant; released with the lease.
+        {
+            let mut reserved: HashMap<NodeId, f64> = HashMap::new();
+            for task in graph.tasks() {
+                if let TaskKind::Target { cost_hint, .. } = task.kind {
+                    if let Some(&node) = plan.assignment.get(task.id.0) {
+                        if node != HEAD_NODE {
+                            *reserved.entry(node).or_insert(0.0) += cost_hint;
+                        }
+                    }
+                }
+            }
+            self.inflight_load.lock().insert(region, reserved);
+        }
         let schedule_time = sched_start.elapsed();
-        if self.telemetry.spans_enabled() {
-            self.telemetry.record(
+        if telemetry.spans_enabled() {
+            telemetry.record(
                 Span::new(SpanPhase::Schedule, HEAD_NODE, sched_t0, monotonic_us())
                     .detail(format!("{} task(s), {} alive worker(s)", graph.len(), alive.len())),
             );
+        }
+        // Region-level map(to:) inputs stream through the async prefetch
+        // engine while the backend starts up.
+        if self.config.enter_data_async {
+            self.stream_region_inputs(&graph, &plan.assignment);
         }
 
         let data_before = self.events.counters().data_events.load(Ordering::Relaxed);
         let bytes_before = self.events.counters().bytes_moved.load(Ordering::Relaxed);
 
         let exec_start = Instant::now();
-        let record = self.execute_planned(Arc::clone(&graph), host_fns, &plan)?;
+        let record =
+            self.execute_planned(Arc::clone(&graph), host_fns, &plan, region, &telemetry)?;
         let execution_time = exec_start.elapsed();
 
         let report = RegionReport {
+            region,
             schedule_time,
             execution_time,
             tasks_executed: graph.len(),
@@ -1091,16 +1258,20 @@ impl ClusterDevice {
             reexecuted_tasks: record.reexecuted.len(),
         };
         self.report.lock().regions.push(report.clone());
-        Ok(report)
+        Ok((report, record))
     }
 
     /// Execute an already-planned region graph and return the core's
-    /// decision record.
+    /// decision record. `region` is the execution's transfer-log and
+    /// telemetry namespace; `telemetry` is the region-scoped recorder
+    /// built by the caller.
     fn execute_planned(
         &self,
         graph: Arc<RegionGraph>,
         host_fns: HashMap<usize, HostFn>,
         plan: &RuntimePlan,
+        region: u64,
+        telemetry: &Arc<Telemetry>,
     ) -> OmpcResult<RunRecord> {
         // Triggers naming a node that already died in an earlier region
         // are spent: re-firing them would re-declare the failure here. The
@@ -1143,25 +1314,28 @@ impl ClusterDevice {
         )?
         .map(|f| f.with_replan(self.config.replan_on_failure).with_prior_failures(&prior_dead));
         // Transfers planned between regions (lazy host flushes through
-        // `buffer_data`) belong to no run; clear them so this run's record
-        // contains exactly its own transfers. Then adopt the deferred
-        // records of async transfers (async enter-data / cross-region
-        // prefetch) whose buffers this region consumes: the record reports
-        // them exactly where the synchronous path would have planned them,
-        // keeping async and sync transfer plans comparable. Bookings for
-        // other (later) regions stay deferred.
+        // `buffer_data`) belong to no run; clear the device-level
+        // namespace — and only it, an overlapped region's in-progress log
+        // lives in its own namespace and must survive untouched — so this
+        // run's record contains exactly its own transfers. Then adopt the
+        // deferred records of async transfers (async enter-data /
+        // cross-region prefetch / streamed map-to inputs) whose buffers
+        // this region consumes: the record reports them exactly where the
+        // synchronous path would have planned them, keeping async and sync
+        // transfer plans comparable. Bookings for other (later) regions
+        // stay deferred.
         {
             let mut dm = self.dm.lock();
-            dm.take_transfer_log();
+            dm.take_transfer_log_in(UNATTRIBUTED);
             let consumed: BTreeSet<BufferId> =
                 graph.tasks().iter().flat_map(|t| t.dependences.iter().map(|d| d.buffer)).collect();
-            dm.adopt_deferred_for(&consumed);
+            dm.adopt_deferred_for(&consumed, region);
         }
         let mut core = match faults {
             Some(faults) => RuntimeCore::with_faults(graph.as_ref(), plan, faults),
             None => RuntimeCore::new(graph.as_ref(), plan),
         };
-        core.set_telemetry(Arc::clone(&self.telemetry));
+        core.set_telemetry(Arc::clone(telemetry));
         let result = match self.config.backend {
             BackendKind::Threaded => {
                 let backend = ThreadedBackend::new(
@@ -1169,10 +1343,11 @@ impl ClusterDevice {
                     Arc::clone(&self.events),
                     Arc::clone(&self.buffers),
                     Arc::clone(&self.dm),
+                    region,
                     graph,
                     host_fns,
                     &self.config,
-                    Arc::clone(&self.telemetry),
+                    Arc::clone(telemetry),
                     Arc::clone(&self.inflight_cv),
                 );
                 backend.execute(&mut core)
@@ -1182,10 +1357,12 @@ impl ClusterDevice {
                     Arc::clone(&self.events),
                     Arc::clone(&self.buffers),
                     Arc::clone(&self.dm),
+                    region,
                     graph,
                     host_fns,
                     &self.config,
-                    Arc::clone(&self.telemetry),
+                    Arc::clone(telemetry),
+                    Arc::clone(&self.notice_router),
                 );
                 backend.execute(&mut core)
             }
@@ -1196,16 +1373,20 @@ impl ClusterDevice {
             )),
         };
         let mut record = core.record();
-        // The data manager logged every transfer this run planned
-        // (including any planned for work that later failed and rolled
-        // back — those entries were withdrawn); attach them so residency
-        // wins are assertable per run.
-        record.transfers = self.dm.lock().take_transfer_log();
+        // The data manager logged every transfer this run planned under
+        // its region namespace (including any planned for work that later
+        // failed and rolled back — those entries were withdrawn); attach
+        // exactly that namespace so residency wins are assertable per run
+        // and an overlapped tenant's log is never mixed in.
+        record.transfers = self.dm.lock().take_transfer_log_in(region);
         // Drain the spans this run produced (head-side scheduling and
         // data-path spans plus worker stamps shipped home in the replies)
-        // so each record owns exactly its own timeline. Empty unless the
+        // so each record owns exactly its own timeline, then append
+        // whatever accumulated on the device recorder since the last
+        // drain (async prefetch jobs, admission waits). Empty unless the
         // device runs at `TelemetryLevel::Spans`.
-        record.spans = self.telemetry.take_spans();
+        record.spans = telemetry.take_spans();
+        record.spans.extend(self.telemetry.take_spans());
         *self.last_record.lock() = Some(record.clone());
         result?;
         Ok(record)
@@ -1277,15 +1458,25 @@ impl ClusterDevice {
                 format!("w{t}"),
             );
         }
-        {
+        // Workload runs pass the same admission gate and get their own
+        // region epoch (transfer-log and telemetry namespace) — a
+        // run_workload call is one more tenant over the shared pool.
+        let mut lease = self.admit();
+        let epoch = {
             let mut dm = self.dm.lock();
+            let epoch = dm.begin_region();
             for (t, &buffer) in buffers.iter().enumerate() {
                 if !dm.is_registered(buffer) {
                     dm.register_host_buffer(buffer, workload.output_bytes[t]);
                 }
             }
-        }
-        let record = self.execute_planned(Arc::new(region), HashMap::new(), plan);
+            epoch
+        };
+        lease.region = epoch;
+        let telemetry = self.telemetry.scoped(epoch);
+        let record =
+            self.execute_planned(Arc::new(region), HashMap::new(), plan, epoch, &telemetry);
+        drop(lease);
         // The materialized buffers are private to this run: release their
         // device copies, data-manager entries, and host copies so repeated
         // `run_workload` calls on one device do not accumulate state.

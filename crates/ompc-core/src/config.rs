@@ -218,6 +218,18 @@ pub struct OmpcConfig {
     /// they start. Prefetches never duplicate resident copies and roll
     /// back onto survivors when a target node dies mid-flight.
     pub prefetch_depth: usize,
+    /// How many independent target regions the device admits into execution
+    /// at once. `1` (the default) serializes regions exactly as before:
+    /// each `execute_region` call runs alone and produces byte-identical
+    /// records, reports, and transfer plans to the historical behaviour.
+    /// Raising it lets that many clients run concurrently over the shared
+    /// head worker pool and residency table — admission is strictly FIFO
+    /// (a huge region cannot starve the small ones queued behind it; they
+    /// were admitted in arrival order), each admitted region plans against
+    /// a load snapshot of the regions already in flight, and every region
+    /// keeps its own transfer-log namespace, telemetry scope, and
+    /// [`crate::runtime::RunRecord`]. `0` is treated as `1`.
+    pub max_concurrent_regions: usize,
     /// How much the runtime records about its own execution (see
     /// [`crate::runtime::telemetry`]). [`TelemetryLevel::Off`] (the
     /// default) reaches no clock read and leaves
@@ -255,6 +267,7 @@ impl Default for OmpcConfig {
             warm_worker_keepalive: true,
             enter_data_async: false,
             prefetch_depth: 1,
+            max_concurrent_regions: 1,
             telemetry: TelemetryLevel::Off,
         }
     }
@@ -284,6 +297,7 @@ impl OmpcConfig {
             warm_worker_keepalive: true,
             enter_data_async: false,
             prefetch_depth: 1,
+            max_concurrent_regions: 1,
             telemetry: TelemetryLevel::Off,
         }
     }
@@ -305,6 +319,13 @@ impl OmpcConfig {
         } else {
             self.max_inflight_tasks.unwrap_or(self.head_worker_threads).max(1)
         }
+    }
+
+    /// The effective admission limit: how many regions may execute at once.
+    /// `0` is clamped to `1` — a device that admits nothing would deadlock
+    /// its first client.
+    pub fn admission_limit(&self) -> usize {
+        self.max_concurrent_regions.max(1)
     }
 }
 
@@ -397,6 +418,19 @@ mod tests {
         assert!(!OmpcConfig::small().enter_data_async);
         assert_eq!(OmpcConfig::default().prefetch_depth, 1);
         assert_eq!(OmpcConfig::small().prefetch_depth, 1);
+        // Regions are serialized unless the client opts into concurrency;
+        // a zero limit is clamped so the device always admits someone.
+        assert_eq!(OmpcConfig::default().max_concurrent_regions, 1);
+        assert_eq!(OmpcConfig::small().max_concurrent_regions, 1);
+        assert_eq!(OmpcConfig::default().admission_limit(), 1);
+        assert_eq!(
+            OmpcConfig { max_concurrent_regions: 0, ..OmpcConfig::small() }.admission_limit(),
+            1
+        );
+        assert_eq!(
+            OmpcConfig { max_concurrent_regions: 4, ..OmpcConfig::small() }.admission_limit(),
+            4
+        );
     }
 
     #[test]

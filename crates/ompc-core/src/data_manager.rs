@@ -49,6 +49,12 @@ use std::collections::{BTreeMap, BTreeSet};
 /// The head node's id; the host copy of a buffer lives there.
 pub const HEAD_NODE: NodeId = 0;
 
+/// The transfer-log namespace of device-level operations performed outside
+/// any region execution (`enter_data`, lazy host flushes). Region epochs
+/// start at 1 ([`DataManager::begin_region`]), so 0 can never collide with
+/// an admitted region.
+pub const UNATTRIBUTED: u64 = 0;
+
 /// Identifier of one asynchronous transfer batch started through the
 /// device's async data path ([`DataManager::open_ticket`]). A ticket covers
 /// every in-flight movement booked against it; awaiting the ticket blocks
@@ -164,8 +170,12 @@ pub struct DataManager {
     failed: BTreeSet<NodeId>,
     /// Monotonic region counter; see [`DataManager::begin_region`].
     epoch: u64,
-    /// Per-run transfer log, drained by [`DataManager::take_transfer_log`].
-    log: Vec<TransferRecord>,
+    /// Transfer logs, namespaced by the region epoch that planned each
+    /// movement so concurrently admitted regions never interleave (or
+    /// steal) each other's records. Namespace [`UNATTRIBUTED`] (0) holds
+    /// device-level operations outside any region (`enter_data`, lazy host
+    /// flushes); each is drained by [`DataManager::take_transfer_log_in`].
+    logs: BTreeMap<u64, Vec<TransferRecord>>,
     /// In-flight transfer table: every `(buffer, node)` pair with a booked
     /// but unconfirmed movement towards it (see [`TransferState`]).
     inflight: BTreeMap<(u64, NodeId), InflightEntry>,
@@ -303,17 +313,40 @@ impl DataManager {
     /// *reads* it executes there. Returns `None` when the buffer is already
     /// present; otherwise returns a transfer from the most recent holder,
     /// records the new replica, and logs the transfer with
-    /// [`TransferReason::Input`].
+    /// [`TransferReason::Input`] in the [`UNATTRIBUTED`] namespace.
     pub fn plan_input(&mut self, buffer: BufferId, node: NodeId) -> Option<TransferPlan> {
-        self.plan_input_as(buffer, node, TransferReason::Input)
+        self.plan_input_as_in(UNATTRIBUTED, buffer, node, TransferReason::Input)
+    }
+
+    /// [`DataManager::plan_input`] logging into `region`'s namespace — the
+    /// entry point of the execution backends, whose records belong to one
+    /// admitted region.
+    pub fn plan_input_in(
+        &mut self,
+        region: u64,
+        buffer: BufferId,
+        node: NodeId,
+    ) -> Option<TransferPlan> {
+        self.plan_input_as_in(region, buffer, node, TransferReason::Input)
     }
 
     /// [`DataManager::plan_input`] with an explicit log classification —
     /// enter-data distributions use [`TransferReason::EnterData`] so the
     /// transfer observability can tell initial distribution from steady-
-    /// state forwarding.
+    /// state forwarding. Logs into the [`UNATTRIBUTED`] namespace.
     pub fn plan_input_as(
         &mut self,
+        buffer: BufferId,
+        node: NodeId,
+        reason: TransferReason,
+    ) -> Option<TransferPlan> {
+        self.plan_input_as_in(UNATTRIBUTED, buffer, node, reason)
+    }
+
+    /// [`DataManager::plan_input_as`] logging into `region`'s namespace.
+    pub fn plan_input_as_in(
+        &mut self,
+        region: u64,
         buffer: BufferId,
         node: NodeId,
         reason: TransferReason,
@@ -337,7 +370,13 @@ impl DataManager {
         if matches!(self.inflight.get(&(buffer.0, node)), Some(InflightEntry::Failed(_))) {
             self.inflight.remove(&(buffer.0, node));
         }
-        self.log.push(TransferRecord { buffer, from, to: node, bytes: loc.bytes, reason });
+        self.logs.entry(region).or_default().push(TransferRecord {
+            buffer,
+            from,
+            to: node,
+            bytes: loc.bytes,
+            reason,
+        });
         Some(TransferPlan { from, to: node, buffer })
     }
 
@@ -447,10 +486,18 @@ impl DataManager {
                     self.deferred.iter().rposition(|t| t.buffer == buffer && t.to == node)
                 {
                     self.deferred.remove(pos);
-                } else if let Some(pos) =
-                    self.log.iter().rposition(|t| t.buffer == buffer && t.to == node)
-                {
-                    self.log.remove(pos);
+                } else {
+                    // At most one live record per (buffer, node) exists
+                    // across all namespaces (the holder record blocks
+                    // re-planning), so a global search stays unambiguous.
+                    for log in self.logs.values_mut() {
+                        if let Some(pos) =
+                            log.iter().rposition(|t| t.buffer == buffer && t.to == node)
+                        {
+                            log.remove(pos);
+                            break;
+                        }
+                    }
                 }
                 self.inflight.insert((buffer.0, node), InflightEntry::Failed(error.clone()));
             }
@@ -520,16 +567,16 @@ impl DataManager {
     }
 
     /// Move the deferred records of async transfers whose buffers belong to
-    /// the region about to run into the (freshly drained) per-run log, in
+    /// the region about to run into that region's (fresh) log namespace, in
     /// booking order. Called by the device right before a region executes,
     /// so the consuming region's [`crate::runtime::RunRecord::transfers`]
     /// reports the prefetched movements exactly where the synchronous path
     /// would have planned them. Records for other buffers stay deferred.
-    pub fn adopt_deferred_for(&mut self, buffers: &BTreeSet<BufferId>) {
+    pub fn adopt_deferred_for(&mut self, buffers: &BTreeSet<BufferId>, region: u64) {
         let mut kept = Vec::new();
         for record in std::mem::take(&mut self.deferred) {
             if buffers.contains(&record.buffer) {
-                self.log.push(record);
+                self.logs.entry(region).or_default().push(record);
             } else {
                 kept.push(record);
             }
@@ -575,9 +622,12 @@ impl DataManager {
                 // At most one live log entry can exist per (buffer, node):
                 // a second plan is only possible after the first was rolled
                 // back (the holder record blocks re-planning otherwise).
-                if let Some(pos) = self.log.iter().rposition(|t| t.buffer == buffer && t.to == node)
-                {
-                    self.log.remove(pos);
+                for log in self.logs.values_mut() {
+                    if let Some(pos) = log.iter().rposition(|t| t.buffer == buffer && t.to == node)
+                    {
+                        log.remove(pos);
+                        break;
+                    }
                 }
             }
         }
@@ -619,6 +669,12 @@ impl DataManager {
     /// copies. No-op when the head is already latest (the source died and
     /// recovery re-sourced the buffer meanwhile).
     pub fn record_retrieve(&mut self, buffer: BufferId) {
+        self.record_retrieve_in(UNATTRIBUTED, buffer);
+    }
+
+    /// [`DataManager::record_retrieve`] logged under a region's namespace,
+    /// so the retrieving region's record owns the transfer.
+    pub fn record_retrieve_in(&mut self, region: u64, buffer: BufferId) {
         let loc = self
             .buffers
             .get_mut(&buffer)
@@ -629,7 +685,7 @@ impl DataManager {
         let from = loc.latest;
         loc.holders.insert(HEAD_NODE);
         loc.latest = HEAD_NODE;
-        self.log.push(TransferRecord {
+        self.logs.entry(region).or_default().push(TransferRecord {
             buffer,
             from,
             to: HEAD_NODE,
@@ -689,12 +745,20 @@ impl DataManager {
     /// drain). The execution core attaches this to its
     /// [`crate::runtime::RunRecord`].
     pub fn take_transfer_log(&mut self) -> Vec<TransferRecord> {
-        std::mem::take(&mut self.log)
+        std::mem::take(&mut self.logs).into_values().flatten().collect()
+    }
+
+    /// Drain one region's transfer-log namespace, leaving the others (and
+    /// the device-level [`UNATTRIBUTED`] namespace) untouched. This is what
+    /// the cluster device attaches to a concurrent region's
+    /// [`crate::runtime::RunRecord`].
+    pub fn take_transfer_log_in(&mut self, region: u64) -> Vec<TransferRecord> {
+        self.logs.remove(&region).unwrap_or_default()
     }
 
     /// The transfers logged since the last [`DataManager::take_transfer_log`].
-    pub fn transfer_log(&self) -> &[TransferRecord] {
-        &self.log
+    pub fn transfer_log(&self) -> Vec<TransferRecord> {
+        self.logs.values().flatten().cloned().collect()
     }
 
     /// Number of tracked buffers.
@@ -1005,7 +1069,7 @@ mod tests {
         // Reaped: a later read of the same ticket reads as complete.
         assert_eq!(dm.ticket_result(t), Some(Ok(())));
         // Adoption moves the deferred record into the fresh log.
-        dm.adopt_deferred_for(&[b].into_iter().collect());
+        dm.adopt_deferred_for(&[b].into_iter().collect(), UNATTRIBUTED);
         assert!(dm.deferred_transfers().is_empty());
         assert_eq!(dm.transfer_log().len(), 1);
         assert_eq!(dm.transfer_log()[0].reason, TransferReason::Input);

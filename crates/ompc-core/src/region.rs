@@ -4,6 +4,7 @@
 
 use crate::buffer::BufferRegistry;
 use crate::cluster::{ClusterDevice, HostFn};
+use crate::runtime::RunRecord;
 use crate::stats::RegionReport;
 use crate::task::{RegionGraph, TaskKind};
 use crate::types::{BufferId, Dependence, KernelId, MapType, OmpcResult, TaskId};
@@ -173,6 +174,16 @@ impl<'d> TargetRegion<'d> {
     /// the end of an OpenMP parallel region).
     pub fn run(self) -> OmpcResult<RegionReport> {
         self.device.execute_region(self.graph, self.host_fns)
+    }
+
+    /// [`TargetRegion::run`], additionally returning this execution's own
+    /// [`RunRecord`] (assignment, dispatch and completion orders, transfer
+    /// plan, telemetry spans). With concurrent clients over one device,
+    /// [`ClusterDevice::last_run_record`] only exposes whichever execution
+    /// finished last; `run_recorded` hands each client the record of *its*
+    /// region without racing the device-level slot.
+    pub fn run_recorded(self) -> OmpcResult<(RegionReport, RunRecord)> {
+        self.device.execute_region_recorded(self.graph, self.host_fns)
     }
 
     /// Decompose the builder into its graph and host-task table, for

@@ -230,9 +230,32 @@ impl RuntimePlan {
         nodes: &[NodeId],
         residency: &ResidencyMap,
     ) -> Vec<NodeId> {
+        Self::region_assignment_with_load(region, buffers, platform, config, nodes, residency, &[])
+    }
+
+    /// [`RuntimePlan::region_assignment_on`] against a cluster already
+    /// carrying in-flight work: `load[p]` is the reserved seconds of
+    /// processor `p` (the node `nodes[p]`), fed to
+    /// [`ompc_sched::Scheduler::schedule_with_load`] so an admitted
+    /// region's tasks are placed *after* — never inside — the work of the
+    /// regions already running there. This is the incremental path of
+    /// concurrent admission: region K+1 reserves capacity against the
+    /// snapshot instead of re-running HEFT over the union of both graphs.
+    /// An empty (or all-zero) load plans bit-identically to
+    /// [`RuntimePlan::region_assignment_on`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn region_assignment_with_load(
+        region: &RegionGraph,
+        buffers: &BufferRegistry,
+        platform: &Platform,
+        config: &OmpcConfig,
+        nodes: &[NodeId],
+        residency: &ResidencyMap,
+        load: &[f64],
+    ) -> Vec<NodeId> {
         assert_eq!(platform.num_procs(), nodes.len(), "one node per platform processor");
         let sched_graph = model::region_to_sched(region, buffers);
-        let schedule = config.scheduler.build().schedule(&sched_graph, platform);
+        let schedule = config.scheduler.build().schedule_with_load(&sched_graph, platform, load);
         let mut assignment: Vec<NodeId> =
             (0..region.len()).map(|t| nodes[schedule.proc_of(t)]).collect();
         let resident_pin = |task: &crate::task::TargetTask| -> Option<NodeId> {

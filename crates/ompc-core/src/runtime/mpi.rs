@@ -74,7 +74,7 @@ use crate::task::{RegionGraph, TaskKind};
 use crate::types::{BufferId, MapType, NodeId, OmpcError, OmpcResult, TaskId};
 use ompc_mpi::{CommId, Tag};
 use ompc_sched::Platform;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -98,6 +98,74 @@ const DRAIN_TIMEOUT: Duration = Duration::from_secs(60);
 /// `AwaitLocal` bound when no reply timeout is configured: a co-scheduled
 /// transfer that has not landed in this long is considered failed.
 const DEFAULT_AWAIT_LOCAL_MS: u64 = 60_000;
+
+/// Demultiplexer for the shared completion channel. With concurrent region
+/// executions admitted, several [`MpiDriver`]s consume the one
+/// [`COMPLETION_TAG`] channel; a driver that received another region's
+/// notice and discarded it would leave the owner blocked on a completion
+/// that already arrived. The router keeps a registry of which region owns
+/// each outstanding reply tag, lets exactly one driver *pump* the channel
+/// at a time, and parks foreign notices for their owning region — whose
+/// driver is woken through the condvar instead of racing for the channel.
+///
+/// With a single admitted region the router degenerates to the bare
+/// channel: the pump is never contended and nothing is ever parked, so the
+/// serial wire behavior is byte-identical.
+pub(crate) struct NoticeRouter {
+    inner: Mutex<RouterInner>,
+    /// Signalled when a notice is parked for some region or the pump is
+    /// released, so waiting drivers re-check their queues.
+    arrived: Condvar,
+}
+
+#[derive(Default)]
+struct RouterInner {
+    /// Reply tag → owning region, for every outstanding target task of
+    /// every admitted region.
+    owners: HashMap<u64, u64>,
+    /// Notices received by a pumping driver on behalf of another region,
+    /// keyed by the owning region.
+    parked: HashMap<u64, VecDeque<Vec<u8>>>,
+    /// Whether some driver currently holds the pump (is the one reader of
+    /// the shared channel).
+    pumping: bool,
+}
+
+impl NoticeRouter {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self { inner: Mutex::new(RouterInner::default()), arrived: Condvar::new() })
+    }
+
+    /// Claim `tag`'s eventual completion notice for `region`.
+    fn register(&self, tag: Tag, region: u64) {
+        self.inner.lock().owners.insert(tag.0, region);
+    }
+
+    /// Drop the claim on `tag`: a notice arriving later is stale and gets
+    /// discarded by whichever driver pumps it.
+    fn unregister(&self, tag: Tag) {
+        self.inner.lock().owners.remove(&tag.0);
+    }
+
+    /// Classify one raw notice pulled off the channel by a driver of
+    /// `region`: `Some` when it belongs to that driver, `None` when it was
+    /// parked for its owning region or discarded (stale tag of an already
+    /// drained run).
+    fn route(&self, region: u64, data: Vec<u8>) -> Option<Vec<u8>> {
+        let Ok(notice) = CompletionNotice::decode(&data) else { return None };
+        let mut inner = self.inner.lock();
+        match inner.owners.get(&notice.tag.0) {
+            Some(&owner) if owner == region => Some(data),
+            Some(&owner) => {
+                inner.parked.entry(owner).or_default().push_back(data);
+                drop(inner);
+                self.arrived.notify_all();
+                None
+            }
+            None => None,
+        }
+    }
+}
 
 /// What the head must do when a task's reply arrives, beyond retiring it.
 enum PendingKind {
@@ -162,10 +230,16 @@ pub(crate) struct MpiContext {
     events: Arc<EventSystem>,
     buffers: Arc<BufferRegistry>,
     dm: Arc<Mutex<DataManager>>,
+    /// Transfer-log namespace of this execution: the region epoch issued
+    /// at admission.
+    region: u64,
     graph: Arc<RegionGraph>,
     host_fns: HashMap<usize, HostFn>,
     config: OmpcConfig,
     telemetry: Arc<Telemetry>,
+    /// The owning device's completion-channel demultiplexer, shared by
+    /// every concurrently admitted region execution.
+    router: Arc<NoticeRouter>,
 }
 
 /// Executes a region graph through composite task messages over `ompc-mpi`.
@@ -178,24 +252,29 @@ pub struct MpiBackend {
 impl MpiBackend {
     /// Build a backend over the device's communication machinery for one
     /// region execution.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         events: Arc<EventSystem>,
         buffers: Arc<BufferRegistry>,
         dm: Arc<Mutex<DataManager>>,
+        region: u64,
         graph: Arc<RegionGraph>,
         host_fns: HashMap<usize, HostFn>,
         config: &OmpcConfig,
         telemetry: Arc<Telemetry>,
+        router: Arc<NoticeRouter>,
     ) -> Self {
         Self {
             ctx: MpiContext {
                 events,
                 buffers,
                 dm,
+                region,
                 graph,
                 host_fns,
                 config: config.clone(),
                 telemetry,
+                router,
             },
         }
     }
@@ -322,10 +401,39 @@ impl MpiDriver<'_> {
                 let _ = channel.recv_timeout(Some(p.node), Some(p.tag), timeout);
             }
         }
+        // Drop the claims before clearing the index, so a notice arriving
+        // even later is discarded as stale by whichever driver pumps it.
+        for tag in self.notice_tasks.keys() {
+            self.ctx.router.unregister(Tag(*tag));
+        }
         self.notice_tasks.clear();
-        // The drained replies' notices were never consumed; a notice that
-        // arrives even later is discarded by `on_notice` (unknown tag).
-        while self.ctx.events.communicator().try_recv(None, Some(COMPLETION_TAG)).is_some() {}
+        // The drained replies' notices were never consumed. Clear this
+        // region's leftovers — parked notices and whatever already sits on
+        // the shared channel — without eating another admitted region's
+        // notices: pump through the router so foreign notices park for
+        // their owners while this region's (now unclaimed) tags discard.
+        let router = &self.ctx.router;
+        let pump = {
+            let mut inner = router.inner.lock();
+            inner.parked.remove(&self.ctx.region);
+            if inner.pumping {
+                // The active pumper routes our stale notices to the
+                // discard path itself; nothing left to do.
+                false
+            } else {
+                inner.pumping = true;
+                true
+            }
+        };
+        if pump {
+            while let Some(msg) =
+                self.ctx.events.communicator().try_recv(None, Some(COMPLETION_TAG))
+            {
+                let _ = router.route(self.ctx.region, msg.data);
+            }
+            router.inner.lock().pumping = false;
+            router.arrived.notify_all();
+        }
     }
 
     /// Queue the deletion of `buffer`'s device copy on `node` for the next
@@ -481,6 +589,7 @@ impl MpiDriver<'_> {
         for (task, attached_deletes) in cars {
             if let Some(p) = self.pending.remove(&task) {
                 self.notice_tasks.remove(&p.tag.0);
+                self.ctx.router.unregister(p.tag);
                 if let PendingKind::Target { owned, allocs, .. } = p.kind {
                     {
                         let mut dm = self.ctx.dm.lock();
@@ -535,7 +644,7 @@ impl MpiDriver<'_> {
                         {
                             let mut dm = ctx.dm.lock();
                             dm.observe_size(dep.buffer, bytes);
-                            dm.record_retrieve(dep.buffer);
+                            dm.record_retrieve_in(ctx.region, dep.buffer);
                         }
                         if ctx.telemetry.spans_enabled() {
                             ctx.telemetry.record(
@@ -566,8 +675,12 @@ impl MpiDriver<'_> {
                         // buffer is already present, a worker-to-worker
                         // forward when the latest version is on another
                         // worker, a host submit otherwise.
-                        let plan =
-                            ctx.dm.lock().plan_input_as(*buffer, node, TransferReason::EnterData);
+                        let plan = ctx.dm.lock().plan_input_as_in(
+                            ctx.region,
+                            *buffer,
+                            node,
+                            TransferReason::EnterData,
+                        );
                         let Some(plan) = plan else { return Ok(None) };
                         let payload = if plan.from == HEAD_NODE {
                             match self.cached_payload(*buffer, tid) {
@@ -768,7 +881,7 @@ impl MpiDriver<'_> {
                         if !dep.dep_type.reads() {
                             continue;
                         }
-                        match dm.plan_input(dep.buffer, node) {
+                        match dm.plan_input_in(ctx.region, dep.buffer, node) {
                             Some(plan) if plan.from == HEAD_NODE => {
                                 match self.cached_payload(dep.buffer, tid) {
                                     Ok(frame) => {
@@ -1019,7 +1132,7 @@ impl MpiDriver<'_> {
                         // have resized the device copy.
                         let mut dm = self.ctx.dm.lock();
                         dm.observe_size(buffer, bytes);
-                        dm.record_retrieve(buffer);
+                        dm.record_retrieve_in(self.ctx.region, buffer);
                     }
                     if release {
                         self.release_buffer(buffer);
@@ -1041,6 +1154,7 @@ impl MpiDriver<'_> {
         let Some(task) = self.notice_tasks.remove(&notice.tag.0) else {
             return Ok(());
         };
+        self.ctx.router.unregister(notice.tag);
         let Some(p) = self.pending.remove(&task) else {
             return Ok(());
         };
@@ -1052,13 +1166,103 @@ impl MpiDriver<'_> {
         Ok(())
     }
 
+    /// Take the next completion notice addressed to this region without
+    /// blocking: parked notices first, then whatever already arrived on the
+    /// shared channel — pumped only when no other region's driver holds the
+    /// pump (that pumper parks our notices for us).
+    fn try_next_notice(&self) -> Option<Vec<u8>> {
+        let router = &self.ctx.router;
+        {
+            let mut inner = router.inner.lock();
+            if let Some(data) = inner.parked.get_mut(&self.ctx.region).and_then(|q| q.pop_front()) {
+                return Some(data);
+            }
+            if inner.pumping {
+                return None;
+            }
+            inner.pumping = true;
+        }
+        let mut own = None;
+        while own.is_none() {
+            match self.ctx.events.communicator().try_recv(None, Some(COMPLETION_TAG)) {
+                Some(msg) => own = router.route(self.ctx.region, msg.data),
+                None => break,
+            }
+        }
+        router.inner.lock().pumping = false;
+        router.arrived.notify_all();
+        own
+    }
+
+    /// Block up to `wait` for the next completion notice addressed to this
+    /// region: parked notices first, then pump the shared channel — or,
+    /// when another region's driver holds the pump, sleep on the router's
+    /// condvar until that pumper parks something for us or hands the pump
+    /// over.
+    fn wait_notice(&self, wait: Duration) -> Option<Vec<u8>> {
+        let router = &self.ctx.router;
+        let deadline = Instant::now() + wait;
+        loop {
+            let pump = {
+                let mut inner = router.inner.lock();
+                if let Some(data) =
+                    inner.parked.get_mut(&self.ctx.region).and_then(|q| q.pop_front())
+                {
+                    return Some(data);
+                }
+                if inner.pumping {
+                    let timeout = deadline.saturating_duration_since(Instant::now());
+                    if timeout.is_zero() {
+                        return None;
+                    }
+                    router.arrived.wait_for(&mut inner, timeout);
+                    false
+                } else {
+                    inner.pumping = true;
+                    true
+                }
+            };
+            if pump {
+                let own = self.pump_until(deadline);
+                router.inner.lock().pumping = false;
+                router.arrived.notify_all();
+                if own.is_some() {
+                    return own;
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Pump the shared completion channel until a notice for this region
+    /// arrives or `deadline` passes, parking foreign notices as they come.
+    /// Caller holds the router's pump.
+    fn pump_until(&self, deadline: Instant) -> Option<Vec<u8>> {
+        loop {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            if timeout.is_zero() {
+                return None;
+            }
+            match self.ctx.events.communicator().recv_timeout(None, Some(COMPLETION_TAG), timeout) {
+                Ok(msg) => {
+                    if let Some(own) = self.ctx.router.route(self.ctx.region, msg.data) {
+                        return Some(own);
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
     /// One pass of the completion loop: resolve every notice that has
     /// already arrived on the completion channel, then probe the reply
     /// channels of the outstanding *data* events (which carry no notice) —
     /// O(messages arrived) + O(data events), never O(tasks in flight).
     fn poll_replies(&mut self, out: &mut Vec<TaskEvent>) -> OmpcResult<()> {
-        while let Some(msg) = self.ctx.events.communicator().try_recv(None, Some(COMPLETION_TAG)) {
-            self.on_notice(&msg.data, out)?;
+        while let Some(data) = self.try_next_notice() {
+            self.on_notice(&data, out)?;
         }
         let arrived: Vec<usize> = self
             .pending
@@ -1099,6 +1303,7 @@ impl ExecutionBackend for MpiDriver<'_> {
             Ok(Some(pending)) => {
                 if matches!(pending.kind, PendingKind::Target { .. }) {
                     self.notice_tasks.insert(pending.tag.0, task);
+                    self.ctx.router.register(pending.tag, self.ctx.region);
                 }
                 self.pending.insert(task, pending);
             }
@@ -1140,10 +1345,8 @@ impl ExecutionBackend for MpiDriver<'_> {
                 let wait = deadline
                     .map(|d| d.saturating_duration_since(Instant::now()).min(NOTICE_WAIT_SLICE))
                     .unwrap_or(NOTICE_WAIT_SLICE);
-                if let Ok(msg) =
-                    self.ctx.events.communicator().recv_timeout(None, Some(COMPLETION_TAG), wait)
-                {
-                    self.on_notice(&msg.data, &mut events)?;
+                if let Some(data) = self.wait_notice(wait) {
+                    self.on_notice(&data, &mut events)?;
                 }
             } else {
                 // A data event carries no notice: fall back to the bounded
@@ -1391,7 +1594,7 @@ mod tests {
     /// counts each car exactly once.
     #[test]
     fn mid_train_send_failure_commits_no_counters_until_the_retry_lands() {
-        use super::{BufferedCar, MpiContext, MpiDriver};
+        use super::{BufferedCar, MpiContext, MpiDriver, NoticeRouter};
         use crate::buffer::BufferRegistry;
         use crate::data_manager::DataManager;
         use crate::event::EventSystem;
@@ -1417,10 +1620,12 @@ mod tests {
             events: Arc::clone(&events),
             buffers: Arc::new(BufferRegistry::new()),
             dm: Arc::new(Mutex::new(DataManager::new())),
+            region: 1,
             graph: Arc::new(RegionGraph::new()),
             host_fns: HashMap::new(),
             config: mpi_config(),
             telemetry: Telemetry::off(),
+            router: NoticeRouter::new(),
         };
         let mut driver = MpiDriver {
             ctx: &ctx,

@@ -116,6 +116,9 @@ pub enum SpanPhase {
     AwaitInflight,
     /// Fault recovery: replanning survivors after a node failure.
     Replan,
+    /// Head node: a region waiting in the admission queue for a concurrent
+    /// execution slot ([`crate::config::OmpcConfig::max_concurrent_regions`]).
+    Admission,
 }
 
 impl SpanPhase {
@@ -138,6 +141,7 @@ impl SpanPhase {
             SpanPhase::Prefetch => "prefetch",
             SpanPhase::AwaitInflight => "await_inflight",
             SpanPhase::Replan => "replan",
+            SpanPhase::Admission => "admission",
         }
     }
 
@@ -160,8 +164,9 @@ impl SpanPhase {
             | SpanPhase::Prefetch => AttributionBucket::Wire,
             // A reader blocked on an in-flight transfer is scheduling
             // slack, not wire work: the bytes were already attributed to
-            // the transfer's own prefetch / enter-data span.
-            SpanPhase::AwaitInflight => AttributionBucket::Scheduling,
+            // the transfer's own prefetch / enter-data span. Likewise a
+            // region queued at the admission gate.
+            SpanPhase::AwaitInflight | SpanPhase::Admission => AttributionBucket::Scheduling,
             SpanPhase::Compute => AttributionBucket::Compute,
         }
     }
@@ -222,6 +227,11 @@ pub struct Span {
     /// Free-form detail: payload-cache `hit`/`miss`, a
     /// [`crate::data_manager::TransferReason`] name, a failure note.
     pub detail: Option<String>,
+    /// The region epoch (tenant id) the span was recorded under, when the
+    /// recorder was scoped to one execution ([`Telemetry::scoped`]).
+    /// Device-level spans outside any region carry `None`; the Chrome-trace
+    /// export renders each region as its own process row group.
+    pub region: Option<u64>,
 }
 
 impl Span {
@@ -237,6 +247,7 @@ impl Span {
             bytes: None,
             from: None,
             detail: None,
+            region: None,
         }
     }
 
@@ -267,6 +278,12 @@ impl Span {
     /// Attach free-form detail.
     pub fn detail(mut self, detail: impl Into<String>) -> Self {
         self.detail = Some(detail.into());
+        self
+    }
+
+    /// Attach the owning region epoch (tenant id).
+    pub fn region(mut self, region: u64) -> Self {
+        self.region = Some(region);
         self
     }
 
@@ -309,6 +326,9 @@ pub struct Telemetry {
     /// Per-task dispatch counts; the current value minus one is the attempt
     /// index stamped onto that task's spans.
     attempts: Mutex<HashMap<usize, u32>>,
+    /// When scoped to one region execution ([`Telemetry::scoped`]), the
+    /// region epoch stamped onto every span recorded here.
+    region: Option<u64>,
 }
 
 impl Telemetry {
@@ -318,12 +338,28 @@ impl Telemetry {
             level,
             spans: Mutex::new(Vec::new()),
             attempts: Mutex::new(HashMap::new()),
+            region: None,
         })
     }
 
     /// A disabled recorder (for paths that need a handle unconditionally).
     pub fn off() -> Arc<Self> {
         Telemetry::new(TelemetryLevel::Off)
+    }
+
+    /// A fresh recorder at this recorder's level, scoped to one region
+    /// execution: every span it records is stamped with `region`, and its
+    /// span stream and attempt counters are private to that execution — two
+    /// overlapped regions never interleave records or collide attempt
+    /// indices. Costs nothing when the level is `Off` (the scoped recorder
+    /// short-circuits identically).
+    pub fn scoped(&self, region: u64) -> Arc<Self> {
+        Arc::new(Telemetry {
+            level: self.level,
+            spans: Mutex::new(Vec::new()),
+            attempts: Mutex::new(HashMap::new()),
+            region: Some(region),
+        })
     }
 
     /// The configured level.
@@ -347,9 +383,13 @@ impl Telemetry {
     }
 
     /// Record a span whose interval is already stamped. No-op when
-    /// disabled.
-    pub fn record(&self, span: Span) {
+    /// disabled. A scoped recorder stamps its region onto spans that carry
+    /// none.
+    pub fn record(&self, mut span: Span) {
         if self.spans_enabled() {
+            if span.region.is_none() {
+                span.region = self.region;
+            }
             self.spans.lock().push(span);
         }
     }
@@ -521,8 +561,12 @@ pub fn critical_path(spans: &[Span]) -> Vec<Span> {
 /// Render spans as Chrome trace-event JSON (the "JSON Array Format" with a
 /// `traceEvents` wrapper), loadable in Perfetto or `chrome://tracing`.
 ///
-/// Layout: one process (`pid` 0) named `process_label`, one thread row per
-/// cluster node (`tid` = node id; node 0 labelled `head`). Every span is a
+/// Layout: one process row group per region (`pid` = the span's region
+/// epoch; untagged device-level spans fold into `pid` 0, named
+/// `process_label` — region processes are named `process_label · region N`),
+/// one thread row per cluster node within each process (`tid` = node id;
+/// node 0 labelled `head`). Overlapped regions therefore render as separate
+/// row groups instead of interleaving on one node row. Every span is a
 /// complete (`"X"`) event with microsecond `ts`/`dur`, its phase as the
 /// name, and its attribution bucket as the category. A span recording a
 /// worker-to-worker forward (`from` names a different worker) additionally
@@ -530,29 +574,48 @@ pub fn critical_path(spans: &[Span]) -> Vec<Span> {
 /// on the destination row so the timeline draws the forward as an arrow.
 pub fn chrome_trace(spans: &[Span], process_label: &str) -> Json {
     let mut events = Vec::new();
-    events.push(Json::obj([
-        ("name", Json::str("process_name")),
-        ("ph", Json::str("M")),
-        ("pid", Json::usize(0)),
-        ("tid", Json::usize(0)),
-        ("args", Json::obj([("name", Json::str(process_label))])),
-    ]));
-    let mut nodes: Vec<NodeId> =
-        spans.iter().flat_map(|s| s.from.iter().copied().chain(std::iter::once(s.node))).collect();
-    nodes.sort_unstable();
-    nodes.dedup();
-    for &node in &nodes {
+    // One (pid, tid) row per region × node that actually appears.
+    let mut rows: Vec<(u64, NodeId)> = spans
+        .iter()
+        .flat_map(|s| {
+            let pid = s.region.unwrap_or(0);
+            s.from.iter().map(move |&f| (pid, f)).chain(std::iter::once((pid, s.node)))
+        })
+        .collect();
+    rows.sort_unstable();
+    rows.dedup();
+    let mut pids: Vec<u64> = rows.iter().map(|&(pid, _)| pid).collect();
+    pids.dedup();
+    if pids.is_empty() {
+        pids.push(0);
+    }
+    for &pid in &pids {
+        let label = if pid == 0 {
+            process_label.to_string()
+        } else {
+            format!("{process_label} · region {pid}")
+        };
+        events.push(Json::obj([
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(pid)),
+            ("tid", Json::usize(0)),
+            ("args", Json::obj([("name", Json::str(label))])),
+        ]));
+    }
+    for &(pid, node) in &rows {
         let label = if node == 0 { "head".to_string() } else { format!("worker {node}") };
         events.push(Json::obj([
             ("name", Json::str("thread_name")),
             ("ph", Json::str("M")),
-            ("pid", Json::usize(0)),
+            ("pid", Json::u64(pid)),
             ("tid", Json::usize(node)),
             ("args", Json::obj([("name", Json::str(label))])),
         ]));
     }
     let mut flow_id = 0usize;
     for span in spans {
+        let pid = span.region.unwrap_or(0);
         let mut args = vec![("attempt", Json::num(span.attempt))];
         if let Some(task) = span.task {
             args.push(("task", Json::usize(task)));
@@ -570,7 +633,7 @@ pub fn chrome_trace(spans: &[Span], process_label: &str) -> Json {
             ("name", Json::str(span.phase.name())),
             ("cat", Json::str(span.phase.bucket().name())),
             ("ph", Json::str("X")),
-            ("pid", Json::usize(0)),
+            ("pid", Json::u64(pid)),
             ("tid", Json::usize(span.node)),
             ("ts", Json::u64(span.start_us)),
             // Zero-duration complete events render invisibly; clamp to 1µs.
@@ -585,7 +648,7 @@ pub fn chrome_trace(spans: &[Span], process_label: &str) -> Json {
                     ("cat", Json::str("wire")),
                     ("ph", Json::str("s")),
                     ("id", Json::usize(flow_id)),
-                    ("pid", Json::usize(0)),
+                    ("pid", Json::u64(pid)),
                     ("tid", Json::usize(from)),
                     ("ts", Json::u64(span.start_us)),
                 ]));
@@ -595,7 +658,7 @@ pub fn chrome_trace(spans: &[Span], process_label: &str) -> Json {
                     ("ph", Json::str("f")),
                     ("bp", Json::str("e")),
                     ("id", Json::usize(flow_id)),
-                    ("pid", Json::usize(0)),
+                    ("pid", Json::u64(pid)),
                     ("tid", Json::usize(span.node)),
                     ("ts", Json::u64(span.end_us.max(span.start_us + 1))),
                 ]));
@@ -712,6 +775,58 @@ mod tests {
     }
 
     #[test]
+    fn scoped_recorders_stamp_their_region_and_stay_isolated() {
+        let device = Telemetry::new(TelemetryLevel::Spans);
+        let a = device.scoped(1);
+        let b = device.scoped(2);
+        a.record(span(SpanPhase::Compute, 1, 0, 5).task(0));
+        b.record(span(SpanPhase::Compute, 1, 0, 5).task(0));
+        assert_eq!(a.begin_attempt(0), 0);
+        assert_eq!(b.begin_attempt(0), 0, "attempt counters are per scope");
+        let sa = a.take_spans();
+        let sb = b.take_spans();
+        assert_eq!(sa.len(), 1);
+        assert_eq!(sa[0].region, Some(1));
+        assert_eq!(sb[0].region, Some(2));
+        assert!(device.take_spans().is_empty(), "scoped spans never leak to the device recorder");
+        // An off device yields off scopes: no clock reads, no state.
+        let off = Telemetry::off().scoped(7);
+        let before = clock_reads();
+        assert_eq!(off.start(), 0);
+        off.record(span(SpanPhase::Compute, 1, 0, 5));
+        assert!(off.take_spans().is_empty());
+        assert_eq!(clock_reads(), before);
+    }
+
+    #[test]
+    fn chrome_trace_renders_regions_as_separate_process_rows() {
+        let spans = vec![
+            span(SpanPhase::Compute, 1, 0, 10).task(0).region(1),
+            span(SpanPhase::Compute, 1, 5, 15).task(0).region(2),
+            span(SpanPhase::HostFlush, 0, 0, 1), // device-level, no region
+        ];
+        let trace = chrome_trace(&spans, "overlap");
+        let parsed = Json::parse(&trace.to_string_pretty()).unwrap();
+        let events = parsed.field("traceEvents").unwrap().as_array().unwrap();
+        let pid_of = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+                .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .map(|e| e.get("pid").and_then(Json::as_u64).unwrap())
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(pid_of("compute"), vec![1, 2], "overlapped regions get their own pid rows");
+        assert_eq!(pid_of("host_flush"), vec![0], "unscoped spans fold into pid 0");
+        let process_names: Vec<String> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str().map(str::to_string))
+            .collect();
+        assert_eq!(process_names, vec!["overlap", "overlap · region 1", "overlap · region 2"]);
+    }
+
+    #[test]
     fn level_and_phase_names_are_stable() {
         assert_eq!(TelemetryLevel::default(), TelemetryLevel::Off);
         assert_eq!(TelemetryLevel::Spans.name(), "spans");
@@ -723,5 +838,7 @@ mod tests {
         assert_eq!(SpanPhase::Prefetch.bucket(), AttributionBucket::Wire);
         assert_eq!(SpanPhase::AwaitInflight.name(), "await_inflight");
         assert_eq!(SpanPhase::AwaitInflight.bucket(), AttributionBucket::Scheduling);
+        assert_eq!(SpanPhase::Admission.name(), "admission");
+        assert_eq!(SpanPhase::Admission.bucket(), AttributionBucket::Scheduling);
     }
 }

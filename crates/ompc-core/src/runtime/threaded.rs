@@ -118,6 +118,11 @@ pub(crate) struct RegionContext {
     events: Arc<EventSystem>,
     buffers: Arc<BufferRegistry>,
     dm: Arc<Mutex<DataManager>>,
+    /// The region epoch this execution runs under: every transfer the
+    /// backend plans or records lands in this namespace of the shared
+    /// [`DataManager`] transfer log, so concurrently admitted regions never
+    /// interleave records.
+    region: u64,
     graph: Arc<RegionGraph>,
     host_fns: HashMap<usize, HostFn>,
     config: OmpcConfig,
@@ -331,7 +336,8 @@ impl RegionContext {
                         ) {
                             self.await_device_inflight(*buffer, node, tid)?;
                         }
-                        let plan = self.dm.lock().plan_input_as(
+                        let plan = self.dm.lock().plan_input_as_in(
+                            self.region,
                             *buffer,
                             node,
                             crate::data_manager::TransferReason::EnterData,
@@ -412,7 +418,7 @@ impl RegionContext {
                         // Bind the plan before matching: a `match` scrutinee
                         // keeps its temporary `dm` guard alive for every arm,
                         // and the `None` arm locks `dm` again.
-                        let plan = self.dm.lock().plan_input(dep.buffer, node);
+                        let plan = self.dm.lock().plan_input_in(self.region, dep.buffer, node);
                         match plan {
                             Some(plan) => {
                                 gate.insert((dep.buffer.0, node), TransferState::InFlight);
@@ -506,7 +512,7 @@ impl RegionContext {
                     if !self.await_device_inflight(buffer, node, tid)? {
                         let plan = {
                             let mut gate = self.transfers.transfers.lock();
-                            let plan = self.dm.lock().plan_input(buffer, node);
+                            let plan = self.dm.lock().plan_input_in(self.region, buffer, node);
                             if plan.is_some() {
                                 gate.insert((buffer.0, node), TransferState::InFlight);
                             }
@@ -584,7 +590,7 @@ impl RegionContext {
                             // observed size keeps this and later transfer-log
                             // entries truthful.
                             dm.observe_size(*buffer, bytes);
-                            dm.record_retrieve(*buffer);
+                            dm.record_retrieve_in(self.region, *buffer);
                         }
                         if self.telemetry.spans_enabled() {
                             self.telemetry.record(
@@ -634,7 +640,7 @@ impl RegionContext {
                         {
                             let mut dm = self.dm.lock();
                             dm.observe_size(dep.buffer, bytes);
-                            dm.record_retrieve(dep.buffer);
+                            dm.record_retrieve_in(self.region, dep.buffer);
                         }
                         if self.telemetry.spans_enabled() {
                             self.telemetry.record(
@@ -853,6 +859,7 @@ impl<'a> ThreadedBackend<'a> {
         events: Arc<EventSystem>,
         buffers: Arc<BufferRegistry>,
         dm: Arc<Mutex<DataManager>>,
+        region: u64,
         graph: Arc<RegionGraph>,
         host_fns: HashMap<usize, HostFn>,
         config: &OmpcConfig,
@@ -864,6 +871,7 @@ impl<'a> ThreadedBackend<'a> {
                 events,
                 buffers,
                 dm,
+                region,
                 graph,
                 host_fns,
                 serial_inputs: config.serial_input_transfers,

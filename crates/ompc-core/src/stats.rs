@@ -7,6 +7,10 @@ use std::time::Duration;
 /// cluster device.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RegionReport {
+    /// The region epoch the data manager assigned this execution (the
+    /// tenant id under concurrent admission); `0` only for the default
+    /// report of an empty region, which never entered the data manager.
+    pub region: u64,
     /// Time spent building and statically scheduling the task graph.
     pub schedule_time: Duration,
     /// Time spent dispatching and executing the tasks (barrier to last
@@ -82,6 +86,7 @@ mod tests {
     #[test]
     fn schedule_fraction_is_bounded() {
         let r = RegionReport {
+            region: 1,
             schedule_time: Duration::from_millis(10),
             execution_time: Duration::from_millis(90),
             tasks_executed: 4,

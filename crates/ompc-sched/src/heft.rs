@@ -58,6 +58,16 @@ impl HeftScheduler {
 
 impl Scheduler for HeftScheduler {
     fn schedule(&self, graph: &TaskGraph, platform: &Platform) -> Schedule {
+        self.schedule_with_load(graph, platform, &[])
+    }
+
+    /// HEFT over a platform carrying in-flight load: each processor's
+    /// reserved seconds become a synthetic busy interval `[0, load[p]]`, so
+    /// the insertion policy places new tasks after (never inside) the work
+    /// already admitted there. Zero entries reserve nothing, which keeps
+    /// the produced schedule bit-identical to [`Scheduler::schedule`] when
+    /// no region is in flight.
+    fn schedule_with_load(&self, graph: &TaskGraph, platform: &Platform, load: &[f64]) -> Schedule {
         if graph.is_empty() {
             return Schedule::new(Vec::new());
         }
@@ -70,6 +80,11 @@ impl Scheduler for HeftScheduler {
         let mut placements = vec![Placement { proc: 0, start: 0.0, finish: 0.0 }; graph.len()];
         let mut scheduled = vec![false; graph.len()];
         let mut busy: Vec<Vec<(f64, f64)>> = vec![Vec::new(); platform.num_procs()];
+        for (p, &reserved) in load.iter().enumerate().take(platform.num_procs()) {
+            if reserved > 0.0 {
+                busy[p].push((0.0, reserved));
+            }
+        }
 
         for &t in &order {
             let task = &graph.tasks()[t];
@@ -195,6 +210,30 @@ mod tests {
         let s = HeftScheduler::new().schedule(&g, &p);
         s.validate(&g, &p).unwrap();
         assert!((s.makespan() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_load_schedule_is_identical_and_reserved_load_defers_placement() {
+        let g = fork_join(4, 1.0, 1_000);
+        let p = Platform::homogeneous(2, 1e-5, 1e9);
+        let heft = HeftScheduler::new();
+        let base = heft.schedule(&g, &p);
+        let zero = heft.schedule_with_load(&g, &p, &[0.0, 0.0]);
+        assert_eq!(base, zero, "an all-zero load snapshot must not change the schedule");
+
+        // Processor 0 carries 10 s of in-flight work: nothing new may start
+        // there before it drains, so the whole graph lands on processor 1.
+        let loaded = heft.schedule_with_load(&g, &p, &[10.0, 0.0]);
+        loaded.validate(&g, &p).unwrap();
+        for t in 0..g.len() {
+            if loaded.proc_of(t) == 0 {
+                assert!(
+                    loaded.placement(t).start >= 10.0 - 1e-9,
+                    "task {t} was slotted inside processor 0's reserved load"
+                );
+            }
+        }
+        assert!(loaded.makespan() <= base.makespan() + 10.0 + 1e-9);
     }
 
     #[test]

@@ -322,6 +322,72 @@ fn concurrent_flushes_schedule_exactly_one_retrieve() {
     });
 }
 
+/// Region-level `map(to:)` inputs stream through the async prefetch
+/// engine when `enter_data_async` is set: admission books the enter-data
+/// transfers in flight before the backend starts, the backend's own
+/// enter-data tasks await those bookings instead of re-planning, and the
+/// adopted records leave the region's transfer plan **identical** to the
+/// synchronous run — same buffers, sources, destinations, bytes, reasons.
+#[test]
+fn streamed_map_to_inputs_keep_transfer_plan_identity() {
+    fn scripted(backend: BackendKind, stream: bool) -> (Vec<f64>, Vec<Vec<TransferRecord>>) {
+        let mut device = ClusterDevice::with_config(2, async_config(backend, stream));
+        let sum = register_sum(&device);
+        let mut outputs = Vec::new();
+        let mut plans = Vec::new();
+        for round in 0..3 {
+            let mut region = device.target_region();
+            let a = region.map_to_f64s(&[round as f64 + 1.0, 2.0]);
+            let b = region.map_to_f64s(&[10.0, 20.0, 30.0 + round as f64]);
+            let out_a = region.map_alloc(8);
+            let out_b = region.map_alloc(8);
+            region.target(sum, vec![Dependence::input(a), Dependence::output(out_a)]);
+            region.target(sum, vec![Dependence::input(b), Dependence::output(out_b)]);
+            region.map_from(out_a);
+            region.map_from(out_b);
+            let (_, record) = region.run_recorded().unwrap();
+            outputs.push(device.buffer_f64s(out_a).unwrap()[0]);
+            outputs.push(device.buffer_f64s(out_b).unwrap()[0]);
+            // Normalize buffer ids to their offset within the round so the
+            // two devices' logs compare entry for entry.
+            let base = a;
+            let mut plan: Vec<TransferRecord> = record
+                .transfers
+                .iter()
+                .map(|t| TransferRecord { buffer: BufferId(t.buffer.0 - base.0), ..*t })
+                .collect();
+            plan.sort_by_key(|t| (t.buffer, t.from, t.to, t.bytes));
+            plans.push(plan);
+        }
+        device.shutdown();
+        (outputs, plans)
+    }
+
+    with_timeout(WATCHDOG, || {
+        for backend in REAL_BACKENDS {
+            let sync = scripted(backend, false);
+            let streamed = scripted(backend, true);
+            assert_eq!(sync.0, streamed.0, "{}: streamed outputs diverged", backend.name());
+            assert_eq!(
+                sync.1,
+                streamed.1,
+                "{}: streamed map(to:) changed the region transfer plan",
+                backend.name()
+            );
+            // The plan is not vacuously empty: every round distributes its
+            // two fresh inputs.
+            for plan in &streamed.1 {
+                assert_eq!(
+                    plan.iter().filter(|t| t.reason == TransferReason::EnterData).count(),
+                    2,
+                    "{}: expected both map(to:) distributions in the plan",
+                    backend.name()
+                );
+            }
+        }
+    });
+}
+
 /// Cross-region prefetch through `run_pipeline`: outputs and the final
 /// region's transfer plan match the sequential reference, and the prefetch
 /// planner never duplicates a transfer for data that is already

@@ -465,6 +465,120 @@ fn device_stays_usable_after_a_failure_in_an_earlier_region() {
     device.shutdown();
 }
 
+/// Fault recovery under concurrent admission: a node dies while two
+/// tenants are overlapped on one device. Only the tenant with tasks on
+/// the victim is blamed and replanned; the untouched tenant's record
+/// stays clean (no failures, no re-executions, no replans, no task on
+/// the victim) and its bytes are identical to a failure-free run. Both
+/// real backends.
+#[test]
+fn node_death_during_overlapped_regions_blames_only_the_victim_tenant() {
+    with_timeout(WATCHDOG, || {
+        for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+            // Probe, fault-free: tenant A admitted first on an idle
+            // three-worker device; deterministic HEFT places its chain on
+            // the same node the real run will use — the victim.
+            let run_tenant_a =
+                |device: &ClusterDevice, chain: KernelId| -> (Vec<f64>, RegionReport, RunRecord) {
+                    let mut region = device.target_region();
+                    let a = region.map_to_f64s(&[1.0, 2.0]);
+                    region.target(chain, vec![Dependence::inout(a)]);
+                    region.target(chain, vec![Dependence::inout(a)]);
+                    region.map_from(a);
+                    let (report, record) = region.run_recorded().unwrap();
+                    (device.buffer_f64s(a).unwrap(), report, record)
+                };
+            let (clean_bytes, victim) = {
+                let mut device = ClusterDevice::with_config(
+                    3,
+                    OmpcConfig { backend, ..fault_config(FaultPlan::none()) },
+                );
+                // Big hints so the load-aware planner sees tenant A's
+                // reservation; the closures themselves are instant.
+                let chain = device.register_kernel_fn("chain", 10.0, |args| {
+                    let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+                    args.set_f64s(0, &v);
+                });
+                let (bytes, _, record) = run_tenant_a(&device, chain);
+                let victim = record.assignment[1];
+                assert!(victim >= 1, "tenant A's chain runs on a worker");
+                device.shutdown();
+                (bytes, victim)
+            };
+
+            // Real run: the victim dies after tenant A's enter-data and
+            // first kernel retire there; tenant B is admitted mid-flight
+            // (the first kernel signals through the channel before the
+            // death is declared) and planned around A's reserved load.
+            let plan = FaultPlan::none().fail_after_completions(victim, 2);
+            let config = OmpcConfig { backend, max_concurrent_regions: 2, ..fault_config(plan) };
+            let mut device = ClusterDevice::with_config(3, config);
+            let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+            let started_tx = std::sync::Mutex::new(started_tx);
+            let chain = device.register_kernel_fn("chain", 10.0, move |args| {
+                let _ = started_tx.lock().unwrap().send(());
+                let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+                args.set_f64s(0, &v);
+            });
+            let bump = device.register_kernel_fn("bump", 1e-6, |args| {
+                let v: Vec<f64> = args.as_f64s(0).iter().map(|x| x + 1.0).collect();
+                args.set_f64s(0, &v);
+            });
+            let (b_bytes, b_report, b_record) = std::thread::scope(|scope| {
+                let device_ref = &device;
+                let tenant_a = scope.spawn(move || run_tenant_a(device_ref, chain));
+
+                // Admit tenant B only once tenant A's first kernel is
+                // executing on the victim, so the regions truly overlap.
+                started_rx.recv().unwrap();
+                let mut region = device.target_region();
+                let b = region.map_to_f64s(&[10.0]);
+                region.target(bump, vec![Dependence::inout(b)]);
+                region.map_from(b);
+                let (report, record) = region.run_recorded().unwrap();
+                let bytes = device.buffer_f64s(b).unwrap();
+
+                let (a_bytes, a_report, a_record) = tenant_a.join().unwrap();
+                // Tenant A: blamed, replanned off the victim, recovered to
+                // the failure-free bytes.
+                assert_eq!(a_bytes, clean_bytes, "{}: tenant A must recover", backend.name());
+                assert_eq!(a_record.failures.len(), 1, "{}", backend.name());
+                assert_eq!(a_record.failures[0].node, victim, "{}", backend.name());
+                assert!(!a_record.reexecuted.is_empty(), "{}", backend.name());
+                assert!(
+                    a_record.replanned.iter().all(|r| r.from == victim && r.to != victim),
+                    "{}: recovery must move tenant A off the victim: {:?}",
+                    backend.name(),
+                    a_record.replanned
+                );
+                assert_ne!(a_report.region, report.region, "{}", backend.name());
+                (bytes, report, record)
+            });
+            device.shutdown();
+
+            // Tenant B: untouched. Same bytes as a failure-free run of the
+            // same region, no blame, no re-execution, no replanning, and
+            // no task ever placed on the victim.
+            assert_eq!(b_bytes, vec![11.0], "{}: tenant B's bytes changed", backend.name());
+            assert_ne!(b_report.region, 0, "{}", backend.name());
+            assert!(
+                b_record.failures.is_empty(),
+                "{}: the untouched tenant was blamed: {:?}",
+                backend.name(),
+                b_record.failures
+            );
+            assert!(b_record.reexecuted.is_empty(), "{}", backend.name());
+            assert!(b_record.replanned.is_empty(), "{}", backend.name());
+            assert!(
+                b_record.assignment.iter().all(|&n| n != victim),
+                "{}: tenant B was planned onto the victim: {:?}",
+                backend.name(),
+                b_record.assignment
+            );
+        }
+    });
+}
+
 /// The async data path's failure interaction: a node dies while an
 /// `enter_data_async` transfer towards it is still in flight. The booking
 /// must roll back — the ticket reports the failure instead of hanging —

@@ -226,6 +226,76 @@ fn telemetry_off_is_observationally_identical_on_both_real_backends() {
     });
 }
 
+/// Overlapped regions own their timelines: each client's record carries
+/// spans tagged with *its* region epoch, and a combined Chrome trace
+/// renders the tenants as separate process rows (`pid` = region), so an
+/// overlapped run is readable instead of one interleaved soup.
+#[test]
+fn overlapped_regions_render_as_separate_trace_rows() {
+    with_timeout(WATCHDOG, || {
+        for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+            let config = OmpcConfig { max_concurrent_regions: 2, ..spans_config(backend) };
+            let mut device = ClusterDevice::with_config(2, config);
+            let sum = device.register_kernel_fn("sum", 1e-6, |args| {
+                let total: f64 = args.as_f64s(0).iter().sum();
+                args.set_f64s(1, &[total]);
+            });
+            let results: Vec<(RegionReport, RunRecord)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..2)
+                    .map(|i| {
+                        let device = &device;
+                        scope.spawn(move || {
+                            let mut region = device.target_region();
+                            let a = region.map_to_f64s(&[i as f64 + 1.0, 2.0]);
+                            let out = region.map_alloc(8);
+                            region.target(sum, vec![Dependence::input(a), Dependence::output(out)]);
+                            region.map_from(out);
+                            region.run_recorded().unwrap()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            device.shutdown();
+
+            let regions: Vec<u64> = results.iter().map(|(report, _)| report.region).collect();
+            assert_ne!(regions[0], regions[1], "{backend:?}: tenants share a region id");
+            for (report, record) in &results {
+                // The lifecycle spans of this client's record are tagged
+                // with this client's epoch — never a neighbour's. (Device-
+                // level spans drained alongside may be untagged; region-
+                // tagged spans must be ours.)
+                let lifecycle = [SpanPhase::Schedule, SpanPhase::Dispatch, SpanPhase::Compute];
+                for phase in lifecycle {
+                    let spans: Vec<_> = record.spans.iter().filter(|s| s.phase == phase).collect();
+                    assert!(!spans.is_empty(), "{backend:?}: no {phase:?} span recorded");
+                    for span in spans {
+                        assert_eq!(
+                            span.region,
+                            Some(report.region),
+                            "{backend:?}: {phase:?} span tagged with a foreign region: {span:?}"
+                        );
+                    }
+                }
+            }
+
+            // A combined trace of both tenants renders one process row
+            // group per region epoch.
+            let mut all_spans: Vec<Span> = Vec::new();
+            for (_, record) in &results {
+                all_spans.extend(record.spans.iter().cloned());
+            }
+            let text = chrome_trace(&all_spans, "overlap").to_string_pretty();
+            for &region in &regions {
+                assert!(
+                    text.contains(&format!("overlap · region {region}")),
+                    "{backend:?}: trace is missing the row group for region {region}"
+                );
+            }
+        }
+    });
+}
+
 #[test]
 fn chrome_trace_export_is_valid_for_a_real_run() {
     with_timeout(WATCHDOG, || {
