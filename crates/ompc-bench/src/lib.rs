@@ -35,6 +35,10 @@
 //!   K client surveys sharing one device while
 //!   `max_concurrent_regions` sweeps from strictly serial to fully
 //!   overlapped (`results/multitenant.json`).
+//! * [`run_collectives`] — collective data movement: star vs binomial-tree
+//!   distribution of one shared buffer to k readers as the fanout sweeps,
+//!   with exact logged head-link and total wire bytes on both real
+//!   backends (`results/collectives.json`).
 //! * [`run_telemetry`] — the real-backend Fig. 7(a): the Awave resident
 //!   survey on both real backends at `TelemetryLevel::Spans`, exporting
 //!   Chrome trace-event timelines and the per-phase overhead attribution
@@ -45,6 +49,7 @@
 //! EXPERIMENTS.md can record paper-vs-measured comparisons.
 
 pub mod ablation;
+pub mod collectives;
 pub mod fault;
 pub mod figures;
 pub mod hotpath;
@@ -56,6 +61,9 @@ pub mod runtimes;
 pub mod telemetry;
 
 pub use ablation::{run_ablation, AblationRow};
+pub use collectives::{
+    collectives_gate_failures, run_collectives, CollectiveRow, CollectiveWorkload,
+};
 pub use fault::{run_fault_overhead, FaultRow};
 pub use figures::{
     run_awave, run_ccr, run_overhead, run_scalability, AwaveRow, CcrRow, OverheadRow,

@@ -9,6 +9,7 @@
 //! logic.
 
 use crate::buffer::BufferRegistry;
+use crate::collective::{run_broadcast, BroadcastSpec};
 use crate::config::BackendKind;
 use crate::config::OmpcConfig;
 use crate::data_manager::{
@@ -33,7 +34,6 @@ use ompc_mpi::World;
 use ompc_sched::Platform;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -242,6 +242,9 @@ impl ClusterDevice {
                 (world, kernels, events, worker_handles)
             }
         };
+        // Applied to warm-adopted worlds too: the previous lifetime may
+        // have paced (or not paced) its links differently.
+        world.set_link_bandwidth(config.emulated_link_mib_per_s as u64 * 1024 * 1024);
         let startup_time = start.elapsed();
         let pool = HeadWorkerPool::with_idle_timeout(
             config.pool_idle_timeout_ms.map(std::time::Duration::from_millis),
@@ -1092,6 +1095,51 @@ impl ClusterDevice {
     /// would plan, and `execute_planned` adopts the deferred records into
     /// this region's namespace — the transfer plans stay byte-identical.
     fn stream_region_inputs(&self, graph: &RegionGraph, assignment: &[NodeId]) {
+        // With collectives enabled, a buffer this region distributes to
+        // k ≥ `collective_min_fanout` destinations is booked as ONE
+        // broadcast tree under one shared ticket — waiters still resolve
+        // per-destination through the in-flight table — and rides a single
+        // transfer-pool job. Everything else (and everything when the knob
+        // is off) follows the exact per-plan path below.
+        let mut broadcast_buffers: BTreeSet<BufferId> = BTreeSet::new();
+        if let Some(threshold) = self.config.collective_threshold() {
+            let wanted = Self::collective_destinations(graph, assignment);
+            let mut jobs: Vec<BroadcastSpec> = Vec::new();
+            {
+                let mut dm = self.dm.lock();
+                for (buffer, mut dests) in wanted {
+                    if !dm.is_registered(buffer) || dm.buffer_in_flight(buffer) {
+                        continue;
+                    }
+                    dests.retain(|&node, _| !dm.is_present(buffer, node) && !dm.is_failed(node));
+                    if dests.len() < threshold {
+                        continue;
+                    }
+                    let Some(source) = dm.latest(buffer) else { continue };
+                    let ticket = dm.open_ticket();
+                    let mut destinations = Vec::with_capacity(dests.len());
+                    for (&node, &reason) in &dests {
+                        if dm.begin_inflight(buffer, node, reason, ticket).is_some() {
+                            destinations.push(node);
+                        }
+                    }
+                    if destinations.is_empty() {
+                        continue;
+                    }
+                    broadcast_buffers.insert(buffer);
+                    jobs.push(BroadcastSpec {
+                        buffer,
+                        bytes: dm.bytes_of(buffer),
+                        source,
+                        destinations,
+                        chunk_bytes: self.config.collective_chunk_bytes() as u64,
+                    });
+                }
+            }
+            for spec in jobs {
+                self.spawn_broadcast_job(spec);
+            }
+        }
         let mut jobs: Vec<TransferPlan> = Vec::new();
         {
             let mut dm = self.dm.lock();
@@ -1099,6 +1147,9 @@ impl ClusterDevice {
             for task in graph.tasks() {
                 let TaskKind::EnterData { buffer, map } = task.kind else { continue };
                 if !matches!(map, MapType::To | MapType::ToFrom | MapType::ToResident) {
+                    continue;
+                }
+                if broadcast_buffers.contains(&buffer) {
                     continue;
                 }
                 let Some(&node) = assignment.get(task.id.0) else { continue };
@@ -1114,6 +1165,173 @@ impl ClusterDevice {
         }
         for plan in jobs {
             self.spawn_transfer_job(plan, "streamed enter-data");
+        }
+    }
+
+    /// The one-to-many distribution demand of a planned region: for every
+    /// buffer that no task of the region writes, the worker nodes that will
+    /// need a copy — enter-data placements (classified
+    /// [`TransferReason::EnterData`]) and readers of target tasks
+    /// ([`TransferReason::Input`]; enter-data wins when a node is both).
+    fn collective_destinations(
+        graph: &RegionGraph,
+        assignment: &[NodeId],
+    ) -> BTreeMap<BufferId, BTreeMap<NodeId, TransferReason>> {
+        // Only *kernel* writes disqualify a buffer: a target task writing
+        // it mid-region invalidates pre-distributed copies. The synthetic
+        // output dependence an enter-data task carries for ordering is the
+        // very distribution step the broadcast replaces.
+        let written: BTreeSet<BufferId> = graph
+            .tasks()
+            .iter()
+            .filter(|t| matches!(t.kind, TaskKind::Target { .. }))
+            .flat_map(|t| t.dependences.iter().filter(|d| d.dep_type.writes()).map(|d| d.buffer))
+            .collect();
+        let mut wanted: BTreeMap<BufferId, BTreeMap<NodeId, TransferReason>> = BTreeMap::new();
+        for task in graph.tasks() {
+            let Some(&node) = assignment.get(task.id.0) else { continue };
+            if node == HEAD_NODE {
+                continue;
+            }
+            match &task.kind {
+                TaskKind::EnterData { buffer, map }
+                    if matches!(map, MapType::To | MapType::ToFrom | MapType::ToResident)
+                        && !written.contains(buffer) =>
+                {
+                    wanted.entry(*buffer).or_default().insert(node, TransferReason::EnterData);
+                }
+                TaskKind::Target { .. } => {
+                    for dep in &task.dependences {
+                        if dep.dep_type.reads() && !written.contains(&dep.buffer) {
+                            wanted
+                                .entry(dep.buffer)
+                                .or_default()
+                                .entry(node)
+                                .or_insert(TransferReason::Input);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        wanted
+    }
+
+    /// Distribute the read-only one-to-many inputs of an already-planned
+    /// region as binomial broadcast trees, synchronously, before the
+    /// backend dispatches its first task. Only runs with
+    /// [`OmpcConfig::collective_min_fanout`] set and only over buffers
+    /// reaching at least that many destinations in this planning step —
+    /// everything below the threshold is left exactly to the per-task star
+    /// machinery, byte-identically to the collectives-off path. Delivered
+    /// edges are logged (with the feeder that actually carried the bytes)
+    /// under the region's namespace; failed destinations are simply not
+    /// recorded as holders, so the backend re-sources them per-task.
+    fn predistribute_collectives(
+        &self,
+        graph: &RegionGraph,
+        assignment: &[NodeId],
+        region: u64,
+        telemetry: &Telemetry,
+    ) {
+        let Some(threshold) = self.config.collective_threshold() else { return };
+        let chunk = self.config.collective_chunk_bytes() as u64;
+        for (buffer, mut dests) in Self::collective_destinations(graph, assignment) {
+            let (source, bytes) = {
+                let dm = self.dm.lock();
+                if !dm.is_registered(buffer) || dm.buffer_in_flight(buffer) {
+                    // An async booking (streamed enter-data, cross-region
+                    // prefetch) owns the buffer's movement; its waiters
+                    // resolve through the in-flight table instead.
+                    continue;
+                }
+                dests.retain(|&node, _| !dm.is_present(buffer, node) && !dm.is_failed(node));
+                let Some(source) = dm.latest(buffer) else { continue };
+                (source, dm.bytes_of(buffer))
+            };
+            if dests.len() < threshold {
+                continue;
+            }
+            let payload = if source == HEAD_NODE {
+                match self.buffers.get(buffer) {
+                    Ok(data) => Some(data),
+                    Err(_) => continue,
+                }
+            } else {
+                None
+            };
+            let spec = BroadcastSpec {
+                buffer,
+                bytes: payload.as_ref().map(|d| d.len() as u64).unwrap_or(bytes),
+                source,
+                destinations: dests.keys().copied().collect(),
+                chunk_bytes: chunk,
+            };
+            let outcome = run_broadcast(&self.events, telemetry, &spec, payload.as_deref());
+            let mut dm = self.dm.lock();
+            for edge in &outcome.delivered {
+                let reason = dests.get(&edge.to).copied().unwrap_or(TransferReason::Input);
+                dm.note_broadcast_delivery(region, buffer, edge.from, edge.to, reason);
+            }
+        }
+    }
+
+    /// Submit one booked broadcast tree to the transfer pool: the job runs
+    /// the tree, retargets each deferred record whose payload was fed by a
+    /// different node than planned (tree relays, rescues), and resolves
+    /// every destination's in-flight booking individually — a tree is one
+    /// ticket whose waiters resolve per-destination.
+    fn spawn_broadcast_job(&self, spec: BroadcastSpec) {
+        let events = Arc::clone(&self.events);
+        let buffers = Arc::clone(&self.buffers);
+        let dm = Arc::clone(&self.dm);
+        let cv = Arc::clone(&self.inflight_cv);
+        let hold = Arc::clone(&self.async_hold);
+        let telemetry = Arc::clone(&self.telemetry);
+        let fallback = spec.clone();
+        let submitted = self.transfer_pool.submit_closure(Box::new(move || {
+            Self::wait_hold(&hold);
+            let payload = if spec.source == HEAD_NODE {
+                match buffers.get(spec.buffer) {
+                    Ok(data) => Some(data),
+                    Err(e) => {
+                        let mut dm = dm.lock();
+                        for &node in &spec.destinations {
+                            dm.finish_inflight(spec.buffer, node, Err(e.clone()));
+                        }
+                        drop(dm);
+                        cv.notify_all();
+                        return;
+                    }
+                }
+            } else {
+                None
+            };
+            let spec = BroadcastSpec {
+                bytes: payload.as_ref().map(|d| d.len() as u64).unwrap_or(spec.bytes),
+                ..spec
+            };
+            let outcome = run_broadcast(&events, &telemetry, &spec, payload.as_deref());
+            let mut dm = dm.lock();
+            for edge in &outcome.delivered {
+                if edge.from != spec.source {
+                    dm.retarget_deferred_from(spec.buffer, edge.to, edge.from);
+                }
+                dm.finish_inflight(spec.buffer, edge.to, Ok(()));
+            }
+            for (node, error) in &outcome.failed {
+                dm.finish_inflight(spec.buffer, *node, Err(error.clone()));
+            }
+            drop(dm);
+            cv.notify_all();
+        }));
+        if submitted.is_err() {
+            let mut dm = self.dm.lock();
+            for &node in &fallback.destinations {
+                dm.finish_inflight(fallback.buffer, node, Err(OmpcError::ShutDown));
+            }
+            drop(dm);
+            self.inflight_cv.notify_all();
         }
     }
 
@@ -1236,14 +1454,16 @@ impl ClusterDevice {
             self.stream_region_inputs(&graph, &plan.assignment);
         }
 
-        let data_before = self.events.counters().data_events.load(Ordering::Relaxed);
-        let bytes_before = self.events.counters().bytes_moved.load(Ordering::Relaxed);
-
         let exec_start = Instant::now();
         let record =
             self.execute_planned(Arc::clone(&graph), host_fns, &plan, region, &telemetry)?;
         let execution_time = exec_start.elapsed();
 
+        // `data_events` / `bytes_moved` derive from this region's own
+        // namespaced transfer log (already attached to the record by
+        // `execute_planned`), not from global-counter deltas — so they are
+        // exact, and assertable, even when other regions move data
+        // concurrently with this execution.
         let report = RegionReport {
             region,
             schedule_time,
@@ -1251,9 +1471,8 @@ impl ClusterDevice {
             tasks_executed: graph.len(),
             target_tasks: graph.tasks().iter().filter(|t| t.kind.is_target()).count(),
             peak_in_flight: record.peak_in_flight,
-            data_events: (self.events.counters().data_events.load(Ordering::Relaxed) - data_before)
-                as usize,
-            bytes_moved: self.events.counters().bytes_moved.load(Ordering::Relaxed) - bytes_before,
+            data_events: record.transfers.len(),
+            bytes_moved: record.transfers.iter().map(|t| t.bytes).sum(),
             failures: record.failures.len(),
             reexecuted_tasks: record.reexecuted.len(),
         };
@@ -1330,6 +1549,14 @@ impl ClusterDevice {
             let consumed: BTreeSet<BufferId> =
                 graph.tasks().iter().flat_map(|t| t.dependences.iter().map(|d| d.buffer)).collect();
             dm.adopt_deferred_for(&consumed, region);
+        }
+        // Collective pre-distribution: one-to-many read-only inputs ship
+        // as binomial broadcast trees before the first task dispatches
+        // (no-op unless `collective_min_fanout` is set; async-booked
+        // buffers are skipped — their broadcast already rides the
+        // transfer pool).
+        if !matches!(self.config.backend, BackendKind::Sim) {
+            self.predistribute_collectives(&graph, &plan.assignment, region, telemetry);
         }
         let mut core = match faults {
             Some(faults) => RuntimeCore::with_faults(graph.as_ref(), plan, faults),
@@ -1524,6 +1751,7 @@ impl Drop for ClusterDevice {
 mod tests {
     use super::*;
     use crate::types::Dependence;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn listing1_chain_runs_end_to_end() {

@@ -230,6 +230,35 @@ pub struct OmpcConfig {
     /// keeps its own transfer-log namespace, telemetry scope, and
     /// [`crate::runtime::RunRecord`]. `0` is treated as `1`.
     pub max_concurrent_regions: usize,
+    /// Minimum destination count at which a one-to-many distribution is
+    /// planned as a **binomial broadcast tree** of worker-to-worker relays
+    /// instead of a star of independent source-sourced sends. When a single
+    /// planning step (a region's read-only input set, an async enter-data
+    /// booking, or a prefetch train) must place one buffer on `k`
+    /// destinations and `k >= collective_min_fanout`, the source sends
+    /// O(log k) copies and interior recipients fan the payload onward, so
+    /// the source link stops serializing `k` wire trips. `0` (the default)
+    /// disables collectives entirely; any distribution below the threshold
+    /// is planned exactly as before, byte-identical transfer logs included.
+    /// Only the real backends honour the knob — the simulated backend keeps
+    /// its analytic star model.
+    pub collective_min_fanout: usize,
+    /// Frame size, in KiB, of the chunked payload stream used by collective
+    /// broadcast trees. With a positive value a relayed buffer travels as a
+    /// pipeline of frames — an interior relay forwards frame `i` to its
+    /// children while frame `i + 1` is still on the wire to it — overlapping
+    /// serialization, transmission, and fan-out along the tree. `0` (the
+    /// default) sends each relayed buffer as a single whole-buffer frame.
+    /// Ignored outside collective distributions; point-to-point transfers
+    /// are never chunked.
+    pub collective_chunk_kib: usize,
+    /// Opt-in wire emulation for benchmarking: when positive, every rank's
+    /// outbound messages serialize through a per-rank egress budget of this
+    /// many MiB/s, so `k` concurrent sends from one node genuinely queue on
+    /// its link the way they would on a single NIC. `0` (the default)
+    /// delivers at memcpy speed with no pacing. Purely a wall-clock model:
+    /// delivery order, transfer plans, logs, and outputs are unaffected.
+    pub emulated_link_mib_per_s: usize,
     /// How much the runtime records about its own execution (see
     /// [`crate::runtime::telemetry`]). [`TelemetryLevel::Off`] (the
     /// default) reaches no clock read and leaves
@@ -268,6 +297,9 @@ impl Default for OmpcConfig {
             enter_data_async: false,
             prefetch_depth: 1,
             max_concurrent_regions: 1,
+            collective_min_fanout: 0,
+            collective_chunk_kib: 0,
+            emulated_link_mib_per_s: 0,
             telemetry: TelemetryLevel::Off,
         }
     }
@@ -298,6 +330,9 @@ impl OmpcConfig {
             enter_data_async: false,
             prefetch_depth: 1,
             max_concurrent_regions: 1,
+            collective_min_fanout: 0,
+            collective_chunk_kib: 0,
+            emulated_link_mib_per_s: 0,
             telemetry: TelemetryLevel::Off,
         }
     }
@@ -326,6 +361,24 @@ impl OmpcConfig {
     /// its first client.
     pub fn admission_limit(&self) -> usize {
         self.max_concurrent_regions.max(1)
+    }
+
+    /// The effective collective threshold: `None` when broadcast trees are
+    /// disabled ([`OmpcConfig::collective_min_fanout`] of `0`), otherwise
+    /// the minimum destination count, clamped to at least `2` — a
+    /// one-destination "tree" is definitionally the existing point-to-point
+    /// path and must stay byte-identical to it.
+    pub fn collective_threshold(&self) -> Option<usize> {
+        match self.collective_min_fanout {
+            0 => None,
+            n => Some(n.max(2)),
+        }
+    }
+
+    /// The collective frame size in bytes: `0` means each relayed buffer
+    /// travels as one whole-buffer frame.
+    pub fn collective_chunk_bytes(&self) -> usize {
+        self.collective_chunk_kib.saturating_mul(1024)
     }
 }
 
@@ -431,6 +484,26 @@ mod tests {
             OmpcConfig { max_concurrent_regions: 4, ..OmpcConfig::small() }.admission_limit(),
             4
         );
+    }
+
+    #[test]
+    fn collective_knobs_default_off_and_resolve() {
+        // Broadcast trees are strictly opt-in: the default configuration
+        // plans every distribution as the historical star.
+        assert_eq!(OmpcConfig::default().collective_min_fanout, 0);
+        assert_eq!(OmpcConfig::small().collective_min_fanout, 0);
+        assert_eq!(OmpcConfig::default().collective_chunk_kib, 0);
+        assert_eq!(OmpcConfig::small().collective_chunk_kib, 0);
+        assert_eq!(OmpcConfig::default().collective_threshold(), None);
+        // A one-destination tree is meaningless; the threshold clamps to 2.
+        let c = OmpcConfig { collective_min_fanout: 1, ..OmpcConfig::small() };
+        assert_eq!(c.collective_threshold(), Some(2));
+        let c = OmpcConfig { collective_min_fanout: 4, ..OmpcConfig::small() };
+        assert_eq!(c.collective_threshold(), Some(4));
+        // Chunk size resolves KiB -> bytes; zero means whole-buffer frames.
+        assert_eq!(OmpcConfig::default().collective_chunk_bytes(), 0);
+        let c = OmpcConfig { collective_chunk_kib: 64, ..OmpcConfig::small() };
+        assert_eq!(c.collective_chunk_bytes(), 64 * 1024);
     }
 
     #[test]

@@ -111,8 +111,8 @@ pub struct TransferPlan {
 }
 
 /// Why a transfer was planned — the classification the cross-backend
-/// transfer-set equivalence tests compare on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// transfer-set equivalence tests compare on (and sort by).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum TransferReason {
     /// An enter-data distribution (`map(to:)` making the buffer available
     /// on the cluster).
@@ -189,6 +189,16 @@ pub struct DataManager {
     /// the buffers, which is what keeps `RunRecord::transfers` identical to
     /// the synchronous data path.
     deferred: Vec<TransferRecord>,
+    /// Buffers whose *first* device copy is being materialized by a
+    /// synchronous, region-attributed plan right now: buffer → (optimistic
+    /// holder, planning region). While an entry is live, a second
+    /// synchronous first-touch plan from a *different* region is a typed
+    /// [`OmpcError::InvalidConfig`] rejection instead of the formerly
+    /// documented-unsupported race (the second region would compute against
+    /// bytes whose arrival nothing orders). Entries are cleared when the
+    /// planning region drains its log (region completion), when the
+    /// optimistic booking is rolled back, or when the holder node fails.
+    settling: BTreeMap<u64, (NodeId, u64)>,
 }
 
 impl DataManager {
@@ -316,17 +326,20 @@ impl DataManager {
     /// [`TransferReason::Input`] in the [`UNATTRIBUTED`] namespace.
     pub fn plan_input(&mut self, buffer: BufferId, node: NodeId) -> Option<TransferPlan> {
         self.plan_input_as_in(UNATTRIBUTED, buffer, node, TransferReason::Input)
+            .expect("device-level plans are exempt from the first-touch guard")
     }
 
     /// [`DataManager::plan_input`] logging into `region`'s namespace — the
     /// entry point of the execution backends, whose records belong to one
-    /// admitted region.
+    /// admitted region. `Err` means another concurrently admitted region is
+    /// still settling the buffer's first device copy (see
+    /// [`DataManager::plan_input_as_in`]).
     pub fn plan_input_in(
         &mut self,
         region: u64,
         buffer: BufferId,
         node: NodeId,
-    ) -> Option<TransferPlan> {
+    ) -> Result<Option<TransferPlan>, OmpcError> {
         self.plan_input_as_in(region, buffer, node, TransferReason::Input)
     }
 
@@ -341,30 +354,56 @@ impl DataManager {
         reason: TransferReason,
     ) -> Option<TransferPlan> {
         self.plan_input_as_in(UNATTRIBUTED, buffer, node, reason)
+            .expect("device-level plans are exempt from the first-touch guard")
     }
 
     /// [`DataManager::plan_input_as`] logging into `region`'s namespace.
+    ///
+    /// Region-attributed plans enforce the **concurrent first-touch
+    /// guard**: the first synchronous host-sourced plan of a buffer that
+    /// has no worker copy yet marks the buffer *settling* under its region;
+    /// until that region completes, a second synchronous first-touch plan
+    /// from a different region returns
+    /// [`OmpcError::InvalidConfig`] instead of racing the optimistic
+    /// holder whose bytes may still be on the wire. Plans in the
+    /// [`UNATTRIBUTED`] namespace (device-level enter-data, recovery) are
+    /// exempt and never fail.
     pub fn plan_input_as_in(
         &mut self,
         region: u64,
         buffer: BufferId,
         node: NodeId,
         reason: TransferReason,
-    ) -> Option<TransferPlan> {
+    ) -> Result<Option<TransferPlan>, OmpcError> {
         if self.failed.contains(&node) {
             // A dead node never receives data; the caller is a zombie task
             // whose results are discarded anyway.
-            return None;
+            return Ok(None);
         }
         let loc = self
             .buffers
             .get_mut(&buffer)
             .unwrap_or_else(|| panic!("plan_input on unregistered buffer {buffer}"));
         if loc.holders.contains(&node) {
-            return None;
+            return Ok(None);
+        }
+        if region != UNATTRIBUTED {
+            if let Some(&(holder, settling_region)) = self.settling.get(&buffer.0) {
+                if settling_region != region {
+                    return Err(OmpcError::InvalidConfig(format!(
+                        "concurrent synchronous first-touch of {buffer}: region {region} \
+                         planned it for node {node} while region {settling_region} is still \
+                         settling the first device copy on node {holder}"
+                    )));
+                }
+            }
         }
         let from = loc.latest;
+        let first_touch = from == HEAD_NODE && loc.holders.iter().all(|&h| h == HEAD_NODE);
         loc.holders.insert(node);
+        if region != UNATTRIBUTED && first_touch {
+            self.settling.entry(buffer.0).or_insert((node, region));
+        }
         // A stale failure record for this pair is superseded by the new
         // booking: the caller performs the transfer synchronously.
         if matches!(self.inflight.get(&(buffer.0, node)), Some(InflightEntry::Failed(_))) {
@@ -377,7 +416,63 @@ impl DataManager {
             bytes: loc.bytes,
             reason,
         });
-        Some(TransferPlan { from, to: node, buffer })
+        Ok(Some(TransferPlan { from, to: node, buffer }))
+    }
+
+    /// Record one delivered edge of a collective broadcast: `to` now holds
+    /// a valid replica of `buffer` whose bytes were fed by `from` (the tree
+    /// parent, or the rescue source when the planned parent died). The edge
+    /// is logged under `region` with the buffer's registered size, so the
+    /// transfer log reports the true per-edge wire bytes of the tree rather
+    /// than k star edges out of the original holder. No-op when `to` is
+    /// dead or already a holder.
+    pub fn note_broadcast_delivery(
+        &mut self,
+        region: u64,
+        buffer: BufferId,
+        from: NodeId,
+        to: NodeId,
+        reason: TransferReason,
+    ) {
+        if self.failed.contains(&to) {
+            return;
+        }
+        let Some(loc) = self.buffers.get_mut(&buffer) else { return };
+        if !loc.holders.insert(to) {
+            return;
+        }
+        if matches!(self.inflight.get(&(buffer.0, to)), Some(InflightEntry::Failed(_))) {
+            self.inflight.remove(&(buffer.0, to));
+        }
+        self.logs.entry(region).or_default().push(TransferRecord {
+            buffer,
+            from,
+            to,
+            bytes: loc.bytes,
+            reason,
+        });
+    }
+
+    /// Repoint the source of the async record booked towards
+    /// `(buffer, to)` — used when a collective rescue delivers the bytes
+    /// from a different node than the planned tree parent, so the record
+    /// reports the edge that actually carried the payload. The record may
+    /// still be deferred, or already adopted into the consuming region's
+    /// log (the region starts before its broadcast job resolves); like
+    /// [`DataManager::finish_inflight`]'s rollback, at most one live record
+    /// per `(buffer, to)` exists across all namespaces.
+    pub fn retarget_deferred_from(&mut self, buffer: BufferId, to: NodeId, new_from: NodeId) {
+        if let Some(rec) = self.deferred.iter_mut().rev().find(|t| t.buffer == buffer && t.to == to)
+        {
+            rec.from = new_from;
+            return;
+        }
+        for log in self.logs.values_mut() {
+            if let Some(rec) = log.iter_mut().rev().find(|t| t.buffer == buffer && t.to == to) {
+                rec.from = new_from;
+                return;
+            }
+        }
     }
 
     /// Open a ticket for a batch of asynchronous transfers. Movements are
@@ -617,6 +712,9 @@ impl DataManager {
     /// the logged transfer is withdrawn. The most recent copy (`latest`)
     /// is never forgotten.
     pub fn forget_replica(&mut self, buffer: BufferId, node: NodeId) {
+        if self.settling.get(&buffer.0).is_some_and(|&(n, _)| n == node) {
+            self.settling.remove(&buffer.0);
+        }
         if let Some(loc) = self.buffers.get_mut(&buffer) {
             if loc.latest != node && loc.holders.remove(&node) {
                 // At most one live log entry can exist per (buffer, node):
@@ -698,6 +796,7 @@ impl DataManager {
     /// `map(release:)`), returning the worker nodes that still held copies
     /// and must free them. Ends keep-resident status.
     pub fn remove(&mut self, buffer: BufferId) -> Vec<NodeId> {
+        self.settling.remove(&buffer.0);
         self.buffers
             .remove(&buffer)
             .map(|l| l.holders.into_iter().filter(|&n| n != HEAD_NODE).collect())
@@ -716,6 +815,7 @@ impl DataManager {
     pub fn fail_node(&mut self, node: NodeId) -> Vec<BufferId> {
         assert_ne!(node, HEAD_NODE, "the head node cannot fail");
         self.failed.insert(node);
+        self.settling.retain(|_, &mut (holder, _)| holder != node);
         let mut lost = Vec::new();
         for (&buffer, loc) in self.buffers.iter_mut() {
             loc.holders.remove(&node);
@@ -745,6 +845,7 @@ impl DataManager {
     /// drain). The execution core attaches this to its
     /// [`crate::runtime::RunRecord`].
     pub fn take_transfer_log(&mut self) -> Vec<TransferRecord> {
+        self.settling.clear();
         std::mem::take(&mut self.logs).into_values().flatten().collect()
     }
 
@@ -753,6 +854,7 @@ impl DataManager {
     /// the cluster device attaches to a concurrent region's
     /// [`crate::runtime::RunRecord`].
     pub fn take_transfer_log_in(&mut self, region: u64) -> Vec<TransferRecord> {
+        self.settling.retain(|_, &mut (_, r)| r != region);
         self.logs.remove(&region).unwrap_or_default()
     }
 
@@ -1156,5 +1258,108 @@ mod tests {
         // A failure moves the residency view.
         dm.fail_node(2);
         assert!(dm.latest_on_workers().is_empty());
+    }
+
+    #[test]
+    fn concurrent_sync_first_touch_is_a_typed_rejection() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 8);
+        // Region 1 first-touches the buffer: the copy on node 1 is settling.
+        assert!(dm.plan_input_in(1, b, 1).unwrap().is_some());
+        // A second plan from the same region is fine (replication within
+        // one region is ordered by that region's own dependence graph).
+        assert!(dm.plan_input_in(1, b, 2).unwrap().is_some());
+        // A concurrent region racing the optimistic holder is rejected.
+        match dm.plan_input_in(2, b, 3) {
+            Err(OmpcError::InvalidConfig(msg)) => {
+                assert!(msg.contains("first-touch"), "unexpected message: {msg}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // Planning towards a node that already holds stays a quiet no-op.
+        assert!(dm.plan_input_in(2, b, 1).unwrap().is_none());
+        // Once region 1 completes (drains its log), the copies are settled
+        // and other regions may source them freely.
+        dm.take_transfer_log_in(1);
+        assert!(dm.plan_input_in(2, b, 3).unwrap().is_some());
+    }
+
+    #[test]
+    fn first_touch_guard_clears_on_rollback_and_failure() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 8);
+        assert!(dm.plan_input_in(1, b, 1).unwrap().is_some());
+        assert!(dm.plan_input_in(2, b, 2).is_err());
+        // The first-touch transfer failed: the booking rolls back and the
+        // buffer is no longer settling.
+        dm.forget_replica(b, 1);
+        assert!(dm.plan_input_in(2, b, 2).unwrap().is_some());
+        // Same via node failure.
+        let c = BufferId(1);
+        dm.register_host_buffer(c, 8);
+        dm.take_transfer_log();
+        assert!(dm.plan_input_in(3, c, 3).unwrap().is_some());
+        assert!(dm.plan_input_in(4, c, 4).is_err());
+        dm.fail_node(3);
+        assert!(dm.plan_input_in(4, c, 4).unwrap().is_some());
+        // Device-level (UNATTRIBUTED) plans are always exempt.
+        let d = BufferId(2);
+        dm.register_host_buffer(d, 8);
+        assert!(dm.plan_input_in(5, d, 1).unwrap().is_some());
+        assert!(dm.plan_input(d, 2).is_some());
+    }
+
+    #[test]
+    fn broadcast_deliveries_log_true_per_edge_bytes() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 64);
+        // Binomial distribution head→1, head→2, 1→3: each delivered edge
+        // is one record carrying the real feeder.
+        dm.note_broadcast_delivery(7, b, HEAD_NODE, 1, TransferReason::EnterData);
+        dm.note_broadcast_delivery(7, b, HEAD_NODE, 2, TransferReason::EnterData);
+        dm.note_broadcast_delivery(7, b, 1, 3, TransferReason::EnterData);
+        // Duplicate delivery (rescue replays) must not double-log.
+        dm.note_broadcast_delivery(7, b, 2, 3, TransferReason::EnterData);
+        let mut holders = dm.holders(b);
+        holders.sort_unstable();
+        assert_eq!(holders, vec![HEAD_NODE, 1, 2, 3]);
+        let log = dm.take_transfer_log_in(7);
+        assert_eq!(log.len(), 3);
+        assert!(log.iter().all(|t| t.bytes == 64 && t.reason == TransferReason::EnterData));
+        assert_eq!(log.iter().filter(|t| t.from == HEAD_NODE).count(), 2);
+        assert_eq!(log.iter().filter(|t| t.from == 1 && t.to == 3).count(), 1);
+        // A dead destination is never logged or remembered.
+        dm.fail_node(4);
+        dm.note_broadcast_delivery(7, b, 1, 4, TransferReason::Input);
+        assert!(!dm.is_present(b, 4));
+        assert!(dm.take_transfer_log_in(7).is_empty());
+    }
+
+    #[test]
+    fn retarget_deferred_updates_the_rescued_edge() {
+        let mut dm = DataManager::new();
+        let b = BufferId(0);
+        dm.register_host_buffer(b, 16);
+        dm.plan_input(b, 1);
+        let t = dm.open_ticket();
+        assert!(dm.begin_inflight(b, 2, TransferReason::Input, t).is_some());
+        // The planned parent (node 1) died; node 3 rescued the delivery.
+        dm.retarget_deferred_from(b, 2, 3);
+        assert_eq!(dm.deferred_transfers().last().map(|r| (r.from, r.to)), Some((3, 2)));
+
+        // Once the consuming region adopts the record, a late-resolving
+        // rescue must still find and repoint it inside the region's log.
+        let consumed: BTreeSet<BufferId> = [b].into_iter().collect();
+        dm.adopt_deferred_for(&consumed, 7);
+        dm.retarget_deferred_from(b, 2, 4);
+        let log = dm.take_transfer_log_in(7);
+        assert_eq!(
+            log.iter().map(|r| (r.from, r.to)).collect::<Vec<_>>(),
+            vec![(4, 2)],
+            "the adopted record must report the rescue edge: {log:?}"
+        );
     }
 }

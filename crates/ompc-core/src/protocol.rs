@@ -95,6 +95,23 @@ pub enum EventRequest {
     /// enter-data inputs to one node while the current region computes,
     /// collapsing k submit events into one control message.
     SubmitTrain { buffers: Vec<BufferId> },
+    /// Receive one buffer as a chunked collective payload stream and relay
+    /// each frame onward: the node receives `[frame index u64][payload]`
+    /// frames on the event's exclusive channel **from any source** (the
+    /// planned parent, or a rescue source after a relay died), stores the
+    /// reassembled buffer, and forwards every newly seen frame to each
+    /// listed child on the child's own event channel — so an interior node
+    /// of a broadcast tree fans frame `i` onward while frame `i + 1` is
+    /// still inbound. Duplicate frames (possible during re-sourcing) are
+    /// forwarded at most once and written at most once; one typed reply to
+    /// the head acknowledges the fully assembled buffer.
+    RelayRecv { buffer: BufferId, total_bytes: u64, chunk_bytes: u64, children: Vec<RelayChild> },
+    /// Stream a locally resident buffer as collective payload frames to the
+    /// listed children (the feeding half of a worker-sourced broadcast tree,
+    /// and the rescue path when a relay died: the head points a surviving
+    /// holder at the orphaned recipients). Replies once all frames are on
+    /// the wire.
+    RelayFeed { buffer: BufferId, chunk_bytes: u64, children: Vec<RelayChild> },
     /// Clear the worker's device memory and acknowledge: the head issues
     /// this between workloads when recycling warm workers, so a parked
     /// worker pool starts the next device lifetime from an empty state.
@@ -124,11 +141,59 @@ impl EventRequest {
             EventRequest::Task(_) => "task",
             EventRequest::TaskTrain(_) => "task-train",
             EventRequest::SubmitTrain { .. } => "submit-train",
+            EventRequest::RelayRecv { .. } => "relay-recv",
+            EventRequest::RelayFeed { .. } => "relay-feed",
             EventRequest::Reset => "reset",
             EventRequest::Shutdown => "shutdown",
             EventRequest::Kill => "kill",
         }
     }
+}
+
+/// One downstream edge of a collective broadcast tree: where an
+/// [`EventRequest::RelayRecv`] / [`EventRequest::RelayFeed`] node forwards
+/// payload frames. The child's `(tag, comm)` is the **child's own** relay
+/// event channel — frames from the parent and frames from a rescue source
+/// land on the same exclusive channel, which is what lets a re-sourced
+/// recipient stay oblivious to the failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayChild {
+    /// Destination node of the forwarded frames.
+    pub node: NodeId,
+    /// Tag of the child's relay event channel.
+    pub tag: Tag,
+    /// Communicator of the child's relay event channel.
+    pub comm: CommId,
+}
+
+/// Number of frames a collective payload of `total_bytes` travels as:
+/// `chunk_bytes == 0` means one whole-buffer frame, and a zero-length
+/// buffer still travels as one (empty) frame so the receive loop always
+/// terminates on a frame count.
+pub fn relay_frame_count(total_bytes: u64, chunk_bytes: u64) -> u64 {
+    if chunk_bytes == 0 || total_bytes == 0 {
+        1
+    } else {
+        total_bytes.div_ceil(chunk_bytes)
+    }
+}
+
+/// Serialize one frame of a chunked collective payload stream:
+/// `[frame index u64 LE][payload bytes]`.
+pub fn encode_relay_frame(index: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&index.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse one collective payload frame into `(frame index, payload)`.
+pub fn decode_relay_frame(data: &[u8]) -> OmpcResult<(u64, Vec<u8>)> {
+    if data.len() < 8 {
+        return Err(OmpcError::Internal("truncated relay frame".to_string()));
+    }
+    let index = u64::from_le_bytes(data[..8].try_into().expect("8-byte slice"));
+    Ok((index, data[8..].to_vec()))
 }
 
 /// One car of an [`EventRequest::TaskTrain`]: a complete composite task
@@ -318,6 +383,30 @@ const KIND_TASK: u8 = 10;
 const KIND_TASK_TRAIN: u8 = 11;
 const KIND_RESET: u8 = 12;
 const KIND_SUBMIT_TRAIN: u8 = 13;
+const KIND_RELAY_RECV: u8 = 14;
+const KIND_RELAY_FEED: u8 = 15;
+
+fn encode_children(w: &mut Writer, children: &[RelayChild]) {
+    w.u32(children.len() as u32);
+    for child in children {
+        w.u32(child.node as u32);
+        w.u64(child.tag.0);
+        w.u32(child.comm.0);
+    }
+}
+
+fn decode_children(r: &mut Reader<'_>) -> OmpcResult<Vec<RelayChild>> {
+    let n = r.u32()?;
+    let mut children = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        children.push(RelayChild {
+            node: r.u32()? as NodeId,
+            tag: Tag(r.u64()?),
+            comm: CommId(r.u32()?),
+        });
+    }
+    Ok(children)
+}
 
 const STEP_RECV_FROM_HEAD: u8 = 1;
 const STEP_RECV_FROM_WORKER: u8 = 2;
@@ -455,6 +544,19 @@ impl EventNotification {
                     w.u64(b.0);
                 }
             }
+            EventRequest::RelayRecv { buffer, total_bytes, chunk_bytes, children } => {
+                w.u8(KIND_RELAY_RECV);
+                w.u64(buffer.0);
+                w.u64(*total_bytes);
+                w.u64(*chunk_bytes);
+                encode_children(&mut w, children);
+            }
+            EventRequest::RelayFeed { buffer, chunk_bytes, children } => {
+                w.u8(KIND_RELAY_FEED);
+                w.u64(buffer.0);
+                w.u64(*chunk_bytes);
+                encode_children(&mut w, children);
+            }
             EventRequest::Reset => {
                 w.u8(KIND_RESET);
             }
@@ -532,6 +634,17 @@ impl EventNotification {
                 }
                 EventRequest::SubmitTrain { buffers }
             }
+            KIND_RELAY_RECV => EventRequest::RelayRecv {
+                buffer: BufferId(r.u64()?),
+                total_bytes: r.u64()?,
+                chunk_bytes: r.u64()?,
+                children: decode_children(&mut r)?,
+            },
+            KIND_RELAY_FEED => EventRequest::RelayFeed {
+                buffer: BufferId(r.u64()?),
+                chunk_bytes: r.u64()?,
+                children: decode_children(&mut r)?,
+            },
             KIND_RESET => EventRequest::Reset,
             KIND_SHUTDOWN => EventRequest::Shutdown,
             KIND_KILL => EventRequest::Kill,
@@ -872,6 +985,76 @@ mod tests {
             assert!(EventNotification::decode(&bytes[..bytes.len() - cut]).is_err());
         }
         assert_eq!(n.request.name(), "submit-train");
+    }
+
+    #[test]
+    fn relay_events_round_trip_and_reject_truncation() {
+        round_trip(EventRequest::RelayRecv {
+            buffer: BufferId(5),
+            total_bytes: 1 << 20,
+            chunk_bytes: 64 * 1024,
+            children: vec![],
+        });
+        round_trip(EventRequest::RelayFeed {
+            buffer: BufferId(2),
+            chunk_bytes: 0,
+            children: vec![RelayChild { node: 3, tag: Tag(91), comm: CommId(1) }],
+        });
+        let n = EventNotification {
+            request: EventRequest::RelayRecv {
+                buffer: BufferId(7),
+                total_bytes: 4096,
+                chunk_bytes: 1024,
+                children: vec![
+                    RelayChild { node: 2, tag: Tag(40), comm: CommId(0) },
+                    RelayChild { node: 4, tag: Tag(41), comm: CommId(1) },
+                ],
+            },
+            tag: Tag(39),
+            comm: CommId(1),
+            timed: false,
+        };
+        let bytes = n.encode();
+        assert_eq!(EventNotification::decode(&bytes).unwrap(), n);
+        for cut in 1..bytes.len() {
+            assert!(EventNotification::decode(&bytes[..bytes.len() - cut]).is_err());
+        }
+        let f = EventNotification {
+            request: EventRequest::RelayFeed {
+                buffer: BufferId(7),
+                chunk_bytes: 1024,
+                children: vec![RelayChild { node: 2, tag: Tag(40), comm: CommId(0) }],
+            },
+            tag: Tag(44),
+            comm: CommId(0),
+            timed: false,
+        };
+        let bytes = f.encode();
+        assert_eq!(EventNotification::decode(&bytes).unwrap(), f);
+        for cut in 1..bytes.len() {
+            assert!(EventNotification::decode(&bytes[..bytes.len() - cut]).is_err());
+        }
+        assert_eq!(n.request.name(), "relay-recv");
+        assert_eq!(f.request.name(), "relay-feed");
+    }
+
+    #[test]
+    fn relay_frames_round_trip_and_count_correctly() {
+        let frame = encode_relay_frame(3, &[9, 8, 7]);
+        assert_eq!(decode_relay_frame(&frame).unwrap(), (3, vec![9, 8, 7]));
+        // An empty payload is legal (zero-length buffers still broadcast).
+        let empty = encode_relay_frame(0, &[]);
+        assert_eq!(decode_relay_frame(&empty).unwrap(), (0, vec![]));
+        // Anything shorter than the index header is rejected.
+        assert!(decode_relay_frame(&frame[..7]).is_err());
+        assert!(decode_relay_frame(&[]).is_err());
+        // Frame counts: whole-buffer when unchunked, ceil-div otherwise,
+        // and always at least one so receivers terminate.
+        assert_eq!(relay_frame_count(1 << 20, 0), 1);
+        assert_eq!(relay_frame_count(0, 4096), 1);
+        assert_eq!(relay_frame_count(4096, 4096), 1);
+        assert_eq!(relay_frame_count(4097, 4096), 2);
+        assert_eq!(relay_frame_count(3 * 4096, 4096), 3);
     }
 
     #[test]

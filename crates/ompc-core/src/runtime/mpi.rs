@@ -680,7 +680,7 @@ impl MpiDriver<'_> {
                             *buffer,
                             node,
                             TransferReason::EnterData,
-                        );
+                        )?;
                         let Some(plan) = plan else { return Ok(None) };
                         let payload = if plan.from == HEAD_NODE {
                             match self.cached_payload(*buffer, tid) {
@@ -881,7 +881,16 @@ impl MpiDriver<'_> {
                         if !dep.dep_type.reads() {
                             continue;
                         }
-                        match dm.plan_input_in(ctx.region, dep.buffer, node) {
+                        let plan = match dm.plan_input_in(ctx.region, dep.buffer, node) {
+                            Ok(plan) => plan,
+                            Err(e) => {
+                                // Concurrent first-touch guard: abort the
+                                // task's planning with the typed rejection.
+                                planned = Err(e);
+                                break;
+                            }
+                        };
+                        match plan {
                             Some(plan) if plan.from == HEAD_NODE => {
                                 match self.cached_payload(dep.buffer, tid) {
                                     Ok(frame) => {

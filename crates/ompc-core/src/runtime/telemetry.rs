@@ -114,6 +114,14 @@ pub enum SpanPhase {
     /// A reader blocking on a transfer still in flight (first use of an
     /// async enter-data buffer, or a flush waiting out a concurrent one).
     AwaitInflight,
+    /// Collective data movement: one delivered edge of a broadcast tree
+    /// (the span's `from`/`node` are the edge's endpoints; `detail` notes a
+    /// re-sourced rescue edge).
+    Relay,
+    /// Collective data movement: the head streaming the chunked payload
+    /// frames of one broadcast into the tree (`bytes` is the payload, and
+    /// `detail` records the frame count).
+    Chunk,
     /// Fault recovery: replanning survivors after a node failure.
     Replan,
     /// Head node: a region waiting in the admission queue for a concurrent
@@ -140,6 +148,8 @@ impl SpanPhase {
             SpanPhase::TrainFlush => "train_flush",
             SpanPhase::Prefetch => "prefetch",
             SpanPhase::AwaitInflight => "await_inflight",
+            SpanPhase::Relay => "relay",
+            SpanPhase::Chunk => "chunk",
             SpanPhase::Replan => "replan",
             SpanPhase::Admission => "admission",
         }
@@ -161,7 +171,9 @@ impl SpanPhase {
             | SpanPhase::ExitData
             | SpanPhase::HostFlush
             | SpanPhase::TrainFlush
-            | SpanPhase::Prefetch => AttributionBucket::Wire,
+            | SpanPhase::Prefetch
+            | SpanPhase::Relay
+            | SpanPhase::Chunk => AttributionBucket::Wire,
             // A reader blocked on an in-flight transfer is scheduling
             // slack, not wire work: the bytes were already attributed to
             // the transfer's own prefetch / enter-data span. Likewise a
@@ -840,5 +852,9 @@ mod tests {
         assert_eq!(SpanPhase::AwaitInflight.bucket(), AttributionBucket::Scheduling);
         assert_eq!(SpanPhase::Admission.name(), "admission");
         assert_eq!(SpanPhase::Admission.bucket(), AttributionBucket::Scheduling);
+        assert_eq!(SpanPhase::Relay.name(), "relay");
+        assert_eq!(SpanPhase::Relay.bucket(), AttributionBucket::Wire);
+        assert_eq!(SpanPhase::Chunk.name(), "chunk");
+        assert_eq!(SpanPhase::Chunk.bucket(), AttributionBucket::Wire);
     }
 }

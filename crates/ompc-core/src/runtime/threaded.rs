@@ -341,7 +341,7 @@ impl RegionContext {
                             *buffer,
                             node,
                             crate::data_manager::TransferReason::EnterData,
-                        );
+                        )?;
                         if let Some(plan) = plan {
                             let moved = if plan.from == HEAD_NODE {
                                 // The host-side payload build is the
@@ -419,6 +419,20 @@ impl RegionContext {
                         // keeps its temporary `dm` guard alive for every arm,
                         // and the `None` arm locks `dm` again.
                         let plan = self.dm.lock().plan_input_in(self.region, dep.buffer, node);
+                        let plan = match plan {
+                            Ok(plan) => plan,
+                            Err(e) => {
+                                // A rejected plan (concurrent first-touch
+                                // guard) aborts the task; resolve the
+                                // forwards already announced so co-located
+                                // waiters error out instead of blocking.
+                                drop(gate);
+                                for plan in own {
+                                    self.abandon_transfer(&plan, node);
+                                }
+                                return Err(e);
+                            }
+                        };
                         match plan {
                             Some(plan) => {
                                 gate.insert((dep.buffer.0, node), TransferState::InFlight);
@@ -512,7 +526,7 @@ impl RegionContext {
                     if !self.await_device_inflight(buffer, node, tid)? {
                         let plan = {
                             let mut gate = self.transfers.transfers.lock();
-                            let plan = self.dm.lock().plan_input_in(self.region, buffer, node);
+                            let plan = self.dm.lock().plan_input_in(self.region, buffer, node)?;
                             if plan.is_some() {
                                 gate.insert((buffer.0, node), TransferState::InFlight);
                             }

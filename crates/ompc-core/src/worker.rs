@@ -12,8 +12,8 @@
 
 use crate::kernel::{KernelArgs, KernelRegistry};
 use crate::protocol::{
-    CompletionNotice, EventNotification, EventReply, EventRequest, TaskStamps, COMPLETION_TAG,
-    CONTROL_TAG, PREFETCH_TAG,
+    decode_relay_frame, encode_relay_frame, relay_frame_count, CompletionNotice, EventNotification,
+    EventReply, EventRequest, RelayChild, TaskStamps, COMPLETION_TAG, CONTROL_TAG, PREFETCH_TAG,
 };
 use crate::runtime::telemetry::monotonic_us;
 use crate::types::{BufferId, NodeId, OmpcError, OmpcResult};
@@ -24,6 +24,13 @@ use std::sync::Arc;
 
 /// The head node's rank in the world communicator.
 const HEAD_RANK: usize = 0;
+
+/// Upper bound on any single wait for the next frame of a collective
+/// payload stream. The head's rescue machinery re-sources an orphaned
+/// recipient long before this fires (it reacts to the dead relay's typed
+/// refusal); the bound is the last line of defence turning a frame that can
+/// never arrive into a typed error instead of a hang.
+const RELAY_FRAME_TIMEOUT_MS: u64 = 60_000;
 
 /// A worker node's local buffer storage (its "device memory").
 #[derive(Debug, Default)]
@@ -175,11 +182,102 @@ fn event_outcome(
         EventRequest::ExchangeSend { .. }
         | EventRequest::TaskTrain(_)
         | EventRequest::SubmitTrain { .. }
+        | EventRequest::RelayRecv { .. }
+        | EventRequest::RelayFeed { .. }
         | EventRequest::Shutdown
         | EventRequest::Kill => {
             unreachable!("not a single-reply head event")
         }
     }
+}
+
+/// Stream `data` to every listed child as `[frame index u64][payload]`
+/// frames on each child's own relay channel. Frames go out breadth-first —
+/// frame `i` reaches every child before frame `i + 1` is serialized — so
+/// the whole tree's pipelines fill together. Used by the feeding half of a
+/// worker-sourced broadcast ([`EventRequest::RelayFeed`]) and by the head
+/// node when it is itself the tree source.
+pub(crate) fn send_relay_frames(
+    comm: &Communicator,
+    data: &[u8],
+    chunk_bytes: u64,
+    children: &[RelayChild],
+) -> OmpcResult<()> {
+    let frames = relay_frame_count(data.len() as u64, chunk_bytes);
+    for index in 0..frames {
+        let payload = if chunk_bytes == 0 {
+            data
+        } else {
+            let start = (index * chunk_bytes) as usize;
+            let end = (start + chunk_bytes as usize).min(data.len());
+            &data[start..end]
+        };
+        let frame = encode_relay_frame(index, payload);
+        for child in children {
+            comm.on(child.comm)?.send(child.node, child.tag, frame.clone())?;
+        }
+    }
+    Ok(())
+}
+
+/// Receive one buffer as collective payload frames and relay each frame
+/// onward: frames are accepted **from any source** (planned parent or a
+/// rescue feeder), written once, and forwarded once to every child the
+/// moment they first arrive — so this node fans frame `i` onward while
+/// frame `i + 1` is still inbound. Duplicate frames (normal during
+/// re-sourcing, when a rescue feeder replays the whole stream) are ignored.
+#[allow(clippy::too_many_arguments)]
+fn relay_recv_frames(
+    comm: &Communicator,
+    channel: &Communicator,
+    memory: &DeviceMemory,
+    buffer: BufferId,
+    total_bytes: u64,
+    chunk_bytes: u64,
+    children: &[RelayChild],
+    tag: Tag,
+) -> OmpcResult<()> {
+    let frames = relay_frame_count(total_bytes, chunk_bytes) as usize;
+    let mut data = vec![0u8; total_bytes as usize];
+    let mut seen = vec![false; frames];
+    let mut remaining = frames;
+    while remaining > 0 {
+        let msg = channel
+            .recv_timeout(None, Some(tag), std::time::Duration::from_millis(RELAY_FRAME_TIMEOUT_MS))
+            .map_err(|e| {
+                OmpcError::Communication(format!("waiting for a collective frame of {buffer}: {e}"))
+            })?;
+        let (index, payload) = decode_relay_frame(&msg.data)?;
+        let index = index as usize;
+        if index >= frames {
+            return Err(OmpcError::Internal(format!(
+                "collective frame index {index} out of range for {frames} frames of {buffer}"
+            )));
+        }
+        if seen[index] {
+            continue;
+        }
+        let offset = if chunk_bytes == 0 { 0 } else { index * chunk_bytes as usize };
+        let expected = if chunk_bytes == 0 {
+            total_bytes as usize
+        } else {
+            (total_bytes as usize - offset).min(chunk_bytes as usize)
+        };
+        if payload.len() != expected {
+            return Err(OmpcError::Internal(format!(
+                "collective frame {index} of {buffer} carried {} bytes, expected {expected}",
+                payload.len()
+            )));
+        }
+        data[offset..offset + payload.len()].copy_from_slice(&payload);
+        seen[index] = true;
+        remaining -= 1;
+        for child in children {
+            comm.on(child.comm)?.send(child.node, child.tag, msg.data.clone())?;
+        }
+    }
+    memory.store(buffer, data);
+    Ok(())
 }
 
 /// Post a compact completion notice for a finished (or refused) composite
@@ -349,6 +447,38 @@ pub fn handle_event(
             post_prefetch_notice(comm, tag, ok);
             outcome
         }
+        EventRequest::RelayRecv { buffer, total_bytes, chunk_bytes, children } => {
+            let outcome = relay_recv_frames(
+                comm,
+                &channel,
+                memory,
+                buffer,
+                total_bytes,
+                chunk_bytes,
+                &children,
+                tag,
+            );
+            let reply = match &outcome {
+                // The ack payload carries the delivered byte count, like an
+                // exchange acknowledgement.
+                Ok(()) => EventReply::Ok(total_bytes.to_le_bytes().to_vec()),
+                Err(e) => EventReply::Err(as_remote(node, tag, e.clone())),
+            };
+            channel.send(HEAD_RANK, tag, reply.encode())?;
+            outcome
+        }
+        EventRequest::RelayFeed { buffer, chunk_bytes, children } => {
+            let outcome = memory
+                .get(buffer)
+                .ok_or(OmpcError::UnknownBuffer(buffer))
+                .and_then(|data| send_relay_frames(comm, &data, chunk_bytes, &children));
+            let reply = match &outcome {
+                Ok(()) => EventReply::Ok(Vec::new()),
+                Err(e) => EventReply::Err(as_remote(node, tag, e.clone())),
+            };
+            channel.send(HEAD_RANK, tag, reply.encode())?;
+            outcome
+        }
         EventRequest::TaskTrain(cars) => {
             // Run the cars strictly in order, replying per car on each
             // car's own exclusive channel — a failed car replies its typed
@@ -498,6 +628,11 @@ pub fn worker_main(comm: Communicator, kernels: Arc<KernelRegistry>, handler_thr
             // pooled train could queue behind a composite task whose
             // `AwaitLocal` step is waiting for this very train, deadlocking
             // a single-handler pool until the await times out.
+            // RelayFeed is inline for the same reason as ExchangeSend: it
+            // only sends (the local copy is resident by construction), so
+            // it can never block the gate. RelayRecv stays pooled — it
+            // waits on inbound frames, exactly like the receiving half of
+            // an exchange.
             let inline = matches!(
                 notification.request,
                 EventRequest::Alloc { .. }
@@ -505,6 +640,7 @@ pub fn worker_main(comm: Communicator, kernels: Arc<KernelRegistry>, handler_thr
                     | EventRequest::Retrieve { .. }
                     | EventRequest::ExchangeSend { .. }
                     | EventRequest::SubmitTrain { .. }
+                    | EventRequest::RelayFeed { .. }
                     | EventRequest::Reset
             );
             if inline {
@@ -945,6 +1081,174 @@ mod tests {
         };
         head.send(1, CONTROL_TAG, shutdown.encode()).unwrap();
         worker.join().unwrap();
+    }
+
+    #[test]
+    fn relay_recv_reassembles_chunks_forwards_once_and_replies_bytes() {
+        // Head (rank 0) streams a 10-byte buffer to w1 in 4-byte frames,
+        // out of order and with a duplicate; w1 relays every distinct frame
+        // to w2's relay channel exactly once.
+        let world = World::with_communicators(3, 2);
+        let head = world.communicator(0);
+        let w1 = world.communicator(1);
+        let w2 = world.communicator(2);
+        let memory = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        let buffer = BufferId(3);
+        let data: Vec<u8> = (0..10).collect();
+        let tag = Tag(30);
+        let comm = CommId(1);
+        let child = RelayChild { node: 2, tag: Tag(31), comm: CommId(0) };
+
+        let frame = |i: u64| {
+            let start = (i * 4) as usize;
+            encode_relay_frame(i, &data[start..(start + 4).min(10)])
+        };
+        let ch = head.on(comm).unwrap();
+        ch.send(1, tag, frame(1)).unwrap();
+        ch.send(1, tag, frame(0)).unwrap();
+        ch.send(1, tag, frame(0)).unwrap(); // duplicate: ignored, not re-forwarded
+        ch.send(1, tag, frame(2)).unwrap();
+
+        handle_event(
+            &w1,
+            &memory,
+            &kernels,
+            EventNotification {
+                request: EventRequest::RelayRecv {
+                    buffer,
+                    total_bytes: 10,
+                    chunk_bytes: 4,
+                    children: vec![child],
+                },
+                tag,
+                comm,
+                timed: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(memory.get(buffer), Some(data.clone()));
+
+        // The head's ack carries the delivered byte count.
+        let msg = head.on(comm).unwrap().recv(Some(1), Some(tag)).unwrap();
+        let payload = EventReply::decode(&msg.data).unwrap().into_result().unwrap();
+        assert_eq!(u64::from_le_bytes(payload[..8].try_into().unwrap()), 10);
+
+        // w2 received each distinct frame exactly once, in arrival order.
+        let child_ch = w2.on(child.comm).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let msg = child_ch.recv(Some(1), Some(child.tag)).unwrap();
+            got.push(crate::protocol::decode_relay_frame(&msg.data).unwrap().0);
+        }
+        assert_eq!(got, vec![1, 0, 2]);
+        assert!(child_ch.iprobe(Some(1), Some(child.tag)).is_none(), "duplicate was forwarded");
+    }
+
+    #[test]
+    fn relay_feed_streams_resident_buffer_and_replies() {
+        let world = World::with_communicators(3, 2);
+        let head = world.communicator(0);
+        let w1 = world.communicator(1);
+        let w2 = world.communicator(2);
+        let memory = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        let buffer = BufferId(8);
+        memory.store(buffer, vec![5; 10]);
+        let tag = Tag(60);
+        let child = RelayChild { node: 2, tag: Tag(61), comm: CommId(1) };
+        handle_event(
+            &w1,
+            &memory,
+            &kernels,
+            EventNotification {
+                request: EventRequest::RelayFeed { buffer, chunk_bytes: 4, children: vec![child] },
+                tag,
+                comm: CommId(0),
+                timed: false,
+            },
+        )
+        .unwrap();
+        let msg = head.on(CommId(0)).unwrap().recv(Some(1), Some(tag)).unwrap();
+        assert!(EventReply::decode(&msg.data).unwrap().into_result().is_ok());
+        let child_ch = w2.on(child.comm).unwrap();
+        let mut rebuilt = vec![0u8; 10];
+        for want in 0..3u64 {
+            let msg = child_ch.recv(Some(1), Some(child.tag)).unwrap();
+            let (i, payload) = crate::protocol::decode_relay_frame(&msg.data).unwrap();
+            assert_eq!(i, want, "frames stream in index order");
+            rebuilt[(i * 4) as usize..(i * 4) as usize + payload.len()].copy_from_slice(&payload);
+        }
+        assert_eq!(rebuilt, vec![5; 10]);
+
+        // A missing buffer is a typed error, not a hang downstream.
+        let err = handle_event(
+            &w1,
+            &memory,
+            &kernels,
+            EventNotification {
+                request: EventRequest::RelayFeed {
+                    buffer: BufferId(99),
+                    chunk_bytes: 0,
+                    children: vec![],
+                },
+                tag: Tag(62),
+                comm: CommId(0),
+                timed: false,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, OmpcError::UnknownBuffer(BufferId(99)));
+        let msg = head.on(CommId(0)).unwrap().recv(Some(1), Some(Tag(62))).unwrap();
+        assert!(EventReply::decode(&msg.data).unwrap().into_result().is_err());
+    }
+
+    #[test]
+    fn relay_recv_accepts_frames_from_a_rescue_source() {
+        // The planned parent sends one frame and dies; a rescue feeder
+        // replays the whole stream from another rank. The receiver ignores
+        // the replayed duplicate and assembles the rest — oblivious to the
+        // failure, as the re-sourcing contract requires.
+        let world = World::with_communicators(4, 2);
+        let head = world.communicator(0);
+        let parent = world.communicator(2);
+        let rescuer = world.communicator(3);
+        let w1 = world.communicator(1);
+        let memory = DeviceMemory::new();
+        let kernels = KernelRegistry::new();
+        let buffer = BufferId(4);
+        let data: Vec<u8> = (10..18).collect();
+        let tag = Tag(70);
+        let comm = CommId(1);
+        parent.on(comm).unwrap().send(1, tag, encode_relay_frame(0, &data[..4])).unwrap();
+        for i in 0..2u64 {
+            let start = (i * 4) as usize;
+            rescuer
+                .on(comm)
+                .unwrap()
+                .send(1, tag, encode_relay_frame(i, &data[start..start + 4]))
+                .unwrap();
+        }
+        handle_event(
+            &w1,
+            &memory,
+            &kernels,
+            EventNotification {
+                request: EventRequest::RelayRecv {
+                    buffer,
+                    total_bytes: 8,
+                    chunk_bytes: 4,
+                    children: vec![],
+                },
+                tag,
+                comm,
+                timed: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(memory.get(buffer), Some(data));
+        let msg = head.on(comm).unwrap().recv(Some(1), Some(tag)).unwrap();
+        assert!(EventReply::decode(&msg.data).unwrap().into_result().is_ok());
     }
 
     #[test]

@@ -73,6 +73,7 @@ impl Communicator {
     /// eager protocol.
     pub fn send(&self, dest: Rank, tag: Tag, data: Vec<u8>) -> MpiResult<()> {
         let mailbox = self.mailbox_of(dest)?;
+        self.world.pace_egress(self.rank, data.len());
         let seq = self.world.rank_states[self.rank].send_seq[dest].fetch_add(1, Ordering::Relaxed);
         mailbox.deliver(MessageEnvelope {
             source: self.rank,

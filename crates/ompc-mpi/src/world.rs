@@ -3,8 +3,8 @@
 use crate::comm::Communicator;
 use crate::mailbox::Mailbox;
 use crate::types::{CommId, Rank};
-use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Per-rank bookkeeping shared by every [`Communicator`] clone of that rank.
@@ -17,6 +17,13 @@ pub(crate) struct RankState {
     /// collectives on a communicator in the same order (as MPI requires),
     /// which keeps these counters aligned across ranks.
     pub(crate) coll_seq: Vec<AtomicU64>,
+    /// The rank's emulated egress link: the instant the link finishes
+    /// transmitting everything reserved so far. Each paced send reserves
+    /// its own wire slot on this shared timeline and then sleeps until its
+    /// scheduled finish, so concurrent senders of one rank serialize the
+    /// way they would on a single NIC — and sleep overshoot never
+    /// accumulates into the timeline itself.
+    pub(crate) egress: Mutex<Option<std::time::Instant>>,
 }
 
 /// Global state shared by every rank of a [`World`].
@@ -26,6 +33,43 @@ pub(crate) struct WorldInner {
     pub(crate) num_comms: u32,
     pub(crate) mailboxes: Vec<Arc<Mailbox>>,
     pub(crate) rank_states: Vec<RankState>,
+    /// Emulated per-rank link bandwidth in bytes per second; `0` (the
+    /// default) delivers at memcpy speed with no pacing at all.
+    pub(crate) link_bytes_per_sec: AtomicU64,
+}
+
+impl WorldInner {
+    /// Occupy `rank`'s emulated egress link for the wire time of `bytes`:
+    /// reserve the next slot on the rank's link timeline, then sleep until
+    /// this message's scheduled transmission finish. A no-op unless a link
+    /// bandwidth has been configured.
+    pub(crate) fn pace_egress(&self, rank: Rank, bytes: usize) {
+        let bw = self.link_bytes_per_sec.load(Ordering::Relaxed);
+        if bw == 0 || bytes == 0 {
+            return;
+        }
+        let wire = std::time::Duration::from_secs_f64(bytes as f64 / bw as f64);
+        let now = std::time::Instant::now();
+        let finish = {
+            let mut free_at =
+                self.rank_states[rank].egress.lock().unwrap_or_else(|e| e.into_inner());
+            let start = free_at.map_or(now, |t| t.max(now));
+            let finish = start + wire;
+            *free_at = Some(finish);
+            finish
+        };
+        // Sleep only once the reserved backlog exceeds a slack window:
+        // `thread::sleep` overshoots by a scheduler-dependent amount per
+        // call, so sleeping per message would tax a chunked stream once
+        // per *frame* while a whole-buffer send of the same bytes pays
+        // once. Amortizing over the slack makes the pacing error
+        // proportional to bytes, not message count — small control
+        // messages never sleep at all.
+        const SLACK: std::time::Duration = std::time::Duration::from_millis(1);
+        if finish > now + SLACK {
+            std::thread::sleep(finish - now);
+        }
+    }
 }
 
 /// A fixed-size set of communicating ranks, analogous to `MPI_COMM_WORLD`
@@ -61,9 +105,28 @@ impl World {
             .map(|_| RankState {
                 send_seq: (0..size).map(|_| AtomicU64::new(0)).collect(),
                 coll_seq: (0..num_comms).map(|_| AtomicU64::new(0)).collect(),
+                egress: Mutex::new(None),
             })
             .collect();
-        Self { inner: Arc::new(WorldInner { size, num_comms, mailboxes, rank_states }) }
+        Self {
+            inner: Arc::new(WorldInner {
+                size,
+                num_comms,
+                mailboxes,
+                rank_states,
+                link_bytes_per_sec: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Emulate a finite per-rank link: every send occupies its source
+    /// rank's egress for `bytes / bytes_per_sec` seconds, serializing
+    /// concurrent sends of one rank the way a single NIC would. `0`
+    /// restores the default memcpy-speed delivery. Benchmarks use this to
+    /// make source-link congestion measurable in wall time; nothing about
+    /// delivery order or content changes.
+    pub fn set_link_bandwidth(&self, bytes_per_sec: u64) {
+        self.inner.link_bytes_per_sec.store(bytes_per_sec, Ordering::Relaxed);
     }
 
     /// Number of ranks in the world.

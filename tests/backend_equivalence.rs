@@ -434,3 +434,141 @@ fn async_enter_data_matrix_is_equivalent() {
         }
     });
 }
+
+/// Collective distribution is a data-*movement* optimisation only: with
+/// broadcast trees on or off (and with or without chunked frames), both
+/// real backends must produce the same region assignment, the same
+/// outputs, and the same distribution *set* — each destination receives
+/// the shared buffer exactly once, with the same size and reason — while
+/// below-threshold and disabled configurations stay byte-identical to the
+/// star baseline. The tree's visible signature is the head link: a star
+/// sources every copy from the head, a binomial tree only ⌈log₂(k+1)⌉ of
+/// them.
+#[test]
+fn collective_distribution_matrix_is_equivalent() {
+    /// One shared read-only 8 KiB input consumed by four target tasks
+    /// (each with a private scale factor), returning the region
+    /// assignment, the region's transfer log, and the four outputs.
+    fn collective_script(
+        backend: BackendKind,
+        fanout: usize,
+        chunk_kib: usize,
+        window: usize,
+    ) -> (Vec<usize>, Vec<TransferRecord>, Vec<f64>, BufferId) {
+        let workers = 4;
+        let config = OmpcConfig {
+            backend,
+            collective_min_fanout: fanout,
+            collective_chunk_kib: chunk_kib,
+            max_inflight_tasks: Some(window),
+            ..OmpcConfig::small()
+        };
+        let mut device = ClusterDevice::with_config(workers, config);
+        let scale = device.register_kernel_fn("scale", 1e-2, |args| {
+            let total: f64 = args.as_f64s(0).iter().sum();
+            let factor = args.as_f64s(1)[0];
+            args.set_f64s(2, &[total * factor]);
+        });
+        let mut region = device.target_region();
+        let vals: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+        let shared = region.map_to_f64s(&vals);
+        let mut outs = Vec::new();
+        for i in 0..4 {
+            let factor = region.map_to_f64s(&[(i + 1) as f64]);
+            let out = region.map_alloc(8);
+            region.target(
+                scale,
+                vec![Dependence::input(shared), Dependence::input(factor), Dependence::output(out)],
+            );
+            region.map_from(out);
+            outs.push(out);
+        }
+        region.run().unwrap();
+        let record = device.last_run_record().unwrap();
+        let outputs: Vec<f64> = outs.iter().map(|&o| device.buffer_f64s(o).unwrap()[0]).collect();
+        device.shutdown();
+        (record.assignment, record.transfers, outputs, shared)
+    }
+
+    /// The distribution surface a tree may legally reshape: who received
+    /// which buffer, how many bytes, and why — but not from where.
+    fn distribution(transfers: &[TransferRecord]) -> Vec<(BufferId, usize, u64, TransferReason)> {
+        let mut d: Vec<_> = transfers.iter().map(|t| (t.buffer, t.to, t.bytes, t.reason)).collect();
+        d.sort_unstable();
+        d
+    }
+
+    with_timeout(WATCHDOG, || {
+        for (window, strict) in [(1usize, true), (4, false)] {
+            let baseline = collective_script(BackendKind::Threaded, 0, 0, window);
+            let (_, ref base_transfers, _, shared) = baseline;
+            // The star baseline sources every copy of the shared buffer
+            // from the head node — the serialization the tree removes.
+            let star_head_edges =
+                base_transfers.iter().filter(|t| t.buffer == shared && t.from == 0).count();
+            let shared_dests: std::collections::BTreeSet<usize> =
+                base_transfers.iter().filter(|t| t.buffer == shared).map(|t| t.to).collect();
+            assert_eq!(
+                shared_dests.len(),
+                4,
+                "window {window}: the script must spread the shared buffer to all four \
+                 workers for the matrix to exercise a fanout-4 step: {base_transfers:?}"
+            );
+            assert_eq!(star_head_edges, 4, "window {window}: a star is head-sourced");
+
+            for backend in [BackendKind::Threaded, BackendKind::Mpi] {
+                for (fanout, chunk_kib) in [(0usize, 0usize), (9, 1), (2, 0), (2, 1)] {
+                    let got = collective_script(backend, fanout, chunk_kib, window);
+                    let tag = format!(
+                        "window {window} {} fanout {fanout} chunk {chunk_kib}",
+                        backend.name()
+                    );
+                    assert_eq!(baseline.0, got.0, "{tag}: region assignment");
+                    assert_eq!(baseline.2, got.2, "{tag}: task outputs");
+                    let collective_on = fanout > 0 && fanout <= 4;
+                    if !collective_on {
+                        // Disabled or below threshold: the plan must be
+                        // byte-identical to the star baseline — exact
+                        // records (source included) at a serial window,
+                        // the exact record set at a wide one.
+                        if strict {
+                            assert_eq!(baseline.1, got.1, "{tag}: transfer log (exact)");
+                        } else {
+                            let sort = |mut v: Vec<TransferRecord>| {
+                                v.sort_by_key(|t| (t.buffer, t.from, t.to, t.bytes));
+                                v
+                            };
+                            assert_eq!(
+                                sort(baseline.1.clone()),
+                                sort(got.1.clone()),
+                                "{tag}: transfer-record set"
+                            );
+                        }
+                        continue;
+                    }
+                    // Tree mode: same distribution set (every destination
+                    // exactly once, same bytes, same reason)...
+                    assert_eq!(
+                        distribution(&baseline.1),
+                        distribution(&got.1),
+                        "{tag}: distribution set"
+                    );
+                    // ...but the head link now carries ⌈log₂ 5⌉ = 3 copies
+                    // instead of 4, and the remaining edge rides a
+                    // worker-to-worker relay.
+                    let head_edges =
+                        got.1.iter().filter(|t| t.buffer == shared && t.from == 0).count();
+                    let relay_edges: Vec<&TransferRecord> =
+                        got.1.iter().filter(|t| t.buffer == shared && t.from != 0).collect();
+                    assert_eq!(head_edges, 3, "{tag}: tree head-link copies: {:?}", got.1);
+                    assert_eq!(relay_edges.len(), 1, "{tag}: one relay edge: {:?}", got.1);
+                    assert!(
+                        shared_dests.contains(&relay_edges[0].from),
+                        "{tag}: the relay edge must be fed by a fellow recipient: {:?}",
+                        relay_edges[0]
+                    );
+                }
+            }
+        }
+    });
+}
